@@ -1,0 +1,351 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! These are not paper figures; they probe the modelling decisions the
+//! paper made (or explicitly declined):
+//!
+//! 1. **Buffer manager** (§1, points 1–4): the paper argues an explicit
+//!    server buffer manager changes the results — sweep `BufferSize`.
+//! 2. **Write-lock retention** (§2.3): the paper retains only read locks;
+//!    compare against retaining write locks as write locks.
+//! 3. **Notification mode** (§2.5): propagate updated pages (the paper's
+//!    choice) vs invalidate.
+//! 4. **Restart delay** (§3.4): the ACL adaptive delay vs immediate
+//!    restart.
+//! 5. **MPL admission** (§3.3.4): sweep the multiprogramming level under
+//!    the Table 5 system.
+//! 6. **Clustering** (§3.1): multi-page objects with `ClusterFactor`
+//!    swept from 0 to 1.
+
+use ccdb_bench::{print_detail, print_figure, BenchCtl, Series};
+use ccdb_core::config::Tuning;
+use ccdb_core::{experiments, Algorithm, SimConfig};
+use ccdb_model::{DatabaseSpec, TxnParams};
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+
+    // 1. Buffer size sweep (2PL, 30 clients, medium contention).
+    {
+        let mut points = Vec::new();
+        for buf in [1usize, 50, 100, 200, 400, 800] {
+            let mut cfg =
+                experiments::short_txn(Algorithm::TwoPhase { inter: true }, 30, 0.25, 0.2);
+            cfg.sys.buffer_size = buf;
+            let r = ctl.run(cfg);
+            points.push((buf as f64, r.resp_time_mean));
+        }
+        print_figure(
+            "Ablation 1: server buffer pool size (C2PL, 30 clients, Loc=0.25, W=0.2)",
+            "frames",
+            "mean response time (s)",
+            &[Series {
+                label: "C2PL".into(),
+                points,
+            }],
+        );
+    }
+
+    // 2. Write-lock retention for callback locking.
+    {
+        let mut base_series = Vec::new();
+        let mut tuned_series = Vec::new();
+        for &pw in &[0.0, 0.2, 0.5] {
+            let cfg = experiments::short_txn(Algorithm::Callback, 30, 0.75, pw);
+            let base = ctl.run(cfg.clone());
+            let tuned = ctl.run(cfg.with_tuning(Tuning {
+                retain_write_locks: true,
+                ..Tuning::default()
+            }));
+            base_series.push((pw, base.resp_time_mean));
+            tuned_series.push((pw, tuned.resp_time_mean));
+        }
+        print_figure(
+            "Ablation 2: callback write-lock retention (30 clients, Loc=0.75)",
+            "W",
+            "mean response time (s)",
+            &[
+                Series {
+                    label: "retain-S".into(),
+                    points: base_series,
+                },
+                Series {
+                    label: "retain-SX".into(),
+                    points: tuned_series,
+                },
+            ],
+        );
+    }
+
+    // 3. Notification mode: propagate vs invalidate (fast net, where
+    // notification matters most).
+    {
+        let mut prop = Vec::new();
+        let mut inval = Vec::new();
+        for &clients in &experiments::CLIENT_SWEEP {
+            let cfg = experiments::fast_net_fast_server(
+                Algorithm::NoWait { notify: true },
+                clients,
+                0.25,
+                0.5,
+            );
+            prop.push((clients as f64, ctl.run(cfg.clone()).resp_time_mean));
+            inval.push((
+                clients as f64,
+                ctl.run(cfg.with_tuning(Tuning {
+                    notify_invalidate: true,
+                    ..Tuning::default()
+                }))
+                .resp_time_mean,
+            ));
+        }
+        print_figure(
+            "Ablation 3: notification mode (NWN, fast net+server, Loc=0.25, W=0.5)",
+            "clients",
+            "mean response time (s)",
+            &[
+                Series {
+                    label: "propagate".into(),
+                    points: prop,
+                },
+                Series {
+                    label: "invalidate".into(),
+                    points: inval,
+                },
+            ],
+        );
+    }
+
+    // 4. Restart delay policy (no-wait, where restarts dominate).
+    {
+        let mut adaptive = Vec::new();
+        let mut immediate = Vec::new();
+        for &clients in &experiments::CLIENT_SWEEP {
+            let cfg =
+                experiments::short_txn(Algorithm::NoWait { notify: false }, clients, 0.25, 0.5);
+            let a = ctl.run(cfg.clone());
+            let b = ctl.run(cfg.with_tuning(Tuning {
+                zero_restart_delay: true,
+                ..Tuning::default()
+            }));
+            adaptive.push((clients as f64, a.resp_time_mean));
+            immediate.push((clients as f64, b.resp_time_mean));
+        }
+        print_figure(
+            "Ablation 4: restart delay policy (NW, Loc=0.25, W=0.5)",
+            "clients",
+            "mean response time (s)",
+            &[
+                Series {
+                    label: "adaptive".into(),
+                    points: adaptive,
+                },
+                Series {
+                    label: "immediate".into(),
+                    points: immediate,
+                },
+            ],
+        );
+    }
+
+    // 5. MPL sweep under the Table 5 system (50 clients).
+    {
+        let mut points = Vec::new();
+        let mut details = Vec::new();
+        for &mpl in &[2u32, 5, 10, 25, 50] {
+            let mut cfg =
+                experiments::short_txn(Algorithm::TwoPhase { inter: true }, 50, 0.25, 0.5);
+            cfg.sys.mpl = mpl;
+            let r = ctl.run(cfg);
+            points.push((mpl as f64, r.throughput));
+            details.push(r);
+        }
+        print_figure(
+            "Ablation 5: MPL admission under Table 5 (C2PL, 50 clients, W=0.5)",
+            "MPL",
+            "transactions per second",
+            &[Series {
+                label: "C2PL".into(),
+                points,
+            }],
+        );
+        for r in &details {
+            print_detail(r);
+        }
+    }
+
+    // 10. Client cache size (a Table 3 parameter the paper never sweeps):
+    // callback locking's advantage is exactly as large as the cache lets
+    // the working set stay resident.
+    {
+        let mut tp = Vec::new();
+        let mut cb = Vec::new();
+        for &cache in &[10usize, 25, 50, 100, 200, 400] {
+            for (series, alg) in [
+                (&mut tp, Algorithm::TwoPhase { inter: true }),
+                (&mut cb, Algorithm::Callback),
+            ] {
+                let mut cfg = experiments::short_txn(alg, 30, 0.75, 0.2);
+                cfg.sys.cache_size = cache;
+                let r = ctl.run(cfg);
+                series.push((cache as f64, r.resp_time_mean));
+            }
+        }
+        print_figure(
+            "Ablation 10: client cache size (30 clients, Loc=0.75, W=0.2)",
+            "pages",
+            "mean response time (s)",
+            &[
+                Series {
+                    label: "C2PL".into(),
+                    points: tp,
+                },
+                Series {
+                    label: "CB".into(),
+                    points: cb,
+                },
+            ],
+        );
+    }
+
+    // 11. Message cost (the Carey & Livny axis the paper cites: "when
+    // message cost was high ... certification outperformed two-phase
+    // locking"). Sweep MsgCost for 2PL vs certification.
+    {
+        let mut tp = Vec::new();
+        let mut occ = Vec::new();
+        for &cost in &[1_000u64, 5_000, 10_000, 20_000] {
+            for (series, alg) in [
+                (&mut tp, Algorithm::TwoPhase { inter: true }),
+                (&mut occ, Algorithm::Certification { inter: true }),
+            ] {
+                let mut cfg = experiments::short_txn(alg, 30, 0.25, 0.2);
+                cfg.sys.msg_cost = cost;
+                let r = ctl.run(cfg);
+                series.push((cost as f64, r.resp_time_mean));
+            }
+        }
+        print_figure(
+            "Ablation 11: per-packet message cost (30 clients, Loc=0.25, W=0.2)",
+            "instr",
+            "mean response time (s)",
+            &[
+                Series {
+                    label: "C2PL".into(),
+                    points: tp,
+                },
+                Series {
+                    label: "COCC".into(),
+                    points: occ,
+                },
+            ],
+        );
+    }
+
+    // 8. Responsive interactive clients: remove the paper's "messages are
+    // not processed during internal delays" limitation (§5.5) and watch
+    // callback locking recover in the interactive experiment.
+    {
+        let mut stock = Vec::new();
+        let mut responsive = Vec::new();
+        for alg in [Algorithm::Callback, Algorithm::NoWait { notify: false }] {
+            for (series, tuned) in [(&mut stock, false), (&mut responsive, true)] {
+                let cfg = experiments::interactive(alg, 50, 0.25, 0.5).with_tuning(Tuning {
+                    responsive_client: tuned,
+                    ..Tuning::default()
+                });
+                let r = ctl.run_scaled(cfg, 5);
+                series.push((r.algorithm.label().to_string(), r.resp_time_mean));
+            }
+        }
+        println!("\n== Ablation 8: responsive clients (interactive, 50 clients, W=0.5) ==");
+        println!("{:>8} {:>14} {:>14}", "alg", "paper quirk", "responsive");
+        for i in 0..stock.len() {
+            println!(
+                "{:>8} {:>14.3} {:>14.3}",
+                stock[i].0, stock[i].1, responsive[i].1
+            );
+        }
+    }
+
+    // 9. Server multiprocessing: the paper parameterises NServerCPUs but
+    // never varies it; sweep it under the saturated short-txn workload.
+    {
+        let mut points = Vec::new();
+        for &cpus in &[1u32, 2, 4, 8] {
+            let mut cfg =
+                experiments::short_txn(Algorithm::TwoPhase { inter: true }, 50, 0.25, 0.2);
+            cfg.sys.n_server_cpus = cpus;
+            let r = ctl.run(cfg);
+            points.push((cpus as f64, r.throughput));
+        }
+        print_figure(
+            "Ablation 9: server CPUs (C2PL, 50 clients, Loc=0.25, W=0.2)",
+            "CPUs",
+            "transactions per second",
+            &[Series {
+                label: "C2PL".into(),
+                points,
+            }],
+        );
+    }
+
+    // 7. Notification targeting: per-page directory vs broadcast-to-all
+    // (slow network, where extra messages hurt most).
+    {
+        let mut directory = Vec::new();
+        let mut broadcast = Vec::new();
+        for &clients in &experiments::CLIENT_SWEEP {
+            let cfg = experiments::short_txn(Algorithm::NoWait { notify: true }, clients, 0.5, 0.5);
+            directory.push((clients as f64, ctl.run(cfg.clone()).resp_time_mean));
+            broadcast.push((
+                clients as f64,
+                ctl.run(cfg.with_tuning(Tuning {
+                    notify_broadcast: true,
+                    ..Tuning::default()
+                }))
+                .resp_time_mean,
+            ));
+        }
+        print_figure(
+            "Ablation 7: notification targeting (NWN, Loc=0.5, W=0.5)",
+            "clients",
+            "mean response time (s)",
+            &[
+                Series {
+                    label: "directory".into(),
+                    points: directory,
+                },
+                Series {
+                    label: "broadcast".into(),
+                    points: broadcast,
+                },
+            ],
+        );
+    }
+
+    // 6. Clustering: 4-page objects, ClusterFactor swept.
+    {
+        let mut points = Vec::new();
+        for &cf in &[0.0, 0.5, 1.0] {
+            let mut cfg: SimConfig =
+                experiments::short_txn(Algorithm::TwoPhase { inter: true }, 20, 0.25, 0.2);
+            cfg.db = DatabaseSpec::uniform(10, 50, 4, cf);
+            cfg.txn = TxnParams {
+                min_xact_size: 2,
+                max_xact_size: 6,
+                ..cfg.txn
+            };
+            let r = ctl.run(cfg);
+            points.push((cf, r.resp_time_mean));
+        }
+        print_figure(
+            "Ablation 6: object clustering (4-page objects, C2PL, 20 clients)",
+            "ClusterFactor",
+            "mean response time (s)",
+            &[Series {
+                label: "C2PL".into(),
+                points,
+            }],
+        );
+    }
+}

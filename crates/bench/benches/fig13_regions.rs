@@ -1,0 +1,60 @@
+//! Figure 13: the algorithm-selection regions over the (write probability,
+//! locality) plane for the short-transaction, server-bound system.
+//!
+//! The paper summarises §5.1 with a region diagram: upper-left (low W, low
+//! locality) — no difference; lower-left (high locality, low W) — callback
+//! locking; the rest — two-phase locking. We reproduce it by running every
+//! grid cell with the maximum client population and naming the winner
+//! (ties within 5% are reported as such).
+
+use ccdb_bench::BenchCtl;
+use ccdb_core::experiments;
+use ccdb_core::Algorithm;
+
+const CLIENTS: u32 = 50;
+const TIE_MARGIN: f64 = 0.05;
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    let locs = [0.05, 0.25, 0.50, 0.75];
+    let pws = [0.0, 0.1, 0.2, 0.35, 0.5];
+    println!("== Figure 13: best algorithm per (write probability, locality) cell ==");
+    println!("   ({CLIENTS} clients, short transactions; ties within 5% shown as a/b)");
+    print!("{:>10}", "loc \\ W");
+    for pw in pws {
+        print!(" {pw:>12}");
+    }
+    println!();
+    for loc in locs {
+        print!("{loc:>10}");
+        for pw in pws {
+            let mut best: Option<(Algorithm, f64)> = None;
+            let mut second: Option<(Algorithm, f64)> = None;
+            for alg in experiments::SECTION5_ALGORITHMS {
+                let r = ctl.run(experiments::short_txn(alg, CLIENTS, loc, pw));
+                let t = r.resp_time_mean;
+                match best {
+                    None => best = Some((alg, t)),
+                    Some((_, bt)) if t < bt => {
+                        second = best;
+                        best = Some((alg, t));
+                    }
+                    _ => match second {
+                        None => second = Some((alg, t)),
+                        Some((_, st)) if t < st => second = Some((alg, t)),
+                        _ => {}
+                    },
+                }
+            }
+            let (walg, wt) = best.expect("at least one algorithm ran");
+            let cell = match second {
+                Some((salg, st)) if (st - wt) / wt < TIE_MARGIN => {
+                    format!("{}/{}", walg.label(), salg.label())
+                }
+                _ => walg.label().to_string(),
+            };
+            print!(" {cell:>12}");
+        }
+        println!();
+    }
+}

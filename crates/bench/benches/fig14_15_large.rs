@@ -1,0 +1,35 @@
+//! §5.2 (Figures 14–15): large transactions (20–60 object reads).
+//!
+//! Expected shape: similar to the short-transaction experiment (the server
+//! is still the bottleneck), but callback and no-wait locking degrade
+//! faster as the write probability grows because aborts are larger and
+//! more expensive; notification helps no-wait here, yet both stay
+//! dominated by 2PL and callback locking.
+
+use ccdb_bench::{print_figure, BenchCtl, Series};
+use ccdb_core::experiments::{self, CLIENT_SWEEP, SECTION5_ALGORITHMS};
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    let cases = [
+        ("Figure 14(a): response time, Loc=0.25, W=0.2", 0.25, 0.2),
+        ("Figure 14(b): response time, Loc=0.25, W=0.5", 0.25, 0.5),
+        ("Figure 15(a): response time, Loc=0.75, W=0.2", 0.75, 0.2),
+        ("Figure 15(b): response time, Loc=0.75, W=0.5", 0.75, 0.5),
+    ];
+    for (title, loc, pw) in cases {
+        let mut series = Vec::new();
+        for alg in SECTION5_ALGORITHMS {
+            let mut points = Vec::new();
+            for &clients in &CLIENT_SWEEP {
+                let r = ctl.run(experiments::large_txn(alg, clients, loc, pw));
+                points.push((clients as f64, r.resp_time_mean));
+            }
+            series.push(Series {
+                label: alg.label().to_string(),
+                points,
+            });
+        }
+        print_figure(title, "clients", "mean response time (s)", &series);
+    }
+}

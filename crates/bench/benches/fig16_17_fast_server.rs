@@ -1,0 +1,43 @@
+//! §5.3 (Figures 16–17): a 20 MIPS server — the bottleneck shifts to the
+//! network.
+//!
+//! Expected shape: virtually the same ordering as the short-transaction
+//! experiment, because messages stress the network exactly where they used
+//! to stress the server CPU; no-wait-with-notification suffers most with
+//! many clients because of its extra notification traffic.
+
+use ccdb_bench::{print_detail, print_figure, BenchCtl, Series};
+use ccdb_core::experiments::{self, CLIENT_SWEEP, SECTION5_ALGORITHMS};
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    let cases = [
+        ("Figure 16(a): response time, Loc=0.25, W=0.2", 0.25, 0.2),
+        ("Figure 16(b): response time, Loc=0.25, W=0.5", 0.25, 0.5),
+        ("Figure 17(a): response time, Loc=0.75, W=0.2", 0.75, 0.2),
+        ("Figure 17(b): response time, Loc=0.75, W=0.5", 0.75, 0.5),
+    ];
+    for (title, loc, pw) in cases {
+        let mut series = Vec::new();
+        let mut full = Vec::new();
+        for alg in SECTION5_ALGORITHMS {
+            let mut points = Vec::new();
+            for &clients in &CLIENT_SWEEP {
+                let r = ctl.run(experiments::fast_server(alg, clients, loc, pw));
+                points.push((clients as f64, r.resp_time_mean));
+                if clients == *CLIENT_SWEEP.last().expect("non-empty sweep") {
+                    full.push(r);
+                }
+            }
+            series.push(Series {
+                label: alg.label().to_string(),
+                points,
+            });
+        }
+        print_figure(title, "clients", "mean response time (s)", &series);
+        println!("   at 50 clients (note the network utilisation):");
+        for r in &full {
+            print_detail(r);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! §5.4 (Figures 18–21): fast server *and* free network (NetDelay = 0).
+//!
+//! With messages nearly free and disk I/O relatively expensive, the data
+//! disks become the most contended resource (~80% utilisation at 50
+//! clients in the paper). Expected shape: no-wait with notification and
+//! callback locking dominate; notification now pays off because pushed
+//! updates avoid both aborts and re-fetch disk reads.
+
+use ccdb_bench::{print_detail, print_figure, BenchCtl, Series};
+use ccdb_core::experiments::{self, CLIENT_SWEEP, SECTION5_ALGORITHMS};
+use ccdb_core::RunReport;
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    let cases = [
+        (
+            "Figure 18(a): response time, Loc=0.25, W=0.2",
+            0.25,
+            0.2,
+            None,
+        ),
+        (
+            "Figure 18(b): response time, Loc=0.25, W=0.5",
+            0.25,
+            0.5,
+            None,
+        ),
+        (
+            "Figure 19(a): response time, Loc=0.75, W=0.2",
+            0.75,
+            0.2,
+            Some("Figure 21: throughput, Loc=0.75, W=0.2"),
+        ),
+        (
+            "Figure 19(b): response time, Loc=0.75, W=0.5",
+            0.75,
+            0.5,
+            None,
+        ),
+        (
+            "Figure 20 companion: response time, Loc=0.25, W=0.2",
+            0.25,
+            0.2,
+            Some("Figure 20: throughput, Loc=0.25, W=0.2"),
+        ),
+    ];
+    for (title, loc, pw, tput_title) in cases {
+        let mut resp_series = Vec::new();
+        let mut tput_series = Vec::new();
+        let mut at_50: Vec<RunReport> = Vec::new();
+        for alg in SECTION5_ALGORITHMS {
+            let mut resp = Vec::new();
+            let mut tput = Vec::new();
+            for &clients in &CLIENT_SWEEP {
+                let r = ctl.run(experiments::fast_net_fast_server(alg, clients, loc, pw));
+                resp.push((clients as f64, r.resp_time_mean));
+                tput.push((clients as f64, r.throughput));
+                if clients == 50 {
+                    at_50.push(r);
+                }
+            }
+            resp_series.push(Series {
+                label: alg.label().to_string(),
+                points: resp,
+            });
+            tput_series.push(Series {
+                label: alg.label().to_string(),
+                points: tput,
+            });
+        }
+        print_figure(title, "clients", "mean response time (s)", &resp_series);
+        if let Some(tt) = tput_title {
+            print_figure(tt, "clients", "transactions per second", &tput_series);
+        }
+        println!("   at 50 clients (note the disk utilisation):");
+        for r in &at_50 {
+            print_detail(r);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! §5.5 (Figure 22): interactive transactions (UpdateDelay 5 s,
+//! InternalDelay 2 s — an average of 56 s of think time per transaction).
+//!
+//! All resources are lightly used; response-time differences come from
+//! data contention only. Expected shape: flat, near-identical curves at
+//! W=0; with W=0.5 the algorithms with more aborts (no-wait, callback)
+//! fall behind two-phase locking.
+
+use ccdb_bench::{print_figure, BenchCtl, Series};
+use ccdb_core::experiments::{self, CLIENT_SWEEP, SECTION5_ALGORITHMS};
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    let cases = [
+        ("Figure 22(a): response time, Loc=0.25, W=0.0", 0.25, 0.0),
+        ("Figure 22(b): response time, Loc=0.25, W=0.5", 0.25, 0.5),
+    ];
+    for (title, loc, pw) in cases {
+        let mut series = Vec::new();
+        for alg in SECTION5_ALGORITHMS {
+            let mut points = Vec::new();
+            for &clients in &CLIENT_SWEEP {
+                // Interactive transactions run ~56 s each: use a longer
+                // window so every client commits enough transactions.
+                let r = ctl.run_scaled(experiments::interactive(alg, clients, loc, pw), 5);
+                points.push((clients as f64, r.resp_time_mean));
+            }
+            series.push(Series {
+                label: alg.label().to_string(),
+                points,
+            });
+        }
+        print_figure(title, "clients", "mean response time (s)", &series);
+    }
+}

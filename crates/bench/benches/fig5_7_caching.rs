@@ -1,0 +1,58 @@
+//! §4 verification experiment 2 (Figures 5–7): intra- vs inter-transaction
+//! caching for two-phase locking and certification.
+//!
+//! Expected shape: with low locality (Fig 5) the four variants are close;
+//! certification falls behind at high write probability. With high
+//! locality (Fig 6) the inter-transaction variants win by up to ~30%
+//! (read-only) and ~12% (ProbWrite 0.5). Figure 7 shows the same ordering
+//! in throughput.
+
+use ccdb_bench::{print_figure, BenchCtl, Series};
+use ccdb_core::experiments::{self, CACHING_ALGORITHMS, CLIENT_SWEEP};
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    // (figure, locality, write probability)
+    let cases = [
+        ("Figure 5(a): response time, Loc=0.05, W=0.2", 0.05, 0.2),
+        ("Figure 5(b): response time, Loc=0.05, W=0.5", 0.05, 0.5),
+        ("Figure 6(a): response time, Loc=0.50, W=0.0", 0.50, 0.0),
+        ("Figure 6(b): response time, Loc=0.50, W=0.5", 0.50, 0.5),
+    ];
+    for (title, loc, pw) in cases {
+        let mut resp_series = Vec::new();
+        let mut tput_series = Vec::new();
+        for alg in CACHING_ALGORITHMS {
+            let mut resp = Vec::new();
+            let mut tput = Vec::new();
+            for &clients in &CLIENT_SWEEP {
+                let r = ctl.run(experiments::caching_verification(alg, clients, loc, pw));
+                resp.push((clients as f64, r.resp_time_mean));
+                tput.push((clients as f64, r.throughput));
+            }
+            resp_series.push(Series {
+                label: alg.label().to_string(),
+                points: resp,
+            });
+            tput_series.push(Series {
+                label: alg.label().to_string(),
+                points: tput,
+            });
+        }
+        print_figure(title, "clients", "mean response time (s)", &resp_series);
+        if loc == 0.50 {
+            // Figures 7(a)/(b): throughput for the Figure 6 cases.
+            let tput_title = if pw == 0.0 {
+                "Figure 7(a): throughput, Loc=0.50, W=0.0"
+            } else {
+                "Figure 7(b): throughput, Loc=0.50, W=0.5"
+            };
+            print_figure(
+                tput_title,
+                "clients",
+                "transactions per second",
+                &tput_series,
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! §5.1 (Figures 8–12): short transactions with the server as bottleneck.
+//!
+//! Response time over the client sweep for every (locality, write
+//! probability) cell of Figures 8–11, plus the Figure 12 throughput plots.
+//!
+//! Expected shape: 2PL and callback locking dominate no-wait (±notify);
+//! callback wins at high locality, and at medium locality with low writes;
+//! notification rarely helps no-wait when the server is the bottleneck.
+
+use ccdb_bench::{print_figure, BenchCtl, Series};
+use ccdb_core::experiments::{self, CLIENT_SWEEP, SECTION5_ALGORITHMS};
+use ccdb_core::RunReport;
+
+fn run_grid(ctl: &BenchCtl, loc: f64, pw: f64) -> Vec<(String, Vec<RunReport>)> {
+    SECTION5_ALGORITHMS
+        .iter()
+        .map(|&alg| {
+            let runs: Vec<RunReport> = CLIENT_SWEEP
+                .iter()
+                .map(|&clients| ctl.run(experiments::short_txn(alg, clients, loc, pw)))
+                .collect();
+            (alg.label().to_string(), runs)
+        })
+        .collect()
+}
+
+fn resp_series(grid: &[(String, Vec<RunReport>)]) -> Vec<Series> {
+    grid.iter()
+        .map(|(label, runs)| Series {
+            label: label.clone(),
+            points: runs
+                .iter()
+                .map(|r| (r.n_clients as f64, r.resp_time_mean))
+                .collect(),
+        })
+        .collect()
+}
+
+fn tput_series(grid: &[(String, Vec<RunReport>)]) -> Vec<Series> {
+    grid.iter()
+        .map(|(label, runs)| Series {
+            label: label.clone(),
+            points: runs
+                .iter()
+                .map(|r| (r.n_clients as f64, r.throughput))
+                .collect(),
+        })
+        .collect()
+}
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    let figures = [
+        ("Figure 8", 0.05),
+        ("Figure 9", 0.25),
+        ("Figure 10", 0.50),
+        ("Figure 11", 0.75),
+    ];
+    let sub = [("(a) W=0.0", 0.0), ("(b) W=0.2", 0.2), ("(c) W=0.5", 0.5)];
+    for (fig, loc) in figures {
+        for (sub_label, pw) in sub {
+            let grid = run_grid(&ctl, loc, pw);
+            print_figure(
+                &format!("{fig}{sub_label}: response time, Loc={loc}"),
+                "clients",
+                "mean response time (s)",
+                &resp_series(&grid),
+            );
+            // Figure 12: throughput for (Loc=0.25, W=0.2) and (0.75, 0.2).
+            if pw == 0.2 && (loc == 0.25 || loc == 0.75) {
+                let which = if loc == 0.25 { "12(a)" } else { "12(b)" };
+                print_figure(
+                    &format!("Figure {which}: throughput, Loc={loc}, W=0.2"),
+                    "clients",
+                    "transactions per second",
+                    &tput_series(&grid),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! §4 verification experiment 1 (Table 4): the ACL comparison.
+//!
+//! Centralized-DBMS settings: 200 clients, free network, 1-page server
+//! buffer (every dirty page forced to disk at commit), 12-page client cache
+//! (deferred updates for both algorithms), log manager disabled. Throughput
+//! is measured while sweeping the multiprogramming level.
+//!
+//! Expected shape (paper + ACL's limited-resource case): two-phase locking
+//! dominates certification; certification degrades at high MPL because
+//! restarts waste the saturated resources.
+
+use ccdb_bench::{print_detail, print_figure, BenchCtl, Series};
+use ccdb_core::{experiments, Algorithm};
+
+fn main() {
+    let ctl = BenchCtl::from_env();
+    let algorithms = [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Certification { inter: true },
+    ];
+    let mut series = Vec::new();
+    let mut details = Vec::new();
+    for alg in algorithms {
+        let mut points = Vec::new();
+        for &mpl in &experiments::ACL_MPL_SWEEP {
+            let r = ctl.run(experiments::acl_verification(alg, mpl));
+            points.push((mpl as f64, r.throughput));
+            details.push((mpl, r));
+        }
+        series.push(Series {
+            label: alg.label().to_string(),
+            points,
+        });
+    }
+    print_figure(
+        "Table 4 / ACL comparison: throughput vs multiprogramming level",
+        "MPL",
+        "committed transactions per second",
+        &series,
+    );
+    println!("\ndetails:");
+    for (mpl, r) in &details {
+        print!("   MPL={mpl:<4}");
+        print_detail(r);
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared machinery for the figure/table benchmark harnesses.
+//!
+//! Every `[[bench]]` target in this crate regenerates one table or figure
+//! family from the paper's evaluation. Targets are plain `main` programs
+//! (`harness = false`) that print the same rows/series the paper reports.
+//!
+//! Environment knobs:
+//!
+//! * `CCDB_QUICK=1` — short windows (10 s warm-up, 60 s measurement) for a
+//!   fast smoke pass; default is 30 s + 300 s.
+//! * `CCDB_SEED=N` — override the base seed.
+//! * `CCDB_CSV_DIR=path` — additionally write every printed figure as a
+//!   CSV file under `path` (for external plotting).
+
+use ccdb_core::{run_simulation, RunReport, SimConfig};
+use ccdb_des::SimDuration;
+
+/// Run control shared by the harnesses.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchCtl {
+    /// Warm-up excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured window.
+    pub measure: SimDuration,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl BenchCtl {
+    /// Read the environment knobs.
+    pub fn from_env() -> Self {
+        let quick = std::env::var_os("CCDB_QUICK").is_some();
+        let seed = std::env::var("CCDB_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xCCDB);
+        if quick {
+            BenchCtl {
+                warmup: SimDuration::from_secs(10),
+                measure: SimDuration::from_secs(60),
+                seed,
+            }
+        } else {
+            BenchCtl {
+                warmup: SimDuration::from_secs(30),
+                measure: SimDuration::from_secs(300),
+                seed,
+            }
+        }
+    }
+
+    /// Apply the run control to a configuration and execute it.
+    pub fn run(&self, cfg: SimConfig) -> RunReport {
+        run_simulation(
+            cfg.with_seed(self.seed)
+                .with_horizon(self.warmup, self.measure),
+        )
+    }
+
+    /// Like [`BenchCtl::run`] but with the measurement window scaled by
+    /// `factor` (interactive experiments need longer windows because each
+    /// transaction takes ~56 s).
+    pub fn run_scaled(&self, cfg: SimConfig, factor: u64) -> RunReport {
+        run_simulation(
+            cfg.with_seed(self.seed)
+                .with_horizon(self.warmup, self.measure * factor),
+        )
+    }
+}
+
+/// One plotted series: a label and (x, y) points.
+pub struct Series {
+    /// Legend label (algorithm name).
+    pub label: String,
+    /// Points, e.g. (clients, response time).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Print a figure as an aligned text table: one row per x value, one
+/// column per series. With `CCDB_CSV_DIR` set, also writes
+/// `<dir>/<slug(title)>.csv`.
+pub fn print_figure(title: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    if let Some(dir) = std::env::var_os("CCDB_CSV_DIR") {
+        if let Err(e) = write_csv(std::path::Path::new(&dir), title, x_label, series) {
+            eprintln!("warning: could not write CSV for {title}: {e}");
+        }
+    }
+    println!();
+    println!("== {title} ==");
+    println!("   ({y_label})");
+    print!("{x_label:>10}");
+    for s in series {
+        print!(" {:>10}", s.label);
+    }
+    println!();
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        if x.fract() == 0.0 {
+            print!("{:>10}", *x as i64);
+        } else {
+            print!("{x:>10.2}");
+        }
+        for s in series {
+            match s.points.get(i) {
+                Some((_, y)) => print!(" {y:>10.3}"),
+                None => print!(" {:>10}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Write one figure as CSV: header `x,label1,label2,...`, one row per x.
+fn write_csv(
+    dir: &std::path::Path,
+    title: &str,
+    x_label: &str,
+    series: &[Series],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let slug: String = title
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    let mut f = std::fs::File::create(dir.join(format!("{slug}.csv")))?;
+    write!(f, "{x_label}")?;
+    for s in series {
+        write!(f, ",{}", s.label)?;
+    }
+    writeln!(f)?;
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        write!(f, "{x}")?;
+        for s in series {
+            match s.points.get(i) {
+                Some((_, y)) => write!(f, ",{y}")?,
+                None => write!(f, ",")?,
+            }
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Print a one-line summary of a run (used for ancillary statistics).
+pub fn print_detail(r: &RunReport) {
+    println!(
+        "   {:<5} clients={:<3} resp={:.3}s ci95={:.3} tput={:.2}/s commits={} aborts={} \
+         (dl={} stale={} val={}) msgs/commit={:.1} cpuS={:.0}% net={:.0}% disk={:.0}% \
+         log={:.0}% hit={:.0}% bufhit={:.0}%",
+        r.algorithm.label(),
+        r.n_clients,
+        r.resp_time_mean,
+        r.resp_time_ci95,
+        r.throughput,
+        r.commits,
+        r.aborts,
+        r.deadlock_aborts,
+        r.stale_aborts,
+        r.validation_aborts,
+        r.msgs_per_commit,
+        r.server_cpu_util * 100.0,
+        r.net_util * 100.0,
+        r.data_disk_util * 100.0,
+        r.log_disk_util * 100.0,
+        r.cache_hit_ratio * 100.0,
+        r.buffer_hit_ratio * 100.0,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctl_from_env_has_positive_windows() {
+        let ctl = BenchCtl::from_env();
+        assert!(ctl.measure > SimDuration::ZERO);
+        assert!(ctl.warmup > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn figure_printer_handles_empty_and_simple() {
+        print_figure("empty", "x", "y", &[]);
+        print_figure(
+            "one",
+            "clients",
+            "seconds",
+            &[Series {
+                label: "CB".into(),
+                points: vec![(2.0, 0.1), (10.0, 0.2)],
+            }],
+        );
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_dump_writes_files() {
+        let dir = std::env::temp_dir().join("ccdb_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_csv(
+            &dir,
+            "Figure 9(b): response time, Loc=0.25",
+            "clients",
+            &[Series {
+                label: "CB".into(),
+                points: vec![(2.0, 0.5), (10.0, 0.7)],
+            }],
+        )
+        .unwrap();
+        let content =
+            std::fs::read_to_string(dir.join("figure_9_b_response_time_loc_0_25.csv")).unwrap();
+        assert!(content.starts_with("clients,CB\n"));
+        assert!(content.contains("2,0.5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

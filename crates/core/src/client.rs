@@ -1,0 +1,900 @@
+//! The client transaction module (CTM) — paper §3.3.3, §3.4.
+//!
+//! Each client workstation is one simulation process executing the
+//! transaction loop of Figure 3. The process also handles the asynchronous
+//! server messages (callbacks, restart orders, pushed updates) — but only
+//! at protocol points: while waiting for a reply, at operation boundaries,
+//! and during *external* think time. Messages are deliberately NOT
+//! processed during update/internal delays, reproducing the implementation
+//! quirk the paper calls out in §5.5.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ccdb_des::{Env, Pcg32, SimDuration};
+use ccdb_lock::{ClientId, Mode, TxnId};
+use ccdb_model::{PageId, TxnSpec, Workload};
+use ccdb_net::{Network, NetworkNode};
+use ccdb_storage::{CachedPage, ClientCache, PageLock};
+
+use crate::config::Algorithm;
+use crate::config::SimConfig;
+use crate::metrics::{AbortKind, MetricsHub};
+use crate::msg::{OpId, ReplyKind, C2S, S2C};
+use crate::trace::{Trace, TraceEvent};
+
+/// One client workstation.
+pub struct Client {
+    id: ClientId,
+    env: Env,
+    cfg: Rc<SimConfig>,
+    /// This client's station (CPU + inbox).
+    pub node: NetworkNode<S2C>,
+    server_node: NetworkNode<(ClientId, C2S)>,
+    net: Network,
+    /// The cache manager (shared with the runner for statistics).
+    pub cache: Rc<RefCell<ClientCache>>,
+    workload: Workload,
+    rng: Pcg32,
+    metrics: MetricsHub,
+    trace: Trace,
+    next_op: OpId,
+    txn_serial: u64,
+    // --- current transaction attempt state ---
+    txn: TxnId,
+    txn_aborted: bool,
+    abort_kind: AbortKind,
+    ops_sent: u32,
+    read_versions: Vec<(PageId, u64)>,
+    deferred_callbacks: Vec<PageId>,
+    // --- restart-delay estimate (ACL model: mean = avg response time) ---
+    resp_sum: f64,
+    resp_n: u64,
+}
+
+impl Client {
+    /// Create a client; `run_client` drives it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        env: &Env,
+        id: ClientId,
+        cfg: Rc<SimConfig>,
+        node: NetworkNode<S2C>,
+        server_node: NetworkNode<(ClientId, C2S)>,
+        net: Network,
+        workload: Workload,
+        rng: Pcg32,
+        metrics: MetricsHub,
+        trace: Trace,
+    ) -> Client {
+        let cache = Rc::new(RefCell::new(ClientCache::new(cfg.sys.cache_size)));
+        Client {
+            id,
+            env: env.clone(),
+            cfg,
+            node,
+            server_node,
+            net,
+            cache,
+            workload,
+            rng,
+            metrics,
+            trace,
+            next_op: 0,
+            txn_serial: 0,
+            txn: TxnId(0),
+            txn_aborted: false,
+            abort_kind: AbortKind::Deadlock,
+            ops_sent: 0,
+            read_versions: Vec::new(),
+            deferred_callbacks: Vec::new(),
+            resp_sum: 0.0,
+            resp_n: 0,
+        }
+    }
+
+    fn fresh_op(&mut self) -> OpId {
+        self.next_op += 1;
+        self.next_op
+    }
+
+    fn new_txn_id(&mut self) -> TxnId {
+        self.txn_serial += 1;
+        // Globally unique and monotonic: version numbers are derived from
+        // committing transaction ids.
+        TxnId(((self.id.0 as u64) << 32) | self.txn_serial)
+    }
+
+    fn send(&self, msg: C2S) {
+        let bytes = msg.payload_bytes(self.cfg.sys.page_size);
+        self.net
+            .send(&self.node, &self.server_node, (self.id, msg), bytes);
+    }
+
+    fn record_read(&mut self, page: PageId, version: u64) {
+        if !self.read_versions.iter().any(|(p, _)| *p == page) {
+            self.read_versions.push((page, version));
+        }
+    }
+
+    async fn charge_pages(&self, n: usize) {
+        self.node
+            .charge_cpu(self.cfg.sys.client_proc_page * n as u64)
+            .await;
+    }
+
+    /// Install a fetched page and act on the evictions it causes.
+    fn install_fetched(&mut self, page: PageId, version: u64, lock: PageLock, checked: bool) {
+        let mut state = CachedPage::fresh(version);
+        state.lock = lock;
+        state.checked = checked;
+        let evictions = self.cache.borrow_mut().install(page, state);
+        for ev in evictions {
+            debug_assert!(
+                !ev.state.dirty,
+                "dirty pages are pinned or locked and cannot be evicted"
+            );
+            if ev.state.retained {
+                // Callback locking: tell the server the lock is gone
+                // (§3.3.3: "the server has to be notified when a clean
+                // object with a lock is replaced").
+                self.send(C2S::ReleaseRetained { page: ev.page });
+            }
+        }
+    }
+
+    /// Handle an asynchronous server message.
+    fn handle_async(&mut self, msg: S2C) {
+        match msg {
+            S2C::Callback { page } => {
+                self.metrics.record_callback(self.env.now());
+                enum Answer {
+                    Defer,
+                    Release,
+                }
+                let answer = {
+                    let mut cache = self.cache.borrow_mut();
+                    match cache.peek_mut(page) {
+                        Some(st) if st.lock != PageLock::None => Answer::Defer,
+                        Some(st) => {
+                            st.retained = false;
+                            st.retained_write = false;
+                            Answer::Release
+                        }
+                        None => Answer::Release,
+                    }
+                };
+                match answer {
+                    Answer::Defer => {
+                        self.trace.record(
+                            self.env.now(),
+                            TraceEvent::CallbackAnswer {
+                                client: self.id,
+                                page,
+                                released: false,
+                            },
+                        );
+                        self.deferred_callbacks.push(page);
+                        self.send(C2S::CallbackReply {
+                            page,
+                            released: false,
+                            blocker: Some(self.txn),
+                        });
+                    }
+                    Answer::Release => {
+                        self.trace.record(
+                            self.env.now(),
+                            TraceEvent::CallbackAnswer {
+                                client: self.id,
+                                page,
+                                released: true,
+                            },
+                        );
+                        self.send(C2S::CallbackReply {
+                            page,
+                            released: true,
+                            blocker: None,
+                        });
+                    }
+                }
+            }
+            S2C::Restart {
+                txn,
+                kind,
+                stale_page,
+            } => {
+                // The stale page is dropped regardless of which attempt the
+                // message is about: the copy is out of date either way.
+                if let Some(page) = stale_page {
+                    self.cache.borrow_mut().invalidate(page);
+                }
+                if txn == self.txn && !self.txn_aborted {
+                    self.txn_aborted = true;
+                    self.abort_kind = kind;
+                }
+            }
+            S2C::Update { pages, version } => {
+                self.metrics
+                    .record_update_push(self.env.now(), pages.len() as u64);
+                let mut cache = self.cache.borrow_mut();
+                for page in pages {
+                    if let Some(st) = cache.peek_mut(page) {
+                        // Pages the running transaction already touched are
+                        // left alone: if they are stale the server will
+                        // restart the transaction anyway.
+                        if st.lock == PageLock::None && !st.dirty {
+                            st.version = version;
+                            st.checked = false;
+                        }
+                    }
+                }
+            }
+            S2C::Invalidate { pages } => {
+                self.metrics
+                    .record_update_push(self.env.now(), pages.len() as u64);
+                let mut cache = self.cache.borrow_mut();
+                for page in pages {
+                    let drop_it = match cache.peek(page) {
+                        Some(st) => st.lock == PageLock::None && !st.dirty,
+                        None => false,
+                    };
+                    if drop_it {
+                        cache.invalidate(page);
+                    }
+                }
+            }
+            // Stale reply from an op of an aborted attempt.
+            S2C::Reply { .. } => {}
+        }
+    }
+
+    /// Wait for the reply to `op`, servicing asynchronous messages.
+    async fn await_reply(&mut self, op: OpId) -> ReplyKind {
+        loop {
+            let msg = self.node.inbox.recv().await;
+            match msg {
+                S2C::Reply { op: o, kind } if o == op => return kind,
+                other => self.handle_async(other),
+            }
+        }
+    }
+
+    /// Idle for `d` (think time between transactions / restart delay),
+    /// servicing asynchronous messages as they arrive.
+    async fn idle_for(&mut self, d: SimDuration) {
+        let deadline = self.env.now() + d;
+        loop {
+            match self.node.inbox.recv_until(deadline).await {
+                None => return,
+                Some(msg) => self.handle_async(msg),
+            }
+        }
+    }
+
+    /// Drain pending asynchronous messages; fail if the transaction has
+    /// been restarted by the server.
+    fn check_abort(&mut self) -> Result<(), AbortKind> {
+        while let Some(msg) = self.node.inbox.try_recv() {
+            self.handle_async(msg);
+        }
+        if self.txn_aborted {
+            Err(self.abort_kind)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn begin_attempt(&mut self) {
+        self.txn = self.new_txn_id();
+        self.txn_aborted = false;
+        self.abort_kind = AbortKind::Deadlock;
+        self.ops_sent = 0;
+        self.read_versions.clear();
+    }
+
+    // ---- ReadObject -----------------------------------------------------
+
+    async fn read_page(&mut self, page: PageId) -> Result<(), AbortKind> {
+        match self.cfg.algorithm {
+            Algorithm::TwoPhase { .. } | Algorithm::Callback => self.read_locking(page).await,
+            Algorithm::Certification { .. } => self.read_occ(page).await,
+            Algorithm::NoWait { .. } => self.read_no_wait(page).await,
+        }
+    }
+
+    async fn read_locking(&mut self, page: PageId) -> Result<(), AbortKind> {
+        let callback = matches!(self.cfg.algorithm, Algorithm::Callback);
+        enum Plan {
+            Local(u64),
+            Request(Option<u64>),
+        }
+        let plan = {
+            let mut cache = self.cache.borrow_mut();
+            match cache.access(page) {
+                Some(st) if st.lock != PageLock::None => Plan::Local(st.version),
+                Some(st) if callback && st.retained => {
+                    // The whole point of callback locking: a retained lock
+                    // makes the cached copy usable with no server message.
+                    st.lock = PageLock::Read;
+                    Plan::Local(st.version)
+                }
+                Some(st) => Plan::Request(Some(st.version)),
+                None => Plan::Request(None),
+            }
+        };
+        match plan {
+            Plan::Local(v) => {
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::LocalRead {
+                        client: self.id,
+                        page,
+                    },
+                );
+                self.record_read(page, v);
+                Ok(())
+            }
+            Plan::Request(cached_version) => {
+                let op = self.fresh_op();
+                self.ops_sent += 1;
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::Request {
+                        client: self.id,
+                        txn: self.txn,
+                        page,
+                        mode: Some(Mode::S),
+                        sync: true,
+                    },
+                );
+                self.send(C2S::LockFetch {
+                    txn: self.txn,
+                    page,
+                    mode: Mode::S,
+                    cached_version,
+                    wait: true,
+                    op,
+                });
+                match self.await_reply(op).await {
+                    ReplyKind::Valid => {
+                        let v = {
+                            let mut cache = self.cache.borrow_mut();
+                            let st = cache.peek_mut(page).expect("validated page is cached");
+                            st.lock = PageLock::Read;
+                            st.version
+                        };
+                        self.record_read(page, v);
+                        Ok(())
+                    }
+                    ReplyKind::PageData { version } => {
+                        self.install_fetched(page, version, PageLock::Read, false);
+                        self.record_read(page, version);
+                        Ok(())
+                    }
+                    ReplyKind::Aborted => Err(AbortKind::Deadlock),
+                    ReplyKind::Committed { .. } => unreachable!("commit reply to a lock request"),
+                }
+            }
+        }
+    }
+
+    async fn read_occ(&mut self, page: PageId) -> Result<(), AbortKind> {
+        enum Plan {
+            Local(u64),
+            Check(u64),
+            Fetch,
+        }
+        let plan = {
+            let mut cache = self.cache.borrow_mut();
+            match cache.access(page) {
+                Some(st) if st.checked => Plan::Local(st.version),
+                Some(st) => Plan::Check(st.version),
+                None => Plan::Fetch,
+            }
+        };
+        match plan {
+            Plan::Local(v) => {
+                self.record_read(page, v);
+                Ok(())
+            }
+            Plan::Check(version) => {
+                let op = self.fresh_op();
+                self.ops_sent += 1;
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::Request {
+                        client: self.id,
+                        txn: self.txn,
+                        page,
+                        mode: None,
+                        sync: true,
+                    },
+                );
+                self.send(C2S::CheckVersion {
+                    txn: self.txn,
+                    page,
+                    version,
+                    op,
+                });
+                match self.await_reply(op).await {
+                    ReplyKind::Valid => {
+                        let mut cache = self.cache.borrow_mut();
+                        let st = cache.peek_mut(page).expect("checked page is cached");
+                        st.checked = true;
+                        drop(cache);
+                        self.record_read(page, version);
+                        Ok(())
+                    }
+                    ReplyKind::PageData { version } => {
+                        self.install_fetched(page, version, PageLock::None, true);
+                        self.record_read(page, version);
+                        Ok(())
+                    }
+                    ReplyKind::Aborted => Err(AbortKind::Validation),
+                    ReplyKind::Committed { .. } => unreachable!("commit reply to a check"),
+                }
+            }
+            Plan::Fetch => {
+                let op = self.fresh_op();
+                self.ops_sent += 1;
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::Request {
+                        client: self.id,
+                        txn: self.txn,
+                        page,
+                        mode: None,
+                        sync: true,
+                    },
+                );
+                self.send(C2S::Fetch {
+                    txn: self.txn,
+                    page,
+                    op,
+                });
+                match self.await_reply(op).await {
+                    ReplyKind::PageData { version } => {
+                        self.install_fetched(page, version, PageLock::None, true);
+                        self.record_read(page, version);
+                        Ok(())
+                    }
+                    ReplyKind::Aborted => Err(AbortKind::Validation),
+                    other => unreachable!("unexpected fetch reply {other:?}"),
+                }
+            }
+        }
+    }
+
+    async fn read_no_wait(&mut self, page: PageId) -> Result<(), AbortKind> {
+        self.check_abort()?;
+        enum Plan {
+            Local(u64),
+            Optimistic(u64),
+            SyncFetch,
+        }
+        let plan = {
+            let mut cache = self.cache.borrow_mut();
+            match cache.access(page) {
+                Some(st) if st.lock != PageLock::None => Plan::Local(st.version),
+                Some(st) => {
+                    // Assume the cached copy is valid and keep running; the
+                    // server aborts us if the assumption was wrong.
+                    st.lock = PageLock::Read;
+                    Plan::Optimistic(st.version)
+                }
+                None => Plan::SyncFetch,
+            }
+        };
+        match plan {
+            Plan::Local(v) => {
+                self.record_read(page, v);
+                Ok(())
+            }
+            Plan::Optimistic(version) => {
+                self.ops_sent += 1;
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::Request {
+                        client: self.id,
+                        txn: self.txn,
+                        page,
+                        mode: Some(Mode::S),
+                        sync: false,
+                    },
+                );
+                self.send(C2S::LockFetch {
+                    txn: self.txn,
+                    page,
+                    mode: Mode::S,
+                    cached_version: Some(version),
+                    wait: false,
+                    op: 0,
+                });
+                self.record_read(page, version);
+                Ok(())
+            }
+            Plan::SyncFetch => {
+                let op = self.fresh_op();
+                self.ops_sent += 1;
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::Request {
+                        client: self.id,
+                        txn: self.txn,
+                        page,
+                        mode: Some(Mode::S),
+                        sync: true,
+                    },
+                );
+                self.send(C2S::LockFetch {
+                    txn: self.txn,
+                    page,
+                    mode: Mode::S,
+                    cached_version: None,
+                    wait: true,
+                    op,
+                });
+                match self.await_reply(op).await {
+                    ReplyKind::PageData { version } => {
+                        self.install_fetched(page, version, PageLock::Read, false);
+                        self.record_read(page, version);
+                        Ok(())
+                    }
+                    ReplyKind::Aborted => Err(if self.txn_aborted {
+                        self.abort_kind
+                    } else {
+                        AbortKind::Deadlock
+                    }),
+                    other => unreachable!("unexpected no-wait fetch reply {other:?}"),
+                }
+            }
+        }
+    }
+
+    // ---- UpdateObject ---------------------------------------------------
+
+    async fn write_page(&mut self, page: PageId) -> Result<(), AbortKind> {
+        match self.cfg.algorithm {
+            Algorithm::TwoPhase { .. } | Algorithm::Callback => self.write_locking(page).await,
+            Algorithm::Certification { .. } => {
+                // Deferred updates: purely local; ship at commit.
+                let mut cache = self.cache.borrow_mut();
+                let st = cache
+                    .peek_mut(page)
+                    .expect("updated page was read by this transaction");
+                st.dirty = true;
+                st.pinned = true;
+                drop(cache);
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::LocalWrite {
+                        client: self.id,
+                        page,
+                    },
+                );
+                Ok(())
+            }
+            Algorithm::NoWait { .. } => {
+                self.check_abort()?;
+                let version = {
+                    let mut cache = self.cache.borrow_mut();
+                    let st = cache
+                        .peek_mut(page)
+                        .expect("updated page was read by this transaction");
+                    if st.lock == PageLock::Write {
+                        None // X already requested for this page
+                    } else {
+                        st.lock = PageLock::Write;
+                        st.dirty = true;
+                        Some(st.version)
+                    }
+                };
+                if let Some(v) = version {
+                    self.ops_sent += 1;
+                    self.send(C2S::LockFetch {
+                        txn: self.txn,
+                        page,
+                        mode: Mode::X,
+                        cached_version: Some(v),
+                        wait: false,
+                        op: 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    async fn write_locking(&mut self, page: PageId) -> Result<(), AbortKind> {
+        let mut retained_write = false;
+        let request = {
+            let mut cache = self.cache.borrow_mut();
+            let st = cache
+                .peek_mut(page)
+                .expect("updated page was read by this transaction");
+            if st.lock == PageLock::Write {
+                st.dirty = true;
+                None
+            } else if st.retained && st.retained_write {
+                // Write-retention variant: the client already holds an
+                // exclusive lock across transactions — update locally with
+                // no server message at all.
+                st.lock = PageLock::Write;
+                st.dirty = true;
+                retained_write = true;
+                None
+            } else {
+                Some(st.version)
+            }
+        };
+        let Some(version) = request else {
+            if retained_write {
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::LocalWrite {
+                        client: self.id,
+                        page,
+                    },
+                );
+            }
+            return Ok(());
+        };
+        let op = self.fresh_op();
+        self.ops_sent += 1;
+        self.trace.record(
+            self.env.now(),
+            TraceEvent::Request {
+                client: self.id,
+                txn: self.txn,
+                page,
+                mode: Some(Mode::X),
+                sync: true,
+            },
+        );
+        self.send(C2S::LockFetch {
+            txn: self.txn,
+            page,
+            mode: Mode::X,
+            cached_version: Some(version),
+            wait: true,
+            op,
+        });
+        match self.await_reply(op).await {
+            ReplyKind::Valid => {
+                let mut cache = self.cache.borrow_mut();
+                let st = cache.peek_mut(page).expect("upgraded page is cached");
+                st.lock = PageLock::Write;
+                st.dirty = true;
+                Ok(())
+            }
+            ReplyKind::PageData { version } => {
+                // Defensive: under S locks / retained locks the copy cannot
+                // have gone stale; the oracle would flag a protocol bug.
+                self.install_fetched(page, version, PageLock::Write, false);
+                let mut cache = self.cache.borrow_mut();
+                cache.peek_mut(page).expect("just installed").dirty = true;
+                Ok(())
+            }
+            ReplyKind::Aborted => Err(AbortKind::Deadlock),
+            ReplyKind::Committed { .. } => unreachable!("commit reply to an upgrade"),
+        }
+    }
+
+    // ---- CommitXact -----------------------------------------------------
+
+    async fn commit(&mut self) -> Result<(), AbortKind> {
+        if matches!(self.cfg.algorithm, Algorithm::NoWait { .. }) {
+            self.check_abort()?;
+        }
+        let dirty = self.cache.borrow().dirty_pages();
+        // A callback-locking transaction that ran entirely on retained
+        // locks and wrote nothing commits locally — no server message at
+        // all. This is where callback locking wins at high locality.
+        if matches!(self.cfg.algorithm, Algorithm::Callback)
+            && self.ops_sent == 0
+            && dirty.is_empty()
+        {
+            self.trace.record(
+                self.env.now(),
+                TraceEvent::Commit {
+                    client: self.id,
+                    txn: self.txn,
+                    dirty: 0,
+                    local: true,
+                },
+            );
+            return Ok(());
+        }
+        let op = self.fresh_op();
+        self.send(C2S::Commit {
+            txn: self.txn,
+            read_set: self.read_versions.clone(),
+            dirty: dirty.clone(),
+            ops_sent: self.ops_sent,
+            op,
+        });
+        match self.await_reply(op).await {
+            ReplyKind::Committed { new_version } => {
+                self.trace.record(
+                    self.env.now(),
+                    TraceEvent::Commit {
+                        client: self.id,
+                        txn: self.txn,
+                        dirty: dirty.len(),
+                        local: false,
+                    },
+                );
+                let mut cache = self.cache.borrow_mut();
+                for &page in &dirty {
+                    if let Some(st) = cache.peek_mut(page) {
+                        st.version = new_version;
+                    }
+                }
+                Ok(())
+            }
+            ReplyKind::Aborted => Err(if self.txn_aborted {
+                self.abort_kind
+            } else {
+                match self.cfg.algorithm {
+                    Algorithm::Certification { .. } => AbortKind::Validation,
+                    Algorithm::NoWait { .. } => AbortKind::StaleRead,
+                    _ => AbortKind::Deadlock,
+                }
+            }),
+            other => unreachable!("unexpected commit reply {other:?}"),
+        }
+    }
+
+    /// Post-commit bookkeeping.
+    fn finish_commit(&mut self) {
+        let retain = matches!(self.cfg.algorithm, Algorithm::Callback);
+        let retain_writes = retain && self.cfg.tuning.retain_write_locks;
+        {
+            let mut cache = self.cache.borrow_mut();
+            cache.end_txn(retain, retain_writes);
+            if !self.cfg.algorithm.inter_transaction() {
+                cache.clear();
+            }
+        }
+        self.release_deferred();
+    }
+
+    /// Post-abort bookkeeping: locally updated pages hold uncommitted data
+    /// and are invalidated; transaction lock marks are dropped (the server
+    /// already released the real locks without retention).
+    fn abort_cleanup(&mut self) {
+        {
+            let mut cache = self.cache.borrow_mut();
+            for page in cache.dirty_pages() {
+                cache.invalidate(page);
+            }
+            cache.end_txn(false, false);
+            if !self.cfg.algorithm.inter_transaction() {
+                cache.clear();
+            }
+        }
+        self.release_deferred();
+    }
+
+    /// Honour callbacks deferred to the end of this transaction.
+    fn release_deferred(&mut self) {
+        let deferred = std::mem::take(&mut self.deferred_callbacks);
+        for page in deferred {
+            if let Some(st) = self.cache.borrow_mut().peek_mut(page) {
+                st.retained = false;
+                st.retained_write = false;
+            }
+            self.send(C2S::ReleaseRetained { page });
+        }
+    }
+
+    /// User think time inside a transaction: a plain hold by default
+    /// (reproducing the paper's quirk), or a message-servicing wait under
+    /// the responsive-client tuning.
+    async fn think(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        if self.cfg.tuning.responsive_client {
+            self.idle_for(d).await;
+        } else {
+            self.env.hold(d).await;
+        }
+    }
+
+    fn restart_delay(&mut self) -> SimDuration {
+        if self.cfg.tuning.zero_restart_delay {
+            return SimDuration::ZERO;
+        }
+        // ACL model: exponential with mean = average response time so far.
+        let mean = if self.resp_n == 0 {
+            1.0
+        } else {
+            self.resp_sum / self.resp_n as f64
+        };
+        self.rng.exp_duration(SimDuration::from_secs_f64(mean))
+    }
+
+    /// Execute one attempt of the transaction (Figure 3).
+    async fn execute(&mut self, spec: &TxnSpec) -> Result<(), AbortKind> {
+        for op in &spec.ops {
+            for &page in &op.pages {
+                self.read_page(page).await?;
+            }
+            self.charge_pages(op.pages.len()).await;
+            self.check_abort()?;
+            // Think time between read and update; the paper's client does
+            // not process messages during user delays (§5.5) — the
+            // responsive_client tuning removes that limitation.
+            let d = self.workload.update_delay();
+            self.think(d).await;
+            let write_pages: Vec<PageId> = op
+                .pages
+                .iter()
+                .zip(&op.writes)
+                .filter(|(_, w)| **w)
+                .map(|(p, _)| *p)
+                .collect();
+            if !write_pages.is_empty() {
+                for &page in &write_pages {
+                    self.write_page(page).await?;
+                }
+                self.charge_pages(write_pages.len()).await;
+                self.check_abort()?;
+            }
+            let d = self.workload.internal_delay();
+            self.think(d).await;
+        }
+        self.commit().await
+    }
+}
+
+/// Run a client forever (the simulation horizon bounds it).
+pub async fn run_client(mut c: Client) {
+    loop {
+        let think = c.workload.external_delay();
+        c.idle_for(think).await;
+        let spec = c.workload.next_txn();
+        let origin = c.env.now();
+        let mut restarts: u32 = 0;
+        loop {
+            c.begin_attempt();
+            c.trace.record(
+                c.env.now(),
+                TraceEvent::TxnBegin {
+                    client: c.id,
+                    txn: c.txn,
+                    attempt: restarts,
+                },
+            );
+            match c.execute(&spec).await {
+                Ok(()) => {
+                    let now = c.env.now();
+                    let resp = now.since(origin).as_secs_f64();
+                    c.metrics
+                        .record_commit_typed(now, resp, restarts, spec.type_idx);
+                    c.finish_commit();
+                    c.resp_sum += resp;
+                    c.resp_n += 1;
+                    c.workload.note_commit(&spec);
+                    break;
+                }
+                Err(kind) => {
+                    restarts += 1;
+                    c.trace.record(
+                        c.env.now(),
+                        TraceEvent::Abort {
+                            client: c.id,
+                            txn: c.txn,
+                            kind,
+                        },
+                    );
+                    c.metrics.record_abort(c.env.now(), kind);
+                    c.abort_cleanup();
+                    let d = c.restart_delay();
+                    c.idle_for(d).await;
+                }
+            }
+        }
+    }
+}

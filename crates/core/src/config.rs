@@ -1,0 +1,286 @@
+//! Simulation configuration: algorithm selection and run control.
+
+use ccdb_des::SimDuration;
+use ccdb_model::{DatabaseSpec, SystemParams, TxnParams};
+
+/// The cache consistency algorithm to simulate (paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// Two-phase locking with caching; `inter` keeps the cache across
+    /// transaction boundaries (check-on-access via the lock request).
+    TwoPhase {
+        /// Inter-transaction caching (vs intra-transaction).
+        inter: bool,
+    },
+    /// Certification (optimistic concurrency control) with deferred
+    /// updates; `inter` keeps the cache across transactions
+    /// (check-on-access on first touch per transaction).
+    Certification {
+        /// Inter-transaction caching (vs intra-transaction).
+        inter: bool,
+    },
+    /// Callback locking: read locks are retained by clients across
+    /// transactions; the server calls conflicting locks back.
+    Callback,
+    /// No-wait (optimistic) locking: clients proceed on cached pages and
+    /// send lock requests asynchronously; the server aborts on stale reads
+    /// or deadlock. `notify` adds update propagation after commits.
+    NoWait {
+        /// Send updated pages to caching clients after commit.
+        notify: bool,
+    },
+}
+
+impl Algorithm {
+    /// The five inter-transaction algorithms of §5, in the paper's order.
+    pub const INTER_TRANSACTION: [Algorithm; 5] = [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Certification { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ];
+
+    /// The four lock-based algorithms compared in the §5 experiments.
+    pub const EXPERIMENT_SET: [Algorithm; 4] = [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ];
+
+    /// True if the client cache survives transaction boundaries.
+    pub fn inter_transaction(self) -> bool {
+        match self {
+            Algorithm::TwoPhase { inter } | Algorithm::Certification { inter } => inter,
+            Algorithm::Callback | Algorithm::NoWait { .. } => true,
+        }
+    }
+
+    /// True for the deferred-update (certification) family.
+    pub fn deferred_updates(self) -> bool {
+        matches!(self, Algorithm::Certification { .. })
+    }
+
+    /// Short label used in reports (matches the paper's terminology).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::TwoPhase { inter: false } => "B2PL",
+            Algorithm::TwoPhase { inter: true } => "C2PL",
+            Algorithm::Certification { inter: false } => "OCC",
+            Algorithm::Certification { inter: true } => "COCC",
+            Algorithm::Callback => "CB",
+            Algorithm::NoWait { notify: false } => "NW",
+            Algorithm::NoWait { notify: true } => "NWN",
+        }
+    }
+
+    /// Full name for human-readable output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::TwoPhase { inter: false } => "two-phase locking (intra)",
+            Algorithm::TwoPhase { inter: true } => "two-phase locking",
+            Algorithm::Certification { inter: false } => "certification (intra)",
+            Algorithm::Certification { inter: true } => "certification",
+            Algorithm::Callback => "callback locking",
+            Algorithm::NoWait { notify: false } => "no-wait locking",
+            Algorithm::NoWait { notify: true } => "no-wait locking w/ notification",
+        }
+    }
+}
+
+/// Modelling variants beyond the paper's baseline protocols. All default
+/// to `false` (the paper's choices); the ablation benches flip them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tuning {
+    /// Callback locking: retain write locks *as write locks* after commit
+    /// instead of demoting them to read locks — the variant §2.3 discusses
+    /// and declines. Subsequent writes by the same client need no server
+    /// message, but other clients' reads now trigger callbacks.
+    pub retain_write_locks: bool,
+    /// Notification: send invalidations instead of propagating the new
+    /// page contents — the alternative §2.5 discusses (cheap messages, but
+    /// clients must refetch).
+    pub notify_invalidate: bool,
+    /// Restart aborted transactions immediately instead of after the ACL
+    /// adaptive delay (exponential with mean = average response time).
+    pub zero_restart_delay: bool,
+    /// Notification: broadcast updates to every client instead of using
+    /// the per-page caching directory — the simpler server the paper's
+    /// §6 mentions ("if it sends updates to individual clients instead of
+    /// broadcasting them to all clients").
+    pub notify_broadcast: bool,
+    /// Process asynchronous server messages during update/internal think
+    /// times. The paper's implementation does NOT ("in the current
+    /// implementation, these messages are not processed during the
+    /// internal delay time", §5.5) and blames callback/no-wait locking's
+    /// poor interactive results on it; this flag removes the limitation.
+    pub responsive_client: bool,
+}
+
+/// A complete simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+    /// Database shape (Table 1).
+    pub db: DatabaseSpec,
+    /// Transaction type (Table 2). When `txn_mix` is set this field only
+    /// provides defaults for reporting (its `prob_write`/`inter_xact_loc`
+    /// label the run).
+    pub txn: TxnParams,
+    /// Optional weighted mix of transaction types (paper §3.2); overrides
+    /// `txn` for workload generation when non-empty.
+    pub txn_mix: Vec<(TxnParams, f64)>,
+    /// System parameters (Table 3).
+    pub sys: SystemParams,
+    /// Random seed; a run is a pure function of (config, seed).
+    pub seed: u64,
+    /// Warm-up period excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured period; the run ends at `warmup + measure`.
+    pub measure: SimDuration,
+    /// Run the serializability oracle (panic on a consistency violation).
+    pub oracle: bool,
+    /// Modelling variants (ablations); default is the paper's protocol.
+    pub tuning: Tuning,
+}
+
+impl SimConfig {
+    /// The Table 5 baseline with the short-batch workload.
+    pub fn table5(algorithm: Algorithm) -> Self {
+        SimConfig {
+            algorithm,
+            db: ccdb_model::table5_database(),
+            txn: TxnParams::short_batch(),
+            txn_mix: Vec::new(),
+            sys: SystemParams::table5(),
+            seed: 0xCCDB,
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(300),
+            oracle: true,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// The Table 4 ACL-comparison configuration.
+    pub fn table4_acl(algorithm: Algorithm) -> Self {
+        SimConfig {
+            algorithm,
+            db: ccdb_model::table4_database(),
+            txn: ccdb_model::table4_txn(),
+            txn_mix: Vec::new(),
+            sys: SystemParams::table4_acl(),
+            seed: 0xCCDB,
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(300),
+            oracle: true,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// Builder-style setters for the swept parameters.
+    pub fn with_clients(mut self, n: u32) -> Self {
+        self.sys.n_clients = n;
+        self
+    }
+
+    /// Set the write probability (`ProbWrite`).
+    pub fn with_prob_write(mut self, p: f64) -> Self {
+        self.txn.prob_write = p;
+        self
+    }
+
+    /// Set the inter-transaction locality (`InterXactLoc`).
+    pub fn with_locality(mut self, l: f64) -> Self {
+        self.txn.inter_xact_loc = l;
+        self
+    }
+
+    /// Set the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set warm-up and measurement windows.
+    pub fn with_horizon(mut self, warmup: SimDuration, measure: SimDuration) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Set the modelling variants (ablations).
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Run a weighted mix of transaction types instead of a single type.
+    pub fn with_txn_mix(mut self, mix: Vec<(TxnParams, f64)>) -> Self {
+        self.txn_mix = mix;
+        self
+    }
+
+    /// Panic on inconsistent settings.
+    pub fn validate(&self) {
+        self.txn.validate();
+        for (t, w) in &self.txn_mix {
+            t.validate();
+            assert!(*w > 0.0, "mix weights must be positive");
+        }
+        self.sys.validate();
+        assert!(!self.measure.is_zero(), "measurement window must be > 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = Algorithm::INTER_TRANSACTION
+            .iter()
+            .map(|a| a.label())
+            .collect();
+        labels.push(Algorithm::TwoPhase { inter: false }.label());
+        labels.push(Algorithm::Certification { inter: false }.label());
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn caching_modes() {
+        assert!(!Algorithm::TwoPhase { inter: false }.inter_transaction());
+        assert!(Algorithm::TwoPhase { inter: true }.inter_transaction());
+        assert!(Algorithm::Callback.inter_transaction());
+        assert!(Algorithm::NoWait { notify: true }.inter_transaction());
+        assert!(Algorithm::Certification { inter: true }.deferred_updates());
+        assert!(!Algorithm::Callback.deferred_updates());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::table5(Algorithm::Callback)
+            .with_clients(30)
+            .with_prob_write(0.5)
+            .with_locality(0.75)
+            .with_seed(7);
+        c.validate();
+        assert_eq!(c.sys.n_clients, 30);
+        assert_eq!(c.txn.prob_write, 0.5);
+        assert_eq!(c.txn.inter_xact_loc, 0.75);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement window")]
+    fn zero_measure_rejected() {
+        let mut c = SimConfig::table5(Algorithm::Callback);
+        c.measure = SimDuration::ZERO;
+        c.validate();
+    }
+}

@@ -1,0 +1,167 @@
+//! Predefined experiment configurations for every table and figure of the
+//! paper's evaluation (§4 verification, §5 experiments).
+//!
+//! Each function returns the configurations of one experiment family; the
+//! `ccdb-bench` harnesses run them and print the paper's rows/series. The
+//! experiment index in `DESIGN.md` maps each figure to these builders.
+
+use ccdb_des::SimDuration;
+use ccdb_model::TxnParams;
+
+use crate::config::{Algorithm, SimConfig};
+
+/// The client-population sweep of §4/§5: 2, 10, 30, 50 workstations.
+pub const CLIENT_SWEEP: [u32; 4] = [2, 10, 30, 50];
+
+/// The locality levels of §5.1 (Figures 8–11).
+pub const LOCALITY_LEVELS: [f64; 4] = [0.05, 0.25, 0.50, 0.75];
+
+/// The write probabilities of §4/§5.
+pub const WRITE_PROBS: [f64; 3] = [0.0, 0.2, 0.5];
+
+/// The MPL sweep of the ACL verification experiment (Table 4).
+pub const ACL_MPL_SWEEP: [u32; 7] = [5, 10, 25, 50, 75, 100, 200];
+
+/// The four algorithms compared in §5 (Figures 8–22).
+pub const SECTION5_ALGORITHMS: [Algorithm; 4] = Algorithm::EXPERIMENT_SET;
+
+/// The four caching configurations of the §4 verification experiment
+/// (Figures 5–7): {2PL, certification} × {intra, inter}.
+pub const CACHING_ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::TwoPhase { inter: false },
+    Algorithm::TwoPhase { inter: true },
+    Algorithm::Certification { inter: false },
+    Algorithm::Certification { inter: true },
+];
+
+/// Experiment 1 of §4: the ACL comparison on the Table 4 configuration.
+/// One run per (algorithm, MPL); the metric is throughput.
+pub fn acl_verification(algorithm: Algorithm, mpl: u32) -> SimConfig {
+    let mut cfg = SimConfig::table4_acl(algorithm);
+    cfg.sys.mpl = mpl;
+    cfg
+}
+
+/// Experiment 2 of §4 (Figures 5–7): intra vs inter caching under the
+/// Table 5 configuration.
+pub fn caching_verification(
+    algorithm: Algorithm,
+    clients: u32,
+    locality: f64,
+    prob_write: f64,
+) -> SimConfig {
+    SimConfig::table5(algorithm)
+        .with_clients(clients)
+        .with_locality(locality)
+        .with_prob_write(prob_write)
+}
+
+/// §5.1 (Figures 8–13): short transactions, server-bound system.
+pub fn short_txn(algorithm: Algorithm, clients: u32, locality: f64, prob_write: f64) -> SimConfig {
+    SimConfig::table5(algorithm)
+        .with_clients(clients)
+        .with_locality(locality)
+        .with_prob_write(prob_write)
+}
+
+/// §5.2 (Figures 14–15): large transactions (20–60 object reads).
+pub fn large_txn(algorithm: Algorithm, clients: u32, locality: f64, prob_write: f64) -> SimConfig {
+    let mut cfg = SimConfig::table5(algorithm)
+        .with_clients(clients)
+        .with_locality(locality)
+        .with_prob_write(prob_write);
+    cfg.txn = TxnParams {
+        prob_write,
+        inter_xact_loc: locality,
+        ..TxnParams::large_batch()
+    };
+    cfg
+}
+
+/// §5.3 (Figures 16–17): 20 MIPS server; the network becomes the
+/// bottleneck.
+pub fn fast_server(
+    algorithm: Algorithm,
+    clients: u32,
+    locality: f64,
+    prob_write: f64,
+) -> SimConfig {
+    let mut cfg = short_txn(algorithm, clients, locality, prob_write);
+    cfg.sys.server_mips = 20.0;
+    cfg
+}
+
+/// §5.4 (Figures 18–21): 20 MIPS server and zero network delay; the data
+/// disks become the most contended resource.
+pub fn fast_net_fast_server(
+    algorithm: Algorithm,
+    clients: u32,
+    locality: f64,
+    prob_write: f64,
+) -> SimConfig {
+    let mut cfg = fast_server(algorithm, clients, locality, prob_write);
+    cfg.sys.net_delay = SimDuration::ZERO;
+    cfg
+}
+
+/// §5.5 (Figure 22): interactive transactions (UpdateDelay 5 s,
+/// InternalDelay 2 s).
+pub fn interactive(
+    algorithm: Algorithm,
+    clients: u32,
+    locality: f64,
+    prob_write: f64,
+) -> SimConfig {
+    let mut cfg = short_txn(algorithm, clients, locality, prob_write);
+    cfg.txn.update_delay = SimDuration::from_secs(5);
+    cfg.txn.internal_delay = SimDuration::from_secs(2);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_configs() {
+        for alg in SECTION5_ALGORITHMS {
+            for &c in &CLIENT_SWEEP {
+                short_txn(alg, c, 0.25, 0.2).validate();
+                large_txn(alg, c, 0.75, 0.5).validate();
+                fast_server(alg, c, 0.25, 0.2).validate();
+                fast_net_fast_server(alg, c, 0.75, 0.0).validate();
+                interactive(alg, c, 0.25, 0.5).validate();
+            }
+        }
+        for alg in CACHING_ALGORITHMS {
+            caching_verification(alg, 30, 0.5, 0.2).validate();
+        }
+        for &mpl in &ACL_MPL_SWEEP {
+            acl_verification(Algorithm::TwoPhase { inter: true }, mpl).validate();
+        }
+    }
+
+    #[test]
+    fn large_txn_uses_large_sizes() {
+        let cfg = large_txn(Algorithm::Callback, 10, 0.25, 0.2);
+        assert_eq!(cfg.txn.min_xact_size, 20);
+        assert_eq!(cfg.txn.max_xact_size, 60);
+        assert_eq!(cfg.txn.prob_write, 0.2);
+        assert_eq!(cfg.txn.inter_xact_loc, 0.25);
+    }
+
+    #[test]
+    fn fast_variants_adjust_system() {
+        let f = fast_server(Algorithm::Callback, 10, 0.25, 0.2);
+        assert_eq!(f.sys.server_mips, 20.0);
+        let fn_ = fast_net_fast_server(Algorithm::Callback, 10, 0.25, 0.2);
+        assert_eq!(fn_.sys.net_delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn interactive_has_think_times() {
+        let cfg = interactive(Algorithm::Callback, 10, 0.25, 0.0);
+        assert_eq!(cfg.txn.update_delay, SimDuration::from_secs(5));
+        assert_eq!(cfg.txn.internal_delay, SimDuration::from_secs(2));
+    }
+}

@@ -1,0 +1,388 @@
+//! Output metrics: per-run collection and the final report.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use ccdb_des::{BatchMeans, Histogram, SimTime, Tally};
+use ccdb_lock::LockStats;
+use ccdb_model::SystemParams;
+use ccdb_storage::{BufferStats, CacheStats, LogStats};
+
+use crate::config::Algorithm;
+
+/// Shared metrics sink; clients and the server record into it.
+#[derive(Clone)]
+pub struct MetricsHub {
+    inner: Rc<RefCell<Inner>>,
+}
+
+struct Inner {
+    warmup_end: SimTime,
+    resp_time: Tally,
+    resp_batches: BatchMeans,
+    resp_hist: Histogram,
+    resp_by_type: Vec<Tally>,
+    restarts: Tally,
+    commits: u64,
+    aborts: u64,
+    deadlock_aborts: u64,
+    stale_aborts: u64,
+    validation_aborts: u64,
+    callbacks_received: u64,
+    updates_pushed: u64,
+}
+
+impl MetricsHub {
+    /// Create a hub; observations before `warmup_end` are discarded.
+    pub fn new(warmup_end: SimTime) -> Self {
+        MetricsHub {
+            inner: Rc::new(RefCell::new(Inner {
+                warmup_end,
+                resp_time: Tally::new(),
+                // ~30 observations per batch keeps 20+ batches for typical
+                // measurement windows while decorrelating neighbours.
+                resp_batches: BatchMeans::new(30),
+                resp_hist: Histogram::new(),
+                resp_by_type: Vec::new(),
+                restarts: Tally::new(),
+                commits: 0,
+                aborts: 0,
+                deadlock_aborts: 0,
+                stale_aborts: 0,
+                validation_aborts: 0,
+                callbacks_received: 0,
+                updates_pushed: 0,
+            })),
+        }
+    }
+
+    /// End of the warm-up window.
+    pub fn warmup_end(&self) -> SimTime {
+        self.inner.borrow().warmup_end
+    }
+
+    /// Record a committed transaction: its response time (origination to
+    /// commit, restarts included) and how many restarts it took.
+    pub fn record_commit(&self, now: SimTime, response_secs: f64, restarts: u32) {
+        self.record_commit_typed(now, response_secs, restarts, 0);
+    }
+
+    /// [`MetricsHub::record_commit`] attributing the commit to one
+    /// transaction type of a workload mix.
+    pub fn record_commit_typed(
+        &self,
+        now: SimTime,
+        response_secs: f64,
+        restarts: u32,
+        type_idx: usize,
+    ) {
+        let mut m = self.inner.borrow_mut();
+        if now >= m.warmup_end {
+            m.commits += 1;
+            m.resp_time.record(response_secs);
+            m.resp_batches.record(response_secs);
+            m.resp_hist.record(response_secs);
+            if m.resp_by_type.len() <= type_idx {
+                m.resp_by_type.resize_with(type_idx + 1, Tally::new);
+            }
+            m.resp_by_type[type_idx].record(response_secs);
+            m.restarts.record(restarts as f64);
+        }
+    }
+
+    /// Response-time quantile over the measurement window.
+    pub fn resp_quantile(&self, q: f64) -> f64 {
+        self.inner.borrow().resp_hist.quantile(q)
+    }
+
+    /// Batch-means 95% half-width of the mean response time (robust to the
+    /// autocorrelation a saturated system induces).
+    pub fn resp_batch_ci95(&self) -> f64 {
+        self.inner.borrow().resp_batches.ci95_half_width()
+    }
+
+    /// Per-type (commits, mean response) for workload mixes.
+    pub fn resp_by_type(&self) -> Vec<(u64, f64)> {
+        self.inner
+            .borrow()
+            .resp_by_type
+            .iter()
+            .map(|t| (t.count(), t.mean()))
+            .collect()
+    }
+
+    /// Record a transaction abort of the given kind.
+    pub fn record_abort(&self, now: SimTime, kind: AbortKind) {
+        let mut m = self.inner.borrow_mut();
+        if now >= m.warmup_end {
+            m.aborts += 1;
+            match kind {
+                AbortKind::Deadlock => m.deadlock_aborts += 1,
+                AbortKind::StaleRead => m.stale_aborts += 1,
+                AbortKind::Validation => m.validation_aborts += 1,
+            }
+        }
+    }
+
+    /// Record a callback message processed by a client.
+    pub fn record_callback(&self, now: SimTime) {
+        let mut m = self.inner.borrow_mut();
+        if now >= m.warmup_end {
+            m.callbacks_received += 1;
+        }
+    }
+
+    /// Record pages pushed in a notification message.
+    pub fn record_update_push(&self, now: SimTime, pages: u64) {
+        let mut m = self.inner.borrow_mut();
+        if now >= m.warmup_end {
+            m.updates_pushed += pages;
+        }
+    }
+
+    fn snapshot(&self) -> (Tally, Tally, u64, u64, u64, u64, u64, u64, u64) {
+        let m = self.inner.borrow();
+        (
+            m.resp_time.clone(),
+            m.restarts.clone(),
+            m.commits,
+            m.aborts,
+            m.deadlock_aborts,
+            m.stale_aborts,
+            m.validation_aborts,
+            m.callbacks_received,
+            m.updates_pushed,
+        )
+    }
+}
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortKind {
+    /// Chosen as a deadlock victim.
+    Deadlock,
+    /// Read a stale cached page (no-wait locking).
+    StaleRead,
+    /// Failed commit-time certification.
+    Validation,
+}
+
+/// Everything a run reports. All rates are over the measurement window.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Algorithm simulated.
+    pub algorithm: Algorithm,
+    /// Number of clients.
+    pub n_clients: u32,
+    /// Write probability.
+    pub prob_write: f64,
+    /// Inter-transaction locality.
+    pub locality: f64,
+    /// Mean transaction response time in seconds.
+    pub resp_time_mean: f64,
+    /// 95% confidence half-width of the response time (treats observations
+    /// as independent; optimistic under saturation).
+    pub resp_time_ci95: f64,
+    /// Batch-means 95% half-width (robust to autocorrelation).
+    pub resp_time_bm_ci95: f64,
+    /// Median response time (histogram approximation).
+    pub resp_p50: f64,
+    /// 90th percentile response time.
+    pub resp_p90: f64,
+    /// 99th percentile response time.
+    pub resp_p99: f64,
+    /// Per-transaction-type (commits, mean response time) for mixes; one
+    /// entry for single-type workloads.
+    pub resp_by_type: Vec<(u64, f64)>,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Committed transactions in the window.
+    pub commits: u64,
+    /// Aborts in the window.
+    pub aborts: u64,
+    /// Mean restarts per committed transaction.
+    pub restarts_per_commit: f64,
+    /// Deadlock-victim aborts.
+    pub deadlock_aborts: u64,
+    /// Stale-read aborts (no-wait).
+    pub stale_aborts: u64,
+    /// Certification-failure aborts.
+    pub validation_aborts: u64,
+    /// Messages per committed transaction.
+    pub msgs_per_commit: f64,
+    /// Server CPU utilisation.
+    pub server_cpu_util: f64,
+    /// Mean client CPU utilisation.
+    pub client_cpu_util: f64,
+    /// Network medium utilisation.
+    pub net_util: f64,
+    /// Busiest data disk utilisation.
+    pub data_disk_util: f64,
+    /// Busiest log disk utilisation.
+    pub log_disk_util: f64,
+    /// Mean client cache hit ratio.
+    pub cache_hit_ratio: f64,
+    /// Server buffer hit ratio.
+    pub buffer_hit_ratio: f64,
+    /// Lock manager counters (whole run, not windowed).
+    pub lock_stats: LockStats,
+    /// Log manager counters (whole run).
+    pub log_stats: LogStats,
+    /// Callbacks processed by clients (window).
+    pub callbacks: u64,
+    /// Pages pushed by notification (window).
+    pub updates_pushed: u64,
+    /// Simulation events processed (performance diagnostics).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Assemble a report from the hub and component statistics.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        algorithm: Algorithm,
+        sys: &SystemParams,
+        prob_write: f64,
+        locality: f64,
+        hub: &MetricsHub,
+        measure_secs: f64,
+        msgs: u64,
+        server_cpu_util: f64,
+        client_cpu_util: f64,
+        net_util: f64,
+        data_disk_util: f64,
+        log_disk_util: f64,
+        cache_stats: CacheStats,
+        buffer_stats: BufferStats,
+        lock_stats: LockStats,
+        log_stats: LogStats,
+        events: u64,
+    ) -> RunReport {
+        let (resp, restarts, commits, aborts, dl, stale, val, cb, upd) = hub.snapshot();
+        let cache_total = cache_stats.hits + cache_stats.misses;
+        let buf_total = buffer_stats.hits + buffer_stats.misses;
+        RunReport {
+            algorithm,
+            n_clients: sys.n_clients,
+            prob_write,
+            locality,
+            resp_time_mean: resp.mean(),
+            resp_time_ci95: resp.ci95_half_width(),
+            resp_time_bm_ci95: hub.resp_batch_ci95(),
+            resp_p50: hub.resp_quantile(0.5),
+            resp_p90: hub.resp_quantile(0.9),
+            resp_p99: hub.resp_quantile(0.99),
+            resp_by_type: hub.resp_by_type(),
+            throughput: commits as f64 / measure_secs,
+            commits,
+            aborts,
+            restarts_per_commit: restarts.mean(),
+            deadlock_aborts: dl,
+            stale_aborts: stale,
+            validation_aborts: val,
+            msgs_per_commit: if commits == 0 {
+                0.0
+            } else {
+                msgs as f64 / commits as f64
+            },
+            server_cpu_util,
+            client_cpu_util,
+            net_util,
+            data_disk_util,
+            log_disk_util,
+            cache_hit_ratio: if cache_total == 0 {
+                0.0
+            } else {
+                cache_stats.hits as f64 / cache_total as f64
+            },
+            buffer_hit_ratio: if buf_total == 0 {
+                0.0
+            } else {
+                buffer_stats.hits as f64 / buf_total as f64
+            },
+            lock_stats,
+            log_stats,
+            callbacks: cb,
+            updates_pushed: upd,
+            events,
+        }
+    }
+}
+
+impl RunReport {
+    /// Column names for [`RunReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "algorithm,clients,locality,prob_write,resp_mean_s,resp_ci95_s,resp_p50_s,resp_p90_s,resp_p99_s,throughput_tps,commits,aborts,restarts_per_commit,deadlock_aborts,stale_aborts,validation_aborts,msgs_per_commit,server_cpu_util,client_cpu_util,net_util,data_disk_util,log_disk_util,cache_hit_ratio,buffer_hit_ratio,lock_requests,lock_blocks,lock_deadlocks,callbacks,updates_pushed,events"
+    }
+
+    /// One CSV row (matching [`RunReport::csv_header`]); for piping runs
+    /// into external plotting tools.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{},{:.4},{},{},{},{:.2},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{}",self.algorithm.label(),self.n_clients,self.locality,self.prob_write,self.resp_time_mean,self.resp_time_ci95,self.resp_p50,self.resp_p90,self.resp_p99,self.throughput,self.commits,self.aborts,self.restarts_per_commit,self.deadlock_aborts,self.stale_aborts,self.validation_aborts,self.msgs_per_commit,self.server_cpu_util,self.client_cpu_util,self.net_util,self.data_disk_util,self.log_disk_util,self.cache_hit_ratio,self.buffer_hit_ratio,self.lock_stats.requests,self.lock_stats.blocks,self.lock_stats.deadlocks,self.callbacks,self.updates_pushed,self.events,)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<5} clients={:<3} W={:<4} L={:<4} resp={:.3}s±{:.3} tput={:.2}/s \
+             commits={} aborts={} cpuS={:.0}% net={:.0}% disk={:.0}% hit={:.0}%",
+            self.algorithm.label(),
+            self.n_clients,
+            self.prob_write,
+            self.locality,
+            self.resp_time_mean,
+            self.resp_time_ci95,
+            self.throughput,
+            self.commits,
+            self.aborts,
+            self.server_cpu_util * 100.0,
+            self.net_util * 100.0,
+            self.data_disk_util * 100.0,
+            self.cache_hit_ratio * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_des::SimDuration;
+
+    #[test]
+    fn warmup_window_filters_observations() {
+        let warmup_end = SimTime::ZERO + SimDuration::from_secs(10);
+        let hub = MetricsHub::new(warmup_end);
+        hub.record_commit(SimTime::ZERO + SimDuration::from_secs(5), 1.0, 0);
+        hub.record_commit(SimTime::ZERO + SimDuration::from_secs(15), 2.0, 1);
+        hub.record_abort(
+            SimTime::ZERO + SimDuration::from_secs(5),
+            AbortKind::Deadlock,
+        );
+        hub.record_abort(
+            SimTime::ZERO + SimDuration::from_secs(20),
+            AbortKind::StaleRead,
+        );
+        let (resp, restarts, commits, aborts, dl, stale, ..) = hub.snapshot();
+        assert_eq!(commits, 1);
+        assert_eq!(resp.mean(), 2.0);
+        assert_eq!(restarts.mean(), 1.0);
+        assert_eq!(aborts, 1);
+        assert_eq!(dl, 0);
+        assert_eq!(stale, 1);
+    }
+
+    #[test]
+    fn abort_kinds_are_separated() {
+        let hub = MetricsHub::new(SimTime::ZERO);
+        hub.record_abort(SimTime::ZERO, AbortKind::Deadlock);
+        hub.record_abort(SimTime::ZERO, AbortKind::Validation);
+        hub.record_abort(SimTime::ZERO, AbortKind::Validation);
+        let (_, _, _, aborts, dl, stale, val, ..) = hub.snapshot();
+        assert_eq!(aborts, 3);
+        assert_eq!((dl, stale, val), (1, 0, 2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Replicated runs: independent replications with cross-seed confidence
+//! intervals — the standard output-analysis methodology for terminating
+//! simulations (the per-run CI in [`RunReport`] treats transaction
+//! response times as independent, which under heavy contention they are
+//! not; replication does not need that assumption).
+
+use ccdb_des::Tally;
+
+use crate::config::SimConfig;
+use crate::metrics::RunReport;
+use crate::runner::run_simulation;
+
+/// Aggregate of `n` independent replications of one configuration.
+#[derive(Clone, Debug)]
+pub struct ReplicatedReport {
+    /// The reports of the individual replications, in seed order.
+    pub runs: Vec<RunReport>,
+    /// Mean of the per-run mean response times.
+    pub resp_time_mean: f64,
+    /// 95% half-width of the response-time mean across replications.
+    pub resp_time_ci95: f64,
+    /// Mean throughput across replications.
+    pub throughput_mean: f64,
+    /// 95% half-width of the throughput across replications.
+    pub throughput_ci95: f64,
+    /// Total commits across replications.
+    pub commits: u64,
+    /// Total aborts across replications.
+    pub aborts: u64,
+}
+
+impl ReplicatedReport {
+    /// Relative half-width of the response-time estimate (0 when the mean
+    /// is 0); the usual stopping criterion for adding replications.
+    pub fn resp_relative_precision(&self) -> f64 {
+        if self.resp_time_mean == 0.0 {
+            0.0
+        } else {
+            self.resp_time_ci95 / self.resp_time_mean
+        }
+    }
+}
+
+/// Run `replications` independent copies of `cfg`, differing only in the
+/// seed (derived as `cfg.seed + k`), and aggregate.
+pub fn run_replicated(cfg: SimConfig, replications: u32) -> ReplicatedReport {
+    assert!(replications > 0, "need at least one replication");
+    let base_seed = cfg.seed;
+    let mut runs = Vec::with_capacity(replications as usize);
+    let mut resp = Tally::new();
+    let mut tput = Tally::new();
+    let mut commits = 0;
+    let mut aborts = 0;
+    for k in 0..replications {
+        let r = run_simulation(cfg.clone().with_seed(base_seed.wrapping_add(k as u64)));
+        resp.record(r.resp_time_mean);
+        tput.record(r.throughput);
+        commits += r.commits;
+        aborts += r.aborts;
+        runs.push(r);
+    }
+    ReplicatedReport {
+        runs,
+        resp_time_mean: resp.mean(),
+        resp_time_ci95: resp.ci95_half_width(),
+        throughput_mean: tput.mean(),
+        throughput_ci95: tput.ci95_half_width(),
+        commits,
+        aborts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use ccdb_des::SimDuration;
+
+    fn quick() -> SimConfig {
+        SimConfig::table5(Algorithm::TwoPhase { inter: true })
+            .with_clients(5)
+            .with_locality(0.5)
+            .with_prob_write(0.2)
+            .with_horizon(SimDuration::from_secs(2), SimDuration::from_secs(15))
+    }
+
+    #[test]
+    fn replications_differ_but_agree_statistically() {
+        let rep = run_replicated(quick(), 4);
+        assert_eq!(rep.runs.len(), 4);
+        // Distinct seeds -> distinct trajectories.
+        assert!(
+            rep.runs.windows(2).any(|w| w[0].events != w[1].events),
+            "replications must not be identical"
+        );
+        // But the same regime.
+        assert!(rep.resp_relative_precision() < 0.5);
+        assert_eq!(rep.commits, rep.runs.iter().map(|r| r.commits).sum::<u64>());
+    }
+
+    #[test]
+    fn single_replication_has_no_ci() {
+        let rep = run_replicated(quick(), 1);
+        assert_eq!(rep.resp_time_ci95, 0.0);
+        assert_eq!(rep.runs.len(), 1);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_replications() {
+        let few = run_replicated(quick(), 2);
+        let many = run_replicated(quick(), 6);
+        // Not guaranteed pointwise, but with identical seeds prefixes the
+        // 6-rep CI uses the same spread over more samples.
+        assert!(many.resp_time_ci95 <= few.resp_time_ci95 * 2.0);
+        assert!(many.resp_time_mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        let _ = run_replicated(quick(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Assembling and running one simulation (Figure 1's physical structure).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ccdb_des::{Pcg32, Sim, SimTime};
+use ccdb_lock::ClientId;
+use ccdb_model::Workload;
+use ccdb_net::{Network, NetworkNode};
+
+use crate::client::{run_client, Client};
+use crate::config::SimConfig;
+use crate::metrics::{MetricsHub, RunReport};
+use crate::msg::S2C;
+use crate::server::Server;
+use crate::trace::Trace;
+
+/// Run one simulation to completion and report.
+///
+/// The run is a pure function of the configuration (including its seed):
+/// rerunning with the same `SimConfig` yields an identical report.
+pub fn run_simulation(cfg: SimConfig) -> RunReport {
+    run_simulation_traced(cfg, Trace::disabled())
+}
+
+/// [`run_simulation`] with protocol tracing: every client/server protocol
+/// event is recorded into `trace` (bounded by its capacity).
+pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
+    cfg.validate();
+    let sim = Sim::new();
+    let env = sim.env();
+    let mut root_rng = Pcg32::new(cfg.seed, 0x5EED);
+
+    let net = Network::new(&env, &cfg.sys, root_rng.split(1));
+    let n_clients = cfg.sys.n_clients;
+    let client_nodes: Rc<Vec<NetworkNode<S2C>>> = Rc::new(
+        (0..n_clients)
+            .map(|i| {
+                NetworkNode::new(
+                    &env,
+                    format!("client-cpu-{i}"),
+                    cfg.sys.n_client_cpus,
+                    cfg.sys.client_mips,
+                )
+            })
+            .collect(),
+    );
+    let cfg = Rc::new(cfg);
+    let server = Server::spawn(
+        &env,
+        Rc::clone(&cfg),
+        net.clone(),
+        Rc::clone(&client_nodes),
+        &mut root_rng,
+        trace.clone(),
+    );
+
+    let warmup_end = SimTime::ZERO + cfg.warmup;
+    let hub = MetricsHub::new(warmup_end);
+
+    // Clients.
+    let mut caches = Vec::with_capacity(n_clients as usize);
+    for i in 0..n_clients {
+        let workload_rng = root_rng.split(10_000 + i as u64);
+        let client_rng = root_rng.split(20_000 + i as u64);
+        let workload = if cfg.txn_mix.is_empty() {
+            Workload::new(cfg.db.clone(), cfg.txn.clone(), workload_rng)
+        } else {
+            Workload::with_mix(cfg.db.clone(), cfg.txn_mix.clone(), workload_rng)
+        };
+        let client = Client::new(
+            &env,
+            ClientId(i),
+            Rc::clone(&cfg),
+            client_nodes[i as usize].clone(),
+            server.node.clone(),
+            net.clone(),
+            workload,
+            client_rng,
+            hub.clone(),
+            trace.clone(),
+        );
+        caches.push(Rc::clone(&client.cache));
+        env.spawn(run_client(client));
+    }
+
+    // Warm-up boundary: reset all resource statistics so utilisations and
+    // counters cover the measurement window only.
+    let msgs_at_warmup = Rc::new(Cell::new(0u64));
+    {
+        let env2 = env.clone();
+        let cfg2 = Rc::clone(&cfg);
+        let net2 = net.clone();
+        let server2 = server.clone();
+        let client_nodes2 = Rc::clone(&client_nodes);
+        let caches2 = caches.clone();
+        let msgs_at_warmup2 = Rc::clone(&msgs_at_warmup);
+        env.spawn(async move {
+            env2.hold(cfg2.warmup).await;
+            server2.node.cpu.reset_stats();
+            net2.reset_stats();
+            server2.data_disks.reset_stats();
+            server2.log.reset_stats();
+            for node in client_nodes2.iter() {
+                node.cpu.reset_stats();
+            }
+            for cache in &caches2 {
+                cache.borrow_mut().reset_stats();
+            }
+            server2.state.borrow_mut().buffer.reset_stats();
+            msgs_at_warmup2.set(net2.stats().messages);
+        });
+    }
+
+    let horizon = SimTime::ZERO + cfg.warmup + cfg.measure;
+    sim.run_until(horizon);
+    if std::env::var_os("CCDB_DEBUG").is_some() {
+        eprintln!("live processes at horizon: {}", sim.live_processes());
+        server.debug_dump();
+    }
+
+    // Collect.
+    let measure_secs = cfg.measure.as_secs_f64();
+    let msgs = net.stats().messages - msgs_at_warmup.get();
+    let server_cpu_util = server.node.cpu.utilization();
+    let client_cpu_util = if client_nodes.is_empty() {
+        0.0
+    } else {
+        client_nodes
+            .iter()
+            .map(|n| n.cpu.utilization())
+            .sum::<f64>()
+            / client_nodes.len() as f64
+    };
+    let net_util = net.utilization();
+    let data_disk_util = server.data_disks.max_utilization();
+    let log_disk_util = server.log.max_utilization();
+    let mut cache_stats = ccdb_storage::CacheStats::default();
+    for c in &caches {
+        let s = c.borrow().stats();
+        cache_stats.hits += s.hits;
+        cache_stats.misses += s.misses;
+        cache_stats.evictions += s.evictions;
+    }
+    let (buffer_stats, lock_stats) = {
+        let state = server.state.borrow();
+        (state.buffer.stats(), state.lm.stats())
+    };
+    let log_stats = server.log.stats();
+
+    RunReport::assemble(
+        cfg.algorithm,
+        &cfg.sys,
+        cfg.txn.prob_write,
+        cfg.txn.inter_xact_loc,
+        &hub,
+        measure_secs,
+        msgs,
+        server_cpu_util,
+        client_cpu_util,
+        net_util,
+        data_disk_util,
+        log_disk_util,
+        cache_stats,
+        buffer_stats,
+        lock_stats,
+        log_stats,
+        sim.events_processed(),
+    )
+}

@@ -1,0 +1,859 @@
+//! The server transaction module (STM) and its state (paper §3.3.4, §3.4).
+//!
+//! One dispatcher process receives every client message and spawns a
+//! handler process per message. Handlers coordinate through the shared
+//! [`ServerState`] (lock manager, buffer manager, version table, server
+//! transaction table, caching directory) and suspend on facilities (CPUs,
+//! disks, the MPL admission gate) or on lock-grant signals.
+//!
+//! All five algorithms are served by this module; the paper's
+//! "algorithm-dependent server transaction manager" corresponds to the
+//! branch points on [`Algorithm`] in the handlers below.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use ccdb_des::{oneshot, Env, Facility, FacilityGuard, OneshotSender, Pcg32};
+use ccdb_lock::{ClientId, LockManager, Mode, RequestOutcome, RetainPolicy, TxnId, Wake};
+use ccdb_model::{DatabaseSpec, PageId, SystemParams};
+use ccdb_net::{Network, NetworkNode};
+use ccdb_storage::{BufferManager, DiskArray, LogManager};
+
+use crate::config::{Algorithm, SimConfig};
+use crate::metrics::AbortKind;
+use crate::msg::{OpId, ReplyKind, C2S, S2C};
+use crate::trace::{Trace, TraceEvent};
+
+/// Result of waiting for a parked lock request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GrantResult {
+    Granted,
+    Aborted,
+}
+
+struct ServerTxn {
+    client: ClientId,
+    admitted: bool,
+    admission_waiters: Vec<OneshotSender<()>>,
+    mpl_guard: Option<FacilityGuard>,
+    ops_resolved: u32,
+    failed: bool,
+    commit_waiter: Option<OneshotSender<()>>,
+    /// Pages with a parked lock request (grant signals to fire on abort).
+    parked: HashSet<PageId>,
+}
+
+/// Mutable server state shared by all handler processes. Borrows are always
+/// released before any `.await`.
+pub struct ServerState {
+    /// The lock manager.
+    pub lm: LockManager,
+    /// The buffer manager.
+    pub buffer: BufferManager,
+    /// Committed version of every page (dense, indexed by
+    /// [`DatabaseSpec::page_index`]).
+    versions: Vec<u64>,
+    txns: HashMap<TxnId, ServerTxn>,
+    /// Parked lock-request signals, fired on grant or abort. A queue:
+    /// no-wait locking can park an S and an X request of the same
+    /// transaction on the same page.
+    grants: HashMap<(TxnId, PageId), VecDeque<OneshotSender<GrantResult>>>,
+    /// Which clients have been shipped each page (notification directory).
+    directory: HashMap<PageId, HashSet<ClientId>>,
+    /// Transactions the server has aborted; straggler messages are dropped.
+    aborted: HashSet<TxnId>,
+}
+
+/// The server: cheap to clone into handler processes.
+#[derive(Clone)]
+pub struct Server {
+    env: Env,
+    cfg: Rc<SimConfig>,
+    /// The server station (CPUs + inbox of `(from, msg)`).
+    pub node: NetworkNode<(ClientId, C2S)>,
+    /// Client stations, indexed by client id (for replies).
+    pub client_nodes: Rc<Vec<NetworkNode<S2C>>>,
+    net: Network,
+    /// Data disks.
+    pub data_disks: DiskArray,
+    /// The log manager.
+    pub log: LogManager,
+    mpl: Facility,
+    /// Shared mutable state.
+    pub state: Rc<RefCell<ServerState>>,
+    trace: Trace,
+}
+
+/// Transaction to trace, from `CCDB_TRACE_TXN` (diagnostics; parsed once).
+fn trace_txn() -> Option<TxnId> {
+    use std::sync::OnceLock;
+    static TRACE: OnceLock<Option<u64>> = OnceLock::new();
+    TRACE
+        .get_or_init(|| {
+            std::env::var("CCDB_TRACE_TXN")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .map(TxnId)
+}
+
+impl Server {
+    /// Build the server and spawn its dispatcher process.
+    pub fn spawn(
+        env: &Env,
+        cfg: Rc<SimConfig>,
+        net: Network,
+        client_nodes: Rc<Vec<NetworkNode<S2C>>>,
+        rng: &mut Pcg32,
+        trace: Trace,
+    ) -> Server {
+        let sys = &cfg.sys;
+        let node = NetworkNode::new(env, "server-cpu", sys.n_server_cpus, sys.server_mips);
+        let data_disks = DiskArray::new(env, sys, rng);
+        let log = LogManager::new(env, sys, rng);
+        let mpl = Facility::new(env, "mpl", sys.mpl);
+        let state = Rc::new(RefCell::new(ServerState {
+            lm: LockManager::new(),
+            buffer: BufferManager::new(sys.buffer_size),
+            versions: vec![0; cfg.db.total_pages() as usize],
+            txns: HashMap::new(),
+            grants: HashMap::new(),
+            directory: HashMap::new(),
+            aborted: HashSet::new(),
+        }));
+        let server = Server {
+            env: env.clone(),
+            cfg,
+            node,
+            client_nodes,
+            net,
+            data_disks,
+            log,
+            mpl,
+            state,
+            trace,
+        };
+        let dispatcher = server.clone();
+        env.spawn(async move {
+            loop {
+                let (from, msg) = dispatcher.node.inbox.recv().await;
+                let worker = dispatcher.clone();
+                dispatcher.env.spawn(async move {
+                    worker.handle(from, msg).await;
+                });
+            }
+        });
+        server
+    }
+
+    /// Diagnostic dump of stuck transactions (used by the runner when
+    /// `CCDB_DEBUG` is set).
+    pub fn debug_dump(&self) {
+        let state = self.state.borrow();
+        eprintln!(
+            "server: {} live txns, {} parked grant keys, lock table {} pages",
+            state.txns.len(),
+            state.grants.len(),
+            state.lm.table_len()
+        );
+        for (txn, e) in &state.txns {
+            eprintln!(
+                "  txn {:?} client {:?} admitted={} ops_resolved={} failed={} commit_waiting={} parked={:?}",
+                txn,
+                e.client,
+                e.admitted,
+                e.ops_resolved,
+                e.failed,
+                e.commit_waiter.is_some(),
+                e.parked
+            );
+            for page in &e.parked {
+                eprintln!("    {:?}: {}", page, state.lm.debug_entry(*page));
+            }
+        }
+    }
+
+    /// Current committed version of a page.
+    pub fn version_of(&self, page: PageId) -> u64 {
+        let idx = self.cfg.db.page_index(page);
+        self.state.borrow().versions[idx]
+    }
+
+    fn db(&self) -> &DatabaseSpec {
+        &self.cfg.db
+    }
+
+    fn sys(&self) -> &SystemParams {
+        &self.cfg.sys
+    }
+
+    fn reply(&self, to: ClientId, op: OpId, kind: ReplyKind) {
+        let msg = S2C::Reply { op, kind };
+        let bytes = msg.payload_bytes(self.sys().page_size);
+        self.net
+            .send(&self.node, &self.client_nodes[to.0 as usize], msg, bytes);
+    }
+
+    fn send_async(&self, to: ClientId, msg: S2C) {
+        let bytes = msg.payload_bytes(self.sys().page_size);
+        self.net
+            .send(&self.node, &self.client_nodes[to.0 as usize], msg, bytes);
+    }
+
+    async fn handle(&self, from: ClientId, msg: C2S) {
+        match msg {
+            C2S::LockFetch {
+                txn,
+                page,
+                mode,
+                cached_version,
+                wait,
+                op,
+            } => {
+                self.handle_lock_fetch(from, txn, page, mode, cached_version, wait, op)
+                    .await;
+            }
+            C2S::Fetch { txn, page, op } => {
+                if !self.ensure_admitted(txn, from).await {
+                    self.reply(from, op, ReplyKind::Aborted);
+                    return;
+                }
+                self.ship_page(from, txn, page, op).await;
+                self.resolve_op(txn);
+            }
+            C2S::CheckVersion {
+                txn,
+                page,
+                version,
+                op,
+            } => {
+                if !self.ensure_admitted(txn, from).await {
+                    self.reply(from, op, ReplyKind::Aborted);
+                    return;
+                }
+                let current = {
+                    let state = self.state.borrow();
+                    state.versions[self.db().page_index(page)]
+                };
+                if current == version {
+                    self.reply(from, op, ReplyKind::Valid);
+                } else {
+                    self.ship_page(from, txn, page, op).await;
+                }
+                self.resolve_op(txn);
+            }
+            C2S::Commit {
+                txn,
+                read_set,
+                dirty,
+                ops_sent,
+                op,
+            } => {
+                self.handle_commit(from, txn, read_set, dirty, ops_sent, op)
+                    .await;
+            }
+            C2S::CallbackReply {
+                page,
+                released,
+                blocker,
+            } => {
+                if released {
+                    let (wakes, cbs) = {
+                        let mut state = self.state.borrow_mut();
+                        state.lm.release_retained(from, page)
+                    };
+                    self.process_wakes(wakes, cbs);
+                } else {
+                    let blocker = blocker.expect("deferred callback names its blocker");
+                    let victim = {
+                        let mut state = self.state.borrow_mut();
+                        state.lm.callback_deferred(page, from, blocker)
+                    };
+                    if let Some(v) = victim {
+                        self.abort_txn(v, AbortKind::Deadlock).await;
+                    }
+                }
+            }
+            C2S::ReleaseRetained { page } => {
+                let (wakes, cbs) = {
+                    let mut state = self.state.borrow_mut();
+                    state.lm.release_retained(from, page)
+                };
+                self.process_wakes(wakes, cbs);
+            }
+        }
+    }
+
+    /// Register the transaction and hold it at the MPL admission gate until
+    /// the server accepts it. Returns `false` if the transaction is already
+    /// aborted (straggler message).
+    async fn ensure_admitted(&self, txn: TxnId, client: ClientId) -> bool {
+        enum Role {
+            Ready,
+            Creator,
+            Waiter(ccdb_des::OneshotReceiver<()>),
+            Dead,
+        }
+        let role = {
+            let mut state = self.state.borrow_mut();
+            if state.aborted.contains(&txn) {
+                Role::Dead
+            } else if let Some(entry) = state.txns.get_mut(&txn) {
+                if entry.admitted {
+                    Role::Ready
+                } else {
+                    let (tx, rx) = oneshot(&self.env);
+                    entry.admission_waiters.push(tx);
+                    Role::Waiter(rx)
+                }
+            } else {
+                state.txns.insert(
+                    txn,
+                    ServerTxn {
+                        client,
+                        admitted: false,
+                        admission_waiters: Vec::new(),
+                        mpl_guard: None,
+                        ops_resolved: 0,
+                        failed: false,
+                        commit_waiter: None,
+                        parked: HashSet::new(),
+                    },
+                );
+                Role::Creator
+            }
+        };
+        match role {
+            Role::Ready => true,
+            Role::Dead => false,
+            Role::Waiter(rx) => {
+                rx.wait().await;
+                !self.state.borrow().aborted.contains(&txn)
+            }
+            Role::Creator => {
+                let guard = self.mpl.acquire().await;
+                let waiters = {
+                    let mut state = self.state.borrow_mut();
+                    match state.txns.get_mut(&txn) {
+                        Some(entry) => {
+                            entry.admitted = true;
+                            entry.mpl_guard = Some(guard);
+                            std::mem::take(&mut entry.admission_waiters)
+                        }
+                        // Aborted while waiting for admission.
+                        None => Vec::new(),
+                    }
+                };
+                for w in waiters {
+                    w.fire(());
+                }
+                !self.state.borrow().aborted.contains(&txn)
+            }
+        }
+    }
+
+    /// Count one protocol operation of `txn` as resolved and wake a pending
+    /// commit that was waiting for it.
+    fn resolve_op(&self, txn: TxnId) {
+        if trace_txn() == Some(txn) {
+            eprintln!("[{}] resolve_op {txn:?}", self.env.now());
+        }
+        let waiter = {
+            let mut state = self.state.borrow_mut();
+            match state.txns.get_mut(&txn) {
+                Some(entry) => {
+                    entry.ops_resolved += 1;
+                    entry.commit_waiter.take()
+                }
+                None => None,
+            }
+        };
+        if let Some(w) = waiter {
+            w.fire(());
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the LockFetch message fields
+    async fn handle_lock_fetch(
+        &self,
+        from: ClientId,
+        txn: TxnId,
+        page: PageId,
+        mode: Mode,
+        cached_version: Option<u64>,
+        wait: bool,
+        op: OpId,
+    ) {
+        if !self.ensure_admitted(txn, from).await {
+            if wait {
+                self.reply(from, op, ReplyKind::Aborted);
+            }
+            return;
+        }
+        let outcome = {
+            let mut state = self.state.borrow_mut();
+            state.lm.request(txn, from, page, mode)
+        };
+        if trace_txn() == Some(txn) {
+            eprintln!(
+                "[{}] lockfetch {txn:?} {page:?} {mode:?} wait={wait} v={cached_version:?} -> {outcome:?}",
+                self.env.now()
+            );
+        }
+        match outcome {
+            RequestOutcome::Granted => {}
+            RequestOutcome::Blocked { callbacks } => {
+                for c in callbacks {
+                    self.trace
+                        .record(self.env.now(), TraceEvent::Callback { client: c, page });
+                    self.send_async(c, S2C::Callback { page });
+                }
+                let (tx, rx) = oneshot(&self.env);
+                {
+                    let mut state = self.state.borrow_mut();
+                    state.grants.entry((txn, page)).or_default().push_back(tx);
+                    if let Some(entry) = state.txns.get_mut(&txn) {
+                        entry.parked.insert(page);
+                    }
+                }
+                let result = rx.wait().await;
+                {
+                    let mut state = self.state.borrow_mut();
+                    if let Some(entry) = state.txns.get_mut(&txn) {
+                        entry.parked.remove(&page);
+                    }
+                }
+                if result == GrantResult::Granted {
+                    self.trace
+                        .record(self.env.now(), TraceEvent::GrantedAfterWait { txn, page });
+                }
+                if result == GrantResult::Aborted {
+                    if wait {
+                        self.reply(from, op, ReplyKind::Aborted);
+                    }
+                    return;
+                }
+            }
+            RequestOutcome::Deadlock => {
+                // abort_txn notifies the client with a Restart message; a
+                // synchronous requester additionally gets its reply.
+                self.abort_txn(txn, AbortKind::Deadlock).await;
+                if wait {
+                    self.reply(from, op, ReplyKind::Aborted);
+                }
+                return;
+            }
+        }
+        // Lock granted: validate the cached version *now* (it may have gone
+        // stale while we were blocked).
+        let current = {
+            let state = self.state.borrow();
+            state.versions[self.db().page_index(page)]
+        };
+        match cached_version {
+            Some(v) if v == current => {
+                if wait {
+                    self.reply(from, op, ReplyKind::Valid);
+                }
+                self.resolve_op(txn);
+            }
+            Some(_) if !wait => {
+                // No-wait locking read a stale cached page: abort. The
+                // restart message names the page so the client refetches
+                // it instead of looping on the same stale copy.
+                self.abort_txn_stale(txn, AbortKind::StaleRead, Some(page))
+                    .await;
+            }
+            _ => {
+                // Stale or absent: ship the page.
+                self.ship_page(from, txn, page, op).await;
+                self.resolve_op(txn);
+            }
+        }
+    }
+
+    /// Read `page` (buffer or disk), charge per-page CPU, and reply with
+    /// the data; records the client in the caching directory.
+    async fn ship_page(&self, to: ClientId, _txn: TxnId, page: PageId, op: OpId) {
+        self.read_into_buffer(page).await;
+        self.node.charge_cpu(self.sys().server_proc_page).await;
+        let version = {
+            let mut state = self.state.borrow_mut();
+            state.directory.entry(page).or_default().insert(to);
+            state.versions[self.db().page_index(page)]
+        };
+        self.reply(to, op, ReplyKind::PageData { version });
+    }
+
+    /// Ensure `page` is resident in the buffer pool, performing the miss
+    /// I/O and any eviction write-back.
+    async fn read_into_buffer(&self, page: PageId) {
+        let (hit, eviction) = {
+            let mut state = self.state.borrow_mut();
+            if state.buffer.lookup(page) {
+                (true, None)
+            } else {
+                (false, state.buffer.admit(page))
+            }
+        };
+        if hit {
+            return;
+        }
+        if let Some(ev) = eviction {
+            if ev.write_back {
+                if let Some(t) = ev.uncommitted_of {
+                    self.log.note_stolen_flush(t, ev.page);
+                }
+                self.node.charge_cpu(self.sys().init_disk_cost).await;
+                self.data_disks
+                    .for_class(ev.page.class.0)
+                    .access_page(ev.page, self.cfg.db.cluster_factor)
+                    .await;
+            }
+        }
+        self.node.charge_cpu(self.sys().init_disk_cost).await;
+        self.data_disks
+            .for_class(page.class.0)
+            .access_page(page, self.cfg.db.cluster_factor)
+            .await;
+    }
+
+    /// Install one updated page received from a client into the buffer.
+    async fn install_update(&self, page: PageId, txn: TxnId) {
+        self.node.charge_cpu(self.sys().server_proc_page).await;
+        let eviction = {
+            let mut state = self.state.borrow_mut();
+            let ev = state.buffer.admit(page);
+            state.buffer.mark_dirty(page, Some(txn.0));
+            ev
+        };
+        if let Some(ev) = eviction {
+            if ev.write_back {
+                if let Some(t) = ev.uncommitted_of {
+                    self.log.note_stolen_flush(t, ev.page);
+                }
+                self.node.charge_cpu(self.sys().init_disk_cost).await;
+                self.data_disks
+                    .for_class(ev.page.class.0)
+                    .access_page(ev.page, self.cfg.db.cluster_factor)
+                    .await;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    async fn handle_commit(
+        &self,
+        from: ClientId,
+        txn: TxnId,
+        read_set: Vec<(PageId, u64)>,
+        dirty: Vec<PageId>,
+        ops_sent: u32,
+        op: OpId,
+    ) {
+        if !self.ensure_admitted(txn, from).await {
+            self.reply(from, op, ReplyKind::Aborted);
+            return;
+        }
+        if trace_txn() == Some(txn) {
+            eprintln!(
+                "[{}] commit arrives {txn:?} ops_sent={ops_sent} dirty={}",
+                self.env.now(),
+                dirty.len()
+            );
+        }
+        // Wait until every protocol op the client issued has been resolved
+        // (no-wait locking: async lock requests may still be queued).
+        loop {
+            let wait = {
+                let mut state = self.state.borrow_mut();
+                match state.txns.get_mut(&txn) {
+                    Some(entry) => {
+                        if entry.failed || entry.ops_resolved >= ops_sent {
+                            None
+                        } else {
+                            let (tx, rx) = oneshot(&self.env);
+                            entry.commit_waiter = Some(tx);
+                            Some(rx)
+                        }
+                    }
+                    None => None,
+                }
+            };
+            match wait {
+                Some(rx) => rx.wait().await,
+                None => break,
+            }
+        }
+        let failed = {
+            let state = self.state.borrow();
+            state.aborted.contains(&txn) || state.txns.get(&txn).map(|e| e.failed).unwrap_or(true)
+        };
+        if failed {
+            self.cleanup_txn(txn);
+            self.reply(from, op, ReplyKind::Aborted);
+            return;
+        }
+
+        // Certification: validate the read set against committed versions
+        // and — atomically with the validation — bump the written pages'
+        // versions. The version bump IS the logical commit point: a
+        // concurrent certifier that read any of these pages will now fail
+        // its own validation instead of silently losing an update. The
+        // data movement and log force follow; the client sees the commit
+        // only after the force completes.
+        let new_version = txn.0;
+        if self.cfg.algorithm.deferred_updates() {
+            let valid = {
+                let mut state = self.state.borrow_mut();
+                let ok = read_set
+                    .iter()
+                    .all(|(p, v)| state.versions[self.db().page_index(*p)] == *v);
+                if ok {
+                    for &page in &dirty {
+                        let idx = self.db().page_index(page);
+                        state.versions[idx] = new_version;
+                    }
+                }
+                ok
+            };
+            if !valid {
+                self.cleanup_txn(txn);
+                self.reply(from, op, ReplyKind::Aborted);
+                return;
+            }
+        } else if self.cfg.oracle {
+            // Serializability oracle: a locking transaction reaching commit
+            // must have read only current versions — its locks prevented
+            // any committed overwrite.
+            let state = self.state.borrow();
+            for (p, v) in &read_set {
+                let cur = state.versions[self.db().page_index(*p)];
+                assert_eq!(
+                    cur, *v,
+                    "oracle violation: {:?} read {:?}@v{} but committed version is v{}",
+                    self.cfg.algorithm, p, v, cur
+                );
+            }
+        }
+
+        // Install updates (charges ServerProcPage per page + buffer I/O).
+        for &page in &dirty {
+            self.install_update(page, txn).await;
+        }
+        // Force the log.
+        self.log.force_commit(txn.0, dirty.len() as u64).await;
+        // Bump versions (already done at the validation point for
+        // certification); committed frames become anonymous dirty frames.
+        {
+            let mut state = self.state.borrow_mut();
+            state.buffer.commit_txn(txn.0);
+            if !self.cfg.algorithm.deferred_updates() {
+                for &page in &dirty {
+                    let idx = self.db().page_index(page);
+                    state.versions[idx] = new_version;
+                }
+            }
+        }
+        // Release locks (callback locking retains them as read locks, or
+        // as read+write locks under the write-retention variant).
+        let policy = if matches!(self.cfg.algorithm, Algorithm::Callback) {
+            if self.cfg.tuning.retain_write_locks {
+                RetainPolicy::ReadWrite(from)
+            } else {
+                RetainPolicy::Read(from)
+            }
+        } else {
+            RetainPolicy::Drop
+        };
+        if trace_txn() == Some(txn) {
+            eprintln!("[{}] commit release_all {txn:?}", self.env.now());
+        }
+        let (wakes, cbs) = {
+            let mut state = self.state.borrow_mut();
+            state.lm.release_all_policy(txn, policy)
+        };
+        self.process_wakes(wakes, cbs);
+
+        // Notification: push the new pages to every other caching client.
+        if matches!(self.cfg.algorithm, Algorithm::NoWait { notify: true }) && !dirty.is_empty() {
+            self.push_updates(from, &dirty, new_version).await;
+        }
+
+        self.cleanup_txn(txn);
+        self.reply(from, op, ReplyKind::Committed { new_version });
+    }
+
+    /// Batch the updated pages per caching client and ship them. With the
+    /// broadcast variant every other client receives every page, and the
+    /// server needs no caching directory.
+    async fn push_updates(&self, committer: ClientId, dirty: &[PageId], version: u64) {
+        let mut per_client: HashMap<ClientId, Vec<PageId>> = HashMap::new();
+        if self.cfg.tuning.notify_broadcast {
+            for c in 0..self.cfg.sys.n_clients {
+                let c = ClientId(c);
+                if c != committer {
+                    per_client.insert(c, dirty.to_vec());
+                }
+            }
+        } else {
+            let state = self.state.borrow();
+            for &page in dirty {
+                if let Some(clients) = state.directory.get(&page) {
+                    for &c in clients {
+                        if c != committer {
+                            per_client.entry(c).or_default().push(page);
+                        }
+                    }
+                }
+            }
+        }
+        let mut targets: Vec<(ClientId, Vec<PageId>)> = per_client.into_iter().collect();
+        targets.sort_by_key(|(c, _)| c.0); // deterministic send order
+        let invalidate = self.cfg.tuning.notify_invalidate;
+        for (client, pages) in targets {
+            self.trace.record(
+                self.env.now(),
+                TraceEvent::UpdatePush {
+                    client,
+                    pages: pages.len(),
+                    invalidate,
+                },
+            );
+            if invalidate {
+                // Invalidation variant: a small control message, no page
+                // contents and no per-page processing cost.
+                self.send_async(client, S2C::Invalidate { pages });
+            } else {
+                // Server CPU per page pushed (it is "sent to a client").
+                self.node
+                    .charge_cpu(self.sys().server_proc_page * pages.len() as u64)
+                    .await;
+                self.send_async(client, S2C::Update { pages, version });
+            }
+        }
+    }
+
+    /// Server-side transaction abort: drop locks and queued requests, wake
+    /// parked handlers with `Aborted`, undo buffered updates, charge undo
+    /// I/O for stolen flushes, free the MPL slot.
+    pub async fn abort_txn(&self, txn: TxnId, why: AbortKind) {
+        self.abort_txn_stale(txn, why, None).await;
+    }
+
+    /// [`Server::abort_txn`] naming the stale page that triggered the
+    /// abort, so the client can invalidate it before restarting.
+    pub async fn abort_txn_stale(&self, txn: TxnId, why: AbortKind, stale_page: Option<PageId>) {
+        if trace_txn() == Some(txn) {
+            eprintln!(
+                "[{}] abort_txn {txn:?} why={why:?} stale={stale_page:?}",
+                self.env.now()
+            );
+        }
+        let (client, wakes, cbs, parked_signals, commit_waiter) = {
+            let mut state = self.state.borrow_mut();
+            if state.aborted.contains(&txn) || !state.txns.contains_key(&txn) {
+                // Unknown or already aborted.
+                state.aborted.insert(txn);
+                return;
+            }
+            state.aborted.insert(txn);
+            let (wakes, cbs) = state.lm.abort(txn);
+            let mut signals = Vec::new();
+            let mut commit_waiter = None;
+            let mut client = None;
+            if let Some(entry) = state.txns.get_mut(&txn) {
+                entry.failed = true;
+                client = Some(entry.client);
+                commit_waiter = entry.commit_waiter.take();
+                let parked: Vec<PageId> = entry.parked.iter().copied().collect();
+                for p in parked {
+                    if let Some(q) = state.grants.remove(&(txn, p)) {
+                        signals.extend(q);
+                    }
+                }
+            }
+            state.buffer.abort_txn(txn.0);
+            (client, wakes, cbs, signals, commit_waiter)
+        };
+        if let Some(c) = client {
+            self.send_async(
+                c,
+                S2C::Restart {
+                    txn,
+                    kind: why,
+                    stale_page,
+                },
+            );
+        }
+        self.process_wakes(wakes, cbs);
+        for s in parked_signals {
+            s.fire(GrantResult::Aborted);
+        }
+        if let Some(w) = commit_waiter {
+            w.fire(());
+        }
+        // Undo I/O for stolen flushes: read the log, rewrite before-images.
+        let undo_pages = self.log.process_abort(txn.0).await;
+        for page in undo_pages {
+            self.node.charge_cpu(self.sys().init_disk_cost).await;
+            self.data_disks
+                .for_class(page.class.0)
+                .access_page(page, self.cfg.db.cluster_factor)
+                .await;
+        }
+        self.cleanup_txn(txn);
+    }
+
+    /// Drop the transaction entry, releasing its MPL slot. Any handlers
+    /// still waiting for admission are released (they re-check the aborted
+    /// set and bail out).
+    fn cleanup_txn(&self, txn: TxnId) {
+        if trace_txn() == Some(txn) {
+            eprintln!("[{}] cleanup {txn:?}", self.env.now());
+        }
+        let (guard, waiters) = {
+            let mut state = self.state.borrow_mut();
+            if self.cfg.oracle {
+                state.lm.assert_txn_gone(txn);
+            }
+            match state.txns.remove(&txn) {
+                Some(mut e) => (e.mpl_guard.take(), std::mem::take(&mut e.admission_waiters)),
+                None => (None, Vec::new()),
+            }
+        };
+        for w in waiters {
+            w.fire(());
+        }
+        drop(guard); // admits the next transaction, if any is waiting
+    }
+
+    /// Fire grant signals and issue callbacks produced by a lock-manager
+    /// release.
+    fn process_wakes(&self, wakes: Vec<Wake>, callbacks: Vec<(ClientId, PageId)>) {
+        for w in wakes {
+            let signal = {
+                let mut state = self.state.borrow_mut();
+                match state.grants.get_mut(&(w.txn, w.page)) {
+                    Some(q) => {
+                        let tx = q.pop_front();
+                        if q.is_empty() {
+                            state.grants.remove(&(w.txn, w.page));
+                        }
+                        tx
+                    }
+                    None => None,
+                }
+            };
+            if let Some(tx) = signal {
+                tx.fire(GrantResult::Granted);
+            }
+        }
+        for (client, page) in callbacks {
+            self.trace
+                .record(self.env.now(), TraceEvent::Callback { client, page });
+            self.send_async(client, S2C::Callback { page });
+        }
+    }
+}

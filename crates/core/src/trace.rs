@@ -1,0 +1,363 @@
+//! Protocol tracing: a structured, time-ordered transcript of what the
+//! clients and the server did. Used by `ccdb trace` to produce a readable
+//! walk-through of a small run, and by tests to assert protocol-level
+//! event sequences.
+//!
+//! Tracing is off by default (a disabled [`Trace`] costs one branch per
+//! event site) and bounded: recording stops after `capacity` events.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use ccdb_des::SimTime;
+use ccdb_lock::{ClientId, Mode, TxnId};
+use ccdb_model::PageId;
+
+use crate::metrics::AbortKind;
+
+/// One protocol-level event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A client began a transaction attempt.
+    TxnBegin {
+        /// Client.
+        client: ClientId,
+        /// Transaction attempt id.
+        txn: TxnId,
+        /// Restart count (0 for the first attempt).
+        attempt: u32,
+    },
+    /// A page read was satisfied locally from the client cache.
+    LocalRead {
+        /// Client.
+        client: ClientId,
+        /// Page.
+        page: PageId,
+    },
+    /// A page update was performed locally (deferred updates or a
+    /// retained write lock).
+    LocalWrite {
+        /// Client.
+        client: ClientId,
+        /// Page.
+        page: PageId,
+    },
+    /// The client asked the server for a lock and/or the page.
+    Request {
+        /// Client.
+        client: ClientId,
+        /// Transaction.
+        txn: TxnId,
+        /// Page.
+        page: PageId,
+        /// Requested mode (None for certification fetch/check).
+        mode: Option<Mode>,
+        /// Whether the client blocks for the reply.
+        sync: bool,
+    },
+    /// The server granted a lock request after it had blocked.
+    GrantedAfterWait {
+        /// Transaction.
+        txn: TxnId,
+        /// Page.
+        page: PageId,
+    },
+    /// The server asked a client to release a retained lock.
+    Callback {
+        /// Client being called back.
+        client: ClientId,
+        /// Page.
+        page: PageId,
+    },
+    /// A client answered a callback.
+    CallbackAnswer {
+        /// Client.
+        client: ClientId,
+        /// Page.
+        page: PageId,
+        /// Released now, or deferred to the end of the current txn.
+        released: bool,
+    },
+    /// The server pushed updated pages (notification).
+    UpdatePush {
+        /// Receiving client.
+        client: ClientId,
+        /// Pages pushed.
+        pages: usize,
+        /// Invalidate (vs propagate) variant.
+        invalidate: bool,
+    },
+    /// A transaction committed.
+    Commit {
+        /// Client.
+        client: ClientId,
+        /// Transaction.
+        txn: TxnId,
+        /// Pages written.
+        dirty: usize,
+        /// Entirely local (callback locking's no-message commit).
+        local: bool,
+    },
+    /// A transaction aborted.
+    Abort {
+        /// Client.
+        client: ClientId,
+        /// Transaction.
+        txn: TxnId,
+        /// Why.
+        kind: AbortKind,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::TxnBegin {
+                client,
+                txn,
+                attempt,
+            } => {
+                if *attempt == 0 {
+                    write!(f, "client {} begins txn {}", client.0, txn.0)
+                } else {
+                    write!(
+                        f,
+                        "client {} restarts as txn {} (attempt {})",
+                        client.0,
+                        txn.0,
+                        attempt + 1
+                    )
+                }
+            }
+            TraceEvent::LocalRead { client, page } => {
+                write!(f, "client {} reads {page:?} from its cache", client.0)
+            }
+            TraceEvent::LocalWrite { client, page } => {
+                write!(f, "client {} updates {page:?} locally", client.0)
+            }
+            TraceEvent::Request {
+                client,
+                txn,
+                page,
+                mode,
+                sync,
+            } => {
+                let what = match mode {
+                    Some(Mode::S) => "S lock",
+                    Some(Mode::X) => "X lock",
+                    None => "validity/fetch",
+                };
+                let how = if *sync { "waits for" } else { "fires async" };
+                write!(
+                    f,
+                    "client {} (txn {}) {how} {what} on {page:?}",
+                    client.0, txn.0
+                )
+            }
+            TraceEvent::GrantedAfterWait { txn, page } => {
+                write!(f, "server grants txn {} its lock on {page:?}", txn.0)
+            }
+            TraceEvent::Callback { client, page } => {
+                write!(
+                    f,
+                    "server calls back client {}'s lock on {page:?}",
+                    client.0
+                )
+            }
+            TraceEvent::CallbackAnswer {
+                client,
+                page,
+                released,
+            } => {
+                if *released {
+                    write!(f, "client {} releases {page:?}", client.0)
+                } else {
+                    write!(f, "client {} defers {page:?} until its txn ends", client.0)
+                }
+            }
+            TraceEvent::UpdatePush {
+                client,
+                pages,
+                invalidate,
+            } => {
+                let verb = if *invalidate { "invalidates" } else { "pushes" };
+                write!(f, "server {verb} {pages} page(s) at client {}", client.0)
+            }
+            TraceEvent::Commit {
+                client,
+                txn,
+                dirty,
+                local,
+            } => {
+                if *local {
+                    write!(
+                        f,
+                        "client {} commits txn {} locally (retained locks only)",
+                        client.0, txn.0
+                    )
+                } else {
+                    write!(
+                        f,
+                        "client {} commits txn {} ({dirty} dirty page(s))",
+                        client.0, txn.0
+                    )
+                }
+            }
+            TraceEvent::Abort { client, txn, kind } => {
+                let why = match kind {
+                    AbortKind::Deadlock => "deadlock victim",
+                    AbortKind::StaleRead => "stale cached read",
+                    AbortKind::Validation => "failed certification",
+                };
+                write!(f, "client {}'s txn {} aborts: {why}", client.0, txn.0)
+            }
+        }
+    }
+}
+
+struct Inner {
+    events: Vec<(SimTime, TraceEvent)>,
+    capacity: usize,
+}
+
+/// A shared, bounded protocol trace. Cheap to clone; a disabled trace
+/// records nothing.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Trace {
+    /// A trace that records up to `capacity` events.
+    pub fn enabled(capacity: usize) -> Self {
+        Trace {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                events: Vec::new(),
+                capacity,
+            }))),
+        }
+    }
+
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace { inner: None }
+    }
+
+    /// True if events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record an event at simulation time `now` (no-op when disabled or
+    /// full).
+    pub fn record(&self, now: SimTime, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            if inner.events.len() < inner.capacity {
+                inner.events.push((now, event));
+            }
+        }
+    }
+
+    /// Snapshot of the recorded events, in record order (= time order,
+    /// since the simulation is single-threaded).
+    pub fn events(&self) -> Vec<(SimTime, TraceEvent)> {
+        match &self.inner {
+            Some(inner) => inner.borrow().events.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render the transcript, one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (t, e) in self.events() {
+            let _ = writeln!(out, "[{:>12.6}s] {e}", t.as_secs_f64());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_model::ClassId;
+
+    fn page(n: u32) -> PageId {
+        PageId {
+            class: ClassId(0),
+            atom: n,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        t.record(
+            SimTime::ZERO,
+            TraceEvent::LocalRead {
+                client: ClientId(0),
+                page: page(1),
+            },
+        );
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert!(t.render().is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let t = Trace::enabled(2);
+        for i in 0..5 {
+            t.record(
+                SimTime::from_nanos(i),
+                TraceEvent::LocalRead {
+                    client: ClientId(0),
+                    page: page(i as u32),
+                },
+            );
+        }
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn rendering_is_readable() {
+        let t = Trace::enabled(16);
+        t.record(
+            SimTime::from_nanos(1_500_000),
+            TraceEvent::TxnBegin {
+                client: ClientId(3),
+                txn: TxnId(77),
+                attempt: 0,
+            },
+        );
+        t.record(
+            SimTime::from_nanos(2_000_000),
+            TraceEvent::Abort {
+                client: ClientId(3),
+                txn: TxnId(77),
+                kind: AbortKind::Deadlock,
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("client 3 begins txn 77"));
+        assert!(s.contains("deadlock victim"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Trace::enabled(8);
+        let t2 = t.clone();
+        t2.record(
+            SimTime::ZERO,
+            TraceEvent::LocalWrite {
+                client: ClientId(1),
+                page: page(9),
+            },
+        );
+        assert_eq!(t.events().len(), 1);
+    }
+}

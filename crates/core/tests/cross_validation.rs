@@ -1,0 +1,169 @@
+//! Analytical cross-validation: for a single client with no contention the
+//! mean response time is a closed-form sum of the model's service times.
+//! The simulator must land on it. This is the classic sanity check for a
+//! queueing simulator — if the charging points drift, these tests move.
+
+use ccdb_core::{run_simulation, Algorithm, SimConfig};
+use ccdb_des::SimDuration;
+use ccdb_model::{DatabaseSpec, TxnParams};
+
+/// Table 5 cost constants, in seconds.
+mod cost {
+    /// MsgCost 5000 instr at ClientMips 1.
+    pub const CLIENT_MSG: f64 = 0.005;
+    /// MsgCost 5000 instr at ServerMips 2.
+    pub const SERVER_MSG: f64 = 0.0025;
+    /// Mean exponential packet delay (NetDelay 2 ms).
+    pub const NET: f64 = 0.002;
+    /// InitDiskCost 5000 instr at ServerMips 2.
+    pub const INIT_DISK: f64 = 0.0025;
+    /// Mean seek U[0,44] ms + 2 ms transfer.
+    pub const DISK: f64 = 0.024;
+    /// ServerProcPage 10000 instr at ServerMips 2.
+    pub const SERVER_PAGE: f64 = 0.005;
+    /// ClientProcPage 20000 instr at ClientMips 1.
+    pub const CLIENT_PAGE: f64 = 0.020;
+    /// One log block transfer (2 ms), sequential.
+    pub const LOG_BLOCK: f64 = 0.002;
+}
+
+/// A single-client, read-only, zero-locality configuration over a database
+/// big enough that cache and buffer hits are negligible.
+fn lone_client(alg: Algorithm) -> SimConfig {
+    let mut cfg = SimConfig::table5(alg)
+        .with_clients(1)
+        .with_locality(0.0)
+        .with_prob_write(0.0)
+        .with_horizon(SimDuration::from_secs(10), SimDuration::from_secs(400));
+    cfg.db = DatabaseSpec::uniform(40, 2_000, 1, 1.0); // 80k pages
+    cfg.txn = TxnParams {
+        min_xact_size: 8,
+        max_xact_size: 8, // deterministic transaction size
+        prob_write: 0.0,
+        inter_xact_loc: 0.0,
+        ..TxnParams::short_batch()
+    };
+    cfg
+}
+
+/// Expected seconds for one synchronous lock+fetch round trip ending in a
+/// buffer-miss page ship, uncontended.
+fn fetch_round_trip() -> f64 {
+    // request: client CPU + net + server CPU (1 packet each way)
+    // service: disk init + disk + per-page CPU
+    // reply:   server CPU + net + client CPU
+    // client page processing after the access
+    cost::CLIENT_MSG
+        + cost::NET
+        + cost::SERVER_MSG
+        + cost::INIT_DISK
+        + cost::DISK
+        + cost::SERVER_PAGE
+        + cost::SERVER_MSG
+        + cost::NET
+        + cost::CLIENT_MSG
+        + cost::CLIENT_PAGE
+}
+
+/// Expected seconds for the read-only commit round (no dirty pages, one
+/// log block).
+fn commit_round_trip() -> f64 {
+    cost::CLIENT_MSG
+        + cost::NET
+        + cost::SERVER_MSG
+        + cost::LOG_BLOCK
+        + cost::SERVER_MSG
+        + cost::NET
+        + cost::CLIENT_MSG
+}
+
+#[test]
+fn two_phase_matches_closed_form() {
+    let r = run_simulation(lone_client(Algorithm::TwoPhase { inter: true }));
+    let expected = 8.0 * fetch_round_trip() + commit_round_trip();
+    let rel = (r.resp_time_mean - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "C2PL: simulated {:.4}s vs analytical {:.4}s ({:.1}% off)",
+        r.resp_time_mean,
+        expected,
+        rel * 100.0
+    );
+    assert_eq!(r.aborts, 0);
+}
+
+#[test]
+fn certification_matches_closed_form() {
+    // Identical message pattern for a read-only lone client: fetch per
+    // page, commit validates trivially.
+    let r = run_simulation(lone_client(Algorithm::Certification { inter: true }));
+    let expected = 8.0 * fetch_round_trip() + commit_round_trip();
+    let rel = (r.resp_time_mean - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "COCC: simulated {:.4}s vs analytical {:.4}s",
+        r.resp_time_mean,
+        expected
+    );
+}
+
+#[test]
+fn no_wait_lone_client_matches_closed_form() {
+    // Every read misses (cold, huge database) so no-wait's fetches are
+    // synchronous too; the commit round is the same.
+    let r = run_simulation(lone_client(Algorithm::NoWait { notify: false }));
+    let expected = 8.0 * fetch_round_trip() + commit_round_trip();
+    let rel = (r.resp_time_mean - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "NW: simulated {:.4}s vs analytical {:.4}s",
+        r.resp_time_mean,
+        expected
+    );
+}
+
+#[test]
+fn throughput_matches_littles_law_for_one_client() {
+    // One client cycles think(1s) -> transaction(R): throughput must be
+    // 1 / (1 + R) transactions per second.
+    let r = run_simulation(lone_client(Algorithm::TwoPhase { inter: true }));
+    let predicted = 1.0 / (1.0 + r.resp_time_mean);
+    let rel = (r.throughput - predicted).abs() / predicted;
+    assert!(
+        rel < 0.1,
+        "throughput {:.4} vs Little's-law {:.4}",
+        r.throughput,
+        predicted
+    );
+}
+
+#[test]
+fn write_rounds_add_the_upgrade_cost() {
+    // With ProbWrite 1.0 every page is read (fetch) then upgraded
+    // (control round trip) and shipped at commit (1 page per packet).
+    let mut cfg = lone_client(Algorithm::TwoPhase { inter: true });
+    cfg.txn.prob_write = 1.0;
+    // A buffer pool bigger than the database: no evictions, so no
+    // steady-state write-back I/O muddies the closed form.
+    cfg.sys.buffer_size = 100_000;
+    let r = run_simulation(cfg);
+    let upgrade = cost::CLIENT_MSG + cost::NET + cost::SERVER_MSG   // X request
+        + cost::SERVER_MSG + cost::NET + cost::CLIENT_MSG           // Valid reply
+        + cost::CLIENT_PAGE; // client-side update processing
+                             // Commit ships 8 dirty pages: 8 packets each way of costs, server
+                             // processes 8 pages, log force is 9 blocks.
+    let commit = 8.0 * (cost::CLIENT_MSG + cost::NET + cost::SERVER_MSG)
+        + 8.0 * cost::SERVER_PAGE
+        + 9.0 * cost::LOG_BLOCK
+        + cost::SERVER_MSG
+        + cost::NET
+        + cost::CLIENT_MSG;
+    let expected = 8.0 * (fetch_round_trip() + upgrade) + commit;
+    let rel = (r.resp_time_mean - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "write txn: simulated {:.4}s vs analytical {:.4}s",
+        r.resp_time_mean,
+        expected
+    );
+}

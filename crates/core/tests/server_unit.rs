@@ -1,0 +1,318 @@
+//! Server-level protocol tests: messages are injected straight into the
+//! server inbox (no client runtime), and the replies the server sends to
+//! the per-client stations are asserted. This pins the server transaction
+//! module's behaviour independent of the client implementation.
+
+use std::rc::Rc;
+
+use ccdb_core::msg::{ReplyKind, C2S, S2C};
+use ccdb_core::server::Server;
+use ccdb_core::{Algorithm, SimConfig, Trace};
+use ccdb_des::{Pcg32, Sim, SimDuration, SimTime};
+use ccdb_lock::{ClientId, Mode, TxnId};
+use ccdb_model::{ClassId, PageId};
+use ccdb_net::{Network, NetworkNode};
+
+struct Rig {
+    sim: Sim,
+    server: Server,
+    clients: Rc<Vec<NetworkNode<S2C>>>,
+    net: Network,
+    horizon: std::cell::Cell<u64>,
+}
+
+fn rig(algorithm: Algorithm, n_clients: u32) -> Rig {
+    let mut cfg = SimConfig::table5(algorithm).with_clients(n_clients);
+    // Make the rig fast and exact: free network, fixed disks.
+    cfg.sys.net_delay = SimDuration::ZERO;
+    cfg.sys.msg_cost = 0;
+    let sim = Sim::new();
+    let env = sim.env();
+    let mut rng = Pcg32::new(1, 1);
+    let net = Network::new(&env, &cfg.sys, rng.split(0));
+    let clients: Rc<Vec<NetworkNode<S2C>>> = Rc::new(
+        (0..n_clients)
+            .map(|i| NetworkNode::new(&env, format!("c{i}"), 1, 1.0))
+            .collect(),
+    );
+    let server = Server::spawn(
+        &env,
+        Rc::new(cfg),
+        net.clone(),
+        Rc::clone(&clients),
+        &mut rng,
+        Trace::disabled(),
+    );
+    Rig {
+        sim,
+        server,
+        clients,
+        net,
+        horizon: std::cell::Cell::new(0),
+    }
+}
+
+fn page(n: u32) -> PageId {
+    PageId {
+        class: ClassId(0),
+        atom: n,
+    }
+}
+
+impl Rig {
+    fn send(&self, from: u32, msg: C2S) {
+        self.net.send(
+            &self.clients[from as usize],
+            &self.server.node,
+            (ClientId(from), msg),
+            0,
+        );
+    }
+
+    fn run(&self) {
+        // The server dispatcher runs forever, so each step advances a
+        // bounded horizon far enough for any pending I/O to complete.
+        let next = self.horizon.get() + 10;
+        self.horizon.set(next);
+        self.sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(next));
+    }
+
+    fn replies(&self, client: u32) -> Vec<S2C> {
+        let mut out = Vec::new();
+        while let Some(m) = self.clients[client as usize].inbox.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+fn lock_fetch(txn: u64, p: PageId, mode: Mode, v: Option<u64>, op: u64) -> C2S {
+    C2S::LockFetch {
+        txn: TxnId(txn),
+        page: p,
+        mode,
+        cached_version: v,
+        wait: true,
+        op,
+    }
+}
+
+fn commit(txn: u64, read_set: Vec<(PageId, u64)>, dirty: Vec<PageId>, ops: u32, op: u64) -> C2S {
+    C2S::Commit {
+        txn: TxnId(txn),
+        read_set,
+        dirty,
+        ops_sent: ops,
+        op,
+    }
+}
+
+#[test]
+fn cold_fetch_ships_page_at_version_zero() {
+    let r = rig(Algorithm::TwoPhase { inter: true }, 1);
+    r.send(0, lock_fetch(1, page(5), Mode::S, None, 1));
+    r.run();
+    let replies = r.replies(0);
+    assert_eq!(replies.len(), 1);
+    assert!(matches!(
+        replies[0],
+        S2C::Reply {
+            op: 1,
+            kind: ReplyKind::PageData { version: 0 }
+        }
+    ));
+    assert_eq!(r.server.version_of(page(5)), 0);
+}
+
+#[test]
+fn current_version_is_validated_without_data() {
+    let r = rig(Algorithm::TwoPhase { inter: true }, 1);
+    r.send(0, lock_fetch(1, page(5), Mode::S, Some(0), 1));
+    r.run();
+    let replies = r.replies(0);
+    assert!(matches!(
+        replies[0],
+        S2C::Reply {
+            op: 1,
+            kind: ReplyKind::Valid
+        }
+    ));
+}
+
+#[test]
+fn commit_bumps_versions_and_releases_locks() {
+    let r = rig(Algorithm::TwoPhase { inter: true }, 2);
+    // Txn 1 (client 0) reads and writes page 5, then commits.
+    r.send(0, lock_fetch(1, page(5), Mode::S, None, 1));
+    r.send(0, lock_fetch(1, page(5), Mode::X, Some(0), 2));
+    r.send(0, commit(1, vec![(page(5), 0)], vec![page(5)], 2, 3));
+    r.run();
+    let replies = r.replies(0);
+    assert!(matches!(
+        replies.last(),
+        Some(S2C::Reply {
+            kind: ReplyKind::Committed { new_version: 1 },
+            ..
+        })
+    ));
+    assert_eq!(r.server.version_of(page(5)), 1);
+    // Client 1 can now lock the page; its stale version 0 gets fresh data.
+    r.send(1, lock_fetch(2, page(5), Mode::S, Some(0), 1));
+    r.run();
+    let replies = r.replies(1);
+    assert!(matches!(
+        replies[0],
+        S2C::Reply {
+            kind: ReplyKind::PageData { version: 1 },
+            ..
+        }
+    ));
+}
+
+#[test]
+fn conflicting_writer_waits_for_commit() {
+    let r = rig(Algorithm::TwoPhase { inter: true }, 2);
+    r.send(0, lock_fetch(1, page(7), Mode::X, None, 1));
+    r.run();
+    assert_eq!(r.replies(0).len(), 1);
+    // Client 1 wants the same page: no reply until txn 1 commits.
+    r.send(1, lock_fetch(2, page(7), Mode::X, Some(0), 1));
+    r.run();
+    assert!(r.replies(1).is_empty(), "writer must be blocked");
+    r.send(0, commit(1, vec![(page(7), 0)], vec![page(7)], 1, 2));
+    r.run();
+    let replies = r.replies(1);
+    assert_eq!(replies.len(), 1, "blocked writer resumes after commit");
+    assert!(matches!(
+        replies[0],
+        S2C::Reply {
+            kind: ReplyKind::PageData { version: 1 },
+            ..
+        }
+    ));
+}
+
+#[test]
+fn certification_rejects_stale_read_sets() {
+    let r = rig(Algorithm::Certification { inter: true }, 2);
+    // Both clients read page 3 at version 0.
+    r.send(
+        0,
+        C2S::Fetch {
+            txn: TxnId(1),
+            page: page(3),
+            op: 1,
+        },
+    );
+    r.send(
+        1,
+        C2S::Fetch {
+            txn: TxnId(2),
+            page: page(3),
+            op: 1,
+        },
+    );
+    r.run();
+    r.replies(0);
+    r.replies(1);
+    // Client 0 commits a write first; client 1's validation must fail.
+    r.send(0, commit(1, vec![(page(3), 0)], vec![page(3)], 1, 2));
+    r.run();
+    r.send(1, commit(2, vec![(page(3), 0)], vec![page(3)], 1, 2));
+    r.run();
+    assert!(matches!(
+        r.replies(0).last(),
+        Some(S2C::Reply {
+            kind: ReplyKind::Committed { .. },
+            ..
+        })
+    ));
+    assert!(matches!(
+        r.replies(1).last(),
+        Some(S2C::Reply {
+            kind: ReplyKind::Aborted,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn callback_cycle_end_to_end() {
+    let r = rig(Algorithm::Callback, 2);
+    // Client 0's txn reads page 9 and commits, retaining the lock.
+    r.send(0, lock_fetch(1, page(9), Mode::S, None, 1));
+    r.send(0, commit(1, vec![(page(9), 0)], vec![], 1, 2));
+    r.run();
+    r.replies(0);
+    // Client 1 wants to write page 9: server must call client 0 back.
+    r.send(1, lock_fetch(2, page(9), Mode::X, Some(0), 1));
+    r.run();
+    let cb: Vec<S2C> = r.replies(0);
+    assert!(
+        matches!(cb.as_slice(), [S2C::Callback { page: p }] if *p == page(9)),
+        "expected exactly one callback, got {cb:?}"
+    );
+    assert!(r.replies(1).is_empty(), "writer still blocked");
+    // Client 0 releases; the writer gets its lock (Valid: version current).
+    r.send(
+        0,
+        C2S::CallbackReply {
+            page: page(9),
+            released: true,
+            blocker: None,
+        },
+    );
+    r.run();
+    assert!(matches!(
+        r.replies(1).as_slice(),
+        [S2C::Reply {
+            kind: ReplyKind::Valid,
+            ..
+        }]
+    ));
+}
+
+#[test]
+fn mpl_one_queues_the_second_transaction() {
+    let mut cfg = SimConfig::table5(Algorithm::TwoPhase { inter: true }).with_clients(2);
+    cfg.sys.net_delay = SimDuration::ZERO;
+    cfg.sys.msg_cost = 0;
+    cfg.sys.mpl = 1;
+    let sim = Sim::new();
+    let env = sim.env();
+    let mut rng = Pcg32::new(1, 1);
+    let net = Network::new(&env, &cfg.sys, rng.split(0));
+    let clients: Rc<Vec<NetworkNode<S2C>>> = Rc::new(
+        (0..2)
+            .map(|i| NetworkNode::new(&env, format!("c{i}"), 1, 1.0))
+            .collect(),
+    );
+    let server = Server::spawn(
+        &env,
+        Rc::new(cfg),
+        net.clone(),
+        Rc::clone(&clients),
+        &mut rng,
+        Trace::disabled(),
+    );
+    let r = Rig {
+        sim,
+        server,
+        clients,
+        net,
+        horizon: std::cell::Cell::new(0),
+    };
+    // Txn 1 occupies the only MPL slot (it never commits yet).
+    r.send(0, lock_fetch(1, page(1), Mode::S, None, 1));
+    r.run();
+    assert_eq!(r.replies(0).len(), 1);
+    // Txn 2's first request parks at admission.
+    r.send(1, lock_fetch(2, page(2), Mode::S, None, 1));
+    r.run();
+    assert!(r.replies(1).is_empty(), "txn 2 must wait for admission");
+    // Txn 1 commits; txn 2 is admitted and served.
+    r.send(0, commit(1, vec![(page(1), 0)], vec![], 1, 2));
+    r.run();
+    assert_eq!(r.replies(1).len(), 1);
+}

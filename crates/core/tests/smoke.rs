@@ -1,0 +1,73 @@
+//! End-to-end smoke tests: every algorithm commits work, the oracle holds,
+//! and runs are deterministic.
+
+use ccdb_core::{run_simulation, Algorithm, SimConfig};
+use ccdb_des::SimDuration;
+
+fn quick(algorithm: Algorithm) -> SimConfig {
+    SimConfig::table5(algorithm)
+        .with_clients(5)
+        .with_prob_write(0.3)
+        .with_locality(0.5)
+        .with_horizon(SimDuration::from_secs(5), SimDuration::from_secs(40))
+}
+
+#[test]
+fn two_phase_inter_commits() {
+    let r = run_simulation(quick(Algorithm::TwoPhase { inter: true }));
+    assert!(r.commits > 50, "commits: {}", r.commits);
+    assert!(r.resp_time_mean > 0.0);
+}
+
+#[test]
+fn two_phase_intra_commits() {
+    let r = run_simulation(quick(Algorithm::TwoPhase { inter: false }));
+    assert!(r.commits > 50, "commits: {}", r.commits);
+}
+
+#[test]
+fn certification_inter_commits() {
+    let r = run_simulation(quick(Algorithm::Certification { inter: true }));
+    assert!(r.commits > 50, "commits: {}", r.commits);
+}
+
+#[test]
+fn certification_intra_commits() {
+    let r = run_simulation(quick(Algorithm::Certification { inter: false }));
+    assert!(r.commits > 50, "commits: {}", r.commits);
+}
+
+#[test]
+fn callback_commits() {
+    let r = run_simulation(quick(Algorithm::Callback));
+    assert!(r.commits > 50, "commits: {}", r.commits);
+}
+
+#[test]
+fn no_wait_commits() {
+    let r = run_simulation(quick(Algorithm::NoWait { notify: false }));
+    assert!(r.commits > 50, "commits: {}", r.commits);
+}
+
+#[test]
+fn no_wait_notify_commits() {
+    let r = run_simulation(quick(Algorithm::NoWait { notify: true }));
+    assert!(r.commits > 50, "commits: {}", r.commits);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_simulation(quick(Algorithm::Callback));
+    let b = run_simulation(quick(Algorithm::Callback));
+    assert_eq!(a.commits, b.commits);
+    assert_eq!(a.aborts, b.aborts);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.resp_time_mean, b.resp_time_mean);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_simulation(quick(Algorithm::Callback));
+    let b = run_simulation(quick(Algorithm::Callback).with_seed(999));
+    assert_ne!(a.events, b.events);
+}

@@ -1,0 +1,121 @@
+//! Tests of the protocol trace: event sequences must tell a coherent
+//! protocol story.
+
+use ccdb_core::{run_simulation_traced, Algorithm, SimConfig, Trace, TraceEvent};
+use ccdb_des::SimDuration;
+
+fn traced(alg: Algorithm, loc: f64, pw: f64) -> (Vec<TraceEvent>, ccdb_core::RunReport) {
+    let cfg = SimConfig::table5(alg)
+        .with_clients(4)
+        .with_locality(loc)
+        .with_prob_write(pw)
+        .with_horizon(SimDuration::from_secs(0), SimDuration::from_secs(20));
+    let trace = Trace::enabled(100_000);
+    let r = run_simulation_traced(cfg, trace.clone());
+    (trace.events().into_iter().map(|(_, e)| e).collect(), r)
+}
+
+#[test]
+fn every_commit_in_the_trace_follows_a_begin() {
+    let (events, r) = traced(Algorithm::TwoPhase { inter: true }, 0.5, 0.2);
+    let begins = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::TxnBegin { .. }))
+        .count();
+    let commits = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Commit { .. }))
+        .count();
+    let aborts = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Abort { .. }))
+        .count();
+    // Every attempt either commits, aborts, or is cut off by the horizon
+    // (at most one in-flight attempt per client).
+    assert!(begins >= commits + aborts);
+    assert!(begins <= commits + aborts + 4);
+    assert!(commits as u64 >= r.commits, "trace covers the whole run");
+}
+
+#[test]
+fn callback_traces_pair_requests_with_answers() {
+    let (events, _) = traced(Algorithm::Callback, 0.75, 0.5);
+    let callbacks = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Callback { .. }))
+        .count();
+    let answers = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::CallbackAnswer { .. }))
+        .count();
+    assert!(callbacks > 0, "high contention must trigger callbacks");
+    // Every callback is eventually answered; in-flight ones at the horizon
+    // account for a small deficit.
+    assert!(
+        answers + 8 >= callbacks,
+        "answers {answers} vs callbacks {callbacks}"
+    );
+}
+
+#[test]
+fn callback_read_only_high_locality_commits_locally() {
+    // With W=0.5 every transaction writes and must contact the server; the
+    // no-message commit needs a read-only, high-locality workload.
+    let (events, _) = traced(Algorithm::Callback, 0.9, 0.0);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Commit { local: true, .. })),
+        "retained locks must enable local commits"
+    );
+}
+
+#[test]
+fn no_wait_traces_show_async_requests() {
+    let (events, _) = traced(Algorithm::NoWait { notify: true }, 0.75, 0.5);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Request { sync: false, .. })),
+        "no-wait must fire asynchronous requests"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::UpdatePush { .. })),
+        "notification must push updates"
+    );
+}
+
+#[test]
+fn certification_traces_have_no_lock_requests() {
+    let (events, _) = traced(Algorithm::Certification { inter: true }, 0.5, 0.5);
+    assert!(
+        events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Request { mode: Some(_), .. })),
+        "certification never requests locks"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LocalWrite { .. })),
+        "deferred updates are local writes"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_the_simulation() {
+    let cfg = || {
+        SimConfig::table5(Algorithm::Callback)
+            .with_clients(4)
+            .with_locality(0.5)
+            .with_prob_write(0.3)
+            .with_horizon(SimDuration::from_secs(2), SimDuration::from_secs(15))
+    };
+    let plain = ccdb_core::run_simulation(cfg());
+    let traced = run_simulation_traced(cfg(), Trace::enabled(100_000));
+    assert_eq!(plain.events, traced.events);
+    assert_eq!(plain.commits, traced.commits);
+    assert_eq!(plain.resp_time_mean, traced.resp_time_mean);
+}

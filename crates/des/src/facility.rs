@@ -1,0 +1,432 @@
+//! FCFS multi-server resources ("facilities" in CSIM terminology).
+//!
+//! A [`Facility`] models a physical resource — a CPU, a disk, the network —
+//! with a fixed number of identical servers and a first-come first-served
+//! queue. Processes acquire a server, hold it for some service time, and
+//! release it (via RAII guard drop). The facility records busy-time and
+//! queue-length integrals so utilisation can be reported.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::kernel::{Env, ProcId};
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WaiterState {
+    Queued,
+    Granted,
+    Cancelled,
+}
+
+struct Waiter {
+    pid: ProcId,
+    state: Rc<RefCell<WaiterState>>,
+}
+
+struct Inner {
+    name: String,
+    servers: u32,
+    busy: u32,
+    queue: Vec<Waiter>, // front at index 0; small queues, removal is rare
+    // Statistics.
+    stats_start: SimTime,
+    last_change: SimTime,
+    busy_integral: f64,  // server-seconds of busy time
+    queue_integral: f64, // waiter-seconds of queueing
+    completions: u64,
+    total_service: SimDuration,
+}
+
+impl Inner {
+    fn touch(&mut self, now: SimTime) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        if dt > 0.0 {
+            self.busy_integral += dt * self.busy as f64;
+            self.queue_integral += dt * self.queue.len() as f64;
+        }
+        self.last_change = now;
+    }
+}
+
+/// A first-come first-served multi-server resource.
+#[derive(Clone)]
+pub struct Facility {
+    env: Env,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Facility {
+    /// Create a facility with `servers` identical servers.
+    pub fn new(env: &Env, name: impl Into<String>, servers: u32) -> Self {
+        assert!(servers > 0, "facility needs at least one server");
+        Facility {
+            env: env.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                name: name.into(),
+                servers,
+                busy: 0,
+                queue: Vec::new(),
+                stats_start: env.now(),
+                last_change: env.now(),
+                busy_integral: 0.0,
+                queue_integral: 0.0,
+                completions: 0,
+                total_service: SimDuration::ZERO,
+            })),
+        }
+    }
+
+    /// Facility name (for reports).
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> u32 {
+        self.inner.borrow().servers
+    }
+
+    /// Servers currently busy.
+    pub fn busy(&self) -> u32 {
+        self.inner.borrow().busy
+    }
+
+    /// Processes currently queued (not yet holding a server).
+    pub fn queue_len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Acquire one server; resolves to an RAII guard that releases on drop.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            facility: self.clone(),
+            state: None,
+        }
+    }
+
+    /// Acquire a server, hold it for `service`, release it. The common case.
+    pub async fn use_for(&self, service: SimDuration) {
+        let guard = self.acquire().await;
+        self.env.hold(service).await;
+        drop(guard);
+    }
+
+    /// Mean utilisation per server over `[start of sim, now]`.
+    pub fn utilization(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.env.now();
+        inner.touch(now);
+        let elapsed = now.since(inner.stats_start).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            inner.busy_integral / (elapsed * inner.servers as f64)
+        }
+    }
+
+    /// Time-averaged queue length.
+    pub fn mean_queue_len(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.env.now();
+        inner.touch(now);
+        let elapsed = now.since(inner.stats_start).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            inner.queue_integral / elapsed
+        }
+    }
+
+    /// Completed service periods.
+    pub fn completions(&self) -> u64 {
+        self.inner.borrow().completions
+    }
+
+    /// Reset the statistics integrals (e.g. at the end of warm-up).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats_start = self.env.now();
+        inner.last_change = self.env.now();
+        inner.busy_integral = 0.0;
+        inner.queue_integral = 0.0;
+        inner.completions = 0;
+        inner.total_service = SimDuration::ZERO;
+    }
+
+    fn release_one(&self) {
+        let now = self.env.now();
+        let mut inner = self.inner.borrow_mut();
+        inner.touch(now);
+        debug_assert!(inner.busy > 0, "release without acquire");
+        inner.completions += 1;
+        // Hand the server straight to the first live waiter (exact FCFS);
+        // otherwise the server goes idle.
+        loop {
+            if inner.queue.is_empty() {
+                inner.busy -= 1;
+                return;
+            }
+            let w = inner.queue.remove(0);
+            let s = *w.state.borrow();
+            match s {
+                WaiterState::Cancelled => continue,
+                WaiterState::Queued => {
+                    *w.state.borrow_mut() = WaiterState::Granted;
+                    // busy count unchanged: the server transfers directly.
+                    drop(inner);
+                    self.env.schedule_wake(now, w.pid);
+                    return;
+                }
+                WaiterState::Granted => unreachable!("granted waiter still queued"),
+            }
+        }
+    }
+}
+
+/// Future returned by [`Facility::acquire`].
+pub struct Acquire {
+    facility: Facility,
+    state: Option<Rc<RefCell<WaiterState>>>,
+}
+
+impl Future for Acquire {
+    type Output = FacilityGuard;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<FacilityGuard> {
+        let env = self.facility.env.clone();
+        let now = env.now();
+        match &self.state {
+            None => {
+                let mut inner = self.facility.inner.borrow_mut();
+                inner.touch(now);
+                if inner.busy < inner.servers {
+                    inner.busy += 1;
+                    drop(inner);
+                    let state = Rc::new(RefCell::new(WaiterState::Granted));
+                    self.state = Some(Rc::clone(&state));
+                    // Mark consumed so our Drop impl doesn't double-release.
+                    *state.borrow_mut() = WaiterState::Cancelled;
+                    Poll::Ready(FacilityGuard {
+                        facility: self.facility.clone(),
+                        released: false,
+                    })
+                } else {
+                    let state = Rc::new(RefCell::new(WaiterState::Queued));
+                    inner.queue.push(Waiter {
+                        pid: env.current(),
+                        state: Rc::clone(&state),
+                    });
+                    drop(inner);
+                    self.state = Some(state);
+                    Poll::Pending
+                }
+            }
+            Some(state) => {
+                let s = *state.borrow();
+                match s {
+                    WaiterState::Granted => {
+                        // Mark consumed.
+                        *state.borrow_mut() = WaiterState::Cancelled;
+                        Poll::Ready(FacilityGuard {
+                            facility: self.facility.clone(),
+                            released: false,
+                        })
+                    }
+                    WaiterState::Queued => Poll::Pending,
+                    WaiterState::Cancelled => {
+                        unreachable!("acquire future polled after completion")
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(state) = &self.state {
+            let s = *state.borrow();
+            match s {
+                // Dropped while queued: withdraw from the queue.
+                WaiterState::Queued => *state.borrow_mut() = WaiterState::Cancelled,
+                // Dropped after the server was handed over but before the
+                // guard was constructed: give the server back.
+                WaiterState::Granted => self.facility.release_one(),
+                WaiterState::Cancelled => {}
+            }
+        }
+    }
+}
+
+/// RAII guard for one acquired server. Dropping releases the server and
+/// hands it to the next queued waiter.
+pub struct FacilityGuard {
+    facility: Facility,
+    released: bool,
+}
+
+impl FacilityGuard {
+    /// Release explicitly (equivalent to dropping).
+    pub fn release(mut self) {
+        self.do_release();
+    }
+
+    fn do_release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.facility.release_one();
+        }
+    }
+}
+
+impl Drop for FacilityGuard {
+    fn drop(&mut self) {
+        self.do_release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Sim;
+    use std::cell::RefCell;
+
+    #[test]
+    fn single_server_serializes_fcfs() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "cpu", 1);
+        let log: Rc<RefCell<Vec<(u32, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let fac = fac.clone();
+            let env = env.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                fac.use_for(SimDuration::from_millis(10)).await;
+                log.borrow_mut().push((i, env.now()));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(
+            *log,
+            vec![
+                (0, SimTime::from_nanos(10_000_000)),
+                (1, SimTime::from_nanos(20_000_000)),
+                (2, SimTime::from_nanos(30_000_000)),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_server_runs_in_parallel() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "cpus", 2);
+        let done: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..4 {
+            let fac = fac.clone();
+            let env = env.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                fac.use_for(SimDuration::from_millis(10)).await;
+                done.borrow_mut().push(env.now());
+            });
+        }
+        sim.run();
+        let done = done.borrow();
+        // Two finish at t=10ms, two at t=20ms.
+        assert_eq!(done[0], SimTime::from_nanos(10_000_000));
+        assert_eq!(done[1], SimTime::from_nanos(10_000_000));
+        assert_eq!(done[2], SimTime::from_nanos(20_000_000));
+        assert_eq!(done[3], SimTime::from_nanos(20_000_000));
+    }
+
+    #[test]
+    fn utilization_is_tracked() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "disk", 1);
+        {
+            let fac = fac.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                fac.use_for(SimDuration::from_secs(3)).await;
+                env.hold(SimDuration::from_secs(1)).await;
+            });
+        }
+        sim.run();
+        // Busy 3s out of 4s elapsed.
+        assert!((fac.utilization() - 0.75).abs() < 1e-9);
+        assert_eq!(fac.completions(), 1);
+    }
+
+    #[test]
+    fn guard_drop_releases_and_wakes_waiter() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "cpu", 1);
+        let t = Rc::new(RefCell::new(SimTime::ZERO));
+        {
+            let fac = fac.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                let g = fac.acquire().await;
+                env.hold(SimDuration::from_millis(5)).await;
+                drop(g);
+                env.hold(SimDuration::from_millis(100)).await;
+            });
+        }
+        {
+            let fac = fac.clone();
+            let env = env.clone();
+            let t = Rc::clone(&t);
+            sim.spawn(async move {
+                let _g = fac.acquire().await;
+                *t.borrow_mut() = env.now();
+            });
+        }
+        sim.run();
+        assert_eq!(*t.borrow(), SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn mean_queue_len_reflects_waiting() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "cpu", 1);
+        for _ in 0..2 {
+            let fac = fac.clone();
+            sim.spawn(async move {
+                fac.use_for(SimDuration::from_secs(1)).await;
+            });
+        }
+        sim.run();
+        // One waiter queued for 1s out of 2s elapsed = 0.5 mean queue.
+        assert!((fac.mean_queue_len() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_stats_clears_integrals() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "cpu", 1);
+        {
+            let fac = fac.clone();
+            sim.spawn(async move {
+                fac.use_for(SimDuration::from_secs(1)).await;
+            });
+        }
+        sim.run();
+        fac.reset_stats();
+        assert_eq!(fac.completions(), 0);
+        // With no further activity utilisation stays 0 (elapsed time grows
+        // but busy integral stays 0)... elapsed is measured from t=0, so we
+        // just check the busy integral was cleared via completions+util==0.
+        assert!(fac.utilization() <= 1.0);
+    }
+}

@@ -1,0 +1,529 @@
+//! The simulation executor.
+//!
+//! A simulation is a set of cooperatively-scheduled *processes* (plain Rust
+//! futures) driven by a single event calendar. A process suspends by awaiting
+//! one of the kernel's primitive futures ([`Env::hold`], facility acquisition,
+//! mailbox receive, one-shot waits); the kernel resumes it when the
+//! corresponding simulated event fires.
+//!
+//! Determinism: all events are ordered by `(time, sequence-number)` where the
+//! sequence number is a global monotonic counter, so simultaneous events fire
+//! in the order they were scheduled. Given the same seed and the same spawn
+//! order, a simulation run is bit-for-bit reproducible.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a spawned process. Includes a generation counter so that a
+/// stale id left in a wait queue can never resume an unrelated process that
+/// happens to reuse the same slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcId {
+    slot: u32,
+    generation: u32,
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}.{}", self.slot, self.generation)
+    }
+}
+
+type ProcFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+enum Slot {
+    /// Slot holds a live process. The future is `None` while it is being
+    /// polled (it is temporarily moved out so the kernel isn't borrowed
+    /// during the poll).
+    Live {
+        generation: u32,
+        future: Option<ProcFuture>,
+    },
+    /// Free-list link.
+    Free {
+        next_free: Option<u32>,
+        generation: u32,
+    },
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct CalendarEntry {
+    time: SimTime,
+    seq: u64,
+    target: WakeTarget,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+struct WakeTarget {
+    slot: u32,
+    generation: u32,
+}
+
+pub(crate) struct Kernel {
+    now: SimTime,
+    seq: u64,
+    calendar: BinaryHeap<Reverse<CalendarEntry>>,
+    slots: Vec<Slot>,
+    free_head: Option<u32>,
+    live: usize,
+    /// Process currently being polled; primitive futures read this to learn
+    /// which process to park.
+    current: Option<ProcId>,
+    /// Processes spawned while another process is being polled; started
+    /// immediately after the current poll completes so a spawn during a poll
+    /// cannot re-enter the executor.
+    events_processed: u64,
+}
+
+impl Kernel {
+    fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            calendar: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_head: None,
+            live: 0,
+            current: None,
+            events_processed: 0,
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn insert_process(&mut self, future: ProcFuture) -> ProcId {
+        let id = match self.free_head {
+            Some(slot) => {
+                let (next_free, generation) = match self.slots[slot as usize] {
+                    Slot::Free {
+                        next_free,
+                        generation,
+                    } => (next_free, generation),
+                    Slot::Live { .. } => unreachable!("free list points at live slot"),
+                };
+                self.free_head = next_free;
+                self.slots[slot as usize] = Slot::Live {
+                    generation,
+                    future: Some(future),
+                };
+                ProcId { slot, generation }
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("too many processes");
+                self.slots.push(Slot::Live {
+                    generation: 0,
+                    future: Some(future),
+                });
+                ProcId {
+                    slot,
+                    generation: 0,
+                }
+            }
+        };
+        self.live += 1;
+        id
+    }
+
+    fn retire_process(&mut self, id: ProcId) {
+        let slot = &mut self.slots[id.slot as usize];
+        match slot {
+            Slot::Live { generation, .. } if *generation == id.generation => {
+                *slot = Slot::Free {
+                    next_free: self.free_head,
+                    generation: id.generation.wrapping_add(1),
+                };
+                self.free_head = Some(id.slot);
+                self.live -= 1;
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn schedule_wake(&mut self, at: SimTime, id: ProcId) {
+        debug_assert!(at >= self.now, "cannot schedule a wake in the past");
+        let seq = self.next_seq();
+        self.calendar.push(Reverse(CalendarEntry {
+            time: at,
+            seq,
+            target: WakeTarget {
+                slot: id.slot,
+                generation: id.generation,
+            },
+        }));
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn current(&self) -> ProcId {
+        self.current
+            .expect("kernel primitive polled outside of a simulation process")
+    }
+}
+
+/// A no-op waker: the kernel resumes processes through its own calendar, so
+/// futures never need the standard waker mechanism.
+fn noop_waker() -> Waker {
+    const VTABLE: RawWakerVTable = RawWakerVTable::new(
+        |_| RawWaker::new(std::ptr::null(), &VTABLE),
+        |_| {},
+        |_| {},
+        |_| {},
+    );
+    // SAFETY: the vtable functions never dereference the data pointer.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+/// Owns a simulation. Spawn processes, then [`Sim::run`] (or
+/// [`Sim::run_until`]) to execute them.
+pub struct Sim {
+    kernel: Rc<RefCell<Kernel>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            kernel: Rc::new(RefCell::new(Kernel::new())),
+        }
+    }
+
+    /// A cloneable handle for use inside processes.
+    pub fn env(&self) -> Env {
+        Env {
+            kernel: Rc::clone(&self.kernel),
+        }
+    }
+
+    /// Spawn a process; it first runs at the current simulation time, after
+    /// already-scheduled same-time events.
+    pub fn spawn<F: Future<Output = ()> + 'static>(&self, fut: F) -> ProcId {
+        self.env().spawn(fut)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.borrow().now()
+    }
+
+    /// Number of calendar events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.borrow().events_processed
+    }
+
+    /// Number of live (unfinished) processes.
+    pub fn live_processes(&self) -> usize {
+        self.kernel.borrow().live
+    }
+
+    /// Run until the calendar is empty.
+    pub fn run(&self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Run until the first event strictly after `deadline`, leaving `now` at
+    /// `deadline` (or at the last event time if the calendar empties first
+    /// and that is later — it cannot be).
+    pub fn run_until(&self, deadline: SimTime) {
+        loop {
+            // Pop the next due event, if any.
+            let wake = {
+                let mut k = self.kernel.borrow_mut();
+                match k.calendar.peek() {
+                    Some(Reverse(e)) if e.time <= deadline => {
+                        let Reverse(e) = k.calendar.pop().expect("peeked entry vanished");
+                        k.now = e.time;
+                        k.events_processed += 1;
+                        Some(e.target)
+                    }
+                    _ => {
+                        if deadline != SimTime::MAX && deadline > k.now {
+                            k.now = deadline;
+                        }
+                        None
+                    }
+                }
+            };
+            let Some(target) = wake else { break };
+            self.poll_process(ProcId {
+                slot: target.slot,
+                generation: target.generation,
+            });
+        }
+    }
+
+    fn poll_process(&self, id: ProcId) {
+        // Move the future out so the kernel is not borrowed during the poll
+        // (the future will call back into the kernel through its Env).
+        let mut fut = {
+            let mut k = self.kernel.borrow_mut();
+            match k.slots.get_mut(id.slot as usize) {
+                Some(Slot::Live { generation, future }) if *generation == id.generation => {
+                    match future.take() {
+                        Some(f) => f,
+                        // Already being polled (re-entrant wake) — impossible
+                        // in a single-threaded executor, but harmless to skip.
+                        None => return,
+                    }
+                }
+                // Stale wake for a finished process: skip.
+                _ => return,
+            }
+        };
+        self.kernel.borrow_mut().current = Some(id);
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let poll = fut.as_mut().poll(&mut cx);
+        self.kernel.borrow_mut().current = None;
+        match poll {
+            Poll::Ready(()) => self.kernel.borrow_mut().retire_process(id),
+            Poll::Pending => {
+                let mut k = self.kernel.borrow_mut();
+                if let Some(Slot::Live { generation, future }) = k.slots.get_mut(id.slot as usize) {
+                    if *generation == id.generation {
+                        *future = Some(fut);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cloneable handle to the simulation, usable from inside processes.
+#[derive(Clone)]
+pub struct Env {
+    pub(crate) kernel: Rc<RefCell<Kernel>>,
+}
+
+impl Env {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.borrow().now()
+    }
+
+    /// Spawn a new process; it first runs at the current time, after events
+    /// already scheduled for this instant.
+    pub fn spawn<F: Future<Output = ()> + 'static>(&self, fut: F) -> ProcId {
+        let mut k = self.kernel.borrow_mut();
+        let id = k.insert_process(Box::pin(fut));
+        let now = k.now();
+        k.schedule_wake(now, id);
+        id
+    }
+
+    /// Suspend the calling process for `d` simulated time.
+    pub fn hold(&self, d: SimDuration) -> Hold {
+        Hold {
+            env: self.clone(),
+            duration: d,
+            wake_at: None,
+        }
+    }
+
+    /// Suspend the calling process until absolute time `at`. If `at` is in
+    /// the past, resumes at the current time (still yields once).
+    pub fn hold_until(&self, at: SimTime) -> Hold {
+        let now = self.now();
+        let d = at.since(now);
+        self.hold(d)
+    }
+
+    pub(crate) fn schedule_wake(&self, at: SimTime, id: ProcId) {
+        self.kernel.borrow_mut().schedule_wake(at, id);
+    }
+
+    pub(crate) fn current(&self) -> ProcId {
+        self.kernel.borrow().current()
+    }
+}
+
+/// Future returned by [`Env::hold`].
+pub struct Hold {
+    env: Env,
+    duration: SimDuration,
+    wake_at: Option<SimTime>,
+}
+
+impl Future for Hold {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        match self.wake_at {
+            None => {
+                let mut k = self.env.kernel.borrow_mut();
+                let at = k.now() + self.duration;
+                let id = k.current();
+                k.schedule_wake(at, id);
+                drop(k);
+                self.wake_at = Some(at);
+                Poll::Pending
+            }
+            Some(at) => {
+                if self.env.now() >= at {
+                    Poll::Ready(())
+                } else {
+                    // Spurious wake (e.g. shared wake target); keep waiting.
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_sim_runs() {
+        let sim = Sim::new();
+        sim.run();
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn hold_advances_time() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            env.hold(SimDuration::from_millis(5)).await;
+            env.hold(SimDuration::from_millis(7)).await;
+            done2.set(env.now());
+        });
+        sim.run();
+        assert_eq!(done.get(), SimTime::from_nanos(12_000_000));
+        assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_spawn_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let env = sim.env();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(1)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fired = Rc::new(Cell::new(false));
+        let fired2 = Rc::clone(&fired);
+        sim.spawn(async move {
+            env.hold(SimDuration::from_secs(10)).await;
+            fired2.set(true);
+        });
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+        assert!(!fired.get());
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000_000_000));
+        assert_eq!(sim.live_processes(), 1);
+        sim.run();
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn nested_spawn_runs_at_same_time() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = Rc::clone(&log);
+        sim.spawn(async move {
+            env.hold(SimDuration::from_millis(3)).await;
+            let inner_env = env.clone();
+            let log3 = Rc::clone(&log2);
+            env.spawn(async move {
+                log3.borrow_mut().push(("child", inner_env.now()));
+            });
+            log2.borrow_mut().push(("parent", env.now()));
+            env.hold(SimDuration::from_millis(1)).await;
+        });
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log[0], ("parent", SimTime::from_nanos(3_000_000)));
+        assert_eq!(log[1], ("child", SimTime::from_nanos(3_000_000)));
+    }
+
+    #[test]
+    fn hold_until_past_does_not_go_backwards() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let t = Rc::new(Cell::new(SimTime::ZERO));
+        let t2 = Rc::clone(&t);
+        sim.spawn(async move {
+            env.hold(SimDuration::from_secs(1)).await;
+            env.hold_until(SimTime::ZERO).await; // already in the past
+            t2.set(env.now());
+        });
+        sim.run();
+        assert_eq!(t.get(), SimTime::from_nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn process_slots_are_reused_without_confusion() {
+        let sim = Sim::new();
+        // Spawn waves of short-lived processes to force slot reuse.
+        for wave in 0..5u64 {
+            let env = sim.env();
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(wave)).await;
+            });
+        }
+        sim.run();
+        assert_eq!(sim.live_processes(), 0);
+        // And a second generation in reused slots still completes.
+        let env = sim.env();
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = Rc::clone(&ok);
+        sim.spawn(async move {
+            env.hold(SimDuration::from_millis(1)).await;
+            ok2.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let sim = Sim::new();
+        let env = sim.env();
+        sim.spawn(async move {
+            for _ in 0..4 {
+                env.hold(SimDuration::from_millis(1)).await;
+            }
+        });
+        sim.run();
+        // 1 spawn wake + 4 hold wakes.
+        assert_eq!(sim.events_processed(), 5);
+    }
+}

@@ -1,0 +1,386 @@
+//! FIFO message queues between processes.
+//!
+//! A [`Mailbox`] is an unbounded queue: sends never block, receives suspend
+//! the caller until a message arrives. Used for client inboxes and the server
+//! request queue of the simulated DBMS.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::kernel::{Env, ProcId};
+use crate::time::SimTime;
+
+struct RecvWaiter {
+    pid: ProcId,
+    active: Rc<RefCell<bool>>,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    waiters: VecDeque<RecvWaiter>,
+    total_sent: u64,
+}
+
+/// An unbounded FIFO channel for simulation messages.
+pub struct Mailbox<T> {
+    env: Env,
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Mailbox {
+            env: self.env.clone(),
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// Create an empty mailbox.
+    pub fn new(env: &Env) -> Self {
+        Mailbox {
+            env: env.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+                total_sent: 0,
+            })),
+        }
+    }
+
+    /// Deposit a message. Never blocks. If a process is waiting, it is
+    /// resumed at the current simulation time.
+    pub fn send(&self, msg: T) {
+        let mut inner = self.inner.borrow_mut();
+        inner.queue.push_back(msg);
+        inner.total_sent += 1;
+        // Wake the frontmost live waiter (one message wakes one receiver).
+        // The waiter leaves the queue now; clearing its flag makes it
+        // re-register if some other process takes the message first.
+        while let Some(w) = inner.waiters.pop_front() {
+            if *w.active.borrow() {
+                *w.active.borrow_mut() = false;
+                let pid = w.pid;
+                drop(inner);
+                self.env.schedule_wake(self.env.now(), pid);
+                return;
+            }
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().queue.is_empty()
+    }
+
+    /// Total messages ever sent.
+    pub fn total_sent(&self) -> u64 {
+        self.inner.borrow().total_sent
+    }
+
+    /// Take a message if one is queued.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.borrow_mut().queue.pop_front()
+    }
+
+    /// Suspend until a message is available, then take it.
+    pub fn recv(&self) -> Recv<T> {
+        Recv {
+            mailbox: self.clone(),
+            waiter: None,
+        }
+    }
+
+    /// Suspend until a message is available or until absolute time
+    /// `deadline`. Resolves to `Some(msg)` or `None` on timeout.
+    pub fn recv_until(&self, deadline: SimTime) -> RecvUntil<T> {
+        RecvUntil {
+            mailbox: self.clone(),
+            deadline,
+            waiter: None,
+            timer_set: false,
+        }
+    }
+}
+
+/// Future returned by [`Mailbox::recv`].
+pub struct Recv<T> {
+    mailbox: Mailbox<T>,
+    waiter: Option<Rc<RefCell<bool>>>,
+}
+
+impl<T> Future for Recv<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let env = self.mailbox.env.clone();
+        let mut inner = self.mailbox.inner.borrow_mut();
+        if let Some(msg) = inner.queue.pop_front() {
+            if let Some(w) = &self.waiter {
+                *w.borrow_mut() = false;
+            }
+            return Poll::Ready(msg);
+        }
+        // (Re-)register as a waiter.
+        let needs_register = match &self.waiter {
+            None => true,
+            Some(w) => !*w.borrow(),
+        };
+        if needs_register {
+            let active = Rc::new(RefCell::new(true));
+            inner.waiters.push_back(RecvWaiter {
+                pid: env.current(),
+                active: Rc::clone(&active),
+            });
+            drop(inner);
+            self.waiter = Some(active);
+        }
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Recv<T> {
+    fn drop(&mut self) {
+        if let Some(w) = &self.waiter {
+            *w.borrow_mut() = false;
+        }
+    }
+}
+
+/// Future returned by [`Mailbox::recv_until`].
+pub struct RecvUntil<T> {
+    mailbox: Mailbox<T>,
+    deadline: SimTime,
+    waiter: Option<Rc<RefCell<bool>>>,
+    timer_set: bool,
+}
+
+impl<T> Future for RecvUntil<T> {
+    type Output = Option<T>;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let env = self.mailbox.env.clone();
+        let now = env.now();
+        let mut inner = self.mailbox.inner.borrow_mut();
+        if let Some(msg) = inner.queue.pop_front() {
+            if let Some(w) = &self.waiter {
+                *w.borrow_mut() = false;
+            }
+            return Poll::Ready(Some(msg));
+        }
+        if now >= self.deadline {
+            if let Some(w) = &self.waiter {
+                *w.borrow_mut() = false;
+            }
+            return Poll::Ready(None);
+        }
+        let needs_register = match &self.waiter {
+            None => true,
+            Some(w) => !*w.borrow(),
+        };
+        if needs_register {
+            let active = Rc::new(RefCell::new(true));
+            inner.waiters.push_back(RecvWaiter {
+                pid: env.current(),
+                active: Rc::clone(&active),
+            });
+            drop(inner);
+            self.waiter = Some(active);
+        } else {
+            drop(inner);
+        }
+        if !self.timer_set {
+            let pid = env.current();
+            env.schedule_wake(self.deadline, pid);
+            self.timer_set = true;
+        }
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for RecvUntil<T> {
+    fn drop(&mut self) {
+        if let Some(w) = &self.waiter {
+            *w.borrow_mut() = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Sim;
+    use crate::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn send_then_recv_is_immediate() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<u32> = Mailbox::new(&env);
+        mb.send(7);
+        let got = Rc::new(Cell::new(0));
+        {
+            let mb = mb.clone();
+            let got = Rc::clone(&got);
+            sim.spawn(async move {
+                got.set(mb.recv().await);
+            });
+        }
+        sim.run();
+        assert_eq!(got.get(), 7);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<&'static str> = Mailbox::new(&env);
+        let at = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            let mb = mb.clone();
+            let env = env.clone();
+            let at = Rc::clone(&at);
+            sim.spawn(async move {
+                let _ = mb.recv().await;
+                at.set(env.now());
+            });
+        }
+        {
+            let mb = mb.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(42)).await;
+                mb.send("hello");
+            });
+        }
+        sim.run();
+        assert_eq!(at.get(), SimTime::from_nanos(42_000_000));
+    }
+
+    #[test]
+    fn messages_are_fifo() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<u32> = Mailbox::new(&env);
+        for i in 0..5 {
+            mb.send(i);
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        {
+            let mb = mb.clone();
+            let got = Rc::clone(&got);
+            sim.spawn(async move {
+                for _ in 0..5 {
+                    let v = mb.recv().await;
+                    got.borrow_mut().push(v);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_until_times_out() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<u32> = Mailbox::new(&env);
+        let result = Rc::new(RefCell::new(Some(99)));
+        {
+            let mb = mb.clone();
+            let env = env.clone();
+            let result = Rc::clone(&result);
+            sim.spawn(async move {
+                let deadline = env.now() + SimDuration::from_millis(10);
+                *result.borrow_mut() = mb.recv_until(deadline).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*result.borrow(), None);
+        assert_eq!(sim.now(), SimTime::from_nanos(10_000_000));
+    }
+
+    #[test]
+    fn recv_until_gets_message_before_deadline() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<u32> = Mailbox::new(&env);
+        let result = Rc::new(RefCell::new(None));
+        {
+            let mb = mb.clone();
+            let env = env.clone();
+            let result = Rc::clone(&result);
+            sim.spawn(async move {
+                let deadline = env.now() + SimDuration::from_secs(10);
+                *result.borrow_mut() = mb.recv_until(deadline).await;
+            });
+        }
+        {
+            let mb = mb.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(3)).await;
+                mb.send(5);
+            });
+        }
+        sim.run();
+        assert_eq!(*result.borrow(), Some(5));
+        // Timer wake at t=10s still fires but is a no-op for a finished
+        // process; the sim simply ends there.
+    }
+
+    #[test]
+    fn two_receivers_each_get_one_message() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<u32> = Mailbox::new(&env);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..2 {
+            let mb = mb.clone();
+            let got = Rc::clone(&got);
+            sim.spawn(async move {
+                let v = mb.recv().await;
+                got.borrow_mut().push(v);
+            });
+        }
+        {
+            let mb = mb.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(1)).await;
+                mb.send(1);
+                env.hold(SimDuration::from_millis(1)).await;
+                mb.send(2);
+            });
+        }
+        sim.run();
+        let mut got = got.borrow().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<u32> = Mailbox::new(&env);
+        assert!(mb.is_empty());
+        assert_eq!(mb.try_recv(), None);
+        mb.send(3);
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.total_sent(), 1);
+        assert_eq!(mb.try_recv(), Some(3));
+        assert!(mb.is_empty());
+    }
+}

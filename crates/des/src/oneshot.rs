@@ -1,0 +1,213 @@
+//! One-shot signals: a value produced once, awaited by at most one process.
+//!
+//! Used for request/grant handshakes inside the simulated server (e.g. a
+//! transaction handler parks on a lock request; the lock manager fires the
+//! signal when the lock is granted or the transaction is chosen as a
+//! deadlock victim).
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::kernel::{Env, ProcId};
+
+struct Inner<T> {
+    value: Option<T>,
+    fired: bool,
+    waiter: Option<ProcId>,
+}
+
+/// Create a connected (sender, receiver) pair.
+pub fn oneshot<T>(env: &Env) -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let inner = Rc::new(RefCell::new(Inner {
+        value: None,
+        fired: false,
+        waiter: None,
+    }));
+    (
+        OneshotSender {
+            env: env.clone(),
+            inner: Rc::clone(&inner),
+        },
+        OneshotReceiver {
+            env: env.clone(),
+            inner,
+        },
+    )
+}
+
+/// Sending half; firing wakes the receiver (if parked).
+pub struct OneshotSender<T> {
+    env: Env,
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> OneshotSender<T> {
+    /// Deliver the value. Panics if fired twice (a protocol bug).
+    pub fn fire(self, value: T) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(!inner.fired, "oneshot fired twice");
+        inner.fired = true;
+        inner.value = Some(value);
+        if let Some(pid) = inner.waiter.take() {
+            drop(inner);
+            self.env.schedule_wake(self.env.now(), pid);
+        }
+    }
+
+    /// True if the receiving end has already been dropped.
+    pub fn is_orphaned(&self) -> bool {
+        Rc::strong_count(&self.inner) == 1
+    }
+}
+
+/// Receiving half.
+pub struct OneshotReceiver<T> {
+    env: Env,
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Suspend until the sender fires, then yield the value.
+    ///
+    /// Panics (at poll time) if the sender is dropped without firing — in
+    /// this simulator that is always a protocol bug, never a normal outcome.
+    pub fn wait(self) -> Wait<T> {
+        Wait {
+            env: self.env,
+            inner: self.inner,
+            registered: false,
+        }
+    }
+
+    /// Check for a value without blocking.
+    pub fn try_take(&self) -> Option<T> {
+        self.inner.borrow_mut().value.take()
+    }
+
+    /// True if the sender has fired.
+    pub fn is_ready(&self) -> bool {
+        self.inner.borrow().fired
+    }
+}
+
+/// Future returned by [`OneshotReceiver::wait`].
+pub struct Wait<T> {
+    env: Env,
+    inner: Rc<RefCell<Inner<T>>>,
+    registered: bool,
+}
+
+impl<T> Future for Wait<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(v) = inner.value.take() {
+            return Poll::Ready(v);
+        }
+        if inner.fired {
+            panic!("oneshot value already consumed");
+        }
+        if !self.registered {
+            // A dangling sender would leave us parked forever; catch the
+            // protocol bug early.
+            drop(inner);
+            assert!(
+                Rc::strong_count(&self.inner) > 1,
+                "waiting on a oneshot whose sender was dropped"
+            );
+            let mut inner = self.inner.borrow_mut();
+            inner.waiter = Some(self.env.current());
+            drop(inner);
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Sim;
+    use crate::time::{SimDuration, SimTime};
+    use std::cell::Cell;
+
+    #[test]
+    fn fire_before_wait() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let (tx, rx) = oneshot::<u32>(&env);
+        tx.fire(11);
+        let got = Rc::new(Cell::new(0));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            got2.set(rx.wait().await);
+        });
+        sim.run();
+        assert_eq!(got.get(), 11);
+    }
+
+    #[test]
+    fn wait_blocks_until_fire() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let (tx, rx) = oneshot::<&'static str>(&env);
+        let at = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            let env = env.clone();
+            let at = Rc::clone(&at);
+            sim.spawn(async move {
+                let v = rx.wait().await;
+                assert_eq!(v, "grant");
+                at.set(env.now());
+            });
+        }
+        {
+            let env = env.clone();
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(9)).await;
+                tx.fire("grant");
+            });
+        }
+        sim.run();
+        assert_eq!(at.get(), SimTime::from_nanos(9_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "fired twice")]
+    fn double_fire_panics() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let (tx, _rx) = oneshot::<u32>(&env);
+        let inner = tx.inner.clone();
+        tx.fire(1);
+        let tx2 = OneshotSender { env, inner };
+        tx2.fire(2);
+    }
+
+    #[test]
+    fn try_take_and_is_ready() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let (tx, rx) = oneshot::<u32>(&env);
+        assert!(!rx.is_ready());
+        assert_eq!(rx.try_take(), None);
+        tx.fire(4);
+        assert!(rx.is_ready());
+        assert_eq!(rx.try_take(), Some(4));
+        assert_eq!(rx.try_take(), None);
+    }
+
+    #[test]
+    fn orphan_detection() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let (tx, rx) = oneshot::<u32>(&env);
+        assert!(!tx.is_orphaned());
+        drop(rx);
+        assert!(tx.is_orphaned());
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic random-number streams and the variates used by the model.
+//!
+//! A small PCG-XSH-RR 32-bit generator is implemented here (rather than
+//! depending on `rand`) so that simulation results are bit-for-bit
+//! reproducible regardless of external crate versions. Each model component
+//! derives an independent stream from the experiment seed via `split`, so
+//! adding events to one component does not perturb the draws of another.
+
+use crate::time::SimDuration;
+
+/// PCG-XSH-RR 64/32 generator (O'Neill 2014).
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Create a generator from a seed and stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Derive an independent child stream; deterministic in (self state, n).
+    pub fn split(&mut self, n: u64) -> Pcg32 {
+        let seed = self.next_u64();
+        Pcg32::new(seed, n.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    /// Next 32 uniform random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniform random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` (Lemire-style rejection to avoid
+    /// modulo bias).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Rejection sampling: threshold is the largest multiple of bound.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Exponentially-distributed duration with the given mean. A zero mean
+    /// yields zero (used to degenerate interactive delays to batch mode).
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        // Inverse-CDF; u in (0,1] so ln never sees 0.
+        let u = 1.0 - self.next_f64();
+        let secs = -mean.as_secs_f64() * u.ln();
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Uniformly-distributed duration in `[lo, hi]`.
+    pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        assert!(lo <= hi, "empty duration range");
+        SimDuration::from_nanos(self.range_inclusive(lo.as_nanos(), hi.as_nanos()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Pcg32::new(42, 7);
+        let mut b = Pcg32::new(42, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3, "streams should be nearly independent");
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_usage() {
+        let mut parent1 = Pcg32::new(9, 0);
+        let child1 = parent1.split(1);
+        let mut parent2 = Pcg32::new(9, 0);
+        let child2 = parent2.split(1);
+        let mut c1 = child1;
+        let mut c2 = child2;
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::new(1, 1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut rng = Pcg32::new(3, 3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 per bucket; allow 5% deviation.
+            assert!((9_500..10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut rng = Pcg32::new(5, 5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match rng.range_inclusive(4, 12) {
+                4 => saw_lo = true,
+                12 => saw_hi = true,
+                x => assert!((4..=12).contains(&x)),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg32::new(8, 8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut rng = Pcg32::new(11, 2);
+        let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "observed {p}");
+    }
+
+    #[test]
+    fn exp_duration_mean_is_close() {
+        let mut rng = Pcg32::new(13, 4);
+        let mean = SimDuration::from_millis(100);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - 0.1).abs() < 0.002,
+            "observed mean {observed}s, want 0.1s"
+        );
+    }
+
+    #[test]
+    fn exp_duration_zero_mean_is_zero() {
+        let mut rng = Pcg32::new(17, 1);
+        assert_eq!(rng.exp_duration(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn uniform_duration_bounds() {
+        let mut rng = Pcg32::new(19, 6);
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(35);
+        for _ in 0..10_000 {
+            let d = rng.uniform_duration(lo, hi);
+            assert!(d >= lo && d <= hi);
+        }
+        // Mean of U[10,35]ms is 22.5ms.
+        let total: f64 = (0..100_000)
+            .map(|_| rng.uniform_duration(lo, hi).as_secs_f64())
+            .sum();
+        let mean = total / 100_000.0;
+        assert!((mean - 0.0225).abs() < 0.0005, "observed {mean}");
+    }
+}

@@ -1,0 +1,563 @@
+//! Output statistics collection.
+//!
+//! [`Tally`] accumulates observations (Welford online mean/variance) and
+//! reports mean, standard deviation, and a 95% confidence half-width.
+//! [`TimeWeighted`] integrates a piecewise-constant signal over simulated
+//! time (queue lengths, cache occupancy, ...).
+
+use crate::time::SimTime;
+
+/// Online accumulator for independent observations.
+#[derive(Clone, Debug, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator; 0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval for the
+    /// mean. Zero for fewer than 2 observations.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merge another tally into this one (parallel-combine).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Integrates a piecewise-constant signal over simulated time.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_t: SimTime,
+    value: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Start integrating `initial` at time `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_t: start,
+            value: initial,
+            integral: 0.0,
+        }
+    }
+
+    /// Change the signal value at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.integral += now.since(self.last_t).as_secs_f64() * self.value;
+        self.last_t = now;
+        self.value = value;
+    }
+
+    /// Add `delta` to the signal at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Time-average of the signal over `[start, now]`.
+    pub fn mean(&mut self, now: SimTime) -> f64 {
+        self.set(now, self.value);
+        let elapsed = now.since(self.start).as_secs_f64();
+        if elapsed <= 0.0 {
+            self.value
+        } else {
+            self.integral / elapsed
+        }
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Restart integration at `now`, keeping the current value.
+    pub fn reset(&mut self, now: SimTime) {
+        self.start = now;
+        self.last_t = now;
+        self.integral = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn tally_basic_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 = 32/7.
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert!((t.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tally_is_safe() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.ci95_half_width(), 0.0);
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let mut small = Tally::new();
+        let mut large = Tally::new();
+        for i in 0..10 {
+            small.record((i % 5) as f64);
+        }
+        for i in 0..1000 {
+            large.record((i % 5) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Tally::new();
+        a.record(3.0);
+        let b = Tally::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Tally::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 0.0);
+        // 0 for 1s, 2 for 1s, 4 for 2s => integral 0+2+8 = 10 over 4s.
+        tw.set(t0 + SimDuration::from_secs(1), 2.0);
+        tw.set(t0 + SimDuration::from_secs(2), 4.0);
+        let mean = tw.mean(t0 + SimDuration::from_secs(4));
+        assert!((mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add_and_reset() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 1.0);
+        tw.add(t0 + SimDuration::from_secs(1), 2.0);
+        assert_eq!(tw.current(), 3.0);
+        tw.reset(t0 + SimDuration::from_secs(2));
+        let mean = tw.mean(t0 + SimDuration::from_secs(3));
+        assert!((mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_zero_elapsed() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 7.0);
+        assert_eq!(tw.mean(SimTime::ZERO), 7.0);
+    }
+}
+
+/// A log-scale histogram for positive observations (e.g. response times in
+/// seconds), supporting approximate quantiles. Buckets span `1e-4` to
+/// `1e4` with 16 buckets per decade; outliers clamp to the end buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+const HIST_MIN: f64 = 1e-4;
+const HIST_DECADES: usize = 8;
+const HIST_PER_DECADE: usize = 16;
+const HIST_BUCKETS: usize = HIST_DECADES * HIST_PER_DECADE;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn bucket_of(x: f64) -> usize {
+        if x.is_nan() || x <= HIST_MIN {
+            return 0;
+        }
+        let idx = ((x / HIST_MIN).log10() * HIST_PER_DECADE as f64) as usize;
+        idx.min(HIST_BUCKETS - 1)
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_low(i: usize) -> f64 {
+        HIST_MIN * 10f64.powf(i as f64 / HIST_PER_DECADE as f64)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.counts[Self::bucket_of(x)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate `q`-quantile (`0 < q < 1`); 0 when empty. The returned
+    /// value is the geometric midpoint of the bucket containing the
+    /// quantile, so the relative error is bounded by the bucket width
+    /// (~15%).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                // Geometric midpoint of the bucket.
+                return Self::bucket_low(i) * 10f64.powf(0.5 / HIST_PER_DECADE as f64);
+            }
+        }
+        Self::bucket_low(HIST_BUCKETS - 1)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distribution() {
+        let mut h = Histogram::new();
+        // 100 observations at 0.1s, 100 at 1.0s, one outlier at 50s.
+        for _ in 0..100 {
+            h.record(0.1);
+        }
+        for _ in 0..100 {
+            h.record(1.0);
+        }
+        h.record(50.0);
+        let p25 = h.quantile(0.25);
+        let p75 = h.quantile(0.75);
+        let p995 = h.quantile(0.999);
+        assert!((0.08..0.13).contains(&p25), "p25 {p25}");
+        assert!((0.8..1.3).contains(&p75), "p75 {p75}");
+        assert!((35.0..70.0).contains(&p995), "p99.9 {p995}");
+    }
+
+    #[test]
+    fn extremes_clamp_to_end_buckets() {
+        let mut h = Histogram::new();
+        h.record(1e-9);
+        h.record(1e9);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile(0.01) < 2e-4);
+        assert!(h.quantile(0.999) > 1e3);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(0.5);
+        b.record(0.5);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn quantile_accuracy_within_bucket_width() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0); // uniform 0.01..10.0
+        }
+        let p50 = h.quantile(0.5);
+        assert!((4.0..6.5).contains(&p50), "p50 {p50}");
+    }
+}
+
+/// Batch-means confidence intervals for a *single* simulation run.
+///
+/// Successive observations of a steady-state simulation are correlated, so
+/// [`Tally::ci95_half_width`] understates the true uncertainty. Batch
+/// means groups consecutive observations into `batch_size` batches whose
+/// means are approximately independent, and builds the interval from
+/// those.
+#[derive(Clone, Debug)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_n: u64,
+    batch_tally: Tally,
+    all: Tally,
+}
+
+impl BatchMeans {
+    /// Group observations into batches of `batch_size`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_n: 0,
+            batch_tally: Tally::new(),
+            all: Tally::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.all.record(x);
+        self.current_sum += x;
+        self.current_n += 1;
+        if self.current_n == self.batch_size {
+            self.batch_tally
+                .record(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_n = 0;
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.all.count()
+    }
+
+    /// Grand mean over all observations.
+    pub fn mean(&self) -> f64 {
+        self.all.mean()
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> u64 {
+        self.batch_tally.count()
+    }
+
+    /// 95% half-width from the batch means (0 with fewer than 2 batches).
+    pub fn ci95_half_width(&self) -> f64 {
+        self.batch_tally.ci95_half_width()
+    }
+}
+
+#[cfg(test)]
+mod batch_means_tests {
+    use super::*;
+
+    #[test]
+    fn batches_form_at_the_boundary() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..35 {
+            bm.record(i as f64);
+        }
+        assert_eq!(bm.count(), 35);
+        assert_eq!(bm.batches(), 3); // 5 observations still pending
+    }
+
+    #[test]
+    fn iid_data_matches_plain_tally_roughly() {
+        // For independent data the batch-means CI approximates the plain
+        // CI; both must contain the true mean.
+        let mut bm = BatchMeans::new(20);
+        let mut plain = Tally::new();
+        let mut state: u64 = 12345;
+        for _ in 0..4000 {
+            // A small integer LCG: independent-ish uniform draws.
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let v = 10.0 + (u - 0.5);
+            bm.record(v);
+            plain.record(v);
+        }
+        assert!((bm.mean() - plain.mean()).abs() < 1e-9);
+        assert!((bm.mean() - 10.0).abs() < 0.1);
+        let ratio = bm.ci95_half_width() / plain.ci95_half_width();
+        assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn correlated_data_widens_the_interval() {
+        // A slowly-drifting signal: plain CI is falsely tight, batch means
+        // must report more uncertainty.
+        let mut bm = BatchMeans::new(50);
+        let mut plain = Tally::new();
+        for i in 0..5000 {
+            let v = ((i / 500) % 2) as f64; // long runs of 0s and 1s
+            bm.record(v);
+            plain.record(v);
+        }
+        assert!(
+            bm.ci95_half_width() > plain.ci95_half_width() * 2.0,
+            "batch {} vs plain {}",
+            bm.ci95_half_width(),
+            plain.ci95_half_width()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Additional coordination primitives: counting semaphores and broadcast
+//! gates (CSIM's `event` in set/queue mode).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::kernel::{Env, ProcId};
+
+// ---------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------
+
+struct SemWaiter {
+    pid: ProcId,
+    granted: Rc<RefCell<bool>>,
+    cancelled: Rc<RefCell<bool>>,
+}
+
+struct SemInner {
+    permits: u64,
+    waiters: VecDeque<SemWaiter>,
+}
+
+/// A counting semaphore with FCFS wakeups. Unlike [`crate::Facility`],
+/// permits are not tied to a holder: any process may `release`, so it can
+/// model producer/consumer credit or admission tokens handed between
+/// processes.
+#[derive(Clone)]
+pub struct Semaphore {
+    env: Env,
+    inner: Rc<RefCell<SemInner>>,
+}
+
+impl Semaphore {
+    /// Create a semaphore holding `permits` initial permits.
+    pub fn new(env: &Env, permits: u64) -> Self {
+        Semaphore {
+            env: env.clone(),
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn permits(&self) -> u64 {
+        self.inner.borrow().permits
+    }
+
+    /// Processes waiting for a permit.
+    pub fn waiters(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+
+    /// Take one permit, waiting FCFS if none is available.
+    pub fn acquire(&self) -> SemAcquire {
+        SemAcquire {
+            sem: self.clone(),
+            state: None,
+        }
+    }
+
+    /// Take a permit without waiting; `false` if none was available.
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.permits > 0 {
+            inner.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return one permit, waking the first waiter if any.
+    pub fn release(&self) {
+        let mut inner = self.inner.borrow_mut();
+        // Hand the permit straight to the first live waiter.
+        while let Some(w) = inner.waiters.pop_front() {
+            if !*w.cancelled.borrow() {
+                *w.granted.borrow_mut() = true;
+                let pid = w.pid;
+                drop(inner);
+                self.env.schedule_wake(self.env.now(), pid);
+                return;
+            }
+        }
+        inner.permits += 1;
+    }
+}
+
+/// Shared wait state of a parked semaphore acquirer.
+type SemWaitState = (Rc<RefCell<bool>>, Rc<RefCell<bool>>); // (granted, cancelled)
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct SemAcquire {
+    sem: Semaphore,
+    state: Option<SemWaitState>,
+}
+
+impl Future for SemAcquire {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        match &self.state {
+            None => {
+                let mut inner = self.sem.inner.borrow_mut();
+                if inner.permits > 0 {
+                    inner.permits -= 1;
+                    return Poll::Ready(());
+                }
+                let granted = Rc::new(RefCell::new(false));
+                let cancelled = Rc::new(RefCell::new(false));
+                inner.waiters.push_back(SemWaiter {
+                    pid: self.sem.env.current(),
+                    granted: Rc::clone(&granted),
+                    cancelled: Rc::clone(&cancelled),
+                });
+                drop(inner);
+                self.state = Some((granted, cancelled));
+                Poll::Pending
+            }
+            Some((granted, _)) => {
+                if *granted.borrow() {
+                    // Consume the grant so our Drop impl doesn't hand the
+                    // permit back a second time.
+                    self.state = None;
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SemAcquire {
+    fn drop(&mut self) {
+        if let Some((granted, cancelled)) = &self.state {
+            if *granted.borrow() {
+                // Handed a permit we never consumed: give it back.
+                self.sem.release();
+            } else {
+                *cancelled.borrow_mut() = true;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gate
+// ---------------------------------------------------------------------
+
+struct GateInner {
+    open: bool,
+    waiters: Vec<ProcId>,
+}
+
+/// A broadcast gate: processes wait until it opens; opening releases every
+/// waiter at once. Re-closable (CSIM event semantics: `set` / `clear`).
+#[derive(Clone)]
+pub struct Gate {
+    env: Env,
+    inner: Rc<RefCell<GateInner>>,
+}
+
+impl Gate {
+    /// Create a gate, initially closed.
+    pub fn new(env: &Env) -> Self {
+        Gate {
+            env: env.clone(),
+            inner: Rc::new(RefCell::new(GateInner {
+                open: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// True if the gate is open (waits pass immediately).
+    pub fn is_open(&self) -> bool {
+        self.inner.borrow().open
+    }
+
+    /// Open the gate and wake every waiter.
+    pub fn open(&self) {
+        let waiters = {
+            let mut inner = self.inner.borrow_mut();
+            inner.open = true;
+            std::mem::take(&mut inner.waiters)
+        };
+        let now = self.env.now();
+        for pid in waiters {
+            self.env.schedule_wake(now, pid);
+        }
+    }
+
+    /// Close the gate; subsequent waits block until it reopens.
+    pub fn close(&self) {
+        self.inner.borrow_mut().open = false;
+    }
+
+    /// Wait until the gate is open.
+    pub fn wait(&self) -> GateWait {
+        GateWait {
+            gate: self.clone(),
+            registered: false,
+        }
+    }
+}
+
+/// Future returned by [`Gate::wait`].
+pub struct GateWait {
+    gate: Gate,
+    registered: bool,
+}
+
+impl Future for GateWait {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.gate.inner.borrow_mut();
+        if inner.open {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            inner.waiters.push(self.gate.env.current());
+            drop(inner);
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Sim;
+    use crate::time::{SimDuration, SimTime};
+    use std::cell::Cell;
+
+    #[test]
+    fn semaphore_admits_up_to_permits() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let sem = Semaphore::new(&env, 2);
+        let in_flight = Rc::new(Cell::new((0u32, 0u32))); // (cur, max)
+        for _ in 0..6 {
+            let sem = sem.clone();
+            let env = env.clone();
+            let f = Rc::clone(&in_flight);
+            sim.spawn(async move {
+                sem.acquire().await;
+                let (c, m) = f.get();
+                f.set((c + 1, m.max(c + 1)));
+                env.hold(SimDuration::from_millis(5)).await;
+                let (c, m) = f.get();
+                f.set((c - 1, m));
+                sem.release();
+            });
+        }
+        sim.run();
+        let (cur, max) = in_flight.get();
+        assert_eq!(cur, 0);
+        assert_eq!(max, 2);
+        assert_eq!(sem.permits(), 2);
+    }
+
+    #[test]
+    fn semaphore_credit_can_flow_between_processes() {
+        // Producer/consumer: the consumer waits for credits the producer
+        // releases, without ever holding them itself.
+        let sim = Sim::new();
+        let env = sim.env();
+        let sem = Semaphore::new(&env, 0);
+        let consumed = Rc::new(Cell::new(0u32));
+        {
+            let sem = sem.clone();
+            let consumed = Rc::clone(&consumed);
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    sem.acquire().await;
+                    consumed.set(consumed.get() + 1);
+                }
+            });
+        }
+        {
+            let sem = sem.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    env.hold(SimDuration::from_millis(2)).await;
+                    sem.release();
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(consumed.get(), 3);
+    }
+
+    #[test]
+    fn try_acquire_never_blocks() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let sem = Semaphore::new(&env, 1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn gate_releases_all_waiters_at_once() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let gate = Gate::new(&env);
+        let released_at: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..4 {
+            let gate = gate.clone();
+            let env = env.clone();
+            let released_at = Rc::clone(&released_at);
+            sim.spawn(async move {
+                gate.wait().await;
+                released_at.borrow_mut().push(env.now());
+            });
+        }
+        {
+            let gate = gate.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(7)).await;
+                gate.open();
+            });
+        }
+        sim.run();
+        let released = released_at.borrow();
+        assert_eq!(released.len(), 4);
+        assert!(released
+            .iter()
+            .all(|t| *t == SimTime::from_nanos(7_000_000)));
+    }
+
+    #[test]
+    fn open_gate_passes_immediately_and_close_blocks_again() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let gate = Gate::new(&env);
+        gate.open();
+        assert!(gate.is_open());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        {
+            let gate = gate.clone();
+            let env = env.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                gate.wait().await; // passes at t=0
+                log.borrow_mut().push(env.now());
+                gate.close();
+                gate.wait().await; // blocks until reopened
+                log.borrow_mut().push(env.now());
+            });
+        }
+        {
+            let gate = gate.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                env.hold(SimDuration::from_millis(3)).await;
+                gate.open();
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log[0], SimTime::ZERO);
+        assert_eq!(log[1], SimTime::from_nanos(3_000_000));
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests of the simulation kernel: time monotonicity,
+//! facility conservation, and mailbox delivery under randomized process
+//! populations.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ccdb_des::{Facility, Mailbox, Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Time observed by any process never decreases, regardless of the
+    /// hold pattern across processes.
+    #[test]
+    fn time_is_monotonic(delays in proptest::collection::vec(
+        proptest::collection::vec(0u64..5_000, 1..20), 1..10)) {
+        let sim = Sim::new();
+        let observed: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        for proc_delays in delays {
+            let env = sim.env();
+            let observed = Rc::clone(&observed);
+            sim.spawn(async move {
+                for d in proc_delays {
+                    env.hold(SimDuration::from_nanos(d)).await;
+                    observed.borrow_mut().push(env.now());
+                }
+            });
+        }
+        sim.run();
+        let observed = observed.borrow();
+        // The kernel processes events in time order, so the global
+        // observation sequence is sorted.
+        prop_assert!(observed.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// A facility never grants more servers than it has and completes
+    /// every request exactly once.
+    #[test]
+    fn facility_conservation(
+        servers in 1u32..4,
+        jobs in proptest::collection::vec((0u64..1_000, 1u64..1_000), 1..40),
+    ) {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "f", servers);
+        let n_jobs = jobs.len() as u64;
+        let in_service: Rc<RefCell<(u32, u32)>> = Rc::new(RefCell::new((0, 0))); // (current, max)
+        for (start, service) in jobs {
+            let env = env.clone();
+            let fac = fac.clone();
+            let in_service = Rc::clone(&in_service);
+            sim.spawn(async move {
+                env.hold(SimDuration::from_nanos(start)).await;
+                let guard = fac.acquire().await;
+                {
+                    let mut s = in_service.borrow_mut();
+                    s.0 += 1;
+                    s.1 = s.1.max(s.0);
+                }
+                env.hold(SimDuration::from_nanos(service)).await;
+                in_service.borrow_mut().0 -= 1;
+                drop(guard);
+            });
+        }
+        sim.run();
+        let (current, max) = *in_service.borrow();
+        prop_assert_eq!(current, 0, "all jobs released");
+        prop_assert!(max <= servers, "over-grant: {} > {}", max, servers);
+        prop_assert_eq!(fac.completions(), n_jobs);
+        prop_assert_eq!(fac.busy(), 0);
+        prop_assert_eq!(fac.queue_len(), 0);
+    }
+
+    /// Every message sent is received exactly once, whatever the mix of
+    /// producers and consumers.
+    #[test]
+    fn mailbox_delivers_everything(
+        producers in 1usize..5,
+        consumers in 1usize..5,
+        per_producer in 1u32..30,
+    ) {
+        let sim = Sim::new();
+        let env = sim.env();
+        let mb: Mailbox<u32> = Mailbox::new(&env);
+        let total = producers as u32 * per_producer;
+        let received: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for p in 0..producers {
+            let env = env.clone();
+            let mb = mb.clone();
+            sim.spawn(async move {
+                for i in 0..per_producer {
+                    env.hold(SimDuration::from_nanos((p as u64 + 1) * 37)).await;
+                    mb.send(p as u32 * 10_000 + i);
+                }
+            });
+        }
+        // Consumers split the messages; each takes a fair share plus the
+        // remainder goes to the first.
+        let share = total / consumers as u32;
+        let remainder = total - share * consumers as u32;
+        for c in 0..consumers {
+            let mb = mb.clone();
+            let received = Rc::clone(&received);
+            let mine = share + if c == 0 { remainder } else { 0 };
+            sim.spawn(async move {
+                for _ in 0..mine {
+                    let v = mb.recv().await;
+                    received.borrow_mut().push(v);
+                }
+            });
+        }
+        sim.run();
+        let mut got = received.borrow().clone();
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(got.len() as u32, total, "duplicates or losses");
+        prop_assert!(mb.is_empty());
+    }
+
+    /// Deterministic replay: running the same randomized program twice
+    /// gives identical event counts and final times.
+    #[test]
+    fn replay_is_identical(delays in proptest::collection::vec(0u64..10_000, 1..30)) {
+        let run = || {
+            let sim = Sim::new();
+            let fac = Facility::new(&sim.env(), "f", 1);
+            for &d in &delays {
+                let env = sim.env();
+                let fac = fac.clone();
+                sim.spawn(async move {
+                    env.hold(SimDuration::from_nanos(d)).await;
+                    fac.use_for(SimDuration::from_nanos(d / 2 + 1)).await;
+                });
+            }
+            sim.run();
+            (sim.now(), sim.events_processed())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Queueing-theory validation: an M/M/1 facility must match the analytic
+/// mean waiting time W = 1 / (mu - lambda).
+#[test]
+fn mm1_queue_matches_theory() {
+    use ccdb_des::{Pcg32, Tally};
+
+    let sim = Sim::new();
+    let env = sim.env();
+    let server = Facility::new(&env, "mm1", 1);
+    let waits = Rc::new(RefCell::new(Tally::new()));
+    // lambda = 50/s, mu = 100/s -> rho = 0.5, W (sojourn) = 1/(mu-lambda) = 20ms.
+    let lambda_mean = SimDuration::from_micros(20_000);
+    let mu_mean = SimDuration::from_micros(10_000);
+    {
+        let env = env.clone();
+        let server = server.clone();
+        let waits = Rc::clone(&waits);
+        sim.spawn(async move {
+            let mut arr_rng = Pcg32::new(123, 1);
+            let mut svc_rng = Pcg32::new(456, 2);
+            for _ in 0..60_000 {
+                env.hold(arr_rng.exp_duration(lambda_mean)).await;
+                let service = svc_rng.exp_duration(mu_mean);
+                let server = server.clone();
+                let env2 = env.clone();
+                let waits = Rc::clone(&waits);
+                env.spawn(async move {
+                    let t0 = env2.now();
+                    server.use_for(service).await;
+                    waits
+                        .borrow_mut()
+                        .record(env2.now().since(t0).as_secs_f64());
+                });
+            }
+        });
+    }
+    sim.run();
+    let mean_sojourn = waits.borrow().mean();
+    let theory = 0.020; // seconds
+    let rel = (mean_sojourn - theory).abs() / theory;
+    assert!(
+        rel < 0.05,
+        "M/M/1 sojourn {mean_sojourn:.5}s vs theory {theory:.5}s ({:.1}% off)",
+        rel * 100.0
+    );
+    // Utilisation must be ~rho.
+    let rho = server.utilization();
+    assert!((rho - 0.5).abs() < 0.02, "rho {rho}");
+}
+
+/// Multi-server validation: an M/M/2 facility must match the Erlang-C
+/// sojourn time.
+#[test]
+fn mm2_queue_matches_erlang_c() {
+    use ccdb_des::{Pcg32, Tally};
+
+    let sim = Sim::new();
+    let env = sim.env();
+    let server = Facility::new(&env, "mm2", 2);
+    let waits = Rc::new(RefCell::new(Tally::new()));
+    // lambda = 120/s over c=2 servers of mu = 100/s each: rho = 0.6.
+    let lambda_mean = SimDuration::from_micros(8_333);
+    let mu_mean = SimDuration::from_micros(10_000);
+    {
+        let env = env.clone();
+        let server = server.clone();
+        let waits = Rc::clone(&waits);
+        sim.spawn(async move {
+            let mut arr_rng = Pcg32::new(321, 1);
+            let mut svc_rng = Pcg32::new(654, 2);
+            for _ in 0..80_000 {
+                env.hold(arr_rng.exp_duration(lambda_mean)).await;
+                let service = svc_rng.exp_duration(mu_mean);
+                let server = server.clone();
+                let env2 = env.clone();
+                let waits = Rc::clone(&waits);
+                env.spawn(async move {
+                    let t0 = env2.now();
+                    server.use_for(service).await;
+                    waits
+                        .borrow_mut()
+                        .record(env2.now().since(t0).as_secs_f64());
+                });
+            }
+        });
+    }
+    sim.run();
+    // Erlang C for c=2, rho=0.6: P(wait) = 2*rho^2/(1+rho) = 0.45;
+    // Wq = P(wait) / (c*mu - lambda) = 0.45 / 80 = 5.625 ms;
+    // sojourn = Wq + 1/mu = 15.625 ms.
+    let lambda = 120.0f64;
+    let mu = 100.0f64;
+    let rho: f64 = lambda / (2.0 * mu);
+    let p_wait = 2.0 * rho * rho / (1.0 + rho);
+    let theory = p_wait / (2.0 * mu - lambda) + 1.0 / mu;
+    let mean = waits.borrow().mean();
+    let rel = (mean - theory).abs() / theory;
+    assert!(
+        rel < 0.05,
+        "M/M/2 sojourn {mean:.6}s vs Erlang-C {theory:.6}s ({:.1}% off)",
+        rel * 100.0
+    );
+}

@@ -1,0 +1,27 @@
+//! # ccdb-lock — page-granularity lock manager
+//!
+//! The server lock manager of the simulated DBMS (paper §3.3.4), extended
+//! with the machinery callback locking needs (§2.3):
+//!
+//! * shared / exclusive locks at page granularity, FCFS wait queues with
+//!   upgrade-to-front semantics;
+//! * *retained* locks owned by a **client** rather than a transaction,
+//!   surviving transaction commit;
+//! * callback bookkeeping: an exclusive request that conflicts with
+//!   retained locks reports which clients must be called back, and
+//!   deferred callback replies insert wait-for edges against the client's
+//!   current transaction;
+//! * continuous deadlock detection over a wait-for graph derived from the
+//!   lock table, with the requester as victim.
+//!
+//! The crate is pure logic: no simulated time, no I/O. The `ccdb-core`
+//! crate turns [`RequestOutcome::Blocked`] into a parked simulation process
+//! and fires it when [`LockManager::release_all`] (etc.) reports the grant.
+
+#![warn(missing_docs)]
+
+mod manager;
+
+pub use manager::{
+    ClientId, LockManager, LockStats, Mode, Owner, RequestOutcome, RetainPolicy, TxnId, Wake,
+};

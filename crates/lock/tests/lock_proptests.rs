@@ -1,0 +1,235 @@
+//! Property-based tests: the lock manager must maintain its invariants
+//! under arbitrary interleavings of requests, releases, aborts, retention,
+//! and callback resolution.
+
+use std::collections::{HashMap, HashSet};
+
+use ccdb_lock::{ClientId, LockManager, Mode, RequestOutcome, TxnId, Wake};
+use ccdb_model::{ClassId, PageId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Request { txn: u8, page: u8, x: bool },
+    Commit { txn: u8, retain: bool },
+    Abort { txn: u8 },
+    ReleaseRetained { client: u8, page: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8u8, 0..6u8, any::<bool>()).prop_map(|(txn, page, x)| Op::Request { txn, page, x }),
+        (0..8u8, any::<bool>()).prop_map(|(txn, retain)| Op::Commit { txn, retain }),
+        (0..8u8).prop_map(|txn| Op::Abort { txn }),
+        (0..8u8, 0..6u8).prop_map(|(client, page)| Op::ReleaseRetained { client, page }),
+    ]
+}
+
+fn page(n: u8) -> PageId {
+    PageId {
+        class: ClassId(0),
+        atom: n as u32,
+    }
+}
+
+/// Client of txn t: txn ids 0..8 map to clients 0..4 (two txns per client
+/// would be illegal concurrently, so use one client per txn id here).
+fn client_of(txn: u8) -> ClientId {
+    ClientId(txn as u32)
+}
+
+/// A model-tracking harness: drives the real lock manager, tracks which
+/// requests are outstanding, and checks invariants after every step.
+struct Harness {
+    lm: LockManager,
+    /// (txn, page) pairs with an outstanding blocked request.
+    pending: HashSet<(u8, u8)>,
+    /// Granted (txn -> pages, mode).
+    granted: HashMap<u8, HashMap<u8, Mode>>,
+    /// Live transactions (requested at least once, not yet ended).
+    live: HashSet<u8>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            lm: LockManager::new(),
+            pending: HashSet::new(),
+            granted: HashMap::new(),
+            live: HashSet::new(),
+        }
+    }
+
+    fn apply_wakes(&mut self, wakes: &[Wake]) {
+        for w in wakes {
+            let t = w.txn.0 as u8;
+            let p = w.page.atom as u8;
+            assert!(
+                self.pending.remove(&(t, p)),
+                "grant for a request that was not pending: txn {t} page {p}"
+            );
+            let mode = self.lm.holds(w.txn, w.page).expect("woken txn holds lock");
+            self.granted.entry(t).or_default().insert(p, mode);
+        }
+    }
+
+    fn step(&mut self, op: &Op) {
+        match *op {
+            Op::Request { txn, page: p, x } => {
+                // One outstanding request per (txn, page); skip if already
+                // waiting there (mirrors the simulator: a handler parks).
+                if self.pending.iter().any(|&(t, pg)| t == txn && pg == p) {
+                    return;
+                }
+                self.live.insert(txn);
+                let mode = if x { Mode::X } else { Mode::S };
+                match self
+                    .lm
+                    .request(TxnId(txn as u64), client_of(txn), page(p), mode)
+                {
+                    RequestOutcome::Granted => {
+                        self.granted.entry(txn).or_default().insert(p, mode);
+                    }
+                    RequestOutcome::Blocked { .. } => {
+                        self.pending.insert((txn, p));
+                    }
+                    RequestOutcome::Deadlock => {
+                        // Requester aborts: all its locks and waits vanish.
+                        let (wakes, _) = self.lm.abort(TxnId(txn as u64));
+                        self.granted.remove(&txn);
+                        self.pending.retain(|&(t, _)| t != txn);
+                        self.live.remove(&txn);
+                        self.apply_wakes(&wakes);
+                    }
+                }
+            }
+            Op::Commit { txn, retain } => {
+                if !self.live.contains(&txn) {
+                    return;
+                }
+                // A transaction with a pending request cannot commit.
+                if self.pending.iter().any(|&(t, _)| t == txn) {
+                    return;
+                }
+                let retain_for = retain.then(|| client_of(txn));
+                let (wakes, _cb) = self.lm.release_all(TxnId(txn as u64), retain_for);
+                self.granted.remove(&txn);
+                self.live.remove(&txn);
+                self.apply_wakes(&wakes);
+            }
+            Op::Abort { txn } => {
+                if !self.live.contains(&txn) {
+                    return;
+                }
+                let (wakes, _cb) = self.lm.abort(TxnId(txn as u64));
+                self.granted.remove(&txn);
+                self.pending.retain(|&(t, _)| t != txn);
+                self.live.remove(&txn);
+                self.apply_wakes(&wakes);
+            }
+            Op::ReleaseRetained { client, page: p } => {
+                let (wakes, _cb) = self.lm.release_retained(ClientId(client as u32), page(p));
+                self.apply_wakes(&wakes);
+            }
+        }
+        self.check();
+    }
+
+    fn check(&self) {
+        // 1. The lock table never holds incompatible granted locks.
+        self.lm.assert_consistent();
+        // 2. Our mirror of granted locks agrees with the manager.
+        for (&txn, pages) in &self.granted {
+            for (&p, &mode) in pages {
+                let held = self.lm.holds(TxnId(txn as u64), page(p));
+                assert!(
+                    held.is_some(),
+                    "mirror says txn {txn} holds page {p}, manager disagrees"
+                );
+                if mode == Mode::X {
+                    assert_eq!(held, Some(Mode::X));
+                }
+            }
+        }
+        // 3. No writer coexists with another lock on the same page.
+        let mut writers: HashMap<u8, u8> = HashMap::new();
+        for (&txn, pages) in &self.granted {
+            for (&p, &mode) in pages {
+                if mode == Mode::X {
+                    if let Some(prev) = writers.insert(p, txn) {
+                        panic!("two writers on page {p}: {prev} and {txn}");
+                    }
+                }
+            }
+        }
+        for (&p, &w) in &writers {
+            for (&txn, pages) in &self.granted {
+                if txn != w && pages.contains_key(&p) {
+                    panic!("reader {txn} coexists with writer {w} on page {p}");
+                }
+            }
+        }
+    }
+
+    /// Drain: end every live transaction and honour every retained lock
+    /// release; afterwards nothing must remain pending.
+    fn drain(&mut self) {
+        let live: Vec<u8> = self.live.iter().copied().collect();
+        for txn in live {
+            // Abort releases both held locks and queued requests, so it
+            // always makes progress regardless of wait states.
+            self.step(&Op::Abort { txn });
+        }
+        for client in 0..8u8 {
+            for p in 0..6u8 {
+                self.step(&Op::ReleaseRetained { client, page: p });
+            }
+        }
+        assert!(
+            self.pending.is_empty(),
+            "requests left pending after drain: {:?}",
+            self.pending
+        );
+        assert_eq!(self.lm.table_len(), 0, "lock table not empty after drain");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any operation sequence maintains lock compatibility, mirrors agree,
+    /// and full drain leaves an empty table (no leaked entries, no lost
+    /// waiters).
+    #[test]
+    fn lock_manager_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.step(op);
+        }
+        h.drain();
+    }
+
+    /// Without retention, pure reader workloads never block.
+    #[test]
+    fn readers_never_block(pages in proptest::collection::vec(0..6u8, 1..40)) {
+        let mut lm = LockManager::new();
+        for (i, &p) in pages.iter().enumerate() {
+            let o = lm.request(TxnId(i as u64 % 8), client_of(i as u8 % 8), page(p), Mode::S);
+            prop_assert_eq!(o, RequestOutcome::Granted);
+        }
+    }
+
+    /// A single transaction can never deadlock with itself.
+    #[test]
+    fn single_txn_never_deadlocks(ops in proptest::collection::vec((0..6u8, any::<bool>()), 1..40)) {
+        let mut lm = LockManager::new();
+        for &(p, x) in &ops {
+            let mode = if x { Mode::X } else { Mode::S };
+            let o = lm.request(TxnId(1), ClientId(1), page(p), mode);
+            prop_assert_eq!(o, RequestOutcome::Granted);
+        }
+        let (wakes, _) = lm.release_all(TxnId(1), None);
+        prop_assert!(wakes.is_empty());
+        prop_assert_eq!(lm.table_len(), 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! The database model (paper §3.1, Table 1).
+//!
+//! A database is a set of *classes*; each class is a sequence of *atoms*.
+//! For this study an atom corresponds to one disk page (the paper argues
+//! this does not affect the results because pages are also the unit of
+//! consistency and transport). An *object* of class `c` starts at a random
+//! atom of `c` and spans `ObjectSize[c]` consecutive atoms, so objects of
+//! the same class can share atoms (sub-object sharing, Figure 2).
+
+use ccdb_des::Pcg32;
+use std::fmt;
+
+/// Identifies one class (relation) in the database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClassId(pub u16);
+
+/// Identifies one atom (= disk page) in the database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    /// Owning class.
+    pub class: ClassId,
+    /// Atom index within the class.
+    pub atom: u32,
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}:{}", self.class.0, self.atom)
+    }
+}
+
+/// Identifies one object: a span of atoms within a class.
+///
+/// Two objects with different `start` values can overlap — that is the
+/// paper's sub-object sharing model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ObjectRef {
+    /// Owning class.
+    pub class: ClassId,
+    /// First atom of the object.
+    pub start: u32,
+}
+
+/// Per-class configuration (Table 1: `NPages[i]`, `ObjectSize[i]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassSpec {
+    /// Number of atoms (pages) in the class.
+    pub n_pages: u32,
+    /// Atoms per object of this class.
+    pub object_size: u32,
+}
+
+/// Skewed access: a *hot* region attracting a disproportionate share of
+/// accesses (the classic b-c contention model of the ACL lineage; the
+/// paper itself keeps access uniform).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessSkew {
+    /// Fraction of each class's atoms that form the hot region (0, 1].
+    pub hot_fraction: f64,
+    /// Probability that an object draw starts in the hot region.
+    pub hot_access_prob: f64,
+}
+
+impl AccessSkew {
+    /// Panic on inconsistent settings.
+    pub fn validate(&self) {
+        assert!(
+            self.hot_fraction > 0.0 && self.hot_fraction <= 1.0,
+            "hot fraction must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hot_access_prob),
+            "hot access probability must be in [0, 1]"
+        );
+    }
+}
+
+/// The whole database (Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatabaseSpec {
+    /// The classes; `NClasses` is `classes.len()`.
+    pub classes: Vec<ClassSpec>,
+    /// Probability that consecutive atoms of an object are stored
+    /// sequentially on disk (`ClusterFactor`).
+    pub cluster_factor: f64,
+    /// Optional skewed access (None = the paper's uniform model).
+    pub skew: Option<AccessSkew>,
+}
+
+impl DatabaseSpec {
+    /// A database of `n_classes` identical classes.
+    pub fn uniform(n_classes: u16, n_pages: u32, object_size: u32, cluster_factor: f64) -> Self {
+        assert!(n_classes > 0 && n_pages > 0 && object_size > 0);
+        assert!(
+            object_size <= n_pages,
+            "objects cannot be larger than their class"
+        );
+        DatabaseSpec {
+            classes: vec![
+                ClassSpec {
+                    n_pages,
+                    object_size,
+                };
+                n_classes as usize
+            ],
+            cluster_factor,
+            skew: None,
+        }
+    }
+
+    /// Apply skewed access (builder-style).
+    pub fn with_skew(mut self, skew: AccessSkew) -> Self {
+        skew.validate();
+        self.skew = Some(skew);
+        self
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> u16 {
+        self.classes.len() as u16
+    }
+
+    /// Total pages across all classes.
+    pub fn total_pages(&self) -> u64 {
+        self.classes.iter().map(|c| c.n_pages as u64).sum()
+    }
+
+    /// Class spec lookup.
+    pub fn class(&self, id: ClassId) -> &ClassSpec {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Draw a random object. Uniform by default: every page of the
+    /// database is equally likely to be the start atom (classes weighted
+    /// by size), per §3.1. With [`AccessSkew`], the draw first lands in
+    /// the hot region (the first `hot_fraction` of each class) with
+    /// probability `hot_access_prob`.
+    pub fn random_object(&self, rng: &mut Pcg32) -> ObjectRef {
+        if let Some(skew) = self.skew {
+            let hot = rng.chance(skew.hot_access_prob);
+            // Pick the class uniformly by size, then the atom within the
+            // chosen region of that class.
+            let class = self.random_class_by_size(rng);
+            let n = self.class(class).n_pages;
+            let hot_pages = ((n as f64 * skew.hot_fraction).ceil() as u32).clamp(1, n);
+            let start = if hot {
+                rng.below(hot_pages as u64) as u32
+            } else if hot_pages == n {
+                rng.below(n as u64) as u32
+            } else {
+                hot_pages + rng.below((n - hot_pages) as u64) as u32
+            };
+            return ObjectRef { class, start };
+        }
+        let mut k = rng.below(self.total_pages());
+        for (i, c) in self.classes.iter().enumerate() {
+            if k < c.n_pages as u64 {
+                return ObjectRef {
+                    class: ClassId(i as u16),
+                    start: k as u32,
+                };
+            }
+            k -= c.n_pages as u64;
+        }
+        unreachable!("random index exceeded total pages");
+    }
+
+    fn random_class_by_size(&self, rng: &mut Pcg32) -> ClassId {
+        let mut k = rng.below(self.total_pages());
+        for (i, c) in self.classes.iter().enumerate() {
+            if k < c.n_pages as u64 {
+                return ClassId(i as u16);
+            }
+            k -= c.n_pages as u64;
+        }
+        unreachable!("random index exceeded total pages");
+    }
+
+    /// The pages an object spans. Atom indices wrap around the end of the
+    /// class so every start atom yields a full-size object.
+    pub fn object_pages(&self, obj: ObjectRef) -> Vec<PageId> {
+        let spec = self.class(obj.class);
+        (0..spec.object_size)
+            .map(|i| PageId {
+                class: obj.class,
+                atom: (obj.start + i) % spec.n_pages,
+            })
+            .collect()
+    }
+
+    /// Data disk holding a class: classes are distributed uniformly
+    /// (round-robin) over the `n_disks` data disks; all pages of one class
+    /// live on the same disk (§3.3.2).
+    pub fn disk_of_class(&self, class: ClassId, n_disks: u32) -> u32 {
+        assert!(n_disks > 0);
+        class.0 as u32 % n_disks
+    }
+
+    /// Dense index of a page into `0..total_pages` (for version tables).
+    pub fn page_index(&self, page: PageId) -> usize {
+        let mut base = 0usize;
+        for (i, c) in self.classes.iter().enumerate() {
+            if i == page.class.0 as usize {
+                debug_assert!(page.atom < c.n_pages);
+                return base + page.atom as usize;
+            }
+            base += c.n_pages as usize;
+        }
+        panic!("page {page:?} not in database");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> DatabaseSpec {
+        DatabaseSpec::uniform(40, 50, 1, 1.0)
+    }
+
+    #[test]
+    fn uniform_database_shape() {
+        let d = db();
+        assert_eq!(d.n_classes(), 40);
+        assert_eq!(d.total_pages(), 2000);
+        assert_eq!(d.class(ClassId(7)).n_pages, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than their class")]
+    fn object_bigger_than_class_rejected() {
+        let _ = DatabaseSpec::uniform(1, 4, 5, 1.0);
+    }
+
+    #[test]
+    fn random_object_is_uniform_over_pages() {
+        let d = db();
+        let mut rng = Pcg32::new(1, 1);
+        let mut counts = vec![0u32; 40];
+        for _ in 0..40_000 {
+            let o = d.random_object(&mut rng);
+            assert!(o.start < 50);
+            counts[o.class.0 as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 1000 per class.
+            assert!((800..1200).contains(&c), "class count {c}");
+        }
+    }
+
+    #[test]
+    fn object_pages_wrap_around() {
+        let d = DatabaseSpec::uniform(1, 10, 3, 1.0);
+        let pages = d.object_pages(ObjectRef {
+            class: ClassId(0),
+            start: 9,
+        });
+        let atoms: Vec<u32> = pages.iter().map(|p| p.atom).collect();
+        assert_eq!(atoms, vec![9, 0, 1]);
+    }
+
+    #[test]
+    fn objects_share_atoms() {
+        let d = DatabaseSpec::uniform(1, 10, 4, 1.0);
+        let a = d.object_pages(ObjectRef {
+            class: ClassId(0),
+            start: 2,
+        });
+        let b = d.object_pages(ObjectRef {
+            class: ClassId(0),
+            start: 4,
+        });
+        let shared: Vec<_> = a.iter().filter(|p| b.contains(p)).collect();
+        assert_eq!(shared.len(), 2); // atoms 4 and 5
+    }
+
+    #[test]
+    fn classes_round_robin_over_disks() {
+        let d = db();
+        assert_eq!(d.disk_of_class(ClassId(0), 2), 0);
+        assert_eq!(d.disk_of_class(ClassId(1), 2), 1);
+        assert_eq!(d.disk_of_class(ClassId(2), 2), 0);
+        // With enough classes both disks get equal load.
+        let on0 = (0..40)
+            .filter(|&i| d.disk_of_class(ClassId(i), 2) == 0)
+            .count();
+        assert_eq!(on0, 20);
+    }
+
+    #[test]
+    fn page_index_is_dense_and_unique() {
+        let d = DatabaseSpec::uniform(3, 5, 1, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for class in 0..3u16 {
+            for atom in 0..5u32 {
+                let idx = d.page_index(PageId {
+                    class: ClassId(class),
+                    atom,
+                });
+                assert!(idx < 15);
+                assert!(seen.insert(idx), "duplicate index {idx}");
+            }
+        }
+        assert_eq!(seen.len(), 15);
+    }
+}
+
+#[cfg(test)]
+mod skew_tests {
+    use super::*;
+
+    #[test]
+    fn skewed_draws_prefer_the_hot_region() {
+        let d = DatabaseSpec::uniform(10, 100, 1, 1.0).with_skew(AccessSkew {
+            hot_fraction: 0.1,
+            hot_access_prob: 0.8,
+        });
+        let mut rng = Pcg32::new(11, 3);
+        let mut hot = 0u32;
+        let n = 50_000;
+        for _ in 0..n {
+            let o = d.random_object(&mut rng);
+            if o.start < 10 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn cold_region_is_still_covered() {
+        let d = DatabaseSpec::uniform(2, 50, 1, 1.0).with_skew(AccessSkew {
+            hot_fraction: 0.2,
+            hot_access_prob: 0.9,
+        });
+        let mut rng = Pcg32::new(5, 9);
+        let mut saw_cold = false;
+        for _ in 0..5_000 {
+            if d.random_object(&mut rng).start >= 10 {
+                saw_cold = true;
+                break;
+            }
+        }
+        assert!(saw_cold);
+    }
+
+    #[test]
+    fn full_hot_fraction_degenerates_to_uniform() {
+        let d = DatabaseSpec::uniform(1, 100, 1, 1.0).with_skew(AccessSkew {
+            hot_fraction: 1.0,
+            hot_access_prob: 1.0,
+        });
+        let mut rng = Pcg32::new(2, 2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            seen.insert(d.random_object(&mut rng).start);
+        }
+        assert!(seen.len() > 95, "most atoms reachable: {}", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "hot fraction")]
+    fn invalid_skew_rejected() {
+        let _ = DatabaseSpec::uniform(1, 10, 1, 1.0).with_skew(AccessSkew {
+            hot_fraction: 0.0,
+            hot_access_prob: 0.5,
+        });
+    }
+}

@@ -1,0 +1,23 @@
+//! # ccdb-model — database, transaction, and system models
+//!
+//! The specification side of the Wang & Rowe simulation study:
+//!
+//! * [`db`] — the database model (classes, atoms/pages, objects with
+//!   sub-object sharing; Table 1).
+//! * [`params`] — transaction-type parameters (Table 2), system parameters
+//!   (Table 3), and the concrete settings of Tables 4 and 5.
+//! * [`workload`] — the transaction reference-string generator with the
+//!   `InterXactSet` temporal-locality model (Figure 3).
+//!
+//! Everything here is pure (no simulated time); the `ccdb-core` crate wires
+//! these models into the discrete-event simulation.
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod params;
+pub mod workload;
+
+pub use db::{AccessSkew, ClassId, ClassSpec, DatabaseSpec, ObjectRef, PageId};
+pub use params::{table4_database, table4_txn, table5_database, SystemParams, TxnParams};
+pub use workload::{InterXactSet, TxnOp, TxnSpec, Workload};

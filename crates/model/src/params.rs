@@ -1,0 +1,314 @@
+//! Simulation parameters (paper Tables 2 and 3) and the standard settings
+//! used by the experiments (Tables 4 and 5).
+
+use ccdb_des::SimDuration;
+
+use crate::db::DatabaseSpec;
+
+/// Parameters of one transaction type (Table 2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnParams {
+    /// Minimum number of `ReadObject` operations per transaction.
+    pub min_xact_size: u32,
+    /// Maximum number of `ReadObject` operations per transaction.
+    pub max_xact_size: u32,
+    /// Probability that each page of a read object is updated.
+    pub prob_write: f64,
+    /// Mean think time between a `ReadObject` and its `UpdateObject`.
+    pub update_delay: SimDuration,
+    /// Mean think time at the end of each loop pass.
+    pub internal_delay: SimDuration,
+    /// Mean think time between transactions.
+    pub external_delay: SimDuration,
+    /// Size of the inter-transaction working set (`InterXactSetSize`).
+    pub inter_xact_set_size: usize,
+    /// Probability that a read comes from the working set (`InterXactLoc`).
+    pub inter_xact_loc: f64,
+}
+
+impl TxnParams {
+    /// The short-batch transaction type used by most experiments: 4–12
+    /// object reads, no think time, 1 s external delay, working set 20.
+    pub fn short_batch() -> Self {
+        TxnParams {
+            min_xact_size: 4,
+            max_xact_size: 12,
+            prob_write: 0.2,
+            update_delay: SimDuration::ZERO,
+            internal_delay: SimDuration::ZERO,
+            external_delay: SimDuration::from_secs(1),
+            inter_xact_set_size: 20,
+            inter_xact_loc: 0.25,
+        }
+    }
+
+    /// The large-batch type of §5.2: 20–60 object reads.
+    pub fn large_batch() -> Self {
+        TxnParams {
+            min_xact_size: 20,
+            max_xact_size: 60,
+            ..TxnParams::short_batch()
+        }
+    }
+
+    /// The interactive type of §5.5: 5 s update delay, 2 s internal delay.
+    pub fn interactive() -> Self {
+        TxnParams {
+            update_delay: SimDuration::from_secs(5),
+            internal_delay: SimDuration::from_secs(2),
+            ..TxnParams::short_batch()
+        }
+    }
+
+    /// Average number of object reads per transaction.
+    pub fn mean_xact_size(&self) -> f64 {
+        (self.min_xact_size + self.max_xact_size) as f64 / 2.0
+    }
+
+    /// Panic on inconsistent settings.
+    pub fn validate(&self) {
+        assert!(self.min_xact_size > 0, "transactions must read something");
+        assert!(self.min_xact_size <= self.max_xact_size);
+        assert!((0.0..=1.0).contains(&self.prob_write));
+        assert!((0.0..=1.0).contains(&self.inter_xact_loc));
+    }
+}
+
+/// System parameters (Table 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemParams {
+    /// Mean exponential per-packet network delay (`NetDelay`).
+    pub net_delay: SimDuration,
+    /// Maximum bytes per packet (`PacketSize`).
+    pub packet_size: u32,
+    /// Instructions to send or receive one packet (`MsgCost`).
+    pub msg_cost: u64,
+    /// Number of client workstations (`NClients`).
+    pub n_clients: u32,
+    /// CPUs per client (`NClientCPUs`).
+    pub n_client_cpus: u32,
+    /// Client CPU speed in MIPS (`ClientMips`).
+    pub client_mips: f64,
+    /// CPUs on the server (`NServerCPUs`).
+    pub n_server_cpus: u32,
+    /// Server CPU speed in MIPS (`ServerMips`).
+    pub server_mips: f64,
+    /// Data disks on the server (`NDataDisks`).
+    pub n_data_disks: u32,
+    /// Log disks on the server (`NLogDisks`); 0 disables the log manager.
+    pub n_log_disks: u32,
+    /// Pages in each client cache (`CacheSize`).
+    pub cache_size: usize,
+    /// Pages in the server buffer pool (`BufferSize`).
+    pub buffer_size: usize,
+    /// Minimum disk seek+rotation time (`SeekLow`).
+    pub seek_low: SimDuration,
+    /// Maximum disk seek+rotation time (`SeekHigh`).
+    pub seek_high: SimDuration,
+    /// Transfer time for one disk block (`DiskTran`).
+    pub disk_tran: SimDuration,
+    /// Disk block / memory page size in bytes (`PageSize`).
+    pub page_size: u32,
+    /// Instructions to initiate a disk access (`InitDiskCost`).
+    pub init_disk_cost: u64,
+    /// Instructions to process one page on the server (`ServerProcPage`).
+    pub server_proc_page: u64,
+    /// Instructions to process one page on the client (`ClientProcPage`).
+    pub client_proc_page: u64,
+    /// Maximum active transactions on the server (`MPL`).
+    pub mpl: u32,
+}
+
+impl SystemParams {
+    /// The Table 5 baseline used by the §4 verification and §5 experiments.
+    pub fn table5() -> Self {
+        SystemParams {
+            net_delay: SimDuration::from_millis(2),
+            packet_size: 4096,
+            msg_cost: 5_000,
+            n_clients: 10,
+            n_client_cpus: 1,
+            client_mips: 1.0,
+            n_server_cpus: 1,
+            server_mips: 2.0,
+            n_data_disks: 2,
+            n_log_disks: 1,
+            cache_size: 100,
+            buffer_size: 400,
+            seek_low: SimDuration::ZERO,
+            seek_high: SimDuration::from_millis(44),
+            disk_tran: SimDuration::from_millis(2),
+            page_size: 4096,
+            init_disk_cost: 5_000,
+            server_proc_page: 10_000,
+            client_proc_page: 20_000,
+            mpl: 50,
+        }
+    }
+
+    /// The Table 4 configuration for the ACL comparison (§4, experiment 1).
+    ///
+    /// Notable degenerate settings: a 1-page server buffer (forces every
+    /// dirty page to disk at commit), a 12-page client cache (deferred
+    /// updates for both algorithms), disabled log manager, and zero network
+    /// costs — reproducing the centralized-DBMS setting of ACL.
+    pub fn table4_acl() -> Self {
+        SystemParams {
+            net_delay: SimDuration::ZERO,
+            packet_size: 4096,
+            msg_cost: 0,
+            n_clients: 200,
+            n_client_cpus: 1,
+            client_mips: 1000.0, // client processing is free in the ACL model
+            n_server_cpus: 1,
+            server_mips: 1.0,
+            n_data_disks: 2,
+            n_log_disks: 0,
+            cache_size: 12,
+            buffer_size: 1,
+            seek_low: SimDuration::from_millis(35),
+            seek_high: SimDuration::from_millis(35),
+            disk_tran: SimDuration::ZERO,
+            page_size: 4096,
+            init_disk_cost: 0,
+            server_proc_page: 15_000,
+            client_proc_page: 0,
+            mpl: 25,
+        }
+    }
+
+    /// §5.3: a 20 MIPS server, other parameters per Table 5.
+    pub fn fast_server() -> Self {
+        SystemParams {
+            server_mips: 20.0,
+            ..SystemParams::table5()
+        }
+    }
+
+    /// §5.4: 20 MIPS server and an infinitely fast network.
+    pub fn fast_net_fast_server() -> Self {
+        SystemParams {
+            net_delay: SimDuration::ZERO,
+            server_mips: 20.0,
+            ..SystemParams::table5()
+        }
+    }
+
+    /// Packets needed for a message body of `bytes`.
+    pub fn packets_for(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            1 // a control message still occupies one packet
+        } else {
+            bytes.div_ceil(self.packet_size as u64)
+        }
+    }
+
+    /// Panic on inconsistent settings.
+    pub fn validate(&self) {
+        assert!(self.n_clients > 0);
+        assert!(self.n_client_cpus > 0 && self.n_server_cpus > 0);
+        assert!(self.client_mips > 0.0 && self.server_mips > 0.0);
+        assert!(self.n_data_disks > 0);
+        assert!(self.cache_size > 0 && self.buffer_size > 0);
+        assert!(self.seek_low <= self.seek_high);
+        assert!(self.packet_size > 0);
+        assert!(self.mpl > 0);
+    }
+}
+
+/// The Table 5 database: 40 classes x 50 single-page objects = 8 MB.
+pub fn table5_database() -> DatabaseSpec {
+    DatabaseSpec::uniform(40, 50, 1, 1.0)
+}
+
+/// The Table 4 database: 2 classes x 500 single-page objects.
+pub fn table4_database() -> DatabaseSpec {
+    DatabaseSpec::uniform(2, 500, 1, 1.0)
+}
+
+/// The Table 4 transaction type: 4–12 reads, ProbWrite 0.25, 1 s external
+/// delay, no locality.
+pub fn table4_txn() -> TxnParams {
+    TxnParams {
+        min_xact_size: 4,
+        max_xact_size: 12,
+        prob_write: 0.25,
+        update_delay: SimDuration::ZERO,
+        internal_delay: SimDuration::ZERO,
+        external_delay: SimDuration::from_secs(1),
+        inter_xact_set_size: 0,
+        inter_xact_loc: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TxnParams::short_batch().validate();
+        TxnParams::large_batch().validate();
+        TxnParams::interactive().validate();
+        table4_txn().validate();
+        SystemParams::table5().validate();
+        SystemParams::table4_acl().validate();
+        SystemParams::fast_server().validate();
+        SystemParams::fast_net_fast_server().validate();
+    }
+
+    #[test]
+    fn table5_matches_paper() {
+        let p = SystemParams::table5();
+        assert_eq!(p.msg_cost, 5_000);
+        assert_eq!(p.buffer_size, 400);
+        assert_eq!(p.cache_size, 100);
+        assert_eq!(p.server_mips, 2.0);
+        assert_eq!(p.mpl, 50);
+        let d = table5_database();
+        assert_eq!(d.total_pages(), 2000);
+        // 2000 pages x 4KB ~= 8MB of data (paper §4 says "8M bytes").
+        assert_eq!(d.total_pages() * p.page_size as u64, 8_192_000);
+    }
+
+    #[test]
+    fn fast_variants_differ_only_where_stated() {
+        let base = SystemParams::table5();
+        let fast = SystemParams::fast_server();
+        assert_eq!(fast.server_mips, 20.0);
+        assert_eq!(
+            SystemParams {
+                server_mips: base.server_mips,
+                ..fast
+            },
+            base
+        );
+        let fastnet = SystemParams::fast_net_fast_server();
+        assert_eq!(fastnet.net_delay, SimDuration::ZERO);
+        assert_eq!(fastnet.server_mips, 20.0);
+    }
+
+    #[test]
+    fn packets_round_up() {
+        let p = SystemParams::table5();
+        assert_eq!(p.packets_for(0), 1);
+        assert_eq!(p.packets_for(1), 1);
+        assert_eq!(p.packets_for(4096), 1);
+        assert_eq!(p.packets_for(4097), 2);
+        assert_eq!(p.packets_for(3 * 4096), 3);
+    }
+
+    #[test]
+    fn mean_xact_size() {
+        assert_eq!(TxnParams::short_batch().mean_xact_size(), 8.0);
+        assert_eq!(TxnParams::large_batch().mean_xact_size(), 40.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_txn_params_rejected() {
+        let mut p = TxnParams::short_batch();
+        p.prob_write = 1.5;
+        p.validate();
+    }
+}

@@ -1,0 +1,492 @@
+//! The transaction model and workload generator (paper §3.2, Figure 3).
+//!
+//! A transaction is a loop of `ReadObject` / `UpdateObject` operations over
+//! objects drawn either uniformly from the database or — with probability
+//! `InterXactLoc` — from the [`InterXactSet`], the set of objects read by
+//! the most recent transactions of the same client. The generated
+//! [`TxnSpec`] is immutable: an aborted transaction restarts with exactly
+//! the same reference string, as in the ACL model.
+
+use ccdb_des::Pcg32;
+use std::collections::VecDeque;
+
+use crate::db::{DatabaseSpec, ObjectRef, PageId};
+use crate::params::TxnParams;
+
+/// One `ReadObject` (and optional per-page updates) in a transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnOp {
+    /// The object being read.
+    pub object: ObjectRef,
+    /// The pages the object spans.
+    pub pages: Vec<PageId>,
+    /// For each page, whether the following `UpdateObject` writes it.
+    pub writes: Vec<bool>,
+}
+
+impl TxnOp {
+    /// True if any page of the object is updated.
+    pub fn has_writes(&self) -> bool {
+        self.writes.iter().any(|&w| w)
+    }
+}
+
+/// A complete transaction reference string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnSpec {
+    /// Client-local transaction sequence number.
+    pub serial: u64,
+    /// Index of the transaction type that generated this transaction
+    /// (0 for single-type workloads).
+    pub type_idx: usize,
+    /// The operations, in execution order.
+    pub ops: Vec<TxnOp>,
+}
+
+impl TxnSpec {
+    /// Number of `ReadObject` operations (the paper's "transaction size").
+    pub fn size(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Distinct pages read, in first-access order.
+    pub fn read_set(&self) -> Vec<PageId> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            for &p in &op.pages {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Distinct pages written, in first-write order. Always a subset of the
+    /// read set (footnote to Table 2).
+    pub fn write_set(&self) -> Vec<PageId> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            for (i, &p) in op.pages.iter().enumerate() {
+                if op.writes[i] && !seen.contains(&p) {
+                    seen.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// True if the transaction performs no updates.
+    pub fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|op| !op.has_writes())
+    }
+}
+
+/// The inter-transaction working set: the last `capacity` *distinct*
+/// objects read by recently committed transactions (paper §3.2).
+#[derive(Clone, Debug)]
+pub struct InterXactSet {
+    capacity: usize,
+    objects: VecDeque<ObjectRef>,
+}
+
+impl InterXactSet {
+    /// Create an empty set with the given capacity (`InterXactSetSize`).
+    pub fn new(capacity: usize) -> Self {
+        InterXactSet {
+            capacity,
+            objects: VecDeque::new(),
+        }
+    }
+
+    /// Record that a committed transaction read `obj` (most recent last).
+    /// Duplicates move to the most-recent position; the oldest entry is
+    /// evicted beyond capacity.
+    pub fn note_read(&mut self, obj: ObjectRef) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.objects.iter().position(|o| *o == obj) {
+            self.objects.remove(pos);
+        }
+        self.objects.push_back(obj);
+        while self.objects.len() > self.capacity {
+            self.objects.pop_front();
+        }
+    }
+
+    /// Uniformly pick a member, if any.
+    pub fn pick(&self, rng: &mut Pcg32) -> Option<ObjectRef> {
+        if self.objects.is_empty() {
+            None
+        } else {
+            let i = rng.below(self.objects.len() as u64) as usize;
+            Some(self.objects[i])
+        }
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Membership test (for statistics and tests).
+    pub fn contains(&self, obj: &ObjectRef) -> bool {
+        self.objects.contains(obj)
+    }
+}
+
+/// Per-client workload generator. Supports a single transaction type or a
+/// weighted mix of types (paper §3.2: "a simulation run can simulate ...
+/// a mix of transactions belonging to different types").
+///
+/// ```
+/// use ccdb_des::Pcg32;
+/// use ccdb_model::{DatabaseSpec, TxnParams, Workload};
+///
+/// let db = DatabaseSpec::uniform(40, 50, 1, 1.0); // Table 5 database
+/// let mut w = Workload::new(db, TxnParams::short_batch(), Pcg32::new(7, 1));
+///
+/// let txn = w.next_txn();
+/// assert!((4..=12).contains(&txn.size())); // U[MinXactSize, MaxXactSize]
+/// // The write set is always a subset of the read set (Table 2 footnote).
+/// let reads = txn.read_set();
+/// assert!(txn.write_set().iter().all(|p| reads.contains(p)));
+///
+/// // Committed reads feed the InterXactSet, the source of temporal
+/// // locality for future transactions.
+/// w.note_commit(&txn);
+/// assert!(!w.inter_set().is_empty());
+/// ```
+pub struct Workload {
+    db: DatabaseSpec,
+    types: Vec<TxnParams>,
+    /// Cumulative selection weights, parallel to `types`.
+    cumulative: Vec<f64>,
+    /// Type of the transaction generated last (delays are drawn from it).
+    current: usize,
+    rng: Pcg32,
+    inter_set: InterXactSet,
+    next_serial: u64,
+    /// How many generated reads actually came from the working set
+    /// (observability for tests and reports).
+    pub locality_hits: u64,
+    /// Total generated reads.
+    pub total_reads: u64,
+}
+
+impl Workload {
+    /// Create a single-type generator with its own random stream.
+    pub fn new(db: DatabaseSpec, params: TxnParams, rng: Pcg32) -> Self {
+        Workload::with_mix(db, vec![(params, 1.0)], rng)
+    }
+
+    /// Create a generator over a weighted mix of transaction types. The
+    /// working set (`InterXactSet`) is shared across types, sized to the
+    /// largest `inter_xact_set_size` in the mix.
+    pub fn with_mix(db: DatabaseSpec, mix: Vec<(TxnParams, f64)>, rng: Pcg32) -> Self {
+        assert!(!mix.is_empty(), "workload mix needs at least one type");
+        let mut types = Vec::with_capacity(mix.len());
+        let mut cumulative = Vec::with_capacity(mix.len());
+        let mut acc = 0.0;
+        for (params, weight) in mix {
+            params.validate();
+            assert!(weight > 0.0, "mix weights must be positive");
+            acc += weight;
+            types.push(params);
+            cumulative.push(acc);
+        }
+        let set_size = types
+            .iter()
+            .map(|t| t.inter_xact_set_size)
+            .max()
+            .unwrap_or(0);
+        Workload {
+            db,
+            types,
+            cumulative,
+            current: 0,
+            rng,
+            inter_set: InterXactSet::new(set_size),
+            next_serial: 0,
+            locality_hits: 0,
+            total_reads: 0,
+        }
+    }
+
+    /// The parameters of the transaction type generated last.
+    pub fn params(&self) -> &TxnParams {
+        &self.types[self.current]
+    }
+
+    /// Number of transaction types in the mix.
+    pub fn n_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The database being referenced.
+    pub fn db(&self) -> &DatabaseSpec {
+        &self.db
+    }
+
+    /// Draw the next transaction (Figure 3: size uniform in `[min, max]`, each read
+    /// followed by per-page Bernoulli(ProbWrite) updates). With a mix, the
+    /// type is selected first by weight.
+    pub fn next_txn(&mut self) -> TxnSpec {
+        self.current = self.pick_type();
+        let params = self.types[self.current].clone();
+        let size = self
+            .rng
+            .range_inclusive(params.min_xact_size as u64, params.max_xact_size as u64)
+            as usize;
+        let mut ops = Vec::with_capacity(size);
+        for _ in 0..size {
+            let object = self.pick_object(&params);
+            let pages = self.db.object_pages(object);
+            let writes = pages
+                .iter()
+                .map(|_| self.rng.chance(params.prob_write))
+                .collect();
+            ops.push(TxnOp {
+                object,
+                pages,
+                writes,
+            });
+        }
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        TxnSpec {
+            serial,
+            type_idx: self.current,
+            ops,
+        }
+    }
+
+    fn pick_type(&mut self) -> usize {
+        if self.types.len() == 1 {
+            return 0;
+        }
+        let total = *self.cumulative.last().expect("non-empty mix");
+        let draw = self.rng.next_f64() * total;
+        self.cumulative
+            .iter()
+            .position(|&c| draw < c)
+            .unwrap_or(self.types.len() - 1)
+    }
+
+    fn pick_object(&mut self, params: &TxnParams) -> ObjectRef {
+        self.total_reads += 1;
+        if self.rng.chance(params.inter_xact_loc) {
+            if let Some(obj) = self.inter_set.pick(&mut self.rng) {
+                self.locality_hits += 1;
+                return obj;
+            }
+        }
+        self.db.random_object(&mut self.rng)
+    }
+
+    /// Tell the generator a transaction committed, feeding its reads into
+    /// the working set. Aborted runs do not update the set (the same spec
+    /// is retried).
+    pub fn note_commit(&mut self, txn: &TxnSpec) {
+        for op in &txn.ops {
+            self.inter_set.note_read(op.object);
+        }
+    }
+
+    /// Draw the external think time before the next transaction (from the
+    /// type generated last; for mixes the first draw uses type 0).
+    pub fn external_delay(&mut self) -> ccdb_des::SimDuration {
+        let mean = self.types[self.current].external_delay;
+        self.rng.exp_duration(mean)
+    }
+
+    /// Draw the think time between a read and its update.
+    pub fn update_delay(&mut self) -> ccdb_des::SimDuration {
+        let mean = self.types[self.current].update_delay;
+        self.rng.exp_duration(mean)
+    }
+
+    /// Draw the think time at the end of a loop pass.
+    pub fn internal_delay(&mut self) -> ccdb_des::SimDuration {
+        let mean = self.types[self.current].internal_delay;
+        self.rng.exp_duration(mean)
+    }
+
+    /// Observed fraction of reads served from the working set.
+    pub fn observed_locality(&self) -> f64 {
+        if self.total_reads == 0 {
+            0.0
+        } else {
+            self.locality_hits as f64 / self.total_reads as f64
+        }
+    }
+
+    /// Access to the working set (tests, statistics).
+    pub fn inter_set(&self) -> &InterXactSet {
+        &self.inter_set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::ClassId;
+    use crate::params::TxnParams;
+
+    fn workload(loc: f64, pw: f64) -> Workload {
+        let db = DatabaseSpec::uniform(40, 50, 1, 1.0);
+        let params = TxnParams {
+            prob_write: pw,
+            inter_xact_loc: loc,
+            ..TxnParams::short_batch()
+        };
+        Workload::new(db, params, Pcg32::new(7, 1))
+    }
+
+    #[test]
+    fn txn_size_in_bounds() {
+        let mut w = workload(0.0, 0.2);
+        for _ in 0..500 {
+            let t = w.next_txn();
+            assert!((4..=12).contains(&t.size()));
+        }
+    }
+
+    #[test]
+    fn write_set_subset_of_read_set() {
+        let mut w = workload(0.25, 0.5);
+        for _ in 0..200 {
+            let t = w.next_txn();
+            let rs = t.read_set();
+            for p in t.write_set() {
+                assert!(rs.contains(&p));
+            }
+            w.note_commit(&t);
+        }
+    }
+
+    #[test]
+    fn read_only_when_prob_write_zero() {
+        let mut w = workload(0.25, 0.0);
+        for _ in 0..100 {
+            assert!(w.next_txn().is_read_only());
+        }
+    }
+
+    #[test]
+    fn locality_matches_parameter() {
+        let mut w = workload(0.5, 0.0);
+        // Warm the working set first.
+        for _ in 0..20 {
+            let t = w.next_txn();
+            w.note_commit(&t);
+        }
+        w.locality_hits = 0;
+        w.total_reads = 0;
+        for _ in 0..3000 {
+            let t = w.next_txn();
+            w.note_commit(&t);
+        }
+        let obs = w.observed_locality();
+        assert!((obs - 0.5).abs() < 0.03, "observed locality {obs}");
+    }
+
+    #[test]
+    fn zero_locality_never_hits() {
+        let mut w = workload(0.0, 0.2);
+        for _ in 0..100 {
+            let t = w.next_txn();
+            w.note_commit(&t);
+        }
+        assert_eq!(w.locality_hits, 0);
+    }
+
+    #[test]
+    fn inter_set_caps_at_capacity() {
+        let mut s = InterXactSet::new(3);
+        for i in 0..10 {
+            s.note_read(ObjectRef {
+                class: ClassId(0),
+                start: i,
+            });
+        }
+        assert_eq!(s.len(), 3);
+        // Most recent three survive.
+        for i in 7..10 {
+            assert!(s.contains(&ObjectRef {
+                class: ClassId(0),
+                start: i,
+            }));
+        }
+    }
+
+    #[test]
+    fn inter_set_dedupes_and_refreshes() {
+        let mut s = InterXactSet::new(2);
+        let a = ObjectRef {
+            class: ClassId(0),
+            start: 1,
+        };
+        let b = ObjectRef {
+            class: ClassId(0),
+            start: 2,
+        };
+        let c = ObjectRef {
+            class: ClassId(0),
+            start: 3,
+        };
+        s.note_read(a);
+        s.note_read(b);
+        s.note_read(a); // refresh a: now [b, a]
+        s.note_read(c); // evict b: now [a, c]
+        assert!(s.contains(&a));
+        assert!(s.contains(&c));
+        assert!(!s.contains(&b));
+    }
+
+    #[test]
+    fn zero_capacity_set_stays_empty() {
+        let mut s = InterXactSet::new(0);
+        s.note_read(ObjectRef {
+            class: ClassId(0),
+            start: 1,
+        });
+        assert!(s.is_empty());
+        let mut rng = Pcg32::new(1, 1);
+        assert_eq!(s.pick(&mut rng), None);
+    }
+
+    #[test]
+    fn aborted_spec_is_replayable() {
+        let mut w = workload(0.25, 0.5);
+        let t = w.next_txn();
+        let t2 = t.clone();
+        assert_eq!(t, t2); // identical reference string on restart
+    }
+
+    #[test]
+    fn serials_increase() {
+        let mut w = workload(0.0, 0.0);
+        let a = w.next_txn();
+        let b = w.next_txn();
+        assert!(b.serial > a.serial);
+    }
+
+    #[test]
+    fn multi_page_objects_expand() {
+        let db = DatabaseSpec::uniform(4, 50, 4, 1.0);
+        let params = TxnParams::short_batch();
+        let mut w = Workload::new(db, params, Pcg32::new(3, 3));
+        let t = w.next_txn();
+        for op in &t.ops {
+            assert_eq!(op.pages.len(), 4);
+            assert_eq!(op.writes.len(), 4);
+        }
+    }
+}

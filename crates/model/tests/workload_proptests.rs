@@ -1,0 +1,117 @@
+//! Property tests of the workload generator: structural invariants of the
+//! generated reference strings over the whole parameter space.
+
+use ccdb_des::{Pcg32, SimDuration};
+use ccdb_model::{DatabaseSpec, TxnParams, Workload};
+use proptest::prelude::*;
+
+fn txn_params(min: u32, span: u32, pw: f64, loc: f64, set: usize) -> TxnParams {
+    TxnParams {
+        min_xact_size: min,
+        max_xact_size: min + span,
+        prob_write: pw,
+        update_delay: SimDuration::ZERO,
+        internal_delay: SimDuration::ZERO,
+        external_delay: SimDuration::from_secs(1),
+        inter_xact_set_size: set,
+        inter_xact_loc: loc,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sizes stay in [min, max]; writes are a subset of reads; pages
+    /// belong to the database; the working set respects its capacity.
+    #[test]
+    fn generated_transactions_are_well_formed(
+        n_classes in 1u16..20,
+        n_pages in 1u32..200,
+        object_size_seed in 1u32..8,
+        min in 1u32..10,
+        span in 0u32..10,
+        pw in 0.0f64..1.0,
+        loc in 0.0f64..1.0,
+        set in 0usize..30,
+        seed in 0u64..500,
+    ) {
+        let object_size = object_size_seed.min(n_pages);
+        let db = DatabaseSpec::uniform(n_classes, n_pages, object_size, 1.0);
+        let mut w = Workload::new(db.clone(), txn_params(min, span, pw, loc, set), Pcg32::new(seed, 1));
+        for _ in 0..20 {
+            let t = w.next_txn();
+            prop_assert!((min as usize..=(min + span) as usize).contains(&t.size()));
+            let reads = t.read_set();
+            for p in t.write_set() {
+                prop_assert!(reads.contains(&p), "write outside read set");
+            }
+            for op in &t.ops {
+                prop_assert_eq!(op.pages.len(), object_size as usize);
+                for p in &op.pages {
+                    prop_assert!(p.class.0 < n_classes);
+                    prop_assert!(p.atom < n_pages);
+                }
+            }
+            w.note_commit(&t);
+            prop_assert!(w.inter_set().len() <= set);
+        }
+        if pw == 0.0 {
+            prop_assert!(w.next_txn().is_read_only());
+        }
+    }
+
+    /// The same seed replays the same reference string; different seeds
+    /// diverge.
+    #[test]
+    fn reference_strings_replay(seed in 0u64..1000) {
+        let db = DatabaseSpec::uniform(10, 50, 1, 1.0);
+        let mk = |s| Workload::new(db.clone(), txn_params(4, 8, 0.3, 0.4, 20), Pcg32::new(s, 1));
+        let mut a = mk(seed);
+        let mut b = mk(seed);
+        for _ in 0..5 {
+            let ta = a.next_txn();
+            let tb = b.next_txn();
+            prop_assert_eq!(&ta, &tb);
+            a.note_commit(&ta);
+            b.note_commit(&tb);
+        }
+        let mut c = mk(seed.wrapping_add(1));
+        let tc = c.next_txn();
+        let ta = a.next_txn();
+        prop_assert_ne!(ta, tc);
+    }
+
+    /// Mixes select every type with roughly its weight.
+    #[test]
+    fn mixes_respect_weights(w1 in 1.0f64..5.0, w2 in 1.0f64..5.0, seed in 0u64..100) {
+        let db = DatabaseSpec::uniform(10, 50, 1, 1.0);
+        let small = txn_params(2, 0, 0.0, 0.0, 0);
+        let large = txn_params(20, 0, 0.0, 0.0, 0);
+        let mut w = Workload::with_mix(
+            db,
+            vec![(small, w1), (large, w2)],
+            Pcg32::new(seed, 2),
+        );
+        let n = 2000;
+        let mut firsts = 0u32;
+        for _ in 0..n {
+            let t = w.next_txn();
+            match t.type_idx {
+                0 => {
+                    firsts += 1;
+                    prop_assert_eq!(t.size(), 2);
+                }
+                1 => prop_assert_eq!(t.size(), 20),
+                other => prop_assert!(false, "unknown type {}", other),
+            }
+        }
+        let expected = w1 / (w1 + w2);
+        let observed = firsts as f64 / n as f64;
+        prop_assert!(
+            (observed - expected).abs() < 0.06,
+            "observed {} expected {}",
+            observed,
+            expected
+        );
+    }
+}

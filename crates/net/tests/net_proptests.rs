@@ -1,0 +1,116 @@
+//! Property tests of the network manager: conservation, ordering, and
+//! cost accounting under randomized traffic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ccdb_des::{Pcg32, Sim, SimDuration};
+use ccdb_model::SystemParams;
+use ccdb_net::{Network, NetworkNode};
+use proptest::prelude::*;
+
+fn params(net_delay_ms: u64, msg_cost: u64) -> SystemParams {
+    let mut p = SystemParams::table5();
+    p.net_delay = SimDuration::from_millis(net_delay_ms);
+    p.msg_cost = msg_cost;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every message sent arrives exactly once, whatever the payload mix,
+    /// and the packet accounting matches the payload sizes.
+    #[test]
+    fn all_messages_arrive_with_correct_packet_counts(
+        payloads in proptest::collection::vec(0u64..20_000, 1..30),
+        net_delay_ms in 0u64..5,
+        msg_cost in prop_oneof![Just(0u64), Just(5_000u64)],
+    ) {
+        let sim = Sim::new();
+        let env = sim.env();
+        let p = params(net_delay_ms, msg_cost);
+        let net = Network::new(&env, &p, Pcg32::new(9, 9));
+        let a: NetworkNode<u64> = NetworkNode::new(&env, "a", 1, 1.0);
+        let b: NetworkNode<u64> = NetworkNode::new(&env, "b", 1, 2.0);
+        let expected_packets: u64 = payloads.iter().map(|&x| net.packets_for(x)).sum();
+        let n = payloads.len();
+        let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let b = b.clone();
+            let got = Rc::clone(&got);
+            let env = env.clone();
+            sim.spawn(async move {
+                for _ in 0..n {
+                    let v = b.inbox.recv().await;
+                    got.borrow_mut().push(v);
+                }
+                let _ = env; // keep env alive for symmetry
+            });
+        }
+        for (i, &bytes) in payloads.iter().enumerate() {
+            net.send(&a, &b, i as u64, bytes);
+        }
+        sim.run();
+        let mut got = got.borrow().clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..n as u64).collect::<Vec<_>>());
+        prop_assert_eq!(net.stats().messages, n as u64);
+        prop_assert_eq!(net.stats().packets, expected_packets);
+        prop_assert_eq!(net.stats().bytes, payloads.iter().sum::<u64>());
+    }
+
+    /// Single-packet messages between one sender and one receiver keep
+    /// FIFO order (the FCFS pipeline cannot reorder them).
+    #[test]
+    fn single_packet_messages_stay_fifo(count in 1usize..40, delay_ms in 0u64..4) {
+        let sim = Sim::new();
+        let env = sim.env();
+        let p = params(delay_ms, 5_000);
+        let net = Network::new(&env, &p, Pcg32::new(3, 3));
+        let a: NetworkNode<u64> = NetworkNode::new(&env, "a", 1, 1.0);
+        let b: NetworkNode<u64> = NetworkNode::new(&env, "b", 1, 2.0);
+        let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let b = b.clone();
+            let got = Rc::clone(&got);
+            sim.spawn(async move {
+                for _ in 0..count {
+                    let v = b.inbox.recv().await;
+                    got.borrow_mut().push(v);
+                }
+            });
+        }
+        for i in 0..count as u64 {
+            net.send(&a, &b, i, 100); // 100 bytes = 1 packet
+        }
+        sim.run();
+        prop_assert_eq!(got.borrow().clone(), (0..count as u64).collect::<Vec<_>>());
+    }
+
+    /// With zero delay and zero CPU cost the network is transparent: the
+    /// medium records no busy time.
+    #[test]
+    fn free_network_is_transparent(count in 1usize..20) {
+        let sim = Sim::new();
+        let env = sim.env();
+        let p = params(0, 0);
+        let net = Network::new(&env, &p, Pcg32::new(4, 4));
+        let a: NetworkNode<()> = NetworkNode::new(&env, "a", 1, 1.0);
+        let b: NetworkNode<()> = NetworkNode::new(&env, "b", 1, 1.0);
+        {
+            let b = b.clone();
+            sim.spawn(async move {
+                for _ in 0..count {
+                    let _ = b.inbox.recv().await;
+                }
+            });
+        }
+        for _ in 0..count {
+            net.send(&a, &b, (), 4096);
+        }
+        sim.run();
+        prop_assert_eq!(sim.now().as_nanos(), 0);
+        prop_assert!(net.utilization() <= f64::EPSILON);
+    }
+}

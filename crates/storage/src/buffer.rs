@@ -1,0 +1,353 @@
+//! The server buffer manager (paper §3.3.4).
+//!
+//! An LRU pool of `BufferSize` page frames. The paper argues an explicit
+//! buffer manager matters because (1) dirty evictions cause I/O contention,
+//! (2) hot pages are read from disk once, (3) committed updates need no
+//! data-disk write as long as the log is forced, and (4) restarted
+//! transactions re-read from the buffer rather than disk.
+//!
+//! This module is pure bookkeeping: it decides *which* I/O must happen;
+//! the caller (the server runtime in `ccdb-core`) performs it on the disk
+//! facilities.
+
+use ccdb_model::PageId;
+
+use crate::lru::LruCore;
+
+/// A page frame.
+#[derive(Clone, Copy, Debug, Default)]
+struct Frame {
+    dirty: bool,
+    /// If dirty with uncommitted data: the writing transaction. Used to
+    /// charge undo I/O if that transaction later aborts after the frame was
+    /// stolen (flushed) — see the log manager.
+    uncommitted_of: Option<u64>,
+    /// The frame was already committed-dirty before the uncommitted write;
+    /// an abort restores that state rather than marking the frame clean.
+    prior_committed_dirty: bool,
+}
+
+/// What the caller must do to make room for a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted page.
+    pub page: PageId,
+    /// It was dirty and must be written to its data disk first.
+    pub write_back: bool,
+    /// The dirty data was uncommitted, written by this transaction (the
+    /// steal policy); record the flush for abort accounting.
+    pub uncommitted_of: Option<u64>,
+}
+
+/// Counters for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Lookups that found the page resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty frames written back on eviction.
+    pub write_backs: u64,
+}
+
+/// The LRU buffer pool.
+///
+/// ```
+/// use ccdb_storage::BufferManager;
+/// use ccdb_model::{ClassId, PageId};
+///
+/// let page = |n| PageId { class: ClassId(0), atom: n };
+/// let mut buf = BufferManager::new(2);
+///
+/// assert!(!buf.lookup(page(1)));       // miss: caller reads from disk...
+/// assert_eq!(buf.admit(page(1)), None); // ...and admits the frame
+/// buf.mark_dirty(page(1), Some(42));    // txn 42's in-place update
+///
+/// // Filling the pool steals the dirty frame: the caller must write it
+/// // back, and the log manager records the flush for txn 42's abort path.
+/// buf.admit(page(2));
+/// let ev = buf.admit(page(3)).expect("pool is full");
+/// assert!(ev.write_back);
+/// assert_eq!(ev.uncommitted_of, Some(42));
+/// ```
+pub struct BufferManager {
+    frames: LruCore<PageId, Frame>,
+    capacity: usize,
+    stats: BufferStats,
+}
+
+impl BufferManager {
+    /// A pool of `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferManager {
+            frames: LruCore::new(),
+            capacity,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Reset statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// Look up a page for reading; counts a hit or miss and refreshes
+    /// recency on hit. On a miss the caller reads the page from disk and
+    /// then calls [`BufferManager::admit`].
+    pub fn lookup(&mut self, page: PageId) -> bool {
+        if self.frames.contains(&page) {
+            self.frames.touch(&page);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Residency test without statistics or recency effects.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.frames.contains(&page)
+    }
+
+    /// True if the frame holds changes not yet on disk.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        self.frames.peek(&page).map(|f| f.dirty).unwrap_or(false)
+    }
+
+    /// Bring a page into the pool (after a disk read, or receiving an
+    /// updated page from a client). Returns the eviction the caller must
+    /// perform, if the pool was full. Admitting a resident page just
+    /// refreshes it.
+    pub fn admit(&mut self, page: PageId) -> Option<Eviction> {
+        if self.frames.contains(&page) {
+            self.frames.touch(&page);
+            return None;
+        }
+        let eviction = if self.frames.len() >= self.capacity {
+            let (victim, frame) = self
+                .frames
+                .pop_lru_where(|_, _| true)
+                .expect("full pool has an evictable frame");
+            if frame.dirty {
+                self.stats.write_backs += 1;
+            }
+            Some(Eviction {
+                page: victim,
+                write_back: frame.dirty,
+                uncommitted_of: frame.uncommitted_of,
+            })
+        } else {
+            None
+        };
+        self.frames.insert(page, Frame::default());
+        eviction
+    }
+
+    /// Mark a resident page dirty. `uncommitted_of` is the writing
+    /// transaction while its commit is not yet logged (in-place updates);
+    /// pass `None` for updates installed at commit time (deferred updates).
+    pub fn mark_dirty(&mut self, page: PageId, uncommitted_of: Option<u64>) {
+        let frame = self
+            .frames
+            .peek_mut(&page)
+            .expect("marking a non-resident page dirty");
+        if uncommitted_of.is_some() && frame.uncommitted_of.is_none() {
+            frame.prior_committed_dirty = frame.dirty;
+        }
+        frame.dirty = true;
+        frame.uncommitted_of = uncommitted_of;
+    }
+
+    /// A transaction's commit was logged: its uncommitted frames become
+    /// ordinary committed-dirty frames (no data-disk write needed now —
+    /// point 3 of the paper's buffer-manager argument).
+    pub fn commit_txn(&mut self, txn: u64) {
+        for (_, frame) in self.frames.iter_mut() {
+            if frame.uncommitted_of == Some(txn) {
+                frame.uncommitted_of = None;
+                frame.prior_committed_dirty = false;
+            }
+        }
+    }
+
+    /// A transaction aborted: resident uncommitted frames are restored from
+    /// the log in memory (the frame stays resident, clean of that txn).
+    /// Returns the pages that were dirty in-buffer from this transaction
+    /// (undo is a memory operation for them; pages already flushed to disk
+    /// are tracked by the log manager, not here).
+    pub fn abort_txn(&mut self, txn: u64) -> Vec<PageId> {
+        let mut undone = Vec::new();
+        for (page, frame) in self.frames.iter_mut() {
+            if frame.uncommitted_of == Some(txn) {
+                frame.uncommitted_of = None;
+                frame.dirty = frame.prior_committed_dirty;
+                frame.prior_committed_dirty = false;
+                undone.push(*page);
+            }
+        }
+        undone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_model::ClassId;
+
+    fn page(n: u32) -> PageId {
+        PageId {
+            class: ClassId(0),
+            atom: n,
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut b = BufferManager::new(4);
+        assert!(!b.lookup(page(1)));
+        b.admit(page(1));
+        assert!(b.lookup(page(1)));
+        let s = b.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_at_capacity_is_lru() {
+        let mut b = BufferManager::new(2);
+        assert_eq!(b.admit(page(1)), None);
+        assert_eq!(b.admit(page(2)), None);
+        b.lookup(page(1)); // page 2 becomes LRU
+        let ev = b.admit(page(3)).expect("pool full");
+        assert_eq!(ev.page, page(2));
+        assert!(!ev.write_back);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn dirty_eviction_requires_write_back() {
+        let mut b = BufferManager::new(1);
+        b.admit(page(1));
+        b.mark_dirty(page(1), None);
+        let ev = b.admit(page(2)).expect("eviction");
+        assert_eq!(ev.page, page(1));
+        assert!(ev.write_back);
+        assert_eq!(ev.uncommitted_of, None);
+        assert_eq!(b.stats().write_backs, 1);
+    }
+
+    #[test]
+    fn steal_of_uncommitted_page_reports_txn() {
+        let mut b = BufferManager::new(1);
+        b.admit(page(1));
+        b.mark_dirty(page(1), Some(42));
+        let ev = b.admit(page(2)).expect("eviction");
+        assert!(ev.write_back);
+        assert_eq!(ev.uncommitted_of, Some(42));
+    }
+
+    #[test]
+    fn commit_clears_uncommitted_mark_but_keeps_dirty() {
+        let mut b = BufferManager::new(2);
+        b.admit(page(1));
+        b.mark_dirty(page(1), Some(7));
+        b.commit_txn(7);
+        assert!(b.is_dirty(page(1)));
+        assert_eq!(b.admit(page(2)), None);
+        let ev = b.admit(page(3)).expect("eviction");
+        assert!(ev.write_back);
+        assert_eq!(ev.uncommitted_of, None, "committed data is anonymous");
+    }
+
+    #[test]
+    fn abort_undoes_resident_frames() {
+        let mut b = BufferManager::new(4);
+        b.admit(page(1));
+        b.admit(page(2));
+        b.mark_dirty(page(1), Some(9));
+        b.mark_dirty(page(2), Some(9));
+        let undone = b.abort_txn(9);
+        assert_eq!(undone.len(), 2);
+        assert!(!b.is_dirty(page(1)));
+        assert!(!b.is_dirty(page(2)));
+        // Pages stay resident (restart can re-read them from the buffer —
+        // point 4 of the paper's argument).
+        assert!(b.contains(page(1)));
+    }
+
+    #[test]
+    fn readmitting_resident_page_does_not_evict() {
+        let mut b = BufferManager::new(1);
+        b.admit(page(1));
+        assert_eq!(b.admit(page(1)), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn mark_dirty_requires_residency() {
+        let mut b = BufferManager::new(1);
+        b.mark_dirty(page(1), None);
+    }
+
+    #[test]
+    fn one_frame_pool_thrashes() {
+        // BufferSize=1 is the Table 4 (ACL) configuration: every admit
+        // evicts and every dirty page goes straight to disk.
+        let mut b = BufferManager::new(1);
+        b.admit(page(1));
+        b.mark_dirty(page(1), None);
+        for i in 2..10 {
+            let ev = b.admit(page(i)).expect("always evicts");
+            assert_eq!(ev.page, page(i - 1));
+        }
+        assert_eq!(b.stats().write_backs, 1);
+    }
+}
+
+#[cfg(test)]
+mod abort_restore_tests {
+    use super::*;
+    use ccdb_model::ClassId;
+
+    fn page(n: u32) -> PageId {
+        PageId {
+            class: ClassId(0),
+            atom: n,
+        }
+    }
+
+    #[test]
+    fn abort_restores_prior_committed_dirty_state() {
+        let mut b = BufferManager::new(2);
+        b.admit(page(1));
+        b.mark_dirty(page(1), None); // committed-dirty
+        b.mark_dirty(page(1), Some(3)); // uncommitted overwrite
+        b.abort_txn(3);
+        assert!(
+            b.is_dirty(page(1)),
+            "before-image was committed-dirty; abort must not lose the write-back"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! The client cache manager (paper §3.3.3).
+//!
+//! An LRU cache of `CacheSize` pages. Each cached page carries the state
+//! the consistency algorithms need: the cached version number, dirty flag,
+//! the lock the *current* transaction holds on it, whether the client
+//! retains a read lock across transactions (callback locking), and whether
+//! the current transaction has validated the page (certification).
+//!
+//! Pages locked by the current transaction — and dirty pages under
+//! deferred updates — are pinned and never chosen for replacement.
+
+use ccdb_model::PageId;
+
+use crate::lru::LruCore;
+
+/// Lock the current transaction holds on a cached page (client-side view).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageLock {
+    /// No transaction lock.
+    None,
+    /// Shared lock held (or optimistically assumed, for no-wait locking).
+    Read,
+    /// Exclusive lock held (or optimistically assumed).
+    Write,
+}
+
+/// Per-page client cache state.
+#[derive(Clone, Copy, Debug)]
+pub struct CachedPage {
+    /// Version number cached with the page (§2.1).
+    pub version: u64,
+    /// Updated locally and not yet shipped to the server.
+    pub dirty: bool,
+    /// Lock held by the current transaction.
+    pub lock: PageLock,
+    /// Client-retained lock (callback locking).
+    pub retained: bool,
+    /// The retained lock is a *write* lock (write-retention variant);
+    /// meaningful only when `retained` is set.
+    pub retained_write: bool,
+    /// The current transaction verified this page with the server
+    /// (certification's check-on-access memo).
+    pub checked: bool,
+    /// Pinned in cache until commit (deferred updates).
+    pub pinned: bool,
+}
+
+impl CachedPage {
+    /// A freshly fetched page at `version`.
+    pub fn fresh(version: u64) -> Self {
+        CachedPage {
+            version,
+            dirty: false,
+            lock: PageLock::None,
+            retained: false,
+            retained_write: false,
+            checked: false,
+            pinned: false,
+        }
+    }
+}
+
+/// A page pushed out of the cache; the algorithm decides what messages the
+/// eviction requires (ship dirty page, notify server of dropped retained
+/// lock, ...).
+#[derive(Clone, Copy, Debug)]
+pub struct CacheEviction {
+    /// The evicted page.
+    pub page: PageId,
+    /// Its state at eviction.
+    pub state: CachedPage,
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Accesses that found the page cached.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+}
+
+/// The LRU client cache.
+///
+/// ```
+/// use ccdb_storage::{CachedPage, ClientCache, PageLock};
+/// use ccdb_model::{ClassId, PageId};
+///
+/// let page = |n| PageId { class: ClassId(0), atom: n };
+/// let mut cache = ClientCache::new(2);
+///
+/// assert!(cache.access(page(1)).is_none()); // miss: fetch from server
+/// let mut fetched = CachedPage::fresh(3);   // version 3
+/// fetched.lock = PageLock::Read;
+/// cache.install(page(1), fetched);
+///
+/// // Locked pages survive replacement pressure; clean unlocked ones go.
+/// cache.install(page(2), CachedPage::fresh(1));
+/// let evicted = cache.install(page(3), CachedPage::fresh(1));
+/// assert_eq!(evicted[0].page, page(2));
+///
+/// // At commit, callback locking retains the transaction's locks.
+/// cache.end_txn(true, false);
+/// assert!(cache.peek(page(1)).unwrap().retained);
+/// ```
+pub struct ClientCache {
+    pages: LruCore<PageId, CachedPage>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl ClientCache {
+    /// A cache of `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "client cache needs at least one page");
+        ClientCache {
+            pages: LruCore::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if no pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Access a page for the running transaction: returns its state if
+    /// cached (refreshing recency and counting a hit), else counts a miss.
+    pub fn access(&mut self, page: PageId) -> Option<&mut CachedPage> {
+        if self.pages.contains(&page) {
+            self.stats.hits += 1;
+            self.pages.get_mut(&page)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Look at a page without touching recency or statistics.
+    pub fn peek(&self, page: PageId) -> Option<&CachedPage> {
+        self.pages.peek(&page)
+    }
+
+    /// Mutate a page without touching recency or statistics (message
+    /// handling: callbacks, notifications).
+    pub fn peek_mut(&mut self, page: PageId) -> Option<&mut CachedPage> {
+        self.pages.peek_mut(&page)
+    }
+
+    /// Install a fetched page, evicting as needed. Evictions are returned
+    /// for the algorithm to act on. Pinned pages and pages locked by the
+    /// current transaction are never evicted.
+    pub fn install(&mut self, page: PageId, state: CachedPage) -> Vec<CacheEviction> {
+        let mut evictions = Vec::new();
+        if !self.pages.contains(&page) {
+            while self.pages.len() >= self.capacity {
+                match self
+                    .pages
+                    .pop_lru_where(|_, p| !p.pinned && p.lock == PageLock::None)
+                {
+                    Some((victim, st)) => {
+                        self.stats.evictions += 1;
+                        evictions.push(CacheEviction {
+                            page: victim,
+                            state: st,
+                        });
+                    }
+                    None => break, // everything pinned: allow overflow
+                }
+            }
+        }
+        self.pages.insert(page, state);
+        evictions
+    }
+
+    /// Remove a page outright (notification chose to invalidate).
+    pub fn invalidate(&mut self, page: PageId) -> Option<CachedPage> {
+        self.pages.remove(&page)
+    }
+
+    /// Drop everything (intra-transaction caching invalidates the whole
+    /// cache on transaction boundaries).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// End-of-transaction sweep: clear transaction locks, checked marks,
+    /// dirty flags and pins. `retain_locks` converts transaction locks into
+    /// retained read locks (callback locking commit); `retain_writes`
+    /// additionally keeps write locks as retained *write* locks (the §2.3
+    /// variant). Otherwise locks just vanish.
+    pub fn end_txn(&mut self, retain_locks: bool, retain_writes: bool) {
+        for (_, p) in self.pages.iter_mut() {
+            if retain_locks && p.lock != PageLock::None {
+                p.retained = true;
+                if retain_writes && p.lock == PageLock::Write {
+                    p.retained_write = true;
+                }
+            }
+            p.lock = PageLock::None;
+            p.checked = false;
+            p.dirty = false;
+            p.pinned = false;
+        }
+    }
+
+    /// Pages currently dirty (to ship at commit), in page order (sorted so
+    /// downstream event sequences are deterministic).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Pages the current transaction holds locks on (client view), in page
+    /// order.
+    pub fn locked_pages(&self) -> Vec<(PageId, PageLock)> {
+        let mut pages: Vec<(PageId, PageLock)> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.lock != PageLock::None)
+            .map(|(k, p)| (*k, p.lock))
+            .collect();
+        pages.sort_unstable_by_key(|(p, _)| *p);
+        pages
+    }
+
+    /// Observed hit ratio since the last reset.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_model::ClassId;
+
+    fn page(n: u32) -> PageId {
+        PageId {
+            class: ClassId(0),
+            atom: n,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = ClientCache::new(4);
+        assert!(c.access(page(1)).is_none());
+        c.install(page(1), CachedPage::fresh(1));
+        assert!(c.access(page(1)).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_reported() {
+        let mut c = ClientCache::new(2);
+        c.install(page(1), CachedPage::fresh(1));
+        c.install(page(2), CachedPage::fresh(1));
+        c.access(page(1));
+        let ev = c.install(page(3), CachedPage::fresh(1));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].page, page(2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn locked_pages_are_not_evicted() {
+        let mut c = ClientCache::new(2);
+        let mut locked = CachedPage::fresh(1);
+        locked.lock = PageLock::Read;
+        c.install(page(1), locked);
+        c.install(page(2), CachedPage::fresh(1));
+        let ev = c.install(page(3), CachedPage::fresh(1));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].page, page(2), "locked page 1 must survive");
+    }
+
+    #[test]
+    fn pinned_pages_overflow_rather_than_evict() {
+        let mut c = ClientCache::new(2);
+        let mut pinned = CachedPage::fresh(1);
+        pinned.pinned = true;
+        c.install(page(1), pinned);
+        c.install(page(2), pinned);
+        let ev = c.install(page(3), pinned);
+        assert!(ev.is_empty());
+        assert_eq!(c.len(), 3, "deferred-update write set may overflow");
+    }
+
+    #[test]
+    fn retained_state_survives_eviction_report() {
+        let mut c = ClientCache::new(1);
+        let mut st = CachedPage::fresh(5);
+        st.retained = true;
+        c.install(page(1), st);
+        let ev = c.install(page(2), CachedPage::fresh(1));
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].state.retained, "algorithm must see the dropped lock");
+        assert_eq!(ev[0].state.version, 5);
+    }
+
+    #[test]
+    fn end_txn_clears_marks() {
+        let mut c = ClientCache::new(4);
+        let mut st = CachedPage::fresh(1);
+        st.lock = PageLock::Write;
+        st.dirty = true;
+        st.checked = true;
+        st.pinned = true;
+        c.install(page(1), st);
+        c.end_txn(false, false);
+        let p = c.peek(page(1)).unwrap();
+        assert_eq!(p.lock, PageLock::None);
+        assert!(!p.dirty && !p.checked && !p.pinned && !p.retained);
+    }
+
+    #[test]
+    fn end_txn_can_retain_locks() {
+        let mut c = ClientCache::new(4);
+        let mut st = CachedPage::fresh(1);
+        st.lock = PageLock::Read;
+        c.install(page(1), st);
+        let mut st2 = CachedPage::fresh(1);
+        st2.lock = PageLock::Write;
+        c.install(page(2), st2);
+        c.end_txn(true, false);
+        assert!(c.peek(page(1)).unwrap().retained);
+        assert!(c.peek(page(2)).unwrap().retained, "write lock demoted");
+    }
+
+    #[test]
+    fn dirty_and_locked_listings() {
+        let mut c = ClientCache::new(4);
+        let mut st = CachedPage::fresh(1);
+        st.dirty = true;
+        st.lock = PageLock::Write;
+        c.install(page(1), st);
+        c.install(page(2), CachedPage::fresh(1));
+        assert_eq!(c.dirty_pages(), vec![page(1)]);
+        assert_eq!(c.locked_pages(), vec![(page(1), PageLock::Write)]);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = ClientCache::new(4);
+        c.install(page(1), CachedPage::fresh(3));
+        let old = c.invalidate(page(1)).unwrap();
+        assert_eq!(old.version, 3);
+        assert!(c.peek(page(1)).is_none());
+    }
+
+    #[test]
+    fn clear_supports_intra_transaction_mode() {
+        let mut c = ClientCache::new(4);
+        c.install(page(1), CachedPage::fresh(1));
+        c.install(page(2), CachedPage::fresh(1));
+        c.clear();
+        assert_eq!(c.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod retain_write_tests {
+    use super::*;
+    use ccdb_model::ClassId;
+
+    fn page(n: u32) -> PageId {
+        PageId {
+            class: ClassId(0),
+            atom: n,
+        }
+    }
+
+    #[test]
+    fn write_retention_keeps_write_marker() {
+        let mut c = ClientCache::new(4);
+        let mut st = CachedPage::fresh(1);
+        st.lock = PageLock::Write;
+        c.install(page(1), st);
+        let mut st2 = CachedPage::fresh(1);
+        st2.lock = PageLock::Read;
+        c.install(page(2), st2);
+        c.end_txn(true, true);
+        let p1 = c.peek(page(1)).unwrap();
+        assert!(p1.retained && p1.retained_write);
+        let p2 = c.peek(page(2)).unwrap();
+        assert!(p2.retained && !p2.retained_write);
+    }
+
+    #[test]
+    fn read_retention_never_marks_writes() {
+        let mut c = ClientCache::new(4);
+        let mut st = CachedPage::fresh(1);
+        st.lock = PageLock::Write;
+        c.install(page(1), st);
+        c.end_txn(true, false);
+        let p1 = c.peek(page(1)).unwrap();
+        assert!(p1.retained && !p1.retained_write);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ccdb-storage — storage substrate for the client/server DBMS simulator
+//!
+//! The storage-side modules of the paper's system model (§3.3):
+//!
+//! * [`lru`] — the LRU core shared by cache and buffer.
+//! * [`disk`] — FCFS disks with uniform seek + transfer service times and a
+//!   sequential-access discount; the server's [`disk::DiskArray`].
+//! * [`buffer`] — the server buffer manager (LRU, steal policy, dirty
+//!   write-back, commit/abort bookkeeping). Pure logic: it *decides* I/O,
+//!   the server runtime performs it.
+//! * [`cache`] — the client cache manager (LRU with pinned/locked pages and
+//!   the per-page state the consistency algorithms need).
+//! * [`log`] — the log manager (commit force, abort undo charging).
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cache;
+pub mod disk;
+pub mod log;
+pub mod lru;
+pub mod sched_disk;
+
+pub use buffer::{BufferManager, BufferStats, Eviction};
+pub use cache::{CacheEviction, CacheStats, CachedPage, ClientCache, PageLock};
+pub use disk::{Disk, DiskArray};
+pub use log::{LogManager, LogStats};
+pub use lru::LruCore;
+pub use sched_disk::{SchedPolicy, ScheduledDisk};

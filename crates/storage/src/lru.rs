@@ -1,0 +1,259 @@
+//! A small amortised-O(1) LRU core shared by the client cache manager and
+//! the server buffer manager.
+//!
+//! Recency is tracked with a lazy queue: every touch pushes a fresh
+//! `(key, stamp)` entry and bumps the key's current stamp; stale queue
+//! entries are discarded when they surface. Eviction scans from the LRU end
+//! and can skip entries the caller has pinned.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+struct Slot<V> {
+    value: V,
+    stamp: u64,
+}
+
+/// LRU map with pin-aware eviction.
+pub struct LruCore<K, V> {
+    map: HashMap<K, Slot<V>>,
+    recency: VecDeque<(K, u64)>,
+    next_stamp: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for LruCore<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> LruCore<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LruCore {
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+            next_stamp: 0,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if `key` is resident (does not touch recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Read without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// Mutate without touching recency.
+    pub fn peek_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(key).map(|s| &mut s.value)
+    }
+
+    /// Read and mark most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.touch(key);
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// Mutate and mark most-recently-used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.touch(key);
+        self.map.get_mut(key).map(|s| &mut s.value)
+    }
+
+    /// Mark most-recently-used if resident.
+    pub fn touch(&mut self, key: &K) {
+        let stamp = self.next_stamp;
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.stamp = stamp;
+            self.next_stamp += 1;
+            self.recency.push_back((key.clone(), stamp));
+            self.maybe_compact();
+        }
+    }
+
+    /// Insert or replace; the entry becomes most-recently-used. Returns the
+    /// previous value if the key was resident.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.recency.push_back((key.clone(), stamp));
+        let old = self.map.insert(key, Slot { value, stamp });
+        self.maybe_compact();
+        old.map(|s| s.value)
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|s| s.value)
+    }
+
+    /// The least-recently-used entry whose value satisfies `evictable`,
+    /// removed and returned. `None` if every resident entry is pinned.
+    pub fn pop_lru_where(&mut self, mut evictable: impl FnMut(&K, &V) -> bool) -> Option<(K, V)> {
+        // Walk the recency queue oldest-first; skip stale entries and
+        // pinned values (re-queued so their relative order survives).
+        let mut skipped: Vec<(K, u64)> = Vec::new();
+        let mut found = None;
+        while let Some((key, stamp)) = self.recency.pop_front() {
+            match self.map.get(&key) {
+                Some(slot) if slot.stamp == stamp => {
+                    if evictable(&key, &slot.value) {
+                        found = Some(key);
+                        break;
+                    } else {
+                        skipped.push((key, stamp));
+                    }
+                }
+                _ => {} // stale entry: drop
+            }
+        }
+        // Restore skipped (pinned) entries at the front, oldest first.
+        for e in skipped.into_iter().rev() {
+            self.recency.push_front(e);
+        }
+        let key = found?;
+        let slot = self.map.remove(&key).expect("found key is resident");
+        Some((key, slot.value))
+    }
+
+    /// Iterate over resident entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, s)| (k, &s.value))
+    }
+
+    /// Iterate mutably over resident entries in arbitrary order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.map.iter_mut().map(|(k, s)| (k, &mut s.value))
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+
+    /// Bound queue garbage: rebuild when the queue is much larger than the
+    /// map.
+    fn maybe_compact(&mut self) {
+        if self.recency.len() > 8 * (self.map.len() + 8) {
+            let map = &self.map;
+            self.recency
+                .retain(|(k, stamp)| map.get(k).map(|s| s.stamp == *stamp).unwrap_or(false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c: LruCore<u32, &str> = LruCore::new();
+        assert!(c.is_empty());
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.remove(&2), Some("b"));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let mut c: LruCore<u32, ()> = LruCore::new();
+        for i in 0..4 {
+            c.insert(i, ());
+        }
+        // Touch 0 so 1 becomes LRU.
+        c.touch(&0);
+        let (k, _) = c.pop_lru_where(|_, _| true).unwrap();
+        assert_eq!(k, 1);
+        let (k, _) = c.pop_lru_where(|_, _| true).unwrap();
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut c: LruCore<u32, u32> = LruCore::new();
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), Some(10));
+        let (k, v) = c.pop_lru_where(|_, _| true).unwrap();
+        assert_eq!((k, v), (2, 20));
+    }
+
+    #[test]
+    fn pinned_entries_are_skipped() {
+        let mut c: LruCore<u32, bool> = LruCore::new();
+        c.insert(1, true); // pinned
+        c.insert(2, false);
+        c.insert(3, true); // pinned
+        let (k, _) = c.pop_lru_where(|_, pinned| !*pinned).unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(c.pop_lru_where(|_, pinned| !*pinned), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn pinned_skip_preserves_order() {
+        let mut c: LruCore<u32, bool> = LruCore::new();
+        c.insert(1, true);
+        c.insert(2, false);
+        c.insert(3, false);
+        // 1 is pinned and oldest; evictions should go 2 then 3.
+        assert_eq!(c.pop_lru_where(|_, p| !*p).unwrap().0, 2);
+        // Unpin 1 by rewriting its value (peek_mut does not touch recency).
+        *c.peek_mut(&1).unwrap() = false;
+        assert_eq!(c.pop_lru_where(|_, p| !*p).unwrap().0, 1);
+        assert_eq!(c.pop_lru_where(|_, p| !*p).unwrap().0, 3);
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut c: LruCore<u32, ()> = LruCore::new();
+        c.insert(1, ());
+        c.insert(2, ());
+        let _ = c.peek(&1);
+        let (k, _) = c.pop_lru_where(|_, _| true).unwrap();
+        assert_eq!(k, 1, "peek must not refresh recency");
+    }
+
+    #[test]
+    fn heavy_touch_traffic_compacts() {
+        let mut c: LruCore<u32, ()> = LruCore::new();
+        for i in 0..10 {
+            c.insert(i, ());
+        }
+        for _ in 0..10_000 {
+            c.touch(&3);
+        }
+        // Queue must not have grown unboundedly.
+        assert!(c.recency.len() < 200);
+        // And order is still correct: 0 is LRU (3 was touched).
+        assert_eq!(c.pop_lru_where(|_, _| true).unwrap().0, 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c: LruCore<u32, ()> = LruCore::new();
+        c.insert(1, ());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.pop_lru_where(|_, _| true), None);
+    }
+}

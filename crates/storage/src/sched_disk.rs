@@ -1,0 +1,249 @@
+//! A positional disk with pluggable request scheduling.
+//!
+//! The paper's resource manager notes that "different resource allocation
+//! policies can be implemented" but evaluates FCFS only (§3.3.2). This
+//! module models the head position explicitly — seek time grows linearly
+//! with cylinder distance — so shortest-seek-time-first (SSTF) can be
+//! compared against FCFS (see the `ablations` bench).
+//!
+//! Unlike [`crate::Disk`] (which draws seeks from U[SeekLow, SeekHigh]
+//! independent of position, as the paper's model does), the positional
+//! disk derives each seek from the head movement it actually performs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ccdb_des::{oneshot, Env, Mailbox, OneshotSender, SimDuration, Tally};
+
+/// Request scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// First come, first served (the paper's policy).
+    Fcfs,
+    /// Shortest seek time first: always service the pending request whose
+    /// cylinder is nearest the head. Better mean service time, unfair
+    /// under load (edge cylinders can starve).
+    Sstf,
+}
+
+struct Stats {
+    completions: u64,
+    service: Tally,
+    seek_distance: Tally,
+}
+
+type Request = (u32, OneshotSender<()>);
+
+/// A single-head disk with `cylinders` cylinders.
+#[derive(Clone)]
+pub struct ScheduledDisk {
+    inbox: Mailbox<Request>,
+    stats: Rc<RefCell<Stats>>,
+}
+
+impl ScheduledDisk {
+    /// Create the disk and start its service process.
+    ///
+    /// `seek_min` is the cost of a zero-distance access (settle +
+    /// rotation), `seek_max` the cost of a full-stroke seek; distance
+    /// interpolates linearly. `tran` is the per-block transfer time.
+    pub fn new(
+        env: &Env,
+        policy: SchedPolicy,
+        cylinders: u32,
+        seek_min: SimDuration,
+        seek_max: SimDuration,
+        tran: SimDuration,
+    ) -> Self {
+        assert!(cylinders > 0, "disk needs at least one cylinder");
+        assert!(seek_min <= seek_max);
+        let inbox: Mailbox<Request> = Mailbox::new(env);
+        let stats = Rc::new(RefCell::new(Stats {
+            completions: 0,
+            service: Tally::new(),
+            seek_distance: Tally::new(),
+        }));
+        let disk = ScheduledDisk {
+            inbox: inbox.clone(),
+            stats: Rc::clone(&stats),
+        };
+        let env2 = env.clone();
+        env.spawn(async move {
+            let mut head: u32 = 0;
+            let mut pending: Vec<Request> = Vec::new();
+            loop {
+                // Drain arrivals; block only when idle.
+                while let Some(r) = inbox.try_recv() {
+                    pending.push(r);
+                }
+                if pending.is_empty() {
+                    let r = inbox.recv().await;
+                    pending.push(r);
+                    continue; // re-drain: more may have arrived meanwhile
+                }
+                let idx = match policy {
+                    SchedPolicy::Fcfs => 0,
+                    SchedPolicy::Sstf => pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (cyl, _))| cyl.abs_diff(head))
+                        .map(|(i, _)| i)
+                        .expect("pending is non-empty"),
+                };
+                let (cyl, done) = pending.remove(idx);
+                let dist = cyl.abs_diff(head);
+                let span = seek_max - seek_min;
+                let seek = if cylinders == 1 {
+                    seek_min
+                } else {
+                    seek_min
+                        + SimDuration::from_nanos(
+                            span.as_nanos() * dist as u64 / (cylinders - 1) as u64,
+                        )
+                };
+                let service = seek + tran;
+                env2.hold(service).await;
+                head = cyl;
+                {
+                    let mut st = stats.borrow_mut();
+                    st.completions += 1;
+                    st.service.record(service.as_secs_f64());
+                    st.seek_distance.record(dist as f64);
+                }
+                done.fire(());
+            }
+        });
+        disk
+    }
+
+    /// Access one block on `cylinder`; resolves when the transfer is done.
+    pub async fn access(&self, cylinder: u32, env: &Env) {
+        let (tx, rx) = oneshot(env);
+        self.inbox.send((cylinder, tx));
+        rx.wait().await;
+    }
+
+    /// Completed accesses.
+    pub fn completions(&self) -> u64 {
+        self.stats.borrow().completions
+    }
+
+    /// Mean service time (seek + transfer) in seconds.
+    pub fn mean_service(&self) -> f64 {
+        self.stats.borrow().service.mean()
+    }
+
+    /// Mean head movement in cylinders.
+    pub fn mean_seek_distance(&self) -> f64 {
+        self.stats.borrow().seek_distance.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_des::{Pcg32, Sim, SimTime};
+
+    fn mk(env: &Env, policy: SchedPolicy) -> ScheduledDisk {
+        ScheduledDisk::new(
+            env,
+            policy,
+            1000,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(42),
+            SimDuration::from_millis(2),
+        )
+    }
+
+    #[test]
+    fn seek_time_scales_with_distance() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let d = mk(&env, SchedPolicy::Fcfs);
+        {
+            let d = d.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                d.access(0, &env).await; // dist 0: 2 + 2 = 4ms
+                d.access(999, &env).await; // full stroke: 42 + 2 = 44ms
+            });
+        }
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_nanos(48_000_000));
+        assert_eq!(d.completions(), 2);
+    }
+
+    #[test]
+    fn fcfs_services_in_arrival_order() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let d = mk(&env, SchedPolicy::Fcfs);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for &cyl in &[900u32, 10, 500] {
+            let d = d.clone();
+            let env = env.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                d.access(cyl, &env).await;
+                order.borrow_mut().push(cyl);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![900, 10, 500]);
+    }
+
+    #[test]
+    fn sstf_services_nearest_first() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let d = mk(&env, SchedPolicy::Sstf);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        // All requests arrive at t=0 with the head at 0: the nearest-first
+        // order is 10, 500, 900 regardless of arrival order.
+        for &cyl in &[900u32, 10, 500] {
+            let d = d.clone();
+            let env = env.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                d.access(cyl, &env).await;
+                order.borrow_mut().push(cyl);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![10, 500, 900]);
+        // SSTF total movement: 10 + 490 + 400 < FCFS's 900 + 890 + 490.
+        assert!(d.mean_seek_distance() < 400.0);
+    }
+
+    #[test]
+    fn sstf_beats_fcfs_on_random_load() {
+        let run = |policy| {
+            let sim = Sim::new();
+            let env = sim.env();
+            let d = mk(&env, policy);
+            let mut rng = Pcg32::new(77, 7);
+            // 200 requests in 20 batches of 10 simultaneous arrivals.
+            for batch in 0..20u64 {
+                for _ in 0..10 {
+                    let cyl = rng.below(1000) as u32;
+                    let d = d.clone();
+                    let env = env.clone();
+                    sim.spawn(async move {
+                        env.hold(SimDuration::from_millis(batch * 300)).await;
+                        d.access(cyl, &env).await;
+                    });
+                }
+            }
+            sim.run();
+            (d.mean_service(), d.completions())
+        };
+        let (fcfs, n1) = run(SchedPolicy::Fcfs);
+        let (sstf, n2) = run(SchedPolicy::Sstf);
+        assert_eq!(n1, 200);
+        assert_eq!(n2, 200);
+        assert!(
+            sstf < fcfs * 0.8,
+            "SSTF {sstf:.4}s should beat FCFS {fcfs:.4}s by >20%"
+        );
+    }
+}

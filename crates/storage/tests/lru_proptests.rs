@@ -1,0 +1,131 @@
+//! Property test: `LruCore` agrees with a naive reference implementation
+//! under arbitrary operation sequences (the DESIGN.md promise).
+
+use ccdb_storage::LruCore;
+use proptest::prelude::*;
+
+/// Naive reference: a vector ordered least-recently-used first.
+#[derive(Default)]
+struct NaiveLru {
+    entries: Vec<(u8, i32)>,
+}
+
+impl NaiveLru {
+    fn touch(&mut self, k: u8) {
+        if let Some(pos) = self.entries.iter().position(|(ek, _)| *ek == k) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+        }
+    }
+
+    fn insert(&mut self, k: u8, v: i32) {
+        if let Some(pos) = self.entries.iter().position(|(ek, _)| *ek == k) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((k, v));
+    }
+
+    fn remove(&mut self, k: u8) -> Option<i32> {
+        let pos = self.entries.iter().position(|(ek, _)| *ek == k)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    fn pop_lru_where(&mut self, pred: impl Fn(&u8, &i32) -> bool) -> Option<(u8, i32)> {
+        let pos = self.entries.iter().position(|(k, v)| pred(k, v))?;
+        Some(self.entries.remove(pos))
+    }
+
+    fn get(&mut self, k: u8) -> Option<i32> {
+        let v = self
+            .entries
+            .iter()
+            .find(|(ek, _)| *ek == k)
+            .map(|(_, v)| *v);
+        if v.is_some() {
+            self.touch(k);
+        }
+        v
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u8, i32),
+    Get(u8),
+    Touch(u8),
+    Remove(u8),
+    PopLru,
+    PopLruEven, // only values with v % 2 == 0 are evictable (pin model)
+    Peek(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..24u8, any::<i32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..24u8).prop_map(Op::Get),
+        (0..24u8).prop_map(Op::Touch),
+        (0..24u8).prop_map(Op::Remove),
+        Just(Op::PopLru),
+        Just(Op::PopLruEven),
+        (0..24u8).prop_map(Op::Peek),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lru_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut real: LruCore<u8, i32> = LruCore::new();
+        let mut naive = NaiveLru::default();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    real.insert(k, v);
+                    naive.insert(k, v);
+                }
+                Op::Get(k) => {
+                    let r = real.get(&k).copied();
+                    let n = naive.get(k);
+                    prop_assert_eq!(r, n);
+                }
+                Op::Touch(k) => {
+                    real.touch(&k);
+                    naive.touch(k);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(real.remove(&k), naive.remove(k));
+                }
+                Op::PopLru => {
+                    prop_assert_eq!(
+                        real.pop_lru_where(|_, _| true),
+                        naive.pop_lru_where(|_, _| true)
+                    );
+                }
+                Op::PopLruEven => {
+                    prop_assert_eq!(
+                        real.pop_lru_where(|_, v| v % 2 == 0),
+                        naive.pop_lru_where(|_, v| v % 2 == 0)
+                    );
+                }
+                Op::Peek(k) => {
+                    // Peek must not change recency; compare values only.
+                    prop_assert_eq!(
+                        real.peek(&k).copied(),
+                        naive.entries.iter().find(|(ek, _)| *ek == k).map(|(_, v)| *v)
+                    );
+                }
+            }
+            prop_assert_eq!(real.len(), naive.entries.len());
+        }
+        // Final drain must agree element by element (full order check).
+        loop {
+            let a = real.pop_lru_where(|_, _| true);
+            let b = naive.pop_lru_where(|_, _| true);
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

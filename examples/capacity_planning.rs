@@ -1,0 +1,60 @@
+//! Capacity planning: how many CAD workstations can one object server
+//! support before interactive response degrades?
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! The paper's motivating setting is persistent programming languages and
+//! object-oriented DBMSs: engineering workstations caching design objects
+//! from a shared server. This example grows the client population until
+//! the mean transaction response time exceeds a 1.5 s service objective,
+//! for each candidate consistency algorithm, and reports the supportable
+//! population — exactly the question a deployment engineer would ask of
+//! this simulator.
+
+use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration};
+
+const SLO_SECONDS: f64 = 1.5;
+
+fn main() {
+    // Engineering workload: designers revisit their own working set
+    // (high locality), updating a fifth of what they touch.
+    let locality = 0.75;
+    let prob_write = 0.2;
+
+    println!("service objective: mean response time <= {SLO_SECONDS} s");
+    println!("workload: short transactions, locality {locality}, write probability {prob_write}\n");
+
+    for alg in [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ] {
+        let mut supported = 0;
+        let mut last_resp = 0.0;
+        print!("{:<34}", alg.name());
+        for clients in [2, 5, 10, 15, 20, 25, 30, 40, 50, 65, 80] {
+            let cfg = SimConfig::table5(alg)
+                .with_clients(clients)
+                .with_locality(locality)
+                .with_prob_write(prob_write)
+                .with_horizon(SimDuration::from_secs(20), SimDuration::from_secs(150));
+            let r = run_simulation(cfg);
+            if r.resp_time_mean <= SLO_SECONDS {
+                supported = clients;
+                last_resp = r.resp_time_mean;
+            } else {
+                break;
+            }
+        }
+        println!("supports ~{supported:>3} clients (at {last_resp:.3} s)");
+    }
+
+    println!(
+        "\nThe retained read locks of callback locking avoid a server round trip for \
+         every working-set hit, so the same server sustains a larger population when \
+         locality is high."
+    );
+}

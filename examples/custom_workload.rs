@@ -1,0 +1,66 @@
+//! Custom workload: multi-page objects with sub-object sharing.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! The paper's database model (§3.1) lets objects span several atoms and
+//! *share* atoms with other objects of the same class (Figure 2). This
+//! example builds a database of 4-page objects with heavy sharing and
+//! compares two-phase locking against callback locking as the write
+//! probability grows: page-level locks on shared atoms create conflicts
+//! between logically distinct objects, which hurts the algorithms that
+//! retain or block on locks.
+
+use ccdb::model::DatabaseSpec;
+use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration, TxnParams};
+
+fn main() {
+    // 10 classes of 50 atoms; each object covers 4 consecutive atoms, so
+    // on average every atom is shared by 4 objects.
+    let db = DatabaseSpec::uniform(10, 50, 4, 1.0);
+    let txn = TxnParams {
+        min_xact_size: 2,
+        max_xact_size: 6, // objects are 4 pages, so 8-24 page reads per txn
+        inter_xact_set_size: 10,
+        inter_xact_loc: 0.5,
+        ..TxnParams::short_batch()
+    };
+
+    println!(
+        "database: {} classes x {} atoms, {}-page objects (atoms shared by ~4 objects)\n",
+        db.n_classes(),
+        db.class(ccdb::model::ClassId(0)).n_pages,
+        db.class(ccdb::model::ClassId(0)).object_size
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>14}",
+        "W", "2PL resp(s)", "CB resp(s)", "2PL deadlocks", "CB deadlocks"
+    );
+
+    for prob_write in [0.0, 0.1, 0.2, 0.4] {
+        let mut row = Vec::new();
+        for alg in [Algorithm::TwoPhase { inter: true }, Algorithm::Callback] {
+            let mut cfg = SimConfig::table5(alg)
+                .with_clients(20)
+                .with_horizon(SimDuration::from_secs(20), SimDuration::from_secs(200));
+            cfg.db = db.clone();
+            cfg.txn = TxnParams {
+                prob_write,
+                ..txn.clone()
+            };
+            let r = run_simulation(cfg);
+            row.push((r.resp_time_mean, r.lock_stats.deadlocks));
+        }
+        println!(
+            "{:>6.2} {:>12.3} {:>12.3} {:>14} {:>14}",
+            prob_write, row[0].0, row[1].0, row[0].1, row[1].1
+        );
+    }
+
+    println!(
+        "\nShared atoms turn object-level contention into page-level lock conflicts; \
+         the deadlock counts show how quickly multi-page objects escalate under \
+         update-heavy workloads."
+    );
+}

@@ -1,0 +1,76 @@
+//! Mixed workload: interactive designers sharing a server with nightly
+//! batch reports (paper §3.2: "a simulation run can simulate ... a mix of
+//! transactions belonging to different types").
+//!
+//! ```sh
+//! cargo run --release --example mixed_workload
+//! ```
+//!
+//! 80% of transactions are interactive edits (think time between
+//! operations, small read sets, frequent updates) and 20% are large
+//! read-only batch scans. The per-type response-time breakdown shows how
+//! each algorithm treats the two populations.
+
+use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration, TxnParams};
+
+fn main() {
+    let interactive_edit = TxnParams {
+        min_xact_size: 2,
+        max_xact_size: 6,
+        prob_write: 0.4,
+        update_delay: SimDuration::from_millis(500),
+        internal_delay: SimDuration::from_millis(200),
+        external_delay: SimDuration::from_secs(2),
+        inter_xact_set_size: 20,
+        inter_xact_loc: 0.6,
+    };
+    let batch_scan = TxnParams {
+        min_xact_size: 20,
+        max_xact_size: 40,
+        prob_write: 0.0,
+        update_delay: SimDuration::ZERO,
+        internal_delay: SimDuration::ZERO,
+        external_delay: SimDuration::from_secs(5),
+        inter_xact_set_size: 20,
+        inter_xact_loc: 0.1,
+    };
+
+    println!("mix: 80% interactive edits (2-6 objects, W=0.4), 20% batch scans (20-40 objects, read-only)\n");
+    println!(
+        "{:<6} {:>10} {:>14} {:>13} {:>9} {:>8}",
+        "alg", "tput(/s)", "edit resp(s)", "scan resp(s)", "aborts", "p99(s)"
+    );
+
+    for alg in [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ] {
+        let cfg = SimConfig::table5(alg)
+            .with_clients(20)
+            .with_txn_mix(vec![
+                (interactive_edit.clone(), 0.8),
+                (batch_scan.clone(), 0.2),
+            ])
+            .with_horizon(SimDuration::from_secs(30), SimDuration::from_secs(300));
+        let r = run_simulation(cfg);
+        let edit = r.resp_by_type.first().copied().unwrap_or((0, 0.0));
+        let scan = r.resp_by_type.get(1).copied().unwrap_or((0, 0.0));
+        println!(
+            "{:<6} {:>10.2} {:>14.3} {:>13.3} {:>9} {:>8.3}",
+            r.algorithm.label(),
+            r.throughput,
+            edit.1,
+            scan.1,
+            r.aborts,
+            r.resp_p99
+        );
+    }
+
+    println!(
+        "\nInteractive edits carry ~0.7s of think time per operation, so their mean \
+         response dominates; the scans surface in the tail instead — no-wait's restarts \
+         of long stale-read scans inflate its p99 well past the blocking algorithms'."
+    );
+}

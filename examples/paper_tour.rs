@@ -1,0 +1,164 @@
+//! Paper tour: check each of the paper's §6 conclusions with a live
+//! mini-experiment and print a verdict.
+//!
+//! ```sh
+//! cargo run --release --example paper_tour
+//! ```
+//!
+//! Uses shortened measurement windows so the whole tour takes well under a
+//! minute; the bench harnesses regenerate the full figures.
+
+use ccdb::core::experiments;
+use ccdb::{run_simulation, Algorithm, RunReport, SimConfig, SimDuration};
+
+fn run(cfg: SimConfig) -> RunReport {
+    run_simulation(cfg.with_horizon(SimDuration::from_secs(15), SimDuration::from_secs(120)))
+}
+
+fn verdict(claim: &str, holds: bool, detail: String) {
+    println!(
+        "{} {claim}\n      {detail}\n",
+        if holds { "  ok " } else { " MISS" }
+    );
+}
+
+fn main() {
+    println!("Wang & Rowe (SIGMOD 1991), conclusions replayed live:\n");
+
+    // 1. Inter-transaction caching beats intra when locality is high.
+    {
+        let intra = run(experiments::caching_verification(
+            Algorithm::TwoPhase { inter: false },
+            30,
+            0.5,
+            0.0,
+        ));
+        let inter = run(experiments::caching_verification(
+            Algorithm::TwoPhase { inter: true },
+            30,
+            0.5,
+            0.0,
+        ));
+        let gain = 1.0 - inter.resp_time_mean / intra.resp_time_mean;
+        verdict(
+            "inter-transaction caching beats intra at high locality (paper: up to ~30%)",
+            gain > 0.15,
+            format!(
+                "B2PL {:.2}s vs C2PL {:.2}s -> {:.0}% better",
+                intra.resp_time_mean,
+                inter.resp_time_mean,
+                gain * 100.0
+            ),
+        );
+    }
+
+    // 2. Two-phase locking dominates certification under the ACL setting.
+    {
+        let tp = run(experiments::acl_verification(
+            Algorithm::TwoPhase { inter: true },
+            100,
+        ));
+        let occ = run(experiments::acl_verification(
+            Algorithm::Certification { inter: true },
+            100,
+        ));
+        verdict(
+            "2PL outperforms certification with limited resources (ACL, MPL 100)",
+            tp.throughput >= occ.throughput,
+            format!(
+                "2PL {:.2} txn/s vs certification {:.2} txn/s ({} validation aborts)",
+                tp.throughput, occ.throughput, occ.validation_aborts
+            ),
+        );
+    }
+
+    // 3. Callback locking wins when inter-transaction locality is high.
+    {
+        let tp = run(experiments::short_txn(
+            Algorithm::TwoPhase { inter: true },
+            30,
+            0.75,
+            0.0,
+        ));
+        let cb = run(experiments::short_txn(Algorithm::Callback, 30, 0.75, 0.0));
+        verdict(
+            "callback locking dominates at high locality (paper: ~35% over 2PL)",
+            cb.resp_time_mean < tp.resp_time_mean * 0.8,
+            format!(
+                "2PL {:.2}s vs CB {:.2}s; CB sent {:.1} msgs/commit vs 2PL {:.1}",
+                tp.resp_time_mean, cb.resp_time_mean, cb.msgs_per_commit, tp.msgs_per_commit
+            ),
+        );
+    }
+
+    // 4. Notification does not pay when the server is the bottleneck.
+    {
+        let nw = run(experiments::short_txn(
+            Algorithm::NoWait { notify: false },
+            30,
+            0.05,
+            0.5,
+        ));
+        let nwn = run(experiments::short_txn(
+            Algorithm::NoWait { notify: true },
+            30,
+            0.05,
+            0.5,
+        ));
+        verdict(
+            "notification wastes a saturated server (low locality, many clients)",
+            nwn.resp_time_mean >= nw.resp_time_mean * 0.95,
+            format!(
+                "NW {:.2}s vs NWN {:.2}s ({} pages pushed for nothing)",
+                nw.resp_time_mean, nwn.resp_time_mean, nwn.updates_pushed
+            ),
+        );
+    }
+
+    // 5. ...but pays once the network and server are fast (disk-bound).
+    {
+        let nw = run(experiments::fast_net_fast_server(
+            Algorithm::NoWait { notify: false },
+            50,
+            0.25,
+            0.5,
+        ));
+        let nwn = run(experiments::fast_net_fast_server(
+            Algorithm::NoWait { notify: true },
+            50,
+            0.25,
+            0.5,
+        ));
+        verdict(
+            "with a fast net + server, notification rehabilitates no-wait",
+            nwn.stale_aborts < nw.stale_aborts && nwn.resp_time_mean <= nw.resp_time_mean * 1.05,
+            format!(
+                "stale aborts {} -> {}, response {:.2}s -> {:.2}s (disks at {:.0}%)",
+                nw.stale_aborts,
+                nwn.stale_aborts,
+                nw.resp_time_mean,
+                nwn.resp_time_mean,
+                nwn.data_disk_util * 100.0
+            ),
+        );
+    }
+
+    // 6. Interactive transactions: think time flattens everything at W=0.
+    {
+        let cfg = experiments::interactive(Algorithm::TwoPhase { inter: true }, 10, 0.25, 0.0)
+            .with_horizon(SimDuration::from_secs(60), SimDuration::from_secs(900));
+        let r = run_simulation(cfg);
+        verdict(
+            "interactive response is dominated by the ~56s of think time",
+            (45.0..70.0).contains(&r.resp_time_mean),
+            format!(
+                "measured {:.1}s mean ({} commits, server CPU {:.0}%)",
+                r.resp_time_mean,
+                r.commits,
+                r.server_cpu_util * 100.0
+            ),
+        );
+    }
+
+    println!("full figures: cargo bench --workspace   (see EXPERIMENTS.md)");
+}

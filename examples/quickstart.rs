@@ -1,0 +1,56 @@
+//! Quickstart: simulate one configuration and read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Simulates 30 client workstations running short batch transactions
+//! against a page server under callback locking — the algorithm the paper
+//! recommends when inter-transaction locality is high — and prints every
+//! metric the simulator reports.
+
+use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration};
+
+fn main() {
+    // The paper's Table 5 baseline: 8 MB database over 2 data disks, 2 MIPS
+    // server, 100-page client caches, 400-page server buffer pool.
+    let cfg = SimConfig::table5(Algorithm::Callback)
+        .with_clients(30)
+        .with_locality(0.75) // 75% of reads hit the recent working set
+        .with_prob_write(0.2) // each page of a read object is updated 20% of the time
+        .with_horizon(SimDuration::from_secs(30), SimDuration::from_secs(300));
+
+    println!(
+        "simulating {} with {} clients (locality {}, write probability {}) ...",
+        cfg.algorithm.name(),
+        cfg.sys.n_clients,
+        cfg.txn.inter_xact_loc,
+        cfg.txn.prob_write
+    );
+
+    let r = run_simulation(cfg);
+
+    println!();
+    println!(
+        "mean response time   {:.3} s (±{:.3} at 95%)",
+        r.resp_time_mean, r.resp_time_ci95
+    );
+    println!("throughput           {:.2} committed txn/s", r.throughput);
+    println!("commits / aborts     {} / {}", r.commits, r.aborts);
+    println!("restarts per commit  {:.3}", r.restarts_per_commit);
+    println!("messages per commit  {:.1}", r.msgs_per_commit);
+    println!();
+    println!("server CPU           {:.1}%", r.server_cpu_util * 100.0);
+    println!("client CPU (mean)    {:.1}%", r.client_cpu_util * 100.0);
+    println!("network              {:.1}%", r.net_util * 100.0);
+    println!("data disk (max)      {:.1}%", r.data_disk_util * 100.0);
+    println!("log disk             {:.1}%", r.log_disk_util * 100.0);
+    println!();
+    println!("client cache hits    {:.1}%", r.cache_hit_ratio * 100.0);
+    println!("server buffer hits   {:.1}%", r.buffer_hit_ratio * 100.0);
+    println!(
+        "lock requests        {} ({} blocked, {} deadlocks, {} callbacks)",
+        r.lock_stats.requests, r.lock_stats.blocks, r.lock_stats.deadlocks, r.lock_stats.callbacks
+    );
+    println!("simulation events    {}", r.events);
+}

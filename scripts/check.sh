@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, tests, docs, and a quick bench smoke.
+# This is what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "== clippy (all targets) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== rustdoc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== examples (release) =="
+cargo build --release --examples
+
+echo "== bench smoke (CCDB_QUICK) =="
+CCDB_QUICK=1 cargo bench -p ccdb-bench --bench table4_acl >/dev/null
+CCDB_QUICK=1 cargo bench -p ccdb-bench --bench fig13_regions >/dev/null
+
+echo "all checks passed"

@@ -1,0 +1,283 @@
+//! `ccdb` — command-line driver for the cache-consistency simulator.
+//!
+//! ```text
+//! ccdb run     --alg CB --clients 30 --loc 0.50 --pw 0.2 [options]
+//! ccdb compare --clients 30 --loc 0.50 --pw 0.2 [options]
+//! ccdb sweep   --alg C2PL --loc 0.25 --pw 0.2  [options]   # over clients
+//! ccdb list                                               # algorithms
+//! ```
+//!
+//! Common options: `--exp short|large|fast-server|fast-net|interactive`
+//! (workload/system family, default `short`), `--seed N`, `--measure SECS`,
+//! `--warmup SECS`.
+
+use std::process::ExitCode;
+
+use ccdb::core::experiments;
+use ccdb::core::replication::run_replicated;
+use ccdb::core::{run_simulation_traced, Trace};
+use ccdb::{run_simulation, Algorithm, RunReport, SimConfig, SimDuration};
+
+fn parse_alg(s: &str) -> Option<Algorithm> {
+    match s.to_ascii_uppercase().as_str() {
+        "B2PL" => Some(Algorithm::TwoPhase { inter: false }),
+        "C2PL" | "2PL" => Some(Algorithm::TwoPhase { inter: true }),
+        "OCC" => Some(Algorithm::Certification { inter: false }),
+        "COCC" | "CERT" => Some(Algorithm::Certification { inter: true }),
+        "CB" | "CALLBACK" => Some(Algorithm::Callback),
+        "NW" => Some(Algorithm::NoWait { notify: false }),
+        "NWN" => Some(Algorithm::NoWait { notify: true }),
+        _ => None,
+    }
+}
+
+struct Options {
+    alg: Algorithm,
+    clients: u32,
+    loc: f64,
+    pw: f64,
+    exp: String,
+    seed: u64,
+    warmup: f64,
+    measure: f64,
+    csv: bool,
+    reps: u32,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            alg: Algorithm::TwoPhase { inter: true },
+            clients: 10,
+            loc: 0.25,
+            pw: 0.2,
+            exp: "short".to_string(),
+            seed: 0xCCDB,
+            warmup: 30.0,
+            measure: 300.0,
+            csv: false,
+            reps: 5,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if key == "--csv" {
+            o.csv = true;
+            i += 1;
+            continue;
+        }
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {key}"))?;
+        match key.as_str() {
+            "--alg" => o.alg = parse_alg(val).ok_or_else(|| format!("unknown algorithm {val}"))?,
+            "--clients" => o.clients = val.parse().map_err(|e| format!("--clients: {e}"))?,
+            "--loc" => o.loc = val.parse().map_err(|e| format!("--loc: {e}"))?,
+            "--pw" => o.pw = val.parse().map_err(|e| format!("--pw: {e}"))?,
+            "--exp" => o.exp = val.clone(),
+            "--seed" => o.seed = val.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--warmup" => o.warmup = val.parse().map_err(|e| format!("--warmup: {e}"))?,
+            "--measure" => o.measure = val.parse().map_err(|e| format!("--measure: {e}"))?,
+            "--reps" => o.reps = val.parse().map_err(|e| format!("--reps: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 2;
+    }
+    Ok(o)
+}
+
+fn build_config(o: &Options, alg: Algorithm, clients: u32) -> Result<SimConfig, String> {
+    let cfg = match o.exp.as_str() {
+        "short" => experiments::short_txn(alg, clients, o.loc, o.pw),
+        "large" => experiments::large_txn(alg, clients, o.loc, o.pw),
+        "fast-server" => experiments::fast_server(alg, clients, o.loc, o.pw),
+        "fast-net" => experiments::fast_net_fast_server(alg, clients, o.loc, o.pw),
+        "interactive" => experiments::interactive(alg, clients, o.loc, o.pw),
+        other => return Err(format!("unknown experiment family {other}")),
+    };
+    Ok(cfg.with_seed(o.seed).with_horizon(
+        SimDuration::from_secs_f64(o.warmup),
+        SimDuration::from_secs_f64(o.measure),
+    ))
+}
+
+fn header_for(opts: &Options) {
+    if opts.csv {
+        println!("{}", RunReport::csv_header());
+        return;
+    }
+    println!(
+        "{:<5} {:>7} {:>5} {:>5} {:>9} {:>8} {:>9} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6}",
+        "alg",
+        "clients",
+        "loc",
+        "pw",
+        "resp(s)",
+        "ci95",
+        "tput(/s)",
+        "commits",
+        "aborts",
+        "cpuS%",
+        "net%",
+        "disk%",
+        "hit%"
+    );
+}
+
+fn row_for(opts: &Options, r: &RunReport) {
+    if opts.csv {
+        println!("{}", r.to_csv_row());
+        return;
+    }
+    println!(
+        "{:<5} {:>7} {:>5.2} {:>5.2} {:>9.3} {:>8.3} {:>9.2} {:>7} {:>7} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+        r.algorithm.label(),
+        r.n_clients,
+        r.locality,
+        r.prob_write,
+        r.resp_time_mean,
+        r.resp_time_ci95,
+        r.throughput,
+        r.commits,
+        r.aborts,
+        r.server_cpu_util * 100.0,
+        r.net_util * 100.0,
+        r.data_disk_util * 100.0,
+        r.cache_hit_ratio * 100.0,
+    );
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ccdb <run|compare|sweep|replicate|trace|list> [--alg A] [--clients N] [--loc F] [--pw F] \
+         [--exp short|large|fast-server|fast-net|interactive] [--seed N] [--warmup S] \
+         [--measure S] [--csv] [--reps N]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "list" => {
+            for alg in [
+                Algorithm::TwoPhase { inter: false },
+                Algorithm::TwoPhase { inter: true },
+                Algorithm::Certification { inter: false },
+                Algorithm::Certification { inter: true },
+                Algorithm::Callback,
+                Algorithm::NoWait { notify: false },
+                Algorithm::NoWait { notify: true },
+            ] {
+                println!("{:<5} {}", alg.label(), alg.name());
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => match build_config(&opts, opts.alg, opts.clients) {
+            Ok(cfg) => {
+                header_for(&opts);
+                row_for(&opts, &run_simulation(cfg));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "compare" => {
+            header_for(&opts);
+            for alg in Algorithm::EXPERIMENT_SET {
+                match build_config(&opts, alg, opts.clients) {
+                    Ok(cfg) => row_for(&opts, &run_simulation(cfg)),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "trace" => match build_config(&opts, opts.alg, opts.clients) {
+            Ok(mut cfg) => {
+                // A short run with few clients keeps the transcript legible.
+                cfg = cfg.with_horizon(
+                    SimDuration::from_secs_f64(0.0),
+                    SimDuration::from_secs_f64(opts.measure.min(5.0)),
+                );
+                let trace = Trace::enabled(2_000);
+                let r = run_simulation_traced(cfg, trace.clone());
+                print!("{}", trace.render());
+                eprintln!(
+                    "-- {} events shown; {} commits, {} aborts in {:.1}s of {} --",
+                    trace.events().len(),
+                    r.commits,
+                    r.aborts,
+                    opts.measure.min(5.0),
+                    r.algorithm.name(),
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "replicate" => match build_config(&opts, opts.alg, opts.clients) {
+            Ok(cfg) => {
+                let rep = run_replicated(cfg, opts.reps);
+                println!(
+                    "{} x{} replications: resp {:.3}s ± {:.3} (95% CI, {:.1}% rel), \
+                     tput {:.2}/s ± {:.2}, commits {}, aborts {}",
+                    opts.alg.label(),
+                    opts.reps,
+                    rep.resp_time_mean,
+                    rep.resp_time_ci95,
+                    rep.resp_relative_precision() * 100.0,
+                    rep.throughput_mean,
+                    rep.throughput_ci95,
+                    rep.commits,
+                    rep.aborts,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "sweep" => {
+            header_for(&opts);
+            for clients in experiments::CLIENT_SWEEP {
+                match build_config(&opts, opts.alg, clients) {
+                    Ok(cfg) => row_for(&opts, &run_simulation(cfg)),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command {other}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # ccdb — cache consistency and concurrency control in a client/server DBMS
+//!
+//! A from-scratch Rust reproduction of **Wang & Rowe, "Cache Consistency
+//! and Concurrency Control in a Client/Server DBMS Architecture"**
+//! (UCB/ERL M90/120; SIGMOD 1991): a deterministic discrete-event
+//! simulation of a page-server DBMS comparing five cache consistency
+//! algorithms — two-phase locking, certification, callback locking,
+//! no-wait locking, and no-wait locking with notification.
+//!
+//! This facade re-exports the public API of the workspace crates:
+//!
+//! * [`des`] — the discrete-event simulation kernel,
+//! * [`model`] — database / transaction / system models (Tables 1–3),
+//! * [`net`] — the network manager,
+//! * [`storage`] — disks, buffer manager, client cache, log manager,
+//! * [`lock`] — the page-level lock manager,
+//! * [`core`] — the simulator and the five algorithms.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use ccdb::{run_simulation, Algorithm, SimConfig};
+//!
+//! // Callback locking, 30 clients, high locality, moderate updates.
+//! let cfg = SimConfig::table5(Algorithm::Callback)
+//!     .with_clients(30)
+//!     .with_locality(0.75)
+//!     .with_prob_write(0.2);
+//! let report = run_simulation(cfg);
+//! println!(
+//!     "mean response {:.3}s, throughput {:.1} txn/s",
+//!     report.resp_time_mean, report.throughput
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ccdb_core as core;
+pub use ccdb_des as des;
+pub use ccdb_lock as lock;
+pub use ccdb_model as model;
+pub use ccdb_net as net;
+pub use ccdb_storage as storage;
+
+pub use ccdb_core::{
+    experiments, run_simulation, AbortKind, Algorithm, MetricsHub, RunReport, SimConfig,
+};
+pub use ccdb_des::{SimDuration, SimTime};
+pub use ccdb_model::{DatabaseSpec, SystemParams, TxnParams};

@@ -1,0 +1,311 @@
+//! Cross-crate integration tests: every algorithm, varied workloads, with
+//! the serializability oracle enabled (the server panics on any
+//! inconsistent commit, so a passing run is a correctness statement).
+
+use ccdb::{run_simulation, Algorithm, RunReport, SimConfig, SimDuration};
+
+const ALGORITHMS: [Algorithm; 7] = [
+    Algorithm::TwoPhase { inter: false },
+    Algorithm::TwoPhase { inter: true },
+    Algorithm::Certification { inter: false },
+    Algorithm::Certification { inter: true },
+    Algorithm::Callback,
+    Algorithm::NoWait { notify: false },
+    Algorithm::NoWait { notify: true },
+];
+
+fn run(alg: Algorithm, clients: u32, loc: f64, pw: f64, seed: u64) -> RunReport {
+    run_simulation(
+        SimConfig::table5(alg)
+            .with_clients(clients)
+            .with_locality(loc)
+            .with_prob_write(pw)
+            .with_seed(seed)
+            .with_horizon(SimDuration::from_secs(5), SimDuration::from_secs(30)),
+    )
+}
+
+#[test]
+fn all_algorithms_commit_under_contention() {
+    for alg in ALGORITHMS {
+        let r = run(alg, 10, 0.5, 0.5, 1);
+        assert!(r.commits > 50, "{}: commits {}", alg.label(), r.commits);
+        assert!(
+            r.resp_time_mean > 0.0 && r.resp_time_mean < 30.0,
+            "{}: resp {}",
+            alg.label(),
+            r.resp_time_mean
+        );
+    }
+}
+
+#[test]
+fn read_only_workloads_never_abort() {
+    for alg in ALGORITHMS {
+        let r = run(alg, 10, 0.5, 0.0, 2);
+        assert_eq!(r.aborts, 0, "{}: read-only aborts", alg.label());
+        assert_eq!(r.restarts_per_commit, 0.0, "{}", alg.label());
+    }
+}
+
+#[test]
+fn utilizations_are_valid_fractions() {
+    for alg in [Algorithm::TwoPhase { inter: true }, Algorithm::Callback] {
+        let r = run(alg, 30, 0.25, 0.2, 3);
+        for (name, u) in [
+            ("server cpu", r.server_cpu_util),
+            ("client cpu", r.client_cpu_util),
+            ("net", r.net_util),
+            ("data disk", r.data_disk_util),
+            ("log disk", r.log_disk_util),
+            ("cache hits", r.cache_hit_ratio),
+            ("buffer hits", r.buffer_hit_ratio),
+        ] {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "{name} = {u}");
+        }
+    }
+}
+
+#[test]
+fn abort_kinds_match_algorithms() {
+    // Deadlocks only for the blocking family; validation aborts only for
+    // certification; stale reads only for no-wait.
+    let r = run(Algorithm::TwoPhase { inter: true }, 20, 0.25, 0.5, 4);
+    assert_eq!(r.stale_aborts, 0);
+    assert_eq!(r.validation_aborts, 0);
+
+    let r = run(Algorithm::Certification { inter: true }, 20, 0.25, 0.5, 4);
+    assert_eq!(r.deadlock_aborts, 0);
+    assert_eq!(r.stale_aborts, 0);
+    assert!(r.validation_aborts > 0, "expected validation aborts");
+
+    let r = run(Algorithm::NoWait { notify: false }, 20, 0.25, 0.5, 4);
+    assert!(
+        r.stale_aborts > 0,
+        "no-wait under contention must see stale reads"
+    );
+}
+
+#[test]
+fn locality_raises_cache_hit_ratio() {
+    let low = run(Algorithm::Callback, 10, 0.05, 0.2, 5);
+    let high = run(Algorithm::Callback, 10, 0.75, 0.2, 5);
+    assert!(
+        high.cache_hit_ratio > low.cache_hit_ratio + 0.2,
+        "hit ratios: low {} high {}",
+        low.cache_hit_ratio,
+        high.cache_hit_ratio
+    );
+}
+
+#[test]
+fn intra_transaction_caching_has_cold_caches() {
+    let intra = run(Algorithm::TwoPhase { inter: false }, 10, 0.75, 0.0, 6);
+    let inter = run(Algorithm::TwoPhase { inter: true }, 10, 0.75, 0.0, 6);
+    // Intra-transaction caching clears the cache at every boundary, so its
+    // hit ratio stays near the within-transaction re-reference rate.
+    assert!(
+        inter.cache_hit_ratio > intra.cache_hit_ratio + 0.3,
+        "intra {} vs inter {}",
+        intra.cache_hit_ratio,
+        inter.cache_hit_ratio
+    );
+}
+
+#[test]
+fn callbacks_only_under_callback_locking() {
+    let cb = run(Algorithm::Callback, 20, 0.5, 0.5, 7);
+    assert!(cb.callbacks > 0, "callback locking must issue callbacks");
+    for alg in [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Certification { inter: true },
+        Algorithm::NoWait { notify: true },
+    ] {
+        let r = run(alg, 20, 0.5, 0.5, 7);
+        assert_eq!(r.callbacks, 0, "{}", alg.label());
+    }
+}
+
+#[test]
+fn notification_pushes_updates_and_cuts_stale_aborts() {
+    let nw = run(Algorithm::NoWait { notify: false }, 20, 0.75, 0.5, 8);
+    let nwn = run(Algorithm::NoWait { notify: true }, 20, 0.75, 0.5, 8);
+    assert_eq!(nw.updates_pushed, 0);
+    assert!(nwn.updates_pushed > 0, "notification must push pages");
+    assert!(
+        nwn.stale_aborts < nw.stale_aborts,
+        "notification should reduce stale-read aborts: {} vs {}",
+        nwn.stale_aborts,
+        nw.stale_aborts
+    );
+}
+
+#[test]
+fn log_forces_track_commits() {
+    let r = run(Algorithm::TwoPhase { inter: true }, 10, 0.25, 0.5, 9);
+    // Every remote commit forces the log exactly once; the whole run
+    // (including warm-up) is counted in log_stats, so forced >= commits.
+    assert!(
+        r.log_stats.commits_forced >= r.commits,
+        "forced {} < commits {}",
+        r.log_stats.commits_forced,
+        r.commits
+    );
+}
+
+#[test]
+fn callback_local_commits_skip_the_server() {
+    // Read-only, maximal-locality callback workload: after warm-up most
+    // transactions run entirely on retained locks, so messages per commit
+    // drop well below two-phase locking's.
+    let cb = run(Algorithm::Callback, 5, 0.9, 0.0, 10);
+    let tp = run(Algorithm::TwoPhase { inter: true }, 5, 0.9, 0.0, 10);
+    assert!(
+        cb.msgs_per_commit < tp.msgs_per_commit * 0.6,
+        "callback {} vs 2pl {}",
+        cb.msgs_per_commit,
+        tp.msgs_per_commit
+    );
+}
+
+#[test]
+fn table4_acl_configuration_runs() {
+    let cfg = SimConfig::table4_acl(Algorithm::TwoPhase { inter: true })
+        .with_horizon(SimDuration::from_secs(5), SimDuration::from_secs(30));
+    let r = run_simulation(cfg);
+    assert!(r.commits > 20, "ACL config commits: {}", r.commits);
+    // The log manager is disabled in Table 4.
+    assert_eq!(r.log_stats.pages_written, 0);
+}
+
+#[test]
+fn interactive_transactions_have_long_flat_response() {
+    let cfg = SimConfig::table5(Algorithm::TwoPhase { inter: true })
+        .with_clients(5)
+        .with_locality(0.25)
+        .with_prob_write(0.0)
+        .with_horizon(SimDuration::from_secs(60), SimDuration::from_secs(600));
+    let mut cfg = cfg;
+    cfg.txn.update_delay = SimDuration::from_secs(5);
+    cfg.txn.internal_delay = SimDuration::from_secs(2);
+    let r = run_simulation(cfg);
+    // 8 reads x (5+2)s of think time = ~56 s floor (paper §5.5).
+    assert!(
+        r.resp_time_mean > 40.0 && r.resp_time_mean < 80.0,
+        "interactive resp {}",
+        r.resp_time_mean
+    );
+}
+
+mod tuning {
+    use super::*;
+    use ccdb::core::config::Tuning;
+
+    fn run_tuned(alg: Algorithm, tuning: Tuning, pw: f64, seed: u64) -> RunReport {
+        run_simulation(
+            SimConfig::table5(alg)
+                .with_clients(15)
+                .with_locality(0.75)
+                .with_prob_write(pw)
+                .with_seed(seed)
+                .with_tuning(tuning)
+                .with_horizon(SimDuration::from_secs(5), SimDuration::from_secs(40)),
+        )
+    }
+
+    #[test]
+    fn write_retention_cuts_messages_for_rewriters() {
+        // High locality and frequent updates: write retention saves the
+        // X-lock round trip on every working-set re-write.
+        let base = run_tuned(Algorithm::Callback, Tuning::default(), 0.5, 1);
+        let tuned = run_tuned(
+            Algorithm::Callback,
+            Tuning {
+                retain_write_locks: true,
+                ..Tuning::default()
+            },
+            0.5,
+            1,
+        );
+        assert!(tuned.commits > 50);
+        assert!(
+            tuned.msgs_per_commit < base.msgs_per_commit,
+            "write retention should save messages: {} vs {}",
+            tuned.msgs_per_commit,
+            base.msgs_per_commit
+        );
+    }
+
+    #[test]
+    fn invalidation_notification_sends_no_page_bodies() {
+        let tuned = run_tuned(
+            Algorithm::NoWait { notify: true },
+            Tuning {
+                notify_invalidate: true,
+                ..Tuning::default()
+            },
+            0.5,
+            2,
+        );
+        // Invalidations are counted through the same metric.
+        assert!(tuned.updates_pushed > 0, "invalidations must flow");
+        assert!(tuned.commits > 50);
+    }
+
+    #[test]
+    fn zero_restart_delay_still_converges() {
+        let tuned = run_tuned(
+            Algorithm::NoWait { notify: false },
+            Tuning {
+                zero_restart_delay: true,
+                ..Tuning::default()
+            },
+            0.5,
+            3,
+        );
+        assert!(tuned.commits > 50, "immediate restarts must still commit");
+    }
+
+    #[test]
+    fn tuning_changes_are_deterministic_too() {
+        let t = Tuning {
+            retain_write_locks: true,
+            notify_invalidate: true,
+            zero_restart_delay: true,
+            notify_broadcast: false,
+            responsive_client: false,
+        };
+        let a = run_tuned(Algorithm::Callback, t, 0.3, 4);
+        let b = run_tuned(Algorithm::Callback, t, 0.3, 4);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.commits, b.commits);
+    }
+}
+
+mod responsive {
+    use super::*;
+    use ccdb::core::config::Tuning;
+    use ccdb::core::experiments;
+
+    /// The paper blames callback locking's poor interactive showing on its
+    /// client not servicing messages during think time (§5.5). With the
+    /// responsive-client tuning, callbacks are answered promptly and
+    /// callback locking's interactive response improves.
+    #[test]
+    fn responsive_clients_rescue_interactive_callback_locking() {
+        let base = experiments::interactive(Algorithm::Callback, 20, 0.25, 0.5)
+            .with_horizon(SimDuration::from_secs(30), SimDuration::from_secs(400));
+        let stock = run_simulation(base.clone());
+        let responsive = run_simulation(base.with_tuning(Tuning {
+            responsive_client: true,
+            ..Tuning::default()
+        }));
+        assert!(stock.commits > 50 && responsive.commits > 50);
+        assert!(
+            responsive.resp_time_mean < stock.resp_time_mean,
+            "responsive {} should beat stock {}",
+            responsive.resp_time_mean,
+            stock.resp_time_mean
+        );
+    }
+}

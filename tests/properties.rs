@@ -1,0 +1,81 @@
+//! Property-based end-to-end tests: random (but small) configurations must
+//! run to completion with the serializability oracle enabled and satisfy
+//! the simulator's global invariants.
+
+use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration};
+use proptest::prelude::*;
+
+fn algorithm_strategy() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::TwoPhase { inter: false }),
+        Just(Algorithm::TwoPhase { inter: true }),
+        Just(Algorithm::Certification { inter: false }),
+        Just(Algorithm::Certification { inter: true }),
+        Just(Algorithm::Callback),
+        Just(Algorithm::NoWait { notify: false }),
+        Just(Algorithm::NoWait { notify: true }),
+    ]
+}
+
+proptest! {
+    // End-to-end simulations are comparatively expensive; a couple dozen
+    // random configurations still explores the space well.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sampled configuration completes with consistent accounting.
+    /// The oracle inside the server asserts serializability for the
+    /// locking family on every commit.
+    #[test]
+    fn random_configs_run_clean(
+        alg in algorithm_strategy(),
+        clients in 2u32..12,
+        loc in 0.0f64..0.9,
+        pw in 0.0f64..0.6,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SimConfig::table5(alg)
+            .with_clients(clients)
+            .with_locality(loc)
+            .with_prob_write(pw)
+            .with_seed(seed)
+            .with_horizon(SimDuration::from_secs(2), SimDuration::from_secs(15));
+        let r = run_simulation(cfg);
+        // Someone must make progress in 15 s with >= 2 clients.
+        prop_assert!(r.commits > 0, "no commits at all");
+        // Rates and ratios are well-formed.
+        prop_assert!(r.resp_time_mean >= 0.0);
+        prop_assert!(r.throughput > 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.cache_hit_ratio));
+        prop_assert!((0.0..=1.0).contains(&r.buffer_hit_ratio));
+        prop_assert!(r.server_cpu_util <= 1.0 + 1e-9);
+        // Read-only workloads never abort under any algorithm.
+        if pw == 0.0 {
+            prop_assert_eq!(r.aborts, 0);
+        }
+        // Abort-kind accounting adds up.
+        prop_assert_eq!(
+            r.aborts,
+            r.deadlock_aborts + r.stale_aborts + r.validation_aborts
+        );
+    }
+
+    /// Determinism holds across the whole configuration space, not just
+    /// the hand-picked cases.
+    #[test]
+    fn random_configs_are_deterministic(
+        alg in algorithm_strategy(),
+        seed in 0u64..100,
+    ) {
+        let cfg = || SimConfig::table5(alg)
+            .with_clients(5)
+            .with_locality(0.5)
+            .with_prob_write(0.4)
+            .with_seed(seed)
+            .with_horizon(SimDuration::from_secs(2), SimDuration::from_secs(10));
+        let a = run_simulation(cfg());
+        let b = run_simulation(cfg());
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.commits, b.commits);
+        prop_assert_eq!(a.resp_time_mean.to_bits(), b.resp_time_mean.to_bits());
+    }
+}

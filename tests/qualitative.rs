@@ -1,0 +1,263 @@
+//! Qualitative reproduction checks: the paper's §6 conclusions must hold
+//! in direction (with generous margins — these are statistical results).
+//!
+//! Windows are kept moderate so the suite stays fast; the bench harnesses
+//! regenerate the full figures with longer runs.
+
+use ccdb::core::experiments;
+use ccdb::{run_simulation, Algorithm, RunReport, SimConfig, SimDuration};
+
+fn run(cfg: SimConfig) -> RunReport {
+    run_simulation(cfg.with_horizon(SimDuration::from_secs(10), SimDuration::from_secs(90)))
+}
+
+/// §4 conclusion: inter-transaction caching dominates intra-transaction
+/// caching when locality is high (paper: 12–30% better).
+#[test]
+fn inter_beats_intra_at_high_locality() {
+    let intra = run(experiments::caching_verification(
+        Algorithm::TwoPhase { inter: false },
+        30,
+        0.5,
+        0.0,
+    ));
+    let inter = run(experiments::caching_verification(
+        Algorithm::TwoPhase { inter: true },
+        30,
+        0.5,
+        0.0,
+    ));
+    assert!(
+        inter.resp_time_mean < intra.resp_time_mean * 0.9,
+        "inter {} vs intra {}",
+        inter.resp_time_mean,
+        intra.resp_time_mean
+    );
+}
+
+/// §4: with low locality, inter and intra caching are nearly equal.
+#[test]
+fn caching_mode_indifferent_at_low_locality() {
+    let intra = run(experiments::caching_verification(
+        Algorithm::TwoPhase { inter: false },
+        10,
+        0.05,
+        0.2,
+    ));
+    let inter = run(experiments::caching_verification(
+        Algorithm::TwoPhase { inter: true },
+        10,
+        0.05,
+        0.2,
+    ));
+    let ratio = inter.resp_time_mean / intra.resp_time_mean;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "low-locality caching modes should tie, got ratio {ratio}"
+    );
+}
+
+/// §4 / ACL: two-phase locking sustains throughput at high MPL better
+/// than certification (restarts waste saturated resources).
+#[test]
+fn acl_two_phase_beats_certification_at_high_mpl() {
+    let tp = run(experiments::acl_verification(
+        Algorithm::TwoPhase { inter: true },
+        200,
+    ));
+    let occ = run(experiments::acl_verification(
+        Algorithm::Certification { inter: true },
+        200,
+    ));
+    assert!(
+        tp.throughput >= occ.throughput,
+        "2PL {} vs certification {}",
+        tp.throughput,
+        occ.throughput
+    );
+    assert!(
+        occ.validation_aborts > tp.deadlock_aborts,
+        "certification must abort more than 2PL deadlocks at MPL 200"
+    );
+}
+
+/// §5.1: callback locking dominates at very high locality (paper Figure
+/// 11(a): ~35% better than 2PL when read-only).
+#[test]
+fn callback_dominates_at_very_high_locality() {
+    let tp = run(experiments::short_txn(
+        Algorithm::TwoPhase { inter: true },
+        30,
+        0.75,
+        0.0,
+    ));
+    let cb = run(experiments::short_txn(Algorithm::Callback, 30, 0.75, 0.0));
+    let nw = run(experiments::short_txn(
+        Algorithm::NoWait { notify: false },
+        30,
+        0.75,
+        0.0,
+    ));
+    assert!(
+        cb.resp_time_mean < tp.resp_time_mean * 0.75,
+        "CB {} vs 2PL {}",
+        cb.resp_time_mean,
+        tp.resp_time_mean
+    );
+    assert!(
+        cb.resp_time_mean < nw.resp_time_mean,
+        "CB {} vs NW {}",
+        cb.resp_time_mean,
+        nw.resp_time_mean
+    );
+    // And no-wait also beats two-phase here (no waiting on the server).
+    assert!(
+        nw.resp_time_mean < tp.resp_time_mean,
+        "NW {} vs 2PL {}",
+        nw.resp_time_mean,
+        tp.resp_time_mean
+    );
+}
+
+/// §5.1: at high locality and high write probability the advantage of
+/// callback locking over 2PL shrinks to (near) nothing, and no-wait falls
+/// behind callback locking.
+#[test]
+fn high_writes_erode_optimism() {
+    let tp = run(experiments::short_txn(
+        Algorithm::TwoPhase { inter: true },
+        30,
+        0.75,
+        0.5,
+    ));
+    let cb = run(experiments::short_txn(Algorithm::Callback, 30, 0.75, 0.5));
+    let nw = run(experiments::short_txn(
+        Algorithm::NoWait { notify: false },
+        30,
+        0.75,
+        0.5,
+    ));
+    // Callback stays at least competitive with 2PL...
+    assert!(
+        cb.resp_time_mean < tp.resp_time_mean * 1.15,
+        "CB {} vs 2PL {}",
+        cb.resp_time_mean,
+        tp.resp_time_mean
+    );
+    // ...while no-wait's abort rate explodes relative to both.
+    assert!(
+        nw.aborts > 5 * cb.aborts.max(1),
+        "NW aborts {} vs CB aborts {}",
+        nw.aborts,
+        cb.aborts
+    );
+}
+
+/// §5.1: notification does not pay when the server is the bottleneck and
+/// locality is low — it adds messages without saving aborts that matter.
+#[test]
+fn notification_wastes_server_cpu_at_low_locality() {
+    let nw = run(experiments::short_txn(
+        Algorithm::NoWait { notify: false },
+        30,
+        0.05,
+        0.5,
+    ));
+    let nwn = run(experiments::short_txn(
+        Algorithm::NoWait { notify: true },
+        30,
+        0.05,
+        0.5,
+    ));
+    assert!(
+        nwn.resp_time_mean > nw.resp_time_mean * 0.9,
+        "NWN should not win at low locality: {} vs {}",
+        nwn.resp_time_mean,
+        nw.resp_time_mean
+    );
+}
+
+/// §5.4: with a fast server and free network, notification's abort savings
+/// materialise (it cannot be much worse than plain no-wait, and its stale
+/// aborts drop).
+#[test]
+fn fast_network_rehabilitates_notification() {
+    let nw = run(experiments::fast_net_fast_server(
+        Algorithm::NoWait { notify: false },
+        50,
+        0.25,
+        0.5,
+    ));
+    let nwn = run(experiments::fast_net_fast_server(
+        Algorithm::NoWait { notify: true },
+        50,
+        0.25,
+        0.5,
+    ));
+    assert!(
+        nwn.stale_aborts < nw.stale_aborts,
+        "stale aborts: NWN {} vs NW {}",
+        nwn.stale_aborts,
+        nw.stale_aborts
+    );
+    assert!(
+        nwn.resp_time_mean <= nw.resp_time_mean * 1.1,
+        "NWN {} vs NW {}",
+        nwn.resp_time_mean,
+        nw.resp_time_mean
+    );
+}
+
+/// §5.3: with a 20 MIPS server the network replaces the CPU as the most
+/// loaded resource.
+#[test]
+fn fast_server_shifts_bottleneck_to_network() {
+    let slow = run(experiments::short_txn(
+        Algorithm::TwoPhase { inter: true },
+        50,
+        0.25,
+        0.2,
+    ));
+    let fast = run(experiments::fast_server(
+        Algorithm::TwoPhase { inter: true },
+        50,
+        0.25,
+        0.2,
+    ));
+    assert!(
+        slow.server_cpu_util > 0.9,
+        "baseline server should saturate: {}",
+        slow.server_cpu_util
+    );
+    assert!(
+        fast.server_cpu_util < 0.5,
+        "fast server should not saturate: {}",
+        fast.server_cpu_util
+    );
+    assert!(
+        fast.net_util > fast.server_cpu_util,
+        "network ({}) should pass server CPU ({})",
+        fast.net_util,
+        fast.server_cpu_util
+    );
+}
+
+/// §5.4: removing the network delay leaves the data disks as the most
+/// contended resource (paper: ~80% at 50 clients).
+#[test]
+fn fast_net_leaves_disks_hottest() {
+    let r = run(experiments::fast_net_fast_server(
+        Algorithm::TwoPhase { inter: true },
+        50,
+        0.25,
+        0.2,
+    ));
+    assert!(r.net_util < 0.05, "net {}", r.net_util);
+    assert!(
+        r.data_disk_util > r.server_cpu_util,
+        "disk {} vs cpu {}",
+        r.data_disk_util,
+        r.server_cpu_util
+    );
+    assert!(r.data_disk_util > 0.5, "disk {}", r.data_disk_util);
+}
