@@ -132,6 +132,10 @@ pub struct SimConfig {
     /// Optional weighted mix of transaction types (paper §3.2); overrides
     /// `txn` for workload generation when non-empty.
     pub txn_mix: Vec<(TxnParams, f64)>,
+    /// Labels for the mix entries, used to name per-type response times in
+    /// reports. Empty means auto-label (`type-0`, `type-1`, ...); when
+    /// non-empty it must parallel `txn_mix`.
+    pub txn_mix_names: Vec<String>,
     /// System parameters (Table 3).
     pub sys: SystemParams,
     /// Random seed; a run is a pure function of (config, seed).
@@ -154,6 +158,7 @@ impl SimConfig {
             db: ccdb_model::table5_database(),
             txn: TxnParams::short_batch(),
             txn_mix: Vec::new(),
+            txn_mix_names: Vec::new(),
             sys: SystemParams::table5(),
             seed: 0xCCDB,
             warmup: SimDuration::from_secs(30),
@@ -170,6 +175,7 @@ impl SimConfig {
             db: ccdb_model::table4_database(),
             txn: ccdb_model::table4_txn(),
             txn_mix: Vec::new(),
+            txn_mix_names: Vec::new(),
             sys: SystemParams::table4_acl(),
             seed: 0xCCDB,
             warmup: SimDuration::from_secs(30),
@@ -219,7 +225,24 @@ impl SimConfig {
     /// Run a weighted mix of transaction types instead of a single type.
     pub fn with_txn_mix(mut self, mix: Vec<(TxnParams, f64)>) -> Self {
         self.txn_mix = mix;
+        self.txn_mix_names = Vec::new();
         self
+    }
+
+    /// [`SimConfig::with_txn_mix`] with a label per type; reports use the
+    /// labels for per-type response times.
+    pub fn with_named_txn_mix(mut self, mix: Vec<(String, TxnParams, f64)>) -> Self {
+        self.txn_mix_names = mix.iter().map(|(n, _, _)| n.clone()).collect();
+        self.txn_mix = mix.into_iter().map(|(_, t, w)| (t, w)).collect();
+        self
+    }
+
+    /// The report label for transaction type `idx` of the mix.
+    pub fn type_label(&self, idx: usize) -> String {
+        match self.txn_mix_names.get(idx) {
+            Some(name) => name.clone(),
+            None => format!("type-{idx}"),
+        }
     }
 
     /// Panic on inconsistent settings.
@@ -229,6 +252,10 @@ impl SimConfig {
             t.validate();
             assert!(*w > 0.0, "mix weights must be positive");
         }
+        assert!(
+            self.txn_mix_names.is_empty() || self.txn_mix_names.len() == self.txn_mix.len(),
+            "txn_mix_names must be empty or parallel txn_mix"
+        );
         self.sys.validate();
         assert!(!self.measure.is_zero(), "measurement window must be > 0");
     }
@@ -274,6 +301,28 @@ mod tests {
         assert_eq!(c.txn.prob_write, 0.5);
         assert_eq!(c.txn.inter_xact_loc, 0.75);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn named_mix_carries_labels() {
+        let small = TxnParams::short_batch();
+        let c = SimConfig::table5(Algorithm::Callback).with_named_txn_mix(vec![
+            ("edit".to_string(), small.clone(), 0.8),
+            ("scan".to_string(), small, 0.2),
+        ]);
+        c.validate();
+        assert_eq!(c.txn_mix.len(), 2);
+        assert_eq!(c.type_label(0), "edit");
+        assert_eq!(c.type_label(1), "scan");
+        assert_eq!(c.type_label(2), "type-2");
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel txn_mix")]
+    fn mismatched_mix_names_rejected() {
+        let mut c = SimConfig::table5(Algorithm::Callback);
+        c.txn_mix_names = vec!["lonely".to_string()];
+        c.validate();
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod server;
 pub mod trace;
 
 pub use config::{Algorithm, SimConfig};
-pub use metrics::{AbortKind, MetricsHub, RunReport};
+pub use metrics::{AbortKind, MetricsHub, RunReport, TypeResponse};
 pub use replication::{run_replicated, ReplicatedReport};
-pub use runner::{run_simulation, run_simulation_traced};
+pub use runner::{
+    run_simulation, run_simulation_observed, run_simulation_traced, ObsOptions, Observed,
+};
 pub use trace::{Trace, TraceEvent};

@@ -4,9 +4,10 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use ccdb_des::{BatchMeans, Histogram, SimTime, Tally};
+use ccdb_des::{BatchMeans, FacilitySnapshot, Histogram, SimTime, Tally};
 use ccdb_lock::LockStats;
 use ccdb_model::SystemParams;
+use ccdb_obs::Json;
 use ccdb_storage::{BufferStats, CacheStats, LogStats};
 
 use crate::config::Algorithm;
@@ -102,7 +103,9 @@ impl MetricsHub {
         self.inner.borrow().resp_batches.ci95_half_width()
     }
 
-    /// Per-type (commits, mean response) for workload mixes.
+    /// Per-type (commits, mean response) for workload mixes, in type-index
+    /// order. Labels are attached by [`RunReport::assemble`] from the
+    /// configuration's mix names.
     pub fn resp_by_type(&self) -> Vec<(u64, f64)> {
         self.inner
             .borrow()
@@ -110,6 +113,21 @@ impl MetricsHub {
             .iter()
             .map(|t| (t.count(), t.mean()))
             .collect()
+    }
+
+    /// Committed transactions in the measurement window (sampling gauge).
+    pub fn commits(&self) -> u64 {
+        self.inner.borrow().commits
+    }
+
+    /// Aborts in the measurement window (sampling gauge).
+    pub fn aborts(&self) -> u64 {
+        self.inner.borrow().aborts
+    }
+
+    /// Callbacks processed by clients in the window (sampling gauge).
+    pub fn callbacks(&self) -> u64 {
+        self.inner.borrow().callbacks_received
     }
 
     /// Record a transaction abort of the given kind.
@@ -168,6 +186,17 @@ pub enum AbortKind {
     Validation,
 }
 
+/// One transaction type's share of a workload mix in a report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeResponse {
+    /// The type's label (from `SimConfig::txn_mix_names`, or `type-N`).
+    pub label: String,
+    /// Commits of this type in the measurement window.
+    pub commits: u64,
+    /// Mean response time of this type, seconds.
+    pub resp_mean_s: f64,
+}
+
 /// Everything a run reports. All rates are over the measurement window.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -179,6 +208,12 @@ pub struct RunReport {
     pub prob_write: f64,
     /// Inter-transaction locality.
     pub locality: f64,
+    /// Random seed of the run.
+    pub seed: u64,
+    /// Warm-up window length, seconds.
+    pub warmup_secs: f64,
+    /// Measurement window length, seconds.
+    pub measure_secs: f64,
     /// Mean transaction response time in seconds.
     pub resp_time_mean: f64,
     /// 95% confidence half-width of the response time (treats observations
@@ -192,9 +227,9 @@ pub struct RunReport {
     pub resp_p90: f64,
     /// 99th percentile response time.
     pub resp_p99: f64,
-    /// Per-transaction-type (commits, mean response time) for mixes; one
-    /// entry for single-type workloads.
-    pub resp_by_type: Vec<(u64, f64)>,
+    /// Per-transaction-type labelled response times; one entry for
+    /// single-type workloads.
+    pub resp_by_type: Vec<TypeResponse>,
     /// Committed transactions per second.
     pub throughput: f64,
     /// Committed transactions in the window.
@@ -233,6 +268,9 @@ pub struct RunReport {
     pub callbacks: u64,
     /// Pages pushed by notification (window).
     pub updates_pushed: u64,
+    /// Per-facility statistics (server CPU, MPL gate, network medium,
+    /// every data and log disk), for bottleneck analysis.
+    pub resources: Vec<FacilitySnapshot>,
     /// Simulation events processed (performance diagnostics).
     pub events: u64,
 }
@@ -245,6 +283,10 @@ impl RunReport {
         sys: &SystemParams,
         prob_write: f64,
         locality: f64,
+        seed: u64,
+        warmup_secs: f64,
+        type_labels: Vec<String>,
+        resources: Vec<FacilitySnapshot>,
         hub: &MetricsHub,
         measure_secs: f64,
         msgs: u64,
@@ -262,18 +304,34 @@ impl RunReport {
         let (resp, restarts, commits, aborts, dl, stale, val, cb, upd) = hub.snapshot();
         let cache_total = cache_stats.hits + cache_stats.misses;
         let buf_total = buffer_stats.hits + buffer_stats.misses;
+        let resp_by_type = hub
+            .resp_by_type()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, mean))| TypeResponse {
+                label: type_labels
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("type-{i}")),
+                commits: n,
+                resp_mean_s: mean,
+            })
+            .collect();
         RunReport {
             algorithm,
             n_clients: sys.n_clients,
             prob_write,
             locality,
+            seed,
+            warmup_secs,
+            measure_secs,
             resp_time_mean: resp.mean(),
             resp_time_ci95: resp.ci95_half_width(),
             resp_time_bm_ci95: hub.resp_batch_ci95(),
             resp_p50: hub.resp_quantile(0.5),
             resp_p90: hub.resp_quantile(0.9),
             resp_p99: hub.resp_quantile(0.99),
-            resp_by_type: hub.resp_by_type(),
+            resp_by_type,
             throughput: commits as f64 / measure_secs,
             commits,
             aborts,
@@ -305,8 +363,115 @@ impl RunReport {
             log_stats,
             callbacks: cb,
             updates_pushed: upd,
+            resources,
             events,
         }
+    }
+
+    /// The report as a deterministic JSON document: the same run always
+    /// renders to the same bytes. Simulated quantities only — wall-clock
+    /// figures live in the CLI so they can never perturb the bytes.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("schema", "ccdb.run_report/v1")
+            .set("algorithm", self.algorithm.label())
+            .set("algorithm_name", self.algorithm.name());
+
+        let mut config = Json::obj();
+        config
+            .set("clients", self.n_clients)
+            .set("prob_write", self.prob_write)
+            .set("locality", self.locality)
+            .set("seed", self.seed)
+            .set("warmup_s", self.warmup_secs)
+            .set("measure_s", self.measure_secs);
+        root.set("config", config);
+
+        let mut resp = Json::obj();
+        resp.set("mean_s", self.resp_time_mean)
+            .set("ci95_s", self.resp_time_ci95)
+            .set("bm_ci95_s", self.resp_time_bm_ci95)
+            .set("p50_s", self.resp_p50)
+            .set("p90_s", self.resp_p90)
+            .set("p99_s", self.resp_p99);
+        let mut by_type = Vec::new();
+        for t in &self.resp_by_type {
+            let mut o = Json::obj();
+            o.set("label", t.label.clone())
+                .set("commits", t.commits)
+                .set("mean_s", t.resp_mean_s);
+            by_type.push(o);
+        }
+        resp.set("by_type", Json::Arr(by_type));
+        root.set("response", resp);
+
+        root.set("throughput_tps", self.throughput);
+
+        let mut txns = Json::obj();
+        txns.set("commits", self.commits)
+            .set("aborts", self.aborts)
+            .set("restarts_per_commit", self.restarts_per_commit)
+            .set("deadlock_aborts", self.deadlock_aborts)
+            .set("stale_aborts", self.stale_aborts)
+            .set("validation_aborts", self.validation_aborts)
+            .set("callbacks", self.callbacks)
+            .set("updates_pushed", self.updates_pushed);
+        root.set("transactions", txns);
+
+        root.set("msgs_per_commit", self.msgs_per_commit);
+
+        let mut util = Json::obj();
+        util.set("server_cpu", self.server_cpu_util)
+            .set("client_cpu", self.client_cpu_util)
+            .set("network", self.net_util)
+            .set("data_disk", self.data_disk_util)
+            .set("log_disk", self.log_disk_util);
+        root.set("utilization", util);
+
+        let mut ratios = Json::obj();
+        ratios
+            .set("cache_hit", self.cache_hit_ratio)
+            .set("buffer_hit", self.buffer_hit_ratio);
+        root.set("hit_ratios", ratios);
+
+        let mut locks = Json::obj();
+        locks
+            .set("requests", self.lock_stats.requests)
+            .set("blocks", self.lock_stats.blocks)
+            .set("deadlocks", self.lock_stats.deadlocks)
+            .set("callbacks", self.lock_stats.callbacks);
+        root.set("locks", locks);
+
+        let mut log = Json::obj();
+        log.set("commits_forced", self.log_stats.commits_forced)
+            .set("pages_written", self.log_stats.pages_written)
+            .set("undo_aborts", self.log_stats.undo_aborts)
+            .set("pages_undone", self.log_stats.pages_undone);
+        root.set("log", log);
+
+        let mut resources = Vec::new();
+        for r in &self.resources {
+            let mut o = Json::obj();
+            o.set("name", r.name.clone())
+                .set("servers", r.servers)
+                .set("utilization", r.utilization)
+                .set("mean_queue_len", r.mean_queue_len)
+                .set("completions", r.completions);
+            resources.push(o);
+        }
+        root.set("resources", Json::Arr(resources));
+
+        root.set("events", self.events);
+        root
+    }
+
+    /// The resource with the highest utilisation — the run's bottleneck in
+    /// the paper's sense (§5 explains every crossover by which resource
+    /// saturates first).
+    pub fn bottleneck(&self) -> Option<&FacilitySnapshot> {
+        self.resources
+            .iter()
+            .max_by(|a, b| a.utilization.total_cmp(&b.utilization))
     }
 }
 

@@ -3,10 +3,12 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use ccdb_des::{Pcg32, Sim, SimTime};
+use ccdb_des::{FacilitySnapshot, Pcg32, Sim, SimDuration, SimTime};
 use ccdb_lock::ClientId;
 use ccdb_model::Workload;
 use ccdb_net::{Network, NetworkNode};
+use ccdb_obs::{run_sampler, Registry, SeriesSet};
+use ccdb_storage::ClientCache;
 
 use crate::client::{run_client, Client};
 use crate::config::SimConfig;
@@ -14,6 +16,35 @@ use crate::metrics::{MetricsHub, RunReport};
 use crate::msg::S2C;
 use crate::server::Server;
 use crate::trace::Trace;
+
+/// Observability options for a run.
+#[derive(Clone, Debug)]
+pub struct ObsOptions {
+    /// Snapshot every registered metric at this simulated-time interval.
+    /// `None` disables sampling (no sampler process is spawned).
+    pub sample_interval: Option<SimDuration>,
+    /// Ring-buffer capacity per metric; the oldest samples are evicted
+    /// (and counted) beyond this.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            sample_interval: None,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+/// What an observed run returns: the aggregate report plus the sampled
+/// time series (when sampling was enabled).
+pub struct Observed {
+    /// End-of-run aggregates.
+    pub report: RunReport,
+    /// Ring-buffered metric trajectories; `None` without a sample interval.
+    pub series: Option<SeriesSet>,
+}
 
 /// Run one simulation to completion and report.
 ///
@@ -26,6 +57,17 @@ pub fn run_simulation(cfg: SimConfig) -> RunReport {
 /// [`run_simulation`] with protocol tracing: every client/server protocol
 /// event is recorded into `trace` (bounded by its capacity).
 pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
+    run_simulation_observed(cfg, trace, ObsOptions::default()).report
+}
+
+/// [`run_simulation_traced`] with metric sampling: every component's
+/// gauges and counters are registered into a [`Registry`] and, when
+/// `obs.sample_interval` is set, a sampler process snapshots them into
+/// ring buffers over the whole run.
+///
+/// The sampler only reads, so enabling it does not change the simulated
+/// outcome: the report is identical with sampling on or off.
+pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) -> Observed {
     cfg.validate();
     let sim = Sim::new();
     let env = sim.env();
@@ -112,11 +154,27 @@ pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
         });
     }
 
+    // Every component registers its metrics; the sampler (spawned last so
+    // it perturbs nothing that came before) snapshots them periodically.
+    let registry = Registry::new();
+    register_all(&registry, &server, &net, &client_nodes, &caches, &hub);
+    let series = obs.sample_interval.map(|interval| {
+        let set = SeriesSet::new(&registry, interval, obs.ring_capacity);
+        env.spawn(run_sampler(env.clone(), registry.clone(), set.clone()));
+        set
+    });
+
     let horizon = SimTime::ZERO + cfg.warmup + cfg.measure;
     sim.run_until(horizon);
     if std::env::var_os("CCDB_DEBUG").is_some() {
         eprintln!("live processes at horizon: {}", sim.live_processes());
         server.debug_dump();
+    }
+    // One final sample exactly at the horizon, so series endpoints equal
+    // the report's end-of-run figures (a no-op if the last sampler tick
+    // already landed there).
+    if let Some(series) = &series {
+        series.sample(&registry, sim.now());
     }
 
     // Collect.
@@ -148,11 +206,26 @@ pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
     };
     let log_stats = server.log.stats();
 
-    RunReport::assemble(
+    let mut resources: Vec<FacilitySnapshot> = vec![
+        server.node.cpu.snapshot(),
+        server.mpl().snapshot(),
+        net.medium().snapshot(),
+    ];
+    resources.extend(server.data_disks.snapshots());
+    resources.extend(server.log.snapshots());
+
+    let n_types = cfg.txn_mix.len().max(1);
+    let type_labels = (0..n_types).map(|i| cfg.type_label(i)).collect();
+
+    let report = RunReport::assemble(
         cfg.algorithm,
         &cfg.sys,
         cfg.txn.prob_write,
         cfg.txn.inter_xact_loc,
+        cfg.seed,
+        cfg.warmup.as_secs_f64(),
+        type_labels,
+        resources,
         &hub,
         measure_secs,
         msgs,
@@ -166,5 +239,101 @@ pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
         lock_stats,
         log_stats,
         sim.events_processed(),
-    )
+    );
+    Observed { report, series }
+}
+
+/// Wire every component's statistics into the registry. Registration
+/// order is export order, so keep it stable: server, network, disks,
+/// clients, lock/buffer state, transaction counters.
+fn register_all(
+    registry: &Registry,
+    server: &Server,
+    net: &Network,
+    client_nodes: &Rc<Vec<NetworkNode<S2C>>>,
+    caches: &[Rc<std::cell::RefCell<ClientCache>>],
+    hub: &MetricsHub,
+) {
+    registry.facility("server.cpu", &server.node.cpu);
+    registry.facility("server.mpl", server.mpl());
+    net.register_metrics(registry);
+    server.data_disks.register_metrics(registry);
+    server.log.register_metrics(registry);
+
+    {
+        let nodes = Rc::clone(client_nodes);
+        registry.gauge("client.cpu.mean_util", move || {
+            if nodes.is_empty() {
+                0.0
+            } else {
+                nodes.iter().map(|n| n.cpu.utilization()).sum::<f64>() / nodes.len() as f64
+            }
+        });
+    }
+    {
+        let caches: Vec<_> = caches.to_vec();
+        registry.gauge("client.cache.hit_ratio", move || {
+            let (mut hits, mut total) = (0u64, 0u64);
+            for c in &caches {
+                let s = c.borrow().stats();
+                hits += s.hits;
+                total += s.hits + s.misses;
+            }
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        });
+    }
+
+    {
+        let state = Rc::clone(&server.state);
+        registry.gauge("server.lock.table_pages", move || {
+            state.borrow().lm.table_len() as f64
+        });
+    }
+    {
+        let state = Rc::clone(&server.state);
+        registry.gauge("server.lock.blocked_txns", move || {
+            state.borrow().lm.blocked_txn_count() as f64
+        });
+    }
+    {
+        let state = Rc::clone(&server.state);
+        registry.gauge("server.buffer.resident", move || {
+            state.borrow().buffer.len() as f64
+        });
+    }
+    {
+        let state = Rc::clone(&server.state);
+        registry.gauge("server.buffer.dirty", move || {
+            state.borrow().buffer.dirty_count() as f64
+        });
+    }
+    {
+        let state = Rc::clone(&server.state);
+        registry.gauge("server.buffer.hit_ratio", move || {
+            let s = state.borrow().buffer.stats();
+            let total = s.hits + s.misses;
+            if total == 0 {
+                0.0
+            } else {
+                s.hits as f64 / total as f64
+            }
+        });
+    }
+
+    {
+        let hub = hub.clone();
+        registry.counter_fn("txn.commits", move || hub.commits());
+    }
+    {
+        let hub = hub.clone();
+        registry.counter_fn("txn.aborts", move || hub.aborts());
+    }
+    {
+        let hub = hub.clone();
+        registry.counter_fn("txn.callbacks", move || hub.callbacks());
+    }
 }

@@ -147,6 +147,11 @@ impl Server {
         server
     }
 
+    /// The MPL admission facility (reports and sampling).
+    pub fn mpl(&self) -> &Facility {
+        &self.mpl
+    }
+
     /// Diagnostic dump of stuck transactions (used by the runner when
     /// `CCDB_DEBUG` is set).
     pub fn debug_dump(&self) {

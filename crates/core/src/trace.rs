@@ -219,6 +219,7 @@ impl fmt::Display for TraceEvent {
 struct Inner {
     events: Vec<(SimTime, TraceEvent)>,
     capacity: usize,
+    dropped: u64,
 }
 
 /// A shared, bounded protocol trace. Cheap to clone; a disabled trace
@@ -235,6 +236,7 @@ impl Trace {
             inner: Some(Rc::new(RefCell::new(Inner {
                 events: Vec::new(),
                 capacity,
+                dropped: 0,
             }))),
         }
     }
@@ -249,15 +251,28 @@ impl Trace {
         self.inner.is_some()
     }
 
-    /// Record an event at simulation time `now` (no-op when disabled or
-    /// full).
+    /// Record an event at simulation time `now`. When disabled this is a
+    /// no-op; when the capacity is reached the event is dropped and
+    /// counted, so callers can report the truncation.
     pub fn record(&self, now: SimTime, event: TraceEvent) {
         if let Some(inner) = &self.inner {
             let mut inner = inner.borrow_mut();
             if inner.events.len() < inner.capacity {
                 inner.events.push((now, event));
+            } else {
+                inner.dropped += 1;
             }
         }
+    }
+
+    /// The recording capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.borrow().capacity)
+    }
+
+    /// Events dropped because the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().dropped)
     }
 
     /// Snapshot of the recorded events, in record order (= time order,
@@ -320,6 +335,23 @@ mod tests {
             );
         }
         assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3, "overflow is counted, not silent");
+        assert_eq!(t.capacity(), 2);
+    }
+
+    #[test]
+    fn unfilled_trace_reports_no_drops() {
+        let t = Trace::enabled(8);
+        t.record(
+            SimTime::ZERO,
+            TraceEvent::LocalRead {
+                client: ClientId(0),
+                page: page(1),
+            },
+        );
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(Trace::disabled().dropped(), 0);
+        assert_eq!(Trace::disabled().capacity(), 0);
     }
 
     #[test]

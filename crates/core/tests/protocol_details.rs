@@ -150,12 +150,16 @@ fn per_type_metrics_split_a_mix() {
         max_xact_size: 24,
         ..TxnParams::short_batch()
     };
-    let cfg =
-        base(Algorithm::TwoPhase { inter: true }).with_txn_mix(vec![(small, 0.5), (large, 0.5)]);
+    let cfg = base(Algorithm::TwoPhase { inter: true }).with_named_txn_mix(vec![
+        ("small".to_string(), small, 0.5),
+        ("large".to_string(), large, 0.5),
+    ]);
     let r = run(cfg);
     assert_eq!(r.resp_by_type.len(), 2, "two types reported");
-    let (n0, m0) = r.resp_by_type[0];
-    let (n1, m1) = r.resp_by_type[1];
+    assert_eq!(r.resp_by_type[0].label, "small");
+    assert_eq!(r.resp_by_type[1].label, "large");
+    let (n0, m0) = (r.resp_by_type[0].commits, r.resp_by_type[0].resp_mean_s);
+    let (n1, m1) = (r.resp_by_type[1].commits, r.resp_by_type[1].resp_mean_s);
     assert!(n0 > 0 && n1 > 0, "both types commit");
     assert!(
         m1 > m0 * 2.0,

@@ -52,6 +52,21 @@ impl Inner {
     }
 }
 
+/// A point-in-time copy of one facility's statistics, for reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FacilitySnapshot {
+    /// Facility name.
+    pub name: String,
+    /// Number of identical servers.
+    pub servers: u32,
+    /// Mean per-server utilisation since the last statistics reset.
+    pub utilization: f64,
+    /// Time-averaged queue length since the last statistics reset.
+    pub mean_queue_len: f64,
+    /// Completed service periods since the last statistics reset.
+    pub completions: u64,
+}
+
 /// A first-come first-served multi-server resource.
 #[derive(Clone)]
 pub struct Facility {
@@ -144,6 +159,17 @@ impl Facility {
     /// Completed service periods.
     pub fn completions(&self) -> u64 {
         self.inner.borrow().completions
+    }
+
+    /// Snapshot the statistics for a report.
+    pub fn snapshot(&self) -> FacilitySnapshot {
+        FacilitySnapshot {
+            name: self.name(),
+            servers: self.servers(),
+            utilization: self.utilization(),
+            mean_queue_len: self.mean_queue_len(),
+            completions: self.completions(),
+        }
     }
 
     /// Reset the statistics integrals (e.g. at the end of warm-up).
@@ -408,6 +434,26 @@ mod tests {
         sim.run();
         // One waiter queued for 1s out of 2s elapsed = 0.5 mean queue.
         assert!((fac.mean_queue_len() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_matches_getters() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "disk", 2);
+        {
+            let fac = fac.clone();
+            sim.spawn(async move {
+                fac.use_for(SimDuration::from_secs(1)).await;
+            });
+        }
+        sim.run();
+        let snap = fac.snapshot();
+        assert_eq!(snap.name, "disk");
+        assert_eq!(snap.servers, 2);
+        assert_eq!(snap.utilization, fac.utilization());
+        assert_eq!(snap.mean_queue_len, fac.mean_queue_len());
+        assert_eq!(snap.completions, 1);
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod stats;
 mod sync;
 mod time;
 
-pub use facility::{Acquire, Facility, FacilityGuard};
+pub use facility::{Acquire, Facility, FacilityGuard, FacilitySnapshot};
 pub use kernel::{Env, Hold, ProcId, Sim};
 pub use mailbox::{Mailbox, Recv, RecvUntil};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender, Wait};

@@ -227,6 +227,12 @@ impl LockManager {
         self.table.len()
     }
 
+    /// Transactions currently blocked on at least one lock (sampling
+    /// gauge: the paper's blocked-transaction count).
+    pub fn blocked_txn_count(&self) -> usize {
+        self.waiting.len()
+    }
+
     /// Pages retained by a client (for tests / reports).
     pub fn retained_pages(&self, client: ClientId) -> Vec<PageId> {
         self.retained_by

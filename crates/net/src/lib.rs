@@ -115,6 +115,23 @@ impl Network {
         self.medium.utilization()
     }
 
+    /// The shared medium facility (reports and sampling).
+    pub fn medium(&self) -> &Facility {
+        &self.medium
+    }
+
+    /// Register the medium's gauges (`net.util`, `net.qlen`) and traffic
+    /// counters (`net.messages`, `net.packets`, `net.bytes`).
+    pub fn register_metrics(&self, registry: &ccdb_obs::Registry) {
+        registry.facility("net", &self.medium);
+        let this = self.clone();
+        registry.counter_fn("net.messages", move || this.stats().messages);
+        let this = self.clone();
+        registry.counter_fn("net.packets", move || this.stats().packets);
+        let this = self.clone();
+        registry.counter_fn("net.bytes", move || this.stats().bytes);
+    }
+
     /// Reset medium statistics (end of warm-up).
     pub fn reset_stats(&self) {
         self.medium.reset_stats();
@@ -294,6 +311,36 @@ mod tests {
         net.send(&client, &server, "free", 4096);
         sim.run();
         assert_eq!(at.get(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn register_metrics_exposes_medium_and_counters() {
+        let (sim, net, client, server) = setup(2, 0);
+        let reg = ccdb_obs::Registry::new();
+        net.register_metrics(&reg);
+        assert_eq!(
+            reg.names(),
+            vec![
+                "net.util",
+                "net.qlen",
+                "net.messages",
+                "net.packets",
+                "net.bytes"
+            ]
+        );
+        {
+            let server = server.clone();
+            sim.spawn(async move {
+                let _ = server.inbox.recv().await;
+            });
+        }
+        net.send(&client, &server, "m", 100);
+        sim.run();
+        let vals = reg.read_all();
+        assert_eq!(vals[2], 1.0, "one message");
+        assert_eq!(vals[3], 1.0, "one packet");
+        assert_eq!(vals[4], 100.0, "payload bytes");
+        assert_eq!(vals[0], net.utilization());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! A minimal JSON document model with a deterministic serializer.
+//!
+//! No external crates: the simulator's reports must serialize
+//! byte-identically across runs, which this guarantees by construction —
+//! object keys keep insertion order, and numbers use Rust's shortest
+//! round-trip `f64` formatting (itself deterministic).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered key/value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key/value pair (objects only; panics otherwise).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value.into())),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                // Scalar-only arrays stay on one line (time series would
+                // otherwise dominate the output vertically).
+                if items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)))
+                {
+                    self.write(out);
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            _ => self.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` prints integral floats without a fraction ("2"), which is still
+    // a valid JSON number and round-trips exactly.
+    let _ = write!(out, "{x}");
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::UInt(7).render(), "7");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(2.0).render(), "2");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".to_string()).render(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut o = Json::obj();
+        o.set("z", 1u64).set("a", 2u64);
+        assert_eq!(o.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn arrays_nest() {
+        let v = Json::Arr(vec![Json::from(1u64), Json::from(vec![2.0f64, 3.0])]);
+        assert_eq!(v.render(), "[1,[2,3]]");
+    }
+
+    #[test]
+    fn pretty_keeps_scalar_arrays_inline() {
+        let mut o = Json::obj();
+        o.set("t", vec![1.0f64, 2.0]);
+        let s = o.render_pretty();
+        assert!(s.contains("\"t\": [1,2]"), "{s}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut o = Json::obj();
+            o.set("x", 0.1f64 + 0.2).set("s", "hi").set("n", Json::Null);
+            o.render()
+        };
+        assert_eq!(build(), build());
+    }
+}

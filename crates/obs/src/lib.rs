@@ -1,0 +1,31 @@
+//! # ccdb-obs — observability layer for the simulator
+//!
+//! Three pieces, designed to stay out of the hot path:
+//!
+//! * [`Registry`] — a named collection of *pull-based* metrics. Components
+//!   register closures (gauges returning `f64`, counters returning `u64`)
+//!   at wiring time; nothing is evaluated until a report or a sample asks.
+//!   A run that never samples pays only the registration cost.
+//! * [`SeriesSet`] + [`run_sampler`] — a simulation process that snapshots
+//!   every registered metric at a fixed simulated-time interval into
+//!   per-metric ring buffers, turning end-of-run aggregates into
+//!   trajectories (utilisation ramping as caches warm, lock tables
+//!   growing under contention, ...).
+//! * [`Json`] — a small, dependency-free JSON document model with a
+//!   deterministic serializer: the same value tree always renders to the
+//!   same bytes, which is what makes byte-identical run reports testable.
+//!
+//! The sampler only *reads* (facility utilisation getters are pure with
+//! respect to simulation state), so enabling it never changes the
+//! simulated outcome — a sampled run reports exactly the same results as
+//! an unsampled one.
+
+#![warn(missing_docs)]
+
+mod json;
+mod registry;
+mod series;
+
+pub use json::Json;
+pub use registry::{Counter, Registry};
+pub use series::{run_sampler, SeriesSet};

@@ -1,0 +1,197 @@
+//! The metrics registry: named, pull-based gauges and counters.
+//!
+//! Components expose their existing statistics by registering closures;
+//! the registry never stores values itself, so registration is free at
+//! simulation time and every read reflects the live state. Insertion
+//! order is preserved everywhere (names, samples, JSON), which keeps
+//! exports deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use ccdb_des::Facility;
+
+use crate::json::Json;
+
+enum Metric {
+    Gauge(Box<dyn Fn() -> f64>),
+    Counter(Box<dyn Fn() -> u64>),
+}
+
+impl Metric {
+    fn value(&self) -> f64 {
+        match self {
+            Metric::Gauge(f) => f(),
+            Metric::Counter(f) => f() as f64,
+        }
+    }
+}
+
+/// A push-style counter handle for components without their own stats
+/// struct. Cheap to clone; all clones share the count.
+#[derive(Clone, Default)]
+pub struct Counter {
+    count: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.count.set(self.count.get() + n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.count.get()
+    }
+}
+
+/// A shared, insertion-ordered collection of named metrics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<Vec<(String, Metric)>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a gauge: `read` is evaluated at every sample/report.
+    ///
+    /// Panics on a duplicate name — metric names are a flat namespace and
+    /// a silent collision would corrupt exports.
+    pub fn gauge(&self, name: impl Into<String>, read: impl Fn() -> f64 + 'static) {
+        self.insert(name.into(), Metric::Gauge(Box::new(read)));
+    }
+
+    /// Register a counter backed by a closure over existing statistics.
+    pub fn counter_fn(&self, name: impl Into<String>, read: impl Fn() -> u64 + 'static) {
+        self.insert(name.into(), Metric::Counter(Box::new(read)));
+    }
+
+    /// Register and return a push-style [`Counter`].
+    pub fn counter(&self, name: impl Into<String>) -> Counter {
+        let c = Counter::default();
+        let handle = c.clone();
+        self.counter_fn(name, move || handle.get());
+        c
+    }
+
+    /// Register a facility's utilisation and instantaneous queue length as
+    /// `<prefix>.util` / `<prefix>.qlen`.
+    pub fn facility(&self, prefix: &str, fac: &Facility) {
+        let f = fac.clone();
+        self.gauge(format!("{prefix}.util"), move || f.utilization());
+        let f = fac.clone();
+        self.gauge(format!("{prefix}.qlen"), move || f.queue_len() as f64);
+    }
+
+    fn insert(&self, name: String, metric: Metric) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            !inner.iter().any(|(n, _)| *n == name),
+            "duplicate metric name {name:?}"
+        );
+        inner.push((name, metric));
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.borrow().iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Evaluate every metric, in registration order.
+    pub fn read_all(&self) -> Vec<f64> {
+        self.inner.borrow().iter().map(|(_, m)| m.value()).collect()
+    }
+
+    /// Current values as an insertion-ordered JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, metric) in self.inner.borrow().iter() {
+            match metric {
+                Metric::Gauge(_) => obj.set(name.clone(), metric.value()),
+                Metric::Counter(f) => obj.set(name.clone(), f()),
+            };
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_des::{Sim, SimDuration};
+
+    #[test]
+    fn gauges_and_counters_read_live_values() {
+        let reg = Registry::new();
+        let x = Rc::new(Cell::new(1.5f64));
+        {
+            let x = Rc::clone(&x);
+            reg.gauge("x", move || x.get());
+        }
+        let c = reg.counter("hits");
+        assert_eq!(reg.read_all(), vec![1.5, 0.0]);
+        x.set(2.5);
+        c.add(3);
+        assert_eq!(reg.read_all(), vec![2.5, 3.0]);
+        assert_eq!(reg.names(), vec!["x", "hits"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_rejected() {
+        let reg = Registry::new();
+        reg.gauge("x", || 0.0);
+        reg.gauge("x", || 1.0);
+    }
+
+    #[test]
+    fn facility_registration_tracks_utilization() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let cpu = Facility::new(&env, "cpu", 1);
+        let reg = Registry::new();
+        reg.facility("cpu", &cpu);
+        {
+            let cpu = cpu.clone();
+            let env = env.clone();
+            sim.spawn(async move {
+                cpu.use_for(SimDuration::from_secs(1)).await;
+                env.hold(SimDuration::from_secs(1)).await;
+            });
+        }
+        sim.run();
+        let vals = reg.read_all();
+        assert_eq!(reg.names(), vec!["cpu.util", "cpu.qlen"]);
+        assert!((vals[0] - 0.5).abs() < 1e-12);
+        assert_eq!(vals[1], 0.0);
+    }
+
+    #[test]
+    fn json_snapshot_distinguishes_counter_integers() {
+        let reg = Registry::new();
+        reg.gauge("g", || 0.25);
+        let c = reg.counter("c");
+        c.add(7);
+        assert_eq!(reg.to_json().render(), r#"{"g":0.25,"c":7}"#);
+    }
+}

@@ -97,6 +97,11 @@ impl BufferManager {
         self.frames.len()
     }
 
+    /// Frames holding changes not yet on disk (sampling gauge).
+    pub fn dirty_count(&self) -> usize {
+        self.frames.iter().filter(|(_, f)| f.dirty).count()
+    }
+
     /// True if no pages are resident.
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()

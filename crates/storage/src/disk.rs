@@ -10,8 +10,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ccdb_des::{Env, Facility, Pcg32, SimDuration};
+use ccdb_des::{Env, Facility, FacilitySnapshot, Pcg32, SimDuration};
 use ccdb_model::{PageId, SystemParams};
+use ccdb_obs::Registry;
 
 /// One disk: an FCFS queue of block accesses.
 #[derive(Clone)]
@@ -103,6 +104,16 @@ impl Disk {
         self.facility.completions()
     }
 
+    /// Snapshot the disk facility's statistics for a report.
+    pub fn snapshot(&self) -> FacilitySnapshot {
+        self.facility.snapshot()
+    }
+
+    /// Register the disk's gauges as `<name>.util` / `<name>.qlen`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.facility(&self.facility.name(), &self.facility);
+    }
+
     /// Reset utilisation statistics (end of warm-up).
     pub fn reset_stats(&self) {
         self.facility.reset_stats();
@@ -147,6 +158,20 @@ impl DiskArray {
         for d in &self.disks {
             d.reset_stats();
         }
+    }
+
+    /// Snapshot every disk's statistics for a report.
+    pub fn snapshots(&self) -> Vec<FacilitySnapshot> {
+        self.disks.iter().map(|d| d.snapshot()).collect()
+    }
+
+    /// Register per-disk gauges plus the array-wide `disk.data.max_util`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        for d in &self.disks {
+            d.register_metrics(registry);
+        }
+        let this = self.clone();
+        registry.gauge("disk.data.max_util", move || this.max_utilization());
     }
 }
 

@@ -162,6 +162,30 @@ impl LogManager {
             d.reset_stats();
         }
     }
+
+    /// The log disks (reports).
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// Snapshot every log disk's statistics for a report.
+    pub fn snapshots(&self) -> Vec<ccdb_des::FacilitySnapshot> {
+        self.disks.iter().map(|d| d.snapshot()).collect()
+    }
+
+    /// Register per-disk gauges, `disk.log.max_util`, and the log's
+    /// commit-force / page-write counters.
+    pub fn register_metrics(&self, registry: &ccdb_obs::Registry) {
+        for d in self.disks.iter() {
+            d.register_metrics(registry);
+        }
+        let this = self.clone();
+        registry.gauge("disk.log.max_util", move || this.max_utilization());
+        let this = self.clone();
+        registry.counter_fn("log.commits_forced", move || this.stats().commits_forced);
+        let this = self.clone();
+        registry.counter_fn("log.pages_written", move || this.stats().pages_written);
+    }
 }
 
 #[cfg(test)]

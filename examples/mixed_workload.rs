@@ -49,20 +49,20 @@ fn main() {
     ] {
         let cfg = SimConfig::table5(alg)
             .with_clients(20)
-            .with_txn_mix(vec![
-                (interactive_edit.clone(), 0.8),
-                (batch_scan.clone(), 0.2),
+            .with_named_txn_mix(vec![
+                ("edit".to_string(), interactive_edit.clone(), 0.8),
+                ("scan".to_string(), batch_scan.clone(), 0.2),
             ])
             .with_horizon(SimDuration::from_secs(30), SimDuration::from_secs(300));
         let r = run_simulation(cfg);
-        let edit = r.resp_by_type.first().copied().unwrap_or((0, 0.0));
-        let scan = r.resp_by_type.get(1).copied().unwrap_or((0, 0.0));
+        let edit = r.resp_by_type.first().map(|t| t.resp_mean_s).unwrap_or(0.0);
+        let scan = r.resp_by_type.get(1).map(|t| t.resp_mean_s).unwrap_or(0.0);
         println!(
             "{:<6} {:>10.2} {:>14.3} {:>13.3} {:>9} {:>8.3}",
             r.algorithm.label(),
             r.throughput,
-            edit.1,
-            scan.1,
+            edit,
+            scan,
             r.aborts,
             r.resp_p99
         );

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ccdb run     --alg CB --clients 30 --loc 0.50 --pw 0.2 [options]
+//! ccdb explain --alg CB --clients 30 --loc 0.50 --pw 0.2 [options]
 //! ccdb compare --clients 30 --loc 0.50 --pw 0.2 [options]
 //! ccdb sweep   --alg C2PL --loc 0.25 --pw 0.2  [options]   # over clients
 //! ccdb list                                               # algorithms
@@ -9,14 +10,20 @@
 //!
 //! Common options: `--exp short|large|fast-server|fast-net|interactive`
 //! (workload/system family, default `short`), `--seed N`, `--measure SECS`,
-//! `--warmup SECS`.
+//! `--warmup SECS`. Observability: `--json` (structured report),
+//! `--sample-interval SECS` (metric time series), `--trace-cap N` (trace
+//! buffer size for `ccdb trace`).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use ccdb::core::experiments;
 use ccdb::core::replication::run_replicated;
 use ccdb::core::{run_simulation_traced, Trace};
-use ccdb::{run_simulation, Algorithm, RunReport, SimConfig, SimDuration};
+use ccdb::{
+    run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, RunReport,
+    SimConfig, SimDuration,
+};
 
 fn parse_alg(s: &str) -> Option<Algorithm> {
     match s.to_ascii_uppercase().as_str() {
@@ -41,6 +48,9 @@ struct Options {
     warmup: f64,
     measure: f64,
     csv: bool,
+    json: bool,
+    sample_interval: Option<f64>,
+    trace_cap: usize,
     reps: u32,
 }
 
@@ -56,6 +66,9 @@ impl Default for Options {
             warmup: 30.0,
             measure: 300.0,
             csv: false,
+            json: false,
+            sample_interval: None,
+            trace_cap: 2_000,
             reps: 5,
         }
     }
@@ -71,6 +84,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             i += 1;
             continue;
         }
+        if key == "--json" {
+            o.json = true;
+            i += 1;
+            continue;
+        }
         let val = args
             .get(i + 1)
             .ok_or_else(|| format!("missing value for {key}"))?;
@@ -83,6 +101,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--seed" => o.seed = val.parse().map_err(|e| format!("--seed: {e}"))?,
             "--warmup" => o.warmup = val.parse().map_err(|e| format!("--warmup: {e}"))?,
             "--measure" => o.measure = val.parse().map_err(|e| format!("--measure: {e}"))?,
+            "--sample-interval" => {
+                let secs: f64 = val.parse().map_err(|e| format!("--sample-interval: {e}"))?;
+                if secs <= 0.0 {
+                    return Err("--sample-interval must be positive".to_string());
+                }
+                o.sample_interval = Some(secs);
+            }
+            "--trace-cap" => {
+                o.trace_cap = val.parse().map_err(|e| format!("--trace-cap: {e}"))?;
+                if o.trace_cap == 0 {
+                    return Err("--trace-cap must be positive".to_string());
+                }
+            }
             "--reps" => o.reps = val.parse().map_err(|e| format!("--reps: {e}"))?,
             other => return Err(format!("unknown option {other}")),
         }
@@ -104,6 +135,30 @@ fn build_config(o: &Options, alg: Algorithm, clients: u32) -> Result<SimConfig, 
         SimDuration::from_secs_f64(o.warmup),
         SimDuration::from_secs_f64(o.measure),
     ))
+}
+
+fn obs_options(opts: &Options) -> ObsOptions {
+    ObsOptions {
+        sample_interval: opts.sample_interval.map(SimDuration::from_secs_f64),
+        ..ObsOptions::default()
+    }
+}
+
+/// The full structured output of one observed run: the deterministic
+/// report plus the sampled time series (null when sampling was off).
+fn run_document(observed: &Observed) -> Json {
+    let mut doc = Json::obj();
+    doc.set("schema", "ccdb.run/v1")
+        .set("report", observed.report.to_json())
+        .set(
+            "series",
+            observed
+                .series
+                .as_ref()
+                .map(|s| s.to_json())
+                .unwrap_or(Json::Null),
+        );
+    doc
 }
 
 fn header_for(opts: &Options) {
@@ -152,11 +207,104 @@ fn row_for(opts: &Options, r: &RunReport) {
     );
 }
 
+/// The paper-style breakdown behind `ccdb explain`: which resource is the
+/// bottleneck, what each commit costs, where the time goes, and how fast
+/// the simulator itself ran.
+fn explain(r: &RunReport, wall_secs: f64) {
+    println!(
+        "== {} ({}), {} clients, locality {:.2}, write prob {:.2} ==",
+        r.algorithm.label(),
+        r.algorithm.name(),
+        r.n_clients,
+        r.locality,
+        r.prob_write,
+    );
+    println!(
+        "throughput {:.2} txn/s, mean response {:.3}s (p50 {:.3}, p99 {:.3}), {} commits, {} aborts\n",
+        r.throughput, r.resp_time_mean, r.resp_p50, r.resp_p99, r.commits, r.aborts,
+    );
+
+    match r.bottleneck() {
+        Some(b) => println!(
+            "bottleneck: {} at {:.1}% utilization (mean queue {:.2})\n",
+            b.name,
+            b.utilization * 100.0,
+            b.mean_queue_len,
+        ),
+        None => println!("bottleneck: none (no resources reported)\n"),
+    }
+
+    println!(
+        "{:<14} {:>6} {:>7} {:>11} {:>12}",
+        "resource", "util%", "queue", "completions", "busy s/commit"
+    );
+    let commits = r.commits.max(1) as f64;
+    for res in &r.resources {
+        let busy_secs = res.utilization * r.measure_secs * res.servers as f64;
+        println!(
+            "{:<14} {:>6.1} {:>7.2} {:>11} {:>12.4}",
+            res.name,
+            res.utilization * 100.0,
+            res.mean_queue_len,
+            res.completions,
+            busy_secs / commits,
+        );
+    }
+
+    println!("\nper-commit costs:");
+    println!("  messages/commit      {:>8.2}", r.msgs_per_commit);
+    let disk_reads: u64 = r
+        .resources
+        .iter()
+        .filter(|res| res.name.starts_with("data-disk"))
+        .map(|res| res.completions)
+        .sum();
+    println!(
+        "  disk accesses/commit {:>8.2}   (data disks; buffer hit ratio {:.1}%)",
+        disk_reads as f64 / commits,
+        r.buffer_hit_ratio * 100.0,
+    );
+    println!(
+        "  log writes/commit    {:>8.2}",
+        r.log_stats.pages_written as f64 / commits,
+    );
+    println!(
+        "  callbacks/commit     {:>8.4}",
+        r.callbacks as f64 / commits,
+    );
+    println!("  aborts/commit        {:>8.4}", r.aborts as f64 / commits);
+    println!("  restarts/commit      {:>8.4}", r.restarts_per_commit);
+    println!(
+        "  lock blocks/commit   {:>8.4}   ({} blocks, {} deadlocks)",
+        r.lock_stats.blocks as f64 / commits,
+        r.lock_stats.blocks,
+        r.lock_stats.deadlocks,
+    );
+
+    println!("\nwait decomposition (queue-seconds per commit, by resource):");
+    for res in &r.resources {
+        let queue_secs = res.mean_queue_len * r.measure_secs;
+        if queue_secs / commits >= 0.0005 {
+            println!("  {:<14} {:>8.4}", res.name, queue_secs / commits);
+        }
+    }
+
+    println!("\nclient cache hit ratio {:.1}%", r.cache_hit_ratio * 100.0);
+    println!(
+        "\nsimulator: {} events in {:.2}s wall ({:.0} events/s, {:.0}x real time)",
+        r.events,
+        wall_secs,
+        r.events as f64 / wall_secs.max(1e-9),
+        (r.warmup_secs + r.measure_secs) / wall_secs.max(1e-9),
+    );
+}
+
 fn usage() {
     eprintln!(
-        "usage: ccdb <run|compare|sweep|replicate|trace|list> [--alg A] [--clients N] [--loc F] [--pw F] \
-         [--exp short|large|fast-server|fast-net|interactive] [--seed N] [--warmup S] \
-         [--measure S] [--csv] [--reps N]"
+        "usage: ccdb <run|explain|compare|sweep|replicate|trace|list> [--alg A] [--clients N] \
+         [--loc F] [--pw F] [--exp short|large|fast-server|fast-net|interactive] [--seed N] \
+         [--warmup S] [--measure S] [--csv] [--json] [--sample-interval S] [--trace-cap N] \
+         [--reps N]"
     );
 }
 
@@ -191,8 +339,45 @@ fn main() -> ExitCode {
         }
         "run" => match build_config(&opts, opts.alg, opts.clients) {
             Ok(cfg) => {
-                header_for(&opts);
-                row_for(&opts, &run_simulation(cfg));
+                if opts.json || opts.sample_interval.is_some() {
+                    let observed =
+                        run_simulation_observed(cfg, Trace::disabled(), obs_options(&opts));
+                    if opts.json {
+                        print!("{}", run_document(&observed).render_pretty());
+                    } else {
+                        header_for(&opts);
+                        row_for(&opts, &observed.report);
+                        if let Some(series) = &observed.series {
+                            println!();
+                            print!("{}", series.to_csv());
+                            if series.dropped() > 0 {
+                                eprintln!(
+                                    "note: ring capacity reached; {} oldest samples dropped",
+                                    series.dropped()
+                                );
+                            }
+                        }
+                    }
+                } else {
+                    header_for(&opts);
+                    row_for(&opts, &run_simulation(cfg));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "explain" => match build_config(&opts, opts.alg, opts.clients) {
+            Ok(cfg) => {
+                // Sampling is incidental to explain (the breakdown uses
+                // end-of-run aggregates) but honours --sample-interval so
+                // the same invocation can feed plots via --json elsewhere.
+                let started = Instant::now();
+                let observed = run_simulation_observed(cfg, Trace::disabled(), obs_options(&opts));
+                let wall_secs = started.elapsed().as_secs_f64();
+                explain(&observed.report, wall_secs);
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -220,7 +405,7 @@ fn main() -> ExitCode {
                     SimDuration::from_secs_f64(0.0),
                     SimDuration::from_secs_f64(opts.measure.min(5.0)),
                 );
-                let trace = Trace::enabled(2_000);
+                let trace = Trace::enabled(opts.trace_cap);
                 let r = run_simulation_traced(cfg, trace.clone());
                 print!("{}", trace.render());
                 eprintln!(
@@ -231,6 +416,14 @@ fn main() -> ExitCode {
                     opts.measure.min(5.0),
                     r.algorithm.name(),
                 );
+                if trace.dropped() > 0 {
+                    eprintln!(
+                        "-- trace truncated: capacity {} reached, {} further events dropped \
+                         (raise with --trace-cap) --",
+                        trace.capacity(),
+                        trace.dropped(),
+                    );
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {

@@ -14,6 +14,7 @@
 //! * [`net`] — the network manager,
 //! * [`storage`] — disks, buffer manager, client cache, log manager,
 //! * [`lock`] — the page-level lock manager,
+//! * [`obs`] — metrics registry, time-series sampler, JSON export,
 //! * [`core`] — the simulator and the five algorithms.
 //!
 //! ## Quick start
@@ -40,10 +41,13 @@ pub use ccdb_des as des;
 pub use ccdb_lock as lock;
 pub use ccdb_model as model;
 pub use ccdb_net as net;
+pub use ccdb_obs as obs;
 pub use ccdb_storage as storage;
 
 pub use ccdb_core::{
-    experiments, run_simulation, AbortKind, Algorithm, MetricsHub, RunReport, SimConfig,
+    experiments, run_simulation, run_simulation_observed, run_simulation_traced, AbortKind,
+    Algorithm, MetricsHub, ObsOptions, Observed, RunReport, SimConfig, Trace, TypeResponse,
 };
 pub use ccdb_des::{SimDuration, SimTime};
 pub use ccdb_model::{DatabaseSpec, SystemParams, TxnParams};
+pub use ccdb_obs::{Json, Registry, SeriesSet};

@@ -1,0 +1,304 @@
+//! The observability layer: deterministic JSON reports, metric sampling,
+//! and the agreement between sampled series and end-of-run aggregates.
+
+use ccdb::core::Trace;
+use ccdb::{
+    run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, SimConfig,
+    SimDuration,
+};
+
+fn quick(alg: Algorithm, seed: u64) -> SimConfig {
+    SimConfig::table5(alg)
+        .with_clients(8)
+        .with_locality(0.5)
+        .with_prob_write(0.3)
+        .with_seed(seed)
+        .with_horizon(SimDuration::from_secs(5), SimDuration::from_secs(20))
+}
+
+fn observed(alg: Algorithm, seed: u64, interval_secs: u64) -> Observed {
+    run_simulation_observed(
+        quick(alg, seed),
+        Trace::disabled(),
+        ObsOptions {
+            sample_interval: Some(SimDuration::from_secs(interval_secs)),
+            ..ObsOptions::default()
+        },
+    )
+}
+
+/// The full JSON document of a run (report + series), as the CLI emits it.
+fn document(o: &Observed) -> String {
+    let mut doc = Json::obj();
+    doc.set("schema", "ccdb.run/v1")
+        .set("report", o.report.to_json())
+        .set(
+            "series",
+            o.series.as_ref().map(|s| s.to_json()).unwrap_or(Json::Null),
+        );
+    doc.render()
+}
+
+#[test]
+fn same_seed_produces_byte_identical_json() {
+    for alg in [Algorithm::Callback, Algorithm::TwoPhase { inter: true }] {
+        let a = document(&observed(alg, 42, 2));
+        let b = document(&observed(alg, 42, 2));
+        assert_eq!(a, b, "{} JSON must be byte-identical", alg.label());
+    }
+}
+
+#[test]
+fn different_seeds_change_the_json() {
+    let a = document(&observed(Algorithm::Callback, 1, 2));
+    let b = document(&observed(Algorithm::Callback, 2, 2));
+    assert_ne!(a, b, "seed must reach the report");
+}
+
+#[test]
+fn series_endpoints_match_end_of_run_utilization() {
+    let o = observed(Algorithm::TwoPhase { inter: true }, 7, 2);
+    let series = o.series.as_ref().unwrap();
+    for (metric, aggregate) in [
+        ("server.cpu.util", o.report.server_cpu_util),
+        ("net.util", o.report.net_util),
+        ("disk.data.max_util", o.report.data_disk_util),
+        ("disk.log.max_util", o.report.log_disk_util),
+    ] {
+        let points = series.series(metric).unwrap_or_default();
+        let last = points.last().unwrap_or_else(|| panic!("{metric} empty"));
+        // The runner takes a final sample exactly at the horizon, where the
+        // report also reads the facility — bitwise equality, not epsilon.
+        assert_eq!(last.1, aggregate, "{metric} endpoint");
+        assert_eq!(last.0, 25.0, "{metric} sampled at the horizon");
+    }
+}
+
+#[test]
+fn key_resource_series_are_nonempty_and_exported() {
+    let o = observed(Algorithm::Callback, 3, 2);
+    let series = o.series.as_ref().unwrap();
+    // 25s horizon at 2s interval: 12 sampler ticks + the horizon sample.
+    assert_eq!(series.len(), 13);
+    assert_eq!(series.dropped(), 0);
+    let rendered = series.to_json().render();
+    for metric in [
+        "server.cpu.util",
+        "server.mpl.util",
+        "net.util",
+        "data-disk-0.util",
+        "disk.data.max_util",
+        "disk.log.max_util",
+        "client.cache.hit_ratio",
+        "server.lock.table_pages",
+        "server.lock.blocked_txns",
+        "server.buffer.dirty",
+        "txn.commits",
+    ] {
+        let points = series.series(metric).unwrap_or_default();
+        assert_eq!(points.len(), 13, "{metric} sampled every tick");
+        assert!(
+            rendered.contains(&format!("\"{metric}\"")),
+            "{metric} in JSON"
+        );
+    }
+    // Commits accumulate: the series must be non-decreasing and end at the
+    // windowed total.
+    let commits = series.series("txn.commits").unwrap();
+    assert!(commits.windows(2).all(|w| w[0].1 <= w[1].1));
+    assert_eq!(commits.last().unwrap().1, o.report.commits as f64);
+}
+
+#[test]
+fn sampling_does_not_change_the_simulation() {
+    let plain = run_simulation(quick(Algorithm::NoWait { notify: true }, 11));
+    let sampled = observed(Algorithm::NoWait { notify: true }, 11, 1).report;
+    // The sampler adds its own wake-up events but must not perturb the
+    // simulated system: every workload-visible quantity is identical.
+    assert_eq!(plain.commits, sampled.commits);
+    assert_eq!(plain.aborts, sampled.aborts);
+    assert_eq!(plain.resp_time_mean, sampled.resp_time_mean);
+    assert_eq!(plain.msgs_per_commit, sampled.msgs_per_commit);
+    assert_eq!(plain.server_cpu_util, sampled.server_cpu_util);
+    assert_eq!(plain.cache_hit_ratio, sampled.cache_hit_ratio);
+}
+
+#[test]
+fn ring_capacity_evicts_oldest_but_keeps_alignment() {
+    let o = run_simulation_observed(
+        quick(Algorithm::Callback, 5),
+        Trace::disabled(),
+        ObsOptions {
+            sample_interval: Some(SimDuration::from_secs(1)),
+            ring_capacity: 4,
+        },
+    );
+    let series = o.series.as_ref().unwrap();
+    assert_eq!(series.len(), 4);
+    assert!(series.dropped() > 0);
+    let util = series.series("server.cpu.util").unwrap();
+    assert_eq!(util.last().unwrap().0, 25.0, "newest samples retained");
+}
+
+#[test]
+fn report_json_names_every_section() {
+    let r = run_simulation(quick(Algorithm::Callback, 9));
+    let json = r.to_json().render();
+    for key in [
+        "\"schema\":\"ccdb.run_report/v1\"",
+        "\"algorithm\":\"CB\"",
+        "\"config\"",
+        "\"seed\":",
+        "\"response\"",
+        "\"by_type\"",
+        "\"transactions\"",
+        "\"utilization\"",
+        "\"resources\"",
+        "\"msgs_per_commit\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // Single-type workloads still label their one response entry.
+    assert_eq!(r.resp_by_type.len(), 1);
+    assert_eq!(r.resp_by_type[0].label, "type-0");
+    assert_eq!(r.resp_by_type[0].commits, r.commits);
+    // The bottleneck helper names a real resource.
+    let b = r.bottleneck().expect("resources reported");
+    assert!(r.resources.iter().any(|res| res.name == b.name));
+}
+
+#[test]
+fn emitted_json_is_syntactically_valid() {
+    let o = observed(Algorithm::TwoPhase { inter: true }, 13, 5);
+    let compact = document(&o);
+    let mut p = Parser {
+        bytes: compact.as_bytes(),
+        pos: 0,
+    };
+    p.value();
+    p.ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage in JSON");
+}
+
+/// A strict, minimal JSON syntax checker (panics on malformed input); kept
+/// in the test so the exporter is validated without external crates.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> u8 {
+        assert!(self.pos < self.bytes.len(), "unexpected end of JSON");
+        self.bytes[self.pos]
+    }
+
+    fn ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        assert_eq!(self.peek(), b, "expected {} at {}", b as char, self.pos);
+        self.pos += 1;
+    }
+
+    fn literal(&mut self, s: &str) {
+        assert!(
+            self.bytes[self.pos..].starts_with(s.as_bytes()),
+            "bad literal at {}",
+            self.pos
+        );
+        self.pos += s.len();
+    }
+
+    fn value(&mut self) {
+        self.ws();
+        match self.peek() {
+            b'{' => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == b'}' {
+                    self.pos += 1;
+                    return;
+                }
+                loop {
+                    self.ws();
+                    self.string();
+                    self.ws();
+                    self.expect(b':');
+                    self.value();
+                    self.ws();
+                    if self.peek() == b',' {
+                        self.pos += 1;
+                    } else {
+                        self.expect(b'}');
+                        return;
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == b']' {
+                    self.pos += 1;
+                    return;
+                }
+                loop {
+                    self.value();
+                    self.ws();
+                    if self.peek() == b',' {
+                        self.pos += 1;
+                    } else {
+                        self.expect(b']');
+                        return;
+                    }
+                }
+            }
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) {
+        self.expect(b'"');
+        loop {
+            match self.peek() {
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\\' => self.pos += 2,
+                c => {
+                    assert!(c >= 0x20, "unescaped control char");
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        if self.peek() == b'-' {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+            )
+        {
+            self.pos += 1;
+        }
+        assert!(self.pos > start, "empty number at {start}");
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad number {s:?}"));
+    }
+}
