@@ -20,15 +20,24 @@ fn main() {
         ("Figure 6(b): response time, Loc=0.50, W=0.5", 0.50, 0.5),
     ];
     for (title, loc, pw) in cases {
+        // One flat batch per figure over the worker pool.
+        let cfgs = CACHING_ALGORITHMS
+            .iter()
+            .flat_map(|&alg| {
+                CLIENT_SWEEP
+                    .iter()
+                    .map(move |&clients| experiments::caching_verification(alg, clients, loc, pw))
+            })
+            .collect();
+        let mut runs = ctl.run_many(cfgs).into_iter();
         let mut resp_series = Vec::new();
         let mut tput_series = Vec::new();
         for alg in CACHING_ALGORITHMS {
             let mut resp = Vec::new();
             let mut tput = Vec::new();
-            for &clients in &CLIENT_SWEEP {
-                let r = ctl.run(experiments::caching_verification(alg, clients, loc, pw));
-                resp.push((clients as f64, r.resp_time_mean));
-                tput.push((clients as f64, r.throughput));
+            for r in runs.by_ref().take(CLIENT_SWEEP.len()) {
+                resp.push((r.n_clients as f64, r.resp_time_mean));
+                tput.push((r.n_clients as f64, r.throughput));
             }
             resp_series.push(Series {
                 label: alg.label().to_string(),

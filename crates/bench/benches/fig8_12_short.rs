@@ -12,14 +12,23 @@ use ccdb_core::experiments::{self, CLIENT_SWEEP, SECTION5_ALGORITHMS};
 use ccdb_core::RunReport;
 
 fn run_grid(ctl: &BenchCtl, loc: f64, pw: f64) -> Vec<(String, Vec<RunReport>)> {
+    // One flat batch over the worker pool, then regroup per algorithm.
+    let cfgs = SECTION5_ALGORITHMS
+        .iter()
+        .flat_map(|&alg| {
+            CLIENT_SWEEP
+                .iter()
+                .map(move |&clients| experiments::short_txn(alg, clients, loc, pw))
+        })
+        .collect();
+    let mut runs = ctl.run_many(cfgs).into_iter();
     SECTION5_ALGORITHMS
         .iter()
         .map(|&alg| {
-            let runs: Vec<RunReport> = CLIENT_SWEEP
-                .iter()
-                .map(|&clients| ctl.run(experiments::short_txn(alg, clients, loc, pw)))
-                .collect();
-            (alg.label().to_string(), runs)
+            (
+                alg.label().to_string(),
+                runs.by_ref().take(CLIENT_SWEEP.len()).collect(),
+            )
         })
         .collect()
 }

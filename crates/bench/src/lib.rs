@@ -11,9 +11,14 @@
 //! * `CCDB_SEED=N` — override the base seed.
 //! * `CCDB_CSV_DIR=path` — additionally write every printed figure as a
 //!   CSV file under `path` (for external plotting).
+//! * `CCDB_JOBS=N` / `--jobs N` (harness argv) — worker threads for
+//!   [`BenchCtl::run_many`]; defaults to `available_parallelism()`, and
+//!   `1` forces the strictly serial path. Output is identical for every
+//!   worker count.
 
 use ccdb_core::{run_simulation, RunReport, SimConfig};
 use ccdb_des::SimDuration;
+use ccdb_sweep::{resolve_workers, run_indexed};
 
 /// Run control shared by the harnesses.
 #[derive(Clone, Copy, Debug)]
@@ -24,27 +29,32 @@ pub struct BenchCtl {
     pub measure: SimDuration,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for [`BenchCtl::run_many`] (1 = serial).
+    pub jobs: usize,
 }
 
 impl BenchCtl {
-    /// Read the environment knobs.
+    /// Read the environment knobs and the harness's own `--jobs N` flag.
     pub fn from_env() -> Self {
         let quick = std::env::var_os("CCDB_QUICK").is_some();
         let seed = std::env::var("CCDB_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0xCCDB);
+        let jobs = resolve_workers(jobs_from_args(std::env::args()));
         if quick {
             BenchCtl {
                 warmup: SimDuration::from_secs(10),
                 measure: SimDuration::from_secs(60),
                 seed,
+                jobs,
             }
         } else {
             BenchCtl {
                 warmup: SimDuration::from_secs(30),
                 measure: SimDuration::from_secs(300),
                 seed,
+                jobs,
             }
         }
     }
@@ -66,6 +76,42 @@ impl BenchCtl {
                 .with_horizon(self.warmup, self.measure * factor),
         )
     }
+
+    /// Run a batch of configurations on [`BenchCtl::jobs`] worker threads
+    /// and return the reports in input order. Each run is a pure function
+    /// of its configuration, so the result — like [`BenchCtl::run`] called
+    /// in a loop — is identical for every worker count.
+    pub fn run_many(&self, cfgs: Vec<SimConfig>) -> Vec<RunReport> {
+        let prepared: Vec<SimConfig> = cfgs
+            .into_iter()
+            .map(|cfg| {
+                cfg.with_seed(self.seed)
+                    .with_horizon(self.warmup, self.measure)
+            })
+            .collect();
+        run_indexed(
+            &prepared,
+            self.jobs,
+            |_, cfg| run_simulation(cfg.clone()),
+            |_, _| {},
+        )
+    }
+}
+
+/// Extract `--jobs N` from a harness's argument list (`cargo bench --
+/// --jobs 4` forwards it). Unparsable or missing values fall through to
+/// the `CCDB_JOBS` / `available_parallelism()` defaults.
+fn jobs_from_args(args: impl Iterator<Item = String>) -> Option<usize> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            return args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    None
 }
 
 /// One plotted series: a label and (x, y) points.
@@ -194,6 +240,39 @@ mod tests {
         let ctl = BenchCtl::from_env();
         assert!(ctl.measure > SimDuration::ZERO);
         assert!(ctl.warmup > SimDuration::ZERO);
+        assert!(ctl.jobs >= 1);
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let parse = |args: &[&str]| jobs_from_args(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["bench", "--jobs", "4"]), Some(4));
+        assert_eq!(parse(&["bench", "--jobs=2"]), Some(2));
+        assert_eq!(parse(&["bench"]), None);
+        assert_eq!(parse(&["bench", "--jobs", "zero"]), None);
+        assert_eq!(parse(&["bench", "--jobs", "0"]), None);
+    }
+
+    #[test]
+    fn run_many_matches_serial_runs() {
+        let ctl = BenchCtl {
+            warmup: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(4),
+            seed: 7,
+            jobs: 3,
+        };
+        let cfgs: Vec<SimConfig> = [2u32, 4]
+            .iter()
+            .map(|&c| {
+                ccdb_core::experiments::short_txn(ccdb_core::Algorithm::Callback, c, 0.25, 0.2)
+            })
+            .collect();
+        let many = ctl.run_many(cfgs.clone());
+        for (cfg, parallel) in cfgs.into_iter().zip(&many) {
+            let serial = ctl.run(cfg);
+            assert_eq!(serial.commits, parallel.commits);
+            assert_eq!(serial.resp_time_mean, parallel.resp_time_mean);
+        }
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod trace;
 
 pub use config::{Algorithm, SimConfig};
 pub use metrics::{AbortKind, MetricsHub, RunReport, TypeResponse};
-pub use replication::{run_replicated, ReplicatedReport};
+pub use replication::{
+    replication_seed, run_replicated, run_replicated_folded, ReplicatedReport,
+    ReplicationAccumulator, ReplicationAggregate,
+};
 pub use runner::{
     run_simulation, run_simulation_observed, run_simulation_traced, ObsOptions, Observed,
 };

@@ -3,6 +3,15 @@
 //! simulations (the per-run CI in [`RunReport`] treats transaction
 //! response times as independent, which under heavy contention they are
 //! not; replication does not need that assumption).
+//!
+//! Two consumption styles:
+//!
+//! * [`run_replicated`] keeps every [`RunReport`] (callers that inspect
+//!   individual replications);
+//! * [`run_replicated_folded`] / [`ReplicationAccumulator`] fold each
+//!   report into O(1) aggregate state as it completes, so arbitrarily
+//!   long replication series never buffer all reports in memory — this
+//!   is the path the sweep orchestrator and the CLI use.
 
 use ccdb_des::Tally;
 
@@ -10,7 +19,84 @@ use crate::config::SimConfig;
 use crate::metrics::RunReport;
 use crate::runner::run_simulation;
 
-/// Aggregate of `n` independent replications of one configuration.
+/// Streaming aggregation of replications: push per-run reports, read the
+/// cross-seed aggregate at any point. Memory is O(1) in the number of
+/// replications.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicationAccumulator {
+    resp: Tally,
+    tput: Tally,
+    commits: u64,
+    aborts: u64,
+}
+
+impl ReplicationAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ReplicationAccumulator::default()
+    }
+
+    /// Fold one replication's report in.
+    pub fn push(&mut self, r: &RunReport) {
+        self.resp.record(r.resp_time_mean);
+        self.tput.record(r.throughput);
+        self.commits += r.commits;
+        self.aborts += r.aborts;
+    }
+
+    /// Number of replications folded so far.
+    pub fn count(&self) -> u32 {
+        self.resp.count() as u32
+    }
+
+    /// The cross-replication aggregate at this point.
+    pub fn aggregate(&self) -> ReplicationAggregate {
+        ReplicationAggregate {
+            replications: self.count(),
+            resp_time_mean: self.resp.mean(),
+            resp_time_ci95: self.resp.ci95_half_width(),
+            throughput_mean: self.tput.mean(),
+            throughput_ci95: self.tput.ci95_half_width(),
+            commits: self.commits,
+            aborts: self.aborts,
+        }
+    }
+}
+
+/// Cross-seed aggregate of `replications` independent runs, without the
+/// per-run reports (see [`ReplicatedReport`] for the buffered variant).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicationAggregate {
+    /// Number of replications aggregated.
+    pub replications: u32,
+    /// Mean of the per-run mean response times.
+    pub resp_time_mean: f64,
+    /// 95% half-width of the response-time mean across replications.
+    pub resp_time_ci95: f64,
+    /// Mean throughput across replications.
+    pub throughput_mean: f64,
+    /// 95% half-width of the throughput across replications.
+    pub throughput_ci95: f64,
+    /// Total commits across replications.
+    pub commits: u64,
+    /// Total aborts across replications.
+    pub aborts: u64,
+}
+
+impl ReplicationAggregate {
+    /// Relative half-width of the response-time estimate (0 when the mean
+    /// is 0); the usual stopping criterion for adding replications.
+    pub fn resp_relative_precision(&self) -> f64 {
+        if self.resp_time_mean == 0.0 {
+            0.0
+        } else {
+            self.resp_time_ci95 / self.resp_time_mean
+        }
+    }
+}
+
+/// Aggregate of `n` independent replications of one configuration,
+/// retaining every per-run report.
 #[derive(Clone, Debug)]
 pub struct ReplicatedReport {
     /// The reports of the individual replications, in seed order.
@@ -41,33 +127,49 @@ impl ReplicatedReport {
     }
 }
 
+/// The seed of replication `k` of a base configuration: `cfg.seed + k`
+/// (wrapping). Centralised so every replication consumer — serial,
+/// folded, and the parallel sweep — derives identical seeds.
+pub fn replication_seed(base_seed: u64, k: u32) -> u64 {
+    base_seed.wrapping_add(k as u64)
+}
+
 /// Run `replications` independent copies of `cfg`, differing only in the
-/// seed (derived as `cfg.seed + k`), and aggregate.
+/// seed (derived as `cfg.seed + k`), and aggregate, keeping every report.
 pub fn run_replicated(cfg: SimConfig, replications: u32) -> ReplicatedReport {
     assert!(replications > 0, "need at least one replication");
     let base_seed = cfg.seed;
     let mut runs = Vec::with_capacity(replications as usize);
-    let mut resp = Tally::new();
-    let mut tput = Tally::new();
-    let mut commits = 0;
-    let mut aborts = 0;
+    let mut acc = ReplicationAccumulator::new();
     for k in 0..replications {
-        let r = run_simulation(cfg.clone().with_seed(base_seed.wrapping_add(k as u64)));
-        resp.record(r.resp_time_mean);
-        tput.record(r.throughput);
-        commits += r.commits;
-        aborts += r.aborts;
+        let r = run_simulation(cfg.clone().with_seed(replication_seed(base_seed, k)));
+        acc.push(&r);
         runs.push(r);
     }
+    let agg = acc.aggregate();
     ReplicatedReport {
         runs,
-        resp_time_mean: resp.mean(),
-        resp_time_ci95: resp.ci95_half_width(),
-        throughput_mean: tput.mean(),
-        throughput_ci95: tput.ci95_half_width(),
-        commits,
-        aborts,
+        resp_time_mean: agg.resp_time_mean,
+        resp_time_ci95: agg.resp_time_ci95,
+        throughput_mean: agg.throughput_mean,
+        throughput_ci95: agg.throughput_ci95,
+        commits: agg.commits,
+        aborts: agg.aborts,
     }
+}
+
+/// [`run_replicated`] without buffering: each report is folded into the
+/// accumulator and dropped, so memory stays O(1) however long the series.
+pub fn run_replicated_folded(cfg: SimConfig, replications: u32) -> ReplicationAggregate {
+    assert!(replications > 0, "need at least one replication");
+    let base_seed = cfg.seed;
+    let mut acc = ReplicationAccumulator::new();
+    for k in 0..replications {
+        acc.push(&run_simulation(
+            cfg.clone().with_seed(replication_seed(base_seed, k)),
+        ));
+    }
+    acc.aggregate()
 }
 
 #[cfg(test)]
@@ -113,6 +215,34 @@ mod tests {
         // 6-rep CI uses the same spread over more samples.
         assert!(many.resp_time_ci95 <= few.resp_time_ci95 * 2.0);
         assert!(many.resp_time_mean > 0.0);
+    }
+
+    #[test]
+    fn folded_path_matches_buffered_aggregates() {
+        let buffered = run_replicated(quick(), 3);
+        let folded = run_replicated_folded(quick(), 3);
+        assert_eq!(folded.replications, 3);
+        assert_eq!(folded.resp_time_mean, buffered.resp_time_mean);
+        assert_eq!(folded.resp_time_ci95, buffered.resp_time_ci95);
+        assert_eq!(folded.throughput_mean, buffered.throughput_mean);
+        assert_eq!(folded.throughput_ci95, buffered.throughput_ci95);
+        assert_eq!(folded.commits, buffered.commits);
+        assert_eq!(folded.aborts, buffered.aborts);
+    }
+
+    #[test]
+    fn accumulator_counts_and_precision() {
+        let mut acc = ReplicationAccumulator::new();
+        assert_eq!(acc.count(), 0);
+        for k in 0..2 {
+            acc.push(&crate::runner::run_simulation(
+                quick().with_seed(replication_seed(0xCCDB, k)),
+            ));
+        }
+        assert_eq!(acc.count(), 2);
+        let agg = acc.aggregate();
+        assert!(agg.resp_time_mean > 0.0);
+        assert!(agg.resp_relative_precision() >= 0.0);
     }
 
     #[test]

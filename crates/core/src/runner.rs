@@ -44,6 +44,10 @@ pub struct Observed {
     pub report: RunReport,
     /// Ring-buffered metric trajectories; `None` without a sample interval.
     pub series: Option<SeriesSet>,
+    /// Every registered metric frozen at the horizon: plain `Send` data,
+    /// so callers (the sweep orchestrator in particular) can carry it out
+    /// of a worker thread and merge it across replications.
+    pub snapshot: ccdb_obs::Snapshot,
 }
 
 /// Run one simulation to completion and report.
@@ -240,7 +244,12 @@ pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) ->
         log_stats,
         sim.events_processed(),
     );
-    Observed { report, series }
+    let snapshot = registry.snapshot();
+    Observed {
+        report,
+        series,
+        snapshot,
+    }
 }
 
 /// Wire every component's statistics into the registry. Registration

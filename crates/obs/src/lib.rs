@@ -14,6 +14,10 @@
 //! * [`Json`] — a small, dependency-free JSON document model with a
 //!   deterministic serializer: the same value tree always renders to the
 //!   same bytes, which is what makes byte-identical run reports testable.
+//! * [`Snapshot`] + [`SnapshotMerger`] — frozen, `Send`, plain-data
+//!   registry values and their cross-replication merge (counters sum,
+//!   gauges average), for carrying metrics out of worker threads and
+//!   aggregating across seeds.
 //!
 //! The sampler only *reads* (facility utilisation getters are pure with
 //! respect to simulation state), so enabling it never changes the
@@ -25,7 +29,11 @@
 mod json;
 mod registry;
 mod series;
+mod snapshot;
 
 pub use json::Json;
 pub use registry::{Counter, Registry};
 pub use series::{run_sampler, SeriesSet};
+pub use snapshot::{
+    MergedGauge, MergedSnapValue, MergedSnapshot, SnapValue, Snapshot, SnapshotMerger,
+};

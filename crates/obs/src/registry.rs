@@ -122,6 +122,24 @@ impl Registry {
         self.inner.borrow().iter().map(|(_, m)| m.value()).collect()
     }
 
+    /// Freeze the current value of every metric into a plain-data
+    /// [`Snapshot`](crate::Snapshot) that can leave the simulation thread.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        let entries = self
+            .inner
+            .borrow()
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Gauge(f) => crate::SnapValue::Gauge(f()),
+                    Metric::Counter(f) => crate::SnapValue::Counter(f()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        crate::Snapshot { entries }
+    }
+
     /// Current values as an insertion-ordered JSON object.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj();

@@ -1,0 +1,303 @@
+//! Plain-data snapshots of a [`Registry`](crate::Registry) and their
+//! cross-replication merge.
+//!
+//! A live registry holds `Rc` closures and cannot leave the simulation
+//! thread; a [`Snapshot`] is the frozen end-of-run value of every metric,
+//! ordinary owned data that is `Send` and can be carried out of worker
+//! threads, merged across replications, and exported as JSON. Counters
+//! and gauges merge differently — counters sum (they are totals over the
+//! measurement window), gauges average (they are levels/ratios) — which
+//! is why the snapshot keeps the metric kind.
+
+use crate::json::Json;
+
+/// One frozen metric value, preserving its registry kind.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SnapValue {
+    /// A level (utilisation, ratio, queue length): merged by averaging.
+    Gauge(f64),
+    /// A monotone total over the window: merged by summing.
+    Counter(u64),
+}
+
+/// The frozen values of every registered metric, in registration order.
+///
+/// Plain owned data — unlike the registry it is `Send`, clonable without
+/// sharing, and comparable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in registration order.
+    pub entries: Vec<(String, SnapValue)>,
+}
+
+impl Snapshot {
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metrics were captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The captured value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<SnapValue> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Insertion-ordered JSON object mirroring `Registry::to_json`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, value) in &self.entries {
+            match value {
+                SnapValue::Gauge(g) => obj.set(name.clone(), *g),
+                SnapValue::Counter(c) => obj.set(name.clone(), *c),
+            };
+        }
+        obj
+    }
+}
+
+/// Folds per-replication [`Snapshot`]s into a [`MergedSnapshot`] without
+/// retaining them: counters are summed, gauges averaged (with min/max
+/// kept so the spread across seeds stays visible).
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotMerger {
+    entries: Vec<(String, MergedValue)>,
+    merged: u32,
+}
+
+#[derive(Clone, Debug)]
+enum MergedValue {
+    Gauge { sum: f64, min: f64, max: f64 },
+    Counter { total: u64 },
+}
+
+impl SnapshotMerger {
+    /// An empty merger; the first [`push`](SnapshotMerger::push) fixes the
+    /// metric names and order.
+    pub fn new() -> Self {
+        SnapshotMerger::default()
+    }
+
+    /// Number of snapshots merged so far.
+    pub fn count(&self) -> u32 {
+        self.merged
+    }
+
+    /// Fold one replication's snapshot in.
+    ///
+    /// Panics if `snap` does not have exactly the metrics (same names,
+    /// same order, same kinds) of the first pushed snapshot — different
+    /// shapes mean the replications did not run the same configuration,
+    /// which is a harness bug, not a runtime condition.
+    pub fn push(&mut self, snap: &Snapshot) {
+        if self.merged == 0 {
+            self.entries = snap
+                .entries
+                .iter()
+                .map(|(name, value)| {
+                    let merged = match value {
+                        SnapValue::Gauge(g) => MergedValue::Gauge {
+                            sum: *g,
+                            min: *g,
+                            max: *g,
+                        },
+                        SnapValue::Counter(c) => MergedValue::Counter { total: *c },
+                    };
+                    (name.clone(), merged)
+                })
+                .collect();
+            self.merged = 1;
+            return;
+        }
+        assert_eq!(
+            self.entries.len(),
+            snap.entries.len(),
+            "snapshot shape mismatch: {} vs {} metrics",
+            self.entries.len(),
+            snap.entries.len()
+        );
+        for ((name, merged), (snap_name, value)) in self.entries.iter_mut().zip(&snap.entries) {
+            assert_eq!(name, snap_name, "snapshot name mismatch");
+            match (merged, value) {
+                (MergedValue::Gauge { sum, min, max }, SnapValue::Gauge(g)) => {
+                    *sum += g;
+                    *min = min.min(*g);
+                    *max = max.max(*g);
+                }
+                (MergedValue::Counter { total }, SnapValue::Counter(c)) => *total += c,
+                _ => panic!("snapshot kind mismatch for metric {name:?}"),
+            }
+        }
+        self.merged += 1;
+    }
+
+    /// The merged aggregate (None until at least one snapshot was pushed).
+    pub fn finish(&self) -> Option<MergedSnapshot> {
+        if self.merged == 0 {
+            return None;
+        }
+        let n = self.merged as f64;
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, merged)| {
+                let value = match merged {
+                    MergedValue::Gauge { sum, min, max } => MergedGauge {
+                        mean: sum / n,
+                        min: *min,
+                        max: *max,
+                    }
+                    .into(),
+                    MergedValue::Counter { total } => MergedSnapValue::Counter { total: *total },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Some(MergedSnapshot {
+            replications: self.merged,
+            entries,
+        })
+    }
+}
+
+/// Aggregated gauge statistics across replications.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergedGauge {
+    /// Mean of the per-replication values.
+    pub mean: f64,
+    /// Smallest per-replication value.
+    pub min: f64,
+    /// Largest per-replication value.
+    pub max: f64,
+}
+
+/// One metric merged across replications.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MergedSnapValue {
+    /// Gauge: mean with min/max spread.
+    Gauge(MergedGauge),
+    /// Counter: total across all replications.
+    Counter {
+        /// Sum over all replications.
+        total: u64,
+    },
+}
+
+impl From<MergedGauge> for MergedSnapValue {
+    fn from(g: MergedGauge) -> Self {
+        MergedSnapValue::Gauge(g)
+    }
+}
+
+/// Every metric merged across `replications` snapshots, in registration
+/// order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergedSnapshot {
+    /// How many snapshots went into the merge.
+    pub replications: u32,
+    /// `(name, merged value)` pairs in registration order.
+    pub entries: Vec<(String, MergedSnapValue)>,
+}
+
+impl MergedSnapshot {
+    /// Insertion-ordered JSON object: gauges as `{"mean","min","max"}`,
+    /// counters as plain totals.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, value) in &self.entries {
+            match value {
+                MergedSnapValue::Gauge(g) => {
+                    let mut inner = Json::obj();
+                    inner
+                        .set("mean", g.mean)
+                        .set("min", g.min)
+                        .set("max", g.max);
+                    obj.set(name.clone(), inner);
+                }
+                MergedSnapValue::Counter { total } => {
+                    obj.set(name.clone(), *total);
+                }
+            };
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn snap(g: f64, c: u64) -> Snapshot {
+        Snapshot {
+            entries: vec![
+                ("util".to_string(), SnapValue::Gauge(g)),
+                ("hits".to_string(), SnapValue::Counter(c)),
+            ],
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_freezes_values() {
+        let reg = Registry::new();
+        reg.gauge("g", || 0.5);
+        let c = reg.counter("c");
+        c.add(3);
+        let s = reg.snapshot();
+        c.add(10);
+        assert_eq!(s.get("g"), Some(SnapValue::Gauge(0.5)));
+        assert_eq!(s.get("c"), Some(SnapValue::Counter(3)));
+        assert_eq!(s.to_json().render(), r#"{"g":0.5,"c":3}"#);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_averages_gauges() {
+        let mut m = SnapshotMerger::new();
+        m.push(&snap(0.2, 10));
+        m.push(&snap(0.6, 32));
+        let merged = m.finish().unwrap();
+        assert_eq!(merged.replications, 2);
+        match merged.entries[0].1 {
+            MergedSnapValue::Gauge(g) => {
+                assert!((g.mean - 0.4).abs() < 1e-12);
+                assert_eq!((g.min, g.max), (0.2, 0.6));
+            }
+            _ => panic!("expected gauge"),
+        }
+        assert_eq!(merged.entries[1].1, MergedSnapValue::Counter { total: 42 });
+    }
+
+    #[test]
+    fn merged_json_is_deterministic() {
+        let mut m = SnapshotMerger::new();
+        m.push(&snap(0.25, 1));
+        m.push(&snap(0.75, 2));
+        let json = m.finish().unwrap().to_json().render();
+        assert_eq!(
+            json,
+            r#"{"util":{"mean":0.5,"min":0.25,"max":0.75},"hits":3}"#
+        );
+    }
+
+    #[test]
+    fn empty_merger_yields_none() {
+        assert!(SnapshotMerger::new().finish().is_none());
+        assert_eq!(SnapshotMerger::new().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_rejected() {
+        let mut m = SnapshotMerger::new();
+        m.push(&snap(0.2, 10));
+        m.push(&Snapshot {
+            entries: vec![("util".to_string(), SnapValue::Gauge(0.1))],
+        });
+    }
+}

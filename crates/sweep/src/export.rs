@@ -1,0 +1,197 @@
+//! Versioned JSON export of sweep results.
+//!
+//! Two formats:
+//!
+//! * [`sweep_document`] — the final `ccdb.sweep/v1` document: the spec,
+//!   the job count, and one entry per cell with the cross-replication
+//!   aggregate, per-replication summaries, and the merged metrics
+//!   snapshot. Deliberately free of wall-clock times and worker counts,
+//!   so the document is **byte-identical for every worker count** (the
+//!   property the sweep tests pin down).
+//! * [`job_line`] — one self-describing JSONL object per job, emitted as
+//!   jobs complete. Line *content* is deterministic; line *order* is the
+//!   completion order and therefore only reproducible with one worker.
+//!
+//! Cell entries relate to `ccdb.run_report/v1` (see
+//! `docs/observability.md`): a run report is the full single-run record;
+//! a sweep cell carries the per-replication summaries plus aggregates of
+//! exactly those quantities, keyed by the same metric names.
+
+use ccdb_obs::Json;
+
+use crate::run::{JobRecord, SweepResult};
+use crate::spec::{Replication, SweepSpec};
+
+/// The schema tag of the sweep document.
+pub const SWEEP_SCHEMA: &str = "ccdb.sweep/v1";
+
+fn spec_json(spec: &SweepSpec) -> Json {
+    let mut replication = Json::obj();
+    match spec.replication {
+        Replication::Fixed(n) => {
+            replication.set("mode", "fixed").set("replications", n);
+        }
+        Replication::Adaptive {
+            min,
+            max,
+            target_rel_precision,
+        } => {
+            replication
+                .set("mode", "adaptive")
+                .set("min", min)
+                .set("max", max)
+                .set("target_rel_precision", target_rel_precision);
+        }
+    }
+    let mut obj = Json::obj();
+    obj.set("family", spec.family.label())
+        .set(
+            "algorithms",
+            spec.algorithms
+                .iter()
+                .map(|a| a.label())
+                .collect::<Vec<_>>(),
+        )
+        .set("clients", spec.clients.clone())
+        .set("localities", spec.localities.clone())
+        .set("write_probs", spec.write_probs.clone())
+        .set("seed", spec.seed)
+        .set("warmup_s", spec.warmup.as_secs_f64())
+        .set(
+            "measure_s",
+            (spec.measure * spec.family.measure_scale()).as_secs_f64(),
+        )
+        .set("replication", replication);
+    obj
+}
+
+/// The final `ccdb.sweep/v1` document for a finished sweep.
+pub fn sweep_document(result: &SweepResult) -> Json {
+    let mut cells = Vec::with_capacity(result.cells.len());
+    for cell in &result.cells {
+        let agg = &cell.aggregate;
+        let mut response = Json::obj();
+        response
+            .set("mean_s", agg.resp_time_mean)
+            .set("ci95_s", agg.resp_time_ci95)
+            .set("rel_precision", agg.resp_relative_precision());
+        let mut throughput = Json::obj();
+        throughput
+            .set("mean_tps", agg.throughput_mean)
+            .set("ci95_tps", agg.throughput_ci95);
+        let runs: Vec<Json> = cell
+            .runs
+            .iter()
+            .map(|r| {
+                let mut run = Json::obj();
+                run.set("seed", r.seed)
+                    .set("resp_s", r.resp_time_mean)
+                    .set("tput_tps", r.throughput)
+                    .set("commits", r.commits)
+                    .set("aborts", r.aborts);
+                run
+            })
+            .collect();
+        let mut entry = Json::obj();
+        entry
+            .set("algorithm", cell.cell.algorithm.label())
+            .set("clients", cell.cell.clients)
+            .set("locality", cell.cell.locality)
+            .set("write_prob", cell.cell.prob_write)
+            .set("replications", agg.replications)
+            .set("response", response)
+            .set("throughput", throughput)
+            .set("commits", agg.commits)
+            .set("aborts", agg.aborts)
+            .set("runs", runs)
+            .set("metrics", cell.metrics.to_json());
+        cells.push(entry);
+    }
+    let mut doc = Json::obj();
+    doc.set("schema", SWEEP_SCHEMA)
+        .set("spec", spec_json(&result.spec))
+        .set("jobs", result.jobs as u64)
+        .set("cells", cells);
+    doc
+}
+
+/// One JSONL line (no trailing newline) describing a completed job.
+pub fn job_line(job: &JobRecord) -> String {
+    let mut obj = Json::obj();
+    obj.set("job", job.job as u64)
+        .set("cell", job.cell_index as u64)
+        .set("replication", job.replication)
+        .set("algorithm", job.cell.algorithm.label())
+        .set("clients", job.cell.clients)
+        .set("locality", job.cell.locality)
+        .set("write_prob", job.cell.prob_write)
+        .set("seed", job.summary.seed)
+        .set("resp_s", job.summary.resp_time_mean)
+        .set("tput_tps", job.summary.throughput)
+        .set("commits", job.summary.commits)
+        .set("aborts", job.summary.aborts);
+    obj.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_sweep;
+    use crate::spec::{Family, Replication, SweepSpec};
+    use ccdb_core::Algorithm;
+    use ccdb_des::SimDuration;
+
+    fn tiny() -> SweepSpec {
+        SweepSpec {
+            algorithms: vec![Algorithm::Callback],
+            clients: vec![2],
+            localities: vec![0.5],
+            write_probs: vec![0.2],
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(8),
+            replication: Replication::Fixed(2),
+            ..SweepSpec::new(Family::Short)
+        }
+    }
+
+    #[test]
+    fn document_has_schema_spec_and_cells() {
+        let result = run_sweep(&tiny(), 1, |_| {});
+        let doc = sweep_document(&result).render();
+        assert!(doc.starts_with(r#"{"schema":"ccdb.sweep/v1","spec":{"family":"short""#));
+        assert!(doc.contains(r#""replication":{"mode":"fixed","replications":2}"#));
+        assert!(doc.contains(r#""algorithm":"CB","clients":2"#));
+        assert!(doc.contains(r#""metrics":{"#));
+        assert!(doc.contains("server.cpu.util"));
+        assert!(doc.contains(r#""txn.commits":"#));
+    }
+
+    #[test]
+    fn adaptive_spec_exports_its_rule() {
+        let spec = SweepSpec {
+            replication: Replication::Adaptive {
+                min: 1,
+                max: 2,
+                target_rel_precision: 0.25,
+            },
+            ..tiny()
+        };
+        let result = run_sweep(&spec, 1, |_| {});
+        let doc = sweep_document(&result).render();
+        assert!(doc.contains(
+            r#""replication":{"mode":"adaptive","min":1,"max":2,"target_rel_precision":0.25}"#
+        ));
+    }
+
+    #[test]
+    fn job_lines_are_parseable_objects() {
+        let mut lines = Vec::new();
+        run_sweep(&tiny(), 1, |job| lines.push(job_line(job)));
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"job":0,"cell":0,"replication":0,"algorithm":"CB""#));
+        assert!(lines[1].contains(r#""replication":1"#));
+        for line in &lines {
+            assert!(line.ends_with('}') && !line.contains('\n'));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Regenerating the paper's figure series from sweep output alone.
+//!
+//! Each [`FigureDef`] names one panel of Wang & Rowe's Figures 5–22 (plus
+//! the Table 4 ACL curve): a metric at one (locality, write-probability)
+//! point, plotted against the client axis with one column per algorithm.
+//! [`figures_from_sweep`] is a pure function of a [`SweepResult`] — no
+//! re-simulation — so `ccdb figures` can emit every CSV from a single
+//! sweep document's worth of runs.
+
+use crate::run::SweepResult;
+use crate::spec::Family;
+
+/// Which aggregate a figure plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FigureMetric {
+    /// Cross-replication mean response time (seconds).
+    Response,
+    /// Cross-replication mean throughput (committed txns per second).
+    Throughput,
+}
+
+/// One figure panel: metric + the (locality, write prob) cell slice.
+/// `None` axes match any value (used by the ACL family, whose workload
+/// point is fixed by Table 4).
+#[derive(Clone, Copy, Debug)]
+pub struct FigureDef {
+    /// Output file name (without extension).
+    pub slug: &'static str,
+    /// Human title, paper numbering.
+    pub title: &'static str,
+    /// What the y axis is.
+    pub metric: FigureMetric,
+    /// Locality slice (`None` = any).
+    pub locality: Option<f64>,
+    /// Write-probability slice (`None` = any).
+    pub prob_write: Option<f64>,
+}
+
+const fn resp(slug: &'static str, title: &'static str, loc: f64, pw: f64) -> FigureDef {
+    FigureDef {
+        slug,
+        title,
+        metric: FigureMetric::Response,
+        locality: Some(loc),
+        prob_write: Some(pw),
+    }
+}
+
+const fn tput(slug: &'static str, title: &'static str, loc: f64, pw: f64) -> FigureDef {
+    FigureDef {
+        slug,
+        title,
+        metric: FigureMetric::Throughput,
+        locality: Some(loc),
+        prob_write: Some(pw),
+    }
+}
+
+/// The paper figures each family's default sweep grid can regenerate.
+pub fn figures_for(family: Family) -> Vec<FigureDef> {
+    match family {
+        Family::Acl => vec![FigureDef {
+            slug: "table4_throughput",
+            title: "Table 4: ACL throughput vs MPL",
+            metric: FigureMetric::Throughput,
+            locality: None,
+            prob_write: None,
+        }],
+        Family::Caching => vec![
+            resp(
+                "figure_5a_response_loc_0_05_w_0_2",
+                "Figure 5(a): response time, Loc=0.05, W=0.2",
+                0.05,
+                0.2,
+            ),
+            resp(
+                "figure_5b_response_loc_0_05_w_0_5",
+                "Figure 5(b): response time, Loc=0.05, W=0.5",
+                0.05,
+                0.5,
+            ),
+            resp(
+                "figure_6a_response_loc_0_50_w_0_0",
+                "Figure 6(a): response time, Loc=0.50, W=0.0",
+                0.50,
+                0.0,
+            ),
+            resp(
+                "figure_6b_response_loc_0_50_w_0_5",
+                "Figure 6(b): response time, Loc=0.50, W=0.5",
+                0.50,
+                0.5,
+            ),
+            tput(
+                "figure_7a_throughput_loc_0_50_w_0_0",
+                "Figure 7(a): throughput, Loc=0.50, W=0.0",
+                0.50,
+                0.0,
+            ),
+            tput(
+                "figure_7b_throughput_loc_0_50_w_0_5",
+                "Figure 7(b): throughput, Loc=0.50, W=0.5",
+                0.50,
+                0.5,
+            ),
+        ],
+        Family::Short => vec![
+            resp(
+                "figure_8a_response_loc_0_05_w_0_0",
+                "Figure 8(a): response time, Loc=0.05, W=0.0",
+                0.05,
+                0.0,
+            ),
+            resp(
+                "figure_8b_response_loc_0_05_w_0_2",
+                "Figure 8(b): response time, Loc=0.05, W=0.2",
+                0.05,
+                0.2,
+            ),
+            resp(
+                "figure_8c_response_loc_0_05_w_0_5",
+                "Figure 8(c): response time, Loc=0.05, W=0.5",
+                0.05,
+                0.5,
+            ),
+            resp(
+                "figure_9a_response_loc_0_25_w_0_0",
+                "Figure 9(a): response time, Loc=0.25, W=0.0",
+                0.25,
+                0.0,
+            ),
+            resp(
+                "figure_9b_response_loc_0_25_w_0_2",
+                "Figure 9(b): response time, Loc=0.25, W=0.2",
+                0.25,
+                0.2,
+            ),
+            resp(
+                "figure_9c_response_loc_0_25_w_0_5",
+                "Figure 9(c): response time, Loc=0.25, W=0.5",
+                0.25,
+                0.5,
+            ),
+            resp(
+                "figure_10a_response_loc_0_50_w_0_0",
+                "Figure 10(a): response time, Loc=0.50, W=0.0",
+                0.50,
+                0.0,
+            ),
+            resp(
+                "figure_10b_response_loc_0_50_w_0_2",
+                "Figure 10(b): response time, Loc=0.50, W=0.2",
+                0.50,
+                0.2,
+            ),
+            resp(
+                "figure_10c_response_loc_0_50_w_0_5",
+                "Figure 10(c): response time, Loc=0.50, W=0.5",
+                0.50,
+                0.5,
+            ),
+            resp(
+                "figure_11a_response_loc_0_75_w_0_0",
+                "Figure 11(a): response time, Loc=0.75, W=0.0",
+                0.75,
+                0.0,
+            ),
+            resp(
+                "figure_11b_response_loc_0_75_w_0_2",
+                "Figure 11(b): response time, Loc=0.75, W=0.2",
+                0.75,
+                0.2,
+            ),
+            resp(
+                "figure_11c_response_loc_0_75_w_0_5",
+                "Figure 11(c): response time, Loc=0.75, W=0.5",
+                0.75,
+                0.5,
+            ),
+            tput(
+                "figure_12a_throughput_loc_0_25_w_0_2",
+                "Figure 12(a): throughput, Loc=0.25, W=0.2",
+                0.25,
+                0.2,
+            ),
+            tput(
+                "figure_12b_throughput_loc_0_75_w_0_2",
+                "Figure 12(b): throughput, Loc=0.75, W=0.2",
+                0.75,
+                0.2,
+            ),
+        ],
+        Family::Large => vec![
+            resp(
+                "figure_14a_response_loc_0_25_w_0_2",
+                "Figure 14(a): response time, Loc=0.25, W=0.2",
+                0.25,
+                0.2,
+            ),
+            resp(
+                "figure_14b_response_loc_0_25_w_0_5",
+                "Figure 14(b): response time, Loc=0.25, W=0.5",
+                0.25,
+                0.5,
+            ),
+            resp(
+                "figure_15a_response_loc_0_75_w_0_2",
+                "Figure 15(a): response time, Loc=0.75, W=0.2",
+                0.75,
+                0.2,
+            ),
+            resp(
+                "figure_15b_response_loc_0_75_w_0_5",
+                "Figure 15(b): response time, Loc=0.75, W=0.5",
+                0.75,
+                0.5,
+            ),
+        ],
+        Family::FastServer => vec![
+            resp(
+                "figure_16a_response_loc_0_25_w_0_2",
+                "Figure 16(a): response time, Loc=0.25, W=0.2",
+                0.25,
+                0.2,
+            ),
+            resp(
+                "figure_16b_response_loc_0_25_w_0_5",
+                "Figure 16(b): response time, Loc=0.25, W=0.5",
+                0.25,
+                0.5,
+            ),
+            resp(
+                "figure_17a_response_loc_0_75_w_0_2",
+                "Figure 17(a): response time, Loc=0.75, W=0.2",
+                0.75,
+                0.2,
+            ),
+            resp(
+                "figure_17b_response_loc_0_75_w_0_5",
+                "Figure 17(b): response time, Loc=0.75, W=0.5",
+                0.75,
+                0.5,
+            ),
+        ],
+        Family::FastNet => vec![
+            resp(
+                "figure_18a_response_loc_0_25_w_0_2",
+                "Figure 18(a): response time, Loc=0.25, W=0.2",
+                0.25,
+                0.2,
+            ),
+            resp(
+                "figure_18b_response_loc_0_25_w_0_5",
+                "Figure 18(b): response time, Loc=0.25, W=0.5",
+                0.25,
+                0.5,
+            ),
+            resp(
+                "figure_19a_response_loc_0_75_w_0_2",
+                "Figure 19(a): response time, Loc=0.75, W=0.2",
+                0.75,
+                0.2,
+            ),
+            resp(
+                "figure_19b_response_loc_0_75_w_0_5",
+                "Figure 19(b): response time, Loc=0.75, W=0.5",
+                0.75,
+                0.5,
+            ),
+            tput(
+                "figure_20_throughput_loc_0_25_w_0_2",
+                "Figure 20: throughput, Loc=0.25, W=0.2",
+                0.25,
+                0.2,
+            ),
+            tput(
+                "figure_21_throughput_loc_0_75_w_0_2",
+                "Figure 21: throughput, Loc=0.75, W=0.2",
+                0.75,
+                0.2,
+            ),
+        ],
+        Family::Interactive => vec![
+            resp(
+                "figure_22a_response_loc_0_25_w_0_0",
+                "Figure 22(a): response time, Loc=0.25, W=0.0",
+                0.25,
+                0.0,
+            ),
+            resp(
+                "figure_22b_response_loc_0_25_w_0_5",
+                "Figure 22(b): response time, Loc=0.25, W=0.5",
+                0.25,
+                0.5,
+            ),
+        ],
+    }
+}
+
+fn axis_matches(wanted: Option<f64>, actual: f64) -> bool {
+    wanted.is_none_or(|w| (w - actual).abs() < 1e-9)
+}
+
+/// Render one figure as CSV from the sweep's cell aggregates: header
+/// `clients,<alg>,...` (or `mpl,...` for the ACL family), one row per
+/// client count, algorithm columns in spec order. `None` when the sweep
+/// grid does not cover the figure's cell slice.
+pub fn figure_csv(result: &SweepResult, def: &FigureDef) -> Option<String> {
+    let spec = &result.spec;
+    let slice: Vec<_> = result
+        .cells
+        .iter()
+        .filter(|c| {
+            axis_matches(def.locality, c.cell.locality)
+                && axis_matches(def.prob_write, c.cell.prob_write)
+        })
+        .collect();
+    if slice.is_empty() {
+        return None;
+    }
+    let x_label = if spec.family == Family::Acl {
+        "mpl"
+    } else {
+        "clients"
+    };
+    let mut csv = String::new();
+    csv.push_str(x_label);
+    for alg in &spec.algorithms {
+        csv.push(',');
+        csv.push_str(alg.label());
+    }
+    csv.push('\n');
+    for &clients in &spec.clients {
+        csv.push_str(&clients.to_string());
+        for &alg in &spec.algorithms {
+            csv.push(',');
+            if let Some(cell) = slice
+                .iter()
+                .find(|c| c.cell.clients == clients && c.cell.algorithm == alg)
+            {
+                let value = match def.metric {
+                    FigureMetric::Response => cell.aggregate.resp_time_mean,
+                    FigureMetric::Throughput => cell.aggregate.throughput_mean,
+                };
+                csv.push_str(&value.to_string());
+            }
+        }
+        csv.push('\n');
+    }
+    Some(csv)
+}
+
+/// Every figure of the sweep's family that its grid covers, as
+/// `(file name, CSV contents)` pairs in paper order.
+pub fn figures_from_sweep(result: &SweepResult) -> Vec<(String, String)> {
+    figures_for(result.spec.family)
+        .iter()
+        .filter_map(|def| figure_csv(result, def).map(|csv| (format!("{}.csv", def.slug), csv)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_sweep;
+    use crate::spec::{Replication, SweepSpec};
+    use ccdb_core::Algorithm;
+    use ccdb_des::SimDuration;
+
+    #[test]
+    fn every_family_declares_figures() {
+        for family in Family::ALL {
+            assert!(!figures_for(family).is_empty(), "{family:?}");
+        }
+        // Default grids cover every declared figure slice.
+        for family in Family::ALL {
+            let spec = SweepSpec::new(family);
+            let cells = spec.cells();
+            for def in figures_for(family) {
+                assert!(
+                    cells.iter().any(|c| axis_matches(def.locality, c.locality)
+                        && axis_matches(def.prob_write, c.prob_write)),
+                    "{family:?}: {} not covered by default grid",
+                    def.slug
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_csv_matches_cell_aggregates() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::TwoPhase { inter: true }, Algorithm::Callback],
+            clients: vec![2, 5],
+            localities: vec![0.25],
+            write_probs: vec![0.2],
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(8),
+            replication: Replication::Fixed(1),
+            ..SweepSpec::new(Family::Short)
+        };
+        let result = run_sweep(&spec, 1, |_| {});
+        let figs = figures_from_sweep(&result);
+        // Only the Loc=0.25, W=0.2 panels are covered by this tiny grid.
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[0].0, "figure_9b_response_loc_0_25_w_0_2.csv");
+        assert_eq!(figs[1].0, "figure_12a_throughput_loc_0_25_w_0_2.csv");
+        let lines: Vec<&str> = figs[0].1.lines().collect();
+        assert_eq!(lines[0], "clients,C2PL,CB");
+        assert_eq!(lines.len(), 3);
+        let first_cell = &result.cells[0];
+        assert!(lines[1].starts_with("2,"));
+        assert!(lines[1].contains(&first_cell.aggregate.resp_time_mean.to_string()));
+    }
+
+    #[test]
+    fn uncovered_slice_yields_none() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::Callback],
+            clients: vec![2],
+            localities: vec![0.25],
+            write_probs: vec![0.2],
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(8),
+            replication: Replication::Fixed(1),
+            ..SweepSpec::new(Family::Short)
+        };
+        let result = run_sweep(&spec, 1, |_| {});
+        let miss = resp("x", "x", 0.75, 0.5);
+        assert!(figure_csv(&result, &miss).is_none());
+    }
+}

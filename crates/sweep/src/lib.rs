@@ -1,0 +1,40 @@
+//! # ccdb-sweep — experiment orchestration
+//!
+//! The paper's evaluation is a grid: algorithms × client populations ×
+//! locality levels × write probabilities × replication seeds — hundreds
+//! of independent simulations. This crate turns that grid into a
+//! first-class object and runs it on every core:
+//!
+//! * [`SweepSpec`] / [`Family`] — declarative grids with builders for
+//!   each experiment family of `ccdb_core::experiments`, expanded in a
+//!   fixed deterministic order ([`SweepSpec::cells`]).
+//! * [`run_indexed`] — a scoped `std::thread` worker pool (std-only),
+//!   sized by `available_parallelism()` by default, that collects
+//!   results **by job index**: since each simulation is a pure function
+//!   of its configuration, sweep output is byte-identical for every
+//!   worker count.
+//! * [`run_sweep`] — wave-based execution with per-cell
+//!   cross-replication merging ([`ccdb_core::ReplicationAccumulator`]
+//!   for the statistics, [`ccdb_obs::SnapshotMerger`] for the metrics
+//!   registry) and [`Replication::Adaptive`] precision-targeted
+//!   replication.
+//! * [`sweep_document`] / [`job_line`] — the versioned `ccdb.sweep/v1`
+//!   JSON document and the streaming per-job JSONL records.
+//! * [`figures_from_sweep`] — the paper's Figure 5–22 (and Table 4)
+//!   CSV series, regenerated from sweep output alone.
+//!
+//! See `docs/sweep.md` for the schema and the determinism contract.
+
+#![warn(missing_docs)]
+
+mod export;
+mod figures;
+mod run;
+mod scheduler;
+mod spec;
+
+pub use export::{job_line, sweep_document, SWEEP_SCHEMA};
+pub use figures::{figure_csv, figures_for, figures_from_sweep, FigureDef, FigureMetric};
+pub use run::{run_sweep, CellReport, JobRecord, RunSummary, SweepResult};
+pub use scheduler::{default_workers, resolve_workers, run_indexed};
+pub use spec::{Cell, Family, Replication, SweepSpec};

@@ -1,0 +1,276 @@
+//! Executing a [`SweepSpec`]: wave-based scheduling, streaming per-job
+//! records, and per-cell cross-replication merging.
+//!
+//! A sweep runs in **waves**. The first wave holds
+//! [`Replication::initial`] jobs per cell; after each wave every cell's
+//! aggregate is consulted and cells still failing the stopping rule
+//! contribute one more job to the next wave. Because each run is a pure
+//! function of its configuration, the set of follow-up jobs — and the
+//! final output — is identical for every worker count; only wall-clock
+//! time and the completion order of the streaming callback vary.
+
+use ccdb_core::runner::{run_simulation_observed, ObsOptions};
+use ccdb_core::trace::Trace;
+use ccdb_core::{ReplicationAccumulator, ReplicationAggregate, RunReport};
+use ccdb_obs::{MergedSnapshot, Snapshot, SnapshotMerger};
+
+use crate::scheduler::run_indexed;
+use crate::spec::{Cell, SweepSpec};
+
+/// Per-replication summary kept in the per-cell record (the full
+/// [`RunReport`] is folded and dropped, not buffered).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunSummary {
+    /// The seed this replication ran with.
+    pub seed: u64,
+    /// Mean response time (s).
+    pub resp_time_mean: f64,
+    /// Throughput (committed txns per second).
+    pub throughput: f64,
+    /// Commits in the measurement window.
+    pub commits: u64,
+    /// Aborts in the measurement window.
+    pub aborts: u64,
+}
+
+impl RunSummary {
+    fn from_report(r: &RunReport) -> RunSummary {
+        RunSummary {
+            seed: r.seed,
+            resp_time_mean: r.resp_time_mean,
+            throughput: r.throughput,
+            commits: r.commits,
+            aborts: r.aborts,
+        }
+    }
+}
+
+/// One completed cell: its axes, the cross-replication aggregate, the
+/// per-replication summaries (seed order), and the merged metrics
+/// snapshot.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// The cell's grid coordinates.
+    pub cell: Cell,
+    /// Cross-replication aggregate (means, 95% CIs, totals).
+    pub aggregate: ReplicationAggregate,
+    /// Per-replication summaries, in seed order.
+    pub runs: Vec<RunSummary>,
+    /// Every registry metric merged across the cell's replications
+    /// (counters summed, gauges averaged).
+    pub metrics: MergedSnapshot,
+}
+
+/// One finished job, handed to the streaming callback as it completes.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Global job index: deterministic (assigned at wave construction),
+    /// even though completion order is not.
+    pub job: usize,
+    /// Index of the cell in [`SweepSpec::cells`] order.
+    pub cell_index: usize,
+    /// Replication number within the cell (0-based).
+    pub replication: u32,
+    /// The cell's grid coordinates.
+    pub cell: Cell,
+    /// This replication's results.
+    pub summary: RunSummary,
+}
+
+/// Everything a finished sweep produced.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The spec that ran.
+    pub spec: SweepSpec,
+    /// One report per cell, in [`SweepSpec::cells`] order.
+    pub cells: Vec<CellReport>,
+    /// Total number of jobs (simulation runs) executed.
+    pub jobs: usize,
+}
+
+struct CellState {
+    acc: ReplicationAccumulator,
+    merger: SnapshotMerger,
+    runs: Vec<RunSummary>,
+}
+
+/// Run every job of `spec` on `workers` threads; `on_job` observes each
+/// job as it completes (streaming, completion order). The returned
+/// result is byte-identical for any `workers` value.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    workers: usize,
+    mut on_job: impl FnMut(&JobRecord),
+) -> SweepResult {
+    let cells = spec.cells();
+    let mut states: Vec<CellState> = cells
+        .iter()
+        .map(|_| CellState {
+            acc: ReplicationAccumulator::new(),
+            merger: SnapshotMerger::new(),
+            runs: Vec::new(),
+        })
+        .collect();
+
+    // First wave: the initial replication count for every cell.
+    let initial = spec.replication.initial();
+    let mut wave: Vec<(usize, u32)> = Vec::new();
+    for (ci, _) in cells.iter().enumerate() {
+        for k in 0..initial {
+            wave.push((ci, k));
+        }
+    }
+
+    let mut jobs = 0usize;
+    while !wave.is_empty() {
+        let wave_base = jobs;
+        let outputs = run_indexed(
+            &wave,
+            workers,
+            |_, &(ci, k)| {
+                let cfg = spec.config_for(&cells[ci], k);
+                let observed =
+                    run_simulation_observed(cfg, Trace::disabled(), ObsOptions::default());
+                (observed.report, observed.snapshot)
+            },
+            |i, (report, _snapshot): &(RunReport, Snapshot)| {
+                let (ci, k) = wave[i];
+                on_job(&JobRecord {
+                    job: wave_base + i,
+                    cell_index: ci,
+                    replication: k,
+                    cell: cells[ci],
+                    summary: RunSummary::from_report(report),
+                });
+            },
+        );
+        jobs += wave.len();
+
+        // Fold results in job-index (= seed) order: merging is
+        // order-sensitive only in floating-point rounding, and this order
+        // is the same for every worker count.
+        for (&(ci, _), (report, snapshot)) in wave.iter().zip(&outputs) {
+            let state = &mut states[ci];
+            state.acc.push(report);
+            state.merger.push(snapshot);
+            state.runs.push(RunSummary::from_report(report));
+        }
+
+        // Next wave: one more replication for each cell the stopping rule
+        // keeps open. Deterministic because the folded aggregates are.
+        wave = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                let agg = s.acc.aggregate();
+                spec.replication
+                    .needs_more(s.acc.count(), agg.resp_relative_precision())
+            })
+            .map(|(ci, s)| (ci, s.acc.count()))
+            .collect();
+    }
+
+    let reports = cells
+        .iter()
+        .zip(states)
+        .map(|(cell, state)| CellReport {
+            cell: *cell,
+            aggregate: state.acc.aggregate(),
+            runs: state.runs,
+            metrics: state
+                .merger
+                .finish()
+                .expect("every cell ran at least one replication"),
+        })
+        .collect();
+    SweepResult {
+        spec: spec.clone(),
+        cells: reports,
+        jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Family, Replication, SweepSpec};
+    use ccdb_core::{replication_seed, Algorithm};
+    use ccdb_des::SimDuration;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            algorithms: vec![Algorithm::TwoPhase { inter: true }, Algorithm::Callback],
+            clients: vec![2, 5],
+            localities: vec![0.5],
+            write_probs: vec![0.2],
+            seed: 0xCCDB,
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(10),
+            replication: Replication::Fixed(2),
+            ..SweepSpec::new(Family::Short)
+        }
+    }
+
+    #[test]
+    fn runs_every_cell_with_fixed_replications() {
+        let spec = tiny_spec();
+        let mut streamed = Vec::new();
+        let result = run_sweep(&spec, 1, |job| streamed.push(job.job));
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.jobs, 8);
+        streamed.sort_unstable();
+        assert_eq!(streamed, (0..8).collect::<Vec<_>>());
+        for cell in &result.cells {
+            assert_eq!(cell.aggregate.replications, 2);
+            assert_eq!(cell.runs.len(), 2);
+            // Replication seeds follow the shared convention.
+            assert_eq!(cell.runs[0].seed, replication_seed(spec.seed, 0));
+            assert_eq!(cell.runs[1].seed, replication_seed(spec.seed, 1));
+            assert!(cell.aggregate.resp_time_mean > 0.0);
+            assert_eq!(cell.metrics.replications, 2);
+        }
+    }
+
+    #[test]
+    fn seed_zero_replication_convention_matches_run_replicated() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::Callback],
+            clients: vec![5],
+            replication: Replication::Fixed(2),
+            ..tiny_spec()
+        };
+        let result = run_sweep(&spec, 1, |_| {});
+        let cfg = spec.config_for(&spec.cells()[0], 0);
+        let rep = ccdb_core::run_replicated(cfg.with_seed(spec.seed), 2);
+        let agg = result.cells[0].aggregate;
+        assert_eq!(agg.resp_time_mean, rep.resp_time_mean);
+        assert_eq!(agg.resp_time_ci95, rep.resp_time_ci95);
+        assert_eq!(agg.commits, rep.commits);
+    }
+
+    #[test]
+    fn adaptive_replication_stops_between_min_and_max() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::Callback],
+            clients: vec![5],
+            replication: Replication::Adaptive {
+                min: 2,
+                max: 4,
+                // Loose target: the min wave should already satisfy it in
+                // most cells; the cap bounds the rest.
+                target_rel_precision: 0.5,
+            },
+            ..tiny_spec()
+        };
+        let result = run_sweep(&spec, 2, |_| {});
+        let n = result.cells[0].aggregate.replications;
+        assert!((2..=4).contains(&n), "got {n} replications");
+        // And the adaptive run is itself deterministic.
+        let again = run_sweep(&spec, 1, |_| {});
+        assert_eq!(again.cells[0].aggregate.replications, n);
+        assert_eq!(
+            again.cells[0].aggregate.resp_time_mean,
+            result.cells[0].aggregate.resp_time_mean
+        );
+    }
+}

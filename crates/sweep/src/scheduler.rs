@@ -1,0 +1,152 @@
+//! The worker pool: scoped `std::thread` fan-out with index-ordered
+//! collection.
+//!
+//! Each simulation run is single-threaded and a pure function of its
+//! configuration, so parallelism lives entirely outside the kernel:
+//! workers pull the next job index from an atomic counter, run it, and
+//! send `(index, output)` back over a channel. The caller's results are
+//! reassembled **by job index**, so the output is identical for any
+//! worker count or completion interleaving — determinism is preserved
+//! end-to-end, which the sweep tests assert byte-for-byte.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a worker count: an explicit request (e.g. `--jobs N`) wins,
+/// then the `CCDB_JOBS` environment variable, then
+/// [`default_workers`]. Zero or unparsable values fall through.
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    requested
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var("CCDB_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(default_workers)
+}
+
+/// Run `run(i, &items[i])` for every item on `workers` threads and
+/// return the outputs in item order.
+///
+/// `on_complete` is invoked on the caller's thread once per job **in
+/// completion order** (for streaming progress); the returned vector is
+/// always in item order regardless of scheduling. `workers <= 1` — or a
+/// single item — takes a strictly serial in-order path with no threads.
+pub fn run_indexed<In, Out, R, C>(
+    items: &[In],
+    workers: usize,
+    run: R,
+    mut on_complete: C,
+) -> Vec<Out>
+where
+    In: Sync,
+    Out: Send,
+    R: Fn(usize, &In) -> Out + Sync,
+    C: FnMut(usize, &Out),
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let out = run(i, item);
+                on_complete(i, &out);
+                out
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Out)>();
+    let mut slots: Vec<Option<Out>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = run(i, &items[i]);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            on_complete(i, &out);
+            slots[i] = Some(out);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("scheduler lost a job result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_item_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let square = |_i: usize, x: &u64| x * x;
+        let serial = run_indexed(&items, 1, square, |_, _| {});
+        for workers in [2, 4, 8] {
+            let parallel = run_indexed(&items, workers, square, |_, _| {});
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn on_complete_sees_every_job_exactly_once() {
+        let items: Vec<usize> = (0..50).collect();
+        let mut seen = vec![0u32; items.len()];
+        run_indexed(
+            &items,
+            4,
+            |i, _| i,
+            |i, out| {
+                assert_eq!(i, *out);
+                seen[i] += 1;
+            },
+        );
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn empty_and_single_item_take_serial_path() {
+        let empty: Vec<u32> = vec![];
+        assert!(run_indexed(&empty, 8, |_, x| *x, |_, _| {}).is_empty());
+        let one = vec![7u32];
+        assert_eq!(run_indexed(&one, 8, |_, x| x + 1, |_, _| {}), vec![8]);
+    }
+
+    #[test]
+    fn resolve_workers_prefers_explicit_request() {
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert!(resolve_workers(None) >= 1);
+        // Zero is not a valid pool size; falls through to a default.
+        assert!(resolve_workers(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

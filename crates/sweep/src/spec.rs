@@ -1,0 +1,355 @@
+//! Declarative sweep grids: which experiment family, which axes, how
+//! many replications — expanded into a deterministic cell list.
+
+use ccdb_core::experiments;
+use ccdb_core::{Algorithm, SimConfig};
+use ccdb_des::SimDuration;
+
+/// The paper's experiment families (§4 verification and §5 experiments),
+/// each mapping one grid cell to a [`SimConfig`] via the builders in
+/// [`ccdb_core::experiments`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Table 4: the ACL comparison. The `clients` axis is interpreted as
+    /// the server MPL (the experiment runs a fixed terminal population).
+    Acl,
+    /// Figures 5–7: intra vs inter caching (§4 verification).
+    Caching,
+    /// Figures 8–13: short transactions, server-bound (§5.1).
+    Short,
+    /// Figures 14–15: large transactions (§5.2).
+    Large,
+    /// Figures 16–17: 20 MIPS server (§5.3).
+    FastServer,
+    /// Figures 18–21: 20 MIPS server + zero network delay (§5.4).
+    FastNet,
+    /// Figure 22: interactive transactions (§5.5).
+    Interactive,
+}
+
+impl Family {
+    /// Every family, in paper order.
+    pub const ALL: [Family; 7] = [
+        Family::Acl,
+        Family::Caching,
+        Family::Short,
+        Family::Large,
+        Family::FastServer,
+        Family::FastNet,
+        Family::Interactive,
+    ];
+
+    /// The CLI name (`--exp` value) of this family.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Acl => "acl",
+            Family::Caching => "caching",
+            Family::Short => "short",
+            Family::Large => "large",
+            Family::FastServer => "fast-server",
+            Family::FastNet => "fast-net",
+            Family::Interactive => "interactive",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.label() == s)
+    }
+
+    /// The algorithms the paper compares in this family.
+    pub fn default_algorithms(self) -> Vec<Algorithm> {
+        match self {
+            Family::Acl => vec![
+                Algorithm::TwoPhase { inter: true },
+                Algorithm::Certification { inter: true },
+            ],
+            Family::Caching => experiments::CACHING_ALGORITHMS.to_vec(),
+            _ => experiments::SECTION5_ALGORITHMS.to_vec(),
+        }
+    }
+
+    /// Measurement-window scale factor: interactive transactions take
+    /// ~56 s each, so their window is stretched (the bench harnesses use
+    /// the same factor).
+    pub fn measure_scale(self) -> u64 {
+        match self {
+            Family::Interactive => 5,
+            _ => 1,
+        }
+    }
+
+    /// The configuration of one grid cell (without seed or horizon).
+    pub fn build(self, alg: Algorithm, clients: u32, locality: f64, prob_write: f64) -> SimConfig {
+        match self {
+            Family::Acl => experiments::acl_verification(alg, clients),
+            Family::Caching => {
+                experiments::caching_verification(alg, clients, locality, prob_write)
+            }
+            Family::Short => experiments::short_txn(alg, clients, locality, prob_write),
+            Family::Large => experiments::large_txn(alg, clients, locality, prob_write),
+            Family::FastServer => experiments::fast_server(alg, clients, locality, prob_write),
+            Family::FastNet => {
+                experiments::fast_net_fast_server(alg, clients, locality, prob_write)
+            }
+            Family::Interactive => experiments::interactive(alg, clients, locality, prob_write),
+        }
+    }
+}
+
+/// How many replications each cell runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Replication {
+    /// Exactly `n` replications per cell.
+    Fixed(u32),
+    /// Start with `min` replications, then add one at a time until the
+    /// response-time CI half-width falls to `target_rel_precision` of the
+    /// mean (see `ReplicationAggregate::resp_relative_precision`) or
+    /// `max` replications have run.
+    Adaptive {
+        /// Replications every cell runs before the rule is consulted.
+        min: u32,
+        /// Hard cap per cell.
+        max: u32,
+        /// Stop once `ci95 / mean` is at or below this.
+        target_rel_precision: f64,
+    },
+}
+
+impl Replication {
+    /// Replications every cell runs in the first wave (always ≥ 1).
+    pub fn initial(self) -> u32 {
+        match self {
+            Replication::Fixed(n) => n.max(1),
+            Replication::Adaptive { min, .. } => min.max(1),
+        }
+    }
+
+    /// The stopping rule: given `done` completed replications with the
+    /// current relative precision, should another replication run?
+    pub fn needs_more(self, done: u32, rel_precision: f64) -> bool {
+        match self {
+            Replication::Fixed(n) => done < n.max(1),
+            Replication::Adaptive {
+                min,
+                max,
+                target_rel_precision,
+            } => {
+                if done < min.max(1) {
+                    true
+                } else if done >= max {
+                    false
+                } else {
+                    rel_precision > target_rel_precision
+                }
+            }
+        }
+    }
+}
+
+/// One grid cell: an algorithm at one point of the (clients, locality,
+/// write probability) axes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cell {
+    /// The concurrency-control algorithm.
+    pub algorithm: Algorithm,
+    /// Client population (MPL for [`Family::Acl`]).
+    pub clients: u32,
+    /// Inter-transaction locality.
+    pub locality: f64,
+    /// Write probability.
+    pub prob_write: f64,
+}
+
+/// A declarative experiment grid: family × algorithms × clients ×
+/// localities × write probabilities, plus seeding, horizon, and the
+/// replication policy. Expansion order is fixed (locality, then write
+/// probability, then algorithm, then clients) so job lists — and
+/// therefore exports — are deterministic.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Which experiment family builds the configurations.
+    pub family: Family,
+    /// Algorithms to compare.
+    pub algorithms: Vec<Algorithm>,
+    /// Client populations (MPLs for [`Family::Acl`]).
+    pub clients: Vec<u32>,
+    /// Locality levels.
+    pub localities: Vec<f64>,
+    /// Write probabilities.
+    pub write_probs: Vec<f64>,
+    /// Base seed; replication `k` of every cell runs with seed
+    /// `seed + k` (the [`ccdb_core::replication_seed`] convention).
+    pub seed: u64,
+    /// Warm-up excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured window (scaled by [`Family::measure_scale`]).
+    pub measure: SimDuration,
+    /// Replication policy.
+    pub replication: Replication,
+}
+
+impl SweepSpec {
+    /// A single-cell-axis spec with the family's default algorithms, the
+    /// paper's client sweep, and one replication per cell.
+    pub fn new(family: Family) -> SweepSpec {
+        let (localities, write_probs) = match family {
+            // Table 4 fixes workload parameters; record the actual values
+            // so exports stay truthful, but the axes do not vary.
+            Family::Acl => {
+                let probe = SimConfig::table4_acl(Algorithm::TwoPhase { inter: true });
+                (vec![probe.txn.inter_xact_loc], vec![probe.txn.prob_write])
+            }
+            Family::Caching => (vec![0.05, 0.50], vec![0.0, 0.2, 0.5]),
+            Family::Short => (
+                experiments::LOCALITY_LEVELS.to_vec(),
+                experiments::WRITE_PROBS.to_vec(),
+            ),
+            Family::Large | Family::FastServer | Family::FastNet => {
+                (vec![0.25, 0.75], vec![0.2, 0.5])
+            }
+            Family::Interactive => (vec![0.25], vec![0.0, 0.5]),
+        };
+        let clients = match family {
+            Family::Acl => experiments::ACL_MPL_SWEEP.to_vec(),
+            _ => experiments::CLIENT_SWEEP.to_vec(),
+        };
+        SweepSpec {
+            family,
+            algorithms: family.default_algorithms(),
+            clients,
+            localities,
+            write_probs,
+            seed: 0xCCDB,
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(300),
+            replication: Replication::Fixed(1),
+        }
+    }
+
+    /// Expand the grid into cells, in the fixed deterministic order:
+    /// locality (outermost), write probability, algorithm, clients.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(
+            self.localities.len()
+                * self.write_probs.len()
+                * self.algorithms.len()
+                * self.clients.len(),
+        );
+        for &locality in &self.localities {
+            for &prob_write in &self.write_probs {
+                for &algorithm in &self.algorithms {
+                    for &clients in &self.clients {
+                        cells.push(Cell {
+                            algorithm,
+                            clients,
+                            locality,
+                            prob_write,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The full configuration of replication `k` of `cell`.
+    pub fn config_for(&self, cell: &Cell, k: u32) -> SimConfig {
+        self.family
+            .build(cell.algorithm, cell.clients, cell.locality, cell.prob_write)
+            .with_seed(ccdb_core::replication_seed(self.seed, k))
+            .with_horizon(self.warmup, self.measure * self.family.measure_scale())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_labels_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.label()), Some(f));
+        }
+        assert_eq!(Family::parse("nope"), None);
+    }
+
+    #[test]
+    fn expansion_order_is_locality_pw_algorithm_clients() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::TwoPhase { inter: true }, Algorithm::Callback],
+            clients: vec![2, 10],
+            localities: vec![0.25, 0.75],
+            write_probs: vec![0.0, 0.5],
+            ..SweepSpec::new(Family::Short)
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 16);
+        // First block: loc 0.25, pw 0.0, C2PL, clients 2 then 10.
+        assert_eq!(cells[0].locality, 0.25);
+        assert_eq!(cells[0].prob_write, 0.0);
+        assert_eq!(cells[0].algorithm, Algorithm::TwoPhase { inter: true });
+        assert_eq!((cells[0].clients, cells[1].clients), (2, 10));
+        assert_eq!(cells[2].algorithm, Algorithm::Callback);
+        // Write prob advances before locality.
+        assert_eq!(cells[4].prob_write, 0.5);
+        assert_eq!(cells[4].locality, 0.25);
+        assert_eq!(cells[8].locality, 0.75);
+    }
+
+    #[test]
+    fn default_specs_validate_and_scale() {
+        for family in Family::ALL {
+            let spec = SweepSpec::new(family);
+            assert!(!spec.cells().is_empty(), "{family:?} grid empty");
+            for cell in spec.cells().iter().take(2) {
+                let cfg = spec.config_for(cell, 1);
+                cfg.validate();
+                assert_eq!(cfg.seed, spec.seed.wrapping_add(1));
+                assert_eq!(cfg.measure, spec.measure * family.measure_scale());
+            }
+        }
+    }
+
+    #[test]
+    fn acl_clients_axis_sets_mpl() {
+        let spec = SweepSpec::new(Family::Acl);
+        let cell = Cell {
+            algorithm: Algorithm::TwoPhase { inter: true },
+            clients: 75,
+            locality: spec.localities[0],
+            prob_write: spec.write_probs[0],
+        };
+        assert_eq!(spec.config_for(&cell, 0).sys.mpl, 75);
+    }
+
+    #[test]
+    fn fixed_replication_stopping_rule() {
+        let r = Replication::Fixed(3);
+        assert_eq!(r.initial(), 3);
+        assert!(r.needs_more(2, 1.0));
+        assert!(!r.needs_more(3, 1.0));
+        // Fixed(0) degrades to one replication rather than zero work.
+        assert_eq!(Replication::Fixed(0).initial(), 1);
+        assert!(!Replication::Fixed(0).needs_more(1, 1.0));
+    }
+
+    #[test]
+    fn adaptive_replication_stopping_rule() {
+        let r = Replication::Adaptive {
+            min: 2,
+            max: 5,
+            target_rel_precision: 0.1,
+        };
+        assert_eq!(r.initial(), 2);
+        // Below min: always continue, even if precision looks good.
+        assert!(r.needs_more(1, 0.0));
+        // Between min and max: continue only while above target.
+        assert!(r.needs_more(2, 0.3));
+        assert!(!r.needs_more(2, 0.1));
+        assert!(!r.needs_more(3, 0.05));
+        // At or past max: stop regardless of precision.
+        assert!(!r.needs_more(5, 0.9));
+        assert!(!r.needs_more(6, 0.9));
+    }
+}

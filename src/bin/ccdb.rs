@@ -4,22 +4,33 @@
 //! ccdb run     --alg CB --clients 30 --loc 0.50 --pw 0.2 [options]
 //! ccdb explain --alg CB --clients 30 --loc 0.50 --pw 0.2 [options]
 //! ccdb compare --clients 30 --loc 0.50 --pw 0.2 [options]
-//! ccdb sweep   --alg C2PL --loc 0.25 --pw 0.2  [options]   # over clients
+//! ccdb sweep   [--exp FAMILY] [--algs all|A,B] [--clients 2,10,30,50]
+//!              [--loc 0.25,0.75] [--pw 0.2] [--reps N | --precision F]
+//!              [--jobs N] [--json|--jsonl|--csv]
+//! ccdb figures [--exp FAMILY|all] [--out DIR] [--jobs N] [--reps N]
 //! ccdb list                                               # algorithms
 //! ```
 //!
-//! Common options: `--exp short|large|fast-server|fast-net|interactive`
-//! (workload/system family, default `short`), `--seed N`, `--measure SECS`,
-//! `--warmup SECS`. Observability: `--json` (structured report),
-//! `--sample-interval SECS` (metric time series), `--trace-cap N` (trace
-//! buffer size for `ccdb trace`).
+//! Common options: `--exp acl|caching|short|large|fast-server|fast-net|
+//! interactive` (experiment family, default `short`), `--seed N`,
+//! `--measure SECS`, `--warmup SECS` (defaults 30 s + 300 s, or 10 s +
+//! 60 s with `CCDB_QUICK=1`). Observability: `--json` (structured
+//! report), `--sample-interval SECS` (metric time series), `--trace-cap
+//! N` (trace buffer size for `ccdb trace`).
+//!
+//! `sweep` and `figures` fan jobs out over a worker pool (`--jobs N`,
+//! `CCDB_JOBS`, default `available_parallelism()`); output is
+//! byte-identical for every worker count.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ccdb::core::experiments;
-use ccdb::core::replication::run_replicated;
+use ccdb::core::run_replicated_folded;
 use ccdb::core::{run_simulation_traced, Trace};
+use ccdb::sweep::{
+    figures_from_sweep, job_line, resolve_workers, run_sweep, sweep_document, Family, Replication,
+    SweepResult, SweepSpec,
+};
 use ccdb::{
     run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, RunReport,
     SimConfig, SimDuration,
@@ -39,38 +50,102 @@ fn parse_alg(s: &str) -> Option<Algorithm> {
 }
 
 struct Options {
-    alg: Algorithm,
-    clients: u32,
-    loc: f64,
-    pw: f64,
-    exp: String,
+    alg: Option<Algorithm>,
+    algs: Option<String>,
+    clients: Vec<u32>,
+    loc: Vec<f64>,
+    pw: Vec<f64>,
+    exp: Option<String>,
     seed: u64,
-    warmup: f64,
-    measure: f64,
+    warmup: Option<f64>,
+    measure: Option<f64>,
     csv: bool,
     json: bool,
+    jsonl: bool,
     sample_interval: Option<f64>,
     trace_cap: usize,
-    reps: u32,
+    reps: Option<u32>,
+    precision: Option<f64>,
+    max_reps: Option<u32>,
+    jobs: Option<usize>,
+    out: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Options {
-            alg: Algorithm::TwoPhase { inter: true },
-            clients: 10,
-            loc: 0.25,
-            pw: 0.2,
-            exp: "short".to_string(),
+            alg: None,
+            algs: None,
+            clients: vec![],
+            loc: vec![],
+            pw: vec![],
+            exp: None,
             seed: 0xCCDB,
-            warmup: 30.0,
-            measure: 300.0,
+            warmup: None,
+            measure: None,
             csv: false,
             json: false,
+            jsonl: false,
             sample_interval: None,
             trace_cap: 2_000,
-            reps: 5,
+            reps: None,
+            precision: None,
+            max_reps: None,
+            jobs: None,
+            out: None,
         }
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, val: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    val.split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("{flag}: {e}")))
+        .collect()
+}
+
+fn single<T: Copy>(values: &[T], default: T, flag: &str) -> Result<T, String> {
+    match values {
+        [] => Ok(default),
+        [one] => Ok(*one),
+        _ => Err(format!(
+            "{flag} accepts a list only for the sweep/figures commands"
+        )),
+    }
+}
+
+impl Options {
+    /// The single algorithm for run/explain/trace/replicate.
+    fn one_alg(&self) -> Algorithm {
+        self.alg.unwrap_or(Algorithm::TwoPhase { inter: true })
+    }
+
+    fn one_clients(&self) -> Result<u32, String> {
+        single(&self.clients, 10, "--clients")
+    }
+
+    fn one_loc(&self) -> Result<f64, String> {
+        single(&self.loc, 0.25, "--loc")
+    }
+
+    fn one_pw(&self) -> Result<f64, String> {
+        single(&self.pw, 0.2, "--pw")
+    }
+
+    /// Warm-up and measurement windows in seconds: explicit flags win,
+    /// then `CCDB_QUICK=1` shortens the defaults (10 s + 60 s) exactly as
+    /// the bench harnesses do, else 30 s + 300 s.
+    fn horizon_secs(&self) -> (f64, f64) {
+        let quick = std::env::var_os("CCDB_QUICK").is_some();
+        let (dw, dm) = if quick { (10.0, 60.0) } else { (30.0, 300.0) };
+        (self.warmup.unwrap_or(dw), self.measure.unwrap_or(dm))
+    }
+
+    fn family(&self) -> Result<Family, String> {
+        let name = self.exp.as_deref().unwrap_or("short");
+        Family::parse(name).ok_or_else(|| format!("unknown experiment family {name}"))
     }
 }
 
@@ -79,28 +154,39 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut i = 0;
     while i < args.len() {
         let key = &args[i];
-        if key == "--csv" {
-            o.csv = true;
-            i += 1;
-            continue;
-        }
-        if key == "--json" {
-            o.json = true;
-            i += 1;
-            continue;
+        match key.as_str() {
+            "--csv" => {
+                o.csv = true;
+                i += 1;
+                continue;
+            }
+            "--json" => {
+                o.json = true;
+                i += 1;
+                continue;
+            }
+            "--jsonl" => {
+                o.jsonl = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
         }
         let val = args
             .get(i + 1)
             .ok_or_else(|| format!("missing value for {key}"))?;
         match key.as_str() {
-            "--alg" => o.alg = parse_alg(val).ok_or_else(|| format!("unknown algorithm {val}"))?,
-            "--clients" => o.clients = val.parse().map_err(|e| format!("--clients: {e}"))?,
-            "--loc" => o.loc = val.parse().map_err(|e| format!("--loc: {e}"))?,
-            "--pw" => o.pw = val.parse().map_err(|e| format!("--pw: {e}"))?,
-            "--exp" => o.exp = val.clone(),
+            "--alg" => {
+                o.alg = Some(parse_alg(val).ok_or_else(|| format!("unknown algorithm {val}"))?)
+            }
+            "--algs" => o.algs = Some(val.clone()),
+            "--clients" => o.clients = parse_list("--clients", val)?,
+            "--loc" => o.loc = parse_list("--loc", val)?,
+            "--pw" => o.pw = parse_list("--pw", val)?,
+            "--exp" => o.exp = Some(val.clone()),
             "--seed" => o.seed = val.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--warmup" => o.warmup = val.parse().map_err(|e| format!("--warmup: {e}"))?,
-            "--measure" => o.measure = val.parse().map_err(|e| format!("--measure: {e}"))?,
+            "--warmup" => o.warmup = Some(val.parse().map_err(|e| format!("--warmup: {e}"))?),
+            "--measure" => o.measure = Some(val.parse().map_err(|e| format!("--measure: {e}"))?),
             "--sample-interval" => {
                 let secs: f64 = val.parse().map_err(|e| format!("--sample-interval: {e}"))?;
                 if secs <= 0.0 {
@@ -114,7 +200,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--trace-cap must be positive".to_string());
                 }
             }
-            "--reps" => o.reps = val.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--reps" => o.reps = Some(val.parse().map_err(|e| format!("--reps: {e}"))?),
+            "--precision" => {
+                let p: f64 = val.parse().map_err(|e| format!("--precision: {e}"))?;
+                if p <= 0.0 {
+                    return Err("--precision must be positive".to_string());
+                }
+                o.precision = Some(p);
+            }
+            "--max-reps" => o.max_reps = Some(val.parse().map_err(|e| format!("--max-reps: {e}"))?),
+            "--jobs" => {
+                let n: usize = val.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be positive".to_string());
+                }
+                o.jobs = Some(n);
+            }
+            "--out" => o.out = Some(val.clone()),
             other => return Err(format!("unknown option {other}")),
         }
         i += 2;
@@ -123,18 +225,54 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn build_config(o: &Options, alg: Algorithm, clients: u32) -> Result<SimConfig, String> {
-    let cfg = match o.exp.as_str() {
-        "short" => experiments::short_txn(alg, clients, o.loc, o.pw),
-        "large" => experiments::large_txn(alg, clients, o.loc, o.pw),
-        "fast-server" => experiments::fast_server(alg, clients, o.loc, o.pw),
-        "fast-net" => experiments::fast_net_fast_server(alg, clients, o.loc, o.pw),
-        "interactive" => experiments::interactive(alg, clients, o.loc, o.pw),
-        other => return Err(format!("unknown experiment family {other}")),
+    let family = o.family()?;
+    let (warmup, measure) = o.horizon_secs();
+    Ok(family
+        .build(alg, clients, o.one_loc()?, o.one_pw()?)
+        .with_seed(o.seed)
+        .with_horizon(
+            SimDuration::from_secs_f64(warmup),
+            SimDuration::from_secs_f64(measure) * family.measure_scale(),
+        ))
+}
+
+/// The sweep grid implied by the options: the family's default grid with
+/// any explicitly listed axis overriding its default.
+fn build_spec(o: &Options, family: Family) -> Result<SweepSpec, String> {
+    let mut spec = SweepSpec::new(family);
+    spec.seed = o.seed;
+    let (warmup, measure) = o.horizon_secs();
+    spec.warmup = SimDuration::from_secs_f64(warmup);
+    spec.measure = SimDuration::from_secs_f64(measure);
+    if let Some(algs) = &o.algs {
+        if algs != "all" {
+            let parsed: Result<Vec<Algorithm>, String> = algs
+                .split(',')
+                .map(|s| parse_alg(s.trim()).ok_or_else(|| format!("unknown algorithm {s}")))
+                .collect();
+            spec.algorithms = parsed?;
+        }
+    } else if let Some(alg) = o.alg {
+        spec.algorithms = vec![alg];
+    }
+    if !o.clients.is_empty() {
+        spec.clients = o.clients.clone();
+    }
+    if !o.loc.is_empty() {
+        spec.localities = o.loc.clone();
+    }
+    if !o.pw.is_empty() {
+        spec.write_probs = o.pw.clone();
+    }
+    spec.replication = match o.precision {
+        Some(target_rel_precision) => Replication::Adaptive {
+            min: o.reps.unwrap_or(2),
+            max: o.max_reps.unwrap_or(10),
+            target_rel_precision,
+        },
+        None => Replication::Fixed(o.reps.unwrap_or(1)),
     };
-    Ok(cfg.with_seed(o.seed).with_horizon(
-        SimDuration::from_secs_f64(o.warmup),
-        SimDuration::from_secs_f64(o.measure),
-    ))
+    Ok(spec)
 }
 
 fn obs_options(opts: &Options) -> ObsOptions {
@@ -205,6 +343,64 @@ fn row_for(opts: &Options, r: &RunReport) {
         r.data_disk_util * 100.0,
         r.cache_hit_ratio * 100.0,
     );
+}
+
+/// Plain/CSV rows for the per-cell aggregates of a sweep.
+fn sweep_rows(opts: &Options, result: &SweepResult) {
+    if opts.csv {
+        println!(
+            "alg,clients,loc,pw,reps,resp_s,resp_ci95_s,tput_tps,tput_ci95_tps,commits,aborts"
+        );
+        for c in &result.cells {
+            let a = &c.aggregate;
+            println!(
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                c.cell.algorithm.label(),
+                c.cell.clients,
+                c.cell.locality,
+                c.cell.prob_write,
+                a.replications,
+                a.resp_time_mean,
+                a.resp_time_ci95,
+                a.throughput_mean,
+                a.throughput_ci95,
+                a.commits,
+                a.aborts,
+            );
+        }
+        return;
+    }
+    println!(
+        "{:<5} {:>7} {:>5} {:>5} {:>5} {:>9} {:>8} {:>9} {:>8} {:>8} {:>8}",
+        "alg",
+        "clients",
+        "loc",
+        "pw",
+        "reps",
+        "resp(s)",
+        "ci95",
+        "tput(/s)",
+        "ci95",
+        "commits",
+        "aborts"
+    );
+    for c in &result.cells {
+        let a = &c.aggregate;
+        println!(
+            "{:<5} {:>7} {:>5.2} {:>5.2} {:>5} {:>9.3} {:>8.3} {:>9.2} {:>8.2} {:>8} {:>8}",
+            c.cell.algorithm.label(),
+            c.cell.clients,
+            c.cell.locality,
+            c.cell.prob_write,
+            a.replications,
+            a.resp_time_mean,
+            a.resp_time_ci95,
+            a.throughput_mean,
+            a.throughput_ci95,
+            a.commits,
+            a.aborts,
+        );
+    }
 }
 
 /// The paper-style breakdown behind `ccdb explain`: which resource is the
@@ -301,11 +497,80 @@ fn explain(r: &RunReport, wall_secs: f64) {
 
 fn usage() {
     eprintln!(
-        "usage: ccdb <run|explain|compare|sweep|replicate|trace|list> [--alg A] [--clients N] \
-         [--loc F] [--pw F] [--exp short|large|fast-server|fast-net|interactive] [--seed N] \
-         [--warmup S] [--measure S] [--csv] [--json] [--sample-interval S] [--trace-cap N] \
-         [--reps N]"
+        "usage: ccdb <run|explain|compare|sweep|figures|replicate|trace|list> [--alg A] \
+         [--algs all|A,B,..] [--clients N[,N..]] [--loc F[,F..]] [--pw F[,F..]] \
+         [--exp acl|caching|short|large|fast-server|fast-net|interactive] [--seed N] \
+         [--warmup S] [--measure S] [--csv] [--json] [--jsonl] [--sample-interval S] \
+         [--trace-cap N] [--reps N] [--precision F] [--max-reps N] [--jobs N] [--out DIR]"
     );
+}
+
+fn fail(e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::FAILURE
+}
+
+fn cmd_sweep(opts: &Options) -> ExitCode {
+    let spec = match opts.family().and_then(|f| build_spec(opts, f)) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let workers = resolve_workers(opts.jobs);
+    let jsonl = opts.jsonl;
+    let result = run_sweep(&spec, workers, |job| {
+        if jsonl {
+            println!("{}", job_line(job));
+        }
+    });
+    if opts.json {
+        print!("{}", sweep_document(&result).render_pretty());
+    } else if !jsonl {
+        sweep_rows(opts, &result);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_figures(opts: &Options) -> ExitCode {
+    let families: Vec<Family> = match opts.exp.as_deref() {
+        None | Some("all") => Family::ALL.to_vec(),
+        Some(name) => match Family::parse(name) {
+            Some(f) => vec![f],
+            None => return fail(format!("unknown experiment family {name}")),
+        },
+    };
+    let out_dir = std::path::PathBuf::from(opts.out.as_deref().unwrap_or("figures"));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let workers = resolve_workers(opts.jobs);
+    let mut written = 0usize;
+    for family in families {
+        let spec = match build_spec(opts, family) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        };
+        eprintln!(
+            "figures: {} family, {} cells x {} reps minimum, {} workers",
+            family.label(),
+            spec.cells().len(),
+            spec.replication.initial(),
+            workers,
+        );
+        let result = run_sweep(&spec, workers, |_| {});
+        for (name, csv) in figures_from_sweep(&result) {
+            let path = out_dir.join(&name);
+            if let Err(e) = std::fs::write(&path, csv) {
+                return fail(format!("cannot write {}: {e}", path.display()));
+            }
+            println!("{}", path.display());
+            written += 1;
+        }
+    }
+    eprintln!(
+        "figures: wrote {written} CSV files to {}",
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -322,6 +587,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let one_run_config = |opts: &Options| -> Result<SimConfig, String> {
+        build_config(opts, opts.one_alg(), opts.one_clients()?)
+    };
     match cmd.as_str() {
         "list" => {
             for alg in [
@@ -337,7 +605,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" => match build_config(&opts, opts.alg, opts.clients) {
+        "run" => match one_run_config(&opts) {
             Ok(cfg) => {
                 if opts.json || opts.sample_interval.is_some() {
                     let observed =
@@ -364,12 +632,9 @@ fn main() -> ExitCode {
                 }
                 ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => fail(e),
         },
-        "explain" => match build_config(&opts, opts.alg, opts.clients) {
+        "explain" => match one_run_config(&opts) {
             Ok(cfg) => {
                 // Sampling is incidental to explain (the breakdown uses
                 // end-of-run aggregates) but honours --sample-interval so
@@ -380,30 +645,29 @@ fn main() -> ExitCode {
                 explain(&observed.report, wall_secs);
                 ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => fail(e),
         },
         "compare" => {
+            let clients = match opts.one_clients() {
+                Ok(c) => c,
+                Err(e) => return fail(e),
+            };
             header_for(&opts);
             for alg in Algorithm::EXPERIMENT_SET {
-                match build_config(&opts, alg, opts.clients) {
+                match build_config(&opts, alg, clients) {
                     Ok(cfg) => row_for(&opts, &run_simulation(cfg)),
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return fail(e),
                 }
             }
             ExitCode::SUCCESS
         }
-        "trace" => match build_config(&opts, opts.alg, opts.clients) {
+        "trace" => match one_run_config(&opts) {
             Ok(mut cfg) => {
                 // A short run with few clients keeps the transcript legible.
+                let measure = opts.horizon_secs().1.min(5.0);
                 cfg = cfg.with_horizon(
                     SimDuration::from_secs_f64(0.0),
-                    SimDuration::from_secs_f64(opts.measure.min(5.0)),
+                    SimDuration::from_secs_f64(measure),
                 );
                 let trace = Trace::enabled(opts.trace_cap);
                 let r = run_simulation_traced(cfg, trace.clone());
@@ -413,7 +677,7 @@ fn main() -> ExitCode {
                     trace.events().len(),
                     r.commits,
                     r.aborts,
-                    opts.measure.min(5.0),
+                    measure,
                     r.algorithm.name(),
                 );
                 if trace.dropped() > 0 {
@@ -426,19 +690,19 @@ fn main() -> ExitCode {
                 }
                 ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => fail(e),
         },
-        "replicate" => match build_config(&opts, opts.alg, opts.clients) {
+        "replicate" => match one_run_config(&opts) {
             Ok(cfg) => {
-                let rep = run_replicated(cfg, opts.reps);
+                let reps = opts.reps.unwrap_or(5);
+                // The folded path: per-run reports are aggregated as they
+                // complete, never buffered.
+                let rep = run_replicated_folded(cfg, reps);
                 println!(
                     "{} x{} replications: resp {:.3}s ± {:.3} (95% CI, {:.1}% rel), \
                      tput {:.2}/s ± {:.2}, commits {}, aborts {}",
-                    opts.alg.label(),
-                    opts.reps,
+                    opts.one_alg().label(),
+                    reps,
                     rep.resp_time_mean,
                     rep.resp_time_ci95,
                     rep.resp_relative_precision() * 100.0,
@@ -449,24 +713,10 @@ fn main() -> ExitCode {
                 );
                 ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => fail(e),
         },
-        "sweep" => {
-            header_for(&opts);
-            for clients in experiments::CLIENT_SWEEP {
-                match build_config(&opts, opts.alg, clients) {
-                    Ok(cfg) => row_for(&opts, &run_simulation(cfg)),
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            ExitCode::SUCCESS
-        }
+        "sweep" => cmd_sweep(&opts),
+        "figures" => cmd_figures(&opts),
         other => {
             eprintln!("error: unknown command {other}");
             usage();

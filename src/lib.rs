@@ -15,7 +15,10 @@
 //! * [`storage`] — disks, buffer manager, client cache, log manager,
 //! * [`lock`] — the page-level lock manager,
 //! * [`obs`] — metrics registry, time-series sampler, JSON export,
-//! * [`core`] — the simulator and the five algorithms.
+//! * [`core`] — the simulator and the five algorithms,
+//! * [`sweep`] — parallel experiment orchestration: declarative grids,
+//!   a deterministic worker pool, cross-replication merging, and
+//!   paper-figure regeneration.
 //!
 //! ## Quick start
 //!
@@ -43,6 +46,7 @@ pub use ccdb_model as model;
 pub use ccdb_net as net;
 pub use ccdb_obs as obs;
 pub use ccdb_storage as storage;
+pub use ccdb_sweep as sweep;
 
 pub use ccdb_core::{
     experiments, run_simulation, run_simulation_observed, run_simulation_traced, AbortKind,

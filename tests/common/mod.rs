@@ -1,0 +1,136 @@
+//! Helpers shared by the integration tests.
+
+/// Assert that `text` is one syntactically valid JSON value with nothing
+/// after it (panics with a position otherwise).
+pub fn assert_valid_json(text: &str) {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.value();
+    p.ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage in JSON");
+}
+
+/// A strict, minimal JSON syntax checker (panics on malformed input); kept
+/// in the tests so the exporters are validated without external crates.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> u8 {
+        assert!(self.pos < self.bytes.len(), "unexpected end of JSON");
+        self.bytes[self.pos]
+    }
+
+    fn ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        assert_eq!(self.peek(), b, "expected {} at {}", b as char, self.pos);
+        self.pos += 1;
+    }
+
+    fn literal(&mut self, s: &str) {
+        assert!(
+            self.bytes[self.pos..].starts_with(s.as_bytes()),
+            "bad literal at {}",
+            self.pos
+        );
+        self.pos += s.len();
+    }
+
+    fn value(&mut self) {
+        self.ws();
+        match self.peek() {
+            b'{' => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == b'}' {
+                    self.pos += 1;
+                    return;
+                }
+                loop {
+                    self.ws();
+                    self.string();
+                    self.ws();
+                    self.expect(b':');
+                    self.value();
+                    self.ws();
+                    if self.peek() == b',' {
+                        self.pos += 1;
+                    } else {
+                        self.expect(b'}');
+                        return;
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == b']' {
+                    self.pos += 1;
+                    return;
+                }
+                loop {
+                    self.value();
+                    self.ws();
+                    if self.peek() == b',' {
+                        self.pos += 1;
+                    } else {
+                        self.expect(b']');
+                        return;
+                    }
+                }
+            }
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) {
+        self.expect(b'"');
+        loop {
+            match self.peek() {
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\\' => self.pos += 2,
+                c => {
+                    assert!(c >= 0x20, "unescaped control char");
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        if self.peek() == b'-' {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+            )
+        {
+            self.pos += 1;
+        }
+        assert!(self.pos > start, "empty number at {start}");
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad number {s:?}"));
+    }
+}

@@ -1,0 +1,98 @@
+//! The sweep orchestrator end to end: the determinism contract (parallel
+//! output byte-identical to serial), the JSONL stream, and the figure
+//! CSVs regenerated from sweep output.
+
+mod common;
+
+use ccdb::sweep::{
+    figures_from_sweep, job_line, run_sweep, sweep_document, Family, Replication, SweepSpec,
+};
+use ccdb::{Algorithm, SimDuration};
+
+/// 2 algorithms x 2 client counts x 2 replications = 8 jobs, a few
+/// simulated seconds each — small enough to run several times per test.
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        algorithms: vec![Algorithm::TwoPhase { inter: true }, Algorithm::Callback],
+        clients: vec![2, 5],
+        localities: vec![0.25],
+        write_probs: vec![0.2],
+        seed: 0xCCDB,
+        warmup: SimDuration::from_secs(2),
+        measure: SimDuration::from_secs(10),
+        replication: Replication::Fixed(2),
+        ..SweepSpec::new(Family::Short)
+    }
+}
+
+#[test]
+fn four_workers_emit_byte_identical_document() {
+    let spec = tiny_spec();
+    let serial = sweep_document(&run_sweep(&spec, 1, |_| {})).render_pretty();
+    let parallel = sweep_document(&run_sweep(&spec, 4, |_| {})).render_pretty();
+    assert_eq!(serial, parallel, "sweep output must not depend on workers");
+}
+
+#[test]
+fn sweep_document_is_syntactically_valid_json() {
+    let result = run_sweep(&tiny_spec(), 2, |_| {});
+    common::assert_valid_json(&sweep_document(&result).render());
+    common::assert_valid_json(&sweep_document(&result).render_pretty());
+}
+
+#[test]
+fn jsonl_stream_has_the_same_lines_for_any_worker_count() {
+    let spec = tiny_spec();
+    let mut serial = Vec::new();
+    run_sweep(&spec, 1, |job| serial.push(job_line(job)));
+    let mut parallel = Vec::new();
+    run_sweep(&spec, 4, |job| parallel.push(job_line(job)));
+    assert_eq!(serial.len(), 8);
+    // With one worker the stream arrives in job order.
+    for (i, line) in serial.iter().enumerate() {
+        assert!(line.starts_with(&format!("{{\"job\":{i},")), "{line}");
+        common::assert_valid_json(line);
+    }
+    // With four workers only the order may differ, never the content.
+    parallel.sort();
+    let mut sorted_serial = serial;
+    sorted_serial.sort();
+    assert_eq!(sorted_serial, parallel);
+}
+
+#[test]
+fn figure_csvs_are_identical_across_worker_counts() {
+    let spec = tiny_spec();
+    let serial = figures_from_sweep(&run_sweep(&spec, 1, |_| {}));
+    let parallel = figures_from_sweep(&run_sweep(&spec, 4, |_| {}));
+    // The tiny grid covers (Loc 0.25, W 0.2): Figure 9(b) response and
+    // Figure 12(a) throughput.
+    let names: Vec<&str> = serial.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "figure_9b_response_loc_0_25_w_0_2.csv",
+            "figure_12a_throughput_loc_0_25_w_0_2.csv",
+        ]
+    );
+    assert_eq!(serial, parallel);
+    for (_, csv) in &serial {
+        assert!(csv.starts_with("clients,C2PL,CB\n"), "{csv}");
+        assert_eq!(csv.lines().count(), 1 + spec.clients.len());
+    }
+}
+
+#[test]
+fn adaptive_sweep_is_deterministic_across_worker_counts() {
+    let spec = SweepSpec {
+        replication: Replication::Adaptive {
+            min: 1,
+            max: 3,
+            target_rel_precision: 0.05,
+        },
+        ..tiny_spec()
+    };
+    let serial = sweep_document(&run_sweep(&spec, 1, |_| {})).render();
+    let parallel = sweep_document(&run_sweep(&spec, 3, |_| {})).render();
+    assert_eq!(serial, parallel);
+}

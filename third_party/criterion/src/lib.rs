@@ -1,0 +1,145 @@
+//! Offline drop-in subset of the `criterion` benchmark API.
+//!
+//! The real `criterion` crate is unavailable in offline builds; this
+//! stub keeps the workspace's `[[bench]]` targets compiling and gives
+//! honest (if unsophisticated) numbers: each benchmark runs a short
+//! calibration pass, then a fixed number of timed samples, and prints
+//! the mean time per iteration plus throughput when configured. No
+//! statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation: scales the per-iteration time into a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name.into(), f);
+        g.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to report a rate alongside the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set how many timed samples to collect (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f`, which must call [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let mean = b.samples.iter().sum::<Duration>() / n as u32;
+        let rate = self.throughput.map(|t| {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(e) => format!("  {:.3e} elem/s", e as f64 / secs),
+                Throughput::Bytes(by) => format!("  {:.3e} B/s", by as f64 / secs),
+            }
+        });
+        println!("{label:<40} {mean:>12?}/iter{}", rate.unwrap_or_default());
+        self
+    }
+
+    /// End the group (printing happens eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of samples, timing each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run.
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Re-export matching criterion's `black_box` (std's is equivalent).
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
