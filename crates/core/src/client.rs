@@ -9,9 +9,10 @@
 //! quirk the paper calls out in §5.5.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use ccdb_des::{Env, Pcg32, SimDuration};
+use ccdb_des::{Env, Pcg32, SimDuration, WaitClass};
 use ccdb_lock::{ClientId, Mode, TxnId};
 use ccdb_model::{PageId, TxnSpec, Workload};
 use ccdb_net::{Network, NetworkNode};
@@ -22,6 +23,7 @@ use crate::config::SimConfig;
 use crate::metrics::{AbortKind, MetricsHub};
 use crate::msg::{OpId, ReplyKind, C2S, S2C};
 use crate::trace::{Trace, TraceEvent};
+use crate::wait::WaitBook;
 
 /// One client workstation.
 pub struct Client {
@@ -38,6 +40,11 @@ pub struct Client {
     rng: Pcg32,
     metrics: MetricsHub,
     trace: Trace,
+    /// Wait-attribution ledgers shared with the server.
+    book: WaitBook,
+    /// Per-transaction wait profile (accumulated across restart attempts;
+    /// cleared at each transaction origin).
+    waits: BTreeMap<WaitClass, SimDuration>,
     next_op: OpId,
     txn_serial: u64,
     // --- current transaction attempt state ---
@@ -65,6 +72,7 @@ impl Client {
         workload: Workload,
         rng: Pcg32,
         metrics: MetricsHub,
+        book: WaitBook,
         trace: Trace,
     ) -> Client {
         let cache = Rc::new(RefCell::new(ClientCache::new(cfg.sys.cache_size)));
@@ -80,6 +88,8 @@ impl Client {
             rng,
             metrics,
             trace,
+            book,
+            waits: BTreeMap::new(),
             next_op: 0,
             txn_serial: 0,
             txn: TxnId(0),
@@ -117,10 +127,29 @@ impl Client {
         }
     }
 
-    async fn charge_pages(&self, n: usize) {
+    /// Record `d` of client-visible blocked time on `class` in this
+    /// transaction's wait profile.
+    fn note_wait(&mut self, class: WaitClass, d: SimDuration) {
+        if !d.is_zero() {
+            *self.waits.entry(class).or_insert(SimDuration::ZERO) += d;
+        }
+    }
+
+    /// Fold the server-side ledger of the current attempt into the wait
+    /// profile (called once per attempt, committed or aborted).
+    fn fold_ledger(&mut self) {
+        for (class, d) in self.book.take(self.txn) {
+            self.note_wait(class, d);
+        }
+    }
+
+    async fn charge_pages(&mut self, n: usize) {
+        let t0 = self.env.now();
         self.node
             .charge_cpu(self.cfg.sys.client_proc_page * n as u64)
             .await;
+        let elapsed = self.env.now().since(t0);
+        self.note_wait(WaitClass::ClientCpu, elapsed);
     }
 
     /// Install a fetched page and act on the evictions it causes.
@@ -249,14 +278,25 @@ impl Client {
     }
 
     /// Wait for the reply to `op`, servicing asynchronous messages.
+    ///
+    /// The elapsed wait splits into the server-side share (whatever the
+    /// server attributed to this attempt's ledger meanwhile — CPU, disks,
+    /// locks, admission) and a remainder charged to the network (message
+    /// transit both ways plus anything the server does not attribute).
     async fn await_reply(&mut self, op: OpId) -> ReplyKind {
-        loop {
+        let t0 = self.env.now();
+        let before = self.book.attributed(self.txn);
+        let kind = loop {
             let msg = self.node.inbox.recv().await;
             match msg {
-                S2C::Reply { op: o, kind } if o == op => return kind,
+                S2C::Reply { op: o, kind } if o == op => break kind,
                 other => self.handle_async(other),
             }
-        }
+        };
+        let elapsed = self.env.now().since(t0);
+        let server_share = self.book.attributed(self.txn) - before;
+        self.note_wait(WaitClass::Network, elapsed - server_share);
+        kind
     }
 
     /// Idle for `d` (think time between transactions / restart delay),
@@ -290,6 +330,7 @@ impl Client {
         self.abort_kind = AbortKind::Deadlock;
         self.ops_sent = 0;
         self.read_versions.clear();
+        self.book.open(self.txn);
     }
 
     // ---- ReadObject -----------------------------------------------------
@@ -795,11 +836,14 @@ impl Client {
         if d.is_zero() {
             return;
         }
+        let t0 = self.env.now();
         if self.cfg.tuning.responsive_client {
             self.idle_for(d).await;
         } else {
             self.env.hold(d).await;
         }
+        let elapsed = self.env.now().since(t0);
+        self.note_wait(WaitClass::Other, elapsed);
     }
 
     fn restart_delay(&mut self) -> SimDuration {
@@ -856,6 +900,7 @@ pub async fn run_client(mut c: Client) {
         c.idle_for(think).await;
         let spec = c.workload.next_txn();
         let origin = c.env.now();
+        c.waits.clear();
         let mut restarts: u32 = 0;
         loop {
             c.begin_attempt();
@@ -869,10 +914,12 @@ pub async fn run_client(mut c: Client) {
             );
             match c.execute(&spec).await {
                 Ok(()) => {
+                    c.fold_ledger();
                     let now = c.env.now();
                     let resp = now.since(origin).as_secs_f64();
                     c.metrics
                         .record_commit_typed(now, resp, restarts, spec.type_idx);
+                    c.metrics.record_commit_waits(now, &c.waits);
                     c.finish_commit();
                     c.resp_sum += resp;
                     c.resp_n += 1;
@@ -880,6 +927,7 @@ pub async fn run_client(mut c: Client) {
                     break;
                 }
                 Err(kind) => {
+                    c.fold_ledger();
                     restarts += 1;
                     c.trace.record(
                         c.env.now(),
@@ -892,7 +940,10 @@ pub async fn run_client(mut c: Client) {
                     c.metrics.record_abort(c.env.now(), kind);
                     c.abort_cleanup();
                     let d = c.restart_delay();
+                    let t0 = c.env.now();
                     c.idle_for(d).await;
+                    let elapsed = c.env.now().since(t0);
+                    c.note_wait(WaitClass::Other, elapsed);
                 }
             }
         }

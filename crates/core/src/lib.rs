@@ -39,9 +39,10 @@ pub mod replication;
 pub mod runner;
 pub mod server;
 pub mod trace;
+pub mod wait;
 
 pub use config::{Algorithm, SimConfig};
-pub use metrics::{AbortKind, MetricsHub, RunReport, TypeResponse};
+pub use metrics::{AbortKind, MetricsHub, ReportSummary, RunReport, TypeResponse, WaitRow};
 pub use replication::{
     replication_seed, run_replicated, run_replicated_folded, ReplicatedReport,
     ReplicationAccumulator, ReplicationAggregate,
@@ -50,3 +51,4 @@ pub use runner::{
     run_simulation, run_simulation_observed, run_simulation_traced, ObsOptions, Observed,
 };
 pub use trace::{Trace, TraceEvent};
+pub use wait::WaitBook;

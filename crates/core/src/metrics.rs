@@ -1,10 +1,11 @@
 //! Output metrics: per-run collection and the final report.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
-use ccdb_des::{BatchMeans, FacilitySnapshot, Histogram, SimTime, Tally};
+use ccdb_des::{BatchMeans, FacilitySnapshot, Histogram, SimDuration, SimTime, Tally, WaitClass};
 use ccdb_lock::LockStats;
 use ccdb_model::SystemParams;
 use ccdb_obs::Json;
@@ -32,6 +33,8 @@ struct Inner {
     validation_aborts: u64,
     callbacks_received: u64,
     updates_pushed: u64,
+    /// Total blocked time of committed transactions, by resource class.
+    wait_totals: BTreeMap<WaitClass, SimDuration>,
 }
 
 impl MetricsHub {
@@ -54,6 +57,7 @@ impl MetricsHub {
                 validation_aborts: 0,
                 callbacks_received: 0,
                 updates_pushed: 0,
+                wait_totals: BTreeMap::new(),
             })),
         }
     }
@@ -151,6 +155,24 @@ impl MetricsHub {
         }
     }
 
+    /// Record a committed transaction's wait profile (origin→commit blocked
+    /// time by resource class, restarts included). Gated on the same
+    /// warm-up window as [`MetricsHub::record_commit_typed`] so the totals
+    /// divide by the windowed commit count.
+    pub fn record_commit_waits(&self, now: SimTime, waits: &BTreeMap<WaitClass, SimDuration>) {
+        let mut m = self.inner.borrow_mut();
+        if now >= m.warmup_end {
+            for (&class, &d) in waits {
+                *m.wait_totals.entry(class).or_insert(SimDuration::ZERO) += d;
+            }
+        }
+    }
+
+    /// Accumulated wait totals of committed transactions (window).
+    pub fn wait_totals(&self) -> BTreeMap<WaitClass, SimDuration> {
+        self.inner.borrow().wait_totals.clone()
+    }
+
     /// Record pages pushed in a notification message.
     pub fn record_update_push(&self, now: SimTime, pages: u64) {
         let mut m = self.inner.borrow_mut();
@@ -184,6 +206,18 @@ pub enum AbortKind {
     StaleRead,
     /// Failed commit-time certification.
     Validation,
+}
+
+/// One row of the end-to-end wait decomposition: the mean time per
+/// committed transaction spent blocked on one resource class. The rows
+/// (including the residual) sum to the mean response time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaitRow {
+    /// Resource-class label (`cpu`, `data-disk`, `lock-shard-0`, ... or
+    /// `residual` for the unattributed remainder).
+    pub label: String,
+    /// Mean seconds per committed transaction.
+    pub mean_s: f64,
 }
 
 /// One transaction type's share of a workload mix in a report.
@@ -260,8 +294,10 @@ pub struct RunReport {
     pub cache_hit_ratio: f64,
     /// Server buffer hit ratio.
     pub buffer_hit_ratio: f64,
-    /// Lock manager counters (whole run, not windowed).
+    /// Lock manager counters (whole run, not windowed), summed over shards.
     pub lock_stats: LockStats,
+    /// Per-shard lock manager counters (one entry when `lock_shards` is 1).
+    pub lock_shard_stats: Vec<LockStats>,
     /// Log manager counters (whole run).
     pub log_stats: LogStats,
     /// Callbacks processed by clients (window).
@@ -271,6 +307,10 @@ pub struct RunReport {
     /// Per-facility statistics (server CPU, MPL gate, network medium,
     /// every data and log disk), for bottleneck analysis.
     pub resources: Vec<FacilitySnapshot>,
+    /// End-to-end wait decomposition: mean blocked seconds per committed
+    /// transaction by resource class, plus a `residual` row. Rows sum to
+    /// `resp_time_mean`.
+    pub wait_profile: Vec<WaitRow>,
     /// Simulation events processed (performance diagnostics).
     pub events: u64,
 }
@@ -298,10 +338,32 @@ impl RunReport {
         cache_stats: CacheStats,
         buffer_stats: BufferStats,
         lock_stats: LockStats,
+        lock_shard_stats: Vec<LockStats>,
         log_stats: LogStats,
         events: u64,
     ) -> RunReport {
         let (resp, restarts, commits, aborts, dl, stale, val, cb, upd) = hub.snapshot();
+        // Wait decomposition: windowed totals over windowed commits. The
+        // client accounts every blocked interval of a committed
+        // transaction, so the rows sum to the mean response time; the
+        // residual row absorbs float rounding and is reported so the
+        // invariant is visible (and checkable) in the output.
+        let mut wait_profile: Vec<WaitRow> = Vec::new();
+        if commits > 0 {
+            let mut attributed = 0.0;
+            for (class, total) in hub.wait_totals() {
+                let mean_s = total.as_secs_f64() / commits as f64;
+                attributed += mean_s;
+                wait_profile.push(WaitRow {
+                    label: class.label(),
+                    mean_s,
+                });
+            }
+            wait_profile.push(WaitRow {
+                label: "residual".into(),
+                mean_s: resp.mean() - attributed,
+            });
+        }
         let cache_total = cache_stats.hits + cache_stats.misses;
         let buf_total = buffer_stats.hits + buffer_stats.misses;
         let resp_by_type = hub
@@ -360,10 +422,12 @@ impl RunReport {
                 buffer_stats.hits as f64 / buf_total as f64
             },
             lock_stats,
+            lock_shard_stats,
             log_stats,
             callbacks: cb,
             updates_pushed: upd,
             resources,
+            wait_profile,
             events,
         }
     }
@@ -371,9 +435,15 @@ impl RunReport {
     /// The report as a deterministic JSON document: the same run always
     /// renders to the same bytes. Simulated quantities only — wall-clock
     /// figures live in the CLI so they can never perturb the bytes.
+    ///
+    /// Schema v2 extends v1 with a `waits` wait-decomposition array,
+    /// per-shard lock counters under `locks.shards`, and per-facility wait
+    /// statistics in `resources`; every v1 field is preserved, so v1
+    /// readers that ignore unknown fields keep working (see
+    /// [`ReportSummary::from_json`] for the reader path).
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj();
-        root.set("schema", "ccdb.run_report/v1")
+        root.set("schema", "ccdb.run_report/v2")
             .set("algorithm", self.algorithm.label())
             .set("algorithm_name", self.algorithm.name());
 
@@ -440,6 +510,17 @@ impl RunReport {
             .set("blocks", self.lock_stats.blocks)
             .set("deadlocks", self.lock_stats.deadlocks)
             .set("callbacks", self.lock_stats.callbacks);
+        let mut shards = Vec::new();
+        for (i, s) in self.lock_shard_stats.iter().enumerate() {
+            let mut o = Json::obj();
+            o.set("shard", i as u64)
+                .set("requests", s.requests)
+                .set("blocks", s.blocks)
+                .set("deadlocks", s.deadlocks)
+                .set("callbacks", s.callbacks);
+            shards.push(o);
+        }
+        locks.set("shards", Json::Arr(shards));
         root.set("locks", locks);
 
         let mut log = Json::obj();
@@ -456,10 +537,21 @@ impl RunReport {
                 .set("servers", r.servers)
                 .set("utilization", r.utilization)
                 .set("mean_queue_len", r.mean_queue_len)
-                .set("completions", r.completions);
+                .set("completions", r.completions)
+                .set("waits", r.waits)
+                .set("total_wait_s", r.total_wait_s)
+                .set("max_wait_s", r.max_wait_s);
             resources.push(o);
         }
         root.set("resources", Json::Arr(resources));
+
+        let mut waits = Vec::new();
+        for row in &self.wait_profile {
+            let mut o = Json::obj();
+            o.set("class", row.label.clone()).set("mean_s", row.mean_s);
+            waits.push(o);
+        }
+        root.set("waits", Json::Arr(waits));
 
         root.set("events", self.events);
         root
@@ -472,6 +564,84 @@ impl RunReport {
         self.resources
             .iter()
             .max_by(|a, b| a.utilization.total_cmp(&b.utilization))
+    }
+}
+
+/// The cross-version reader for emitted run-report documents: the fields
+/// every schema version carries, plus the v2 wait decomposition when
+/// present. Older v1 documents (no `waits`, no `locks.shards`) parse with
+/// an empty profile — the reader path that keeps archived reports usable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportSummary {
+    /// The document's schema tag (`ccdb.run_report/v1` or `/v2`).
+    pub schema: String,
+    /// Algorithm label (e.g. `CB`, `2PL-i`).
+    pub algorithm: String,
+    /// Committed transactions in the measurement window.
+    pub commits: u64,
+    /// Mean response time, seconds.
+    pub resp_mean_s: f64,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// Wait decomposition rows (empty for v1 documents).
+    pub waits: Vec<WaitRow>,
+}
+
+impl ReportSummary {
+    /// Parse a run-report JSON document of any supported schema version.
+    pub fn from_json(text: &str) -> Result<ReportSummary, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?
+            .to_string();
+        if schema != "ccdb.run_report/v1" && schema != "ccdb.run_report/v2" {
+            return Err(format!("unsupported schema '{schema}'"));
+        }
+        let algorithm = doc
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .ok_or("missing algorithm")?
+            .to_string();
+        let commits = doc
+            .get("transactions")
+            .and_then(|t| t.get("commits"))
+            .and_then(Json::as_u64)
+            .ok_or("missing transactions.commits")?;
+        let resp_mean_s = doc
+            .get("response")
+            .and_then(|r| r.get("mean_s"))
+            .and_then(Json::as_f64)
+            .ok_or("missing response.mean_s")?;
+        let throughput_tps = doc
+            .get("throughput_tps")
+            .and_then(Json::as_f64)
+            .ok_or("missing throughput_tps")?;
+        let mut waits = Vec::new();
+        if let Some(rows) = doc.get("waits").and_then(Json::items) {
+            for row in rows {
+                waits.push(WaitRow {
+                    label: row
+                        .get("class")
+                        .and_then(Json::as_str)
+                        .ok_or("wait row missing class")?
+                        .to_string(),
+                    mean_s: row
+                        .get("mean_s")
+                        .and_then(Json::as_f64)
+                        .ok_or("wait row missing mean_s")?,
+                });
+            }
+        }
+        Ok(ReportSummary {
+            schema,
+            algorithm,
+            commits,
+            resp_mean_s,
+            throughput_tps,
+            waits,
+        })
     }
 }
 
@@ -538,6 +708,48 @@ mod tests {
         assert_eq!(aborts, 1);
         assert_eq!(dl, 0);
         assert_eq!(stale, 1);
+    }
+
+    #[test]
+    fn wait_totals_follow_the_warmup_gate() {
+        let warmup_end = SimTime::ZERO + SimDuration::from_secs(10);
+        let hub = MetricsHub::new(warmup_end);
+        let mut waits = BTreeMap::new();
+        waits.insert(WaitClass::Cpu, SimDuration::from_millis(30));
+        waits.insert(WaitClass::LockShard(2), SimDuration::from_millis(70));
+        // Before the warm-up boundary: discarded.
+        hub.record_commit_waits(SimTime::ZERO + SimDuration::from_secs(5), &waits);
+        assert!(hub.wait_totals().is_empty());
+        // After: accumulated per class.
+        hub.record_commit_waits(SimTime::ZERO + SimDuration::from_secs(15), &waits);
+        hub.record_commit_waits(SimTime::ZERO + SimDuration::from_secs(16), &waits);
+        let totals = hub.wait_totals();
+        assert_eq!(totals[&WaitClass::Cpu], SimDuration::from_millis(60));
+        assert_eq!(
+            totals[&WaitClass::LockShard(2)],
+            SimDuration::from_millis(140)
+        );
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A minimal schema-v1 document as emitted before the wait
+        // decomposition existed: no `waits`, no `locks.shards`, resources
+        // without wait statistics. The reader must accept it.
+        let v1 = r#"{"schema":"ccdb.run_report/v1","algorithm":"CB","algorithm_name":"callback locking","config":{"clients":10,"prob_write":0.2,"locality":0.25,"seed":42,"warmup_s":5,"measure_s":20},"response":{"mean_s":0.125,"ci95_s":0.01,"bm_ci95_s":0.012,"p50_s":0.1,"p90_s":0.2,"p99_s":0.3,"by_type":[{"label":"type-0","commits":160,"mean_s":0.125}]},"throughput_tps":8,"transactions":{"commits":160,"aborts":3,"restarts_per_commit":0.02,"deadlock_aborts":3,"stale_aborts":0,"validation_aborts":0,"callbacks":12,"updates_pushed":0},"msgs_per_commit":6.5,"utilization":{"server_cpu":0.55,"client_cpu":0.1,"network":0.3,"data_disk":0.4,"log_disk":0.2},"hit_ratios":{"cache_hit":0.7,"buffer_hit":0.5},"locks":{"requests":900,"blocks":40,"deadlocks":3,"callbacks":12},"log":{"commits_forced":160,"pages_written":300,"undo_aborts":0,"pages_undone":0},"resources":[{"name":"server-cpu","servers":1,"utilization":0.55,"mean_queue_len":0.8,"completions":4000}],"events":123456}"#;
+        let summary = ReportSummary::from_json(v1).expect("v1 parses");
+        assert_eq!(summary.schema, "ccdb.run_report/v1");
+        assert_eq!(summary.algorithm, "CB");
+        assert_eq!(summary.commits, 160);
+        assert_eq!(summary.resp_mean_s, 0.125);
+        assert_eq!(summary.throughput_tps, 8.0);
+        assert!(summary.waits.is_empty(), "v1 has no wait profile");
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let doc = r#"{"schema":"ccdb.run_report/v9"}"#;
+        assert!(ReportSummary::from_json(doc).is_err());
     }
 
     #[test]

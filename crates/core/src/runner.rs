@@ -3,7 +3,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use ccdb_des::{FacilitySnapshot, Pcg32, Sim, SimDuration, SimTime};
+use ccdb_des::{FacilitySnapshot, Pcg32, Sim, SimDuration, SimTime, WaitClass};
 use ccdb_lock::ClientId;
 use ccdb_model::Workload;
 use ccdb_net::{Network, NetworkNode};
@@ -16,6 +16,7 @@ use crate::metrics::{MetricsHub, RunReport};
 use crate::msg::S2C;
 use crate::server::Server;
 use crate::trace::Trace;
+use crate::wait::WaitBook;
 
 /// Observability options for a run.
 #[derive(Clone, Debug)]
@@ -87,17 +88,20 @@ pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) ->
                     format!("client-cpu-{i}"),
                     cfg.sys.n_client_cpus,
                     cfg.sys.client_mips,
+                    WaitClass::ClientCpu,
                 )
             })
             .collect(),
     );
     let cfg = Rc::new(cfg);
+    let book = WaitBook::new();
     let server = Server::spawn(
         &env,
         Rc::clone(&cfg),
         net.clone(),
         Rc::clone(&client_nodes),
         &mut root_rng,
+        book.clone(),
         trace.clone(),
     );
 
@@ -124,6 +128,7 @@ pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) ->
             workload,
             client_rng,
             hub.clone(),
+            book.clone(),
             trace.clone(),
         );
         caches.push(Rc::clone(&client.cache));
@@ -204,17 +209,24 @@ pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) ->
         cache_stats.misses += s.misses;
         cache_stats.evictions += s.evictions;
     }
-    let (buffer_stats, lock_stats) = {
+    let (buffer_stats, lock_stats, lock_shard_stats) = {
         let state = server.state.borrow();
-        (state.buffer.stats(), state.lm.stats())
+        (
+            state.buffer.stats(),
+            state.lm.stats(),
+            state.lm.per_shard_stats(),
+        )
     };
     let log_stats = server.log.stats();
 
-    let mut resources: Vec<FacilitySnapshot> = vec![
-        server.node.cpu.snapshot(),
-        server.mpl().snapshot(),
-        net.medium().snapshot(),
-    ];
+    let mut resources: Vec<FacilitySnapshot> = vec![server.node.cpu.snapshot()];
+    // With more than one server CPU the pool also reports each core, so
+    // per-core imbalance is visible next to the aggregate.
+    if server.node.cpu.servers() > 1 {
+        resources.extend(server.node.cpu.core_snapshots());
+    }
+    resources.push(server.mpl().snapshot());
+    resources.push(net.medium().snapshot());
     resources.extend(server.data_disks.snapshots());
     resources.extend(server.log.snapshots());
 
@@ -241,6 +253,7 @@ pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) ->
         cache_stats,
         buffer_stats,
         lock_stats,
+        lock_shard_stats,
         log_stats,
         sim.events_processed(),
     );
@@ -263,7 +276,17 @@ fn register_all(
     caches: &[Rc<std::cell::RefCell<ClientCache>>],
     hub: &MetricsHub,
 ) {
-    registry.facility("server.cpu", &server.node.cpu);
+    // The server CPU is a pool of per-core facilities, not a single
+    // Facility; register the same `server.cpu.util` / `server.cpu.qlen`
+    // gauges (same names, same order) by hand over the aggregate.
+    {
+        let pool = server.node.cpu.clone();
+        registry.gauge("server.cpu.util", move || pool.utilization());
+    }
+    {
+        let pool = server.node.cpu.clone();
+        registry.gauge("server.cpu.qlen", move || pool.queue_len() as f64);
+    }
     registry.facility("server.mpl", server.mpl());
     net.register_metrics(registry);
     server.data_disks.register_metrics(registry);

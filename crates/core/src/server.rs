@@ -14,8 +14,10 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
-use ccdb_des::{oneshot, Env, Facility, FacilityGuard, OneshotSender, Pcg32};
-use ccdb_lock::{ClientId, LockManager, Mode, RequestOutcome, RetainPolicy, TxnId, Wake};
+use std::future::Future;
+
+use ccdb_des::{oneshot, Env, Facility, FacilityGuard, OneshotSender, Pcg32, WaitClass};
+use ccdb_lock::{ClientId, Mode, RequestOutcome, RetainPolicy, ShardedLockManager, TxnId, Wake};
 use ccdb_model::{DatabaseSpec, PageId, SystemParams};
 use ccdb_net::{Network, NetworkNode};
 use ccdb_storage::{BufferManager, DiskArray, LogManager};
@@ -24,6 +26,7 @@ use crate::config::{Algorithm, SimConfig};
 use crate::metrics::AbortKind;
 use crate::msg::{OpId, ReplyKind, C2S, S2C};
 use crate::trace::{Trace, TraceEvent};
+use crate::wait::WaitBook;
 
 /// Result of waiting for a parked lock request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,8 +50,8 @@ struct ServerTxn {
 /// Mutable server state shared by all handler processes. Borrows are always
 /// released before any `.await`.
 pub struct ServerState {
-    /// The lock manager.
-    pub lm: LockManager,
+    /// The (sharded) lock manager.
+    pub lm: ShardedLockManager,
     /// The buffer manager.
     pub buffer: BufferManager,
     /// Committed version of every page (dense, indexed by
@@ -82,6 +85,8 @@ pub struct Server {
     mpl: Facility,
     /// Shared mutable state.
     pub state: Rc<RefCell<ServerState>>,
+    /// Wait-attribution ledgers shared with the clients.
+    book: WaitBook,
     trace: Trace,
 }
 
@@ -106,15 +111,22 @@ impl Server {
         net: Network,
         client_nodes: Rc<Vec<NetworkNode<S2C>>>,
         rng: &mut Pcg32,
+        book: WaitBook,
         trace: Trace,
     ) -> Server {
         let sys = &cfg.sys;
-        let node = NetworkNode::new(env, "server-cpu", sys.n_server_cpus, sys.server_mips);
+        let node = NetworkNode::new(
+            env,
+            "server-cpu",
+            sys.n_server_cpus,
+            sys.server_mips,
+            WaitClass::Cpu,
+        );
         let data_disks = DiskArray::new(env, sys, rng);
         let log = LogManager::new(env, sys, rng);
-        let mpl = Facility::new(env, "mpl", sys.mpl);
+        let mpl = Facility::new(env, "mpl", sys.mpl).with_wait_class(WaitClass::MplGate);
         let state = Rc::new(RefCell::new(ServerState {
-            lm: LockManager::new(),
+            lm: ShardedLockManager::new(sys.lock_shards),
             buffer: BufferManager::new(sys.buffer_size),
             versions: vec![0; cfg.db.total_pages() as usize],
             txns: HashMap::new(),
@@ -132,6 +144,7 @@ impl Server {
             log,
             mpl,
             state,
+            book,
             trace,
         };
         let dispatcher = server.clone();
@@ -206,6 +219,28 @@ impl Server {
             .send(&self.node, &self.client_nodes[to.0 as usize], msg, bytes);
     }
 
+    /// Run `fut` and, when `attr` names a transaction whose client is
+    /// blocked on this handler (a synchronous request), charge the elapsed
+    /// simulated time to `class` in that transaction's wait ledger.
+    /// Asynchronous work passes `None`: it overlaps client execution and
+    /// must not be counted as client-visible waiting.
+    async fn attributed<F: Future>(
+        &self,
+        attr: Option<TxnId>,
+        class: WaitClass,
+        fut: F,
+    ) -> F::Output {
+        match attr {
+            None => fut.await,
+            Some(txn) => {
+                let t0 = self.env.now();
+                let out = fut.await;
+                self.book.add(txn, class, self.env.now().since(t0));
+                out
+            }
+        }
+    }
+
     async fn handle(&self, from: ClientId, msg: C2S) {
         match msg {
             C2S::LockFetch {
@@ -220,11 +255,11 @@ impl Server {
                     .await;
             }
             C2S::Fetch { txn, page, op } => {
-                if !self.ensure_admitted(txn, from).await {
+                if !self.ensure_admitted(txn, from, Some(txn)).await {
                     self.reply(from, op, ReplyKind::Aborted);
                     return;
                 }
-                self.ship_page(from, txn, page, op).await;
+                self.ship_page(from, txn, page, op, Some(txn)).await;
                 self.resolve_op(txn);
             }
             C2S::CheckVersion {
@@ -233,7 +268,7 @@ impl Server {
                 version,
                 op,
             } => {
-                if !self.ensure_admitted(txn, from).await {
+                if !self.ensure_admitted(txn, from, Some(txn)).await {
                     self.reply(from, op, ReplyKind::Aborted);
                     return;
                 }
@@ -244,7 +279,7 @@ impl Server {
                 if current == version {
                     self.reply(from, op, ReplyKind::Valid);
                 } else {
-                    self.ship_page(from, txn, page, op).await;
+                    self.ship_page(from, txn, page, op, Some(txn)).await;
                 }
                 self.resolve_op(txn);
             }
@@ -292,8 +327,9 @@ impl Server {
 
     /// Register the transaction and hold it at the MPL admission gate until
     /// the server accepts it. Returns `false` if the transaction is already
-    /// aborted (straggler message).
-    async fn ensure_admitted(&self, txn: TxnId, client: ClientId) -> bool {
+    /// aborted (straggler message). `attr` attributes the admission wait
+    /// (for synchronous requests) to the MPL gate.
+    async fn ensure_admitted(&self, txn: TxnId, client: ClientId, attr: Option<TxnId>) -> bool {
         enum Role {
             Ready,
             Creator,
@@ -333,11 +369,13 @@ impl Server {
             Role::Ready => true,
             Role::Dead => false,
             Role::Waiter(rx) => {
-                rx.wait().await;
+                self.attributed(attr, WaitClass::MplGate, rx.wait()).await;
                 !self.state.borrow().aborted.contains(&txn)
             }
             Role::Creator => {
-                let guard = self.mpl.acquire().await;
+                let guard = self
+                    .attributed(attr, WaitClass::MplGate, self.mpl.acquire())
+                    .await;
                 let waiters = {
                     let mut state = self.state.borrow_mut();
                     match state.txns.get_mut(&txn) {
@@ -390,7 +428,11 @@ impl Server {
         wait: bool,
         op: OpId,
     ) {
-        if !self.ensure_admitted(txn, from).await {
+        // Only a synchronous request (the client blocks on the reply) has
+        // its blocked time attributed; async no-wait requests overlap
+        // client execution.
+        let attr = wait.then_some(txn);
+        if !self.ensure_admitted(txn, from, attr).await {
             if wait {
                 self.reply(from, op, ReplyKind::Aborted);
             }
@@ -415,14 +457,17 @@ impl Server {
                     self.send_async(c, S2C::Callback { page });
                 }
                 let (tx, rx) = oneshot(&self.env);
-                {
+                let shard = {
                     let mut state = self.state.borrow_mut();
                     state.grants.entry((txn, page)).or_default().push_back(tx);
                     if let Some(entry) = state.txns.get_mut(&txn) {
                         entry.parked.insert(page);
                     }
-                }
-                let result = rx.wait().await;
+                    state.lm.shard_of(page)
+                };
+                let result = self
+                    .attributed(attr, WaitClass::LockShard(shard), rx.wait())
+                    .await;
                 {
                     let mut state = self.state.borrow_mut();
                     if let Some(entry) = state.txns.get_mut(&txn) {
@@ -472,7 +517,7 @@ impl Server {
             }
             _ => {
                 // Stale or absent: ship the page.
-                self.ship_page(from, txn, page, op).await;
+                self.ship_page(from, txn, page, op, attr).await;
                 self.resolve_op(txn);
             }
         }
@@ -480,9 +525,21 @@ impl Server {
 
     /// Read `page` (buffer or disk), charge per-page CPU, and reply with
     /// the data; records the client in the caching directory.
-    async fn ship_page(&self, to: ClientId, _txn: TxnId, page: PageId, op: OpId) {
-        self.read_into_buffer(page).await;
-        self.node.charge_cpu(self.sys().server_proc_page).await;
+    async fn ship_page(
+        &self,
+        to: ClientId,
+        _txn: TxnId,
+        page: PageId,
+        op: OpId,
+        attr: Option<TxnId>,
+    ) {
+        self.read_into_buffer(page, attr).await;
+        self.attributed(
+            attr,
+            WaitClass::Cpu,
+            self.node.charge_cpu(self.sys().server_proc_page),
+        )
+        .await;
         let version = {
             let mut state = self.state.borrow_mut();
             state.directory.entry(page).or_default().insert(to);
@@ -493,7 +550,7 @@ impl Server {
 
     /// Ensure `page` is resident in the buffer pool, performing the miss
     /// I/O and any eviction write-back.
-    async fn read_into_buffer(&self, page: PageId) {
+    async fn read_into_buffer(&self, page: PageId, attr: Option<TxnId>) {
         let (hit, eviction) = {
             let mut state = self.state.borrow_mut();
             if state.buffer.lookup(page) {
@@ -510,23 +567,46 @@ impl Server {
                 if let Some(t) = ev.uncommitted_of {
                     self.log.note_stolen_flush(t, ev.page);
                 }
-                self.node.charge_cpu(self.sys().init_disk_cost).await;
-                self.data_disks
-                    .for_class(ev.page.class.0)
-                    .access_page(ev.page, self.cfg.db.cluster_factor)
-                    .await;
+                self.attributed(
+                    attr,
+                    WaitClass::Cpu,
+                    self.node.charge_cpu(self.sys().init_disk_cost),
+                )
+                .await;
+                self.attributed(
+                    attr,
+                    WaitClass::DataDisk,
+                    self.data_disks
+                        .for_class(ev.page.class.0)
+                        .access_page(ev.page, self.cfg.db.cluster_factor),
+                )
+                .await;
             }
         }
-        self.node.charge_cpu(self.sys().init_disk_cost).await;
-        self.data_disks
-            .for_class(page.class.0)
-            .access_page(page, self.cfg.db.cluster_factor)
-            .await;
+        self.attributed(
+            attr,
+            WaitClass::Cpu,
+            self.node.charge_cpu(self.sys().init_disk_cost),
+        )
+        .await;
+        self.attributed(
+            attr,
+            WaitClass::DataDisk,
+            self.data_disks
+                .for_class(page.class.0)
+                .access_page(page, self.cfg.db.cluster_factor),
+        )
+        .await;
     }
 
     /// Install one updated page received from a client into the buffer.
-    async fn install_update(&self, page: PageId, txn: TxnId) {
-        self.node.charge_cpu(self.sys().server_proc_page).await;
+    async fn install_update(&self, page: PageId, txn: TxnId, attr: Option<TxnId>) {
+        self.attributed(
+            attr,
+            WaitClass::Cpu,
+            self.node.charge_cpu(self.sys().server_proc_page),
+        )
+        .await;
         let eviction = {
             let mut state = self.state.borrow_mut();
             let ev = state.buffer.admit(page);
@@ -538,11 +618,20 @@ impl Server {
                 if let Some(t) = ev.uncommitted_of {
                     self.log.note_stolen_flush(t, ev.page);
                 }
-                self.node.charge_cpu(self.sys().init_disk_cost).await;
-                self.data_disks
-                    .for_class(ev.page.class.0)
-                    .access_page(ev.page, self.cfg.db.cluster_factor)
-                    .await;
+                self.attributed(
+                    attr,
+                    WaitClass::Cpu,
+                    self.node.charge_cpu(self.sys().init_disk_cost),
+                )
+                .await;
+                self.attributed(
+                    attr,
+                    WaitClass::DataDisk,
+                    self.data_disks
+                        .for_class(ev.page.class.0)
+                        .access_page(ev.page, self.cfg.db.cluster_factor),
+                )
+                .await;
             }
         }
     }
@@ -557,7 +646,7 @@ impl Server {
         ops_sent: u32,
         op: OpId,
     ) {
-        if !self.ensure_admitted(txn, from).await {
+        if !self.ensure_admitted(txn, from, Some(txn)).await {
             self.reply(from, op, ReplyKind::Aborted);
             return;
         }
@@ -573,21 +662,33 @@ impl Server {
         loop {
             let wait = {
                 let mut state = self.state.borrow_mut();
-                match state.txns.get_mut(&txn) {
+                let pending = match state.txns.get_mut(&txn) {
                     Some(entry) => {
                         if entry.failed || entry.ops_resolved >= ops_sent {
                             None
                         } else {
                             let (tx, rx) = oneshot(&self.env);
                             entry.commit_waiter = Some(tx);
-                            Some(rx)
+                            Some((rx, entry.parked.iter().min().copied()))
                         }
                     }
                     None => None,
-                }
+                };
+                // An unresolved op is either parked on a lock (attribute to
+                // that page's shard; the smallest parked page for
+                // determinism) or still in flight (attribute to the
+                // network).
+                pending.map(|(rx, min_parked)| {
+                    let class = min_parked
+                        .map(|p| WaitClass::LockShard(state.lm.shard_of(p)))
+                        .unwrap_or(WaitClass::Network);
+                    (rx, class)
+                })
             };
             match wait {
-                Some(rx) => rx.wait().await,
+                Some((rx, class)) => {
+                    self.attributed(Some(txn), class, rx.wait()).await;
+                }
                 None => break,
             }
         }
@@ -645,10 +746,15 @@ impl Server {
 
         // Install updates (charges ServerProcPage per page + buffer I/O).
         for &page in &dirty {
-            self.install_update(page, txn).await;
+            self.install_update(page, txn, Some(txn)).await;
         }
         // Force the log.
-        self.log.force_commit(txn.0, dirty.len() as u64).await;
+        self.attributed(
+            Some(txn),
+            WaitClass::LogDisk,
+            self.log.force_commit(txn.0, dirty.len() as u64),
+        )
+        .await;
         // Bump versions (already done at the validation point for
         // certification); committed frames become anonymous dirty frames.
         {
@@ -683,7 +789,8 @@ impl Server {
 
         // Notification: push the new pages to every other caching client.
         if matches!(self.cfg.algorithm, Algorithm::NoWait { notify: true }) && !dirty.is_empty() {
-            self.push_updates(from, &dirty, new_version).await;
+            self.push_updates(from, &dirty, new_version, Some(txn))
+                .await;
         }
 
         self.cleanup_txn(txn);
@@ -693,7 +800,13 @@ impl Server {
     /// Batch the updated pages per caching client and ship them. With the
     /// broadcast variant every other client receives every page, and the
     /// server needs no caching directory.
-    async fn push_updates(&self, committer: ClientId, dirty: &[PageId], version: u64) {
+    async fn push_updates(
+        &self,
+        committer: ClientId,
+        dirty: &[PageId],
+        version: u64,
+        attr: Option<TxnId>,
+    ) {
         let mut per_client: HashMap<ClientId, Vec<PageId>> = HashMap::new();
         if self.cfg.tuning.notify_broadcast {
             for c in 0..self.cfg.sys.n_clients {
@@ -732,9 +845,13 @@ impl Server {
                 self.send_async(client, S2C::Invalidate { pages });
             } else {
                 // Server CPU per page pushed (it is "sent to a client").
-                self.node
-                    .charge_cpu(self.sys().server_proc_page * pages.len() as u64)
-                    .await;
+                self.attributed(
+                    attr,
+                    WaitClass::Cpu,
+                    self.node
+                        .charge_cpu(self.sys().server_proc_page * pages.len() as u64),
+                )
+                .await;
                 self.send_async(client, S2C::Update { pages, version });
             }
         }

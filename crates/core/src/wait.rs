@@ -1,0 +1,129 @@
+//! End-to-end wait attribution.
+//!
+//! A [`WaitBook`] is a shared ledger, keyed by transaction id, into which
+//! the server records how long each *synchronous* request spent blocked on
+//! which resource ([`WaitClass`]) while the requesting client was stalled
+//! awaiting the reply. The client opens a ledger at the start of each
+//! commit attempt, and on completion folds the ledger into its
+//! per-transaction wait profile. Because the simulation is single-threaded
+//! and clients advance only inside `await`s, the elapsed time of every
+//! client-side await in `[origin, commit]` partitions the response time
+//! exactly; the ledger splits the server-side portion of each await by
+//! resource, and the remainder of a reply wait is attributed to the
+//! network.
+//!
+//! Only synchronous requests (ones the client blocks on) are recorded:
+//! asynchronous no-wait work overlaps client execution, so charging it to
+//! the ledger would double-count intervals the client never waited
+//! through.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use ccdb_des::{SimDuration, WaitClass};
+use ccdb_lock::TxnId;
+
+/// The per-attempt wait ledger of one transaction.
+#[derive(Clone, Debug, Default)]
+struct Ledger {
+    by_class: BTreeMap<WaitClass, SimDuration>,
+    total: SimDuration,
+}
+
+/// Shared wait-attribution ledgers (client + server hold clones).
+#[derive(Clone, Default)]
+pub struct WaitBook {
+    inner: Rc<RefCell<HashMap<TxnId, Ledger>>>,
+}
+
+impl WaitBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        WaitBook::default()
+    }
+
+    /// Open (or reset) the ledger for one commit attempt of `txn`.
+    pub fn open(&self, txn: TxnId) {
+        self.inner.borrow_mut().insert(txn, Ledger::default());
+    }
+
+    /// Record `d` of blocked time on `class` for `txn`. A no-op when no
+    /// ledger is open (e.g. server work on behalf of an already-finished
+    /// attempt) or when `d` is zero.
+    pub fn add(&self, txn: TxnId, class: WaitClass, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        if let Some(ledger) = self.inner.borrow_mut().get_mut(&txn) {
+            *ledger.by_class.entry(class).or_insert(SimDuration::ZERO) += d;
+            ledger.total += d;
+        }
+    }
+
+    /// Total time attributed so far in `txn`'s open ledger (zero if none).
+    /// The client samples this around each reply wait; the delta is the
+    /// server-side share of that wait.
+    pub fn attributed(&self, txn: TxnId) -> SimDuration {
+        self.inner
+            .borrow()
+            .get(&txn)
+            .map(|l| l.total)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Close `txn`'s ledger and return its per-class totals (empty if no
+    /// ledger was open).
+    pub fn take(&self, txn: TxnId) -> BTreeMap<WaitClass, SimDuration> {
+        self.inner
+            .borrow_mut()
+            .remove(&txn)
+            .map(|l| l.by_class)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_lifecycle() {
+        let book = WaitBook::new();
+        let txn = TxnId(7);
+        // Writes before open are dropped.
+        book.add(txn, WaitClass::Cpu, SimDuration::from_millis(5));
+        assert_eq!(book.attributed(txn), SimDuration::ZERO);
+
+        book.open(txn);
+        book.add(txn, WaitClass::Cpu, SimDuration::from_millis(3));
+        book.add(txn, WaitClass::Cpu, SimDuration::from_millis(2));
+        book.add(txn, WaitClass::LockShard(1), SimDuration::from_millis(4));
+        book.add(txn, WaitClass::DataDisk, SimDuration::ZERO); // no-op
+        assert_eq!(book.attributed(txn), SimDuration::from_millis(9));
+
+        let classes = book.take(txn);
+        assert_eq!(
+            classes.get(&WaitClass::Cpu),
+            Some(&SimDuration::from_millis(5))
+        );
+        assert_eq!(
+            classes.get(&WaitClass::LockShard(1)),
+            Some(&SimDuration::from_millis(4))
+        );
+        assert!(!classes.contains_key(&WaitClass::DataDisk));
+        // Taking closes the ledger.
+        assert_eq!(book.attributed(txn), SimDuration::ZERO);
+        assert!(book.take(txn).is_empty());
+    }
+
+    #[test]
+    fn reopen_resets() {
+        let book = WaitBook::new();
+        let txn = TxnId(1);
+        book.open(txn);
+        book.add(txn, WaitClass::Network, SimDuration::from_secs(1));
+        book.open(txn); // restart of the same transaction id
+        assert_eq!(book.attributed(txn), SimDuration::ZERO);
+    }
+}

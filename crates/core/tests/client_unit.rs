@@ -8,8 +8,8 @@ use std::rc::Rc;
 
 use ccdb_core::client::{run_client, Client};
 use ccdb_core::msg::{OpId, ReplyKind, C2S, S2C};
-use ccdb_core::{Algorithm, MetricsHub, SimConfig, Trace};
-use ccdb_des::{Pcg32, Sim, SimDuration, SimTime};
+use ccdb_core::{Algorithm, MetricsHub, SimConfig, Trace, WaitBook};
+use ccdb_des::{Pcg32, Sim, SimDuration, SimTime, WaitClass};
 use ccdb_lock::ClientId;
 use ccdb_model::{TxnParams, Workload};
 use ccdb_net::{Network, NetworkNode};
@@ -38,8 +38,10 @@ fn run_against_script(algorithm: Algorithm, loc: f64, pw: f64, secs: u64) -> See
     let sim = Sim::new();
     let env = sim.env();
     let net = Network::new(&env, &cfg.sys, Pcg32::new(1, 1));
-    let client_node: NetworkNode<S2C> = NetworkNode::new(&env, "client", 1, 1.0);
-    let server_node: NetworkNode<(ClientId, C2S)> = NetworkNode::new(&env, "server", 1, 2.0);
+    let client_node: NetworkNode<S2C> =
+        NetworkNode::new(&env, "client", 1, 1.0, WaitClass::ClientCpu);
+    let server_node: NetworkNode<(ClientId, C2S)> =
+        NetworkNode::new(&env, "server", 1, 2.0, WaitClass::Cpu);
     let workload = Workload::new(
         cfg.db.clone(),
         TxnParams {
@@ -60,6 +62,7 @@ fn run_against_script(algorithm: Algorithm, loc: f64, pw: f64, secs: u64) -> See
         workload,
         Pcg32::new(3, 3),
         hub,
+        WaitBook::new(),
         Trace::disabled(),
     );
     env.spawn(run_client(client));
@@ -184,8 +187,10 @@ fn client_answers_callbacks_during_think_time() {
         let sim = Sim::new();
         let env = sim.env();
         let net = Network::new(&env, &cfg.sys, Pcg32::new(1, 1));
-        let client_node: NetworkNode<S2C> = NetworkNode::new(&env, "client", 1, 1.0);
-        let server_node: NetworkNode<(ClientId, C2S)> = NetworkNode::new(&env, "server", 1, 2.0);
+        let client_node: NetworkNode<S2C> =
+            NetworkNode::new(&env, "client", 1, 1.0, WaitClass::ClientCpu);
+        let server_node: NetworkNode<(ClientId, C2S)> =
+            NetworkNode::new(&env, "server", 1, 2.0, WaitClass::Cpu);
         let workload = Workload::new(
             cfg.db.clone(),
             TxnParams {
@@ -207,6 +212,7 @@ fn client_answers_callbacks_during_think_time() {
             workload,
             Pcg32::new(3, 3),
             hub,
+            WaitBook::new(),
             Trace::disabled(),
         );
         env.spawn(run_client(client));

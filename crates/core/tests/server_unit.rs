@@ -7,8 +7,8 @@ use std::rc::Rc;
 
 use ccdb_core::msg::{ReplyKind, C2S, S2C};
 use ccdb_core::server::Server;
-use ccdb_core::{Algorithm, SimConfig, Trace};
-use ccdb_des::{Pcg32, Sim, SimDuration, SimTime};
+use ccdb_core::{Algorithm, SimConfig, Trace, WaitBook};
+use ccdb_des::{Pcg32, Sim, SimDuration, SimTime, WaitClass};
 use ccdb_lock::{ClientId, Mode, TxnId};
 use ccdb_model::{ClassId, PageId};
 use ccdb_net::{Network, NetworkNode};
@@ -32,7 +32,7 @@ fn rig(algorithm: Algorithm, n_clients: u32) -> Rig {
     let net = Network::new(&env, &cfg.sys, rng.split(0));
     let clients: Rc<Vec<NetworkNode<S2C>>> = Rc::new(
         (0..n_clients)
-            .map(|i| NetworkNode::new(&env, format!("c{i}"), 1, 1.0))
+            .map(|i| NetworkNode::new(&env, format!("c{i}"), 1, 1.0, WaitClass::ClientCpu))
             .collect(),
     );
     let server = Server::spawn(
@@ -41,6 +41,7 @@ fn rig(algorithm: Algorithm, n_clients: u32) -> Rig {
         net.clone(),
         Rc::clone(&clients),
         &mut rng,
+        WaitBook::new(),
         Trace::disabled(),
     );
     Rig {
@@ -285,7 +286,7 @@ fn mpl_one_queues_the_second_transaction() {
     let net = Network::new(&env, &cfg.sys, rng.split(0));
     let clients: Rc<Vec<NetworkNode<S2C>>> = Rc::new(
         (0..2)
-            .map(|i| NetworkNode::new(&env, format!("c{i}"), 1, 1.0))
+            .map(|i| NetworkNode::new(&env, format!("c{i}"), 1, 1.0, WaitClass::ClientCpu))
             .collect(),
     );
     let server = Server::spawn(
@@ -294,6 +295,7 @@ fn mpl_one_queues_the_second_transaction() {
         net.clone(),
         Rc::clone(&clients),
         &mut rng,
+        WaitBook::new(),
         Trace::disabled(),
     );
     let r = Rig {

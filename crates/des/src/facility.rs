@@ -15,6 +15,45 @@ use std::task::{Context, Poll};
 use crate::kernel::{Env, ProcId};
 use crate::time::{SimDuration, SimTime};
 
+/// Why a process queued at a facility: the resource class blocked time is
+/// attributed to in wait-decomposition reports. Purely descriptive — it
+/// never affects scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WaitClass {
+    /// A server CPU core.
+    Cpu,
+    /// A client workstation CPU.
+    ClientCpu,
+    /// A data disk.
+    DataDisk,
+    /// A log disk.
+    LogDisk,
+    /// The network medium.
+    Network,
+    /// The server's multiprogramming-level admission gate.
+    MplGate,
+    /// Lock-table shard `k`.
+    LockShard(u32),
+    /// Anything not otherwise classified.
+    Other,
+}
+
+impl WaitClass {
+    /// Stable label used in reports (`lock-shard-k` for shard `k`).
+    pub fn label(self) -> String {
+        match self {
+            WaitClass::Cpu => "cpu".into(),
+            WaitClass::ClientCpu => "client-cpu".into(),
+            WaitClass::DataDisk => "data-disk".into(),
+            WaitClass::LogDisk => "log-disk".into(),
+            WaitClass::Network => "network".into(),
+            WaitClass::MplGate => "mpl-gate".into(),
+            WaitClass::LockShard(k) => format!("lock-shard-{k}"),
+            WaitClass::Other => "other".into(),
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum WaiterState {
     Queued,
@@ -25,11 +64,13 @@ enum WaiterState {
 struct Waiter {
     pid: ProcId,
     state: Rc<RefCell<WaiterState>>,
+    enqueued_at: SimTime,
 }
 
 struct Inner {
     name: String,
     servers: u32,
+    wait_class: WaitClass,
     busy: u32,
     queue: Vec<Waiter>, // front at index 0; small queues, removal is rare
     // Statistics.
@@ -39,6 +80,12 @@ struct Inner {
     queue_integral: f64, // waiter-seconds of queueing
     completions: u64,
     total_service: SimDuration,
+    // Per-waiter wait accounting: exact enqueue→grant intervals for
+    // acquisitions that had to queue (immediate grants wait zero and are
+    // not counted).
+    waits: u64,
+    total_wait: SimDuration,
+    max_wait: SimDuration,
 }
 
 impl Inner {
@@ -65,6 +112,12 @@ pub struct FacilitySnapshot {
     pub mean_queue_len: f64,
     /// Completed service periods since the last statistics reset.
     pub completions: u64,
+    /// Acquisitions that had to queue since the last statistics reset.
+    pub waits: u64,
+    /// Total enqueue→grant wait time (seconds) of those acquisitions.
+    pub total_wait_s: f64,
+    /// Longest single enqueue→grant wait (seconds).
+    pub max_wait_s: f64,
 }
 
 /// A first-come first-served multi-server resource.
@@ -83,6 +136,7 @@ impl Facility {
             inner: Rc::new(RefCell::new(Inner {
                 name: name.into(),
                 servers,
+                wait_class: WaitClass::Other,
                 busy: 0,
                 queue: Vec::new(),
                 stats_start: env.now(),
@@ -91,8 +145,23 @@ impl Facility {
                 queue_integral: 0.0,
                 completions: 0,
                 total_service: SimDuration::ZERO,
+                waits: 0,
+                total_wait: SimDuration::ZERO,
+                max_wait: SimDuration::ZERO,
             })),
         }
+    }
+
+    /// Tag this facility with the resource class its queueing time is
+    /// attributed to. Returns `self` for builder-style wiring.
+    pub fn with_wait_class(self, class: WaitClass) -> Self {
+        self.inner.borrow_mut().wait_class = class;
+        self
+    }
+
+    /// The resource class queueing at this facility is attributed to.
+    pub fn wait_class(&self) -> WaitClass {
+        self.inner.borrow().wait_class
     }
 
     /// Facility name (for reports).
@@ -120,6 +189,24 @@ impl Facility {
         Acquire {
             facility: self.clone(),
             state: None,
+        }
+    }
+
+    /// Take a server immediately if one is idle; never queues. Exactly the
+    /// immediate-grant path of [`Facility::acquire`], so a router (e.g. a
+    /// CPU pool) can dispatch to idle members without an event.
+    pub fn try_acquire(&self) -> Option<FacilityGuard> {
+        let now = self.env.now();
+        let mut inner = self.inner.borrow_mut();
+        inner.touch(now);
+        if inner.busy < inner.servers {
+            inner.busy += 1;
+            Some(FacilityGuard {
+                facility: self.clone(),
+                released: false,
+            })
+        } else {
+            None
         }
     }
 
@@ -161,6 +248,21 @@ impl Facility {
         self.inner.borrow().completions
     }
 
+    /// Acquisitions that had to queue since the last statistics reset.
+    pub fn waits(&self) -> u64 {
+        self.inner.borrow().waits
+    }
+
+    /// Total enqueue→grant wait time of queued acquisitions.
+    pub fn total_wait(&self) -> SimDuration {
+        self.inner.borrow().total_wait
+    }
+
+    /// Longest single enqueue→grant wait.
+    pub fn max_wait(&self) -> SimDuration {
+        self.inner.borrow().max_wait
+    }
+
     /// Snapshot the statistics for a report.
     pub fn snapshot(&self) -> FacilitySnapshot {
         FacilitySnapshot {
@@ -169,6 +271,9 @@ impl Facility {
             utilization: self.utilization(),
             mean_queue_len: self.mean_queue_len(),
             completions: self.completions(),
+            waits: self.waits(),
+            total_wait_s: self.total_wait().as_secs_f64(),
+            max_wait_s: self.max_wait().as_secs_f64(),
         }
     }
 
@@ -181,6 +286,9 @@ impl Facility {
         inner.queue_integral = 0.0;
         inner.completions = 0;
         inner.total_service = SimDuration::ZERO;
+        inner.waits = 0;
+        inner.total_wait = SimDuration::ZERO;
+        inner.max_wait = SimDuration::ZERO;
     }
 
     fn release_one(&self) {
@@ -202,6 +310,10 @@ impl Facility {
                 WaiterState::Cancelled => continue,
                 WaiterState::Queued => {
                     *w.state.borrow_mut() = WaiterState::Granted;
+                    let waited = now.since(w.enqueued_at.max(inner.stats_start));
+                    inner.waits += 1;
+                    inner.total_wait += waited;
+                    inner.max_wait = inner.max_wait.max(waited);
                     // busy count unchanged: the server transfers directly.
                     drop(inner);
                     self.env.schedule_wake(now, w.pid);
@@ -245,6 +357,7 @@ impl Future for Acquire {
                     inner.queue.push(Waiter {
                         pid: env.current(),
                         state: Rc::clone(&state),
+                        enqueued_at: now,
                     });
                     drop(inner);
                     self.state = Some(state);
@@ -454,6 +567,41 @@ mod tests {
         assert_eq!(snap.utilization, fac.utilization());
         assert_eq!(snap.mean_queue_len, fac.mean_queue_len());
         assert_eq!(snap.completions, 1);
+    }
+
+    #[test]
+    fn wait_stats_are_exact() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "cpu", 1);
+        for _ in 0..3 {
+            let fac = fac.clone();
+            sim.spawn(async move {
+                fac.use_for(SimDuration::from_secs(1)).await;
+            });
+        }
+        sim.run();
+        // First acquisition is immediate (uncounted); the second waits 1 s,
+        // the third 2 s.
+        assert_eq!(fac.waits(), 2);
+        assert_eq!(fac.total_wait(), SimDuration::from_secs(3));
+        assert_eq!(fac.max_wait(), SimDuration::from_secs(2));
+        let snap = fac.snapshot();
+        assert_eq!(snap.waits, 2);
+        assert!((snap.total_wait_s - 3.0).abs() < 1e-12);
+        assert!((snap.max_wait_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_class_tags_are_descriptive() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let fac = Facility::new(&env, "cpu", 1).with_wait_class(WaitClass::Cpu);
+        assert_eq!(fac.wait_class(), WaitClass::Cpu);
+        assert_eq!(WaitClass::Cpu.label(), "cpu");
+        assert_eq!(WaitClass::LockShard(3).label(), "lock-shard-3");
+        // Untagged facilities default to Other.
+        assert_eq!(Facility::new(&env, "x", 1).wait_class(), WaitClass::Other);
     }
 
     #[test]

@@ -44,15 +44,17 @@ mod facility;
 mod kernel;
 mod mailbox;
 mod oneshot;
+mod pool;
 mod rng;
 mod stats;
 mod sync;
 mod time;
 
-pub use facility::{Acquire, Facility, FacilityGuard, FacilitySnapshot};
+pub use facility::{Acquire, Facility, FacilityGuard, FacilitySnapshot, WaitClass};
 pub use kernel::{Env, Hold, ProcId, Sim};
 pub use mailbox::{Mailbox, Recv, RecvUntil};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender, Wait};
+pub use pool::{CpuGuard, CpuPool, PoolAcquire};
 pub use rng::Pcg32;
 pub use stats::{BatchMeans, Histogram, Tally, TimeWeighted};
 pub use sync::{Gate, GateWait, SemAcquire, Semaphore};

@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 
 mod manager;
+mod sharded;
 
 pub use manager::{
     ClientId, LockManager, LockStats, Mode, Owner, RequestOutcome, RetainPolicy, TxnId, Wake,
 };
+pub use sharded::ShardedLockManager;

@@ -105,6 +105,19 @@ pub enum RequestOutcome {
     Deadlock,
 }
 
+/// Outcome of [`LockManager::enqueue_request`]: the first phase of a
+/// request, before any deadlock check has run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EnqueueOutcome {
+    /// Granted immediately.
+    Granted,
+    /// Queued; `upgrade` records where in the queue it sits (front).
+    Queued {
+        /// The queued request is an upgrade from a held S lock.
+        upgrade: bool,
+    },
+}
+
 /// A grant produced by a release: transaction `txn` now holds its requested
 /// lock on `page` and its parked handler should resume.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -233,6 +246,12 @@ impl LockManager {
         self.waiting.len()
     }
 
+    /// The blocked transactions themselves (the sharded facade dedups
+    /// these across shards).
+    pub(crate) fn blocked_txns(&self) -> Vec<TxnId> {
+        self.waiting.keys().copied().collect()
+    }
+
     /// Pages retained by a client (for tests / reports).
     pub fn retained_pages(&self, client: ClientId) -> Vec<PageId> {
         self.retained_by
@@ -254,14 +273,39 @@ impl LockManager {
         page: PageId,
         mode: Mode,
     ) -> RequestOutcome {
+        match self.enqueue_request(txn, client, page, mode) {
+            EnqueueOutcome::Granted => RequestOutcome::Granted,
+            EnqueueOutcome::Queued { upgrade } => {
+                if self.wait_cycle_through(txn) {
+                    self.withdraw_just_queued(txn, page, upgrade);
+                    return RequestOutcome::Deadlock;
+                }
+                RequestOutcome::Blocked {
+                    callbacks: self.blocked_callbacks(page, client, mode),
+                }
+            }
+        }
+    }
+
+    /// First phase of [`LockManager::request`]: grant immediately if
+    /// possible, otherwise enqueue the wait request. The deadlock check is
+    /// left to the caller so a sharded facade can run it over the *global*
+    /// wait-for graph.
+    pub(crate) fn enqueue_request(
+        &mut self,
+        txn: TxnId,
+        client: ClientId,
+        page: PageId,
+        mode: Mode,
+    ) -> EnqueueOutcome {
         self.stats.requests += 1;
         self.txn_client.insert(txn, client);
         let entry = self.table.entry(page).or_default();
 
         // Already held strongly enough?
         match entry.txn_mode(txn) {
-            Some(Mode::X) => return RequestOutcome::Granted,
-            Some(Mode::S) if mode == Mode::S => return RequestOutcome::Granted,
+            Some(Mode::X) => return EnqueueOutcome::Granted,
+            Some(Mode::S) if mode == Mode::S => return EnqueueOutcome::Granted,
             _ => {}
         }
         let upgrade = entry.txn_mode(txn) == Some(Mode::S) && mode == Mode::X;
@@ -271,10 +315,10 @@ impl LockManager {
             Self::install(entry, txn, client, mode, upgrade);
             self.held.entry(txn).or_default().insert(page);
             self.absorb_retained(page, client);
-            return RequestOutcome::Granted;
+            return EnqueueOutcome::Granted;
         }
 
-        // Must wait. Check for deadlock as if the wait edge were inserted.
+        // Must wait: queue the request (upgrades go to the front).
         let req = WaitReq {
             txn,
             client,
@@ -293,25 +337,34 @@ impl LockManager {
             .or_default()
             .entry(page)
             .or_insert(0) += 1;
+        EnqueueOutcome::Queued { upgrade }
+    }
 
-        if self.wait_cycle_through(txn) {
-            // Withdraw exactly the request just queued (front for an
-            // upgrade, back otherwise); the caller aborts the transaction.
-            let entry = self.table.get_mut(&page).expect("entry exists");
-            if upgrade {
-                entry.queue.pop_front();
-            } else {
-                entry.queue.pop_back();
-            }
-            self.note_dequeued(txn, page);
-            self.stats.deadlocks += 1;
-            return RequestOutcome::Deadlock;
+    /// Withdraw exactly the request just queued (front for an upgrade,
+    /// back otherwise) because granting it would deadlock; the caller
+    /// aborts the transaction.
+    pub(crate) fn withdraw_just_queued(&mut self, txn: TxnId, page: PageId, upgrade: bool) {
+        let entry = self.table.get_mut(&page).expect("entry exists");
+        if upgrade {
+            entry.queue.pop_front();
+        } else {
+            entry.queue.pop_back();
         }
+        self.note_dequeued(txn, page);
+        self.stats.deadlocks += 1;
+    }
 
-        // Issue callbacks for conflicting retained holders not yet asked.
-        // (With the paper's read-only retention this can only be an X
-        // request meeting retained S locks; with write retention an S
-        // request can also conflict with a retained X.)
+    /// Final phase of a blocked request: issue callbacks for conflicting
+    /// retained holders not yet asked. (With the paper's read-only
+    /// retention this can only be an X request meeting retained S locks;
+    /// with write retention an S request can also conflict with a retained
+    /// X.)
+    pub(crate) fn blocked_callbacks(
+        &mut self,
+        page: PageId,
+        client: ClientId,
+        mode: Mode,
+    ) -> Vec<ClientId> {
         let entry = self.table.get_mut(&page).expect("entry exists");
         let mut callbacks = Vec::new();
         let conflicting: Vec<ClientId> = entry
@@ -330,7 +383,7 @@ impl LockManager {
         }
         self.stats.blocks += 1;
         self.stats.callbacks += callbacks.len() as u64;
-        RequestOutcome::Blocked { callbacks }
+        callbacks
     }
 
     /// Can (txn, mode) be granted given current holders? Ignores the queue.
@@ -401,70 +454,88 @@ impl LockManager {
         txn: TxnId,
         policy: RetainPolicy,
     ) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
-        let pages: Vec<PageId> = self
-            .held
-            .remove(&txn)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
+        let pages = self.take_held(txn);
         let mut wakes = Vec::new();
         let mut callbacks = Vec::new();
         for page in pages {
-            let entry = self.table.get_mut(&page).expect("held page has entry");
-            match policy {
-                RetainPolicy::Read(client) | RetainPolicy::ReadWrite(client) => {
-                    let keep_mode = matches!(policy, RetainPolicy::ReadWrite(_));
-                    for h in &mut entry.holders {
-                        if h.owner == Owner::Txn(txn) {
-                            h.owner = Owner::Retained(client);
-                            if !keep_mode {
-                                h.mode = Mode::S;
-                            }
-                        }
-                    }
-                    // Collapse duplicate retained holders (txn lock absorbed
-                    // an earlier retained one and is now demoted back);
-                    // keep the stronger mode.
-                    entry.holders.sort_by_key(|h| match (h.owner, h.mode) {
-                        (Owner::Retained(_), Mode::X) => 0u8,
-                        _ => 1,
-                    });
-                    let mut seen = HashSet::new();
-                    entry.holders.retain(|h| match h.owner {
-                        Owner::Retained(c) => seen.insert(c),
-                        Owner::Txn(_) => true,
-                    });
-                    self.retained_by.entry(client).or_default().insert(page);
-                }
-                RetainPolicy::Drop => {
-                    entry.holders.retain(|h| h.owner != Owner::Txn(txn));
-                }
-            }
-            self.resolve_deferred_of_txn(txn, page);
-            let (w, cb) = self.try_grant(page);
+            let (w, cb) = self.release_one_page(txn, page, policy);
             wakes.extend(w);
             callbacks.extend(cb);
         }
-        self.txn_client.remove(&txn);
+        self.finish_txn(txn);
         (wakes, callbacks)
     }
 
-    /// A deferred callback promised "release when txn ends" — honour those
-    /// for this page now that `txn` ended: drop the retained locks that
-    /// were deferred on `txn`.
-    fn resolve_deferred_of_txn(&mut self, txn: TxnId, _page: PageId) {
-        // Deferred entries keyed by (page, client) — find those pointing at
-        // txn. The actual release is performed by the *client* in the full
-        // protocol (a message round), so here we only keep the bookkeeping
-        // consistent; ccdb-core calls `release_retained` when the client's
-        // release message arrives. We merely drop the wait-for edges.
+    /// Drain the set of pages `txn` holds granted locks on, in page order
+    /// (the order releases — and therefore simulation events — happen in).
+    pub(crate) fn take_held(&mut self, txn: TxnId) -> Vec<PageId> {
+        self.held
+            .remove(&txn)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Release `txn`'s granted lock on one `page` (taken from
+    /// [`LockManager::take_held`]) under `policy`, then grant whatever the
+    /// release enables. A sharded facade drives this page by page so the
+    /// grant order stays the global page order regardless of sharding.
+    pub(crate) fn release_one_page(
+        &mut self,
+        txn: TxnId,
+        page: PageId,
+        policy: RetainPolicy,
+    ) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
+        let entry = self.table.get_mut(&page).expect("held page has entry");
+        match policy {
+            RetainPolicy::Read(client) | RetainPolicy::ReadWrite(client) => {
+                let keep_mode = matches!(policy, RetainPolicy::ReadWrite(_));
+                for h in &mut entry.holders {
+                    if h.owner == Owner::Txn(txn) {
+                        h.owner = Owner::Retained(client);
+                        if !keep_mode {
+                            h.mode = Mode::S;
+                        }
+                    }
+                }
+                // Collapse duplicate retained holders (txn lock absorbed
+                // an earlier retained one and is now demoted back);
+                // keep the stronger mode.
+                entry.holders.sort_by_key(|h| match (h.owner, h.mode) {
+                    (Owner::Retained(_), Mode::X) => 0u8,
+                    _ => 1,
+                });
+                let mut seen = HashSet::new();
+                entry.holders.retain(|h| match h.owner {
+                    Owner::Retained(c) => seen.insert(c),
+                    Owner::Txn(_) => true,
+                });
+                self.retained_by.entry(client).or_default().insert(page);
+            }
+            RetainPolicy::Drop => {
+                entry.holders.retain(|h| h.owner != Owner::Txn(txn));
+            }
+        }
+        self.clear_deferred_of(txn);
+        self.try_grant(page)
+    }
+
+    /// Drop the wait-for edges of deferred callbacks promised "release when
+    /// `txn` ends" — `txn` has ended. The actual lock release is performed
+    /// by the *client* in the full protocol (a message round), so here we
+    /// only keep the bookkeeping consistent; ccdb-core calls
+    /// `release_retained` when the client's release message arrives.
+    pub(crate) fn clear_deferred_of(&mut self, txn: TxnId) {
         self.deferred.retain(|_, t| *t != txn);
     }
 
-    /// Abort `txn`: drop held locks (no retention) and queued requests.
-    /// Returns grants enabled by the release.
-    pub fn abort(&mut self, txn: TxnId) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
-        // Withdraw every queued request first (a page can carry several:
-        // an S and an X of the same no-wait transaction).
+    /// Forget the txn → client mapping once every lock is released.
+    pub(crate) fn finish_txn(&mut self, txn: TxnId) {
+        self.txn_client.remove(&txn);
+    }
+
+    /// Withdraw every queued request of `txn` (a page can carry several:
+    /// an S and an X of the same no-wait transaction).
+    pub(crate) fn withdraw_queued_requests(&mut self, txn: TxnId) {
         if let Some(pages) = self.waiting.remove(&txn) {
             for page in pages.keys() {
                 if let Some(entry) = self.table.get_mut(page) {
@@ -472,6 +543,12 @@ impl LockManager {
                 }
             }
         }
+    }
+
+    /// Abort `txn`: drop held locks (no retention) and queued requests.
+    /// Returns grants enabled by the release.
+    pub fn abort(&mut self, txn: TxnId) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
+        self.withdraw_queued_requests(txn);
         self.release_all(txn, None)
     }
 
@@ -511,14 +588,25 @@ impl LockManager {
         client: ClientId,
         blocker: TxnId,
     ) -> Option<TxnId> {
-        self.deferred.insert((page, client), blocker);
+        self.insert_deferred(page, client, blocker);
         // Any X waiter on this page now (transitively) waits for `blocker`.
-        let waiters: Vec<TxnId> = self
-            .table
+        self.page_waiters(page)
+            .into_iter()
+            .find(|&w| self.wait_cycle_through(w))
+    }
+
+    /// Record the deferred-callback promise (page, client) → `blocker`
+    /// without the cycle check (the sharded facade checks globally).
+    pub(crate) fn insert_deferred(&mut self, page: PageId, client: ClientId, blocker: TxnId) {
+        self.deferred.insert((page, client), blocker);
+    }
+
+    /// Transactions queued on `page`, in queue order.
+    pub(crate) fn page_waiters(&self, page: PageId) -> Vec<TxnId> {
+        self.table
             .get(&page)
             .map(|e| e.queue.iter().map(|r| r.txn).collect())
-            .unwrap_or_default();
-        waiters.into_iter().find(|&w| self.wait_cycle_through(w))
+            .unwrap_or_default()
     }
 
     /// Retained holders of a page (tests / server directory cross-checks).
@@ -627,8 +715,9 @@ impl LockManager {
         false
     }
 
-    /// Transactions that `txn` directly waits for.
-    fn wait_targets(&self, txn: TxnId) -> Vec<TxnId> {
+    /// Transactions that `txn` directly waits for (one shard's edges; the
+    /// sharded facade unions these across shards for global detection).
+    pub(crate) fn wait_targets(&self, txn: TxnId) -> Vec<TxnId> {
         let mut out = Vec::new();
         let Some(pages) = self.waiting.get(&txn) else {
             return out;

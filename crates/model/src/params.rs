@@ -117,6 +117,10 @@ pub struct SystemParams {
     pub client_proc_page: u64,
     /// Maximum active transactions on the server (`MPL`).
     pub mpl: u32,
+    /// Hash partitions of the server lock table (1 = the paper's single
+    /// table; simulation dynamics are shard-count invariant, only the
+    /// per-shard statistics split).
+    pub lock_shards: u32,
 }
 
 impl SystemParams {
@@ -143,6 +147,7 @@ impl SystemParams {
             server_proc_page: 10_000,
             client_proc_page: 20_000,
             mpl: 50,
+            lock_shards: 1,
         }
     }
 
@@ -174,6 +179,7 @@ impl SystemParams {
             server_proc_page: 15_000,
             client_proc_page: 0,
             mpl: 25,
+            lock_shards: 1,
         }
     }
 
@@ -213,6 +219,7 @@ impl SystemParams {
         assert!(self.seek_low <= self.seek_high);
         assert!(self.packet_size > 0);
         assert!(self.mpl > 0);
+        assert!(self.lock_shards > 0);
     }
 }
 

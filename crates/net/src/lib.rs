@@ -17,14 +17,16 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ccdb_des::{Env, Facility, Mailbox, Pcg32, SimDuration};
+use ccdb_des::{Env, Facility, Mailbox, Pcg32, SimDuration, WaitClass};
 use ccdb_model::SystemParams;
+
+pub use ccdb_des::{CpuGuard, CpuPool, PoolAcquire};
 
 /// One end of the network: a station with CPUs and an inbox.
 pub struct NetworkNode<T> {
-    /// The station's CPU facility (also used to charge page-processing
+    /// The station's CPU pool (also used to charge page-processing
     /// costs by the client/server runtimes).
-    pub cpu: Facility,
+    pub cpu: CpuPool,
     /// CPU speed in MIPS.
     pub mips: f64,
     /// Incoming messages.
@@ -42,10 +44,17 @@ impl<T> Clone for NetworkNode<T> {
 }
 
 impl<T> NetworkNode<T> {
-    /// Create a station with `n_cpus` CPUs at `mips`.
-    pub fn new(env: &Env, name: impl Into<String>, n_cpus: u32, mips: f64) -> Self {
+    /// Create a station with `n_cpus` CPUs at `mips`; queueing for the
+    /// CPUs is attributed to `class`.
+    pub fn new(
+        env: &Env,
+        name: impl Into<String>,
+        n_cpus: u32,
+        mips: f64,
+        class: WaitClass,
+    ) -> Self {
         NetworkNode {
-            cpu: Facility::new(env, name, n_cpus),
+            cpu: CpuPool::new(env, name, n_cpus, class),
             mips,
             inbox: Mailbox::new(env),
         }
@@ -94,7 +103,7 @@ impl Network {
     pub fn new(env: &Env, params: &SystemParams, rng: Pcg32) -> Self {
         Network {
             env: env.clone(),
-            medium: Facility::new(env, "network", 1),
+            medium: Facility::new(env, "network", 1).with_wait_class(WaitClass::Network),
             msg_cost: params.msg_cost,
             packet_size: params.packet_size,
             net_delay: params.net_delay,
@@ -225,8 +234,8 @@ mod tests {
         params.net_delay = SimDuration::from_millis(net_delay_ms);
         params.msg_cost = msg_cost;
         let net = Network::new(&env, &params, Pcg32::new(1, 1));
-        let client = NetworkNode::new(&env, "client-cpu", 1, 1.0);
-        let server = NetworkNode::new(&env, "server-cpu", 1, 2.0);
+        let client = NetworkNode::new(&env, "client-cpu", 1, 1.0, WaitClass::ClientCpu);
+        let server = NetworkNode::new(&env, "server-cpu", 1, 2.0, WaitClass::Cpu);
         (sim, net, client, server)
     }
 
@@ -347,7 +356,7 @@ mod tests {
     fn charge_cpu_scales_with_mips() {
         let sim = Sim::new();
         let env = sim.env();
-        let node: NetworkNode<()> = NetworkNode::new(&env, "cpu", 1, 2.0);
+        let node: NetworkNode<()> = NetworkNode::new(&env, "cpu", 1, 2.0, WaitClass::Cpu);
         {
             let node = node.clone();
             sim.spawn(async move {

@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ccdb_des::{Pcg32, Sim, SimDuration};
+use ccdb_des::{Pcg32, Sim, SimDuration, WaitClass};
 use ccdb_model::SystemParams;
 use ccdb_net::{Network, NetworkNode};
 use proptest::prelude::*;
@@ -31,8 +31,8 @@ proptest! {
         let env = sim.env();
         let p = params(net_delay_ms, msg_cost);
         let net = Network::new(&env, &p, Pcg32::new(9, 9));
-        let a: NetworkNode<u64> = NetworkNode::new(&env, "a", 1, 1.0);
-        let b: NetworkNode<u64> = NetworkNode::new(&env, "b", 1, 2.0);
+        let a: NetworkNode<u64> = NetworkNode::new(&env, "a", 1, 1.0, WaitClass::ClientCpu);
+        let b: NetworkNode<u64> = NetworkNode::new(&env, "b", 1, 2.0, WaitClass::Cpu);
         let expected_packets: u64 = payloads.iter().map(|&x| net.packets_for(x)).sum();
         let n = payloads.len();
         let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
@@ -68,8 +68,8 @@ proptest! {
         let env = sim.env();
         let p = params(delay_ms, 5_000);
         let net = Network::new(&env, &p, Pcg32::new(3, 3));
-        let a: NetworkNode<u64> = NetworkNode::new(&env, "a", 1, 1.0);
-        let b: NetworkNode<u64> = NetworkNode::new(&env, "b", 1, 2.0);
+        let a: NetworkNode<u64> = NetworkNode::new(&env, "a", 1, 1.0, WaitClass::ClientCpu);
+        let b: NetworkNode<u64> = NetworkNode::new(&env, "b", 1, 2.0, WaitClass::Cpu);
         let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         {
             let b = b.clone();
@@ -96,8 +96,8 @@ proptest! {
         let env = sim.env();
         let p = params(0, 0);
         let net = Network::new(&env, &p, Pcg32::new(4, 4));
-        let a: NetworkNode<()> = NetworkNode::new(&env, "a", 1, 1.0);
-        let b: NetworkNode<()> = NetworkNode::new(&env, "b", 1, 1.0);
+        let a: NetworkNode<()> = NetworkNode::new(&env, "a", 1, 1.0, WaitClass::ClientCpu);
+        let b: NetworkNode<()> = NetworkNode::new(&env, "b", 1, 1.0, WaitClass::Cpu);
         {
             let b = b.clone();
             sim.spawn(async move {

@@ -1,9 +1,12 @@
-//! A minimal JSON document model with a deterministic serializer.
+//! A minimal JSON document model with a deterministic serializer and a
+//! small recursive-descent parser.
 //!
 //! No external crates: the simulator's reports must serialize
 //! byte-identically across runs, which this guarantees by construction —
 //! object keys keep insertion order, and numbers use Rust's shortest
-//! round-trip `f64` formatting (itself deterministic).
+//! round-trip `f64` formatting (itself deterministic). The parser exists
+//! for the *reader* path — consuming previously-emitted report documents
+//! (including older schema versions) without external dependencies.
 
 use std::fmt::Write as _;
 
@@ -41,6 +44,69 @@ impl Json {
             _ => panic!("Json::set on a non-object"),
         }
         self
+    }
+
+    /// Parse a JSON document. Numbers without a fraction or exponent parse
+    /// as [`Json::Int`] / [`Json::UInt`]; everything else as [`Json::Num`].
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::UInt(n) => Some(*n as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (numeric variants with an exact
+    /// unsigned value).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            Json::UInt(n) => Some(*n),
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serialize compactly (no whitespace).
@@ -135,6 +201,198 @@ impl Json {
                 out.push('}');
             }
             _ => self.write(out),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' but found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}' but found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe: operate
+                    // on the str slice).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|e| format!("bad number '{text}': {e}"))
         }
     }
 }
@@ -262,6 +520,60 @@ mod tests {
         o.set("t", vec![1.0f64, 2.0]);
         let s = o.render_pretty();
         assert!(s.contains("\"t\": [1,2]"), "{s}");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_documents() {
+        let mut o = Json::obj();
+        o.set("s", "a\"b\\c\nd")
+            .set("i", 42u64)
+            .set("neg", Json::Int(-3))
+            .set("x", 1.5f64)
+            .set("null", Json::Null)
+            .set("flag", true)
+            .set("arr", vec![1.0f64, 2.5]);
+        let compact = o.render();
+        assert_eq!(Json::parse(&compact).unwrap().render(), compact);
+        // Pretty output parses back to the same document too.
+        assert_eq!(Json::parse(&o.render_pretty()).unwrap().render(), compact);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"abc"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc = Json::parse(r#"{"a":{"b":[1,2.5,"x"]},"n":-7}"#).unwrap();
+        assert_eq!(
+            doc.get("a")
+                .and_then(|a| a.get("b"))
+                .unwrap()
+                .items()
+                .unwrap()
+                .len(),
+            3
+        );
+        let b = doc.get("a").unwrap().get("b").unwrap();
+        assert_eq!(b.items().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(b.items().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(b.items().unwrap()[2].as_str(), Some("x"));
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(-7.0));
+        assert_eq!(doc.get("n").unwrap().as_u64(), None);
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_handles_unicode_escapes() {
+        // Raw multi-byte UTF-8 and \u escapes both decode.
+        let doc = Json::parse(r#""snow ☃ man ☃""#).unwrap();
+        assert_eq!(doc.as_str(), Some("snow \u{2603} man \u{2603}"));
+        let escaped_input = "\"snow \\u2603 man\"";
+        let esc = Json::parse(escaped_input).unwrap();
+        assert_eq!(esc.as_str(), Some("snow \u{2603} man"));
     }
 
     #[test]

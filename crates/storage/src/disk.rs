@@ -10,7 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ccdb_des::{Env, Facility, FacilitySnapshot, Pcg32, SimDuration};
+use ccdb_des::{Env, Facility, FacilitySnapshot, Pcg32, SimDuration, WaitClass};
 use ccdb_model::{PageId, SystemParams};
 use ccdb_obs::Registry;
 
@@ -37,6 +37,15 @@ impl Disk {
             seek_high: params.seek_high,
             tran: params.disk_tran,
             last_page: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// Tag the underlying facility with the resource class its queueing
+    /// time is attributed to (builder style).
+    pub fn with_wait_class(self, class: WaitClass) -> Self {
+        Disk {
+            facility: self.facility.with_wait_class(class),
+            ..self
         }
     }
 
@@ -130,7 +139,10 @@ impl DiskArray {
     /// Create `n` data disks.
     pub fn new(env: &Env, params: &SystemParams, rng: &mut Pcg32) -> Self {
         let disks = (0..params.n_data_disks)
-            .map(|i| Disk::new(env, format!("data-disk-{i}"), params, rng.split(i as u64)))
+            .map(|i| {
+                Disk::new(env, format!("data-disk-{i}"), params, rng.split(i as u64))
+                    .with_wait_class(WaitClass::DataDisk)
+            })
             .collect();
         DiskArray { disks }
     }

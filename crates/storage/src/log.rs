@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use ccdb_des::{Env, Pcg32};
+use ccdb_des::{Env, Pcg32, WaitClass};
 use ccdb_model::{PageId, SystemParams};
 
 use crate::disk::Disk;
@@ -59,6 +59,7 @@ impl LogManager {
                     params,
                     rng.split(1000 + i as u64),
                 )
+                .with_wait_class(WaitClass::LogDisk)
             })
             .collect();
         LogManager {

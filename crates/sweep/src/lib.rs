@@ -35,6 +35,6 @@ mod spec;
 
 pub use export::{job_line, sweep_document, SWEEP_SCHEMA};
 pub use figures::{figure_csv, figures_for, figures_from_sweep, FigureDef, FigureMetric};
-pub use run::{run_sweep, CellReport, JobRecord, RunSummary, SweepResult};
+pub use run::{run_sweep, run_sweep_sharded, CellReport, JobRecord, RunSummary, SweepResult};
 pub use scheduler::{default_workers, resolve_workers, run_indexed};
 pub use spec::{Cell, Family, Replication, SweepSpec};

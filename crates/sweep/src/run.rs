@@ -97,11 +97,42 @@ struct CellState {
 /// Run every job of `spec` on `workers` threads; `on_job` observes each
 /// job as it completes (streaming, completion order). The returned
 /// result is byte-identical for any `workers` value.
-pub fn run_sweep(
+pub fn run_sweep(spec: &SweepSpec, workers: usize, on_job: impl FnMut(&JobRecord)) -> SweepResult {
+    run_sweep_sharded(spec, workers, None, on_job).expect("an unsharded sweep cannot fail")
+}
+
+/// [`run_sweep`] restricted to a slice of the job grid: with
+/// `shard = Some((i, n))` (1-based `i`), only jobs whose global index
+/// satisfies `job % n == i - 1` run on this invocation. Job indices,
+/// replication numbers, and per-run seeds are identical to the unsharded
+/// sweep, so the streamed [`JobRecord`]s from all `n` shards are disjoint
+/// and their union is exactly the unsharded job set — separate machines
+/// can each take a shard and the merged JSONL is the same corpus.
+///
+/// Sharding requires [`Replication::Fixed`]: the adaptive stopping rule
+/// inspects every replication of a cell, which a single shard does not
+/// hold. Cells that end up with zero jobs on this shard are omitted from
+/// [`SweepResult::cells`]; [`SweepResult::jobs`] counts only the jobs
+/// this shard ran.
+pub fn run_sweep_sharded(
     spec: &SweepSpec,
     workers: usize,
+    shard: Option<(u32, u32)>,
     mut on_job: impl FnMut(&JobRecord),
-) -> SweepResult {
+) -> Result<SweepResult, String> {
+    if let Some((i, n)) = shard {
+        if n == 0 || i == 0 || i > n {
+            return Err(format!("shard {i}/{n}: need 1 <= i <= n"));
+        }
+        if !matches!(spec.replication, crate::spec::Replication::Fixed(_)) {
+            return Err(
+                "sharding requires fixed replication; the adaptive stopping rule \
+                 needs every replication of a cell on one machine"
+                    .to_string(),
+            );
+        }
+    }
+
     let cells = spec.cells();
     let mut states: Vec<CellState> = cells
         .iter()
@@ -112,31 +143,42 @@ pub fn run_sweep(
         })
         .collect();
 
-    // First wave: the initial replication count for every cell.
+    // First wave: the initial replication count for every cell. Global
+    // job indices are assigned over the FULL grid before the shard filter
+    // drops the other shards' jobs, so indices (and with them seeds and
+    // JSONL identity) match the unsharded sweep.
     let initial = spec.replication.initial();
-    let mut wave: Vec<(usize, u32)> = Vec::new();
+    let mut next_job = 0usize;
+    let mut wave: Vec<(usize, usize, u32)> = Vec::new();
     for (ci, _) in cells.iter().enumerate() {
         for k in 0..initial {
-            wave.push((ci, k));
+            let job = next_job;
+            next_job += 1;
+            let mine = match shard {
+                None => true,
+                Some((i, n)) => job as u64 % n as u64 == (i - 1) as u64,
+            };
+            if mine {
+                wave.push((job, ci, k));
+            }
         }
     }
 
     let mut jobs = 0usize;
     while !wave.is_empty() {
-        let wave_base = jobs;
         let outputs = run_indexed(
             &wave,
             workers,
-            |_, &(ci, k)| {
+            |_, &(_job, ci, k)| {
                 let cfg = spec.config_for(&cells[ci], k);
                 let observed =
                     run_simulation_observed(cfg, Trace::disabled(), ObsOptions::default());
                 (observed.report, observed.snapshot)
             },
             |i, (report, _snapshot): &(RunReport, Snapshot)| {
-                let (ci, k) = wave[i];
+                let (job, ci, k) = wave[i];
                 on_job(&JobRecord {
-                    job: wave_base + i,
+                    job,
                     cell_index: ci,
                     replication: k,
                     cell: cells[ci],
@@ -149,11 +191,18 @@ pub fn run_sweep(
         // Fold results in job-index (= seed) order: merging is
         // order-sensitive only in floating-point rounding, and this order
         // is the same for every worker count.
-        for (&(ci, _), (report, snapshot)) in wave.iter().zip(&outputs) {
+        for (&(_, ci, _), (report, snapshot)) in wave.iter().zip(&outputs) {
             let state = &mut states[ci];
             state.acc.push(report);
             state.merger.push(snapshot);
             state.runs.push(RunSummary::from_report(report));
+        }
+
+        // A shard runs exactly its slice of the first wave: the stopping
+        // rule would otherwise "top up" cells whose other replications
+        // deliberately live on other shards.
+        if shard.is_some() {
+            break;
         }
 
         // Next wave: one more replication for each cell the stopping rule
@@ -166,13 +215,18 @@ pub fn run_sweep(
                 spec.replication
                     .needs_more(s.acc.count(), agg.resp_relative_precision())
             })
-            .map(|(ci, s)| (ci, s.acc.count()))
+            .map(|(ci, s)| {
+                let job = next_job;
+                next_job += 1;
+                (job, ci, s.acc.count())
+            })
             .collect();
     }
 
     let reports = cells
         .iter()
         .zip(states)
+        .filter(|(_, state)| state.acc.count() > 0)
         .map(|(cell, state)| CellReport {
             cell: *cell,
             aggregate: state.acc.aggregate(),
@@ -180,14 +234,14 @@ pub fn run_sweep(
             metrics: state
                 .merger
                 .finish()
-                .expect("every cell ran at least one replication"),
+                .expect("every retained cell ran at least one replication"),
         })
         .collect();
-    SweepResult {
+    Ok(SweepResult {
         spec: spec.clone(),
         cells: reports,
         jobs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -246,6 +300,66 @@ mod tests {
         assert_eq!(agg.resp_time_mean, rep.resp_time_mean);
         assert_eq!(agg.resp_time_ci95, rep.resp_time_ci95);
         assert_eq!(agg.commits, rep.commits);
+    }
+
+    #[test]
+    fn shards_partition_the_job_grid_exactly() {
+        let spec = tiny_spec();
+        let full = {
+            let mut jobs = Vec::new();
+            run_sweep(&spec, 1, |j| {
+                jobs.push((j.job, j.cell_index, j.replication))
+            });
+            jobs.sort_unstable();
+            jobs
+        };
+
+        let n = 3u32;
+        let mut merged = Vec::new();
+        let mut per_shard = Vec::new();
+        for i in 1..=n {
+            let mut jobs = Vec::new();
+            let result = run_sweep_sharded(&spec, 2, Some((i, n)), |j| {
+                jobs.push((j.job, j.cell_index, j.replication))
+            })
+            .unwrap();
+            assert_eq!(result.jobs, jobs.len(), "jobs counts only this shard");
+            // Every retained cell actually ran something.
+            for cell in &result.cells {
+                assert!(!cell.runs.is_empty());
+            }
+            per_shard.push(jobs.clone());
+            merged.extend(jobs);
+        }
+
+        // Disjoint: a job index appears on exactly one shard.
+        for a in 0..per_shard.len() {
+            for b in a + 1..per_shard.len() {
+                for job in &per_shard[a] {
+                    assert!(!per_shard[b].contains(job), "job {job:?} ran twice");
+                }
+            }
+        }
+        // Union: the merged stream is exactly the unsharded job set, with
+        // identical global indices, cell indices, and replication numbers.
+        merged.sort_unstable();
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn sharding_rejects_bad_ranges_and_adaptive_replication() {
+        let spec = tiny_spec();
+        assert!(run_sweep_sharded(&spec, 1, Some((0, 3)), |_| {}).is_err());
+        assert!(run_sweep_sharded(&spec, 1, Some((4, 3)), |_| {}).is_err());
+        let adaptive = SweepSpec {
+            replication: Replication::Adaptive {
+                min: 2,
+                max: 4,
+                target_rel_precision: 0.5,
+            },
+            ..tiny_spec()
+        };
+        assert!(run_sweep_sharded(&adaptive, 1, Some((1, 2)), |_| {}).is_err());
     }
 
     #[test]

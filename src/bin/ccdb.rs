@@ -6,7 +6,7 @@
 //! ccdb compare --clients 30 --loc 0.50 --pw 0.2 [options]
 //! ccdb sweep   [--exp FAMILY] [--algs all|A,B] [--clients 2,10,30,50]
 //!              [--loc 0.25,0.75] [--pw 0.2] [--reps N | --precision F]
-//!              [--jobs N] [--json|--jsonl|--csv]
+//!              [--jobs N] [--shard I/N] [--json|--jsonl|--csv]
 //! ccdb figures [--exp FAMILY|all] [--out DIR] [--jobs N] [--reps N]
 //! ccdb list                                               # algorithms
 //! ```
@@ -16,7 +16,14 @@
 //! `--measure SECS`, `--warmup SECS` (defaults 30 s + 300 s, or 10 s +
 //! 60 s with `CCDB_QUICK=1`). Observability: `--json` (structured
 //! report), `--sample-interval SECS` (metric time series), `--trace-cap
-//! N` (trace buffer size for `ccdb trace`).
+//! N` (trace buffer size for `ccdb trace`), `--lock-shards N` (partition
+//! the server lock table into N hash shards; dynamics are identical for
+//! every N, only the wait attribution and per-shard stats change).
+//!
+//! `sweep --shard I/N` runs the 1-based I-th of N disjoint slices of the
+//! job grid (fixed replication only); global job indices and seeds match
+//! the unsharded sweep, so JSONL streams from all N shards merge into
+//! exactly the unsharded corpus.
 //!
 //! `sweep` and `figures` fan jobs out over a worker pool (`--jobs N`,
 //! `CCDB_JOBS`, default `available_parallelism()`); output is
@@ -28,8 +35,8 @@ use std::time::Instant;
 use ccdb::core::run_replicated_folded;
 use ccdb::core::{run_simulation_traced, Trace};
 use ccdb::sweep::{
-    figures_from_sweep, job_line, resolve_workers, run_sweep, sweep_document, Family, Replication,
-    SweepResult, SweepSpec,
+    figures_from_sweep, job_line, resolve_workers, run_sweep, run_sweep_sharded, sweep_document,
+    Family, Replication, SweepResult, SweepSpec,
 };
 use ccdb::{
     run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, RunReport,
@@ -69,6 +76,8 @@ struct Options {
     max_reps: Option<u32>,
     jobs: Option<usize>,
     out: Option<String>,
+    lock_shards: Option<u32>,
+    shard: Option<(u32, u32)>,
 }
 
 impl Default for Options {
@@ -93,6 +102,8 @@ impl Default for Options {
             max_reps: None,
             jobs: None,
             out: None,
+            lock_shards: None,
+            shard: None,
         }
     }
 }
@@ -217,6 +228,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.jobs = Some(n);
             }
             "--out" => o.out = Some(val.clone()),
+            "--lock-shards" => {
+                let n: u32 = val.parse().map_err(|e| format!("--lock-shards: {e}"))?;
+                if n == 0 {
+                    return Err("--lock-shards must be positive".to_string());
+                }
+                o.lock_shards = Some(n);
+            }
+            "--shard" => {
+                let (i, n) = val
+                    .split_once('/')
+                    .ok_or_else(|| format!("--shard: expected I/N, got {val}"))?;
+                let i: u32 = i.parse().map_err(|e| format!("--shard: {e}"))?;
+                let n: u32 = n.parse().map_err(|e| format!("--shard: {e}"))?;
+                if n == 0 || i == 0 || i > n {
+                    return Err(format!("--shard: need 1 <= I <= N, got {i}/{n}"));
+                }
+                o.shard = Some((i, n));
+            }
             other => return Err(format!("unknown option {other}")),
         }
         i += 2;
@@ -227,13 +256,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn build_config(o: &Options, alg: Algorithm, clients: u32) -> Result<SimConfig, String> {
     let family = o.family()?;
     let (warmup, measure) = o.horizon_secs();
-    Ok(family
+    let mut cfg = family
         .build(alg, clients, o.one_loc()?, o.one_pw()?)
         .with_seed(o.seed)
         .with_horizon(
             SimDuration::from_secs_f64(warmup),
             SimDuration::from_secs_f64(measure) * family.measure_scale(),
-        ))
+        );
+    if let Some(n) = o.lock_shards {
+        cfg.sys.lock_shards = n;
+    }
+    Ok(cfg)
 }
 
 /// The sweep grid implied by the options: the family's default grid with
@@ -477,12 +510,22 @@ fn explain(r: &RunReport, wall_secs: f64) {
         r.lock_stats.deadlocks,
     );
 
-    println!("\nwait decomposition (queue-seconds per commit, by resource):");
-    for res in &r.resources {
-        let queue_secs = res.mean_queue_len * r.measure_secs;
-        if queue_secs / commits >= 0.0005 {
-            println!("  {:<14} {:>8.4}", res.name, queue_secs / commits);
-        }
+    println!("\nwait decomposition (seconds per committed transaction, attributed):");
+    let mut attributed_total = 0.0;
+    for w in &r.wait_profile {
+        attributed_total += w.mean_s;
+        let share = if r.resp_time_mean > 0.0 {
+            w.mean_s / r.resp_time_mean * 100.0
+        } else {
+            0.0
+        };
+        println!("  {:<14} {:>9.4}  {:>5.1}%", w.label, w.mean_s, share);
+    }
+    if !r.wait_profile.is_empty() {
+        println!(
+            "  {:<14} {:>9.4}   (mean response {:.4}s)",
+            "total", attributed_total, r.resp_time_mean,
+        );
     }
 
     println!("\nclient cache hit ratio {:.1}%", r.cache_hit_ratio * 100.0);
@@ -501,7 +544,8 @@ fn usage() {
          [--algs all|A,B,..] [--clients N[,N..]] [--loc F[,F..]] [--pw F[,F..]] \
          [--exp acl|caching|short|large|fast-server|fast-net|interactive] [--seed N] \
          [--warmup S] [--measure S] [--csv] [--json] [--jsonl] [--sample-interval S] \
-         [--trace-cap N] [--reps N] [--precision F] [--max-reps N] [--jobs N] [--out DIR]"
+         [--trace-cap N] [--reps N] [--precision F] [--max-reps N] [--jobs N] [--out DIR] \
+         [--lock-shards N] [--shard I/N]"
     );
 }
 
@@ -517,11 +561,14 @@ fn cmd_sweep(opts: &Options) -> ExitCode {
     };
     let workers = resolve_workers(opts.jobs);
     let jsonl = opts.jsonl;
-    let result = run_sweep(&spec, workers, |job| {
+    let result = match run_sweep_sharded(&spec, workers, opts.shard, |job| {
         if jsonl {
             println!("{}", job_line(job));
         }
-    });
+    }) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
     if opts.json {
         print!("{}", sweep_document(&result).render_pretty());
     } else if !jsonl {

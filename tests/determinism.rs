@@ -52,6 +52,72 @@ fn seeds_change_the_trajectory_not_the_regime() {
     }
 }
 
+/// Lock-table sharding is an accounting refinement, not a protocol
+/// change: every observable of the run — event count, commits, response
+/// times, message traffic — is identical for any shard count, because
+/// shards partition the page space without reordering a single grant.
+#[test]
+fn lock_shard_count_does_not_change_the_dynamics() {
+    for alg in [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Callback,
+        Algorithm::Certification { inter: true },
+    ] {
+        let mut one = quick(alg, 42);
+        one.sys.lock_shards = 1;
+        let mut four = quick(alg, 42);
+        four.sys.lock_shards = 4;
+        let a = run_simulation(one);
+        let b = run_simulation(four);
+        assert_eq!(a.events, b.events, "{}", alg.label());
+        assert_eq!(a.commits, b.commits, "{}", alg.label());
+        assert_eq!(a.aborts, b.aborts, "{}", alg.label());
+        assert_eq!(a.resp_time_mean, b.resp_time_mean, "{}", alg.label());
+        assert_eq!(a.msgs_per_commit, b.msgs_per_commit, "{}", alg.label());
+        // The per-shard tallies must still sum to the unsharded totals.
+        let req: u64 = b.lock_shard_stats.iter().map(|s| s.requests).sum();
+        let blocks: u64 = b.lock_shard_stats.iter().map(|s| s.blocks).sum();
+        assert_eq!(req, a.lock_stats.requests, "{}", alg.label());
+        assert_eq!(blocks, a.lock_stats.blocks, "{}", alg.label());
+    }
+}
+
+/// The wait ledger is complete: every commit's response time is fully
+/// attributed to some wait class, so the profile rows (including the
+/// residual) sum to the mean response time to float precision.
+#[test]
+fn wait_profile_rows_sum_to_mean_response_time() {
+    for alg in [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Certification { inter: false },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: true },
+    ] {
+        for shards in [1u32, 3] {
+            let mut cfg = quick(alg, 11);
+            cfg.sys.lock_shards = shards;
+            let r = run_simulation(cfg);
+            assert!(r.commits > 0, "{}", alg.label());
+            assert!(!r.wait_profile.is_empty(), "{}", alg.label());
+            let total: f64 = r.wait_profile.iter().map(|w| w.mean_s).sum();
+            assert!(
+                (total - r.resp_time_mean).abs() < 1e-6,
+                "{} shards={shards}: attributed {total} vs response {}",
+                alg.label(),
+                r.resp_time_mean
+            );
+            // The residual row absorbs only float rounding, not real time.
+            let residual = r
+                .wait_profile
+                .iter()
+                .find(|w| w.label == "residual")
+                .map(|w| w.mean_s.abs())
+                .unwrap_or(0.0);
+            assert!(residual < 1e-6, "{}: residual {residual}", alg.label());
+        }
+    }
+}
+
 #[test]
 fn algorithm_choice_changes_behaviour() {
     let a = run_simulation(quick(Algorithm::TwoPhase { inter: true }, 7));

@@ -147,7 +147,7 @@ fn report_json_names_every_section() {
     let r = run_simulation(quick(Algorithm::Callback, 9));
     let json = r.to_json().render();
     for key in [
-        "\"schema\":\"ccdb.run_report/v1\"",
+        "\"schema\":\"ccdb.run_report/v2\"",
         "\"algorithm\":\"CB\"",
         "\"config\"",
         "\"seed\":",
@@ -157,6 +157,8 @@ fn report_json_names_every_section() {
         "\"utilization\"",
         "\"resources\"",
         "\"msgs_per_commit\"",
+        "\"waits\"",
+        "\"shards\"",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
@@ -167,6 +169,24 @@ fn report_json_names_every_section() {
     // The bottleneck helper names a real resource.
     let b = r.bottleneck().expect("resources reported");
     assert!(r.resources.iter().any(|res| res.name == b.name));
+}
+
+/// A rendered v2 report round-trips through the reader: the summary
+/// recovers the exact headline figures and the full wait profile.
+#[test]
+fn v2_report_round_trips_through_report_summary() {
+    let r = run_simulation(quick(Algorithm::Callback, 9));
+    let text = r.to_json().render();
+    let s = ccdb::core::ReportSummary::from_json(&text).expect("v2 report parses");
+    assert_eq!(s.schema, "ccdb.run_report/v2");
+    assert_eq!(s.commits, r.commits);
+    assert_eq!(s.resp_mean_s, r.resp_time_mean);
+    assert_eq!(s.throughput_tps, r.throughput);
+    assert_eq!(s.waits.len(), r.wait_profile.len());
+    for (got, want) in s.waits.iter().zip(&r.wait_profile) {
+        assert_eq!(got.label, want.label);
+        assert_eq!(got.mean_s, want.mean_s);
+    }
 }
 
 #[test]
