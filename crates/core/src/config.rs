@@ -32,6 +32,17 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every algorithm variant, in paper order.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::TwoPhase { inter: false },
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Certification { inter: false },
+        Algorithm::Certification { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ];
+
     /// The five inter-transaction algorithms of §5, in the paper's order.
     pub const INTER_TRANSACTION: [Algorithm; 5] = [
         Algorithm::TwoPhase { inter: true },
@@ -73,6 +84,13 @@ impl Algorithm {
             Algorithm::NoWait { notify: false } => "NW",
             Algorithm::NoWait { notify: true } => "NWN",
         }
+    }
+
+    /// The exact inverse of [`Algorithm::label`]: the reader path for
+    /// documents that record algorithms by label (sweep specs, JSONL job
+    /// records).
+    pub fn from_label(label: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.label() == label)
     }
 
     /// Full name for human-readable output.
@@ -277,6 +295,15 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::from_label(alg.label()), Some(alg));
+        }
+        assert_eq!(Algorithm::from_label("2pl"), None);
+        assert_eq!(Algorithm::from_label(""), None);
     }
 
     #[test]

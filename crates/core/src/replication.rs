@@ -38,10 +38,19 @@ impl ReplicationAccumulator {
 
     /// Fold one replication's report in.
     pub fn push(&mut self, r: &RunReport) {
-        self.resp.record(r.resp_time_mean);
-        self.tput.record(r.throughput);
-        self.commits += r.commits;
-        self.aborts += r.aborts;
+        self.push_values(r.resp_time_mean, r.throughput, r.commits, r.aborts);
+    }
+
+    /// Fold one replication's headline values in without a full
+    /// [`RunReport`] — the replay path for checkpointed sweep records,
+    /// which persist exactly these four quantities. Folding replayed
+    /// values produces bit-identical aggregates to folding the original
+    /// reports (the JSONL writer uses shortest-round-trip floats).
+    pub fn push_values(&mut self, resp_time_mean: f64, throughput: f64, commits: u64, aborts: u64) {
+        self.resp.record(resp_time_mean);
+        self.tput.record(throughput);
+        self.commits += commits;
+        self.aborts += aborts;
     }
 
     /// Number of replications folded so far.

@@ -70,12 +70,17 @@ impl Json {
         }
     }
 
-    /// The value as a float (any numeric variant).
+    /// The value as a float (any numeric variant). `null` reads as NaN:
+    /// the writer renders non-finite floats as `null` (JSON has no NaN
+    /// literal), so accepting `null` here makes the render/parse pair
+    /// total — a document containing e.g. an undefined ratio still
+    /// round-trips instead of failing in every numeric reader.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Int(n) => Some(*n as f64),
             Json::UInt(n) => Some(*n as f64),
             Json::Num(x) => Some(*x),
+            Json::Null => Some(f64::NAN),
             _ => None,
         }
     }
@@ -536,6 +541,24 @@ mod tests {
         assert_eq!(Json::parse(&compact).unwrap().render(), compact);
         // Pretty output parses back to the same document too.
         assert_eq!(Json::parse(&o.render_pretty()).unwrap().render(), compact);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_null_nan() {
+        // Render: NaN/±inf have no JSON literal, so they become null ...
+        let mut o = Json::obj();
+        o.set("rel_precision", f64::NAN).set("count", 1u64);
+        let text = o.render();
+        assert_eq!(text, r#"{"rel_precision":null,"count":1}"#);
+        // ... and parse: numeric readers accept that null back as NaN,
+        // so the pair is total and re-rendering reproduces the bytes.
+        let doc = Json::parse(&text).unwrap();
+        let x = doc.get("rel_precision").unwrap().as_f64().unwrap();
+        assert!(x.is_nan());
+        assert_eq!(doc.render(), text);
+        assert_eq!(Json::Num(x).render(), "null");
+        // Integer readers still reject null.
+        assert_eq!(doc.get("rel_precision").unwrap().as_u64(), None);
     }
 
     #[test]

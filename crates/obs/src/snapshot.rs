@@ -60,6 +60,54 @@ impl Snapshot {
         }
         obj
     }
+
+    /// Kind-preserving JSON: each metric renders as `{"g": <f64>}` or
+    /// `{"c": <u64>}` so [`Snapshot::from_json`] can reconstruct the exact
+    /// snapshot. The plain [`Snapshot::to_json`] form cannot round-trip: an
+    /// integral gauge (e.g. `0`) is indistinguishable from a counter once
+    /// rendered as a bare number, and a mis-kinded metric would poison the
+    /// [`SnapshotMerger`] shape check.
+    pub fn to_json_typed(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, value) in &self.entries {
+            let mut cell = Json::obj();
+            match value {
+                SnapValue::Gauge(g) => cell.set("g", *g),
+                SnapValue::Counter(c) => cell.set("c", *c),
+            };
+            obj.set(name.clone(), cell);
+        }
+        obj
+    }
+
+    /// Parse the [`Snapshot::to_json_typed`] form back into a snapshot.
+    /// Non-finite gauges render as `null` and read back as NaN (the
+    /// render/parse pair is total); metric order is preserved.
+    pub fn from_json(json: &Json) -> Result<Snapshot, String> {
+        let Json::Obj(pairs) = json else {
+            return Err("snapshot: expected an object".to_string());
+        };
+        let mut entries = Vec::with_capacity(pairs.len());
+        for (name, cell) in pairs {
+            let value = if let Some(g) = cell.get("g") {
+                SnapValue::Gauge(
+                    g.as_f64()
+                        .ok_or_else(|| format!("snapshot metric {name:?}: bad gauge value"))?,
+                )
+            } else if let Some(c) = cell.get("c") {
+                SnapValue::Counter(
+                    c.as_u64()
+                        .ok_or_else(|| format!("snapshot metric {name:?}: bad counter value"))?,
+                )
+            } else {
+                return Err(format!(
+                    "snapshot metric {name:?}: expected a {{\"g\":..}} or {{\"c\":..}} cell"
+                ));
+            };
+            entries.push((name.clone(), value));
+        }
+        Ok(Snapshot { entries })
+    }
 }
 
 /// Folds per-replication [`Snapshot`]s into a [`MergedSnapshot`] without
@@ -254,6 +302,56 @@ mod tests {
         assert_eq!(s.get("g"), Some(SnapValue::Gauge(0.5)));
         assert_eq!(s.get("c"), Some(SnapValue::Counter(3)));
         assert_eq!(s.to_json().render(), r#"{"g":0.5,"c":3}"#);
+    }
+
+    #[test]
+    fn typed_json_round_trips_exactly() {
+        let original = Snapshot {
+            entries: vec![
+                ("util".to_string(), SnapValue::Gauge(0.125)),
+                // Integral gauge: the untyped form would re-read as a
+                // counter; the typed form must not.
+                ("queue".to_string(), SnapValue::Gauge(0.0)),
+                ("hits".to_string(), SnapValue::Counter(42)),
+            ],
+        };
+        let text = original.to_json_typed().render();
+        assert_eq!(
+            text,
+            r#"{"util":{"g":0.125},"queue":{"g":0},"hits":{"c":42}}"#
+        );
+        let parsed = Snapshot::from_json(&crate::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn typed_json_carries_nan_gauges_through_null() {
+        let original = Snapshot {
+            entries: vec![("ratio".to_string(), SnapValue::Gauge(f64::NAN))],
+        };
+        let text = original.to_json_typed().render();
+        assert_eq!(text, r#"{"ratio":{"g":null}}"#);
+        let parsed = Snapshot::from_json(&crate::Json::parse(&text).unwrap()).unwrap();
+        match parsed.entries[0].1 {
+            SnapValue::Gauge(g) => assert!(g.is_nan()),
+            _ => panic!("expected gauge"),
+        }
+        // And re-rendering reproduces the bytes.
+        assert_eq!(parsed.to_json_typed().render(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_cells() {
+        for bad in [
+            r#"[1,2]"#,
+            r#"{"m":5}"#,
+            r#"{"m":{"x":1}}"#,
+            r#"{"m":{"c":-1}}"#,
+            r#"{"m":{"g":"hi"}}"#,
+        ] {
+            let doc = crate::Json::parse(bad).unwrap();
+            assert!(Snapshot::from_json(&doc).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

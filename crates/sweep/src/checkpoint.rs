@@ -1,0 +1,350 @@
+//! The JSONL stream as the sweep's write-ahead log.
+//!
+//! A `ccdb.job/v2` stream (header, job lines, footer — see
+//! `crate::export`) contains everything needed to rebuild the sweep's
+//! per-cell accumulator state, so a sweep that appends each job line
+//! with a per-line write can be killed at any moment and resumed: parse
+//! the surviving log ([`parse_log`]), hand the recovered records to
+//! [`crate::run::run_sweep_resumed`], and only the missing jobs run.
+//! The rebuilt document is byte-identical to an uninterrupted run.
+//!
+//! WAL discipline:
+//!
+//! * a record is **committed** once its trailing newline is on disk —
+//!   each [`CheckpointWriter::record`] call is a single unbuffered
+//!   write of `line + "\n"`, so a crash loses at most the in-flight
+//!   line;
+//! * a final line without a trailing newline is a torn write and is
+//!   dropped on parse (its job simply re-runs); a *complete* line that
+//!   fails to parse is mid-file corruption and a hard error;
+//! * a footer marks the stream complete. On resume the footer (and any
+//!   torn tail) is truncated away — [`SweepLog::resume_len`] is the
+//!   byte length of the valid header-plus-job-records prefix — and new
+//!   records are appended after it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use ccdb_obs::Json;
+
+use crate::export::{
+    footer_line, header_line, job_from_json, job_line, spec_from_json, spec_hash, JOB_SCHEMA,
+};
+use crate::run::{JobCache, JobRecord};
+use crate::spec::SweepSpec;
+
+/// A parsed `ccdb.job/v2` stream: the spec it belongs to, the shard
+/// slice it covers, and every committed job record.
+#[derive(Clone, Debug)]
+pub struct SweepLog {
+    /// The spec reconstructed from the header.
+    pub spec: SweepSpec,
+    /// The header's spec hash (verified against `spec` during parsing).
+    pub spec_hash: String,
+    /// The shard slice the stream covers (`None` = whole grid).
+    pub shard: Option<(u32, u32)>,
+    /// Committed job records, keyed by global job index.
+    pub records: JobCache,
+    /// The footer's job count, if the stream is complete.
+    pub footer_jobs: Option<usize>,
+    /// Byte length of the valid prefix (header + job records, excluding
+    /// any footer or torn trailing line). Resume truncates the file to
+    /// this length before appending.
+    pub resume_len: u64,
+}
+
+impl SweepLog {
+    /// Whether the stream ran to completion (footer present).
+    pub fn complete(&self) -> bool {
+        self.footer_jobs.is_some()
+    }
+}
+
+/// Parse a `ccdb.job/v2` stream.
+///
+/// Tolerates exactly the damage a killed writer can cause — a missing
+/// footer and a torn final line. Everything else (no header, malformed
+/// complete lines, duplicate job indices, records after the footer, a
+/// header whose embedded spec contradicts its hash) is an error: the
+/// log is not one this code wrote.
+pub fn parse_log(text: &str) -> Result<SweepLog, String> {
+    // Complete lines only: a trailing fragment without '\n' is a torn
+    // write and is ignored (tracked byte offsets let resume truncate it).
+    let mut lines: Vec<(u64, &str)> = Vec::new(); // (end offset incl. '\n', line)
+    let mut start = 0usize;
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            lines.push(((i + 1) as u64, &text[start..i]));
+            start = i + 1;
+        }
+    }
+
+    let mut iter = lines.into_iter();
+    let (header_end, header) = iter
+        .next()
+        .ok_or("checkpoint log has no complete header line")?;
+    let h = Json::parse(header).map_err(|e| format!("checkpoint header: {e}"))?;
+    if h.get("schema").and_then(Json::as_str) != Some(JOB_SCHEMA) {
+        return Err(format!("checkpoint header: schema is not {JOB_SCHEMA}"));
+    }
+    if h.get("kind").and_then(Json::as_str) != Some("header") {
+        return Err("checkpoint log does not start with a header line".to_string());
+    }
+    let spec = spec_from_json(h.get("spec").ok_or("checkpoint header: missing spec")?)?;
+    let recorded_hash = h
+        .get("spec_hash")
+        .and_then(Json::as_str)
+        .ok_or("checkpoint header: missing spec_hash")?
+        .to_string();
+    if recorded_hash != spec_hash(&spec) {
+        return Err(format!(
+            "checkpoint header: spec_hash {recorded_hash} does not match the embedded spec \
+             (expected {})",
+            spec_hash(&spec)
+        ));
+    }
+    let shard = match h.get("shard") {
+        Some(Json::Null) => None,
+        Some(arr) => {
+            let items = arr.items().ok_or("checkpoint header: bad shard")?;
+            let part = |ix: usize| {
+                items
+                    .get(ix)
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+            };
+            match (items.len(), part(0), part(1)) {
+                (2, Some(i), Some(n)) => Some((i, n)),
+                _ => return Err("checkpoint header: bad shard".to_string()),
+            }
+        }
+        None => return Err("checkpoint header: missing shard".to_string()),
+    };
+
+    let mut records = JobCache::new();
+    let mut footer_jobs = None;
+    let mut resume_len = header_end;
+    for (end, line) in iter {
+        let j = Json::parse(line).map_err(|e| format!("checkpoint record: {e}"))?;
+        if footer_jobs.is_some() {
+            return Err("checkpoint log has records after the footer".to_string());
+        }
+        match j.get("kind").and_then(Json::as_str) {
+            Some("job") => {
+                let rec = job_from_json(&j)?;
+                let job = rec.job;
+                if records.insert(job, rec).is_some() {
+                    return Err(format!("checkpoint log repeats job {job}"));
+                }
+                resume_len = end;
+            }
+            Some("footer") => {
+                if j.get("spec_hash").and_then(Json::as_str) != Some(recorded_hash.as_str()) {
+                    return Err("checkpoint footer: spec_hash differs from header".to_string());
+                }
+                let jobs = j
+                    .get("jobs")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or("checkpoint footer: missing jobs")?;
+                footer_jobs = Some(jobs);
+            }
+            Some("header") => {
+                return Err("checkpoint log has a second header line".to_string());
+            }
+            _ => return Err("checkpoint record: missing or unknown kind".to_string()),
+        }
+    }
+
+    Ok(SweepLog {
+        spec,
+        spec_hash: recorded_hash,
+        shard,
+        records,
+        footer_jobs,
+        resume_len,
+    })
+}
+
+/// Read and parse a stream from disk.
+pub fn read_log(path: &Path) -> Result<SweepLog, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_log(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Appends `ccdb.job/v2` lines to a file with WAL discipline: one
+/// unbuffered write per line, newline included, so every call commits
+/// its record or (on a crash mid-write) leaves a torn tail the parser
+/// drops.
+pub struct CheckpointWriter {
+    file: File,
+}
+
+impl CheckpointWriter {
+    /// Start a fresh log: truncate `path` and write the header line.
+    pub fn create(
+        path: &Path,
+        spec: &SweepSpec,
+        shard: Option<(u32, u32)>,
+    ) -> std::io::Result<CheckpointWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(format!("{}\n", header_line(spec, shard)).as_bytes())?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Reopen an interrupted log for appending: truncate to `keep_len`
+    /// (the parsed [`SweepLog::resume_len`] — drops the footer and any
+    /// torn tail) and position at the end.
+    pub fn append(path: &Path, keep_len: u64) -> std::io::Result<CheckpointWriter> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(keep_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Commit one job record.
+    pub fn record(&mut self, job: &JobRecord) -> std::io::Result<()> {
+        self.file
+            .write_all(format!("{}\n", job_line(job)).as_bytes())
+    }
+
+    /// Write the footer, marking the stream complete.
+    pub fn finish(mut self, spec: &SweepSpec, jobs: usize) -> std::io::Result<()> {
+        self.file
+            .write_all(format!("{}\n", footer_line(spec, jobs)).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_sweep;
+    use crate::spec::{Family, Replication, SweepSpec};
+    use ccdb_core::Algorithm;
+    use ccdb_des::SimDuration;
+
+    fn tiny() -> SweepSpec {
+        SweepSpec {
+            algorithms: vec![Algorithm::Callback],
+            clients: vec![2],
+            localities: vec![0.5],
+            write_probs: vec![0.2],
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(8),
+            replication: Replication::Fixed(2),
+            ..SweepSpec::new(Family::Short)
+        }
+    }
+
+    fn full_log(spec: &SweepSpec) -> String {
+        let mut text = format!("{}\n", header_line(spec, None));
+        let result = run_sweep(spec, 1, |job| {
+            text.push_str(&job_line(job));
+            text.push('\n');
+        });
+        text.push_str(&footer_line(spec, result.jobs));
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn complete_log_round_trips() {
+        let spec = tiny();
+        let text = full_log(&spec);
+        let log = parse_log(&text).unwrap();
+        assert!(log.complete());
+        assert_eq!(log.footer_jobs, Some(2));
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.spec_hash, spec_hash(&spec));
+        assert_eq!(log.shard, None);
+        // resume_len ends after the last job record, before the footer.
+        let footer = format!("{}\n", footer_line(&spec, 2));
+        assert_eq!(log.resume_len as usize, text.len() - footer.len());
+    }
+
+    #[test]
+    fn torn_tail_and_missing_footer_are_tolerated() {
+        let spec = tiny();
+        let text = full_log(&spec);
+        // Cut mid-way through the second job line: the first job
+        // survives, the torn line is dropped.
+        let second_line_start = {
+            let header_end = text.find('\n').unwrap() + 1;
+            text[header_end..].find('\n').unwrap() + header_end + 1
+        };
+        let cut = &text[..second_line_start + 10];
+        let log = parse_log(cut).unwrap();
+        assert!(!log.complete());
+        assert_eq!(log.records.len(), 1);
+        assert!(log.records.contains_key(&0));
+        assert_eq!(log.resume_len as usize, second_line_start);
+    }
+
+    #[test]
+    fn header_only_parses_with_no_records() {
+        let spec = tiny();
+        let text = format!("{}\n", header_line(&spec, Some((2, 3))));
+        let log = parse_log(&text).unwrap();
+        assert_eq!(log.shard, Some((2, 3)));
+        assert!(log.records.is_empty());
+        assert_eq!(log.resume_len as usize, text.len());
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let spec = tiny();
+        let text = full_log(&spec);
+        // No header.
+        assert!(parse_log("").is_err());
+        assert!(parse_log("{\"schema\":\"nope\"}\n").is_err());
+        // A complete but malformed middle line is corruption, not a torn
+        // tail.
+        let lines: Vec<&str> = text.lines().collect();
+        let corrupted = format!("{}\n{}\n{}\n", lines[0], "{broken", lines[2]);
+        assert!(parse_log(&corrupted).is_err());
+        // Duplicate job index.
+        let dup = format!("{}\n{}\n{}\n", lines[0], lines[1], lines[1]);
+        let err = parse_log(&dup).unwrap_err();
+        assert!(err.contains("repeats job 0"), "{err}");
+        // Records after the footer.
+        let after = format!("{}\n{}\n{}\n", lines[0], lines[3], lines[1]);
+        assert!(parse_log(&after).is_err());
+        // Tampered hash.
+        let bad_hash = text.replacen(&spec_hash(&spec), "0000000000000000", 1);
+        assert!(parse_log(&bad_hash).is_err());
+    }
+
+    #[test]
+    fn writer_create_append_finish_round_trip() {
+        let spec = tiny();
+        let dir = std::env::temp_dir().join("ccdb-checkpoint-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("writer-roundtrip.jsonl");
+
+        let mut records = Vec::new();
+        let result = run_sweep(&spec, 1, |job| records.push(job.clone()));
+
+        // Write header + first record, simulate a crash (drop without
+        // footer), then resume: truncate to the parsed prefix, append the
+        // rest, finish.
+        let mut w = CheckpointWriter::create(&path, &spec, None).unwrap();
+        w.record(&records[0]).unwrap();
+        drop(w);
+        let log = read_log(&path).unwrap();
+        assert!(!log.complete());
+        assert_eq!(log.records.len(), 1);
+
+        let mut w = CheckpointWriter::append(&path, log.resume_len).unwrap();
+        w.record(&records[1]).unwrap();
+        w.finish(&spec, result.jobs).unwrap();
+
+        let final_log = read_log(&path).unwrap();
+        assert!(final_log.complete());
+        assert_eq!(final_log.records.len(), 2);
+        // And the file is byte-identical to an uninterrupted log.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), full_log(&spec));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,6 +1,6 @@
 //! Versioned JSON export of sweep results.
 //!
-//! Two formats:
+//! Three formats:
 //!
 //! * [`sweep_document`] — the final `ccdb.sweep/v1` document: the spec,
 //!   the job count, and one entry per cell with the cross-replication
@@ -8,24 +8,45 @@
 //!   snapshot. Deliberately free of wall-clock times and worker counts,
 //!   so the document is **byte-identical for every worker count** (the
 //!   property the sweep tests pin down).
-//! * [`job_line`] — one self-describing JSONL object per job, emitted as
-//!   jobs complete. Line *content* is deterministic; line *order* is the
-//!   completion order and therefore only reproducible with one worker.
+//! * [`job_line`] — one self-describing `ccdb.job/v2` JSONL object per
+//!   job, emitted as jobs complete. Line *content* is deterministic; line
+//!   *order* is the completion order and therefore only reproducible with
+//!   one worker. A v2 line carries everything needed to replay the job
+//!   into the per-cell accumulators — including the run's typed metrics
+//!   snapshot — which is what makes the stream a write-ahead log
+//!   (`crate::checkpoint`) and shard streams mergeable (`crate::merge`).
+//! * [`header_line`] / [`footer_line`] — the stream frame: the header
+//!   pins the spec (embedded verbatim, plus an FNV-1a hash for cheap
+//!   verification) and the shard slice; the footer records the executed
+//!   job count, so a footer-terminated stream is known complete.
 //!
 //! Cell entries relate to `ccdb.run_report/v1` (see
 //! `docs/observability.md`): a run report is the full single-run record;
 //! a sweep cell carries the per-replication summaries plus aggregates of
 //! exactly those quantities, keyed by the same metric names.
 
-use ccdb_obs::Json;
+use ccdb_core::Algorithm;
+use ccdb_des::SimDuration;
+use ccdb_obs::{Json, Snapshot};
 
-use crate::run::{JobRecord, SweepResult};
-use crate::spec::{Replication, SweepSpec};
+use crate::run::{JobRecord, RunSummary, SweepResult};
+use crate::spec::{Cell, Family, Replication, SweepSpec};
 
 /// The schema tag of the sweep document.
 pub const SWEEP_SCHEMA: &str = "ccdb.sweep/v1";
 
-fn spec_json(spec: &SweepSpec) -> Json {
+/// The schema tag of the streaming JSONL records (header, job, and
+/// footer lines all carry it).
+pub const JOB_SCHEMA: &str = "ccdb.job/v2";
+
+/// The spec as it is embedded in documents and stream headers.
+///
+/// `warmup_s` and `measure_s` are the horizon **that actually ran**
+/// (matching `SweepSpec::config_for`): the warm-up is never scaled, the
+/// measurement window is scaled by [`Family::measure_scale`]. The scale
+/// is recorded explicitly so a reader reconstructing the spec
+/// ([`spec_from_json`]) can undo it instead of double-applying it.
+pub(crate) fn spec_json(spec: &SweepSpec) -> Json {
     let mut replication = Json::obj();
     match spec.replication {
         Replication::Fixed(n) => {
@@ -61,8 +82,162 @@ fn spec_json(spec: &SweepSpec) -> Json {
             "measure_s",
             (spec.measure * spec.family.measure_scale()).as_secs_f64(),
         )
+        .set("measure_scale", spec.family.measure_scale())
         .set("replication", replication);
     obj
+}
+
+/// Reconstruct a [`SweepSpec`] from its [`spec_json`] form — the reader
+/// path for stream headers (`ccdb merge`, `--resume`). Exact inverse:
+/// re-rendering the returned spec reproduces the input bytes, which
+/// [`crate::checkpoint::parse_log`] verifies.
+pub(crate) fn spec_from_json(j: &Json) -> Result<SweepSpec, String> {
+    let family = j
+        .get("family")
+        .and_then(Json::as_str)
+        .and_then(Family::parse)
+        .ok_or("spec: missing or unknown family")?;
+    let algorithms = j
+        .get("algorithms")
+        .and_then(Json::items)
+        .ok_or("spec: missing algorithms")?
+        .iter()
+        .map(|a| {
+            a.as_str()
+                .and_then(Algorithm::from_label)
+                .ok_or_else(|| format!("spec: unknown algorithm {}", a.render()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let u32_list = |key: &str| -> Result<Vec<u32>, String> {
+        j.get(key)
+            .and_then(Json::items)
+            .ok_or_else(|| format!("spec: missing {key}"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("spec: bad value in {key}"))
+            })
+            .collect()
+    };
+    let f64_list = |key: &str| -> Result<Vec<f64>, String> {
+        j.get(key)
+            .and_then(Json::items)
+            .ok_or_else(|| format!("spec: missing {key}"))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| format!("spec: bad value in {key}"))
+            })
+            .collect()
+    };
+    let clients = u32_list("clients")?;
+    let localities = f64_list("localities")?;
+    let write_probs = f64_list("write_probs")?;
+    let seed = j
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("spec: missing seed")?;
+    let warmup_s = j
+        .get("warmup_s")
+        .and_then(Json::as_f64)
+        .ok_or("spec: missing warmup_s")?;
+    let measure_s = j
+        .get("measure_s")
+        .and_then(Json::as_f64)
+        .ok_or("spec: missing measure_s")?;
+    // `measure_s` is the scaled window that ran; undo the family scale to
+    // recover the spec's base window. Tolerate a missing `measure_scale`
+    // (older streams) but reject a contradictory one.
+    let scale = family.measure_scale();
+    if let Some(recorded) = j.get("measure_scale").and_then(Json::as_u64) {
+        if recorded != scale {
+            return Err(format!(
+                "spec: measure_scale {recorded} does not match family {} (expected {scale})",
+                family.label()
+            ));
+        }
+    }
+    let replication = {
+        let r = j.get("replication").ok_or("spec: missing replication")?;
+        match r.get("mode").and_then(Json::as_str) {
+            Some("fixed") => Replication::Fixed(
+                r.get("replications")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("spec: bad replications")?,
+            ),
+            Some("adaptive") => Replication::Adaptive {
+                min: r
+                    .get("min")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("spec: bad replication min")?,
+                max: r
+                    .get("max")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("spec: bad replication max")?,
+                target_rel_precision: r
+                    .get("target_rel_precision")
+                    .and_then(Json::as_f64)
+                    .ok_or("spec: bad target_rel_precision")?,
+            },
+            _ => return Err("spec: unknown replication mode".to_string()),
+        }
+    };
+    Ok(SweepSpec {
+        family,
+        algorithms,
+        clients,
+        localities,
+        write_probs,
+        seed,
+        warmup: SimDuration::from_secs_f64(warmup_s),
+        measure: SimDuration::from_secs_f64(measure_s / scale as f64),
+        replication,
+    })
+}
+
+/// A deterministic 64-bit FNV-1a hash of the spec's JSON form, printed
+/// as 16 hex digits. Cheap identity check for checkpoint/resume and
+/// shard-stream merging; the header also embeds the spec itself, so the
+/// hash is a fast path, not the only defence.
+pub fn spec_hash(spec: &SweepSpec) -> String {
+    let rendered = spec_json(spec).render();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The first line of a `ccdb.job/v2` stream: schema, kind, spec hash,
+/// the spec itself, and the shard slice (`[i, n]`, or `null` when the
+/// stream covers the whole grid).
+pub fn header_line(spec: &SweepSpec, shard: Option<(u32, u32)>) -> String {
+    let mut obj = Json::obj();
+    obj.set("schema", JOB_SCHEMA)
+        .set("kind", "header")
+        .set("spec_hash", spec_hash(spec))
+        .set("spec", spec_json(spec));
+    match shard {
+        Some((i, n)) => obj.set("shard", vec![i, n]),
+        None => obj.set("shard", Json::Null),
+    };
+    obj.render()
+}
+
+/// The last line of a complete `ccdb.job/v2` stream: the executed job
+/// count. A stream without a footer was interrupted.
+pub fn footer_line(spec: &SweepSpec, jobs: usize) -> String {
+    let mut obj = Json::obj();
+    obj.set("schema", JOB_SCHEMA)
+        .set("kind", "footer")
+        .set("spec_hash", spec_hash(spec))
+        .set("jobs", jobs as u64);
+    obj.render()
 }
 
 /// The final `ccdb.sweep/v1` document for a finished sweep.
@@ -115,10 +290,15 @@ pub fn sweep_document(result: &SweepResult) -> Json {
     doc
 }
 
-/// One JSONL line (no trailing newline) describing a completed job.
+/// One `ccdb.job/v2` JSONL line (no trailing newline) describing a
+/// completed job: the v1 summary fields plus the run's typed metrics
+/// snapshot, so the per-cell `SnapshotMerger` state — and with it the
+/// full sweep document — can be rebuilt from the stream alone.
 pub fn job_line(job: &JobRecord) -> String {
     let mut obj = Json::obj();
-    obj.set("job", job.job as u64)
+    obj.set("schema", JOB_SCHEMA)
+        .set("kind", "job")
+        .set("job", job.job as u64)
         .set("cell", job.cell_index as u64)
         .set("replication", job.replication)
         .set("algorithm", job.cell.algorithm.label())
@@ -129,8 +309,58 @@ pub fn job_line(job: &JobRecord) -> String {
         .set("resp_s", job.summary.resp_time_mean)
         .set("tput_tps", job.summary.throughput)
         .set("commits", job.summary.commits)
-        .set("aborts", job.summary.aborts);
+        .set("aborts", job.summary.aborts)
+        .set("metrics", job.snapshot.to_json_typed());
     obj.render()
+}
+
+/// Parse a [`job_line`] object back into the [`JobRecord`] it came from
+/// — the replay path for checkpoint/resume (`crate::checkpoint`) and
+/// shard merging (`crate::merge`). Exact inverse: re-rendering the
+/// returned record with [`job_line`] reproduces the input bytes, because
+/// the JSON writer emits shortest-round-trip floats.
+pub(crate) fn job_from_json(j: &Json) -> Result<JobRecord, String> {
+    if j.get("schema").and_then(Json::as_str) != Some(JOB_SCHEMA) {
+        return Err(format!("job line: schema is not {JOB_SCHEMA}"));
+    }
+    let u64_field = |key: &str| -> Result<u64, String> {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("job line: missing or bad {key}"))
+    };
+    let f64_field = |key: &str| -> Result<f64, String> {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("job line: missing or bad {key}"))
+    };
+    let algorithm = j
+        .get("algorithm")
+        .and_then(Json::as_str)
+        .and_then(Algorithm::from_label)
+        .ok_or("job line: missing or unknown algorithm")?;
+    let snapshot = Snapshot::from_json(j.get("metrics").ok_or("job line: missing metrics")?)
+        .map_err(|e| format!("job line: {e}"))?;
+    Ok(JobRecord {
+        job: usize::try_from(u64_field("job")?).map_err(|_| "job line: job overflows")?,
+        cell_index: usize::try_from(u64_field("cell")?).map_err(|_| "job line: cell overflows")?,
+        replication: u32::try_from(u64_field("replication")?)
+            .map_err(|_| "job line: replication overflows")?,
+        cell: Cell {
+            algorithm,
+            clients: u32::try_from(u64_field("clients")?)
+                .map_err(|_| "job line: clients overflows")?,
+            locality: f64_field("locality")?,
+            prob_write: f64_field("write_prob")?,
+        },
+        summary: RunSummary {
+            seed: u64_field("seed")?,
+            resp_time_mean: f64_field("resp_s")?,
+            throughput: f64_field("tput_tps")?,
+            commits: u64_field("commits")?,
+            aborts: u64_field("aborts")?,
+        },
+        snapshot,
+    })
 }
 
 #[cfg(test)]
@@ -184,14 +414,118 @@ mod tests {
     }
 
     #[test]
-    fn job_lines_are_parseable_objects() {
+    fn job_lines_are_parseable_v2_objects() {
         let mut lines = Vec::new();
         run_sweep(&tiny(), 1, |job| lines.push(job_line(job)));
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with(r#"{"job":0,"cell":0,"replication":0,"algorithm":"CB""#));
+        assert!(lines[0].starts_with(
+            r#"{"schema":"ccdb.job/v2","kind":"job","job":0,"cell":0,"replication":0,"algorithm":"CB""#
+        ));
         assert!(lines[1].contains(r#""replication":1"#));
         for line in &lines {
             assert!(line.ends_with('}') && !line.contains('\n'));
+            // The metrics snapshot rides along in the typed form.
+            let doc = Json::parse(line).expect("job line parses");
+            let metrics = doc.get("metrics").expect("metrics present");
+            let snap = ccdb_obs::Snapshot::from_json(metrics).expect("typed snapshot");
+            assert!(snap.get("txn.commits").is_some());
         }
+    }
+
+    #[test]
+    fn job_lines_round_trip_bit_exactly() {
+        let mut records = Vec::new();
+        run_sweep(&tiny(), 1, |job| records.push(job.clone()));
+        for rec in &records {
+            let line = job_line(rec);
+            let parsed = job_from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(
+                job_line(&parsed),
+                line,
+                "job {} re-renders exactly",
+                rec.job
+            );
+            assert_eq!(parsed.summary, rec.summary);
+            assert_eq!(parsed.cell, rec.cell);
+        }
+    }
+
+    #[test]
+    fn stream_frame_carries_spec_and_job_count() {
+        let spec = tiny();
+        let header = header_line(&spec, Some((2, 3)));
+        let doc = Json::parse(&header).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("header"));
+        assert_eq!(
+            doc.get("spec_hash").unwrap().as_str(),
+            Some(spec_hash(&spec).as_str())
+        );
+        assert_eq!(
+            doc.get("shard").unwrap().items().unwrap()[1].as_u64(),
+            Some(3)
+        );
+        // The embedded spec round-trips exactly.
+        let parsed = spec_from_json(doc.get("spec").unwrap()).unwrap();
+        assert_eq!(spec_json(&parsed).render(), spec_json(&spec).render());
+        assert_eq!(spec_hash(&parsed), spec_hash(&spec));
+
+        let footer = footer_line(&spec, 8);
+        let doc = Json::parse(&footer).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("footer"));
+        assert_eq!(doc.get("jobs").unwrap().as_u64(), Some(8));
+    }
+
+    #[test]
+    fn spec_round_trips_for_scaled_and_adaptive_families() {
+        // Interactive scales its measurement window 5x; the exported
+        // horizon is the one that ran, and the reader undoes the scale.
+        let spec = SweepSpec {
+            replication: Replication::Adaptive {
+                min: 2,
+                max: 6,
+                target_rel_precision: 0.1,
+            },
+            ..SweepSpec::new(Family::Interactive)
+        };
+        let rendered = spec_json(&spec).render();
+        assert!(rendered.contains(r#""measure_scale":5"#));
+        let parsed = spec_from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed.measure, spec.measure);
+        assert_eq!(parsed.warmup, spec.warmup);
+        assert_eq!(spec_json(&parsed).render(), rendered);
+    }
+
+    #[test]
+    fn spec_exports_the_horizon_that_ran() {
+        // Pin `warmup_s`/`measure_s` against `config_for`: the exported
+        // numbers must be what the simulations actually used — warm-up
+        // unscaled, measurement window scaled by the family factor.
+        for family in [Family::Short, Family::Interactive] {
+            let spec = SweepSpec {
+                warmup: SimDuration::from_secs(7),
+                measure: SimDuration::from_secs(40),
+                ..SweepSpec::new(family)
+            };
+            let cfg = spec.config_for(&spec.cells()[0], 0);
+            let j = spec_json(&spec);
+            assert_eq!(
+                j.get("warmup_s").unwrap().as_f64().unwrap(),
+                cfg.warmup.as_secs_f64(),
+                "{family:?} warmup"
+            );
+            assert_eq!(
+                j.get("measure_s").unwrap().as_f64().unwrap(),
+                cfg.measure.as_secs_f64(),
+                "{family:?} measure"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_from_json_rejects_contradictory_scale() {
+        let spec = tiny();
+        let mut rendered = spec_json(&spec).render();
+        rendered = rendered.replace(r#""measure_scale":1"#, r#""measure_scale":3"#);
+        assert!(spec_from_json(&Json::parse(&rendered).unwrap()).is_err());
     }
 }

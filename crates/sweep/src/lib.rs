@@ -19,7 +19,13 @@
 //!   registry) and [`Replication::Adaptive`] precision-targeted
 //!   replication.
 //! * [`sweep_document`] / [`job_line`] — the versioned `ccdb.sweep/v1`
-//!   JSON document and the streaming per-job JSONL records.
+//!   JSON document and the streaming per-job `ccdb.job/v2` JSONL
+//!   records (framed by [`header_line`] / [`footer_line`]).
+//! * [`CheckpointWriter`] / [`parse_log`] / [`run_sweep_resumed`] — the
+//!   JSONL stream doubles as a write-ahead log: a killed sweep resumes
+//!   from its checkpoint file and produces a byte-identical document.
+//! * [`merge_logs`] — reconstruct one sweep from the union of disjoint
+//!   per-shard streams (the two-machine workflow).
 //! * [`figures_from_sweep`] — the paper's Figure 5–22 (and Table 4)
 //!   CSV series, regenerated from sweep output alone.
 //!
@@ -27,14 +33,23 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod export;
 mod figures;
+mod merge;
 mod run;
 mod scheduler;
 mod spec;
 
-pub use export::{job_line, sweep_document, SWEEP_SCHEMA};
+pub use checkpoint::{parse_log, read_log, CheckpointWriter, SweepLog};
+pub use export::{
+    footer_line, header_line, job_line, spec_hash, sweep_document, JOB_SCHEMA, SWEEP_SCHEMA,
+};
 pub use figures::{figure_csv, figures_for, figures_from_sweep, FigureDef, FigureMetric};
-pub use run::{run_sweep, run_sweep_sharded, CellReport, JobRecord, RunSummary, SweepResult};
-pub use scheduler::{default_workers, resolve_workers, run_indexed};
+pub use merge::merge_logs;
+pub use run::{
+    run_sweep, run_sweep_resumed, run_sweep_sharded, CellReport, JobCache, JobRecord, RunSummary,
+    SweepResult,
+};
+pub use scheduler::{default_workers, resolve_workers, run_indexed, run_indexed_catching};
 pub use spec::{Cell, Family, Replication, SweepSpec};

@@ -1,0 +1,217 @@
+//! Reconstructing one sweep from the union of per-shard JSONL streams.
+//!
+//! `run_sweep_sharded` assigns global job indices over the full grid
+//! before the shard filter drops the other shards' jobs, so the streams
+//! of all `n` shards are disjoint and their union is exactly the
+//! unsharded job set. [`merge_logs`] verifies that — same spec, no
+//! overlapping indices, no missing indices — and then rebuilds the
+//! result through the *same* fold as a live run
+//! ([`crate::run::run_sweep_resumed`] with every job cached), so the
+//! rendered `ccdb.sweep/v1` document is byte-identical to the one an
+//! unsharded run would have produced.
+
+use ccdb_core::ReplicationAccumulator;
+
+use crate::checkpoint::SweepLog;
+use crate::export::spec_json;
+use crate::run::{run_sweep_resumed, JobCache, SweepResult};
+
+/// Merge parsed streams into one complete sweep result.
+///
+/// Errors if the streams disagree on the spec, if a job index appears
+/// in more than one stream, if the union does not cover every job of
+/// the spec's grid, or if it contains job indices the grid never
+/// assigns.
+pub fn merge_logs(logs: &[SweepLog]) -> Result<SweepResult, String> {
+    let first = logs.first().ok_or("merge: no streams given")?;
+    let spec = first.spec.clone();
+    let spec_rendered = spec_json(&spec).render();
+
+    let mut cache = JobCache::new();
+    for (ix, log) in logs.iter().enumerate() {
+        if log.spec_hash != first.spec_hash || spec_json(&log.spec).render() != spec_rendered {
+            return Err(format!(
+                "merge: stream {} was written by a different spec (hash {} vs {})",
+                ix + 1,
+                log.spec_hash,
+                first.spec_hash
+            ));
+        }
+        for (job, rec) in &log.records {
+            if cache.insert(*job, rec.clone()).is_some() {
+                return Err(format!("merge: job {job} appears in more than one stream"));
+            }
+        }
+    }
+
+    // Completeness: replay the wave construction against the cached
+    // summaries only. Every job index the grid assigns must be present
+    // — for adaptive replication the follow-up waves depend on the
+    // folded aggregates, which is why this walks waves instead of
+    // counting.
+    let cells = spec.cells();
+    let mut accs: Vec<ReplicationAccumulator> = cells
+        .iter()
+        .map(|_| ReplicationAccumulator::new())
+        .collect();
+    let initial = spec.replication.initial();
+    let mut next_job = 0usize;
+    let mut wave: Vec<(usize, usize)> = Vec::new();
+    for (ci, _) in cells.iter().enumerate() {
+        for _ in 0..initial {
+            wave.push((next_job, ci));
+            next_job += 1;
+        }
+    }
+    let mut covered = 0usize;
+    while !wave.is_empty() {
+        let mut missing: Vec<usize> = Vec::new();
+        for &(job, ci) in &wave {
+            match cache.get(&job) {
+                None => missing.push(job),
+                Some(rec) => accs[ci].push_values(
+                    rec.summary.resp_time_mean,
+                    rec.summary.throughput,
+                    rec.summary.commits,
+                    rec.summary.aborts,
+                ),
+            }
+        }
+        if !missing.is_empty() {
+            let shown: Vec<String> = missing.iter().take(8).map(|j| j.to_string()).collect();
+            return Err(format!(
+                "merge: {} job(s) missing from the given streams (job {}{})",
+                missing.len(),
+                shown.join(", job "),
+                if missing.len() > shown.len() {
+                    ", ..."
+                } else {
+                    ""
+                }
+            ));
+        }
+        covered += wave.len();
+        wave = accs
+            .iter()
+            .enumerate()
+            .filter(|(_, acc)| {
+                let agg = acc.aggregate();
+                spec.replication
+                    .needs_more(acc.count(), agg.resp_relative_precision())
+            })
+            .map(|(ci, _)| {
+                let job = next_job;
+                next_job += 1;
+                (job, ci)
+            })
+            .collect();
+    }
+    if covered != cache.len() {
+        let extra = cache
+            .keys()
+            .find(|j| **j >= next_job)
+            .copied()
+            .unwrap_or_default();
+        return Err(format!(
+            "merge: streams contain {} record(s) the grid never assigns (e.g. job {extra})",
+            cache.len() - covered
+        ));
+    }
+
+    // Rebuild through the canonical fold; with every job cached, nothing
+    // runs and nothing streams.
+    run_sweep_resumed(&spec, 1, None, &cache, |job| {
+        unreachable!("merge replay tried to run job {}", job.job)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::parse_log;
+    use crate::export::{footer_line, header_line, job_line, sweep_document};
+    use crate::run::{run_sweep, run_sweep_sharded};
+    use crate::spec::{Family, Replication, SweepSpec};
+    use ccdb_core::Algorithm;
+    use ccdb_des::SimDuration;
+
+    fn tiny() -> SweepSpec {
+        SweepSpec {
+            algorithms: vec![Algorithm::TwoPhase { inter: true }, Algorithm::Callback],
+            clients: vec![2, 5],
+            localities: vec![0.5],
+            write_probs: vec![0.2],
+            seed: 0xCCDB,
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(8),
+            replication: Replication::Fixed(2),
+            ..SweepSpec::new(Family::Short)
+        }
+    }
+
+    fn shard_stream(spec: &SweepSpec, shard: Option<(u32, u32)>) -> String {
+        let mut text = format!("{}\n", header_line(spec, shard));
+        let result = run_sweep_sharded(spec, 2, shard, |job| {
+            text.push_str(&job_line(job));
+            text.push('\n');
+        })
+        .unwrap();
+        text.push_str(&footer_line(spec, result.jobs));
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn three_shards_merge_to_the_unsharded_document() {
+        let spec = tiny();
+        let unsharded = sweep_document(&run_sweep(&spec, 2, |_| {})).render();
+        let logs: Vec<_> = (1..=3)
+            .map(|i| parse_log(&shard_stream(&spec, Some((i, 3)))).unwrap())
+            .collect();
+        let merged = merge_logs(&logs).unwrap();
+        assert_eq!(sweep_document(&merged).render(), unsharded);
+    }
+
+    #[test]
+    fn single_complete_stream_merges_even_when_adaptive() {
+        let spec = SweepSpec {
+            replication: Replication::Adaptive {
+                min: 2,
+                max: 3,
+                target_rel_precision: 0.4,
+            },
+            ..tiny()
+        };
+        let unsharded = sweep_document(&run_sweep(&spec, 2, |_| {})).render();
+        let log = parse_log(&shard_stream(&spec, None)).unwrap();
+        let merged = merge_logs(&[log]).unwrap();
+        assert_eq!(sweep_document(&merged).render(), unsharded);
+    }
+
+    #[test]
+    fn overlapping_and_missing_indices_are_rejected() {
+        let spec = tiny();
+        let s1 = parse_log(&shard_stream(&spec, Some((1, 3)))).unwrap();
+        let s2 = parse_log(&shard_stream(&spec, Some((2, 3)))).unwrap();
+
+        // Missing: shard 3 absent.
+        let err = merge_logs(&[s1.clone(), s2.clone()]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        assert!(err.contains("job 2"), "{err}");
+
+        // Overlapping: the same shard twice.
+        let err = merge_logs(&[s1.clone(), s1.clone()]).unwrap_err();
+        assert!(err.contains("more than one stream"), "{err}");
+
+        // Different specs.
+        let other = SweepSpec {
+            seed: spec.seed + 1,
+            ..tiny()
+        };
+        let s_other = parse_log(&shard_stream(&other, Some((3, 3)))).unwrap();
+        let err = merge_logs(&[s1, s2, s_other]).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+
+        assert!(merge_logs(&[]).is_err());
+    }
+}

@@ -9,12 +9,14 @@
 //! final output — is identical for every worker count; only wall-clock
 //! time and the completion order of the streaming callback vary.
 
+use std::collections::BTreeMap;
+
 use ccdb_core::runner::{run_simulation_observed, ObsOptions};
 use ccdb_core::trace::Trace;
-use ccdb_core::{ReplicationAccumulator, ReplicationAggregate, RunReport};
+use ccdb_core::{replication_seed, ReplicationAccumulator, ReplicationAggregate, RunReport};
 use ccdb_obs::{MergedSnapshot, Snapshot, SnapshotMerger};
 
-use crate::scheduler::run_indexed;
+use crate::scheduler::run_indexed_catching;
 use crate::spec::{Cell, SweepSpec};
 
 /// Per-replication summary kept in the per-cell record (the full
@@ -62,6 +64,11 @@ pub struct CellReport {
 }
 
 /// One finished job, handed to the streaming callback as it completes.
+///
+/// Carries everything needed to *replay* the job into the per-cell
+/// accumulators without re-running it — which is what makes the JSONL
+/// stream of these records a write-ahead log (`crate::checkpoint`) and
+/// shard streams mergeable (`crate::merge`).
 #[derive(Clone, Debug)]
 pub struct JobRecord {
     /// Global job index: deterministic (assigned at wave construction),
@@ -75,7 +82,15 @@ pub struct JobRecord {
     pub cell: Cell,
     /// This replication's results.
     pub summary: RunSummary,
+    /// The run's end-of-run metrics snapshot (feeds the cell's
+    /// `SnapshotMerger` on replay).
+    pub snapshot: Snapshot,
 }
+
+/// Checkpointed job records keyed by global job index — the replay input
+/// of [`run_sweep_resumed`] (parsed from a stream by
+/// `crate::checkpoint::parse_log`).
+pub type JobCache = BTreeMap<usize, JobRecord>;
 
 /// Everything a finished sweep produced.
 #[derive(Clone, Debug)]
@@ -118,6 +133,32 @@ pub fn run_sweep_sharded(
     spec: &SweepSpec,
     workers: usize,
     shard: Option<(u32, u32)>,
+    on_job: impl FnMut(&JobRecord),
+) -> Result<SweepResult, String> {
+    run_sweep_resumed(spec, workers, shard, &JobCache::new(), on_job)
+}
+
+/// [`run_sweep_sharded`] resuming from a checkpoint: jobs present in
+/// `cache` are not re-run — their records are replayed into the per-cell
+/// accumulators at exactly the point of the fold where the live run
+/// would have put them, so the result (and the rendered document) is
+/// **byte-identical to an uninterrupted run**. `on_job` fires only for
+/// freshly executed jobs; replayed ones are already in the log the cache
+/// came from.
+///
+/// Fails if a cached record contradicts the spec's grid (wrong cell
+/// axes, replication number, or seed for its job index) — the cache was
+/// written by a different sweep and must not be stitched into this one.
+///
+/// A panicking simulation job aborts the sweep, but only after every
+/// other job of its wave has finished and streamed through `on_job` (so
+/// a checkpoint retains them); the re-raised panic names the job index
+/// and its cell axes.
+pub fn run_sweep_resumed(
+    spec: &SweepSpec,
+    workers: usize,
+    shard: Option<(u32, u32)>,
+    cache: &JobCache,
     mut on_job: impl FnMut(&JobRecord),
 ) -> Result<SweepResult, String> {
     if let Some((i, n)) = shard {
@@ -166,8 +207,32 @@ pub fn run_sweep_sharded(
 
     let mut jobs = 0usize;
     while !wave.is_empty() {
-        let outputs = run_indexed(
-            &wave,
+        // Split the wave: jobs with a cached record replay, the rest run.
+        // A cached record must agree with the grid position its job index
+        // implies, or the cache belongs to some other sweep.
+        let mut to_run: Vec<(usize, usize, u32)> = Vec::new();
+        for &(job, ci, k) in &wave {
+            match cache.get(&job) {
+                None => to_run.push((job, ci, k)),
+                Some(rec) => {
+                    if rec.cell_index != ci
+                        || rec.replication != k
+                        || rec.cell != cells[ci]
+                        || rec.summary.seed != replication_seed(spec.seed, k)
+                    {
+                        return Err(format!(
+                            "checkpoint record for job {job} does not match this \
+                             sweep's grid (expected cell {ci}, replication {k}, \
+                             seed {}) — was the log written by a different spec?",
+                            replication_seed(spec.seed, k)
+                        ));
+                    }
+                }
+            }
+        }
+
+        let mut fresh = run_indexed_catching(
+            &to_run,
             workers,
             |_, &(_job, ci, k)| {
                 let cfg = spec.config_for(&cells[ci], k);
@@ -175,27 +240,65 @@ pub fn run_sweep_sharded(
                     run_simulation_observed(cfg, Trace::disabled(), ObsOptions::default());
                 (observed.report, observed.snapshot)
             },
-            |i, (report, _snapshot): &(RunReport, Snapshot)| {
-                let (job, ci, k) = wave[i];
+            |i, (report, snapshot): &(RunReport, Snapshot)| {
+                let (job, ci, k) = to_run[i];
                 on_job(&JobRecord {
                     job,
                     cell_index: ci,
                     replication: k,
                     cell: cells[ci],
                     summary: RunSummary::from_report(report),
+                    snapshot: snapshot.clone(),
                 });
             },
         );
+
+        // Surface the first panic — with job index and cell axes — only
+        // now, after every sibling job has finished and streamed through
+        // `on_job` (so a checkpoint log retains their results).
+        for (&(job, ci, _), out) in to_run.iter().zip(&fresh) {
+            if let Err(msg) = out {
+                let cell = &cells[ci];
+                panic!(
+                    "sweep job {job} ({} clients={} locality={} write_prob={}) panicked: {msg}",
+                    cell.algorithm.label(),
+                    cell.clients,
+                    cell.locality,
+                    cell.prob_write,
+                );
+            }
+        }
         jobs += wave.len();
 
-        // Fold results in job-index (= seed) order: merging is
-        // order-sensitive only in floating-point rounding, and this order
-        // is the same for every worker count.
-        for (&(_, ci, _), (report, snapshot)) in wave.iter().zip(&outputs) {
+        // Fold results in job-index (= seed) order, interleaving cached
+        // replays with fresh outputs: merging is order-sensitive only in
+        // floating-point rounding, and this order is the same for every
+        // worker count — and for every resume point, because replayed
+        // values round-trip bit-exactly through the JSONL log.
+        let mut fresh_iter = fresh.drain(..);
+        for &(job, ci, _) in &wave {
             let state = &mut states[ci];
-            state.acc.push(report);
-            state.merger.push(snapshot);
-            state.runs.push(RunSummary::from_report(report));
+            match cache.get(&job) {
+                Some(rec) => {
+                    state.acc.push_values(
+                        rec.summary.resp_time_mean,
+                        rec.summary.throughput,
+                        rec.summary.commits,
+                        rec.summary.aborts,
+                    );
+                    state.merger.push(&rec.snapshot);
+                    state.runs.push(rec.summary);
+                }
+                None => {
+                    let (report, snapshot) = fresh_iter
+                        .next()
+                        .expect("one output per to-run job")
+                        .expect("panics surfaced above");
+                    state.acc.push(&report);
+                    state.merger.push(&snapshot);
+                    state.runs.push(RunSummary::from_report(&report));
+                }
+            }
         }
 
         // A shard runs exactly its slice of the first wave: the stopping
@@ -360,6 +463,43 @@ mod tests {
             ..tiny_spec()
         };
         assert!(run_sweep_sharded(&adaptive, 1, Some((1, 2)), |_| {}).is_err());
+    }
+
+    #[test]
+    fn resumed_run_matches_uninterrupted_bitwise() {
+        let spec = tiny_spec();
+        let mut records = Vec::new();
+        let full = run_sweep(&spec, 2, |j| records.push(j.clone()));
+        // Cache the first half of the jobs; the resumed run must execute
+        // (and stream) only the remainder and still agree bit-for-bit.
+        let cache: JobCache = records
+            .iter()
+            .filter(|r| r.job < 4)
+            .map(|r| (r.job, r.clone()))
+            .collect();
+        let mut streamed = Vec::new();
+        let resumed = run_sweep_resumed(&spec, 2, None, &cache, |j| streamed.push(j.job)).unwrap();
+        streamed.sort_unstable();
+        assert_eq!(streamed, (4..8).collect::<Vec<_>>());
+        assert_eq!(resumed.jobs, full.jobs);
+        for (a, b) in full.cells.iter().zip(&resumed.cells) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.aggregate, b.aggregate);
+            assert_eq!(a.runs, b.runs);
+            assert_eq!(a.metrics.replications, b.metrics.replications);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_records_from_another_grid() {
+        let spec = tiny_spec();
+        let mut records = Vec::new();
+        run_sweep(&spec, 1, |j| records.push(j.clone()));
+        let mut bad = records[0].clone();
+        bad.summary.seed ^= 1;
+        let cache: JobCache = [(bad.job, bad)].into_iter().collect();
+        let err = run_sweep_resumed(&spec, 1, None, &cache, |_| {}).unwrap_err();
+        assert!(err.contains("job 0"), "{err}");
     }
 
     #[test]

@@ -8,9 +8,28 @@
 //! reassembled **by job index**, so the output is identical for any
 //! worker count or completion interleaving — determinism is preserved
 //! end-to-end, which the sweep tests assert byte-for-byte.
+//!
+//! Panics are contained per job ([`run_indexed_catching`]): a panicking
+//! job neither kills its worker thread nor discards the other jobs'
+//! finished results — everything else completes (and can be
+//! checkpointed) before the caller decides how to surface the failure.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// The panic payload of a failed job, reduced to a message. Non-string
+/// payloads (rare: `panic_any` with a custom type) lose their value but
+/// keep the job attribution the caller adds.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The machine's available parallelism (1 if it cannot be determined).
 pub fn default_workers() -> usize {
@@ -41,46 +60,93 @@ pub fn resolve_workers(requested: Option<usize>) -> usize {
 /// completion order** (for streaming progress); the returned vector is
 /// always in item order regardless of scheduling. `workers <= 1` — or a
 /// single item — takes a strictly serial in-order path with no threads.
-pub fn run_indexed<In, Out, R, C>(
-    items: &[In],
-    workers: usize,
-    run: R,
-    mut on_complete: C,
-) -> Vec<Out>
+///
+/// A panicking job does not abort the batch: every other job still runs
+/// and streams through `on_complete`, then this function re-raises with
+/// the failed item indices in the message. Callers that can attribute
+/// failures better (e.g. to sweep cells) should use
+/// [`run_indexed_catching`] directly.
+pub fn run_indexed<In, Out, R, C>(items: &[In], workers: usize, run: R, on_complete: C) -> Vec<Out>
 where
     In: Sync,
     Out: Send,
     R: Fn(usize, &In) -> Out + Sync,
     C: FnMut(usize, &Out),
 {
+    let outputs = run_indexed_catching(items, workers, run, on_complete);
+    let failed: Vec<String> = outputs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, out)| out.as_ref().err().map(|e| format!("job {i}: {e}")))
+        .collect();
+    if !failed.is_empty() {
+        panic!(
+            "{} of {} jobs panicked ({})",
+            failed.len(),
+            items.len(),
+            failed.join("; "),
+        );
+    }
+    outputs
+        .into_iter()
+        .map(|out| out.expect("failures handled above"))
+        .collect()
+}
+
+/// [`run_indexed`] with per-job panic containment: the output slot of a
+/// panicking job holds `Err(message)` instead of poisoning the batch.
+/// `on_complete` fires (in completion order) only for successful jobs,
+/// so streaming consumers — the checkpoint log above all — record every
+/// finished result even when a sibling job dies.
+pub fn run_indexed_catching<In, Out, R, C>(
+    items: &[In],
+    workers: usize,
+    run: R,
+    mut on_complete: C,
+) -> Vec<Result<Out, String>>
+where
+    In: Sync,
+    Out: Send,
+    R: Fn(usize, &In) -> Out + Sync,
+    C: FnMut(usize, &Out),
+{
+    // AssertUnwindSafe: on panic the job's partial state is discarded
+    // wholesale (simulations share nothing across jobs), so observing
+    // broken invariants is impossible.
+    let guarded = |i: usize, item: &In| {
+        catch_unwind(AssertUnwindSafe(|| run(i, item))).map_err(panic_message)
+    };
+
     let workers = workers.max(1).min(items.len());
     if workers <= 1 {
         return items
             .iter()
             .enumerate()
             .map(|(i, item)| {
-                let out = run(i, item);
-                on_complete(i, &out);
+                let out = guarded(i, item);
+                if let Ok(out) = &out {
+                    on_complete(i, out);
+                }
                 out
             })
             .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Out)>();
-    let mut slots: Vec<Option<Out>> = Vec::with_capacity(items.len());
+    let (tx, rx) = mpsc::channel::<(usize, Result<Out, String>)>();
+    let mut slots: Vec<Option<Result<Out, String>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
-            let run = &run;
+            let guarded = &guarded;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let out = run(i, &items[i]);
+                let out = guarded(i, &items[i]);
                 if tx.send((i, out)).is_err() {
                     break;
                 }
@@ -88,7 +154,9 @@ where
         }
         drop(tx);
         for (i, out) in rx {
-            on_complete(i, &out);
+            if let Ok(out) = &out {
+                on_complete(i, out);
+            }
             slots[i] = Some(out);
         }
     });
@@ -135,6 +203,63 @@ mod tests {
         assert!(run_indexed(&empty, 8, |_, x| *x, |_, _| {}).is_empty());
         let one = vec![7u32];
         assert_eq!(run_indexed(&one, 8, |_, x| x + 1, |_, _| {}), vec![8]);
+    }
+
+    #[test]
+    fn panicking_job_does_not_lose_the_others() {
+        for workers in [1, 4] {
+            let items: Vec<u64> = (0..20).collect();
+            let mut completed = Vec::new();
+            let outputs = run_indexed_catching(
+                &items,
+                workers,
+                |_, &x| {
+                    if x == 7 {
+                        panic!("boom on {x}");
+                    }
+                    x * 2
+                },
+                |i, _| completed.push(i),
+            );
+            assert_eq!(outputs.len(), 20, "workers={workers}");
+            // Every other job finished and streamed exactly once.
+            completed.sort_unstable();
+            let expected: Vec<usize> = (0..20).filter(|&i| i != 7).collect();
+            assert_eq!(completed, expected, "workers={workers}");
+            for (i, out) in outputs.iter().enumerate() {
+                if i == 7 {
+                    let msg = out.as_ref().unwrap_err();
+                    assert!(msg.contains("boom on 7"), "{msg}");
+                } else {
+                    assert_eq!(out.as_ref().unwrap(), &(i as u64 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_indexed_reraises_with_job_indices() {
+        let items: Vec<u32> = (0..6).collect();
+        let caught = std::panic::catch_unwind(|| {
+            run_indexed(
+                &items,
+                2,
+                |_, &x| {
+                    if x == 3 {
+                        panic!("bad cell");
+                    }
+                    x
+                },
+                |_, _| {},
+            )
+        })
+        .expect_err("must re-raise");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(msg.contains("job 3"), "{msg}");
+        assert!(msg.contains("bad cell"), "{msg}");
     }
 
     #[test]

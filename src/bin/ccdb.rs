@@ -7,7 +7,10 @@
 //! ccdb sweep   [--exp FAMILY] [--algs all|A,B] [--clients 2,10,30,50]
 //!              [--loc 0.25,0.75] [--pw 0.2] [--reps N | --precision F]
 //!              [--jobs N] [--shard I/N] [--json|--jsonl|--csv]
+//!              [--checkpoint FILE | --resume FILE]
 //! ccdb figures [--exp FAMILY|all] [--out DIR] [--jobs N] [--reps N]
+//!              [--checkpoint DIR]
+//! ccdb merge   A.jsonl B.jsonl ..  # rebuild one sweep from shard streams
 //! ccdb list                                               # algorithms
 //! ```
 //!
@@ -22,21 +25,31 @@
 //!
 //! `sweep --shard I/N` runs the 1-based I-th of N disjoint slices of the
 //! job grid (fixed replication only); global job indices and seeds match
-//! the unsharded sweep, so JSONL streams from all N shards merge into
-//! exactly the unsharded corpus.
+//! the unsharded sweep, so JSONL streams from all N shards merge —
+//! `ccdb merge` — into exactly the unsharded corpus.
+//!
+//! `sweep --checkpoint FILE` makes the `ccdb.job/v2` stream a write-ahead
+//! log: each job line is committed as the job completes, and a killed
+//! sweep continues with `--resume FILE` (same flags), re-running only the
+//! missing jobs — the final document is byte-identical to an
+//! uninterrupted run. `figures --checkpoint DIR` does the same per
+//! family, resuming `DIR/<family>.jsonl` automatically. See
+//! `docs/sweep.md`.
 //!
 //! `sweep` and `figures` fan jobs out over a worker pool (`--jobs N`,
 //! `CCDB_JOBS`, default `available_parallelism()`); output is
 //! byte-identical for every worker count.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use ccdb::core::run_replicated_folded;
 use ccdb::core::{run_simulation_traced, Trace};
 use ccdb::sweep::{
-    figures_from_sweep, job_line, resolve_workers, run_sweep, run_sweep_sharded, sweep_document,
-    Family, Replication, SweepResult, SweepSpec,
+    figures_from_sweep, footer_line, header_line, job_line, merge_logs, read_log, resolve_workers,
+    run_sweep_resumed, run_sweep_sharded, spec_hash, sweep_document, CheckpointWriter, Family,
+    JobCache, Replication, SweepResult, SweepSpec,
 };
 use ccdb::{
     run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, RunReport,
@@ -78,6 +91,8 @@ struct Options {
     out: Option<String>,
     lock_shards: Option<u32>,
     shard: Option<(u32, u32)>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 impl Default for Options {
@@ -104,6 +119,8 @@ impl Default for Options {
             out: None,
             lock_shards: None,
             shard: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -246,6 +263,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 o.shard = Some((i, n));
             }
+            "--checkpoint" => o.checkpoint = Some(val.clone()),
+            "--resume" => o.resume = Some(val.clone()),
             other => return Err(format!("unknown option {other}")),
         }
         i += 2;
@@ -540,12 +559,13 @@ fn explain(r: &RunReport, wall_secs: f64) {
 
 fn usage() {
     eprintln!(
-        "usage: ccdb <run|explain|compare|sweep|figures|replicate|trace|list> [--alg A] \
+        "usage: ccdb <run|explain|compare|sweep|figures|merge|replicate|trace|list> [--alg A] \
          [--algs all|A,B,..] [--clients N[,N..]] [--loc F[,F..]] [--pw F[,F..]] \
          [--exp acl|caching|short|large|fast-server|fast-net|interactive] [--seed N] \
          [--warmup S] [--measure S] [--csv] [--json] [--jsonl] [--sample-interval S] \
          [--trace-cap N] [--reps N] [--precision F] [--max-reps N] [--jobs N] [--out DIR] \
-         [--lock-shards N] [--shard I/N]"
+         [--lock-shards N] [--shard I/N] [--checkpoint FILE|DIR] [--resume FILE]\n       \
+         ccdb merge A.jsonl B.jsonl ..   # rebuild one sweep document from shard streams"
     );
 }
 
@@ -554,18 +574,130 @@ fn fail(e: impl std::fmt::Display) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Run a sweep with its JSONL stream as a write-ahead log at `log_path`.
+///
+/// `resume = false` starts a fresh log (header only); `resume = true`
+/// parses the existing one, verifies it belongs to this spec and shard,
+/// truncates the footer and any torn tail, and re-runs only the jobs the
+/// log does not hold. Either way the finished file is a complete framed
+/// stream, byte-identical to one from an uninterrupted run. With `jsonl`
+/// the *fresh* lines also stream to stdout.
+fn sweep_with_log(
+    spec: &SweepSpec,
+    workers: usize,
+    shard: Option<(u32, u32)>,
+    log_path: &Path,
+    resume: bool,
+    jsonl: bool,
+) -> Result<SweepResult, String> {
+    let (mut writer, cache) = if resume {
+        let log = read_log(log_path)?;
+        if log.spec_hash != spec_hash(spec) {
+            return Err(format!(
+                "{}: checkpoint belongs to a different sweep (spec hash {}, this invocation {}); \
+                 pass the flags the checkpoint was started with, or start over with --checkpoint",
+                log_path.display(),
+                log.spec_hash,
+                spec_hash(spec),
+            ));
+        }
+        if log.shard != shard {
+            return Err(format!(
+                "{}: checkpoint covers shard {}, this invocation asked for {}",
+                log_path.display(),
+                shard_label(log.shard),
+                shard_label(shard),
+            ));
+        }
+        let writer = CheckpointWriter::append(log_path, log.resume_len)
+            .map_err(|e| format!("{}: {e}", log_path.display()))?;
+        eprintln!(
+            "sweep: resuming {} ({} of its jobs already done)",
+            log_path.display(),
+            log.records.len(),
+        );
+        (writer, log.records)
+    } else {
+        let writer = CheckpointWriter::create(log_path, spec, shard)
+            .map_err(|e| format!("{}: {e}", log_path.display()))?;
+        (writer, JobCache::new())
+    };
+
+    if jsonl {
+        println!("{}", header_line(spec, shard));
+    }
+    let mut io_err: Option<String> = None;
+    let result = run_sweep_resumed(spec, workers, shard, &cache, |job| {
+        if jsonl {
+            println!("{}", job_line(job));
+        }
+        if io_err.is_none() {
+            if let Err(e) = writer.record(job) {
+                io_err = Some(format!("{}: {e}", log_path.display()));
+            }
+        }
+    })?;
+    if let Some(e) = io_err {
+        return Err(format!("checkpoint write failed: {e}"));
+    }
+    writer
+        .finish(spec, result.jobs)
+        .map_err(|e| format!("{}: {e}", log_path.display()))?;
+    if jsonl {
+        println!("{}", footer_line(spec, result.jobs));
+    }
+    Ok(result)
+}
+
+fn shard_label(shard: Option<(u32, u32)>) -> String {
+    match shard {
+        Some((i, n)) => format!("{i}/{n}"),
+        None => "none".to_string(),
+    }
+}
+
 fn cmd_sweep(opts: &Options) -> ExitCode {
     let spec = match opts.family().and_then(|f| build_spec(opts, f)) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
+    if opts.checkpoint.is_some() && opts.resume.is_some() {
+        return fail("--checkpoint starts a fresh log and --resume continues one; pick one");
+    }
     let workers = resolve_workers(opts.jobs);
     let jsonl = opts.jsonl;
-    let result = match run_sweep_sharded(&spec, workers, opts.shard, |job| {
-        if jsonl {
-            println!("{}", job_line(job));
+    let result = if let Some(path) = &opts.checkpoint {
+        let path = Path::new(path);
+        if std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            return fail(format!(
+                "{}: checkpoint file already exists; continue it with --resume {}, or delete it \
+                 to start over",
+                path.display(),
+                path.display(),
+            ));
         }
-    }) {
+        sweep_with_log(&spec, workers, opts.shard, path, false, jsonl)
+    } else if let Some(path) = &opts.resume {
+        sweep_with_log(&spec, workers, opts.shard, Path::new(path), true, jsonl)
+    } else {
+        if jsonl {
+            println!("{}", header_line(&spec, opts.shard));
+        }
+        run_sweep_sharded(&spec, workers, opts.shard, |job| {
+            if jsonl {
+                println!("{}", job_line(job));
+            }
+        })
+        .inspect(|r| {
+            if jsonl {
+                println!("{}", footer_line(&spec, r.jobs));
+            }
+        })
+    };
+    let result = match result {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
@@ -575,6 +707,28 @@ fn cmd_sweep(opts: &Options) -> ExitCode {
         sweep_rows(opts, &result);
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_merge(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("error: merge needs at least one JSONL stream");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let mut logs = Vec::with_capacity(files.len());
+    for file in files {
+        match read_log(Path::new(file)) {
+            Ok(log) => logs.push(log),
+            Err(e) => return fail(e),
+        }
+    }
+    match merge_logs(&logs) {
+        Ok(result) => {
+            print!("{}", sweep_document(&result).render_pretty());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
 }
 
 fn cmd_figures(opts: &Options) -> ExitCode {
@@ -588,6 +742,12 @@ fn cmd_figures(opts: &Options) -> ExitCode {
     let out_dir = std::path::PathBuf::from(opts.out.as_deref().unwrap_or("figures"));
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         return fail(format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let ckpt_dir = opts.checkpoint.as_deref().map(std::path::PathBuf::from);
+    if let Some(dir) = &ckpt_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(format!("cannot create {}: {e}", dir.display()));
+        }
     }
     let workers = resolve_workers(opts.jobs);
     let mut written = 0usize;
@@ -603,7 +763,24 @@ fn cmd_figures(opts: &Options) -> ExitCode {
             spec.replication.initial(),
             workers,
         );
-        let result = run_sweep(&spec, workers, |_| {});
+        // With --checkpoint DIR each family keeps a write-ahead log at
+        // DIR/<family>.jsonl; an interrupted run picks up where it died.
+        let result = match &ckpt_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{}.jsonl", family.label()));
+                let resume = std::fs::metadata(&path)
+                    .map(|m| m.len() > 0)
+                    .unwrap_or(false);
+                match sweep_with_log(&spec, workers, None, &path, resume, false) {
+                    Ok(r) => r,
+                    Err(e) => return fail(e),
+                }
+            }
+            None => match run_sweep_sharded(&spec, workers, None, |_| {}) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            },
+        };
         for (name, csv) in figures_from_sweep(&result) {
             let path = out_dir.join(&name);
             if let Err(e) = std::fs::write(&path, csv) {
@@ -626,6 +803,10 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
+    // `merge` takes positional file arguments, not options.
+    if cmd == "merge" {
+        return cmd_merge(&args[1..]);
+    }
     let opts = match parse_options(&args[1..]) {
         Ok(o) => o,
         Err(e) => {

@@ -5,9 +5,11 @@
 mod common;
 
 use ccdb::sweep::{
-    figures_from_sweep, job_line, run_sweep, sweep_document, Family, Replication, SweepSpec,
+    figures_from_sweep, job_line, run_sweep, run_sweep_sharded, sweep_document, Family,
+    Replication, SweepSpec,
 };
 use ccdb::{Algorithm, SimDuration};
+use proptest::prelude::*;
 
 /// 2 algorithms x 2 client counts x 2 replications = 8 jobs, a few
 /// simulated seconds each — small enough to run several times per test.
@@ -50,7 +52,12 @@ fn jsonl_stream_has_the_same_lines_for_any_worker_count() {
     assert_eq!(serial.len(), 8);
     // With one worker the stream arrives in job order.
     for (i, line) in serial.iter().enumerate() {
-        assert!(line.starts_with(&format!("{{\"job\":{i},")), "{line}");
+        assert!(
+            line.starts_with(&format!(
+                "{{\"schema\":\"ccdb.job/v2\",\"kind\":\"job\",\"job\":{i},"
+            )),
+            "{line}"
+        );
         common::assert_valid_json(line);
     }
     // With four workers only the order may differ, never the content.
@@ -79,6 +86,53 @@ fn figure_csvs_are_identical_across_worker_counts() {
     for (_, csv) in &serial {
         assert!(csv.starts_with("clients,C2PL,CB\n"), "{csv}");
         assert_eq!(csv.lines().count(), 1 + spec.clients.len());
+    }
+}
+
+proptest! {
+    // Each case is a full (if tiny) sweep run three ways; a handful of
+    // random grids still exercises the property well.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The JSONL stream of a `--jobs 4` sweep, sorted by job index, is
+    /// byte-identical to the serial stream — both for a whole sweep and
+    /// for the union of a sharded one's per-shard streams.
+    #[test]
+    fn parallel_stream_sorted_by_job_equals_serial_stream(
+        seed in 0u64..1_000,
+        n_algs in 1usize..3,
+        n_clients in 1usize..3,
+        reps in 1u32..3,
+    ) {
+        let spec = SweepSpec {
+            algorithms: [Algorithm::Callback, Algorithm::TwoPhase { inter: true }][..n_algs]
+                .to_vec(),
+            clients: [2u32, 4][..n_clients].to_vec(),
+            localities: vec![0.5],
+            write_probs: vec![0.2],
+            seed,
+            warmup: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(4),
+            replication: Replication::Fixed(reps),
+            ..SweepSpec::new(Family::Short)
+        };
+        let mut serial = Vec::new();
+        run_sweep(&spec, 1, |job| serial.push((job.job, job_line(job))));
+        let mut parallel = Vec::new();
+        run_sweep(&spec, 4, |job| parallel.push((job.job, job_line(job))));
+        parallel.sort();
+        prop_assert_eq!(&serial, &parallel);
+
+        let shards = 2u32;
+        let mut union = Vec::new();
+        for i in 1..=shards {
+            run_sweep_sharded(&spec, 4, Some((i, shards)), |job| {
+                union.push((job.job, job_line(job)))
+            })
+            .unwrap();
+        }
+        union.sort();
+        prop_assert_eq!(&serial, &union);
     }
 }
 
