@@ -44,8 +44,8 @@ pub mod wait;
 pub use config::{Algorithm, SimConfig};
 pub use metrics::{AbortKind, MetricsHub, ReportSummary, RunReport, TypeResponse, WaitRow};
 pub use replication::{
-    replication_seed, run_replicated, run_replicated_folded, ReplicatedReport,
-    ReplicationAccumulator, ReplicationAggregate,
+    replication_seed, run_replicated, run_replicated_folded, run_replicated_observed,
+    ReplicatedObserved, ReplicatedReport, ReplicationAccumulator, ReplicationAggregate,
 };
 pub use runner::{
     run_simulation, run_simulation_observed, run_simulation_traced, ObsOptions, Observed,

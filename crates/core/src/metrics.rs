@@ -108,7 +108,7 @@ impl MetricsHub {
     }
 
     /// Per-type (commits, mean response) for workload mixes, in type-index
-    /// order. Labels are attached by [`RunReport::assemble`] from the
+    /// order. Labels are attached by `RunReport::assemble` from the
     /// configuration's mix names.
     pub fn resp_by_type(&self) -> Vec<(u64, f64)> {
         self.inner

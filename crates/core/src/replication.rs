@@ -14,10 +14,12 @@
 //!   is the path the sweep orchestrator and the CLI use.
 
 use ccdb_des::Tally;
+use ccdb_obs::{MergedSeries, MergedSnapshot, SeriesMerger, SnapshotMerger};
 
 use crate::config::SimConfig;
 use crate::metrics::RunReport;
-use crate::runner::run_simulation;
+use crate::runner::{run_simulation, run_simulation_observed, ObsOptions};
+use crate::trace::Trace;
 
 /// Streaming aggregation of replications: push per-run reports, read the
 /// cross-seed aggregate at any point. Memory is O(1) in the number of
@@ -181,6 +183,54 @@ pub fn run_replicated_folded(cfg: SimConfig, replications: u32) -> ReplicationAg
     acc.aggregate()
 }
 
+/// Cross-replication aggregate carrying the full observability fold:
+/// headline aggregate, merged end-of-run metrics, and (when sampling was
+/// enabled) the merged time series.
+#[derive(Clone, Debug)]
+pub struct ReplicatedObserved {
+    /// Headline cross-seed aggregate (same fold as
+    /// [`run_replicated_folded`]).
+    pub aggregate: ReplicationAggregate,
+    /// Every registered metric merged across replications.
+    pub metrics: MergedSnapshot,
+    /// Merged metric trajectories; `None` when `obs.sample_interval` was
+    /// unset.
+    pub series: Option<MergedSeries>,
+}
+
+/// [`run_replicated_folded`] with the observability fold: each
+/// replication's end-of-run snapshot goes through a
+/// [`SnapshotMerger`] and, when sampling is enabled, its series through
+/// a [`SeriesMerger`] — O(1) memory in the number of replications.
+pub fn run_replicated_observed(
+    cfg: SimConfig,
+    replications: u32,
+    obs: ObsOptions,
+) -> ReplicatedObserved {
+    assert!(replications > 0, "need at least one replication");
+    let base_seed = cfg.seed;
+    let mut acc = ReplicationAccumulator::new();
+    let mut snapshots = SnapshotMerger::new();
+    let mut series = SeriesMerger::new();
+    for k in 0..replications {
+        let observed = run_simulation_observed(
+            cfg.clone().with_seed(replication_seed(base_seed, k)),
+            Trace::disabled(),
+            obs.clone(),
+        );
+        acc.push(&observed.report);
+        snapshots.push(&observed.snapshot);
+        if let Some(set) = &observed.series {
+            series.push(set);
+        }
+    }
+    ReplicatedObserved {
+        aggregate: acc.aggregate(),
+        metrics: snapshots.finish().expect("at least one replication ran"),
+        series: series.finish(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +308,31 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_replications_rejected() {
         let _ = run_replicated(quick(), 0);
+    }
+
+    #[test]
+    fn observed_fold_matches_folded_and_merges_series() {
+        let obs = ObsOptions {
+            sample_interval: Some(SimDuration::from_secs(1)),
+            ring_capacity: 8,
+        };
+        let observed = run_replicated_observed(quick(), 2, obs);
+        assert_eq!(observed.aggregate, run_replicated_folded(quick(), 2));
+        assert_eq!(observed.metrics.replications, 2);
+        let series = observed.series.expect("sampling was enabled");
+        assert_eq!(series.replications, 2);
+        assert!(!series.is_empty());
+        assert!(series.len() <= 8);
+        // Every replication ran to the same 17s horizon, so the merged
+        // grid ends exactly there.
+        assert_eq!(series.times.last(), Some(&17.0));
+        assert!(series.col("server.cpu.util").is_some());
+    }
+
+    #[test]
+    fn observed_without_sampling_has_no_series() {
+        let observed = run_replicated_observed(quick(), 1, ObsOptions::default());
+        assert!(observed.series.is_none());
+        assert!(!observed.metrics.entries.is_empty());
     }
 }

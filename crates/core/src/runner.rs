@@ -7,7 +7,7 @@ use ccdb_des::{FacilitySnapshot, Pcg32, Sim, SimDuration, SimTime, WaitClass};
 use ccdb_lock::ClientId;
 use ccdb_model::Workload;
 use ccdb_net::{Network, NetworkNode};
-use ccdb_obs::{run_sampler, Registry, SeriesSet};
+use ccdb_obs::{run_sampler, Registry, SeriesRing, SeriesSet};
 use ccdb_storage::ClientCache;
 
 use crate::client::{run_client, Client};
@@ -24,8 +24,9 @@ pub struct ObsOptions {
     /// Snapshot every registered metric at this simulated-time interval.
     /// `None` disables sampling (no sampler process is spawned).
     pub sample_interval: Option<SimDuration>,
-    /// Ring-buffer capacity per metric; the oldest samples are evicted
-    /// (and counted) beyond this.
+    /// Retained points per metric; beyond this the sampler doubles its
+    /// interval and folds adjacent samples instead of evicting (must be
+    /// at least 3).
     pub ring_capacity: usize,
 }
 
@@ -43,7 +44,8 @@ impl Default for ObsOptions {
 pub struct Observed {
     /// End-of-run aggregates.
     pub report: RunReport,
-    /// Ring-buffered metric trajectories; `None` without a sample interval.
+    /// Adaptively-sampled metric trajectories, frozen into owned `Send`
+    /// data; `None` without a sample interval.
     pub series: Option<SeriesSet>,
     /// Every registered metric frozen at the horizon: plain `Send` data,
     /// so callers (the sweep orchestrator in particular) can carry it out
@@ -68,7 +70,7 @@ pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
 /// [`run_simulation_traced`] with metric sampling: every component's
 /// gauges and counters are registered into a [`Registry`] and, when
 /// `obs.sample_interval` is set, a sampler process snapshots them into
-/// ring buffers over the whole run.
+/// an adaptively-folding series over the whole run.
 ///
 /// The sampler only reads, so enabling it does not change the simulated
 /// outcome: the report is identical with sampling on or off.
@@ -167,10 +169,10 @@ pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) ->
     // it perturbs nothing that came before) snapshots them periodically.
     let registry = Registry::new();
     register_all(&registry, &server, &net, &client_nodes, &caches, &hub);
-    let series = obs.sample_interval.map(|interval| {
-        let set = SeriesSet::new(&registry, interval, obs.ring_capacity);
-        env.spawn(run_sampler(env.clone(), registry.clone(), set.clone()));
-        set
+    let ring = obs.sample_interval.map(|interval| {
+        let ring = SeriesRing::new(&registry, interval, obs.ring_capacity);
+        env.spawn(run_sampler(env.clone(), registry.clone(), ring.clone()));
+        ring
     });
 
     let horizon = SimTime::ZERO + cfg.warmup + cfg.measure;
@@ -182,9 +184,10 @@ pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) ->
     // One final sample exactly at the horizon, so series endpoints equal
     // the report's end-of-run figures (a no-op if the last sampler tick
     // already landed there).
-    if let Some(series) = &series {
-        series.sample(&registry, sim.now());
+    if let Some(ring) = &ring {
+        ring.sample(&registry, sim.now());
     }
+    let series = ring.map(SeriesRing::into_set);
 
     // Collect.
     let measure_secs = cfg.measure.as_secs_f64();

@@ -1,16 +1,21 @@
 //! # ccdb-obs — observability layer for the simulator
 //!
-//! Three pieces, designed to stay out of the hot path:
+//! The pieces, designed to stay out of the hot path:
 //!
 //! * [`Registry`] — a named collection of *pull-based* metrics. Components
 //!   register closures (gauges returning `f64`, counters returning `u64`)
 //!   at wiring time; nothing is evaluated until a report or a sample asks.
 //!   A run that never samples pays only the registration cost.
-//! * [`SeriesSet`] + [`run_sampler`] — a simulation process that snapshots
-//!   every registered metric at a fixed simulated-time interval into
-//!   per-metric ring buffers, turning end-of-run aggregates into
-//!   trajectories (utilisation ramping as caches warm, lock tables
-//!   growing under contention, ...).
+//! * [`SeriesRing`] + [`run_sampler`] — a simulation process that
+//!   snapshots every registered metric at a simulated-time interval.
+//!   The ring *adapts* instead of evicting: when the configured capacity
+//!   would be exceeded it doubles the interval and folds adjacent
+//!   samples pairwise, so long runs keep exact endpoints, bounded
+//!   memory, and zero dropped samples. The frozen result is an owned
+//!   [`SeriesSet`] — plain `Send` data.
+//! * [`SeriesMerger`] — folds per-replication [`SeriesSet`]s onto a
+//!   common grid (coarsest interval wins) into a [`MergedSeries`] with
+//!   mean/min/max per point, mirroring [`SnapshotMerger`].
 //! * [`Json`] — a small, dependency-free JSON document model with a
 //!   deterministic serializer: the same value tree always renders to the
 //!   same bytes, which is what makes byte-identical run reports testable.
@@ -29,11 +34,13 @@
 mod json;
 mod registry;
 mod series;
+mod series_merge;
 mod snapshot;
 
 pub use json::Json;
 pub use registry::{Counter, Registry};
-pub use series::{run_sampler, SeriesSet};
+pub use series::{run_sampler, SeriesRing, SeriesSet};
+pub use series_merge::{MergedSeries, MergedSeriesCol, SeriesMerger};
 pub use snapshot::{
     MergedGauge, MergedSnapValue, MergedSnapshot, SnapValue, Snapshot, SnapshotMerger,
 };

@@ -1,12 +1,28 @@
-//! Time-series sampling of registered metrics into ring buffers.
+//! Adaptive time-series sampling of registered metrics.
 //!
-//! All metrics are sampled together at one instant, so a [`SeriesSet`]
-//! stores a single shared time column plus one value column per metric.
-//! When the ring capacity is reached the *oldest* sample is dropped across
-//! every column at once — retained samples always stay aligned.
+//! All metrics are sampled together at one instant, so a series stores a
+//! single shared time column plus one value column per metric. Two types
+//! split the live and frozen halves:
+//!
+//! * [`SeriesRing`] — the live buffer the sampler process writes into.
+//!   When the configured capacity would be exceeded it does **not** drop
+//!   samples: it doubles the sampling interval and folds adjacent
+//!   retained points pairwise (count-weighted means), so memory stays
+//!   bounded, `dropped` is always 0, and the first and last points keep
+//!   their exact sample times and values.
+//! * [`SeriesSet`] — the frozen, owned result: plain `Send` data that can
+//!   leave a worker thread, round-trip through JSON bit-exactly, and be
+//!   merged across replications (`crate::SeriesMerger`).
+//!
+//! Each retained point is a *bucket*: the count of raw samples it covers,
+//! their mean per metric, and the time of the latest raw sample folded
+//! into it. Point 0 is never folded, and a fold always happens *before*
+//! the next raw sample is appended, so the newest point is always a raw
+//! sample — both endpoints stay exact. The fold schedule depends only on
+//! the interval, capacity, and horizon (never on sampled values), so
+//! every replication of one configuration samples on an identical grid.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
@@ -15,126 +31,120 @@ use ccdb_des::{Env, SimDuration, SimTime};
 use crate::json::Json;
 use crate::registry::Registry;
 
-struct Inner {
-    interval: SimDuration,
-    capacity: usize,
-    names: Vec<String>,
-    times: VecDeque<f64>,
-    values: Vec<VecDeque<f64>>,
-    dropped: u64,
-}
-
-/// Ring-buffered time series of every metric in a [`Registry`].
-///
-/// Cheap to clone; clones share the buffers (the sampler process writes,
-/// the runner reads at the end).
-#[derive(Clone)]
+/// A frozen, owned metric time series: the shared time column, the
+/// per-bucket raw-sample counts, and one column of bucket means per
+/// metric (registration order).
+#[derive(Clone, Debug, PartialEq)]
 pub struct SeriesSet {
-    inner: Rc<RefCell<Inner>>,
+    pub(crate) base_interval_s: f64,
+    pub(crate) interval_s: f64,
+    pub(crate) folds: u32,
+    pub(crate) names: Vec<String>,
+    pub(crate) times: Vec<f64>,
+    pub(crate) counts: Vec<u64>,
+    pub(crate) values: Vec<Vec<f64>>,
 }
 
 impl SeriesSet {
-    /// Create a series set for the metrics currently in `registry`,
-    /// keeping at most `capacity` samples per metric.
-    pub fn new(registry: &Registry, interval: SimDuration, capacity: usize) -> Self {
-        assert!(capacity > 0, "series capacity must be positive");
-        assert!(!interval.is_zero(), "sample interval must be positive");
-        let names = registry.names();
-        let values = names.iter().map(|_| VecDeque::new()).collect();
+    fn empty(names: Vec<String>, interval_s: f64) -> SeriesSet {
+        let values = names.iter().map(|_| Vec::new()).collect();
         SeriesSet {
-            inner: Rc::new(RefCell::new(Inner {
-                interval,
-                capacity,
-                names,
-                times: VecDeque::new(),
-                values,
-                dropped: 0,
-            })),
+            base_interval_s: interval_s,
+            interval_s,
+            folds: 0,
+            names,
+            times: Vec::new(),
+            counts: Vec::new(),
+            values,
         }
     }
 
-    /// The sampling interval.
-    pub fn interval(&self) -> SimDuration {
-        self.inner.borrow().interval
+    /// The interval the sampler started with (seconds).
+    pub fn base_interval_s(&self) -> f64 {
+        self.base_interval_s
     }
 
-    /// Take one sample of every metric at simulated time `now`. A repeat
-    /// call at the time of the previous sample is a no-op (the runner
-    /// forces a final sample at the horizon, which may coincide with the
-    /// sampler's own last tick).
-    pub fn sample(&self, registry: &Registry, now: SimTime) {
-        let readings = registry.read_all();
-        let mut inner = self.inner.borrow_mut();
-        assert_eq!(
-            readings.len(),
-            inner.names.len(),
-            "registry changed after SeriesSet::new"
-        );
-        let t = now.as_secs_f64();
-        if inner.times.back() == Some(&t) {
-            return;
-        }
-        if inner.times.len() == inner.capacity {
-            inner.times.pop_front();
-            for col in &mut inner.values {
-                col.pop_front();
-            }
-            inner.dropped += 1;
-        }
-        inner.times.push_back(t);
-        for (col, v) in inner.values.iter_mut().zip(readings) {
-            col.push_back(v);
-        }
+    /// The effective sampling interval (seconds) after adaptive folding:
+    /// `base_interval_s * 2^folds`.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
     }
 
-    /// Retained samples per metric.
+    /// How many times the ring folded (doubling the interval each time).
+    pub fn folds(&self) -> u32 {
+        self.folds
+    }
+
+    /// Retained points per metric.
     pub fn len(&self) -> usize {
-        self.inner.borrow().times.len()
+        self.times.len()
     }
 
-    /// True if nothing has been sampled.
+    /// True if nothing was sampled.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.times.is_empty()
     }
 
-    /// Samples evicted by the ring.
+    /// Samples lost to the ring: always 0 — adaptive folding coarsens
+    /// instead of evicting. Kept for schema continuity.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        0
+    }
+
+    /// Total raw samples folded into the retained points.
+    pub fn raw_samples(&self) -> u64 {
+        self.counts.iter().sum()
     }
 
     /// Metric names, in registration order.
-    pub fn names(&self) -> Vec<String> {
-        self.inner.borrow().names.clone()
+    pub fn names(&self) -> &[String] {
+        &self.names
     }
 
-    /// The `(time_s, value)` points of one metric.
+    /// The shared time column (seconds): each entry is the exact time of
+    /// the latest raw sample folded into that bucket.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Raw samples per retained bucket (1 for never-folded points).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `(time_s, value)` points of one metric (bucket means).
     pub fn series(&self, name: &str) -> Option<Vec<(f64, f64)>> {
-        let inner = self.inner.borrow();
-        let idx = inner.names.iter().position(|n| n == name)?;
+        let idx = self.names.iter().position(|n| n == name)?;
         Some(
-            inner
-                .times
+            self.times
                 .iter()
                 .copied()
-                .zip(inner.values[idx].iter().copied())
+                .zip(self.values[idx].iter().copied())
                 .collect(),
         )
     }
 
-    /// JSON export: interval, retained/dropped counts, the shared time
-    /// column, and one value array per metric (registration order).
+    /// JSON export: intervals, fold count, retained/dropped counts, the
+    /// shared time and count columns, and one value array per metric
+    /// (registration order). [`SeriesSet::from_json`] is the exact
+    /// inverse; re-rendering a parsed set reproduces the input bytes.
     pub fn to_json(&self) -> Json {
-        let inner = self.inner.borrow();
         let mut obj = Json::obj();
-        obj.set("interval_s", inner.interval.as_secs_f64())
-            .set("samples", inner.times.len())
-            .set("dropped", inner.dropped)
+        obj.set("interval_s", self.interval_s)
+            .set("base_interval_s", self.base_interval_s)
+            .set("folds", self.folds)
+            .set("samples", self.times.len())
+            .set("dropped", 0u64)
             .set(
                 "time_s",
-                Json::Arr(inner.times.iter().map(|&t| Json::Num(t)).collect()),
+                Json::Arr(self.times.iter().map(|&t| Json::Num(t)).collect()),
+            )
+            .set(
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
             );
         let mut series = Json::obj();
-        for (name, col) in inner.names.iter().zip(&inner.values) {
+        for (name, col) in self.names.iter().zip(&self.values) {
             series.set(
                 name.clone(),
                 Json::Arr(col.iter().map(|&v| Json::Num(v)).collect()),
@@ -144,17 +154,86 @@ impl SeriesSet {
         obj
     }
 
-    /// CSV export: a `time_s,<metric>,...` header then one row per sample.
+    /// Parse the [`SeriesSet::to_json`] form back into an owned set — the
+    /// replay path for checkpointed sweep records. Tolerates the absence
+    /// of the adaptive fields (`base_interval_s`, `folds`, `counts`) so
+    /// fixed-interval series from older documents read back as unfolded.
+    pub fn from_json(j: &Json) -> Result<SeriesSet, String> {
+        let interval_s = j
+            .get("interval_s")
+            .and_then(Json::as_f64)
+            .ok_or("series: missing interval_s")?;
+        let base_interval_s = match j.get("base_interval_s") {
+            Some(v) => v.as_f64().ok_or("series: bad base_interval_s")?,
+            None => interval_s,
+        };
+        let folds = match j.get("folds") {
+            Some(v) => u32::try_from(v.as_u64().ok_or("series: bad folds")?)
+                .map_err(|_| "series: folds overflows")?,
+            None => 0,
+        };
+        let times = j
+            .get("time_s")
+            .and_then(Json::items)
+            .ok_or("series: missing time_s")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("series: bad time_s entry"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let counts = match j.get("counts") {
+            Some(arr) => arr
+                .items()
+                .ok_or("series: bad counts")?
+                .iter()
+                .map(|v| v.as_u64().ok_or("series: bad counts entry"))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => vec![1; times.len()],
+        };
+        if counts.len() != times.len() {
+            return Err("series: counts and time_s lengths differ".to_string());
+        }
+        let Some(Json::Obj(pairs)) = j.get("series") else {
+            return Err("series: missing series object".to_string());
+        };
+        let mut names = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (name, col) in pairs {
+            let col = col
+                .items()
+                .ok_or_else(|| format!("series {name:?}: expected an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| format!("series {name:?}: bad value"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if col.len() != times.len() {
+                return Err(format!("series {name:?}: length differs from time_s"));
+            }
+            names.push(name.clone());
+            values.push(col);
+        }
+        Ok(SeriesSet {
+            base_interval_s,
+            interval_s,
+            folds,
+            names,
+            times,
+            counts,
+            values,
+        })
+    }
+
+    /// CSV export: a `time_s,count,<metric>,...` header then one row per
+    /// retained bucket (`count` is the raw samples the bucket covers).
     pub fn to_csv(&self) -> String {
-        let inner = self.inner.borrow();
-        let mut out = String::from("time_s");
-        for name in &inner.names {
+        let mut out = String::from("time_s,count");
+        for name in &self.names {
             let _ = write!(out, ",{name}");
         }
         out.push('\n');
-        for (i, t) in inner.times.iter().enumerate() {
-            let _ = write!(out, "{t}");
-            for col in &inner.values {
+        for (i, t) in self.times.iter().enumerate() {
+            let _ = write!(out, "{t},{}", self.counts[i]);
+            for col in &self.values {
                 let _ = write!(out, ",{}", col[i]);
             }
             out.push('\n');
@@ -163,13 +242,140 @@ impl SeriesSet {
     }
 }
 
-/// The sampler process: every `interval` of simulated time, snapshot the
-/// registry into `series`. Runs until the simulation horizon cuts it off.
-pub async fn run_sampler(env: Env, registry: Registry, series: SeriesSet) {
-    let interval = series.interval();
+struct RingInner {
+    set: SeriesSet,
+    capacity: usize,
+    interval: SimDuration,
+}
+
+impl RingInner {
+    /// The adaptive step: keep point 0 exact, fold points `1..` pairwise
+    /// (count-weighted means; a merged bucket takes the *later* point's
+    /// time so bucket times remain exact raw-sample times), and double
+    /// the interval. Frees at least one slot for any capacity >= 3.
+    fn fold(&mut self) {
+        let set = &mut self.set;
+        let n = set.times.len();
+        let mut w = 1usize;
+        let mut r = 1usize;
+        while r < n {
+            if r + 1 < n {
+                let c0 = set.counts[r];
+                let c1 = set.counts[r + 1];
+                let c = c0 + c1;
+                set.times[w] = set.times[r + 1];
+                set.counts[w] = c;
+                for col in &mut set.values {
+                    col[w] = (col[r] * c0 as f64 + col[r + 1] * c1 as f64) / c as f64;
+                }
+                r += 2;
+            } else {
+                set.times[w] = set.times[r];
+                set.counts[w] = set.counts[r];
+                for col in &mut set.values {
+                    col[w] = col[r];
+                }
+                r += 1;
+            }
+            w += 1;
+        }
+        set.times.truncate(w);
+        set.counts.truncate(w);
+        for col in &mut set.values {
+            col.truncate(w);
+        }
+        self.interval = self.interval + self.interval;
+        set.interval_s = self.interval.as_secs_f64();
+        set.folds += 1;
+    }
+}
+
+/// The live, adaptively-folding sample buffer of every metric in a
+/// [`Registry`].
+///
+/// Cheap to clone; clones share the buffer (the sampler process writes,
+/// the runner freezes an owned [`SeriesSet`] at the end via
+/// [`SeriesRing::into_set`]).
+#[derive(Clone)]
+pub struct SeriesRing {
+    inner: Rc<RefCell<RingInner>>,
+}
+
+impl SeriesRing {
+    /// Create a ring for the metrics currently in `registry`, retaining
+    /// at most `capacity` points per metric. Capacity must be at least 3:
+    /// a fold keeps point 0 and pairs the rest, which only frees a slot
+    /// with two or more foldable points.
+    pub fn new(registry: &Registry, interval: SimDuration, capacity: usize) -> Self {
+        assert!(capacity >= 3, "adaptive series capacity must be >= 3");
+        assert!(!interval.is_zero(), "sample interval must be positive");
+        let set = SeriesSet::empty(registry.names(), interval.as_secs_f64());
+        SeriesRing {
+            inner: Rc::new(RefCell::new(RingInner {
+                set,
+                capacity,
+                interval,
+            })),
+        }
+    }
+
+    /// The *current* sampling interval (doubled by each fold); the
+    /// sampler re-reads it before every tick.
+    pub fn interval(&self) -> SimDuration {
+        self.inner.borrow().interval
+    }
+
+    /// Retained points per metric.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().set.times.len()
+    }
+
+    /// True if nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take one sample of every metric at simulated time `now`. A repeat
+    /// call at the time of the previous sample is a no-op (the runner
+    /// forces a final sample at the horizon, which may coincide with the
+    /// sampler's own last tick). If the ring is full it folds first —
+    /// never drops — so the new raw sample is always appended.
+    pub fn sample(&self, registry: &Registry, now: SimTime) {
+        let readings = registry.read_all();
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            readings.len(),
+            inner.set.names.len(),
+            "registry changed after SeriesRing::new"
+        );
+        let t = now.as_secs_f64();
+        if inner.set.times.last() == Some(&t) {
+            return;
+        }
+        if inner.set.times.len() == inner.capacity {
+            inner.fold();
+        }
+        inner.set.times.push(t);
+        inner.set.counts.push(1);
+        for (col, v) in inner.set.values.iter_mut().zip(readings) {
+            col.push(v);
+        }
+    }
+
+    /// Freeze the ring into an owned [`SeriesSet`].
+    pub fn into_set(self) -> SeriesSet {
+        self.inner.borrow().set.clone()
+    }
+}
+
+/// The sampler process: snapshot the registry into `ring` at its current
+/// interval (re-read every tick, so adaptive interval doubling takes
+/// effect immediately). Runs until the simulation horizon cuts it off.
+pub async fn run_sampler(env: Env, registry: Registry, ring: SeriesRing) {
     loop {
+        let interval = ring.interval();
         env.hold(interval).await;
-        series.sample(&registry, env.now());
+        ring.sample(&registry, env.now());
     }
 }
 
@@ -178,46 +384,178 @@ mod tests {
     use super::*;
     use ccdb_des::{Facility, Sim};
 
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
     #[test]
-    fn samples_align_and_ring_drops_oldest() {
+    fn below_capacity_keeps_raw_samples() {
         let reg = Registry::new();
         reg.gauge("a", || 1.0);
         reg.gauge("b", || 2.0);
-        let set = SeriesSet::new(&reg, SimDuration::from_secs(1), 3);
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 8);
         for i in 1..=5u64 {
-            set.sample(&reg, SimTime::ZERO + SimDuration::from_secs(i));
+            ring.sample(&reg, at(i));
         }
-        assert_eq!(set.len(), 3);
-        assert_eq!(set.dropped(), 2);
+        let set = ring.into_set();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.folds(), 0);
+        assert_eq!(set.dropped(), 0);
+        assert_eq!(set.counts(), [1, 1, 1, 1, 1]);
         let a = set.series("a").unwrap();
-        assert_eq!(a.iter().map(|p| p.0).collect::<Vec<_>>(), [3.0, 4.0, 5.0]);
+        assert_eq!(
+            a.iter().map(|p| p.0).collect::<Vec<_>>(),
+            [1.0, 2.0, 3.0, 4.0, 5.0]
+        );
         assert!(set.series("missing").is_none());
+    }
+
+    #[test]
+    fn fold_keeps_endpoints_exact_and_doubles_interval() {
+        let reg = Registry::new();
+        let value = Rc::new(RefCell::new(0.0f64));
+        {
+            let value = Rc::clone(&value);
+            reg.gauge("v", move || *value.borrow());
+        }
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 4);
+        for i in 1..=5u64 {
+            *value.borrow_mut() = i as f64;
+            ring.sample(&reg, at(i));
+        }
+        // Fifth sample folded [1,2,3,4] -> [1,(2,3),4] then appended 5.
+        let set = ring.into_set();
+        assert_eq!(set.folds(), 1);
+        assert_eq!(set.interval_s(), 2.0);
+        assert_eq!(set.base_interval_s(), 1.0);
+        assert_eq!(set.times(), [1.0, 3.0, 4.0, 5.0]);
+        assert_eq!(set.counts(), [1, 2, 1, 1]);
+        let v = set.series("v").unwrap();
+        assert_eq!(v[0], (1.0, 1.0), "first point exact");
+        assert_eq!(v[1], (3.0, 2.5), "merged bucket holds the pair mean");
+        assert_eq!(v[3], (5.0, 5.0), "last point exact");
+        assert_eq!(set.raw_samples(), 5);
+        assert_eq!(set.dropped(), 0);
+    }
+
+    #[test]
+    fn long_run_stays_bounded_with_exact_endpoints() {
+        let reg = Registry::new();
+        reg.gauge("v", || 1.0);
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 16);
+        let n = 1600u64; // 100x the capacity*interval horizon
+        for i in 1..=n {
+            ring.sample(&reg, at(i));
+        }
+        let set = ring.into_set();
+        assert!(set.len() <= 16, "retained {} > capacity", set.len());
+        assert_eq!(set.dropped(), 0);
+        assert_eq!(set.raw_samples(), n);
+        assert_eq!(set.times().first(), Some(&1.0));
+        assert_eq!(set.times().last(), Some(&(n as f64)));
+        assert!(set.folds() > 0);
+        // Fed directly (ignoring the doubled interval), the ring folds on
+        // every append once full; the interval still only ever grows.
+        assert!(set.interval_s() >= set.base_interval_s());
+    }
+
+    #[test]
+    fn folded_mean_equals_raw_mean() {
+        let reg = Registry::new();
+        let value = Rc::new(RefCell::new(0.0f64));
+        {
+            let value = Rc::clone(&value);
+            reg.gauge("v", move || *value.borrow());
+        }
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 5);
+        let mut raw_sum = 0.0;
+        let n = 137u64;
+        for i in 1..=n {
+            let v = (i as f64).sin();
+            *value.borrow_mut() = v;
+            raw_sum += v;
+            ring.sample(&reg, at(i));
+        }
+        let set = ring.into_set();
+        let folded: f64 = set
+            .series("v")
+            .unwrap()
+            .iter()
+            .zip(set.counts())
+            .map(|((_, v), &c)| v * c as f64)
+            .sum();
+        assert!((folded / n as f64 - raw_sum / n as f64).abs() < 1e-9);
     }
 
     #[test]
     fn duplicate_time_is_ignored() {
         let reg = Registry::new();
         reg.gauge("a", || 1.0);
-        let set = SeriesSet::new(&reg, SimDuration::from_secs(1), 8);
-        let t = SimTime::ZERO + SimDuration::from_secs(1);
-        set.sample(&reg, t);
-        set.sample(&reg, t);
-        assert_eq!(set.len(), 1);
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 8);
+        ring.sample(&reg, at(1));
+        ring.sample(&reg, at(1));
+        assert_eq!(ring.len(), 1);
     }
 
     #[test]
     fn csv_and_json_agree_on_shape() {
         let reg = Registry::new();
         reg.gauge("u", || 0.5);
-        let set = SeriesSet::new(&reg, SimDuration::from_secs(2), 8);
-        set.sample(&reg, SimTime::ZERO + SimDuration::from_secs(2));
-        set.sample(&reg, SimTime::ZERO + SimDuration::from_secs(4));
-        let csv = set.to_csv();
-        assert_eq!(csv, "time_s,u\n2,0.5\n4,0.5\n");
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(2), 8);
+        ring.sample(&reg, at(2));
+        ring.sample(&reg, at(4));
+        let set = ring.into_set();
+        assert_eq!(set.to_csv(), "time_s,count,u\n2,1,0.5\n4,1,0.5\n");
         assert_eq!(
             set.to_json().render(),
-            r#"{"interval_s":2,"samples":2,"dropped":0,"time_s":[2,4],"series":{"u":[0.5,0.5]}}"#
+            r#"{"interval_s":2,"base_interval_s":2,"folds":0,"samples":2,"dropped":0,"time_s":[2,4],"counts":[1,1],"series":{"u":[0.5,0.5]}}"#
         );
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let reg = Registry::new();
+        let value = Rc::new(RefCell::new(0.0f64));
+        {
+            let value = Rc::clone(&value);
+            reg.gauge("v", move || *value.borrow());
+        }
+        reg.gauge("flat", || 0.25);
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 4);
+        for i in 1..=9u64 {
+            *value.borrow_mut() = 1.0 / i as f64;
+            ring.sample(&reg, at(i));
+        }
+        let set = ring.into_set();
+        assert!(set.folds() > 0);
+        let text = set.to_json().render();
+        let parsed = SeriesSet::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, set);
+        assert_eq!(parsed.to_json().render(), text);
+    }
+
+    #[test]
+    fn from_json_defaults_the_adaptive_fields() {
+        let text =
+            r#"{"interval_s":2,"samples":2,"dropped":0,"time_s":[2,4],"series":{"u":[0.5,0.5]}}"#;
+        let set = SeriesSet::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(set.base_interval_s(), 2.0);
+        assert_eq!(set.folds(), 0);
+        assert_eq!(set.counts(), [1, 1]);
+        assert_eq!(set.series("u").unwrap(), [(2.0, 0.5), (4.0, 0.5)]);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_sets() {
+        for bad in [
+            r#"{"samples":0}"#,
+            r#"{"interval_s":1,"time_s":[1],"series":{"u":[1,2]}}"#,
+            r#"{"interval_s":1,"time_s":[1,2],"counts":[1],"series":{"u":[1,2]}}"#,
+            r#"{"interval_s":1,"time_s":[1],"series":{"u":"x"}}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(SeriesSet::from_json(&doc).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]
@@ -227,8 +565,8 @@ mod tests {
         let cpu = Facility::new(&env, "cpu", 1);
         let reg = Registry::new();
         reg.facility("cpu", &cpu);
-        let set = SeriesSet::new(&reg, SimDuration::from_secs(1), 64);
-        env.spawn(run_sampler(env.clone(), reg.clone(), set.clone()));
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 64);
+        env.spawn(run_sampler(env.clone(), reg.clone(), ring.clone()));
         {
             let cpu = cpu.clone();
             sim.spawn(async move {
@@ -236,7 +574,8 @@ mod tests {
                 cpu.use_for(SimDuration::from_secs(2)).await;
             });
         }
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(4));
+        sim.run_until(at(4));
+        let set = ring.into_set();
         let util = set.series("cpu.util").unwrap();
         assert_eq!(util.len(), 4);
         assert_eq!(util[0], (1.0, 1.0));
@@ -244,5 +583,23 @@ mod tests {
         assert!((util[3].1 - 0.5).abs() < 1e-12);
         // The series endpoint equals the facility's own cumulative figure.
         assert_eq!(util[3].1, cpu.utilization());
+    }
+
+    #[test]
+    fn sampler_doubles_its_own_tick_after_a_fold() {
+        let sim = Sim::new();
+        let env = sim.env();
+        let reg = Registry::new();
+        reg.gauge("g", || 1.0);
+        let ring = SeriesRing::new(&reg, SimDuration::from_secs(1), 4);
+        env.spawn(run_sampler(env.clone(), reg.clone(), ring.clone()));
+        sim.run_until(at(40));
+        let set = ring.into_set();
+        assert!(set.len() <= 4);
+        assert!(set.folds() > 0);
+        // The sampler held the doubled interval after each fold, so far
+        // fewer raw samples than 40 were ever taken.
+        assert!(set.raw_samples() < 40);
+        assert_eq!(set.times().first(), Some(&1.0));
     }
 }

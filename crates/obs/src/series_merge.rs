@@ -1,0 +1,472 @@
+//! Cross-replication merging of adaptive time series.
+//!
+//! [`SeriesMerger`] mirrors [`SnapshotMerger`](crate::SnapshotMerger):
+//! per-replication [`SeriesSet`]s fold into one [`MergedSeries`] holding
+//! mean/min/max per grid point. The wrinkle a snapshot does not have is
+//! the *grid*: adaptive sampling may leave replications at different
+//! effective intervals, so the merger aligns everything onto the
+//! coarsest grid seen ("coarsest interval wins").
+//!
+//! Alignment leans on two properties of the adaptive ring: the fold
+//! schedule depends only on (base interval, capacity, horizon) — never
+//! on sampled values — so replications of one configuration normally
+//! arrive with *identical* grids; and each fold merges adjacent buckets
+//! keeping the later bucket's end time, so a coarser grid's end times
+//! are a bitwise subset of any finer grid from the same schedule. That
+//! makes exact `f64` equality the correct alignment test, and anything
+//! that fails it is a harness bug worth a panic, not a runtime
+//! condition.
+//!
+//! When regridding *accumulated* state onto a coarser incoming grid, the
+//! mean column stays exact (count-weighted sums commute with folding);
+//! min/max become a conservative envelope (min-of-mins / max-of-maxes
+//! over the folded buckets). In practice the identical-grid fast path
+//! makes regridding rare.
+
+use crate::json::Json;
+use crate::series::SeriesSet;
+
+/// Folds per-replication [`SeriesSet`]s into a [`MergedSeries`] without
+/// retaining them. The first push adopts that set's grid; later pushes
+/// must carry the same metric names and base interval, and their grids
+/// are aligned by folding whichever side is finer.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesMerger {
+    merged: u32,
+    grid: Option<MergeGrid>,
+}
+
+#[derive(Clone, Debug)]
+struct MergeGrid {
+    base_interval_s: f64,
+    interval_s: f64,
+    names: Vec<String>,
+    times: Vec<f64>,
+    counts: Vec<u64>,
+    cols: Vec<Vec<PointAcc>>,
+}
+
+/// Accumulated per-grid-point state: sums of per-replication bucket
+/// means, plus the envelope across replications.
+#[derive(Clone, Copy, Debug)]
+struct PointAcc {
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// For each coarse bucket, the half-open range of fine buckets that fold
+/// into it. Panics unless the coarse end times are a bitwise subset of
+/// the fine end times (see the module docs for why they must be).
+fn bucket_ranges(fine_times: &[f64], coarse_times: &[f64]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::with_capacity(coarse_times.len());
+    let mut i = 0usize;
+    for &end in coarse_times {
+        let start = i;
+        while i < fine_times.len() && fine_times[i] < end {
+            i += 1;
+        }
+        assert!(
+            i < fine_times.len() && fine_times[i] == end,
+            "series grid mismatch: no fine bucket ends at t={end}"
+        );
+        i += 1;
+        ranges.push((start, i));
+    }
+    assert_eq!(
+        i,
+        fine_times.len(),
+        "series grid mismatch: fine grid extends past the coarse grid"
+    );
+    ranges
+}
+
+impl SeriesMerger {
+    /// An empty merger; the first [`push`](SeriesMerger::push) adopts
+    /// that set's metric names and grid.
+    pub fn new() -> Self {
+        SeriesMerger::default()
+    }
+
+    /// Number of series merged so far.
+    pub fn count(&self) -> u32 {
+        self.merged
+    }
+
+    /// Fold one replication's series in.
+    ///
+    /// Panics if `set` does not carry exactly the metrics (same names,
+    /// same order) and base interval of the first pushed set, or if the
+    /// grids cannot be aligned by folding — all of which mean the
+    /// replications did not run the same sampling schedule, a harness
+    /// bug rather than a runtime condition.
+    pub fn push(&mut self, set: &SeriesSet) {
+        let Some(grid) = &mut self.grid else {
+            self.grid = Some(MergeGrid {
+                base_interval_s: set.base_interval_s,
+                interval_s: set.interval_s,
+                names: set.names.clone(),
+                times: set.times.clone(),
+                counts: set.counts.clone(),
+                cols: set
+                    .values
+                    .iter()
+                    .map(|col| {
+                        col.iter()
+                            .map(|&v| PointAcc {
+                                sum: v,
+                                min: v,
+                                max: v,
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            });
+            self.merged = 1;
+            return;
+        };
+        assert_eq!(
+            grid.names, set.names,
+            "series shape mismatch: metric names differ"
+        );
+        assert!(
+            grid.base_interval_s == set.base_interval_s,
+            "series base interval mismatch: {} vs {}",
+            grid.base_interval_s,
+            set.base_interval_s
+        );
+        if set.interval_s > grid.interval_s {
+            // Incoming grid is coarser: regrid the accumulated state onto
+            // it before accumulating.
+            let ranges = bucket_ranges(&grid.times, &set.times);
+            for (j, &(start, end)) in ranges.iter().enumerate() {
+                let total: u64 = grid.counts[start..end].iter().sum();
+                assert!(
+                    total == set.counts[j],
+                    "series grid mismatch: bucket at t={} covers {} samples vs {}",
+                    set.times[j],
+                    total,
+                    set.counts[j]
+                );
+            }
+            for col in &mut grid.cols {
+                let folded: Vec<PointAcc> = ranges
+                    .iter()
+                    .map(|&(start, end)| {
+                        let total: u64 = grid.counts[start..end].iter().sum();
+                        let mut sum = 0.0;
+                        let mut min = f64::INFINITY;
+                        let mut max = f64::NEG_INFINITY;
+                        for (acc, &c) in col[start..end].iter().zip(&grid.counts[start..end]) {
+                            sum += acc.sum * c as f64;
+                            min = min.min(acc.min);
+                            max = max.max(acc.max);
+                        }
+                        PointAcc {
+                            sum: sum / total as f64,
+                            min,
+                            max,
+                        }
+                    })
+                    .collect();
+                *col = folded;
+            }
+            grid.interval_s = set.interval_s;
+            grid.times = set.times.clone();
+            grid.counts = set.counts.clone();
+        }
+        if set.times == grid.times {
+            // Fast (and, with a value-independent fold schedule, the
+            // usual) path: identical grids accumulate point-wise.
+            assert_eq!(
+                grid.counts, set.counts,
+                "series grid mismatch: counts differ"
+            );
+            for (col, values) in grid.cols.iter_mut().zip(&set.values) {
+                for (acc, &v) in col.iter_mut().zip(values) {
+                    acc.sum += v;
+                    acc.min = acc.min.min(v);
+                    acc.max = acc.max.max(v);
+                }
+            }
+        } else {
+            // Incoming set is finer: fold it onto the accumulated grid.
+            let ranges = bucket_ranges(&set.times, &grid.times);
+            for (j, &(start, end)) in ranges.iter().enumerate() {
+                let total: u64 = set.counts[start..end].iter().sum();
+                assert!(
+                    total == grid.counts[j],
+                    "series grid mismatch: bucket at t={} covers {} samples vs {}",
+                    grid.times[j],
+                    total,
+                    grid.counts[j]
+                );
+            }
+            for (col, values) in grid.cols.iter_mut().zip(&set.values) {
+                for (acc, &(start, end)) in col.iter_mut().zip(&ranges) {
+                    let total: u64 = set.counts[start..end].iter().sum();
+                    let mut sum = 0.0;
+                    let mut min = f64::INFINITY;
+                    let mut max = f64::NEG_INFINITY;
+                    for (&v, &c) in values[start..end].iter().zip(&set.counts[start..end]) {
+                        sum += v * c as f64;
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                    let mean = sum / total as f64;
+                    acc.sum += mean;
+                    acc.min = acc.min.min(min);
+                    acc.max = acc.max.max(max);
+                }
+            }
+        }
+        self.merged += 1;
+    }
+
+    /// The merged series (None until at least one set was pushed).
+    pub fn finish(&self) -> Option<MergedSeries> {
+        let grid = self.grid.as_ref()?;
+        let n = self.merged as f64;
+        let entries = grid
+            .names
+            .iter()
+            .zip(&grid.cols)
+            .map(|(name, col)| {
+                let merged = MergedSeriesCol {
+                    mean: col.iter().map(|acc| acc.sum / n).collect(),
+                    min: col.iter().map(|acc| acc.min).collect(),
+                    max: col.iter().map(|acc| acc.max).collect(),
+                };
+                (name.clone(), merged)
+            })
+            .collect();
+        Some(MergedSeries {
+            replications: self.merged,
+            base_interval_s: grid.base_interval_s,
+            interval_s: grid.interval_s,
+            times: grid.times.clone(),
+            counts: grid.counts.clone(),
+            entries,
+        })
+    }
+}
+
+/// One metric's columns after merging: per grid point, the mean of the
+/// per-replication bucket means plus the min/max envelope across
+/// replications.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergedSeriesCol {
+    /// Mean of the per-replication bucket means.
+    pub mean: Vec<f64>,
+    /// Smallest value any replication folded into this bucket.
+    pub min: Vec<f64>,
+    /// Largest value any replication folded into this bucket.
+    pub max: Vec<f64>,
+}
+
+/// Every metric's series merged across `replications` runs, on the
+/// common (coarsest) grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergedSeries {
+    /// How many series went into the merge.
+    pub replications: u32,
+    /// The interval the samplers started with (seconds).
+    pub base_interval_s: f64,
+    /// The common grid's effective interval (seconds).
+    pub interval_s: f64,
+    /// Shared time column: bucket end times (exact raw-sample times).
+    pub times: Vec<f64>,
+    /// Raw samples per bucket (per replication; identical across them).
+    pub counts: Vec<u64>,
+    /// `(name, merged columns)` pairs in registration order.
+    pub entries: Vec<(String, MergedSeriesCol)>,
+}
+
+impl MergedSeries {
+    /// Grid points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The merged columns of one metric, if present.
+    pub fn col(&self, name: &str) -> Option<&MergedSeriesCol> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, col)| col)
+    }
+
+    /// JSON export mirroring [`SeriesSet::to_json`], with each metric as
+    /// a `{"mean":[..],"min":[..],"max":[..]}` object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("replications", self.replications)
+            .set("interval_s", self.interval_s)
+            .set("base_interval_s", self.base_interval_s)
+            .set("samples", self.times.len())
+            .set(
+                "time_s",
+                Json::Arr(self.times.iter().map(|&t| Json::Num(t)).collect()),
+            )
+            .set(
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
+            );
+        let mut series = Json::obj();
+        for (name, col) in &self.entries {
+            let mut cell = Json::obj();
+            cell.set(
+                "mean",
+                Json::Arr(col.mean.iter().map(|&v| Json::Num(v)).collect()),
+            )
+            .set(
+                "min",
+                Json::Arr(col.min.iter().map(|&v| Json::Num(v)).collect()),
+            )
+            .set(
+                "max",
+                Json::Arr(col.max.iter().map(|&v| Json::Num(v)).collect()),
+            );
+            series.set(name.clone(), cell);
+        }
+        obj.set("series", series);
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(times: &[f64], counts: &[u64], values: &[f64], interval_s: f64) -> SeriesSet {
+        assert_eq!(times.len(), counts.len());
+        assert_eq!(times.len(), values.len());
+        let folds = (interval_s / 1.0).log2() as u32;
+        SeriesSet {
+            base_interval_s: 1.0,
+            interval_s,
+            folds,
+            names: vec!["v".to_string()],
+            times: times.to_vec(),
+            counts: counts.to_vec(),
+            values: vec![values.to_vec()],
+        }
+    }
+
+    #[test]
+    fn identical_grids_merge_pointwise() {
+        let mut m = SeriesMerger::new();
+        m.push(&set(&[1.0, 2.0], &[1, 1], &[0.2, 0.4], 1.0));
+        m.push(&set(&[1.0, 2.0], &[1, 1], &[0.6, 0.8], 1.0));
+        let merged = m.finish().unwrap();
+        assert_eq!(merged.replications, 2);
+        assert_eq!(merged.times, [1.0, 2.0]);
+        let col = merged.col("v").unwrap();
+        assert_eq!(col.mean, [0.4, 0.6000000000000001]);
+        assert_eq!(col.min, [0.2, 0.4]);
+        assert_eq!(col.max, [0.6, 0.8]);
+    }
+
+    #[test]
+    fn finer_incoming_series_folds_onto_the_grid() {
+        let mut m = SeriesMerger::new();
+        // Coarse first: buckets end at t=2 (2 raw samples) and t=4 (2).
+        m.push(&set(&[2.0, 4.0], &[2, 2], &[1.5, 3.5], 2.0));
+        // Fine second: raw samples at t=1..4.
+        m.push(&set(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 1, 1],
+            &[10.0, 20.0, 30.0, 40.0],
+            1.0,
+        ));
+        let merged = m.finish().unwrap();
+        assert_eq!(merged.times, [2.0, 4.0]);
+        assert_eq!(merged.counts, [2, 2]);
+        let col = merged.col("v").unwrap();
+        // Fine buckets fold to means 15 and 35 before averaging in.
+        assert_eq!(col.mean, [(1.5 + 15.0) / 2.0, (3.5 + 35.0) / 2.0]);
+        assert_eq!(col.min, [1.5, 3.5]);
+        assert_eq!(col.max, [20.0, 40.0]);
+    }
+
+    #[test]
+    fn coarser_incoming_series_regrids_the_accumulated_state() {
+        let mut m = SeriesMerger::new();
+        m.push(&set(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 1, 1],
+            &[10.0, 20.0, 30.0, 40.0],
+            1.0,
+        ));
+        m.push(&set(&[2.0, 4.0], &[2, 2], &[1.5, 3.5], 2.0));
+        let merged = m.finish().unwrap();
+        assert_eq!(merged.interval_s, 2.0);
+        assert_eq!(merged.times, [2.0, 4.0]);
+        let col = merged.col("v").unwrap();
+        // Same buckets as the finer-incoming test, so the same means.
+        assert_eq!(col.mean, [(15.0 + 1.5) / 2.0, (35.0 + 3.5) / 2.0]);
+        // Envelope is conservative: it keeps the fine extremes.
+        assert_eq!(col.min, [1.5, 3.5]);
+        assert_eq!(col.max, [20.0, 40.0]);
+    }
+
+    #[test]
+    fn unequal_weight_buckets_merge_by_count() {
+        let mut m = SeriesMerger::new();
+        // Adaptive grid: exact first point, folded middle, raw tail.
+        m.push(&set(&[1.0, 3.0, 4.0], &[1, 2, 1], &[1.0, 2.5, 4.0], 2.0));
+        m.push(&set(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 1, 1],
+            &[2.0, 4.0, 6.0, 8.0],
+            1.0,
+        ));
+        let merged = m.finish().unwrap();
+        assert_eq!(merged.times, [1.0, 3.0, 4.0]);
+        assert_eq!(merged.counts, [1, 2, 1]);
+        let col = merged.col("v").unwrap();
+        assert_eq!(col.mean, [1.5, (2.5 + 5.0) / 2.0, 6.0]);
+    }
+
+    #[test]
+    fn merged_json_is_deterministic_and_shaped() {
+        let mut m = SeriesMerger::new();
+        m.push(&set(&[1.0, 2.0], &[1, 1], &[0.25, 0.75], 1.0));
+        m.push(&set(&[1.0, 2.0], &[1, 1], &[0.75, 0.25], 1.0));
+        let json = m.finish().unwrap().to_json().render();
+        assert_eq!(
+            json,
+            r#"{"replications":2,"interval_s":1,"base_interval_s":1,"samples":2,"time_s":[1,2],"counts":[1,1],"series":{"v":{"mean":[0.5,0.5],"min":[0.25,0.25],"max":[0.75,0.75]}}}"#
+        );
+    }
+
+    #[test]
+    fn empty_merger_yields_none() {
+        assert!(SeriesMerger::new().finish().is_none());
+        assert_eq!(SeriesMerger::new().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_names_rejected() {
+        let mut m = SeriesMerger::new();
+        m.push(&set(&[1.0], &[1], &[0.5], 1.0));
+        let mut other = set(&[1.0], &[1], &[0.5], 1.0);
+        other.names = vec!["w".to_string()];
+        m.push(&other);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid mismatch")]
+    fn misaligned_grids_rejected() {
+        let mut m = SeriesMerger::new();
+        m.push(&set(&[2.0, 4.0], &[2, 2], &[1.0, 2.0], 2.0));
+        // End time 3.0 never appears in the coarse grid.
+        m.push(&set(&[1.0, 3.0], &[1, 1], &[1.0, 2.0], 1.0));
+    }
+}

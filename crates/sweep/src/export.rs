@@ -2,12 +2,15 @@
 //!
 //! Three formats:
 //!
-//! * [`sweep_document`] — the final `ccdb.sweep/v1` document: the spec,
+//! * [`sweep_document`] — the final `ccdb.sweep/v2` document: the spec,
 //!   the job count, and one entry per cell with the cross-replication
-//!   aggregate, per-replication summaries, and the merged metrics
-//!   snapshot. Deliberately free of wall-clock times and worker counts,
-//!   so the document is **byte-identical for every worker count** (the
-//!   property the sweep tests pin down).
+//!   aggregate, per-replication summaries, the merged metrics snapshot,
+//!   and (when the spec samples series) the merged metric trajectories.
+//!   Deliberately free of wall-clock times and worker counts, so the
+//!   document is **byte-identical for every worker count** (the property
+//!   the sweep tests pin down). v2 differs from v1 only by the optional
+//!   per-cell `series` object and the spec's optional `series` sampling
+//!   block; [`read_sweep_document`] reads both versions.
 //! * [`job_line`] — one self-describing `ccdb.job/v2` JSONL object per
 //!   job, emitted as jobs complete. Line *content* is deterministic; line
 //!   *order* is the completion order and therefore only reproducible with
@@ -27,13 +30,18 @@
 
 use ccdb_core::Algorithm;
 use ccdb_des::SimDuration;
-use ccdb_obs::{Json, Snapshot};
+use ccdb_obs::{Json, SeriesSet, Snapshot};
 
 use crate::run::{JobRecord, RunSummary, SweepResult};
-use crate::spec::{Cell, Family, Replication, SweepSpec};
+use crate::spec::{Cell, Family, Replication, SeriesSampling, SweepSpec};
 
 /// The schema tag of the sweep document.
-pub const SWEEP_SCHEMA: &str = "ccdb.sweep/v1";
+pub const SWEEP_SCHEMA: &str = "ccdb.sweep/v2";
+
+/// The previous sweep-document schema tag; still accepted by
+/// [`read_sweep_document`]. A v1 document is exactly a v2 document
+/// without the optional `series` fields.
+pub const SWEEP_SCHEMA_V1: &str = "ccdb.sweep/v1";
 
 /// The schema tag of the streaming JSONL records (header, job, and
 /// footer lines all carry it).
@@ -84,6 +92,14 @@ pub(crate) fn spec_json(spec: &SweepSpec) -> Json {
         )
         .set("measure_scale", spec.family.measure_scale())
         .set("replication", replication);
+    // Omitted entirely when sampling is off, so series-free specs render
+    // (and hash) exactly as they did before the field existed.
+    if let Some(series) = spec.series {
+        let mut s = Json::obj();
+        s.set("interval_s", series.interval.as_secs_f64())
+            .set("capacity", series.capacity);
+        obj.set("series", s);
+    }
     obj
 }
 
@@ -186,6 +202,22 @@ pub(crate) fn spec_from_json(j: &Json) -> Result<SweepSpec, String> {
             _ => return Err("spec: unknown replication mode".to_string()),
         }
     };
+    let series = match j.get("series") {
+        None => None,
+        Some(s) => Some(SeriesSampling {
+            interval: SimDuration::from_secs_f64(
+                s.get("interval_s")
+                    .and_then(Json::as_f64)
+                    .ok_or("spec: bad series interval_s")?,
+            ),
+            capacity: usize::try_from(
+                s.get("capacity")
+                    .and_then(Json::as_u64)
+                    .ok_or("spec: bad series capacity")?,
+            )
+            .map_err(|_| "spec: series capacity overflows")?,
+        }),
+    };
     Ok(SweepSpec {
         family,
         algorithms,
@@ -196,6 +228,7 @@ pub(crate) fn spec_from_json(j: &Json) -> Result<SweepSpec, String> {
         warmup: SimDuration::from_secs_f64(warmup_s),
         measure: SimDuration::from_secs_f64(measure_s / scale as f64),
         replication,
+        series,
     })
 }
 
@@ -240,7 +273,10 @@ pub fn footer_line(spec: &SweepSpec, jobs: usize) -> String {
     obj.render()
 }
 
-/// The final `ccdb.sweep/v1` document for a finished sweep.
+/// The final `ccdb.sweep/v2` document for a finished sweep. Cells gain a
+/// `series` object (merged metric trajectories) only when the spec
+/// enabled series sampling; without it the document body is the v1 shape
+/// under the v2 tag.
 pub fn sweep_document(result: &SweepResult) -> Json {
     let mut cells = Vec::with_capacity(result.cells.len());
     for cell in &result.cells {
@@ -280,6 +316,9 @@ pub fn sweep_document(result: &SweepResult) -> Json {
             .set("aborts", agg.aborts)
             .set("runs", runs)
             .set("metrics", cell.metrics.to_json());
+        if let Some(series) = &cell.series {
+            entry.set("series", series.to_json());
+        }
         cells.push(entry);
     }
     let mut doc = Json::obj();
@@ -311,6 +350,11 @@ pub fn job_line(job: &JobRecord) -> String {
         .set("commits", job.summary.commits)
         .set("aborts", job.summary.aborts)
         .set("metrics", job.snapshot.to_json_typed());
+    // Omitted (not null) when the sweep does not sample, so series-free
+    // streams are byte-identical to pre-series ones.
+    if let Some(series) = &job.series {
+        obj.set("series", series.to_json());
+    }
     obj.render()
 }
 
@@ -340,6 +384,10 @@ pub(crate) fn job_from_json(j: &Json) -> Result<JobRecord, String> {
         .ok_or("job line: missing or unknown algorithm")?;
     let snapshot = Snapshot::from_json(j.get("metrics").ok_or("job line: missing metrics")?)
         .map_err(|e| format!("job line: {e}"))?;
+    let series = match j.get("series") {
+        None => None,
+        Some(s) => Some(SeriesSet::from_json(s).map_err(|e| format!("job line: {e}"))?),
+    };
     Ok(JobRecord {
         job: usize::try_from(u64_field("job")?).map_err(|_| "job line: job overflows")?,
         cell_index: usize::try_from(u64_field("cell")?).map_err(|_| "job line: cell overflows")?,
@@ -360,6 +408,60 @@ pub(crate) fn job_from_json(j: &Json) -> Result<JobRecord, String> {
             aborts: u64_field("aborts")?,
         },
         snapshot,
+        series,
+    })
+}
+
+/// What a parsed sweep document (either schema version) contains, for
+/// consumers that do not need the full per-cell payload.
+#[derive(Clone, Debug)]
+pub struct SweepDocSummary {
+    /// The document's schema tag ([`SWEEP_SCHEMA`] or
+    /// [`SWEEP_SCHEMA_V1`]).
+    pub schema: String,
+    /// The reconstructed spec.
+    pub spec: SweepSpec,
+    /// Executed job count.
+    pub jobs: u64,
+    /// Number of cell entries.
+    pub cells: usize,
+    /// How many cells carry a merged `series` object (always 0 for v1).
+    pub cells_with_series: usize,
+}
+
+/// Parse a rendered sweep document, accepting both `ccdb.sweep/v2` and
+/// the older `ccdb.sweep/v1` (identical except that v1 never carries
+/// `series` fields). The compatibility point for archived documents.
+pub fn read_sweep_document(text: &str) -> Result<SweepDocSummary, String> {
+    let doc = Json::parse(text).map_err(|e| format!("sweep document: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("sweep document: missing schema")?;
+    if schema != SWEEP_SCHEMA && schema != SWEEP_SCHEMA_V1 {
+        return Err(format!(
+            "sweep document: schema {schema:?} is neither {SWEEP_SCHEMA} nor {SWEEP_SCHEMA_V1}"
+        ));
+    }
+    let spec = spec_from_json(doc.get("spec").ok_or("sweep document: missing spec")?)?;
+    let jobs = doc
+        .get("jobs")
+        .and_then(Json::as_u64)
+        .ok_or("sweep document: missing jobs")?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::items)
+        .ok_or("sweep document: missing cells")?;
+    let cells_with_series = cells.iter().filter(|c| c.get("series").is_some()).count();
+    if schema == SWEEP_SCHEMA_V1 && cells_with_series > 0 {
+        return Err("sweep document: a v1 document cannot carry series".to_string());
+    }
+    Ok(SweepDocSummary {
+        schema: schema.to_string(),
+        spec,
+        jobs,
+        cells: cells.len(),
+        cells_with_series,
     })
 }
 
@@ -388,12 +490,70 @@ mod tests {
     fn document_has_schema_spec_and_cells() {
         let result = run_sweep(&tiny(), 1, |_| {});
         let doc = sweep_document(&result).render();
-        assert!(doc.starts_with(r#"{"schema":"ccdb.sweep/v1","spec":{"family":"short""#));
+        assert!(doc.starts_with(r#"{"schema":"ccdb.sweep/v2","spec":{"family":"short""#));
         assert!(doc.contains(r#""replication":{"mode":"fixed","replications":2}"#));
         assert!(doc.contains(r#""algorithm":"CB","clients":2"#));
         assert!(doc.contains(r#""metrics":{"#));
         assert!(doc.contains("server.cpu.util"));
         assert!(doc.contains(r#""txn.commits":"#));
+        // A series-free spec emits no series fields at all.
+        assert!(!doc.contains(r#""series""#));
+    }
+
+    #[test]
+    fn series_spec_exports_sampling_and_merged_series() {
+        let spec = SweepSpec {
+            series: Some(crate::spec::SeriesSampling {
+                interval: SimDuration::from_secs(1),
+                capacity: 8,
+            }),
+            ..tiny()
+        };
+        let mut lines = Vec::new();
+        let result = run_sweep(&spec, 1, |job| lines.push(job_line(job)));
+        let doc = sweep_document(&result).render();
+        assert!(doc.contains(r#""series":{"interval_s":1,"capacity":8}"#));
+        assert!(doc.contains(r#""series":{"replications":2,"interval_s":"#));
+        assert!(doc.contains(r#""server.cpu.util":{"mean":["#));
+        // Job lines carry the per-replication series and round-trip.
+        for line in &lines {
+            assert!(line.contains(r#""series":{"interval_s":"#), "{line}");
+            let parsed = job_from_json(&Json::parse(line).unwrap()).unwrap();
+            assert_eq!(job_line(&parsed), *line);
+            assert!(parsed.series.is_some());
+        }
+        // And the reader sees the series cells.
+        let summary = read_sweep_document(&doc).unwrap();
+        assert_eq!(summary.schema, SWEEP_SCHEMA);
+        assert_eq!(summary.cells_with_series, summary.cells);
+        assert_eq!(summary.spec.series, spec.series);
+    }
+
+    #[test]
+    fn reader_accepts_v1_documents() {
+        let result = run_sweep(&tiny(), 1, |_| {});
+        let doc = sweep_document(&result).render();
+        // A v1 document is a series-free v2 document under the old tag.
+        let v1 = doc.replace(r#""schema":"ccdb.sweep/v2""#, r#""schema":"ccdb.sweep/v1""#);
+        let summary = read_sweep_document(&v1).unwrap();
+        assert_eq!(summary.schema, SWEEP_SCHEMA_V1);
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.cells, 1);
+        assert_eq!(summary.cells_with_series, 0);
+        assert_eq!(
+            spec_json(&summary.spec).render(),
+            spec_json(&tiny()).render()
+        );
+    }
+
+    #[test]
+    fn reader_rejects_unknown_schemas_and_series_under_v1() {
+        let result = run_sweep(&tiny(), 1, |_| {});
+        let doc = sweep_document(&result).render();
+        let unknown = doc.replace("ccdb.sweep/v2", "ccdb.sweep/v9");
+        assert!(read_sweep_document(&unknown).is_err());
+        assert!(read_sweep_document("{}").is_err());
+        assert!(read_sweep_document("not json").is_err());
     }
 
     #[test]

@@ -350,13 +350,69 @@ pub fn figure_csv(result: &SweepResult, def: &FigureDef) -> Option<String> {
     Some(csv)
 }
 
+/// Render every cell's merged time series as one long-format CSV:
+/// `algorithm,clients,locality,write_prob,time_s,count,<metrics>`, one
+/// row per grid point per cell, metric columns carrying the
+/// cross-replication mean. `None` when the sweep ran without series
+/// sampling (v1-shaped sweeps have no dynamics to plot).
+pub fn dynamics_csv(result: &SweepResult) -> Option<String> {
+    let names: Vec<&str> = result
+        .cells
+        .iter()
+        .find_map(|c| c.series.as_ref())?
+        .entries
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .collect();
+    let mut csv = String::from("algorithm,clients,locality,write_prob,time_s,count");
+    for name in &names {
+        csv.push(',');
+        csv.push_str(name);
+    }
+    csv.push('\n');
+    for cell in &result.cells {
+        let Some(series) = &cell.series else { continue };
+        let cols: Vec<_> = names
+            .iter()
+            .map(|n| {
+                series
+                    .col(n)
+                    .expect("sweep cells sample the same metric registry")
+            })
+            .collect();
+        for i in 0..series.len() {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}",
+                cell.cell.algorithm.label(),
+                cell.cell.clients,
+                cell.cell.locality,
+                cell.cell.prob_write,
+                series.times[i],
+                series.counts[i],
+            ));
+            for col in &cols {
+                csv.push(',');
+                csv.push_str(&col.mean[i].to_string());
+            }
+            csv.push('\n');
+        }
+    }
+    Some(csv)
+}
+
 /// Every figure of the sweep's family that its grid covers, as
-/// `(file name, CSV contents)` pairs in paper order.
+/// `(file name, CSV contents)` pairs in paper order; when the sweep
+/// sampled time series, a trailing `dynamics_<family>.csv` carries the
+/// merged per-cell dynamics.
 pub fn figures_from_sweep(result: &SweepResult) -> Vec<(String, String)> {
-    figures_for(result.spec.family)
+    let mut figs: Vec<(String, String)> = figures_for(result.spec.family)
         .iter()
         .filter_map(|def| figure_csv(result, def).map(|csv| (format!("{}.csv", def.slug), csv)))
-        .collect()
+        .collect();
+    if let Some(csv) = dynamics_csv(result) {
+        figs.push((format!("dynamics_{}.csv", result.spec.family.label()), csv));
+    }
+    figs
 }
 
 #[cfg(test)]
@@ -411,6 +467,49 @@ mod tests {
         let first_cell = &result.cells[0];
         assert!(lines[1].starts_with("2,"));
         assert!(lines[1].contains(&first_cell.aggregate.resp_time_mean.to_string()));
+    }
+
+    #[test]
+    fn dynamics_csv_covers_each_sampled_cell() {
+        let base = SweepSpec {
+            algorithms: vec![Algorithm::Callback],
+            clients: vec![2, 5],
+            localities: vec![0.25],
+            write_probs: vec![0.2],
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(8),
+            replication: Replication::Fixed(2),
+            ..SweepSpec::new(Family::Short)
+        };
+        // Without sampling the sweep has no dynamics and no extra figure.
+        let plain = run_sweep(&base, 1, |_| {});
+        assert!(dynamics_csv(&plain).is_none());
+        let n_static = figures_from_sweep(&plain).len();
+
+        let spec = SweepSpec {
+            series: Some(crate::spec::SeriesSampling {
+                interval: SimDuration::from_secs(1),
+                capacity: 16,
+            }),
+            ..base
+        };
+        let result = run_sweep(&spec, 1, |_| {});
+        let csv = dynamics_csv(&result).expect("sampled sweep has dynamics");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("algorithm,clients,locality,write_prob,time_s,count,"));
+        assert!(lines[0].contains("server.cpu.util"));
+        // Every sampled cell contributes rows, ending at the horizon.
+        for cell in &result.cells {
+            let series = cell.series.as_ref().expect("every cell sampled");
+            let prefix = format!("CB,{},0.25,0.2,", cell.cell.clients);
+            let rows = lines.iter().filter(|l| l.starts_with(&prefix)).count();
+            assert_eq!(rows, series.len());
+            assert_eq!(series.times.last(), Some(&10.0));
+        }
+        let figs = figures_from_sweep(&result);
+        assert_eq!(figs.len(), n_static + 1);
+        assert_eq!(figs.last().unwrap().0, "dynamics_short.csv");
+        assert_eq!(figs.last().unwrap().1, csv);
     }
 
     #[test]

@@ -18,16 +18,25 @@
 //!   for the statistics, [`ccdb_obs::SnapshotMerger`] for the metrics
 //!   registry) and [`Replication::Adaptive`] precision-targeted
 //!   replication.
-//! * [`sweep_document`] / [`job_line`] — the versioned `ccdb.sweep/v1`
+//! * [`sweep_document`] / [`job_line`] — the versioned `ccdb.sweep/v2`
 //!   JSON document and the streaming per-job `ccdb.job/v2` JSONL
-//!   records (framed by [`header_line`] / [`footer_line`]).
+//!   records (framed by [`header_line`] / [`footer_line`]);
+//!   [`read_sweep_document`] reads both v2 and archived `ccdb.sweep/v1`
+//!   documents.
+//! * [`SeriesSampling`] — opt-in per-run time-series capture: each
+//!   replication's adaptive [`ccdb_obs::SeriesSet`] rides its
+//!   `ccdb.job/v2` record and folds per cell through
+//!   [`ccdb_obs::SeriesMerger`] into the document's `series` objects.
 //! * [`CheckpointWriter`] / [`parse_log`] / [`run_sweep_resumed`] — the
 //!   JSONL stream doubles as a write-ahead log: a killed sweep resumes
-//!   from its checkpoint file and produces a byte-identical document.
+//!   from its checkpoint file and produces a byte-identical document
+//!   (opt-in [`CheckpointWriter::fsync_every`] hardens it against OS
+//!   crashes).
 //! * [`merge_logs`] — reconstruct one sweep from the union of disjoint
 //!   per-shard streams (the two-machine workflow).
 //! * [`figures_from_sweep`] — the paper's Figure 5–22 (and Table 4)
-//!   CSV series, regenerated from sweep output alone.
+//!   CSV series, regenerated from sweep output alone, plus a
+//!   [`dynamics_csv`] long-format export of the merged time series.
 //!
 //! See `docs/sweep.md` for the schema and the determinism contract.
 
@@ -43,13 +52,16 @@ mod spec;
 
 pub use checkpoint::{parse_log, read_log, CheckpointWriter, SweepLog};
 pub use export::{
-    footer_line, header_line, job_line, spec_hash, sweep_document, JOB_SCHEMA, SWEEP_SCHEMA,
+    footer_line, header_line, job_line, read_sweep_document, spec_hash, sweep_document,
+    SweepDocSummary, JOB_SCHEMA, SWEEP_SCHEMA, SWEEP_SCHEMA_V1,
 };
-pub use figures::{figure_csv, figures_for, figures_from_sweep, FigureDef, FigureMetric};
+pub use figures::{
+    dynamics_csv, figure_csv, figures_for, figures_from_sweep, FigureDef, FigureMetric,
+};
 pub use merge::merge_logs;
 pub use run::{
     run_sweep, run_sweep_resumed, run_sweep_sharded, CellReport, JobCache, JobRecord, RunSummary,
     SweepResult,
 };
 pub use scheduler::{default_workers, resolve_workers, run_indexed, run_indexed_catching};
-pub use spec::{Cell, Family, Replication, SweepSpec};
+pub use spec::{Cell, Family, Replication, SeriesSampling, SweepSpec};

@@ -7,7 +7,7 @@
 //! overlapping indices, no missing indices — and then rebuilds the
 //! result through the *same* fold as a live run
 //! ([`crate::run::run_sweep_resumed`] with every job cached), so the
-//! rendered `ccdb.sweep/v1` document is byte-identical to the one an
+//! rendered `ccdb.sweep/v2` document is byte-identical to the one an
 //! unsharded run would have produced.
 
 use ccdb_core::ReplicationAccumulator;

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use ccdb_core::runner::{run_simulation_observed, ObsOptions};
 use ccdb_core::trace::Trace;
 use ccdb_core::{replication_seed, ReplicationAccumulator, ReplicationAggregate, RunReport};
-use ccdb_obs::{MergedSnapshot, Snapshot, SnapshotMerger};
+use ccdb_obs::{MergedSeries, MergedSnapshot, SeriesMerger, SeriesSet, Snapshot, SnapshotMerger};
 
 use crate::scheduler::run_indexed_catching;
 use crate::spec::{Cell, SweepSpec};
@@ -61,6 +61,9 @@ pub struct CellReport {
     /// Every registry metric merged across the cell's replications
     /// (counters summed, gauges averaged).
     pub metrics: MergedSnapshot,
+    /// Metric trajectories merged across the cell's replications onto a
+    /// common grid; `None` unless the spec enabled series sampling.
+    pub series: Option<MergedSeries>,
 }
 
 /// One finished job, handed to the streaming callback as it completes.
@@ -85,6 +88,9 @@ pub struct JobRecord {
     /// The run's end-of-run metrics snapshot (feeds the cell's
     /// `SnapshotMerger` on replay).
     pub snapshot: Snapshot,
+    /// The run's sampled series (feeds the cell's `SeriesMerger` on
+    /// replay); present exactly when the spec enables series sampling.
+    pub series: Option<SeriesSet>,
 }
 
 /// Checkpointed job records keyed by global job index — the replay input
@@ -106,6 +112,7 @@ pub struct SweepResult {
 struct CellState {
     acc: ReplicationAccumulator,
     merger: SnapshotMerger,
+    series: SeriesMerger,
     runs: Vec<RunSummary>,
 }
 
@@ -124,7 +131,8 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize, on_job: impl FnMut(&JobRecord
 /// and their union is exactly the unsharded job set — separate machines
 /// can each take a shard and the merged JSONL is the same corpus.
 ///
-/// Sharding requires [`Replication::Fixed`]: the adaptive stopping rule
+/// Sharding requires [`Replication::Fixed`](crate::Replication::Fixed):
+/// the adaptive stopping rule
 /// inspects every replication of a cell, which a single shard does not
 /// hold. Cells that end up with zero jobs on this shard are omitted from
 /// [`SweepResult::cells`]; [`SweepResult::jobs`] counts only the jobs
@@ -180,9 +188,17 @@ pub fn run_sweep_resumed(
         .map(|_| CellState {
             acc: ReplicationAccumulator::new(),
             merger: SnapshotMerger::new(),
+            series: SeriesMerger::new(),
             runs: Vec::new(),
         })
         .collect();
+    let obs = ObsOptions {
+        sample_interval: spec.series.map(|s| s.interval),
+        ring_capacity: spec
+            .series
+            .map(|s| s.capacity)
+            .unwrap_or_else(|| ObsOptions::default().ring_capacity),
+    };
 
     // First wave: the initial replication count for every cell. Global
     // job indices are assigned over the FULL grid before the shard filter
@@ -219,6 +235,7 @@ pub fn run_sweep_resumed(
                         || rec.replication != k
                         || rec.cell != cells[ci]
                         || rec.summary.seed != replication_seed(spec.seed, k)
+                        || rec.series.is_some() != spec.series.is_some()
                     {
                         return Err(format!(
                             "checkpoint record for job {job} does not match this \
@@ -236,11 +253,10 @@ pub fn run_sweep_resumed(
             workers,
             |_, &(_job, ci, k)| {
                 let cfg = spec.config_for(&cells[ci], k);
-                let observed =
-                    run_simulation_observed(cfg, Trace::disabled(), ObsOptions::default());
-                (observed.report, observed.snapshot)
+                let observed = run_simulation_observed(cfg, Trace::disabled(), obs.clone());
+                (observed.report, observed.snapshot, observed.series)
             },
-            |i, (report, snapshot): &(RunReport, Snapshot)| {
+            |i, (report, snapshot, series): &(RunReport, Snapshot, Option<SeriesSet>)| {
                 let (job, ci, k) = to_run[i];
                 on_job(&JobRecord {
                     job,
@@ -249,6 +265,7 @@ pub fn run_sweep_resumed(
                     cell: cells[ci],
                     summary: RunSummary::from_report(report),
                     snapshot: snapshot.clone(),
+                    series: series.clone(),
                 });
             },
         );
@@ -287,15 +304,21 @@ pub fn run_sweep_resumed(
                         rec.summary.aborts,
                     );
                     state.merger.push(&rec.snapshot);
+                    if let Some(set) = &rec.series {
+                        state.series.push(set);
+                    }
                     state.runs.push(rec.summary);
                 }
                 None => {
-                    let (report, snapshot) = fresh_iter
+                    let (report, snapshot, series) = fresh_iter
                         .next()
                         .expect("one output per to-run job")
                         .expect("panics surfaced above");
                     state.acc.push(&report);
                     state.merger.push(&snapshot);
+                    if let Some(set) = &series {
+                        state.series.push(set);
+                    }
                     state.runs.push(RunSummary::from_report(&report));
                 }
             }
@@ -333,6 +356,7 @@ pub fn run_sweep_resumed(
         .map(|(cell, state)| CellReport {
             cell: *cell,
             aggregate: state.acc.aggregate(),
+            series: state.series.finish(),
             runs: state.runs,
             metrics: state
                 .merger
@@ -500,6 +524,43 @@ mod tests {
         let cache: JobCache = [(bad.job, bad)].into_iter().collect();
         let err = run_sweep_resumed(&spec, 1, None, &cache, |_| {}).unwrap_err();
         assert!(err.contains("job 0"), "{err}");
+    }
+
+    #[test]
+    fn series_sampling_merges_per_cell_and_survives_resume() {
+        let spec = SweepSpec {
+            series: Some(crate::spec::SeriesSampling {
+                interval: SimDuration::from_secs(1),
+                capacity: 8,
+            }),
+            ..tiny_spec()
+        };
+        let mut records = Vec::new();
+        let full = run_sweep(&spec, 2, |j| records.push(j.clone()));
+        for rec in &records {
+            let set = rec.series.as_ref().expect("sampling was enabled");
+            assert_eq!(set.dropped(), 0);
+            assert!(set.len() <= 8);
+        }
+        for cell in &full.cells {
+            let merged = cell.series.as_ref().expect("sampling was enabled");
+            assert_eq!(merged.replications, 2);
+            // Both replications share the 12s horizon grid.
+            assert_eq!(merged.times.last(), Some(&12.0));
+        }
+        // Resuming from cached records (series replayed, not re-run)
+        // reproduces the merged series exactly.
+        let cache: JobCache = records.iter().map(|r| (r.job, r.clone())).collect();
+        let resumed =
+            run_sweep_resumed(&spec, 1, None, &cache, |_| panic!("everything was cached")).unwrap();
+        for (a, b) in full.cells.iter().zip(&resumed.cells) {
+            assert_eq!(a.series, b.series);
+        }
+        // A series-free cache cannot resume a series-enabled sweep.
+        let mut stripped = records[0].clone();
+        stripped.series = None;
+        let cache: JobCache = [(stripped.job, stripped)].into_iter().collect();
+        assert!(run_sweep_resumed(&spec, 1, None, &cache, |_| {}).is_err());
     }
 
     #[test]

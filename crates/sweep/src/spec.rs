@@ -147,6 +147,22 @@ impl Replication {
     }
 }
 
+/// Per-replication time-series sampling for every cell of a sweep.
+///
+/// The interval is the *starting* interval of the adaptive sampler: a
+/// run longer than `interval * capacity` doubles it (folding retained
+/// samples pairwise) as often as needed, so memory stays bounded and
+/// nothing is dropped. The fold schedule depends only on these two
+/// values and the horizon, so every replication of a cell samples on the
+/// same grid and merges exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesSampling {
+    /// Starting sample interval (simulated time).
+    pub interval: SimDuration,
+    /// Retained points per metric (at least 3).
+    pub capacity: usize,
+}
+
 /// One grid cell: an algorithm at one point of the (clients, locality,
 /// write probability) axes.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -187,6 +203,9 @@ pub struct SweepSpec {
     pub measure: SimDuration,
     /// Replication policy.
     pub replication: Replication,
+    /// Per-replication time-series sampling; `None` (the default) keeps
+    /// sweeps series-free and their documents on the v1 shape.
+    pub series: Option<SeriesSampling>,
 }
 
 impl SweepSpec {
@@ -224,6 +243,7 @@ impl SweepSpec {
             warmup: SimDuration::from_secs(30),
             measure: SimDuration::from_secs(300),
             replication: Replication::Fixed(1),
+            series: None,
         }
     }
 

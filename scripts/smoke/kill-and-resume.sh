@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke: a checkpointed sweep survives log truncation.
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+sweep() {
+  "$CCDB" sweep --exp short \
+    --algs C2PL,CB --clients 2,5 --loc 0.25 --pw 0.2 \
+    --warmup 2 --measure 10 --reps 2 --jobs 4 "$@"
+}
+sweep --json > ref.json
+sweep --checkpoint full.jsonl --fsync-every 1 --json > ckpt.json
+diff ref.json ckpt.json
+# Simulate a mid-run kill: keep the header, 3 job lines, and a torn
+# fragment of the 4th, then resume.
+head -c $(( $(head -n 4 full.jsonl | wc -c) + 41 )) full.jsonl > cut.jsonl
+sweep --resume cut.jsonl --json > resumed.json
+diff ref.json resumed.json
+# The finished log holds exactly the full job set.
+diff <(sort full.jsonl) <(sort cut.jsonl)
+# Starting a checkpoint over an existing log must refuse.
+! sweep --checkpoint full.jsonl > /dev/null 2>&1
+
+echo "kill-and-resume smoke OK"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Lock-shard smoke: sharding the lock table must not change the dynamics.
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+run_shards() {
+  "$CCDB" run --alg CB --clients 8 --loc 0.5 --pw 0.3 \
+    --seed 42 --warmup 2 --measure 10 --lock-shards "$1" --csv
+}
+run_shards 1 > run-1shard.csv
+run_shards 4 > run-4shard.csv
+diff run-1shard.csv run-4shard.csv
+
+echo "lock-shard smoke OK"

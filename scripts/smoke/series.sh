@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Series smoke: sampled output is byte-identical across invocations, and a
+# series-sampling sweep document is byte-identical across worker counts.
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+run_sampled() {
+  CCDB_QUICK=1 "$CCDB" run --alg CB --clients 8 --loc 0.5 --pw 0.3 \
+    --seed 7 --warmup 2 --measure 10 --sample-interval 1 --json
+}
+run_sampled > run-a.json
+run_sampled > run-b.json
+diff run-a.json run-b.json
+python3 -m json.tool run-a.json > /dev/null
+grep -q '"series"' run-a.json
+grep -q '"dropped": 0' run-a.json
+
+sweep_sampled() {
+  CCDB_QUICK=1 "$CCDB" sweep --exp short \
+    --algs C2PL,CB --clients 2,5 --loc 0.25 --pw 0.2 \
+    --warmup 2 --measure 10 --reps 2 --sample-interval 1 \
+    --jobs "$1" --json
+}
+sweep_sampled 1 > sweep-ser.json
+sweep_sampled 4 > sweep-par.json
+diff sweep-ser.json sweep-par.json
+python3 -m json.tool sweep-par.json > /dev/null
+grep -q '"schema": "ccdb.sweep/v2"' sweep-par.json
+grep -q '"series"' sweep-par.json
+
+echo "series smoke OK"

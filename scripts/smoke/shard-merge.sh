@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Shard-merge smoke: 3 shard streams merge into the unsharded document.
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+sweep() {
+  "$CCDB" sweep --exp short \
+    --algs C2PL,CB --clients 2,5 --loc 0.25 --pw 0.2 \
+    --warmup 2 --measure 10 --reps 2 --jobs 4 "$@"
+}
+sweep --json > ref.json
+for i in 1 2 3; do
+  sweep --shard "$i/3" --checkpoint "shard$i.jsonl" > /dev/null
+done
+"$CCDB" merge shard1.jsonl shard2.jsonl shard3.jsonl > merged.json
+diff ref.json merged.json
+# Overlapping and missing job indices are rejected.
+! "$CCDB" merge shard1.jsonl shard1.jsonl > /dev/null 2>&1
+! "$CCDB" merge shard1.jsonl shard2.jsonl > /dev/null 2>&1
+
+echo "shard-merge smoke OK"

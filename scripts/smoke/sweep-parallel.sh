@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sweep smoke: the --jobs 2 document is byte-identical to --jobs 1.
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+sweep() {
+  CCDB_QUICK=1 "$CCDB" sweep --exp short \
+    --algs C2PL,CB --clients 2,5 --loc 0.25 --pw 0.2 \
+    --warmup 2 --measure 10 --reps 2 --jobs "$1" --json
+}
+sweep 2 > sweep-par.json
+sweep 1 > sweep-ser.json
+python3 -m json.tool sweep-par.json > /dev/null
+diff sweep-ser.json sweep-par.json
+grep -q '"schema": "ccdb.sweep/v2"' sweep-par.json
+
+echo "sweep-parallel smoke OK"

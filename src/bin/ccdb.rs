@@ -7,7 +7,8 @@
 //! ccdb sweep   [--exp FAMILY] [--algs all|A,B] [--clients 2,10,30,50]
 //!              [--loc 0.25,0.75] [--pw 0.2] [--reps N | --precision F]
 //!              [--jobs N] [--shard I/N] [--json|--jsonl|--csv]
-//!              [--checkpoint FILE | --resume FILE]
+//!              [--sample-interval S] [--checkpoint FILE | --resume FILE]
+//!              [--fsync-every N]
 //! ccdb figures [--exp FAMILY|all] [--out DIR] [--jobs N] [--reps N]
 //!              [--checkpoint DIR]
 //! ccdb merge   A.jsonl B.jsonl ..  # rebuild one sweep from shard streams
@@ -18,10 +19,15 @@
 //! interactive` (experiment family, default `short`), `--seed N`,
 //! `--measure SECS`, `--warmup SECS` (defaults 30 s + 300 s, or 10 s +
 //! 60 s with `CCDB_QUICK=1`). Observability: `--json` (structured
-//! report), `--sample-interval SECS` (metric time series), `--trace-cap
-//! N` (trace buffer size for `ccdb trace`), `--lock-shards N` (partition
-//! the server lock table into N hash shards; dynamics are identical for
-//! every N, only the wait attribution and per-shard stats change).
+//! report), `--sample-interval SECS` (adaptive metric time series; on a
+//! sweep each cell exports a cross-replication merged series), `--series`
+//! (append the time-series table to `ccdb explain`, default interval
+//! measure/50), `--trace-cap N` (trace buffer size for `ccdb trace`),
+//! `--lock-shards N` (partition the server lock table into N hash
+//! shards; dynamics are identical for every N, only the wait attribution
+//! and per-shard stats change). `--fsync-every N` fsyncs a sweep
+//! checkpoint log every N job records (default 0 = leave durability to
+//! the OS).
 //!
 //! `sweep --shard I/N` runs the 1-based I-th of N disjoint slices of the
 //! job grid (fixed replication only); global job indices and seeds match
@@ -49,7 +55,7 @@ use ccdb::core::{run_simulation_traced, Trace};
 use ccdb::sweep::{
     figures_from_sweep, footer_line, header_line, job_line, merge_logs, read_log, resolve_workers,
     run_sweep_resumed, run_sweep_sharded, spec_hash, sweep_document, CheckpointWriter, Family,
-    JobCache, Replication, SweepResult, SweepSpec,
+    JobCache, Replication, SeriesSampling, SweepResult, SweepSpec,
 };
 use ccdb::{
     run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, RunReport,
@@ -83,6 +89,8 @@ struct Options {
     json: bool,
     jsonl: bool,
     sample_interval: Option<f64>,
+    series: bool,
+    fsync_every: Option<u64>,
     trace_cap: usize,
     reps: Option<u32>,
     precision: Option<f64>,
@@ -111,6 +119,8 @@ impl Default for Options {
             json: false,
             jsonl: false,
             sample_interval: None,
+            series: false,
+            fsync_every: None,
             trace_cap: 2_000,
             reps: None,
             precision: None,
@@ -198,6 +208,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 continue;
             }
+            "--series" => {
+                o.series = true;
+                i += 1;
+                continue;
+            }
             _ => {}
         }
         let val = args
@@ -265,6 +280,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--checkpoint" => o.checkpoint = Some(val.clone()),
             "--resume" => o.resume = Some(val.clone()),
+            "--fsync-every" => {
+                o.fsync_every = Some(val.parse().map_err(|e| format!("--fsync-every: {e}"))?)
+            }
             other => return Err(format!("unknown option {other}")),
         }
         i += 2;
@@ -324,6 +342,12 @@ fn build_spec(o: &Options, family: Family) -> Result<SweepSpec, String> {
         },
         None => Replication::Fixed(o.reps.unwrap_or(1)),
     };
+    // --sample-interval on a sweep turns on per-replication series
+    // capture; without it the sweep stays series-free (v1-shaped cells).
+    spec.series = o.sample_interval.map(|secs| SeriesSampling {
+        interval: SimDuration::from_secs_f64(secs),
+        capacity: ObsOptions::default().ring_capacity,
+    });
     Ok(spec)
 }
 
@@ -563,8 +587,9 @@ fn usage() {
          [--algs all|A,B,..] [--clients N[,N..]] [--loc F[,F..]] [--pw F[,F..]] \
          [--exp acl|caching|short|large|fast-server|fast-net|interactive] [--seed N] \
          [--warmup S] [--measure S] [--csv] [--json] [--jsonl] [--sample-interval S] \
-         [--trace-cap N] [--reps N] [--precision F] [--max-reps N] [--jobs N] [--out DIR] \
-         [--lock-shards N] [--shard I/N] [--checkpoint FILE|DIR] [--resume FILE]\n       \
+         [--series] [--trace-cap N] [--reps N] [--precision F] [--max-reps N] [--jobs N] \
+         [--out DIR] [--lock-shards N] [--shard I/N] [--checkpoint FILE|DIR] [--resume FILE] \
+         [--fsync-every N]\n       \
          ccdb merge A.jsonl B.jsonl ..   # rebuild one sweep document from shard streams"
     );
 }
@@ -581,7 +606,9 @@ fn fail(e: impl std::fmt::Display) -> ExitCode {
 /// truncates the footer and any torn tail, and re-runs only the jobs the
 /// log does not hold. Either way the finished file is a complete framed
 /// stream, byte-identical to one from an uninterrupted run. With `jsonl`
-/// the *fresh* lines also stream to stdout.
+/// the *fresh* lines also stream to stdout. `fsync_every` > 0
+/// additionally fsyncs the log after that many job records (see
+/// [`CheckpointWriter::fsync_every`]).
 fn sweep_with_log(
     spec: &SweepSpec,
     workers: usize,
@@ -589,6 +616,7 @@ fn sweep_with_log(
     log_path: &Path,
     resume: bool,
     jsonl: bool,
+    fsync_every: u64,
 ) -> Result<SweepResult, String> {
     let (mut writer, cache) = if resume {
         let log = read_log(log_path)?;
@@ -610,7 +638,8 @@ fn sweep_with_log(
             ));
         }
         let writer = CheckpointWriter::append(log_path, log.resume_len)
-            .map_err(|e| format!("{}: {e}", log_path.display()))?;
+            .map_err(|e| format!("{}: {e}", log_path.display()))?
+            .fsync_every(fsync_every);
         eprintln!(
             "sweep: resuming {} ({} of its jobs already done)",
             log_path.display(),
@@ -619,7 +648,8 @@ fn sweep_with_log(
         (writer, log.records)
     } else {
         let writer = CheckpointWriter::create(log_path, spec, shard)
-            .map_err(|e| format!("{}: {e}", log_path.display()))?;
+            .map_err(|e| format!("{}: {e}", log_path.display()))?
+            .fsync_every(fsync_every);
         (writer, JobCache::new())
     };
 
@@ -666,6 +696,10 @@ fn cmd_sweep(opts: &Options) -> ExitCode {
     }
     let workers = resolve_workers(opts.jobs);
     let jsonl = opts.jsonl;
+    let fsync = opts.fsync_every.unwrap_or(0);
+    if opts.fsync_every.is_some() && opts.checkpoint.is_none() && opts.resume.is_none() {
+        return fail("--fsync-every only applies with --checkpoint or --resume");
+    }
     let result = if let Some(path) = &opts.checkpoint {
         let path = Path::new(path);
         if std::fs::metadata(path)
@@ -679,9 +713,17 @@ fn cmd_sweep(opts: &Options) -> ExitCode {
                 path.display(),
             ));
         }
-        sweep_with_log(&spec, workers, opts.shard, path, false, jsonl)
+        sweep_with_log(&spec, workers, opts.shard, path, false, jsonl, fsync)
     } else if let Some(path) = &opts.resume {
-        sweep_with_log(&spec, workers, opts.shard, Path::new(path), true, jsonl)
+        sweep_with_log(
+            &spec,
+            workers,
+            opts.shard,
+            Path::new(path),
+            true,
+            jsonl,
+            fsync,
+        )
     } else {
         if jsonl {
             println!("{}", header_line(&spec, opts.shard));
@@ -771,7 +813,15 @@ fn cmd_figures(opts: &Options) -> ExitCode {
                 let resume = std::fs::metadata(&path)
                     .map(|m| m.len() > 0)
                     .unwrap_or(false);
-                match sweep_with_log(&spec, workers, None, &path, resume, false) {
+                match sweep_with_log(
+                    &spec,
+                    workers,
+                    None,
+                    &path,
+                    resume,
+                    false,
+                    opts.fsync_every.unwrap_or(0),
+                ) {
                     Ok(r) => r,
                     Err(e) => return fail(e),
                 }
@@ -846,10 +896,12 @@ fn main() -> ExitCode {
                         if let Some(series) = &observed.series {
                             println!();
                             print!("{}", series.to_csv());
-                            if series.dropped() > 0 {
+                            if series.folds() > 0 {
                                 eprintln!(
-                                    "note: ring capacity reached; {} oldest samples dropped",
-                                    series.dropped()
+                                    "note: ring capacity reached; sampling interval folded \
+                                     {}x to {}s (no samples dropped)",
+                                    series.folds(),
+                                    series.interval_s(),
                                 );
                             }
                         }
@@ -864,13 +916,29 @@ fn main() -> ExitCode {
         },
         "explain" => match one_run_config(&opts) {
             Ok(cfg) => {
-                // Sampling is incidental to explain (the breakdown uses
-                // end-of-run aggregates) but honours --sample-interval so
-                // the same invocation can feed plots via --json elsewhere.
+                // `--series` appends the sampled dynamics to the static
+                // breakdown; without `--sample-interval` it defaults to
+                // 50 points across the measured window.
+                let mut obs = obs_options(&opts);
+                if opts.series && obs.sample_interval.is_none() {
+                    obs.sample_interval =
+                        Some(SimDuration::from_secs_f64(cfg.measure.as_secs_f64() / 50.0));
+                }
                 let started = Instant::now();
-                let observed = run_simulation_observed(cfg, Trace::disabled(), obs_options(&opts));
+                let observed = run_simulation_observed(cfg, Trace::disabled(), obs);
                 let wall_secs = started.elapsed().as_secs_f64();
                 explain(&observed.report, wall_secs);
+                if opts.series {
+                    if let Some(series) = &observed.series {
+                        println!(
+                            "\ndynamics ({} points, effective interval {}s, {} folds):",
+                            series.len(),
+                            series.interval_s(),
+                            series.folds(),
+                        );
+                        print!("{}", series.to_csv());
+                    }
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => fail(e),

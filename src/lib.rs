@@ -49,9 +49,10 @@ pub use ccdb_storage as storage;
 pub use ccdb_sweep as sweep;
 
 pub use ccdb_core::{
-    experiments, run_simulation, run_simulation_observed, run_simulation_traced, AbortKind,
-    Algorithm, MetricsHub, ObsOptions, Observed, RunReport, SimConfig, Trace, TypeResponse,
+    experiments, run_replicated_observed, run_simulation, run_simulation_observed,
+    run_simulation_traced, AbortKind, Algorithm, MetricsHub, ObsOptions, Observed,
+    ReplicatedObserved, RunReport, SimConfig, Trace, TypeResponse,
 };
 pub use ccdb_des::{SimDuration, SimTime};
 pub use ccdb_model::{DatabaseSpec, SystemParams, TxnParams};
-pub use ccdb_obs::{Json, Registry, SeriesSet};
+pub use ccdb_obs::{Json, MergedSeries, Registry, SeriesMerger, SeriesSet};

@@ -126,7 +126,7 @@ fn sampling_does_not_change_the_simulation() {
 }
 
 #[test]
-fn ring_capacity_evicts_oldest_but_keeps_alignment() {
+fn ring_capacity_triggers_folding_not_eviction() {
     let o = run_simulation_observed(
         quick(Algorithm::Callback, 5),
         Trace::disabled(),
@@ -136,10 +136,18 @@ fn ring_capacity_evicts_oldest_but_keeps_alignment() {
         },
     );
     let series = o.series.as_ref().unwrap();
-    assert_eq!(series.len(), 4);
-    assert!(series.dropped() > 0);
+    // A 25s horizon cannot fit at 1s spacing in 4 slots: the sampler must
+    // have folded (doubling its interval) instead of dropping samples.
+    assert!(series.len() <= 4);
+    assert_eq!(series.dropped(), 0, "adaptive sampling never drops");
+    assert!(series.folds() > 0);
+    assert!(series.interval_s() > series.base_interval_s());
     let util = series.series("server.cpu.util").unwrap();
-    assert_eq!(util.last().unwrap().0, 25.0, "newest samples retained");
+    assert_eq!(util.first().unwrap().0, 1.0, "first sample kept exactly");
+    assert_eq!(util.last().unwrap().0, 25.0, "horizon sample kept exactly");
+    // Every raw sample is still represented in some bucket.
+    assert_eq!(series.raw_samples(), series.counts().iter().sum::<u64>());
+    assert!(series.raw_samples() > 4);
 }
 
 #[test]

@@ -1,8 +1,13 @@
 //! Property-based end-to-end tests: random (but small) configurations must
 //! run to completion with the serializability oracle enabled and satisfy
-//! the simulator's global invariants.
+//! the simulator's global invariants, and the adaptive sampler must keep
+//! its bounds/exactness guarantees for any run length and capacity.
 
-use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ccdb::obs::{Registry, SeriesRing};
+use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn algorithm_strategy() -> impl Strategy<Value = Algorithm> {
@@ -77,5 +82,49 @@ proptest! {
         prop_assert_eq!(a.events, b.events);
         prop_assert_eq!(a.commits, b.commits);
         prop_assert_eq!(a.resp_time_mean.to_bits(), b.resp_time_mean.to_bits());
+    }
+
+    /// Adaptive sampling invariants for any run length and any capacity:
+    /// nothing is ever dropped, the retained point count stays within the
+    /// configured capacity, both endpoints survive folding exactly, and
+    /// the count-weighted mean of the folded buckets equals the mean of
+    /// the raw samples.
+    #[test]
+    fn adaptive_sampler_bounds_and_exactness(
+        samples in 1usize..400,
+        capacity in 3usize..32,
+    ) {
+        let value = Rc::new(RefCell::new(0.0f64));
+        let registry = Registry::new();
+        let v = value.clone();
+        registry.gauge("m", move || *v.borrow());
+
+        let ring = SeriesRing::new(&registry, SimDuration::from_secs(1), capacity);
+        let mut raw_sum = 0.0;
+        for i in 0..samples {
+            // An arbitrary but deterministic signal.
+            let x = ((i * 37 + 11) % 101) as f64 / 101.0;
+            *value.borrow_mut() = x;
+            raw_sum += x;
+            ring.sample(&registry, SimTime::ZERO + SimDuration::from_secs(i as u64 + 1));
+        }
+        let set = ring.into_set();
+
+        prop_assert_eq!(set.dropped(), 0);
+        prop_assert!(set.len() <= capacity);
+        prop_assert_eq!(set.raw_samples(), samples as u64);
+        let points = set.series("m").unwrap();
+        prop_assert_eq!(points.first().unwrap().0, 1.0);
+        prop_assert_eq!(points.last().unwrap().0, samples as f64);
+
+        let total: u64 = set.counts().iter().sum();
+        prop_assert_eq!(total, samples as u64);
+        let folded_mean = points
+            .iter()
+            .zip(set.counts())
+            .map(|((_, mean), &count)| mean * count as f64)
+            .sum::<f64>()
+            / total as f64;
+        prop_assert!((folded_mean - raw_sum / samples as f64).abs() < 1e-9);
     }
 }

@@ -5,8 +5,8 @@
 mod common;
 
 use ccdb::sweep::{
-    figures_from_sweep, job_line, run_sweep, run_sweep_sharded, sweep_document, Family,
-    Replication, SweepSpec,
+    figures_from_sweep, job_line, read_sweep_document, run_sweep, run_sweep_sharded,
+    sweep_document, Family, Replication, SeriesSampling, SweepSpec,
 };
 use ccdb::{Algorithm, SimDuration};
 use proptest::prelude::*;
@@ -134,6 +134,39 @@ proptest! {
         union.sort();
         prop_assert_eq!(&serial, &union);
     }
+}
+
+/// The tentpole acceptance check: a series-sampling sweep's document —
+/// merged per-cell time series included — is byte-identical between
+/// `--jobs 1` and `--jobs 4`, and the v2 document reads back through the
+/// document reader with every cell carrying a series.
+#[test]
+fn series_sweep_document_is_byte_identical_across_worker_counts() {
+    let spec = SweepSpec {
+        series: Some(SeriesSampling {
+            interval: SimDuration::from_secs(1),
+            capacity: 8,
+        }),
+        ..tiny_spec()
+    };
+    let serial = sweep_document(&run_sweep(&spec, 1, |_| {})).render_pretty();
+    let parallel = sweep_document(&run_sweep(&spec, 4, |_| {})).render_pretty();
+    assert_eq!(serial, parallel, "series must not depend on worker count");
+    assert!(serial.contains("\"schema\": \"ccdb.sweep/v2\""), "{serial}");
+    assert!(serial.contains("\"series\""));
+    common::assert_valid_json(&serial);
+
+    let summary = read_sweep_document(&serial).expect("v2 document parses");
+    assert_eq!(summary.schema, "ccdb.sweep/v2");
+    assert_eq!(summary.spec.series, spec.series);
+    assert_eq!(summary.cells, 4);
+    assert_eq!(summary.cells_with_series, 4);
+    assert_eq!(summary.jobs, 8);
+
+    // The same grid without sampling stays v1-shaped apart from the tag.
+    let plain = sweep_document(&run_sweep(&tiny_spec(), 2, |_| {})).render_pretty();
+    let summary = read_sweep_document(&plain).expect("plain document parses");
+    assert_eq!(summary.cells_with_series, 0);
 }
 
 #[test]
