@@ -20,6 +20,10 @@ use ccdb_core::{run_simulation, RunReport, SimConfig};
 use ccdb_des::SimDuration;
 use ccdb_sweep::{resolve_workers, run_indexed};
 
+mod suite;
+
+pub use suite::{check_bench, run_bench, utc_date, BENCH_SCHEMA};
+
 /// Run control shared by the harnesses.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchCtl {

@@ -1,0 +1,346 @@
+//! The `ccdb bench` suite: a pinned workload matrix over the profiled
+//! kernel, exported as a versioned `ccdb.bench/v1` document.
+//!
+//! Each case runs one simulation with kernel self-profiling on
+//! ([`ccdb_core::run_simulation_profiled`]) and records two very
+//! different kinds of numbers:
+//!
+//! * **exact** — per-[`EventKind`] dispatch counts, commits, total
+//!   events. These are a pure function of the configuration and must
+//!   match the committed baseline bit-for-bit on any machine; a mismatch
+//!   means the simulator's behaviour changed.
+//! * **wall-clock** — seconds, events/sec, per-kind poll nanos. These
+//!   vary by host; [`check_bench`] only flags a throughput drop beyond a
+//!   tolerance (20 % by default in `scripts/smoke/bench.sh`).
+//!
+//! The last case samples a metric time series and reports the retained
+//! buffer footprint (`peak_series_bytes`), so series-memory regressions
+//! show up in the same trajectory. Documents are written as
+//! `BENCH_<date>.json` (see [`utc_date`]) and tracked in git.
+
+use std::time::Instant;
+
+use ccdb_core::{
+    experiments, run_simulation_observed, run_simulation_profiled, Algorithm, ObsOptions,
+    SimConfig, Trace,
+};
+use ccdb_des::{EventKind, SimDuration};
+use ccdb_obs::Json;
+
+use crate::BenchCtl;
+
+/// Schema tag of the bench document.
+pub const BENCH_SCHEMA: &str = "ccdb.bench/v1";
+
+/// One case of the pinned matrix: a stable name and its configuration.
+/// The final case additionally samples a metric series.
+fn matrix(ctl: &BenchCtl) -> Vec<(&'static str, SimConfig)> {
+    let horizon = |cfg: SimConfig| {
+        cfg.with_seed(ctl.seed)
+            .with_horizon(ctl.warmup, ctl.measure)
+    };
+    vec![
+        (
+            "short_c2pl_25",
+            horizon(experiments::short_txn(
+                Algorithm::TwoPhase { inter: true },
+                25,
+                0.25,
+                0.2,
+            )),
+        ),
+        (
+            "short_cb_25",
+            horizon(experiments::short_txn(Algorithm::Callback, 25, 0.25, 0.2)),
+        ),
+        (
+            "short_occ_25",
+            horizon(experiments::short_txn(
+                Algorithm::Certification { inter: false },
+                25,
+                0.25,
+                0.2,
+            )),
+        ),
+        (
+            "short_nwn_50",
+            horizon(experiments::short_txn(
+                Algorithm::NoWait { notify: true },
+                50,
+                0.25,
+                0.2,
+            )),
+        ),
+        (
+            "short_cb_25_sampled",
+            horizon(experiments::short_txn(Algorithm::Callback, 25, 0.25, 0.2)),
+        ),
+    ]
+}
+
+/// Run the pinned matrix and build the `ccdb.bench/v1` document.
+///
+/// `quick` is recorded in the document so [`check_bench`] refuses to
+/// compare a quick run against a full baseline.
+pub fn run_bench(ctl: &BenchCtl, quick: bool) -> Json {
+    let cases = matrix(ctl);
+    let mut out_cases: Vec<Json> = Vec::with_capacity(cases.len());
+    let (mut total_events, mut total_wall) = (0u64, 0.0f64);
+    for (name, cfg) in cases {
+        let sampled = name.ends_with("_sampled");
+        let alg = cfg.algorithm;
+        let clients = cfg.sys.n_clients;
+        let started = Instant::now();
+        let (report, profile, series_bytes) = if sampled {
+            // The sampled case measures the observability tax and the
+            // retained series footprint rather than kernel dispatch.
+            let obs = ObsOptions {
+                sample_interval: Some(SimDuration::from_secs_f64(cfg.measure.as_secs_f64() / 64.0)),
+                ..ObsOptions::default()
+            };
+            let observed = run_simulation_observed(cfg, Trace::disabled(), obs);
+            let bytes = observed
+                .series
+                .as_ref()
+                .map(|s| (s.names().len() + 2) * s.len() * 8)
+                .unwrap_or(0);
+            (observed.report, None, bytes)
+        } else {
+            let profiled = run_simulation_profiled(cfg);
+            (profiled.report, Some(profiled.profile), 0)
+        };
+        let wall_s = started.elapsed().as_secs_f64();
+        total_events += report.events;
+        total_wall += wall_s;
+
+        let mut case = Json::obj();
+        case.set("name", name)
+            .set("alg", alg.label())
+            .set("clients", clients as u64)
+            .set("events", report.events)
+            .set("commits", report.commits)
+            .set("wall_s", wall_s)
+            .set("events_per_sec", report.events as f64 / wall_s.max(1e-9));
+        if let Some(profile) = profile {
+            let mut kinds = Json::obj();
+            for kind in EventKind::ALL {
+                let mut k = Json::obj();
+                k.set("count", profile.count(kind))
+                    .set("nanos", profile.nanos(kind));
+                kinds.set(kind.label(), k);
+            }
+            case.set("kinds", kinds);
+        }
+        if sampled {
+            case.set("peak_series_bytes", series_bytes as u64);
+        }
+        out_cases.push(case);
+    }
+
+    let mut doc = Json::obj();
+    doc.set("schema", BENCH_SCHEMA)
+        .set("quick", quick)
+        .set("seed", ctl.seed)
+        .set("warmup_s", ctl.warmup.as_secs_f64())
+        .set("measure_s", ctl.measure.as_secs_f64())
+        .set("cases", out_cases);
+    let mut totals = Json::obj();
+    totals
+        .set("events", total_events)
+        .set("wall_s", total_wall)
+        .set("events_per_sec", total_events as f64 / total_wall.max(1e-9));
+    doc.set("totals", totals);
+    doc
+}
+
+fn case_map(doc: &Json) -> Result<Vec<(&str, &Json)>, String> {
+    let cases = doc.get("cases").ok_or("bench document has no cases")?;
+    let Json::Arr(items) = cases else {
+        return Err("bench cases is not an array".to_string());
+    };
+    items
+        .iter()
+        .map(|c| {
+            c.get("name")
+                .and_then(|n| n.as_str())
+                .map(|n| (n, c))
+                .ok_or_else(|| "bench case has no name".to_string())
+        })
+        .collect()
+}
+
+fn case_u64(case: &Json, key: &str, name: &str) -> Result<u64, String> {
+    case.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("case {name} has no {key}"))
+}
+
+/// Compare a fresh bench document against a committed baseline.
+///
+/// Event and commit counts are deterministic, so they must match
+/// **exactly** — any drift means the simulation changed and the baseline
+/// needs a deliberate refresh. Wall-clock throughput may only regress:
+/// a case more than `tolerance` (e.g. `0.2` = 20 %) below the baseline's
+/// events/sec fails. Returns every violation, not just the first.
+pub fn check_bench(current: &Json, baseline: &Json, tolerance: f64) -> Result<(), String> {
+    let mut failures: Vec<String> = Vec::new();
+    for (doc, which) in [(current, "current"), (baseline, "baseline")] {
+        match doc.get("schema").and_then(|s| s.as_str()) {
+            Some(BENCH_SCHEMA) => {}
+            other => {
+                return Err(format!(
+                    "{which} document is not {BENCH_SCHEMA} (schema {other:?})"
+                ))
+            }
+        }
+    }
+    let mode = |doc: &Json| doc.get("quick").map(|q| q.render());
+    if mode(current) != mode(baseline) {
+        return Err(
+            "bench modes differ (one quick, one full); compare like against like".to_string(),
+        );
+    }
+
+    let base_cases = case_map(baseline)?;
+    let cur_cases = case_map(current)?;
+    for (name, base) in &base_cases {
+        let Some((_, cur)) = cur_cases.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("case {name}: missing from current run"));
+            continue;
+        };
+        for key in ["events", "commits"] {
+            let (b, c) = (case_u64(base, key, name)?, case_u64(cur, key, name)?);
+            if b != c {
+                failures.push(format!(
+                    "case {name}: {key} changed {b} -> {c} (simulation no longer \
+                     reproduces the baseline; refresh BENCH_*.json deliberately)"
+                ));
+            }
+        }
+        let rate = |c: &Json| c.get("events_per_sec").and_then(|v| v.as_f64());
+        if let (Some(b), Some(c)) = (rate(base), rate(cur)) {
+            if c < b * (1.0 - tolerance) {
+                failures.push(format!(
+                    "case {name}: events/sec regressed {:.0} -> {:.0} \
+                     (more than {:.0}% below baseline)",
+                    b,
+                    c,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// `YYYY-MM-DD` (UTC) from seconds since the Unix epoch, via the
+/// days-to-civil algorithm — no external time crate.
+pub fn utc_date(secs_since_epoch: u64) -> String {
+    let days = (secs_since_epoch / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctl() -> BenchCtl {
+        BenchCtl {
+            warmup: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(4),
+            seed: 0xCCDB,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn bench_document_shape_and_self_check() {
+        let doc = run_bench(&tiny_ctl(), true);
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(BENCH_SCHEMA)
+        );
+        let Some(Json::Arr(cases)) = doc.get("cases") else {
+            panic!("cases array");
+        };
+        assert_eq!(cases.len(), 5);
+        // Profiled cases attribute every dispatch to a kind.
+        let first = &cases[0];
+        let events = first.get("events").and_then(|v| v.as_u64()).unwrap();
+        let Some(Json::Obj(kinds)) = first.get("kinds") else {
+            panic!("kinds object");
+        };
+        let by_kind: u64 = kinds
+            .iter()
+            .map(|(_, k)| k.get("count").and_then(|v| v.as_u64()).unwrap())
+            .sum();
+        assert_eq!(by_kind, events);
+        // The sampled case reports a positive series footprint, no kinds.
+        let last = &cases[4];
+        assert!(last.get("kinds").is_none());
+        assert!(
+            last.get("peak_series_bytes")
+                .and_then(|v| v.as_u64())
+                .unwrap()
+                > 0
+        );
+        // A document always passes against itself.
+        check_bench(&doc, &doc, 0.2).unwrap();
+    }
+
+    #[test]
+    fn determinism_drift_and_regression_are_flagged() {
+        let doc = run_bench(&tiny_ctl(), true);
+        let rendered = doc.render();
+
+        // A different events count is an exact-match failure.
+        let events = doc.get("cases").unwrap();
+        let Json::Arr(cases) = events else {
+            unreachable!()
+        };
+        let n = cases[0].get("events").and_then(|v| v.as_u64()).unwrap();
+        let drifted =
+            Json::parse(&rendered.replacen(&format!("\"events\":{n}"), "\"events\":1", 1)).unwrap();
+        let err = check_bench(&drifted, &doc, 0.2).unwrap_err();
+        assert!(err.contains("events changed"), "{err}");
+
+        // Comparing quick against full is refused outright.
+        let full = Json::parse(&rendered.replacen("\"quick\":true", "\"quick\":false", 1)).unwrap();
+        assert!(check_bench(&full, &doc, 0.2)
+            .unwrap_err()
+            .contains("modes differ"));
+
+        // Zero tolerance flags any slowdown; a generous all-cases pass is
+        // exercised by the self-check above.
+        let slow =
+            Json::parse(&rendered.replace("\"events_per_sec\":", "\"events_per_sec_orig\":"))
+                .unwrap();
+        // Removing the rate skips the regression check rather than failing.
+        check_bench(&slow, &slow, 0.0).unwrap();
+    }
+
+    #[test]
+    fn civil_dates_from_epoch_seconds() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(86_399), "1970-01-01");
+        assert_eq!(utc_date(86_400), "1970-01-02");
+        // 2026-08-08 00:00:00 UTC.
+        assert_eq!(utc_date(1_786_147_200), "2026-08-08");
+        // Leap day.
+        assert_eq!(utc_date(951_782_400), "2000-02-29");
+    }
+}

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use ccdb_des::{Env, Pcg32, SimDuration, WaitClass};
+use ccdb_des::{Env, Pcg32, RestartCause, SimDuration, WaitClass};
 use ccdb_lock::{ClientId, Mode, TxnId};
 use ccdb_model::{PageId, TxnSpec, Workload};
 use ccdb_net::{Network, NetworkNode};
@@ -148,8 +148,9 @@ impl Client {
         self.node
             .charge_cpu(self.cfg.sys.client_proc_page * n as u64)
             .await;
-        let elapsed = self.env.now().since(t0);
-        self.note_wait(WaitClass::ClientCpu, elapsed);
+        let now = self.env.now();
+        self.note_wait(WaitClass::ClientCpu, now.since(t0));
+        self.trace.span(self.id, WaitClass::ClientCpu, t0, now);
     }
 
     /// Install a fetched page and act on the evictions it causes.
@@ -293,9 +294,10 @@ impl Client {
                 other => self.handle_async(other),
             }
         };
-        let elapsed = self.env.now().since(t0);
+        let now = self.env.now();
         let server_share = self.book.attributed(self.txn) - before;
-        self.note_wait(WaitClass::Network, elapsed - server_share);
+        self.note_wait(WaitClass::Network, now.since(t0) - server_share);
+        self.trace.span_labelled(self.id, "reply-wait", t0, now);
         kind
     }
 
@@ -842,8 +844,9 @@ impl Client {
         } else {
             self.env.hold(d).await;
         }
-        let elapsed = self.env.now().since(t0);
-        self.note_wait(WaitClass::Other, elapsed);
+        let now = self.env.now();
+        self.note_wait(WaitClass::Other, now.since(t0));
+        self.trace.span(self.id, WaitClass::Other, t0, now);
     }
 
     fn restart_delay(&mut self) -> SimDuration {
@@ -897,7 +900,9 @@ impl Client {
 pub async fn run_client(mut c: Client) {
     loop {
         let think = c.workload.external_delay();
+        let idle_t0 = c.env.now();
         c.idle_for(think).await;
+        c.trace.span_labelled(c.id, "idle", idle_t0, c.env.now());
         let spec = c.workload.next_txn();
         let origin = c.env.now();
         c.waits.clear();
@@ -939,11 +944,21 @@ pub async fn run_client(mut c: Client) {
                     );
                     c.metrics.record_abort(c.env.now(), kind);
                     c.abort_cleanup();
+                    // Restart back-off is attributed to its own wait class
+                    // per abort cause, not lumped into `other`, so the wait
+                    // profile separates protocol-induced idling from think
+                    // time.
+                    let class = WaitClass::Restart(match kind {
+                        AbortKind::Deadlock => RestartCause::Deadlock,
+                        AbortKind::StaleRead => RestartCause::StaleRead,
+                        AbortKind::Validation => RestartCause::Validation,
+                    });
                     let d = c.restart_delay();
                     let t0 = c.env.now();
                     c.idle_for(d).await;
-                    let elapsed = c.env.now().since(t0);
-                    c.note_wait(WaitClass::Other, elapsed);
+                    let now = c.env.now();
+                    c.note_wait(class, now.since(t0));
+                    c.trace.span(c.id, class, t0, now);
                 }
             }
         }

@@ -8,7 +8,7 @@ use std::rc::Rc;
 use ccdb_des::{BatchMeans, FacilitySnapshot, Histogram, SimDuration, SimTime, Tally, WaitClass};
 use ccdb_lock::LockStats;
 use ccdb_model::SystemParams;
-use ccdb_obs::Json;
+use ccdb_obs::{Json, LatencyHistogram};
 use ccdb_storage::{BufferStats, CacheStats, LogStats};
 
 use crate::config::Algorithm;
@@ -35,6 +35,12 @@ struct Inner {
     updates_pushed: u64,
     /// Total blocked time of committed transactions, by resource class.
     wait_totals: BTreeMap<WaitClass, SimDuration>,
+    /// Log-bucketed response-time distribution (mergeable across seeds).
+    resp_lat: LatencyHistogram,
+    /// Per-commit total lock wait (all lock shards of one transaction).
+    lock_wait_lat: LatencyHistogram,
+    /// Per-commit blocked time by resource class.
+    wait_lat: BTreeMap<WaitClass, LatencyHistogram>,
 }
 
 impl MetricsHub {
@@ -58,6 +64,9 @@ impl MetricsHub {
                 callbacks_received: 0,
                 updates_pushed: 0,
                 wait_totals: BTreeMap::new(),
+                resp_lat: LatencyHistogram::new(),
+                lock_wait_lat: LatencyHistogram::new(),
+                wait_lat: BTreeMap::new(),
             })),
         }
     }
@@ -93,6 +102,7 @@ impl MetricsHub {
             }
             m.resp_by_type[type_idx].record(response_secs);
             m.restarts.record(restarts as f64);
+            m.resp_lat.record(response_secs);
         }
     }
 
@@ -162,8 +172,16 @@ impl MetricsHub {
     pub fn record_commit_waits(&self, now: SimTime, waits: &BTreeMap<WaitClass, SimDuration>) {
         let mut m = self.inner.borrow_mut();
         if now >= m.warmup_end {
+            let mut lock_wait = SimDuration::ZERO;
             for (&class, &d) in waits {
                 *m.wait_totals.entry(class).or_insert(SimDuration::ZERO) += d;
+                m.wait_lat.entry(class).or_default().record(d.as_secs_f64());
+                if matches!(class, WaitClass::LockShard(_)) {
+                    lock_wait += d;
+                }
+            }
+            if lock_wait > SimDuration::ZERO {
+                m.lock_wait_lat.record(lock_wait.as_secs_f64());
             }
         }
     }
@@ -171,6 +189,23 @@ impl MetricsHub {
     /// Accumulated wait totals of committed transactions (window).
     pub fn wait_totals(&self) -> BTreeMap<WaitClass, SimDuration> {
         self.inner.borrow().wait_totals.clone()
+    }
+
+    /// The window's latency histograms in canonical label order:
+    /// `response`, `lock_wait`, then `wait.<class>` for every resource
+    /// class a committed transaction blocked on. Lock-free classes a run
+    /// never touched are simply absent, so the set is data-driven but
+    /// deterministic (BTreeMap class order).
+    pub fn hists(&self) -> Vec<(String, LatencyHistogram)> {
+        let m = self.inner.borrow();
+        let mut out = vec![
+            ("response".to_string(), m.resp_lat.clone()),
+            ("lock_wait".to_string(), m.lock_wait_lat.clone()),
+        ];
+        for (class, h) in &m.wait_lat {
+            out.push((format!("wait.{}", class.label()), h.clone()));
+        }
+        out
     }
 
     /// Record pages pushed in a notification message.
@@ -311,6 +346,10 @@ pub struct RunReport {
     /// transaction by resource class, plus a `residual` row. Rows sum to
     /// `resp_time_mean`.
     pub wait_profile: Vec<WaitRow>,
+    /// Labelled latency histograms (`response`, `lock_wait`,
+    /// `wait.<class>`), in [`MetricsHub::hists`] order. Mergeable across
+    /// seeds bit-identically.
+    pub hists: Vec<(String, LatencyHistogram)>,
     /// Simulation events processed (performance diagnostics).
     pub events: u64,
 }
@@ -428,6 +467,7 @@ impl RunReport {
             updates_pushed: upd,
             resources,
             wait_profile,
+            hists: hub.hists(),
             events,
         }
     }
@@ -438,12 +478,14 @@ impl RunReport {
     ///
     /// Schema v2 extends v1 with a `waits` wait-decomposition array,
     /// per-shard lock counters under `locks.shards`, and per-facility wait
-    /// statistics in `resources`; every v1 field is preserved, so v1
-    /// readers that ignore unknown fields keep working (see
+    /// statistics in `resources`. Schema v3 extends v2 with a
+    /// `histograms` section of labelled log-bucketed latency histograms
+    /// (`response`, `lock_wait`, `wait.<class>`); every v2 field is
+    /// preserved, so readers that ignore unknown fields keep working (see
     /// [`ReportSummary::from_json`] for the reader path).
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj();
-        root.set("schema", "ccdb.run_report/v2")
+        root.set("schema", "ccdb.run_report/v3")
             .set("algorithm", self.algorithm.label())
             .set("algorithm_name", self.algorithm.name());
 
@@ -553,6 +595,12 @@ impl RunReport {
         }
         root.set("waits", Json::Arr(waits));
 
+        let mut hists = Json::obj();
+        for (label, h) in &self.hists {
+            hists.set(label.clone(), h.to_json());
+        }
+        root.set("histograms", hists);
+
         root.set("events", self.events);
         root
     }
@@ -568,12 +616,13 @@ impl RunReport {
 }
 
 /// The cross-version reader for emitted run-report documents: the fields
-/// every schema version carries, plus the v2 wait decomposition when
-/// present. Older v1 documents (no `waits`, no `locks.shards`) parse with
-/// an empty profile — the reader path that keeps archived reports usable.
+/// every schema version carries, plus the v2 wait decomposition and the
+/// v3 latency histograms when present. Older v1 documents (no `waits`,
+/// no `locks.shards`) parse with an empty profile — the reader path that
+/// keeps archived reports usable.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReportSummary {
-    /// The document's schema tag (`ccdb.run_report/v1` or `/v2`).
+    /// The document's schema tag (`ccdb.run_report/v1`, `/v2`, or `/v3`).
     pub schema: String,
     /// Algorithm label (e.g. `CB`, `2PL-i`).
     pub algorithm: String,
@@ -585,6 +634,8 @@ pub struct ReportSummary {
     pub throughput_tps: f64,
     /// Wait decomposition rows (empty for v1 documents).
     pub waits: Vec<WaitRow>,
+    /// Labelled latency histograms (empty for v1/v2 documents).
+    pub hists: Vec<(String, LatencyHistogram)>,
 }
 
 impl ReportSummary {
@@ -596,7 +647,10 @@ impl ReportSummary {
             .and_then(Json::as_str)
             .ok_or("missing schema tag")?
             .to_string();
-        if schema != "ccdb.run_report/v1" && schema != "ccdb.run_report/v2" {
+        if !matches!(
+            schema.as_str(),
+            "ccdb.run_report/v1" | "ccdb.run_report/v2" | "ccdb.run_report/v3"
+        ) {
             return Err(format!("unsupported schema '{schema}'"));
         }
         let algorithm = doc
@@ -634,6 +688,16 @@ impl ReportSummary {
                 });
             }
         }
+        let mut hists = Vec::new();
+        if let Some(Json::Obj(pairs)) = doc.get("histograms") {
+            for (label, value) in pairs {
+                hists.push((
+                    label.clone(),
+                    LatencyHistogram::from_json(value)
+                        .map_err(|e| format!("histogram '{label}': {e}"))?,
+                ));
+            }
+        }
         Ok(ReportSummary {
             schema,
             algorithm,
@@ -641,6 +705,7 @@ impl ReportSummary {
             resp_mean_s,
             throughput_tps,
             waits,
+            hists,
         })
     }
 }

@@ -3,7 +3,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use ccdb_des::{FacilitySnapshot, Pcg32, Sim, SimDuration, SimTime, WaitClass};
+use ccdb_des::{FacilitySnapshot, KernelProfile, Pcg32, Sim, SimDuration, SimTime, WaitClass};
 use ccdb_lock::ClientId;
 use ccdb_model::Workload;
 use ccdb_net::{Network, NetworkNode};
@@ -67,6 +67,29 @@ pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
     run_simulation_observed(cfg, trace, ObsOptions::default()).report
 }
 
+/// What a profiled run returns: the report plus the kernel's own
+/// dispatch statistics (see [`Sim::enable_profiling`]).
+pub struct Profiled {
+    /// End-of-run aggregates, identical to an unprofiled run's.
+    pub report: RunReport,
+    /// Per-[`ccdb_des::EventKind`] dispatch counts and wall-clock nanos.
+    pub profile: KernelProfile,
+}
+
+/// [`run_simulation`] with kernel self-profiling: the event loop counts
+/// and times every dispatch by [`ccdb_des::EventKind`]. Profiling only
+/// watches the kernel — the simulated outcome (and thus the report) is
+/// bit-identical to an unprofiled run; only wall-clock cost changes.
+pub fn run_simulation_profiled(cfg: SimConfig) -> Profiled {
+    let sim = Sim::new();
+    sim.enable_profiling();
+    let observed = run_observed_on(&sim, cfg, Trace::disabled(), ObsOptions::default());
+    Profiled {
+        report: observed.report,
+        profile: sim.profile(),
+    }
+}
+
 /// [`run_simulation_traced`] with metric sampling: every component's
 /// gauges and counters are registered into a [`Registry`] and, when
 /// `obs.sample_interval` is set, a sampler process snapshots them into
@@ -75,8 +98,13 @@ pub fn run_simulation_traced(cfg: SimConfig, trace: Trace) -> RunReport {
 /// The sampler only reads, so enabling it does not change the simulated
 /// outcome: the report is identical with sampling on or off.
 pub fn run_simulation_observed(cfg: SimConfig, trace: Trace, obs: ObsOptions) -> Observed {
+    run_observed_on(&Sim::new(), cfg, trace, obs)
+}
+
+/// The body shared by every entry point: build the world on `sim`, run
+/// to the horizon, and collect the report.
+fn run_observed_on(sim: &Sim, cfg: SimConfig, trace: Trace, obs: ObsOptions) -> Observed {
     cfg.validate();
-    let sim = Sim::new();
     let env = sim.env();
     let mut root_rng = Pcg32::new(cfg.seed, 0x5EED);
 

@@ -235,7 +235,9 @@ impl Server {
             Some(txn) => {
                 let t0 = self.env.now();
                 let out = fut.await;
-                self.book.add(txn, class, self.env.now().since(t0));
+                let now = self.env.now();
+                self.book.add(txn, class, now.since(t0));
+                self.trace.span_txn(txn, class, t0, now);
                 out
             }
         }

@@ -3,6 +3,15 @@
 //! walk-through of a small run, and by tests to assert protocol-level
 //! event sequences.
 //!
+//! Besides point events, an enabled trace records *lifecycle spans* —
+//! timed intervals a transaction spent thinking, waiting for locks,
+//! doing I/O, or backing off before a restart. Spans are emitted at the
+//! same sites that feed the [`crate::wait::WaitBook`] ledger (the
+//! server's `attributed` wrapper) plus the client-side waits, so the
+//! span set mirrors the end-to-end wait attribution. The whole trace
+//! exports as Chrome trace-event JSON ([`Trace::to_chrome_json`]) for
+//! Perfetto / `chrome://tracing`, byte-identically across runs.
+//!
 //! Tracing is off by default (a disabled [`Trace`] costs one branch per
 //! event site) and bounded: recording stops after `capacity` events.
 
@@ -10,9 +19,10 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use ccdb_des::SimTime;
+use ccdb_des::{SimTime, WaitClass};
 use ccdb_lock::{ClientId, Mode, TxnId};
 use ccdb_model::PageId;
+use ccdb_obs::Json;
 
 use crate::metrics::AbortKind;
 
@@ -216,8 +226,82 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+impl TraceEvent {
+    /// Short kebab-case name of the event kind (the Chrome event name;
+    /// the full [`fmt::Display`] line goes into the event's `args`).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            TraceEvent::TxnBegin { .. } => "txn-begin",
+            TraceEvent::LocalRead { .. } => "local-read",
+            TraceEvent::LocalWrite { .. } => "local-write",
+            TraceEvent::Request { .. } => "request",
+            TraceEvent::GrantedAfterWait { .. } => "granted",
+            TraceEvent::Callback { .. } => "callback",
+            TraceEvent::CallbackAnswer { .. } => "callback-answer",
+            TraceEvent::UpdatePush { .. } => "update-push",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Abort { .. } => "abort",
+        }
+    }
+
+    /// The client this event is filed under in a Chrome export (one
+    /// trace thread per client workstation).
+    pub fn client(&self) -> ClientId {
+        match self {
+            TraceEvent::TxnBegin { client, .. }
+            | TraceEvent::LocalRead { client, .. }
+            | TraceEvent::LocalWrite { client, .. }
+            | TraceEvent::Request { client, .. }
+            | TraceEvent::Callback { client, .. }
+            | TraceEvent::CallbackAnswer { client, .. }
+            | TraceEvent::UpdatePush { client, .. }
+            | TraceEvent::Commit { client, .. }
+            | TraceEvent::Abort { client, .. } => *client,
+            TraceEvent::GrantedAfterWait { txn, .. } => txn_client(*txn),
+        }
+    }
+}
+
+/// The client that issued `txn`: client ids occupy the high 32 bits of
+/// every transaction id (see the client module's id construction).
+fn txn_client(txn: TxnId) -> ClientId {
+    ClientId((txn.0 >> 32) as u32)
+}
+
+/// Lifecycle-span label for a wait class (coarser than
+/// [`WaitClass::label`]: all lock shards collapse into one lane, as do
+/// the restart causes).
+fn span_label(class: WaitClass) -> &'static str {
+    match class {
+        WaitClass::Cpu => "server-cpu",
+        WaitClass::ClientCpu => "client-cpu",
+        WaitClass::DataDisk => "io-data",
+        WaitClass::LogDisk => "io-log",
+        WaitClass::Network => "network",
+        WaitClass::MplGate => "admission",
+        WaitClass::LockShard(_) => "lock-wait",
+        WaitClass::Restart(_) => "restart-backoff",
+        WaitClass::Other => "think",
+    }
+}
+
+/// One timed lifecycle interval of a client's transaction (thinking,
+/// blocked on a lock, doing I/O, backing off before a restart, ...).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpan {
+    /// Client workstation the interval belongs to.
+    pub client: ClientId,
+    /// Lifecycle label (`"think"`, `"lock-wait"`, `"io-data"`, ...).
+    pub label: &'static str,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end (`>= start`).
+    pub end: SimTime,
+}
+
 struct Inner {
     events: Vec<(SimTime, TraceEvent)>,
+    spans: Vec<TraceSpan>,
     capacity: usize,
     dropped: u64,
 }
@@ -235,6 +319,7 @@ impl Trace {
         Trace {
             inner: Some(Rc::new(RefCell::new(Inner {
                 events: Vec::new(),
+                spans: Vec::new(),
                 capacity,
                 dropped: 0,
             }))),
@@ -275,6 +360,48 @@ impl Trace {
         self.inner.as_ref().map_or(0, |i| i.borrow().dropped)
     }
 
+    /// Record a lifecycle span `[start, end]` for `client`, labelled by
+    /// the wait class it was attributed to. Zero-length spans and spans
+    /// on a disabled trace are dropped silently; spans past the capacity
+    /// are dropped and counted like events.
+    pub fn span(&self, client: ClientId, class: WaitClass, start: SimTime, end: SimTime) {
+        self.span_labelled(client, span_label(class), start, end);
+    }
+
+    /// [`Trace::span`] keyed by transaction instead of client (the
+    /// server-side hook: handlers know the transaction, whose id encodes
+    /// the issuing client).
+    pub fn span_txn(&self, txn: TxnId, class: WaitClass, start: SimTime, end: SimTime) {
+        self.span_labelled(txn_client(txn), span_label(class), start, end);
+    }
+
+    /// [`Trace::span`] with an explicit label, for intervals that have
+    /// no wait class (e.g. the client's whole reply wait).
+    pub fn span_labelled(
+        &self,
+        client: ClientId,
+        label: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if let Some(inner) = &self.inner {
+            if end.since(start).is_zero() {
+                return;
+            }
+            let mut inner = inner.borrow_mut();
+            if inner.spans.len() < inner.capacity {
+                inner.spans.push(TraceSpan {
+                    client,
+                    label,
+                    start,
+                    end,
+                });
+            } else {
+                inner.dropped += 1;
+            }
+        }
+    }
+
     /// Snapshot of the recorded events, in record order (= time order,
     /// since the simulation is single-threaded).
     pub fn events(&self) -> Vec<(SimTime, TraceEvent)> {
@@ -282,6 +409,82 @@ impl Trace {
             Some(inner) => inner.borrow().events.clone(),
             None => Vec::new(),
         }
+    }
+
+    /// Snapshot of the recorded lifecycle spans, in record order (=
+    /// span-*end* order: a span is recorded when its interval closes).
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        match &self.inner {
+            Some(inner) => inner.borrow().spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Export the trace as Chrome trace-event JSON — the
+    /// `{"traceEvents": [...]}` document Perfetto and `chrome://tracing`
+    /// load. Spans become complete (`"ph":"X"`) slices and point events
+    /// become thread-scoped instants, one trace thread per client.
+    /// Deterministic: the same run renders byte-identical output.
+    pub fn to_chrome_json(&self) -> String {
+        let us = |t: SimTime| t.as_nanos() as f64 / 1000.0;
+        let spans = self.spans();
+        let events = self.events();
+        let mut clients: Vec<u32> = spans
+            .iter()
+            .map(|s| s.client.0)
+            .chain(events.iter().map(|(_, e)| e.client().0))
+            .collect();
+        clients.sort_unstable();
+        clients.dedup();
+
+        let mut list: Vec<Json> = Vec::new();
+        let mut meta = Json::obj();
+        meta.set("name", "process_name")
+            .set("ph", "M")
+            .set("pid", 0u64);
+        let mut args = Json::obj();
+        args.set("name", "ccdb simulation");
+        meta.set("args", args);
+        list.push(meta);
+        for c in clients {
+            let mut meta = Json::obj();
+            meta.set("name", "thread_name")
+                .set("ph", "M")
+                .set("pid", 0u64)
+                .set("tid", u64::from(c));
+            let mut args = Json::obj();
+            args.set("name", format!("client {c}"));
+            meta.set("args", args);
+            list.push(meta);
+        }
+        for s in &spans {
+            let mut ev = Json::obj();
+            ev.set("name", s.label)
+                .set("cat", "span")
+                .set("ph", "X")
+                .set("ts", us(s.start))
+                .set("dur", (s.end.since(s.start).as_nanos()) as f64 / 1000.0)
+                .set("pid", 0u64)
+                .set("tid", u64::from(s.client.0));
+            list.push(ev);
+        }
+        for (t, e) in &events {
+            let mut ev = Json::obj();
+            ev.set("name", e.kind_label())
+                .set("cat", "event")
+                .set("ph", "i")
+                .set("s", "t")
+                .set("ts", us(*t))
+                .set("pid", 0u64)
+                .set("tid", u64::from(e.client().0));
+            let mut args = Json::obj();
+            args.set("detail", e.to_string());
+            ev.set("args", args);
+            list.push(ev);
+        }
+        let mut doc = Json::obj();
+        doc.set("traceEvents", list).set("displayTimeUnit", "ms");
+        doc.render()
     }
 
     /// Render the transcript, one line per event.
@@ -377,6 +580,73 @@ mod tests {
         assert!(s.contains("client 3 begins txn 77"));
         assert!(s.contains("deadlock victim"));
         assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn spans_record_and_bound_like_events() {
+        let t = Trace::enabled(2);
+        for i in 0..4u64 {
+            t.span(
+                ClientId(0),
+                WaitClass::LockShard(1),
+                SimTime::from_nanos(i * 10),
+                SimTime::from_nanos(i * 10 + 5),
+            );
+        }
+        // Zero-length spans vanish without counting as drops.
+        t.span(ClientId(0), WaitClass::Cpu, SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.spans()[0].label, "lock-wait");
+        assert!(Trace::disabled().spans().is_empty());
+    }
+
+    #[test]
+    fn span_txn_recovers_the_client() {
+        let t = Trace::enabled(8);
+        let txn = TxnId((7u64 << 32) | 3);
+        t.span_txn(
+            txn,
+            WaitClass::DataDisk,
+            SimTime::ZERO,
+            SimTime::from_nanos(100),
+        );
+        assert_eq!(t.spans()[0].client, ClientId(7));
+        assert_eq!(t.spans()[0].label, "io-data");
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let t = Trace::enabled(16);
+        t.span(
+            ClientId(1),
+            WaitClass::Restart(ccdb_des::RestartCause::Deadlock),
+            SimTime::from_nanos(2_000),
+            SimTime::from_nanos(5_500),
+        );
+        t.record(
+            SimTime::from_nanos(1_000),
+            TraceEvent::TxnBegin {
+                client: ClientId(1),
+                txn: TxnId(77),
+                attempt: 0,
+            },
+        );
+        let json = t.to_chrome_json();
+        let doc = Json::parse(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").expect("traceEvents present");
+        let Json::Arr(items) = events else {
+            panic!("traceEvents is an array");
+        };
+        // process_name + thread_name + one span + one instant.
+        assert_eq!(items.len(), 4);
+        assert!(json.contains(r#""name":"restart-backoff""#));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""dur":3.5"#));
+        assert!(json.contains(r#""name":"txn-begin""#));
+        assert!(json.contains(r#""name":"client 1""#));
+        // Repeat render is byte-identical.
+        assert_eq!(json, t.to_chrome_json());
     }
 
     #[test]

@@ -12,8 +12,20 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
-use crate::kernel::{Env, ProcId};
+use crate::kernel::{Env, EventKind, ProcId};
 use crate::time::{SimDuration, SimTime};
+
+/// Why a transaction restarted — the abort kind its back-off delay is
+/// attributed to in wait-decomposition reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RestartCause {
+    /// A deadlock victim.
+    Deadlock,
+    /// A stale cached page was detected.
+    StaleRead,
+    /// Commit-time certification failed.
+    Validation,
+}
 
 /// Why a process queued at a facility: the resource class blocked time is
 /// attributed to in wait-decomposition reports. Purely descriptive — it
@@ -34,12 +46,15 @@ pub enum WaitClass {
     MplGate,
     /// Lock-table shard `k`.
     LockShard(u32),
+    /// Restart back-off after an abort of the named kind.
+    Restart(RestartCause),
     /// Anything not otherwise classified.
     Other,
 }
 
 impl WaitClass {
-    /// Stable label used in reports (`lock-shard-k` for shard `k`).
+    /// Stable label used in reports (`lock-shard-k` for shard `k`,
+    /// `restart-<kind>` for restart back-off).
     pub fn label(self) -> String {
         match self {
             WaitClass::Cpu => "cpu".into(),
@@ -49,6 +64,9 @@ impl WaitClass {
             WaitClass::Network => "network".into(),
             WaitClass::MplGate => "mpl-gate".into(),
             WaitClass::LockShard(k) => format!("lock-shard-{k}"),
+            WaitClass::Restart(RestartCause::Deadlock) => "restart-deadlock".into(),
+            WaitClass::Restart(RestartCause::StaleRead) => "restart-stale".into(),
+            WaitClass::Restart(RestartCause::Validation) => "restart-validation".into(),
             WaitClass::Other => "other".into(),
         }
     }
@@ -316,7 +334,7 @@ impl Facility {
                     inner.max_wait = inner.max_wait.max(waited);
                     // busy count unchanged: the server transfers directly.
                     drop(inner);
-                    self.env.schedule_wake(now, w.pid);
+                    self.env.schedule_wake(now, w.pid, EventKind::Facility);
                     return;
                 }
                 WaiterState::Granted => unreachable!("granted waiter still queued"),

@@ -59,6 +59,101 @@ struct CalendarEntry {
     time: SimTime,
     seq: u64,
     target: WakeTarget,
+    // Never reached by the derived ordering: `seq` is globally unique.
+    kind: EventKind,
+}
+
+/// Which primitive scheduled a calendar event. Purely diagnostic — the
+/// kernel's self-profiler attributes dispatch counts and wall-clock time
+/// per kind; scheduling order never depends on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// First wake of a freshly spawned process.
+    Spawn,
+    /// Timer expiry scheduled by [`Env::hold`] / [`Env::hold_until`].
+    Hold,
+    /// A facility server handed to a queued waiter.
+    Facility,
+    /// A CPU-pool core handed to an overflow waiter.
+    Pool,
+    /// A mailbox message waking a parked receiver.
+    Mailbox,
+    /// A mailbox receive-deadline timer.
+    Timer,
+    /// A gate opening (broadcast wake).
+    Gate,
+    /// A semaphore permit handed to a waiter.
+    Semaphore,
+    /// A one-shot signal firing.
+    Oneshot,
+}
+
+impl EventKind {
+    /// Every kind, in reporting order.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::Spawn,
+        EventKind::Hold,
+        EventKind::Facility,
+        EventKind::Pool,
+        EventKind::Mailbox,
+        EventKind::Timer,
+        EventKind::Gate,
+        EventKind::Semaphore,
+        EventKind::Oneshot,
+    ];
+
+    /// Stable label used in profiles and bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Spawn => "spawn",
+            EventKind::Hold => "hold",
+            EventKind::Facility => "facility",
+            EventKind::Pool => "pool",
+            EventKind::Mailbox => "mailbox",
+            EventKind::Timer => "timer",
+            EventKind::Gate => "gate",
+            EventKind::Semaphore => "semaphore",
+            EventKind::Oneshot => "oneshot",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-event-kind dispatch counts and wall-clock polling time, gathered
+/// when [`Sim::enable_profiling`] was called before running.
+///
+/// The **counts** are a pure function of the simulation (exact and
+/// reproducible); the **nanoseconds** are host wall-clock time and must
+/// never feed a deterministic report — they exist for `ccdb bench`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    counts: [u64; EventKind::ALL.len()],
+    nanos: [u64; EventKind::ALL.len()],
+}
+
+impl KernelProfile {
+    /// Dispatches of `kind`.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Wall-clock nanoseconds spent polling processes woken by `kind`.
+    pub fn nanos(&self, kind: EventKind) -> u64 {
+        self.nanos[kind.index()]
+    }
+
+    /// Total dispatches across all kinds.
+    pub fn total_events(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total wall-clock nanoseconds across all kinds.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
@@ -81,6 +176,9 @@ pub(crate) struct Kernel {
     /// immediately after the current poll completes so a spawn during a poll
     /// cannot re-enter the executor.
     events_processed: u64,
+    /// Self-profiling switch; checked once per `run_until`, not per event.
+    profiling: bool,
+    profile: KernelProfile,
 }
 
 impl Kernel {
@@ -94,6 +192,8 @@ impl Kernel {
             live: 0,
             current: None,
             events_processed: 0,
+            profiling: false,
+            profile: KernelProfile::default(),
         }
     }
 
@@ -151,7 +251,7 @@ impl Kernel {
         }
     }
 
-    pub(crate) fn schedule_wake(&mut self, at: SimTime, id: ProcId) {
+    pub(crate) fn schedule_wake(&mut self, at: SimTime, id: ProcId, kind: EventKind) {
         debug_assert!(at >= self.now, "cannot schedule a wake in the past");
         let seq = self.next_seq();
         self.calendar.push(Reverse(CalendarEntry {
@@ -161,6 +261,7 @@ impl Kernel {
                 slot: id.slot,
                 generation: id.generation,
             },
+            kind,
         }));
     }
 
@@ -240,10 +341,34 @@ impl Sim {
         self.run_until(SimTime::MAX);
     }
 
+    /// Turn on kernel self-profiling: every subsequent dispatch is counted
+    /// per [`EventKind`] and its process poll timed with the host clock.
+    /// Off by default; the off path is the exact pre-profiling loop (the
+    /// flag is checked once per `run_until`, not once per event).
+    pub fn enable_profiling(&self) {
+        self.kernel.borrow_mut().profiling = true;
+    }
+
+    /// The self-profile gathered so far (all zeros unless
+    /// [`Sim::enable_profiling`] was called before running).
+    pub fn profile(&self) -> KernelProfile {
+        self.kernel.borrow().profile.clone()
+    }
+
     /// Run until the first event strictly after `deadline`, leaving `now` at
     /// `deadline` (or at the last event time if the calendar empties first
     /// and that is later — it cannot be).
     pub fn run_until(&self, deadline: SimTime) {
+        // Monomorphized on the profiling flag so the off path carries no
+        // clock reads or profile stores at all.
+        if self.kernel.borrow().profiling {
+            self.run_loop::<true>(deadline);
+        } else {
+            self.run_loop::<false>(deadline);
+        }
+    }
+
+    fn run_loop<const PROFILE: bool>(&self, deadline: SimTime) {
         loop {
             // Pop the next due event, if any.
             let wake = {
@@ -253,7 +378,7 @@ impl Sim {
                         let Reverse(e) = k.calendar.pop().expect("peeked entry vanished");
                         k.now = e.time;
                         k.events_processed += 1;
-                        Some(e.target)
+                        Some((e.target, e.kind))
                     }
                     _ => {
                         if deadline != SimTime::MAX && deadline > k.now {
@@ -263,11 +388,22 @@ impl Sim {
                     }
                 }
             };
-            let Some(target) = wake else { break };
-            self.poll_process(ProcId {
+            let Some((target, kind)) = wake else { break };
+            let id = ProcId {
                 slot: target.slot,
                 generation: target.generation,
-            });
+            };
+            if PROFILE {
+                let started = std::time::Instant::now();
+                self.poll_process(id);
+                let spent = started.elapsed().as_nanos() as u64;
+                let mut k = self.kernel.borrow_mut();
+                let ix = kind as usize;
+                k.profile.counts[ix] += 1;
+                k.profile.nanos[ix] += spent;
+            } else {
+                self.poll_process(id);
+            }
         }
     }
 
@@ -326,7 +462,7 @@ impl Env {
         let mut k = self.kernel.borrow_mut();
         let id = k.insert_process(Box::pin(fut));
         let now = k.now();
-        k.schedule_wake(now, id);
+        k.schedule_wake(now, id, EventKind::Spawn);
         id
     }
 
@@ -347,8 +483,8 @@ impl Env {
         self.hold(d)
     }
 
-    pub(crate) fn schedule_wake(&self, at: SimTime, id: ProcId) {
-        self.kernel.borrow_mut().schedule_wake(at, id);
+    pub(crate) fn schedule_wake(&self, at: SimTime, id: ProcId, kind: EventKind) {
+        self.kernel.borrow_mut().schedule_wake(at, id, kind);
     }
 
     pub(crate) fn current(&self) -> ProcId {
@@ -372,7 +508,7 @@ impl Future for Hold {
                 let mut k = self.env.kernel.borrow_mut();
                 let at = k.now() + self.duration;
                 let id = k.current();
-                k.schedule_wake(at, id);
+                k.schedule_wake(at, id, EventKind::Hold);
                 drop(k);
                 self.wake_at = Some(at);
                 Poll::Pending
@@ -525,5 +661,55 @@ mod tests {
         sim.run();
         // 1 spawn wake + 4 hold wakes.
         assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn profiling_counts_dispatches_per_kind() {
+        let sim = Sim::new();
+        sim.enable_profiling();
+        let env = sim.env();
+        sim.spawn(async move {
+            for _ in 0..4 {
+                env.hold(SimDuration::from_millis(1)).await;
+            }
+        });
+        sim.run();
+        let p = sim.profile();
+        assert_eq!(p.count(EventKind::Spawn), 1);
+        assert_eq!(p.count(EventKind::Hold), 4);
+        assert_eq!(p.count(EventKind::Facility), 0);
+        assert_eq!(p.total_events(), sim.events_processed());
+    }
+
+    #[test]
+    fn profiling_off_gathers_nothing() {
+        let sim = Sim::new();
+        let env = sim.env();
+        sim.spawn(async move {
+            env.hold(SimDuration::from_millis(1)).await;
+        });
+        sim.run();
+        let p = sim.profile();
+        assert_eq!(p.total_events(), 0);
+        assert_eq!(p.total_nanos(), 0);
+    }
+
+    #[test]
+    fn profiling_does_not_change_the_simulation() {
+        let run = |profile: bool| {
+            let sim = Sim::new();
+            if profile {
+                sim.enable_profiling();
+            }
+            let env = sim.env();
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    env.hold(SimDuration::from_millis(2)).await;
+                }
+            });
+            sim.run();
+            (sim.now(), sim.events_processed())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -50,8 +50,8 @@ mod stats;
 mod sync;
 mod time;
 
-pub use facility::{Acquire, Facility, FacilityGuard, FacilitySnapshot, WaitClass};
-pub use kernel::{Env, Hold, ProcId, Sim};
+pub use facility::{Acquire, Facility, FacilityGuard, FacilitySnapshot, RestartCause, WaitClass};
+pub use kernel::{Env, EventKind, Hold, KernelProfile, ProcId, Sim};
 pub use mailbox::{Mailbox, Recv, RecvUntil};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender, Wait};
 pub use pool::{CpuGuard, CpuPool, PoolAcquire};

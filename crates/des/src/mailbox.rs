@@ -11,7 +11,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
-use crate::kernel::{Env, ProcId};
+use crate::kernel::{Env, EventKind, ProcId};
 use crate::time::SimTime;
 
 struct RecvWaiter {
@@ -67,7 +67,8 @@ impl<T> Mailbox<T> {
                 *w.active.borrow_mut() = false;
                 let pid = w.pid;
                 drop(inner);
-                self.env.schedule_wake(self.env.now(), pid);
+                self.env
+                    .schedule_wake(self.env.now(), pid, EventKind::Mailbox);
                 return;
             }
         }
@@ -201,7 +202,7 @@ impl<T> Future for RecvUntil<T> {
         }
         if !self.timer_set {
             let pid = env.current();
-            env.schedule_wake(self.deadline, pid);
+            env.schedule_wake(self.deadline, pid, EventKind::Timer);
             self.timer_set = true;
         }
         Poll::Pending

@@ -11,7 +11,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
-use crate::kernel::{Env, ProcId};
+use crate::kernel::{Env, EventKind, ProcId};
 
 struct Inner<T> {
     value: Option<T>,
@@ -53,7 +53,8 @@ impl<T> OneshotSender<T> {
         inner.value = Some(value);
         if let Some(pid) = inner.waiter.take() {
             drop(inner);
-            self.env.schedule_wake(self.env.now(), pid);
+            self.env
+                .schedule_wake(self.env.now(), pid, EventKind::Oneshot);
         }
     }
 

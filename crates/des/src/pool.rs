@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::task::{Context, Poll};
 
 use crate::facility::{Facility, FacilityGuard, FacilitySnapshot, WaitClass};
-use crate::kernel::{Env, ProcId};
+use crate::kernel::{Env, EventKind, ProcId};
 use crate::time::{SimDuration, SimTime};
 
 enum PoolSlot {
@@ -229,7 +229,7 @@ impl CpuPool {
                 guard: Some(guard),
             };
             drop(inner);
-            self.env.schedule_wake(now, w.pid);
+            self.env.schedule_wake(now, w.pid, EventKind::Pool);
             return;
         }
     }

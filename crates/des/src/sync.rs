@@ -8,7 +8,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
-use crate::kernel::{Env, ProcId};
+use crate::kernel::{Env, EventKind, ProcId};
 
 // ---------------------------------------------------------------------
 // Semaphore
@@ -85,7 +85,8 @@ impl Semaphore {
                 *w.granted.borrow_mut() = true;
                 let pid = w.pid;
                 drop(inner);
-                self.env.schedule_wake(self.env.now(), pid);
+                self.env
+                    .schedule_wake(self.env.now(), pid, EventKind::Semaphore);
                 return;
             }
         }
@@ -194,7 +195,7 @@ impl Gate {
         };
         let now = self.env.now();
         for pid in waiters {
-            self.env.schedule_wake(now, pid);
+            self.env.schedule_wake(now, pid, EventKind::Gate);
         }
     }
 

@@ -1,0 +1,299 @@
+//! A dependency-free log-bucketed latency histogram with a deterministic
+//! merge — the fixed-bucket cousin of HdrHistogram.
+//!
+//! Buckets are geometric: 16 per decade starting at 100 µs, 8 decades,
+//! 128 buckets total. Everything below the first edge lands in bucket 0
+//! and everything above the last edge in bucket 127, so `record` is
+//! total. The exact maximum is tracked separately so `quantile` never
+//! reports a value beyond anything observed.
+//!
+//! Two properties matter for the report pipeline:
+//!
+//! * **Determinism** — the state is bucket counts (`u64`), a total, and
+//!   an exact max; [`merge`](LatencyHistogram::merge) adds counts and
+//!   takes the larger max, so merging is associative and commutative
+//!   *bitwise*, not just approximately. Replications can fold in any
+//!   grouping and produce the same bytes.
+//! * **Exact round-trip** — [`to_json`](LatencyHistogram::to_json) emits
+//!   counts as integers and the max with shortest-round-trip formatting,
+//!   so a histogram parsed back from a `ccdb.job/v2` record merges
+//!   bit-identically to the live value it was written from.
+
+use crate::json::Json;
+
+/// First bucket edge, in seconds (100 µs).
+const HIST_MIN: f64 = 1e-4;
+/// Geometric buckets per decade.
+const PER_DECADE: usize = 16;
+/// Total bucket count (8 decades: 100 µs to 1000 s and beyond).
+const BUCKETS: usize = 128;
+
+/// A log-bucketed histogram of durations in seconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0.0,
+        }
+    }
+
+    /// The multiplicative width of one bucket: a reported quantile is
+    /// within this factor of the true sample quantile (for samples at or
+    /// above the first bucket edge).
+    pub fn bucket_ratio() -> f64 {
+        10f64.powf(1.0 / PER_DECADE as f64)
+    }
+
+    fn bucket_of(seconds: f64) -> usize {
+        if seconds <= HIST_MIN {
+            return 0;
+        }
+        let idx = ((seconds / HIST_MIN).log10() * PER_DECADE as f64).floor();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Geometric midpoint of a bucket — the value quantiles report.
+    fn bucket_mid(index: usize) -> f64 {
+        HIST_MIN * 10f64.powf((index as f64 + 0.5) / PER_DECADE as f64)
+    }
+
+    /// Record one duration (seconds). Negative and non-finite inputs are
+    /// clamped into the bottom bucket rather than poisoning the state.
+    pub fn record(&mut self, seconds: f64) {
+        let v = if seconds.is_finite() {
+            seconds.max(0.0)
+        } else {
+            0.0
+        };
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact largest recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), reported as the geometric
+    /// midpoint of the bucket holding the rank-`⌈q·n⌉` sample, clamped
+    /// to the exact maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_mid(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`: bucket-wise count addition plus the
+    /// larger exact max. Associative and commutative bit-for-bit.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Sparse JSON encoding: total count, exact max, and `[index, count]`
+    /// pairs for the non-empty buckets (ascending index).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
+            .collect();
+        o.set("count", self.total)
+            .set("max_s", self.max)
+            .set("buckets", Json::Arr(buckets));
+        o
+    }
+
+    /// Exact inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Result<LatencyHistogram, String> {
+        let total = v
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or("histogram: missing count")?;
+        let max = v
+            .get("max_s")
+            .and_then(Json::as_f64)
+            .ok_or("histogram: missing max_s")?;
+        let mut h = LatencyHistogram::new();
+        let mut sum = 0u64;
+        for pair in v
+            .get("buckets")
+            .and_then(Json::items)
+            .ok_or("histogram: missing buckets")?
+        {
+            let cells = pair.items().ok_or("histogram: bucket is not a pair")?;
+            let (ix, count) = match cells {
+                [a, b] => (
+                    a.as_u64().ok_or("histogram: bad bucket index")? as usize,
+                    b.as_u64().ok_or("histogram: bad bucket count")?,
+                ),
+                _ => return Err("histogram: bucket is not a pair".into()),
+            };
+            if ix >= BUCKETS {
+                return Err(format!("histogram: bucket index {ix} out of range"));
+            }
+            h.counts[ix] = count;
+            sum += count;
+        }
+        if sum != total {
+            return Err(format!(
+                "histogram: bucket counts sum to {sum}, header says {total}"
+            ));
+        }
+        h.total = total;
+        h.max = max;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_recorded_values_within_a_bucket() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100 {
+            h.record(i as f64 * 0.01); // 10 ms .. 1 s
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 1.0);
+        let r = LatencyHistogram::bucket_ratio();
+        for (q, want) in [(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let got = h.quantile(q);
+            assert!(
+                got >= want / r && got <= want * r,
+                "q{q}: got {got}, want within x{r} of {want}"
+            );
+        }
+        // The top quantile is clamped to the exact max.
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.max(), 0.0);
+        let back = LatencyHistogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let (mut a, mut b, mut all) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for i in 0..50 {
+            let v = 0.001 * (i as f64 + 1.0) * 7.0;
+            a.record(v);
+            all.record(v);
+        }
+        for i in 0..30 {
+            let v = 0.5 + 0.1 * i as f64;
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0.0, 1e-6, 3.3e-4, 0.125, 7.25, 123.0, 1e7] {
+            h.record(v);
+        }
+        let rendered = h.to_json().render();
+        let back = LatencyHistogram::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_json().render(), rendered);
+    }
+
+    #[test]
+    fn extreme_inputs_are_clamped_not_lost() {
+        let mut h = LatencyHistogram::new();
+        h.record(-1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1e9);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1e9);
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_documents() {
+        for bad in [
+            r#"{"count":1,"max_s":0.1,"buckets":[[999,1]]}"#,
+            r#"{"count":2,"max_s":0.1,"buckets":[[3,1]]}"#,
+            r#"{"count":1,"max_s":0.1,"buckets":[[3]]}"#,
+            r#"{"max_s":0.1,"buckets":[]}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(LatencyHistogram::from_json(&doc).is_err(), "{bad}");
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`Json`] — a small, dependency-free JSON document model with a
 //!   deterministic serializer: the same value tree always renders to the
 //!   same bytes, which is what makes byte-identical run reports testable.
+//! * [`LatencyHistogram`] — a log-bucketed duration histogram
+//!   (HdrHistogram-style, fixed geometric buckets) whose merge is
+//!   bitwise associative and whose JSON encoding round-trips exactly,
+//!   so percentiles survive the checkpoint/merge pipeline unchanged.
 //! * [`Snapshot`] + [`SnapshotMerger`] — frozen, `Send`, plain-data
 //!   registry values and their cross-replication merge (counters sum,
 //!   gauges average), for carrying metrics out of worker threads and
@@ -31,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+mod hist;
 mod json;
 mod registry;
 mod series;
 mod series_merge;
 mod snapshot;
 
+pub use hist::LatencyHistogram;
 pub use json::Json;
 pub use registry::{Counter, Registry};
 pub use series::{run_sampler, SeriesRing, SeriesSet};

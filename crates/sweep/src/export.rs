@@ -5,7 +5,8 @@
 //! * [`sweep_document`] — the final `ccdb.sweep/v2` document: the spec,
 //!   the job count, and one entry per cell with the cross-replication
 //!   aggregate, per-replication summaries, the merged metrics snapshot,
-//!   and (when the spec samples series) the merged metric trajectories.
+//!   the merged latency histograms (`hists`), and (when the spec samples
+//!   series) the merged metric trajectories.
 //!   Deliberately free of wall-clock times and worker counts, so the
 //!   document is **byte-identical for every worker count** (the property
 //!   the sweep tests pin down). v2 differs from v1 only by the optional
@@ -30,7 +31,7 @@
 
 use ccdb_core::Algorithm;
 use ccdb_des::SimDuration;
-use ccdb_obs::{Json, SeriesSet, Snapshot};
+use ccdb_obs::{Json, LatencyHistogram, SeriesSet, Snapshot};
 
 use crate::run::{JobRecord, RunSummary, SweepResult};
 use crate::spec::{Cell, Family, Replication, SeriesSampling, SweepSpec};
@@ -232,6 +233,30 @@ pub(crate) fn spec_from_json(j: &Json) -> Result<SweepSpec, String> {
     })
 }
 
+/// Labelled histograms as a JSON object (label order preserved).
+fn hists_json(hists: &[(String, LatencyHistogram)]) -> Json {
+    let mut obj = Json::obj();
+    for (label, h) in hists {
+        obj.set(label.clone(), h.to_json());
+    }
+    obj
+}
+
+/// Exact inverse of [`hists_json`].
+fn hists_from_json(j: &Json) -> Result<Vec<(String, LatencyHistogram)>, String> {
+    match j {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .map(|(label, v)| {
+                LatencyHistogram::from_json(v)
+                    .map(|h| (label.clone(), h))
+                    .map_err(|e| format!("histogram '{label}': {e}"))
+            })
+            .collect(),
+        _ => Err("hists is not an object".to_string()),
+    }
+}
+
 /// A deterministic 64-bit FNV-1a hash of the spec's JSON form, printed
 /// as 16 hex digits. Cheap identity check for checkpoint/resume and
 /// shard-stream merging; the header also embeds the spec itself, so the
@@ -315,7 +340,8 @@ pub fn sweep_document(result: &SweepResult) -> Json {
             .set("commits", agg.commits)
             .set("aborts", agg.aborts)
             .set("runs", runs)
-            .set("metrics", cell.metrics.to_json());
+            .set("metrics", cell.metrics.to_json())
+            .set("hists", hists_json(&cell.hists));
         if let Some(series) = &cell.series {
             entry.set("series", series.to_json());
         }
@@ -350,6 +376,11 @@ pub fn job_line(job: &JobRecord) -> String {
         .set("commits", job.summary.commits)
         .set("aborts", job.summary.aborts)
         .set("metrics", job.snapshot.to_json_typed());
+    // Omitted only for records replayed from a pre-histogram stream;
+    // every freshly executed job carries its histograms.
+    if let Some(hists) = &job.hists {
+        obj.set("hists", hists_json(hists));
+    }
     // Omitted (not null) when the sweep does not sample, so series-free
     // streams are byte-identical to pre-series ones.
     if let Some(series) = &job.series {
@@ -388,6 +419,10 @@ pub(crate) fn job_from_json(j: &Json) -> Result<JobRecord, String> {
         None => None,
         Some(s) => Some(SeriesSet::from_json(s).map_err(|e| format!("job line: {e}"))?),
     };
+    let hists = match j.get("hists") {
+        None => None,
+        Some(h) => Some(hists_from_json(h).map_err(|e| format!("job line: {e}"))?),
+    };
     Ok(JobRecord {
         job: usize::try_from(u64_field("job")?).map_err(|_| "job line: job overflows")?,
         cell_index: usize::try_from(u64_field("cell")?).map_err(|_| "job line: cell overflows")?,
@@ -409,6 +444,7 @@ pub(crate) fn job_from_json(j: &Json) -> Result<JobRecord, String> {
         },
         snapshot,
         series,
+        hists,
     })
 }
 
@@ -498,6 +534,27 @@ mod tests {
         assert!(doc.contains(r#""txn.commits":"#));
         // A series-free spec emits no series fields at all.
         assert!(!doc.contains(r#""series""#));
+        // Every cell carries its merged latency histograms.
+        assert!(doc.contains(r#""hists":{"response":{"count":"#));
+        assert!(doc.contains(r#""lock_wait":{"count":"#));
+    }
+
+    #[test]
+    fn job_lines_carry_histograms_that_round_trip() {
+        let mut lines = Vec::new();
+        run_sweep(&tiny(), 1, |job| lines.push(job_line(job)));
+        for line in &lines {
+            assert!(line.contains(r#""hists":{"response":{"count":"#), "{line}");
+            let parsed = job_from_json(&Json::parse(line).unwrap()).unwrap();
+            let hists = parsed.hists.as_ref().expect("histograms present");
+            assert_eq!(hists[0].0, "response");
+            assert_eq!(hists[0].1.count(), parsed.summary.commits);
+            assert_eq!(job_line(&parsed), *line);
+        }
+        // A pre-histogram line (field absent) parses to `hists: None`.
+        let old = lines[0].replacen(r#","hists":{"#, r#","old_hists":{"#, 1);
+        let parsed = job_from_json(&Json::parse(&old).unwrap()).unwrap();
+        assert!(parsed.hists.is_none());
     }
 
     #[test]

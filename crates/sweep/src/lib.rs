@@ -36,7 +36,9 @@
 //!   per-shard streams (the two-machine workflow).
 //! * [`figures_from_sweep`] — the paper's Figure 5–22 (and Table 4)
 //!   CSV series, regenerated from sweep output alone, plus a
-//!   [`dynamics_csv`] long-format export of the merged time series.
+//!   [`dynamics_csv`] long-format export of the merged time series and
+//!   a self-contained [`dynamics_svg`] plot of the same data
+//!   (`ccdb figures --svg`).
 //!
 //! See `docs/sweep.md` for the schema and the determinism contract.
 
@@ -49,6 +51,7 @@ mod merge;
 mod run;
 mod scheduler;
 mod spec;
+mod svg;
 
 pub use checkpoint::{parse_log, read_log, CheckpointWriter, SweepLog};
 pub use export::{
@@ -58,10 +61,11 @@ pub use export::{
 pub use figures::{
     dynamics_csv, figure_csv, figures_for, figures_from_sweep, FigureDef, FigureMetric,
 };
-pub use merge::merge_logs;
+pub use merge::{merge_logs, merge_logs_named};
 pub use run::{
     run_sweep, run_sweep_resumed, run_sweep_sharded, CellReport, JobCache, JobRecord, RunSummary,
     SweepResult,
 };
 pub use scheduler::{default_workers, resolve_workers, run_indexed, run_indexed_catching};
 pub use spec::{Cell, Family, Replication, SeriesSampling, SweepSpec};
+pub use svg::dynamics_svg;

@@ -10,37 +10,89 @@
 //! rendered `ccdb.sweep/v2` document is byte-identical to the one an
 //! unsharded run would have produced.
 
+use std::collections::BTreeMap;
+
 use ccdb_core::ReplicationAccumulator;
 
 use crate::checkpoint::SweepLog;
 use crate::export::spec_json;
 use crate::run::{run_sweep_resumed, JobCache, SweepResult};
+use crate::spec::SweepSpec;
+
+/// Human-readable description of a spec's series-sampling setting, for
+/// diagnostics when shard streams disagree on it.
+fn sampling_desc(spec: &SweepSpec) -> String {
+    match spec.series {
+        None => "no series sampling".to_string(),
+        Some(s) => format!(
+            "series sampling (base_interval_s {}, capacity {})",
+            s.interval.as_secs_f64(),
+            s.capacity
+        ),
+    }
+}
 
 /// Merge parsed streams into one complete sweep result.
 ///
 /// Errors if the streams disagree on the spec, if a job index appears
 /// in more than one stream, if the union does not cover every job of
 /// the spec's grid, or if it contains job indices the grid never
-/// assigns.
+/// assigns. Streams are named `stream 1..n` in errors; use
+/// [`merge_logs_named`] to name them by file instead.
 pub fn merge_logs(logs: &[SweepLog]) -> Result<SweepResult, String> {
+    merge_logs_named(logs, &[])
+}
+
+/// [`merge_logs`] with per-stream labels (typically file paths) so
+/// errors name the offending files instead of bare stream indices.
+///
+/// `names` is positional and may be shorter than `logs`; unnamed
+/// streams fall back to `stream N`.
+pub fn merge_logs_named(logs: &[SweepLog], names: &[String]) -> Result<SweepResult, String> {
+    let name = |ix: usize| {
+        names
+            .get(ix)
+            .cloned()
+            .unwrap_or_else(|| format!("stream {}", ix + 1))
+    };
     let first = logs.first().ok_or("merge: no streams given")?;
     let spec = first.spec.clone();
     let spec_rendered = spec_json(&spec).render();
 
     let mut cache = JobCache::new();
+    let mut origin: BTreeMap<usize, usize> = BTreeMap::new();
     for (ix, log) in logs.iter().enumerate() {
         if log.spec_hash != first.spec_hash || spec_json(&log.spec).render() != spec_rendered {
-            return Err(format!(
-                "merge: stream {} was written by a different spec (hash {} vs {})",
-                ix + 1,
+            let mut msg = format!(
+                "merge: {} was written by a different spec than {} (hash {} vs {})",
+                name(ix),
+                name(0),
                 log.spec_hash,
                 first.spec_hash
-            ));
+            );
+            // Disagreeing on series sampling is the common way to get
+            // here (one shard run with --series, another without, or
+            // with a different grid) — spell out both sides.
+            if log.spec.series != first.spec.series {
+                msg.push_str(&format!(
+                    "; the streams disagree on series sampling: {} has {}, {} has {}",
+                    name(0),
+                    sampling_desc(&first.spec),
+                    name(ix),
+                    sampling_desc(&log.spec)
+                ));
+            }
+            return Err(msg);
         }
         for (job, rec) in &log.records {
-            if cache.insert(*job, rec.clone()).is_some() {
-                return Err(format!("merge: job {job} appears in more than one stream"));
+            if let Some(prev) = origin.insert(*job, ix) {
+                return Err(format!(
+                    "merge: job {job} appears in more than one stream ({} and {})",
+                    name(prev),
+                    name(ix)
+                ));
             }
+            cache.insert(*job, rec.clone());
         }
     }
 
@@ -213,5 +265,39 @@ mod tests {
         assert!(err.contains("different spec"), "{err}");
 
         assert!(merge_logs(&[]).is_err());
+    }
+
+    #[test]
+    fn named_errors_cite_files_and_sampling_mismatch() {
+        let spec = tiny();
+        let s1 = parse_log(&shard_stream(&spec, Some((1, 2)))).unwrap();
+        let sampled = SweepSpec {
+            series: Some(crate::spec::SeriesSampling {
+                interval: SimDuration::from_secs(1),
+                capacity: 4,
+            }),
+            ..tiny()
+        };
+        let s2 = parse_log(&shard_stream(&sampled, Some((2, 2)))).unwrap();
+        let names = vec!["a.jsonl".to_string(), "b.jsonl".to_string()];
+
+        let err = merge_logs_named(&[s1.clone(), s2], &names).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        assert!(
+            err.contains("b.jsonl was written by a different spec than a.jsonl"),
+            "{err}"
+        );
+        assert!(err.contains("a.jsonl has no series sampling"), "{err}");
+        assert!(
+            err.contains("b.jsonl has series sampling (base_interval_s 1, capacity 4)"),
+            "{err}"
+        );
+
+        // Overlap errors name both offending streams.
+        let err = merge_logs_named(&[s1.clone(), s1], &names).unwrap_err();
+        assert!(
+            err.contains("more than one stream (a.jsonl and b.jsonl)"),
+            "{err}"
+        );
     }
 }

@@ -14,7 +14,10 @@ use std::collections::BTreeMap;
 use ccdb_core::runner::{run_simulation_observed, ObsOptions};
 use ccdb_core::trace::Trace;
 use ccdb_core::{replication_seed, ReplicationAccumulator, ReplicationAggregate, RunReport};
-use ccdb_obs::{MergedSeries, MergedSnapshot, SeriesMerger, SeriesSet, Snapshot, SnapshotMerger};
+use ccdb_obs::{
+    LatencyHistogram, MergedSeries, MergedSnapshot, SeriesMerger, SeriesSet, Snapshot,
+    SnapshotMerger,
+};
 
 use crate::scheduler::run_indexed_catching;
 use crate::spec::{Cell, SweepSpec};
@@ -64,6 +67,9 @@ pub struct CellReport {
     /// Metric trajectories merged across the cell's replications onto a
     /// common grid; `None` unless the spec enabled series sampling.
     pub series: Option<MergedSeries>,
+    /// Labelled latency histograms merged (bucket-wise) across the
+    /// cell's replications, in first-seen label order.
+    pub hists: Vec<(String, LatencyHistogram)>,
 }
 
 /// One finished job, handed to the streaming callback as it completes.
@@ -91,6 +97,11 @@ pub struct JobRecord {
     /// The run's sampled series (feeds the cell's `SeriesMerger` on
     /// replay); present exactly when the spec enables series sampling.
     pub series: Option<SeriesSet>,
+    /// The run's labelled latency histograms (feed the cell's histogram
+    /// fold on replay). Always present for freshly executed jobs; `None`
+    /// only when parsed from a stream written before histograms existed
+    /// — such a record cannot resume a current sweep.
+    pub hists: Option<Vec<(String, LatencyHistogram)>>,
 }
 
 /// Checkpointed job records keyed by global job index — the replay input
@@ -113,7 +124,21 @@ struct CellState {
     acc: ReplicationAccumulator,
     merger: SnapshotMerger,
     series: SeriesMerger,
+    hists: Vec<(String, LatencyHistogram)>,
     runs: Vec<RunSummary>,
+}
+
+/// Merge labelled histograms into a cell's accumulator, unioning labels
+/// in first-seen order. Deterministic because the fold walks jobs in
+/// job-index order, and bit-exact for any fold split because histogram
+/// merging is associative (integer bucket counts, max of maxima).
+fn fold_hists(into: &mut Vec<(String, LatencyHistogram)>, hists: &[(String, LatencyHistogram)]) {
+    for (label, h) in hists {
+        match into.iter_mut().find(|(l, _)| l == label) {
+            Some((_, acc)) => acc.merge(h),
+            None => into.push((label.clone(), h.clone())),
+        }
+    }
 }
 
 /// Run every job of `spec` on `workers` threads; `on_job` observes each
@@ -189,6 +214,7 @@ pub fn run_sweep_resumed(
             acc: ReplicationAccumulator::new(),
             merger: SnapshotMerger::new(),
             series: SeriesMerger::new(),
+            hists: Vec::new(),
             runs: Vec::new(),
         })
         .collect();
@@ -236,6 +262,7 @@ pub fn run_sweep_resumed(
                         || rec.cell != cells[ci]
                         || rec.summary.seed != replication_seed(spec.seed, k)
                         || rec.series.is_some() != spec.series.is_some()
+                        || rec.hists.is_none()
                     {
                         return Err(format!(
                             "checkpoint record for job {job} does not match this \
@@ -266,6 +293,7 @@ pub fn run_sweep_resumed(
                     summary: RunSummary::from_report(report),
                     snapshot: snapshot.clone(),
                     series: series.clone(),
+                    hists: Some(report.hists.clone()),
                 });
             },
         );
@@ -307,6 +335,10 @@ pub fn run_sweep_resumed(
                     if let Some(set) = &rec.series {
                         state.series.push(set);
                     }
+                    fold_hists(
+                        &mut state.hists,
+                        rec.hists.as_ref().expect("validated when the wave split"),
+                    );
                     state.runs.push(rec.summary);
                 }
                 None => {
@@ -319,6 +351,7 @@ pub fn run_sweep_resumed(
                     if let Some(set) = &series {
                         state.series.push(set);
                     }
+                    fold_hists(&mut state.hists, &report.hists);
                     state.runs.push(RunSummary::from_report(&report));
                 }
             }
@@ -357,6 +390,7 @@ pub fn run_sweep_resumed(
             cell: *cell,
             aggregate: state.acc.aggregate(),
             series: state.series.finish(),
+            hists: state.hists,
             runs: state.runs,
             metrics: state
                 .merger
@@ -409,6 +443,11 @@ mod tests {
             assert_eq!(cell.runs[1].seed, replication_seed(spec.seed, 1));
             assert!(cell.aggregate.resp_time_mean > 0.0);
             assert_eq!(cell.metrics.replications, 2);
+            // Histograms merge across replications: the response
+            // histogram holds every committed transaction of the cell.
+            let (label, resp) = &cell.hists[0];
+            assert_eq!(label, "response");
+            assert_eq!(resp.count(), cell.aggregate.commits);
         }
     }
 
@@ -511,7 +550,22 @@ mod tests {
             assert_eq!(a.aggregate, b.aggregate);
             assert_eq!(a.runs, b.runs);
             assert_eq!(a.metrics.replications, b.metrics.replications);
+            assert_eq!(a.hists, b.hists, "histograms replay bit-exactly");
         }
+    }
+
+    #[test]
+    fn resume_rejects_histogram_free_records() {
+        // A record from a stream written before histograms existed would
+        // make the resumed fold diverge from an uninterrupted run.
+        let spec = tiny_spec();
+        let mut records = Vec::new();
+        run_sweep(&spec, 1, |j| records.push(j.clone()));
+        let mut stripped = records[0].clone();
+        stripped.hists = None;
+        let cache: JobCache = [(stripped.job, stripped)].into_iter().collect();
+        let err = run_sweep_resumed(&spec, 1, None, &cache, |_| {}).unwrap_err();
+        assert!(err.contains("job 0"), "{err}");
     }
 
     #[test]

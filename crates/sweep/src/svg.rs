@@ -1,0 +1,274 @@
+//! Self-contained SVG rendering of a sweep's merged time series.
+//!
+//! [`dynamics_svg`] draws the same data as [`crate::figures::dynamics_csv`]
+//! — every sampled cell's cross-replication metric trajectories — as one
+//! SVG document with a panel per metric and a polyline per cell, colored
+//! by algorithm. No external plotting stack: the output is plain SVG 1.1
+//! text, deterministic byte-for-byte for a given sweep result, so
+//! `ccdb figures --svg` artifacts diff cleanly across runs.
+
+use std::fmt::Write as _;
+
+use crate::run::{CellReport, SweepResult};
+
+/// Panel geometry: fixed so the output is a pure function of the data.
+const WIDTH: f64 = 800.0;
+const PANEL_H: f64 = 150.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const PANEL_GAP: f64 = 40.0;
+const TOP: f64 = 40.0;
+
+/// A colorblind-friendly cycling palette (Okabe–Ito), one color per
+/// algorithm in spec order.
+const PALETTE: [&str; 8] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#f0e442", "#000000",
+];
+
+/// Two-decimal SVG coordinate: enough for sub-pixel placement, short
+/// enough to keep files small, and — unlike shortest-round-trip floats —
+/// visually uniform in the markup.
+fn coord(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Axis label: shortest-round-trip rendering of the data value itself.
+fn axis(v: f64) -> String {
+    let mut s = format!("{v:.4}");
+    while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+        s.pop();
+    }
+    s
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;")
+}
+
+/// Render every sampled cell's merged metric trajectories as one SVG:
+/// a panel per metric (in registry order), a polyline per cell (colored
+/// by algorithm, in spec cell order), shared time axis, a legend of the
+/// algorithms on top. `None` when the sweep ran without series sampling.
+pub fn dynamics_svg(result: &SweepResult) -> Option<String> {
+    let names: Vec<String> = result
+        .cells
+        .iter()
+        .find_map(|c| c.series.as_ref())?
+        .entries
+        .iter()
+        .map(|(name, _)| name.clone())
+        .collect();
+    let sampled: Vec<&CellReport> = result.cells.iter().filter(|c| c.series.is_some()).collect();
+    if sampled.is_empty() || names.is_empty() {
+        return None;
+    }
+
+    let (mut t_min, mut t_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for cell in &sampled {
+        let series = cell.series.as_ref().expect("filtered to sampled cells");
+        for &t in &series.times {
+            t_min = t_min.min(t);
+            t_max = t_max.max(t);
+        }
+    }
+    if !t_min.is_finite() || t_max <= t_min {
+        return None;
+    }
+
+    let color_of = |cell: &CellReport| {
+        let ix = result
+            .spec
+            .algorithms
+            .iter()
+            .position(|a| *a == cell.cell.algorithm)
+            .unwrap_or(0);
+        PALETTE[ix % PALETTE.len()]
+    };
+
+    let height = TOP + names.len() as f64 * (PANEL_H + PANEL_GAP);
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\" font-family=\"monospace\" font-size=\"11\">",
+        w = coord(WIDTH),
+        h = coord(height),
+    );
+    let _ = writeln!(
+        svg,
+        "<rect width=\"{}\" height=\"{}\" fill=\"white\"/>",
+        coord(WIDTH),
+        coord(height)
+    );
+    let _ = writeln!(
+        svg,
+        "<text x=\"{}\" y=\"16\" font-size=\"13\">dynamics: {} family, {} sampled cell(s)</text>",
+        coord(MARGIN_L),
+        esc(result.spec.family.label()),
+        sampled.len(),
+    );
+    // Legend: one swatch per algorithm.
+    let mut lx = MARGIN_L;
+    for (ix, alg) in result.spec.algorithms.iter().enumerate() {
+        let color = PALETTE[ix % PALETTE.len()];
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{}\" y=\"22\" width=\"12\" height=\"4\" fill=\"{color}\"/>\
+             <text x=\"{}\" y=\"29\">{}</text>",
+            coord(lx),
+            coord(lx + 16.0),
+            esc(alg.label()),
+        );
+        lx += 16.0 + 9.0 * alg.label().len() as f64 + 14.0;
+    }
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    for (panel, name) in names.iter().enumerate() {
+        let y0 = TOP + panel as f64 * (PANEL_H + PANEL_GAP);
+        let mut v_max = 0.0f64;
+        for cell in &sampled {
+            let series = cell.series.as_ref().expect("filtered to sampled cells");
+            if let Some(col) = series.col(name) {
+                for &v in &col.mean {
+                    if v.is_finite() {
+                        v_max = v_max.max(v);
+                    }
+                }
+            }
+        }
+        if v_max <= 0.0 {
+            v_max = 1.0;
+        }
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\">{}</text>",
+            coord(MARGIN_L),
+            coord(y0 - 6.0),
+            esc(name),
+        );
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"#999\"/>",
+            coord(MARGIN_L),
+            coord(y0),
+            coord(plot_w),
+            coord(PANEL_H),
+        );
+        // Axis extremes: value range on the left, time range underneath.
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            coord(MARGIN_L - 6.0),
+            coord(y0 + 10.0),
+            axis(v_max),
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">0</text>",
+            coord(MARGIN_L - 6.0),
+            coord(y0 + PANEL_H),
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\">{}s</text>",
+            coord(MARGIN_L),
+            coord(y0 + PANEL_H + 14.0),
+            axis(t_min),
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}s</text>",
+            coord(MARGIN_L + plot_w),
+            coord(y0 + PANEL_H + 14.0),
+            axis(t_max),
+        );
+        for cell in &sampled {
+            let series = cell.series.as_ref().expect("filtered to sampled cells");
+            let Some(col) = series.col(name) else {
+                continue;
+            };
+            let mut points = String::new();
+            for (i, &t) in series.times.iter().enumerate() {
+                let v = col.mean[i];
+                if !v.is_finite() {
+                    continue;
+                }
+                let x = MARGIN_L + (t - t_min) / (t_max - t_min) * plot_w;
+                let y = y0 + PANEL_H - (v / v_max).clamp(0.0, 1.0) * PANEL_H;
+                if !points.is_empty() {
+                    points.push(' ');
+                }
+                let _ = write!(points, "{},{}", coord(x), coord(y));
+            }
+            let _ = writeln!(
+                svg,
+                "<polyline fill=\"none\" stroke=\"{}\" stroke-width=\"1.2\" \
+                 points=\"{points}\"><title>{} clients={} loc={} pw={}</title></polyline>",
+                color_of(cell),
+                esc(cell.cell.algorithm.label()),
+                cell.cell.clients,
+                cell.cell.locality,
+                cell.cell.prob_write,
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    Some(svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_sweep;
+    use crate::spec::{Family, Replication, SeriesSampling, SweepSpec};
+    use ccdb_core::Algorithm;
+    use ccdb_des::SimDuration;
+
+    fn sampled_spec() -> SweepSpec {
+        SweepSpec {
+            algorithms: vec![Algorithm::Callback, Algorithm::TwoPhase { inter: true }],
+            clients: vec![2, 4],
+            localities: vec![0.5],
+            write_probs: vec![0.2],
+            seed: 11,
+            warmup: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(6),
+            replication: Replication::Fixed(1),
+            series: Some(SeriesSampling {
+                interval: SimDuration::from_secs(1),
+                capacity: 16,
+            }),
+            ..SweepSpec::new(Family::Short)
+        }
+    }
+
+    #[test]
+    fn series_free_sweep_has_no_svg() {
+        let spec = SweepSpec {
+            series: None,
+            ..sampled_spec()
+        };
+        let result = run_sweep(&spec, 1, |_| {});
+        assert!(dynamics_svg(&result).is_none());
+    }
+
+    #[test]
+    fn svg_is_wellformed_and_deterministic() {
+        let result = run_sweep(&sampled_spec(), 2, |_| {});
+        let svg = dynamics_svg(&result).expect("sampled sweep renders");
+        assert!(svg.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+        assert!(svg.ends_with("</svg>\n"));
+        // One polyline per (cell, metric): 4 cells x metric count.
+        let metrics = result.cells[0].series.as_ref().unwrap().entries.len();
+        let polylines = svg.matches("<polyline").count();
+        assert_eq!(polylines, 4 * metrics);
+        // Legend names both algorithms, panels name the metrics.
+        assert!(svg.contains(">CB</text>"));
+        assert!(svg.contains(">C2PL</text>"));
+        assert!(svg.contains(">txn.commits</text>"));
+        // Byte-identical on re-render and across worker counts.
+        assert_eq!(dynamics_svg(&result).unwrap(), svg);
+        let serial = run_sweep(&sampled_spec(), 1, |_| {});
+        assert_eq!(dynamics_svg(&serial).unwrap(), svg);
+    }
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Bench smoke: the pinned self-profiling matrix reproduces the committed
+# BENCH_*.json baseline exactly on every deterministic counter, and
+# events/sec has not regressed more than the tolerance (default 20%).
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+root=$(cd "$(dirname "$0")/../.." && pwd)
+baseline=$(ls "$root"/BENCH_*.json | sort | tail -1)
+echo "bench smoke: baseline $baseline"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+# Wall-clock throughput varies by host; the committed baseline's exact
+# event counts must still reproduce anywhere. Override the perf tolerance
+# with CCDB_BENCH_TOLERANCE if a runner is known to be slow.
+export CCDB_BENCH_TOLERANCE=${CCDB_BENCH_TOLERANCE:-0.2}
+"$CCDB" bench --quick --out bench.json --check "$baseline"
+python3 -m json.tool bench.json > /dev/null
+grep -q '"schema": "ccdb.bench/v1"' bench.json
+
+# The deterministic half of the document is byte-stable across reruns.
+"$CCDB" bench --quick --out bench-b.json
+for f in bench.json bench-b.json; do
+  python3 - "$f" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+det = [(c["name"], c["events"], c["commits"],
+        {k: v["count"] for k, v in c.get("kinds", {}).items()})
+       for c in doc["cases"]]
+print(json.dumps(det, sort_keys=True))
+EOF
+done > counts.txt
+[ "$(sed -n 1p counts.txt)" = "$(sed -n 2p counts.txt)" ]
+
+echo "bench smoke OK"

@@ -10,8 +10,10 @@
 //!              [--sample-interval S] [--checkpoint FILE | --resume FILE]
 //!              [--fsync-every N]
 //! ccdb figures [--exp FAMILY|all] [--out DIR] [--jobs N] [--reps N]
-//!              [--checkpoint DIR]
+//!              [--checkpoint DIR] [--svg]
 //! ccdb merge   A.jsonl B.jsonl ..  # rebuild one sweep from shard streams
+//! ccdb trace   [--chrome out.json] [options]   # protocol transcript
+//! ccdb bench   [--quick] [--out FILE] [--check BASELINE]
 //! ccdb list                                               # algorithms
 //! ```
 //!
@@ -50,12 +52,13 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use ccdb::bench::{check_bench, run_bench, utc_date, BenchCtl};
 use ccdb::core::run_replicated_folded;
 use ccdb::core::{run_simulation_traced, Trace};
 use ccdb::sweep::{
-    figures_from_sweep, footer_line, header_line, job_line, merge_logs, read_log, resolve_workers,
-    run_sweep_resumed, run_sweep_sharded, spec_hash, sweep_document, CheckpointWriter, Family,
-    JobCache, Replication, SeriesSampling, SweepResult, SweepSpec,
+    dynamics_svg, figures_from_sweep, footer_line, header_line, job_line, merge_logs_named,
+    read_log, resolve_workers, run_sweep_resumed, run_sweep_sharded, spec_hash, sweep_document,
+    CheckpointWriter, Family, JobCache, Replication, SeriesSampling, SweepResult, SweepSpec,
 };
 use ccdb::{
     run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, RunReport,
@@ -101,6 +104,10 @@ struct Options {
     shard: Option<(u32, u32)>,
     checkpoint: Option<String>,
     resume: Option<String>,
+    chrome: Option<String>,
+    svg: bool,
+    check: Option<String>,
+    quick: bool,
 }
 
 impl Default for Options {
@@ -131,6 +138,10 @@ impl Default for Options {
             shard: None,
             checkpoint: None,
             resume: None,
+            chrome: None,
+            svg: false,
+            check: None,
+            quick: false,
         }
     }
 }
@@ -213,6 +224,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 continue;
             }
+            "--svg" => {
+                o.svg = true;
+                i += 1;
+                continue;
+            }
+            "--quick" => {
+                o.quick = true;
+                i += 1;
+                continue;
+            }
             _ => {}
         }
         let val = args
@@ -280,6 +301,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--checkpoint" => o.checkpoint = Some(val.clone()),
             "--resume" => o.resume = Some(val.clone()),
+            "--chrome" => o.chrome = Some(val.clone()),
+            "--check" => o.check = Some(val.clone()),
             "--fsync-every" => {
                 o.fsync_every = Some(val.parse().map_err(|e| format!("--fsync-every: {e}"))?)
             }
@@ -571,6 +594,28 @@ fn explain(r: &RunReport, wall_secs: f64) {
         );
     }
 
+    // The mean-sum ledger above partitions exactly; the histograms show
+    // the tail the means hide. Quantiles carry log-bucket resolution.
+    let hists: Vec<_> = r.hists.iter().filter(|(_, h)| !h.is_empty()).collect();
+    if !hists.is_empty() {
+        println!("\nlatency percentiles (seconds per interval, log-bucketed):");
+        println!(
+            "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "histogram", "p50", "p90", "p99", "max", "count"
+        );
+        for (label, h) in hists {
+            println!(
+                "  {:<18} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9}",
+                label,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max(),
+                h.count(),
+            );
+        }
+    }
+
     println!("\nclient cache hit ratio {:.1}%", r.cache_hit_ratio * 100.0);
     println!(
         "\nsimulator: {} events in {:.2}s wall ({:.0} events/s, {:.0}x real time)",
@@ -583,13 +628,14 @@ fn explain(r: &RunReport, wall_secs: f64) {
 
 fn usage() {
     eprintln!(
-        "usage: ccdb <run|explain|compare|sweep|figures|merge|replicate|trace|list> [--alg A] \
-         [--algs all|A,B,..] [--clients N[,N..]] [--loc F[,F..]] [--pw F[,F..]] \
+        "usage: ccdb <run|explain|compare|sweep|figures|merge|replicate|trace|bench|list> \
+         [--alg A] [--algs all|A,B,..] [--clients N[,N..]] [--loc F[,F..]] [--pw F[,F..]] \
          [--exp acl|caching|short|large|fast-server|fast-net|interactive] [--seed N] \
          [--warmup S] [--measure S] [--csv] [--json] [--jsonl] [--sample-interval S] \
-         [--series] [--trace-cap N] [--reps N] [--precision F] [--max-reps N] [--jobs N] \
-         [--out DIR] [--lock-shards N] [--shard I/N] [--checkpoint FILE|DIR] [--resume FILE] \
-         [--fsync-every N]\n       \
+         [--series] [--svg] [--trace-cap N] [--chrome FILE] [--reps N] [--precision F] \
+         [--max-reps N] [--jobs N] [--out DIR|FILE] [--lock-shards N] [--shard I/N] \
+         [--checkpoint FILE|DIR] [--resume FILE] [--fsync-every N] [--quick] \
+         [--check BASELINE]\n       \
          ccdb merge A.jsonl B.jsonl ..   # rebuild one sweep document from shard streams"
     );
 }
@@ -764,13 +810,80 @@ fn cmd_merge(files: &[String]) -> ExitCode {
             Err(e) => return fail(e),
         }
     }
-    match merge_logs(&logs) {
+    match merge_logs_named(&logs, files) {
         Ok(result) => {
             print!("{}", sweep_document(&result).render_pretty());
             ExitCode::SUCCESS
         }
         Err(e) => fail(e),
     }
+}
+
+/// `ccdb bench`: run the pinned self-profiling matrix, write a versioned
+/// `ccdb.bench/v1` document, and optionally gate against a baseline.
+///
+/// The output lands at `--out FILE` (default `BENCH_<utc-date>.json`,
+/// `-` for stdout). `--quick` (or `CCDB_QUICK=1`) uses the short
+/// 10 s + 60 s windows; CI compares quick runs against the committed
+/// quick baseline. With `--check BASELINE`, deterministic counters must
+/// match exactly and events/sec may not regress by more than the
+/// tolerance (`CCDB_BENCH_TOLERANCE`, default 0.2 = 20 %).
+fn cmd_bench(opts: &Options) -> ExitCode {
+    let quick = opts.quick || std::env::var_os("CCDB_QUICK").is_some();
+    let (dw, dm) = if quick { (10.0, 60.0) } else { (30.0, 300.0) };
+    let ctl = BenchCtl {
+        warmup: SimDuration::from_secs_f64(opts.warmup.unwrap_or(dw)),
+        measure: SimDuration::from_secs_f64(opts.measure.unwrap_or(dm)),
+        seed: opts.seed,
+        jobs: 1,
+    };
+    eprintln!(
+        "bench: {} mode, {}s warmup + {}s measure, seed {}",
+        if quick { "quick" } else { "full" },
+        ctl.warmup.as_secs_f64(),
+        ctl.measure.as_secs_f64(),
+        ctl.seed,
+    );
+    let doc = run_bench(&ctl, quick);
+
+    let out_path = opts.out.clone().unwrap_or_else(|| {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!("BENCH_{}.json", utc_date(secs))
+    });
+    if out_path == "-" {
+        print!("{}", doc.render_pretty());
+    } else {
+        if let Err(e) = std::fs::write(&out_path, doc.render_pretty()) {
+            return fail(format!("cannot write {out_path}: {e}"));
+        }
+        eprintln!("bench: wrote {out_path}");
+    }
+
+    if let Some(baseline_path) = &opts.check {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("{baseline_path}: {e}")),
+        };
+        let baseline = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => return fail(format!("{baseline_path}: {e}")),
+        };
+        let tolerance = std::env::var("CCDB_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.2);
+        match check_bench(&doc, &baseline, tolerance) {
+            Ok(()) => eprintln!(
+                "bench: matches {baseline_path} (exact counters; events/sec within {:.0}%)",
+                tolerance * 100.0,
+            ),
+            Err(e) => return fail(format!("bench regression against {baseline_path}:\n{e}")),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_figures(opts: &Options) -> ExitCode {
@@ -839,11 +952,24 @@ fn cmd_figures(opts: &Options) -> ExitCode {
             println!("{}", path.display());
             written += 1;
         }
+        if opts.svg {
+            match dynamics_svg(&result) {
+                Some(svg) => {
+                    let path = out_dir.join(format!("dynamics_{}.svg", family.label()));
+                    if let Err(e) = std::fs::write(&path, svg) {
+                        return fail(format!("cannot write {}: {e}", path.display()));
+                    }
+                    println!("{}", path.display());
+                    written += 1;
+                }
+                None => eprintln!(
+                    "figures: --svg skipped for {} (no time series; add --sample-interval S)",
+                    family.label(),
+                ),
+            }
+        }
     }
-    eprintln!(
-        "figures: wrote {written} CSV files to {}",
-        out_dir.display()
-    );
+    eprintln!("figures: wrote {written} files to {}", out_dir.display());
     ExitCode::SUCCESS
 }
 
@@ -984,6 +1110,18 @@ fn main() -> ExitCode {
                         trace.dropped(),
                     );
                 }
+                // `--chrome FILE` additionally exports the lifecycle spans
+                // and instants as Chrome trace-event JSON (byte-identical
+                // across reruns); open in Perfetto or chrome://tracing.
+                if let Some(path) = &opts.chrome {
+                    if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+                        return fail(format!("cannot write {path}: {e}"));
+                    }
+                    eprintln!(
+                        "-- chrome trace written to {path} ({} spans; open in Perfetto) --",
+                        trace.spans().len(),
+                    );
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => fail(e),
@@ -1013,6 +1151,7 @@ fn main() -> ExitCode {
         },
         "sweep" => cmd_sweep(&opts),
         "figures" => cmd_figures(&opts),
+        "bench" => cmd_bench(&opts),
         other => {
             eprintln!("error: unknown command {other}");
             usage();

@@ -18,7 +18,9 @@
 //! * [`core`] — the simulator and the five algorithms,
 //! * [`sweep`] — parallel experiment orchestration: declarative grids,
 //!   a deterministic worker pool, cross-replication merging, and
-//!   paper-figure regeneration.
+//!   paper-figure regeneration,
+//! * [`mod@bench`] — the figure/table harness machinery and the pinned
+//!   `ccdb bench` self-profiling suite (`ccdb.bench/v1` documents).
 //!
 //! ## Quick start
 //!
@@ -39,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub use ccdb_bench as bench;
 pub use ccdb_core as core;
 pub use ccdb_des as des;
 pub use ccdb_lock as lock;
@@ -50,9 +53,9 @@ pub use ccdb_sweep as sweep;
 
 pub use ccdb_core::{
     experiments, run_replicated_observed, run_simulation, run_simulation_observed,
-    run_simulation_traced, AbortKind, Algorithm, MetricsHub, ObsOptions, Observed,
-    ReplicatedObserved, RunReport, SimConfig, Trace, TypeResponse,
+    run_simulation_profiled, run_simulation_traced, AbortKind, Algorithm, MetricsHub, ObsOptions,
+    Observed, Profiled, ReplicatedObserved, RunReport, SimConfig, Trace, TraceSpan, TypeResponse,
 };
-pub use ccdb_des::{SimDuration, SimTime};
+pub use ccdb_des::{EventKind, KernelProfile, SimDuration, SimTime};
 pub use ccdb_model::{DatabaseSpec, SystemParams, TxnParams};
-pub use ccdb_obs::{Json, MergedSeries, Registry, SeriesMerger, SeriesSet};
+pub use ccdb_obs::{Json, LatencyHistogram, MergedSeries, Registry, SeriesMerger, SeriesSet};

@@ -114,6 +114,19 @@ fn wait_profile_rows_sum_to_mean_response_time() {
                 .map(|w| w.mean_s.abs())
                 .unwrap_or(0.0);
             assert!(residual < 1e-6, "{}: residual {residual}", alg.label());
+            // Restart back-off is attributed per abort kind, not folded
+            // into `other` — when transactions restarted, some
+            // `restart-<kind>` row carries the delay, and the ledger
+            // above proves it still partitions the response exactly.
+            if r.restarts_per_commit > 0.0 {
+                assert!(
+                    r.wait_profile
+                        .iter()
+                        .any(|w| w.label.starts_with("restart-") && w.mean_s > 0.0),
+                    "{} shards={shards}: restarts but no restart-* wait row",
+                    alg.label()
+                );
+            }
         }
     }
 }

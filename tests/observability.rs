@@ -3,8 +3,8 @@
 
 use ccdb::core::Trace;
 use ccdb::{
-    run_simulation, run_simulation_observed, Algorithm, Json, ObsOptions, Observed, SimConfig,
-    SimDuration,
+    run_simulation, run_simulation_observed, run_simulation_traced, Algorithm, Json, ObsOptions,
+    Observed, SimConfig, SimDuration,
 };
 
 mod common;
@@ -155,7 +155,7 @@ fn report_json_names_every_section() {
     let r = run_simulation(quick(Algorithm::Callback, 9));
     let json = r.to_json().render();
     for key in [
-        "\"schema\":\"ccdb.run_report/v2\"",
+        "\"schema\":\"ccdb.run_report/v3\"",
         "\"algorithm\":\"CB\"",
         "\"config\"",
         "\"seed\":",
@@ -166,6 +166,7 @@ fn report_json_names_every_section() {
         "\"resources\"",
         "\"msgs_per_commit\"",
         "\"waits\"",
+        "\"histograms\"",
         "\"shards\"",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
@@ -179,14 +180,15 @@ fn report_json_names_every_section() {
     assert!(r.resources.iter().any(|res| res.name == b.name));
 }
 
-/// A rendered v2 report round-trips through the reader: the summary
-/// recovers the exact headline figures and the full wait profile.
+/// A rendered v3 report round-trips through the reader: the summary
+/// recovers the exact headline figures, the full wait profile, and the
+/// latency histograms bit-for-bit.
 #[test]
-fn v2_report_round_trips_through_report_summary() {
+fn v3_report_round_trips_through_report_summary() {
     let r = run_simulation(quick(Algorithm::Callback, 9));
     let text = r.to_json().render();
-    let s = ccdb::core::ReportSummary::from_json(&text).expect("v2 report parses");
-    assert_eq!(s.schema, "ccdb.run_report/v2");
+    let s = ccdb::core::ReportSummary::from_json(&text).expect("v3 report parses");
+    assert_eq!(s.schema, "ccdb.run_report/v3");
     assert_eq!(s.commits, r.commits);
     assert_eq!(s.resp_mean_s, r.resp_time_mean);
     assert_eq!(s.throughput_tps, r.throughput);
@@ -195,6 +197,62 @@ fn v2_report_round_trips_through_report_summary() {
         assert_eq!(got.label, want.label);
         assert_eq!(got.mean_s, want.mean_s);
     }
+    assert_eq!(s.hists, r.hists, "histograms survive the round trip");
+}
+
+/// The response histogram counts exactly the committed (measured)
+/// transactions, and its quantiles are ordered.
+#[test]
+fn response_histogram_counts_commits() {
+    let r = run_simulation(quick(Algorithm::Callback, 9));
+    let (label, resp) = &r.hists[0];
+    assert_eq!(label, "response");
+    assert_eq!(resp.count(), r.commits);
+    assert!(resp.p50() <= resp.p90());
+    assert!(resp.p90() <= resp.p99());
+    assert!(
+        resp.p99() <= resp.max() * 1.001,
+        "p99 within the max bucket"
+    );
+    // Per-class wait histograms ride along under stable labels.
+    assert!(r.hists.iter().any(|(l, _)| l == "lock_wait"));
+    assert!(r.hists.iter().any(|(l, _)| l.starts_with("wait.")));
+}
+
+/// `ccdb trace --chrome`: the exported trace-event JSON is byte-identical
+/// across reruns of the same configuration and structurally valid.
+#[test]
+fn chrome_trace_export_is_byte_identical_and_valid() {
+    let export = |seed: u64| {
+        let trace = Trace::enabled(50_000);
+        run_simulation_traced(quick(Algorithm::Callback, seed), trace.clone());
+        trace.to_chrome_json()
+    };
+    let a = export(21);
+    assert_eq!(a, export(21), "chrome export must be deterministic");
+    assert_ne!(a, export(22), "the seed must reach the trace");
+    common::assert_valid_json(&a);
+
+    let doc = Json::parse(&a).expect("parses");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let events = doc.get("traceEvents").expect("traceEvents present");
+    let Json::Arr(items) = events else {
+        panic!("traceEvents is an array")
+    };
+    assert!(items.len() > 100, "a 25s run produces a rich trace");
+    for item in items {
+        assert!(item.get("name").is_some(), "every record is named");
+        let ph = item.get("ph").and_then(|v| v.as_str()).expect("ph");
+        assert!(matches!(ph, "M" | "X" | "i"), "known phase, got {ph}");
+    }
+    // Lifecycle spans, instants, and thread metadata all present.
+    assert!(a.contains("\"ph\":\"X\""));
+    assert!(a.contains("\"ph\":\"i\""));
+    assert!(a.contains("\"name\":\"client 0\""));
+    assert!(a.contains("\"name\":\"txn-begin\""));
 }
 
 #[test]

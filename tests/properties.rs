@@ -7,7 +7,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ccdb::obs::{Registry, SeriesRing};
-use ccdb::{run_simulation, Algorithm, SimConfig, SimDuration, SimTime};
+use ccdb::{run_simulation, Algorithm, LatencyHistogram, SimConfig, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn algorithm_strategy() -> impl Strategy<Value = Algorithm> {
@@ -126,5 +126,82 @@ proptest! {
             .sum::<f64>()
             / total as f64;
         prop_assert!((folded_mean - raw_sum / samples as f64).abs() < 1e-9);
+    }
+
+    /// Histogram merging is exact and associative for any split of any
+    /// sample set: recording everything into one histogram, or splitting
+    /// the samples across three and merging in either association order,
+    /// produces identical counts, quantiles, and JSON bytes.
+    #[test]
+    fn histogram_merge_is_associative_and_exact(
+        samples in proptest::collection::vec(1e-6f64..1e4, 1..200),
+        split_a in 0usize..200,
+        split_b in 0usize..200,
+    ) {
+        let cut_a = split_a % (samples.len() + 1);
+        let cut_b = cut_a + split_b % (samples.len() - cut_a + 1);
+
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let part = |range: &[f64]| {
+            let mut h = LatencyHistogram::new();
+            for &s in range {
+                h.record(s);
+            }
+            h
+        };
+        let (a, b, c) = (
+            part(&samples[..cut_a]),
+            part(&samples[cut_a..cut_b]),
+            part(&samples[cut_b..]),
+        );
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut right = b.clone();
+        right.merge(&c);
+        let mut right_total = a.clone();
+        right_total.merge(&right);
+
+        prop_assert_eq!(&left, &right_total, "merge is associative");
+        prop_assert_eq!(&left, &whole, "merge equals recording everything");
+        prop_assert_eq!(left.to_json().render(), whole.to_json().render());
+        prop_assert_eq!(left.count(), samples.len() as u64);
+    }
+
+    /// Quantiles respect the log-bucket error bound: for any sample set,
+    /// every reported quantile is within one bucket ratio of an actual
+    /// sample value, and quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_within_bucket_error(
+        // At or above the first bucket edge (1e-4 s), where the log-bucket
+        // error bound holds; sub-edge samples all land in bucket zero.
+        samples in proptest::collection::vec(1e-4f64..1e4, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+
+        let ratio = LatencyHistogram::bucket_ratio();
+        // The exact order statistic the histogram's quantile targets.
+        let rank = ((q * h.count() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.quantile(q);
+        prop_assert!(
+            got >= exact / ratio - 1e-12 && got <= exact * ratio + 1e-12,
+            "quantile {got} vs exact {exact} outside one bucket ratio {ratio}"
+        );
+        // Monotone in q and bracketed by min/max bounds.
+        prop_assert!(h.quantile(0.0) <= h.quantile(1.0));
+        prop_assert!(h.quantile(1.0) <= h.max() + 1e-12);
     }
 }
