@@ -1,22 +1,27 @@
 //! The client transaction module (CTM) — paper §3.3.3, §3.4.
 //!
 //! Each client workstation is one simulation process executing the
-//! transaction loop of Figure 3. The process also handles the asynchronous
-//! server messages (callbacks, restart orders, pushed updates) — but only
-//! at protocol points: while waiting for a reply, at operation boundaries,
-//! and during *external* think time. Messages are deliberately NOT
-//! processed during update/internal delays, reproducing the implementation
-//! quirk the paper calls out in §5.5.
+//! transaction loop of Figure 3. Every protocol decision — what a read,
+//! write, or commit does with the cache and which message it sends — is
+//! made by the sans-io [`ClientCore`] from `ccdb-proto`; this driver adds
+//! simulated CPU charges, think times, wait attribution, and message
+//! transport, and services the asynchronous server messages (callbacks,
+//! restart orders, pushed updates) — but only at protocol points: while
+//! waiting for a reply, at operation boundaries, and during *external*
+//! think time. Messages are deliberately NOT processed during
+//! update/internal delays, reproducing the implementation quirk the paper
+//! calls out in §5.5.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ccdb_des::{Env, Pcg32, RestartCause, SimDuration, WaitClass};
-use ccdb_lock::{ClientId, Mode, TxnId};
+use ccdb_lock::ClientId;
 use ccdb_model::{PageId, TxnSpec, Workload};
 use ccdb_net::{Network, NetworkNode};
-use ccdb_storage::{CachedPage, ClientCache, PageLock};
+use ccdb_proto::{Action, ClientCore, CommitAction, LocalNote};
+use ccdb_storage::ClientCache;
 
 use crate::config::Algorithm;
 use crate::config::SimConfig;
@@ -36,6 +41,8 @@ pub struct Client {
     net: Network,
     /// The cache manager (shared with the runner for statistics).
     pub cache: Rc<RefCell<ClientCache>>,
+    /// The sans-io protocol core (transaction state, cache discipline).
+    core: ClientCore,
     workload: Workload,
     rng: Pcg32,
     metrics: MetricsHub,
@@ -45,15 +52,6 @@ pub struct Client {
     /// Per-transaction wait profile (accumulated across restart attempts;
     /// cleared at each transaction origin).
     waits: BTreeMap<WaitClass, SimDuration>,
-    next_op: OpId,
-    txn_serial: u64,
-    // --- current transaction attempt state ---
-    txn: TxnId,
-    txn_aborted: bool,
-    abort_kind: AbortKind,
-    ops_sent: u32,
-    read_versions: Vec<(PageId, u64)>,
-    deferred_callbacks: Vec<PageId>,
     // --- restart-delay estimate (ACL model: mean = avg response time) ---
     resp_sum: f64,
     resp_n: u64,
@@ -76,6 +74,7 @@ impl Client {
         trace: Trace,
     ) -> Client {
         let cache = Rc::new(RefCell::new(ClientCache::new(cfg.sys.cache_size)));
+        let core = ClientCore::new(id, cfg.algorithm, cfg.tuning);
         Client {
             id,
             env: env.clone(),
@@ -84,35 +83,16 @@ impl Client {
             server_node,
             net,
             cache,
+            core,
             workload,
             rng,
             metrics,
             trace,
             book,
             waits: BTreeMap::new(),
-            next_op: 0,
-            txn_serial: 0,
-            txn: TxnId(0),
-            txn_aborted: false,
-            abort_kind: AbortKind::Deadlock,
-            ops_sent: 0,
-            read_versions: Vec::new(),
-            deferred_callbacks: Vec::new(),
             resp_sum: 0.0,
             resp_n: 0,
         }
-    }
-
-    fn fresh_op(&mut self) -> OpId {
-        self.next_op += 1;
-        self.next_op
-    }
-
-    fn new_txn_id(&mut self) -> TxnId {
-        self.txn_serial += 1;
-        // Globally unique and monotonic: version numbers are derived from
-        // committing transaction ids.
-        TxnId(((self.id.0 as u64) << 32) | self.txn_serial)
     }
 
     fn send(&self, msg: C2S) {
@@ -121,10 +101,33 @@ impl Client {
             .send(&self.node, &self.server_node, (self.id, msg), bytes);
     }
 
-    fn record_read(&mut self, page: PageId, version: u64) {
-        if !self.read_versions.iter().any(|(p, _)| *p == page) {
-            self.read_versions.push((page, version));
+    fn send_all(&self, msgs: Vec<C2S>) {
+        for msg in msgs {
+            self.send(msg);
         }
+    }
+
+    /// Trace a synchronous or asynchronous protocol request, deriving the
+    /// displayed mode/sync flags from the message itself.
+    fn trace_request(&self, msg: &C2S) {
+        let (page, mode, sync) = match msg {
+            C2S::LockFetch {
+                page, mode, wait, ..
+            } => (*page, Some(*mode), *wait),
+            C2S::Fetch { page, .. } => (*page, None, true),
+            C2S::CheckVersion { page, .. } => (*page, None, true),
+            _ => return,
+        };
+        self.trace.record(
+            self.env.now(),
+            TraceEvent::Request {
+                client: self.id,
+                txn: self.core.txn(),
+                page,
+                mode,
+                sync,
+            },
+        );
     }
 
     /// Record `d` of client-visible blocked time on `class` in this
@@ -138,7 +141,7 @@ impl Client {
     /// Fold the server-side ledger of the current attempt into the wait
     /// profile (called once per attempt, committed or aborted).
     fn fold_ledger(&mut self) {
-        for (class, d) in self.book.take(self.txn) {
+        for (class, d) in self.book.take(self.core.txn()) {
             self.note_wait(class, d);
         }
     }
@@ -153,129 +156,32 @@ impl Client {
         self.trace.span(self.id, WaitClass::ClientCpu, t0, now);
     }
 
-    /// Install a fetched page and act on the evictions it causes.
-    fn install_fetched(&mut self, page: PageId, version: u64, lock: PageLock, checked: bool) {
-        let mut state = CachedPage::fresh(version);
-        state.lock = lock;
-        state.checked = checked;
-        let evictions = self.cache.borrow_mut().install(page, state);
-        for ev in evictions {
-            debug_assert!(
-                !ev.state.dirty,
-                "dirty pages are pinned or locked and cannot be evicted"
-            );
-            if ev.state.retained {
-                // Callback locking: tell the server the lock is gone
-                // (§3.3.3: "the server has to be notified when a clean
-                // object with a lock is replaced").
-                self.send(C2S::ReleaseRetained { page: ev.page });
-            }
-        }
-    }
-
-    /// Handle an asynchronous server message.
+    /// Handle an asynchronous server message: record its metrics, let the
+    /// core update the cache and transaction state, then trace and send
+    /// whatever the core answered with.
     fn handle_async(&mut self, msg: S2C) {
-        match msg {
-            S2C::Callback { page } => {
-                self.metrics.record_callback(self.env.now());
-                enum Answer {
-                    Defer,
-                    Release,
-                }
-                let answer = {
-                    let mut cache = self.cache.borrow_mut();
-                    match cache.peek_mut(page) {
-                        Some(st) if st.lock != PageLock::None => Answer::Defer,
-                        Some(st) => {
-                            st.retained = false;
-                            st.retained_write = false;
-                            Answer::Release
-                        }
-                        None => Answer::Release,
-                    }
-                };
-                match answer {
-                    Answer::Defer => {
-                        self.trace.record(
-                            self.env.now(),
-                            TraceEvent::CallbackAnswer {
-                                client: self.id,
-                                page,
-                                released: false,
-                            },
-                        );
-                        self.deferred_callbacks.push(page);
-                        self.send(C2S::CallbackReply {
-                            page,
-                            released: false,
-                            blocker: Some(self.txn),
-                        });
-                    }
-                    Answer::Release => {
-                        self.trace.record(
-                            self.env.now(),
-                            TraceEvent::CallbackAnswer {
-                                client: self.id,
-                                page,
-                                released: true,
-                            },
-                        );
-                        self.send(C2S::CallbackReply {
-                            page,
-                            released: true,
-                            blocker: None,
-                        });
-                    }
-                }
-            }
-            S2C::Restart {
-                txn,
-                kind,
-                stale_page,
-            } => {
-                // The stale page is dropped regardless of which attempt the
-                // message is about: the copy is out of date either way.
-                if let Some(page) = stale_page {
-                    self.cache.borrow_mut().invalidate(page);
-                }
-                if txn == self.txn && !self.txn_aborted {
-                    self.txn_aborted = true;
-                    self.abort_kind = kind;
-                }
-            }
-            S2C::Update { pages, version } => {
-                self.metrics
-                    .record_update_push(self.env.now(), pages.len() as u64);
-                let mut cache = self.cache.borrow_mut();
-                for page in pages {
-                    if let Some(st) = cache.peek_mut(page) {
-                        // Pages the running transaction already touched are
-                        // left alone: if they are stale the server will
-                        // restart the transaction anyway.
-                        if st.lock == PageLock::None && !st.dirty {
-                            st.version = version;
-                            st.checked = false;
-                        }
-                    }
-                }
-            }
-            S2C::Invalidate { pages } => {
-                self.metrics
-                    .record_update_push(self.env.now(), pages.len() as u64);
-                let mut cache = self.cache.borrow_mut();
-                for page in pages {
-                    let drop_it = match cache.peek(page) {
-                        Some(st) => st.lock == PageLock::None && !st.dirty,
-                        None => false,
-                    };
-                    if drop_it {
-                        cache.invalidate(page);
-                    }
-                }
-            }
-            // Stale reply from an op of an aborted attempt.
-            S2C::Reply { .. } => {}
+        match &msg {
+            S2C::Callback { .. } => self.metrics.record_callback(self.env.now()),
+            S2C::Update { pages, .. } | S2C::Invalidate { pages } => self
+                .metrics
+                .record_update_push(self.env.now(), pages.len() as u64),
+            _ => {}
         }
+        let out = {
+            let mut cache = self.cache.borrow_mut();
+            self.core.handle_async(&mut cache, msg)
+        };
+        if let Some((page, released)) = out.callback_answer {
+            self.trace.record(
+                self.env.now(),
+                TraceEvent::CallbackAnswer {
+                    client: self.id,
+                    page,
+                    released,
+                },
+            );
+        }
+        self.send_all(out.sends);
     }
 
     /// Wait for the reply to `op`, servicing asynchronous messages.
@@ -286,7 +192,7 @@ impl Client {
     /// transit both ways plus anything the server does not attribute).
     async fn await_reply(&mut self, op: OpId) -> ReplyKind {
         let t0 = self.env.now();
-        let before = self.book.attributed(self.txn);
+        let before = self.book.attributed(self.core.txn());
         let kind = loop {
             let msg = self.node.inbox.recv().await;
             match msg {
@@ -295,7 +201,7 @@ impl Client {
             }
         };
         let now = self.env.now();
-        let server_share = self.book.attributed(self.txn) - before;
+        let server_share = self.book.attributed(self.core.txn()) - before;
         self.note_wait(WaitClass::Network, now.since(t0) - server_share);
         self.trace.span_labelled(self.id, "reply-wait", t0, now);
         kind
@@ -319,277 +225,56 @@ impl Client {
         while let Some(msg) = self.node.inbox.try_recv() {
             self.handle_async(msg);
         }
-        if self.txn_aborted {
-            Err(self.abort_kind)
-        } else {
-            Ok(())
-        }
+        self.core.abort_pending()
     }
 
     fn begin_attempt(&mut self) {
-        self.txn = self.new_txn_id();
-        self.txn_aborted = false;
-        self.abort_kind = AbortKind::Deadlock;
-        self.ops_sent = 0;
-        self.read_versions.clear();
-        self.book.open(self.txn);
+        let txn = self.core.begin_attempt();
+        self.book.open(txn);
     }
 
     // ---- ReadObject -----------------------------------------------------
 
     async fn read_page(&mut self, page: PageId) -> Result<(), AbortKind> {
-        match self.cfg.algorithm {
-            Algorithm::TwoPhase { .. } | Algorithm::Callback => self.read_locking(page).await,
-            Algorithm::Certification { .. } => self.read_occ(page).await,
-            Algorithm::NoWait { .. } => self.read_no_wait(page).await,
+        // No-wait locking polls for restart orders before every step; the
+        // synchronous algorithms only see them while blocked on a reply.
+        if matches!(self.cfg.algorithm, Algorithm::NoWait { .. }) {
+            self.check_abort()?;
         }
-    }
-
-    async fn read_locking(&mut self, page: PageId) -> Result<(), AbortKind> {
-        let callback = matches!(self.cfg.algorithm, Algorithm::Callback);
-        enum Plan {
-            Local(u64),
-            Request(Option<u64>),
-        }
-        let plan = {
+        let action = {
             let mut cache = self.cache.borrow_mut();
-            match cache.access(page) {
-                Some(st) if st.lock != PageLock::None => Plan::Local(st.version),
-                Some(st) if callback && st.retained => {
-                    // The whole point of callback locking: a retained lock
-                    // makes the cached copy usable with no server message.
-                    st.lock = PageLock::Read;
-                    Plan::Local(st.version)
-                }
-                Some(st) => Plan::Request(Some(st.version)),
-                None => Plan::Request(None),
-            }
+            self.core.read_step(&mut cache, page)
         };
-        match plan {
-            Plan::Local(v) => {
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::LocalRead {
-                        client: self.id,
-                        page,
-                    },
-                );
-                self.record_read(page, v);
+        match action {
+            Action::Local { note } => {
+                if note == Some(LocalNote::Read) {
+                    self.trace.record(
+                        self.env.now(),
+                        TraceEvent::LocalRead {
+                            client: self.id,
+                            page,
+                        },
+                    );
+                }
                 Ok(())
             }
-            Plan::Request(cached_version) => {
-                let op = self.fresh_op();
-                self.ops_sent += 1;
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::Request {
-                        client: self.id,
-                        txn: self.txn,
-                        page,
-                        mode: Some(Mode::S),
-                        sync: true,
-                    },
-                );
-                self.send(C2S::LockFetch {
-                    txn: self.txn,
-                    page,
-                    mode: Mode::S,
-                    cached_version,
-                    wait: true,
-                    op,
-                });
-                match self.await_reply(op).await {
-                    ReplyKind::Valid => {
-                        let v = {
-                            let mut cache = self.cache.borrow_mut();
-                            let st = cache.peek_mut(page).expect("validated page is cached");
-                            st.lock = PageLock::Read;
-                            st.version
-                        };
-                        self.record_read(page, v);
-                        Ok(())
-                    }
-                    ReplyKind::PageData { version } => {
-                        self.install_fetched(page, version, PageLock::Read, false);
-                        self.record_read(page, version);
-                        Ok(())
-                    }
-                    ReplyKind::Aborted => Err(AbortKind::Deadlock),
-                    ReplyKind::Committed { .. } => unreachable!("commit reply to a lock request"),
-                }
-            }
-        }
-    }
-
-    async fn read_occ(&mut self, page: PageId) -> Result<(), AbortKind> {
-        enum Plan {
-            Local(u64),
-            Check(u64),
-            Fetch,
-        }
-        let plan = {
-            let mut cache = self.cache.borrow_mut();
-            match cache.access(page) {
-                Some(st) if st.checked => Plan::Local(st.version),
-                Some(st) => Plan::Check(st.version),
-                None => Plan::Fetch,
-            }
-        };
-        match plan {
-            Plan::Local(v) => {
-                self.record_read(page, v);
+            Action::Async(msg) => {
+                // No-wait locking's optimistic read: request the lock
+                // asynchronously and keep running.
+                self.trace_request(&msg);
+                self.send(msg);
                 Ok(())
             }
-            Plan::Check(version) => {
-                let op = self.fresh_op();
-                self.ops_sent += 1;
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::Request {
-                        client: self.id,
-                        txn: self.txn,
-                        page,
-                        mode: None,
-                        sync: true,
-                    },
-                );
-                self.send(C2S::CheckVersion {
-                    txn: self.txn,
-                    page,
-                    version,
-                    op,
-                });
-                match self.await_reply(op).await {
-                    ReplyKind::Valid => {
-                        let mut cache = self.cache.borrow_mut();
-                        let st = cache.peek_mut(page).expect("checked page is cached");
-                        st.checked = true;
-                        drop(cache);
-                        self.record_read(page, version);
-                        Ok(())
-                    }
-                    ReplyKind::PageData { version } => {
-                        self.install_fetched(page, version, PageLock::None, true);
-                        self.record_read(page, version);
-                        Ok(())
-                    }
-                    ReplyKind::Aborted => Err(AbortKind::Validation),
-                    ReplyKind::Committed { .. } => unreachable!("commit reply to a check"),
-                }
-            }
-            Plan::Fetch => {
-                let op = self.fresh_op();
-                self.ops_sent += 1;
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::Request {
-                        client: self.id,
-                        txn: self.txn,
-                        page,
-                        mode: None,
-                        sync: true,
-                    },
-                );
-                self.send(C2S::Fetch {
-                    txn: self.txn,
-                    page,
-                    op,
-                });
-                match self.await_reply(op).await {
-                    ReplyKind::PageData { version } => {
-                        self.install_fetched(page, version, PageLock::None, true);
-                        self.record_read(page, version);
-                        Ok(())
-                    }
-                    ReplyKind::Aborted => Err(AbortKind::Validation),
-                    other => unreachable!("unexpected fetch reply {other:?}"),
-                }
-            }
-        }
-    }
-
-    async fn read_no_wait(&mut self, page: PageId) -> Result<(), AbortKind> {
-        self.check_abort()?;
-        enum Plan {
-            Local(u64),
-            Optimistic(u64),
-            SyncFetch,
-        }
-        let plan = {
-            let mut cache = self.cache.borrow_mut();
-            match cache.access(page) {
-                Some(st) if st.lock != PageLock::None => Plan::Local(st.version),
-                Some(st) => {
-                    // Assume the cached copy is valid and keep running; the
-                    // server aborts us if the assumption was wrong.
-                    st.lock = PageLock::Read;
-                    Plan::Optimistic(st.version)
-                }
-                None => Plan::SyncFetch,
-            }
-        };
-        match plan {
-            Plan::Local(v) => {
-                self.record_read(page, v);
+            Action::Sync(sop) => {
+                self.trace_request(&sop.msg);
+                self.send(sop.msg.clone());
+                let kind = self.await_reply(sop.op).await;
+                let sends = {
+                    let mut cache = self.cache.borrow_mut();
+                    self.core.apply_read_reply(&mut cache, sop.kind, page, kind)
+                }?;
+                self.send_all(sends);
                 Ok(())
-            }
-            Plan::Optimistic(version) => {
-                self.ops_sent += 1;
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::Request {
-                        client: self.id,
-                        txn: self.txn,
-                        page,
-                        mode: Some(Mode::S),
-                        sync: false,
-                    },
-                );
-                self.send(C2S::LockFetch {
-                    txn: self.txn,
-                    page,
-                    mode: Mode::S,
-                    cached_version: Some(version),
-                    wait: false,
-                    op: 0,
-                });
-                self.record_read(page, version);
-                Ok(())
-            }
-            Plan::SyncFetch => {
-                let op = self.fresh_op();
-                self.ops_sent += 1;
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::Request {
-                        client: self.id,
-                        txn: self.txn,
-                        page,
-                        mode: Some(Mode::S),
-                        sync: true,
-                    },
-                );
-                self.send(C2S::LockFetch {
-                    txn: self.txn,
-                    page,
-                    mode: Mode::S,
-                    cached_version: None,
-                    wait: true,
-                    op,
-                });
-                match self.await_reply(op).await {
-                    ReplyKind::PageData { version } => {
-                        self.install_fetched(page, version, PageLock::Read, false);
-                        self.record_read(page, version);
-                        Ok(())
-                    }
-                    ReplyKind::Aborted => Err(if self.txn_aborted {
-                        self.abort_kind
-                    } else {
-                        AbortKind::Deadlock
-                    }),
-                    other => unreachable!("unexpected no-wait fetch reply {other:?}"),
-                }
             }
         }
     }
@@ -597,129 +282,43 @@ impl Client {
     // ---- UpdateObject ---------------------------------------------------
 
     async fn write_page(&mut self, page: PageId) -> Result<(), AbortKind> {
-        match self.cfg.algorithm {
-            Algorithm::TwoPhase { .. } | Algorithm::Callback => self.write_locking(page).await,
-            Algorithm::Certification { .. } => {
-                // Deferred updates: purely local; ship at commit.
-                let mut cache = self.cache.borrow_mut();
-                let st = cache
-                    .peek_mut(page)
-                    .expect("updated page was read by this transaction");
-                st.dirty = true;
-                st.pinned = true;
-                drop(cache);
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::LocalWrite {
-                        client: self.id,
-                        page,
-                    },
-                );
-                Ok(())
-            }
-            Algorithm::NoWait { .. } => {
-                self.check_abort()?;
-                let version = {
-                    let mut cache = self.cache.borrow_mut();
-                    let st = cache
-                        .peek_mut(page)
-                        .expect("updated page was read by this transaction");
-                    if st.lock == PageLock::Write {
-                        None // X already requested for this page
-                    } else {
-                        st.lock = PageLock::Write;
-                        st.dirty = true;
-                        Some(st.version)
-                    }
-                };
-                if let Some(v) = version {
-                    self.ops_sent += 1;
-                    self.send(C2S::LockFetch {
-                        txn: self.txn,
-                        page,
-                        mode: Mode::X,
-                        cached_version: Some(v),
-                        wait: false,
-                        op: 0,
-                    });
+        if matches!(self.cfg.algorithm, Algorithm::NoWait { .. }) {
+            self.check_abort()?;
+        }
+        let action = {
+            let mut cache = self.cache.borrow_mut();
+            self.core.write_step(&mut cache, page)
+        };
+        match action {
+            Action::Local { note } => {
+                if note == Some(LocalNote::Write) {
+                    self.trace.record(
+                        self.env.now(),
+                        TraceEvent::LocalWrite {
+                            client: self.id,
+                            page,
+                        },
+                    );
                 }
                 Ok(())
             }
-        }
-    }
-
-    async fn write_locking(&mut self, page: PageId) -> Result<(), AbortKind> {
-        let mut retained_write = false;
-        let request = {
-            let mut cache = self.cache.borrow_mut();
-            let st = cache
-                .peek_mut(page)
-                .expect("updated page was read by this transaction");
-            if st.lock == PageLock::Write {
-                st.dirty = true;
-                None
-            } else if st.retained && st.retained_write {
-                // Write-retention variant: the client already holds an
-                // exclusive lock across transactions — update locally with
-                // no server message at all.
-                st.lock = PageLock::Write;
-                st.dirty = true;
-                retained_write = true;
-                None
-            } else {
-                Some(st.version)
-            }
-        };
-        let Some(version) = request else {
-            if retained_write {
-                self.trace.record(
-                    self.env.now(),
-                    TraceEvent::LocalWrite {
-                        client: self.id,
-                        page,
-                    },
-                );
-            }
-            return Ok(());
-        };
-        let op = self.fresh_op();
-        self.ops_sent += 1;
-        self.trace.record(
-            self.env.now(),
-            TraceEvent::Request {
-                client: self.id,
-                txn: self.txn,
-                page,
-                mode: Some(Mode::X),
-                sync: true,
-            },
-        );
-        self.send(C2S::LockFetch {
-            txn: self.txn,
-            page,
-            mode: Mode::X,
-            cached_version: Some(version),
-            wait: true,
-            op,
-        });
-        match self.await_reply(op).await {
-            ReplyKind::Valid => {
-                let mut cache = self.cache.borrow_mut();
-                let st = cache.peek_mut(page).expect("upgraded page is cached");
-                st.lock = PageLock::Write;
-                st.dirty = true;
+            Action::Async(msg) => {
+                // No-wait locking's asynchronous X request (not traced as
+                // a Request event, matching the reference implementation).
+                self.send(msg);
                 Ok(())
             }
-            ReplyKind::PageData { version } => {
-                // Defensive: under S locks / retained locks the copy cannot
-                // have gone stale; the oracle would flag a protocol bug.
-                self.install_fetched(page, version, PageLock::Write, false);
-                let mut cache = self.cache.borrow_mut();
-                cache.peek_mut(page).expect("just installed").dirty = true;
+            Action::Sync(sop) => {
+                self.trace_request(&sop.msg);
+                self.send(sop.msg.clone());
+                let kind = self.await_reply(sop.op).await;
+                let sends = {
+                    let mut cache = self.cache.borrow_mut();
+                    self.core.apply_write_reply(&mut cache, page, kind)
+                }?;
+                self.send_all(sends);
                 Ok(())
             }
-            ReplyKind::Aborted => Err(AbortKind::Deadlock),
-            ReplyKind::Committed { .. } => unreachable!("commit reply to an upgrade"),
         }
     }
 
@@ -729,106 +328,66 @@ impl Client {
         if matches!(self.cfg.algorithm, Algorithm::NoWait { .. }) {
             self.check_abort()?;
         }
-        let dirty = self.cache.borrow().dirty_pages();
-        // A callback-locking transaction that ran entirely on retained
-        // locks and wrote nothing commits locally — no server message at
-        // all. This is where callback locking wins at high locality.
-        if matches!(self.cfg.algorithm, Algorithm::Callback)
-            && self.ops_sent == 0
-            && dirty.is_empty()
-        {
-            self.trace.record(
-                self.env.now(),
-                TraceEvent::Commit {
-                    client: self.id,
-                    txn: self.txn,
-                    dirty: 0,
-                    local: true,
-                },
-            );
-            return Ok(());
-        }
-        let op = self.fresh_op();
-        self.send(C2S::Commit {
-            txn: self.txn,
-            read_set: self.read_versions.clone(),
-            dirty: dirty.clone(),
-            ops_sent: self.ops_sent,
-            op,
-        });
-        match self.await_reply(op).await {
-            ReplyKind::Committed { new_version } => {
+        let action = {
+            let cache = self.cache.borrow();
+            self.core.commit_step(&cache)
+        };
+        match action {
+            CommitAction::Local => {
+                // A callback-locking transaction that ran entirely on
+                // retained locks and wrote nothing commits locally — no
+                // server message at all. This is where callback locking
+                // wins at high locality.
                 self.trace.record(
                     self.env.now(),
                     TraceEvent::Commit {
                         client: self.id,
-                        txn: self.txn,
-                        dirty: dirty.len(),
-                        local: false,
+                        txn: self.core.txn(),
+                        dirty: 0,
+                        local: true,
                     },
                 );
-                let mut cache = self.cache.borrow_mut();
-                for &page in &dirty {
-                    if let Some(st) = cache.peek_mut(page) {
-                        st.version = new_version;
-                    }
-                }
                 Ok(())
             }
-            ReplyKind::Aborted => Err(if self.txn_aborted {
-                self.abort_kind
-            } else {
-                match self.cfg.algorithm {
-                    Algorithm::Certification { .. } => AbortKind::Validation,
-                    Algorithm::NoWait { .. } => AbortKind::StaleRead,
-                    _ => AbortKind::Deadlock,
+            CommitAction::Send { op, dirty, msg } => {
+                self.send(msg);
+                let kind = self.await_reply(op).await;
+                if matches!(kind, ReplyKind::Committed { .. }) {
+                    self.trace.record(
+                        self.env.now(),
+                        TraceEvent::Commit {
+                            client: self.id,
+                            txn: self.core.txn(),
+                            dirty: dirty.len(),
+                            local: false,
+                        },
+                    );
                 }
-            }),
-            other => unreachable!("unexpected commit reply {other:?}"),
+                let mut cache = self.cache.borrow_mut();
+                self.core.apply_commit_reply(&mut cache, &dirty, kind)?;
+                Ok(())
+            }
         }
     }
 
     /// Post-commit bookkeeping.
     fn finish_commit(&mut self) {
-        let retain = matches!(self.cfg.algorithm, Algorithm::Callback);
-        let retain_writes = retain && self.cfg.tuning.retain_write_locks;
-        {
+        let sends = {
             let mut cache = self.cache.borrow_mut();
-            cache.end_txn(retain, retain_writes);
-            if !self.cfg.algorithm.inter_transaction() {
-                cache.clear();
-            }
-        }
-        self.release_deferred();
+            self.core.finish_commit(&mut cache)
+        };
+        self.send_all(sends);
     }
 
     /// Post-abort bookkeeping: locally updated pages hold uncommitted data
     /// and are invalidated; transaction lock marks are dropped (the server
     /// already released the real locks without retention).
     fn abort_cleanup(&mut self) {
-        {
+        let sends = {
             let mut cache = self.cache.borrow_mut();
-            for page in cache.dirty_pages() {
-                cache.invalidate(page);
-            }
-            cache.end_txn(false, false);
-            if !self.cfg.algorithm.inter_transaction() {
-                cache.clear();
-            }
-        }
-        self.release_deferred();
-    }
-
-    /// Honour callbacks deferred to the end of this transaction.
-    fn release_deferred(&mut self) {
-        let deferred = std::mem::take(&mut self.deferred_callbacks);
-        for page in deferred {
-            if let Some(st) = self.cache.borrow_mut().peek_mut(page) {
-                st.retained = false;
-                st.retained_write = false;
-            }
-            self.send(C2S::ReleaseRetained { page });
-        }
+            self.core.abort_cleanup(&mut cache)
+        };
+        self.send_all(sends);
     }
 
     /// User think time inside a transaction: a plain hold by default
@@ -913,7 +472,7 @@ pub async fn run_client(mut c: Client) {
                 c.env.now(),
                 TraceEvent::TxnBegin {
                     client: c.id,
-                    txn: c.txn,
+                    txn: c.core.txn(),
                     attempt: restarts,
                 },
             );
@@ -938,7 +497,7 @@ pub async fn run_client(mut c: Client) {
                         c.env.now(),
                         TraceEvent::Abort {
                             client: c.id,
-                            txn: c.txn,
+                            txn: c.core.txn(),
                             kind,
                         },
                     );

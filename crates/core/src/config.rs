@@ -1,140 +1,13 @@
 //! Simulation configuration: algorithm selection and run control.
+//!
+//! The algorithm taxonomy ([`Algorithm`], [`Tuning`]) lives in
+//! `ccdb-proto` (the sans-io protocol cores branch on it) and is
+//! re-exported here unchanged, so existing users keep their import paths.
 
 use ccdb_des::SimDuration;
 use ccdb_model::{DatabaseSpec, SystemParams, TxnParams};
 
-/// The cache consistency algorithm to simulate (paper §2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Algorithm {
-    /// Two-phase locking with caching; `inter` keeps the cache across
-    /// transaction boundaries (check-on-access via the lock request).
-    TwoPhase {
-        /// Inter-transaction caching (vs intra-transaction).
-        inter: bool,
-    },
-    /// Certification (optimistic concurrency control) with deferred
-    /// updates; `inter` keeps the cache across transactions
-    /// (check-on-access on first touch per transaction).
-    Certification {
-        /// Inter-transaction caching (vs intra-transaction).
-        inter: bool,
-    },
-    /// Callback locking: read locks are retained by clients across
-    /// transactions; the server calls conflicting locks back.
-    Callback,
-    /// No-wait (optimistic) locking: clients proceed on cached pages and
-    /// send lock requests asynchronously; the server aborts on stale reads
-    /// or deadlock. `notify` adds update propagation after commits.
-    NoWait {
-        /// Send updated pages to caching clients after commit.
-        notify: bool,
-    },
-}
-
-impl Algorithm {
-    /// Every algorithm variant, in paper order.
-    pub const ALL: [Algorithm; 7] = [
-        Algorithm::TwoPhase { inter: false },
-        Algorithm::TwoPhase { inter: true },
-        Algorithm::Certification { inter: false },
-        Algorithm::Certification { inter: true },
-        Algorithm::Callback,
-        Algorithm::NoWait { notify: false },
-        Algorithm::NoWait { notify: true },
-    ];
-
-    /// The five inter-transaction algorithms of §5, in the paper's order.
-    pub const INTER_TRANSACTION: [Algorithm; 5] = [
-        Algorithm::TwoPhase { inter: true },
-        Algorithm::Certification { inter: true },
-        Algorithm::Callback,
-        Algorithm::NoWait { notify: false },
-        Algorithm::NoWait { notify: true },
-    ];
-
-    /// The four lock-based algorithms compared in the §5 experiments.
-    pub const EXPERIMENT_SET: [Algorithm; 4] = [
-        Algorithm::TwoPhase { inter: true },
-        Algorithm::Callback,
-        Algorithm::NoWait { notify: false },
-        Algorithm::NoWait { notify: true },
-    ];
-
-    /// True if the client cache survives transaction boundaries.
-    pub fn inter_transaction(self) -> bool {
-        match self {
-            Algorithm::TwoPhase { inter } | Algorithm::Certification { inter } => inter,
-            Algorithm::Callback | Algorithm::NoWait { .. } => true,
-        }
-    }
-
-    /// True for the deferred-update (certification) family.
-    pub fn deferred_updates(self) -> bool {
-        matches!(self, Algorithm::Certification { .. })
-    }
-
-    /// Short label used in reports (matches the paper's terminology).
-    pub fn label(self) -> &'static str {
-        match self {
-            Algorithm::TwoPhase { inter: false } => "B2PL",
-            Algorithm::TwoPhase { inter: true } => "C2PL",
-            Algorithm::Certification { inter: false } => "OCC",
-            Algorithm::Certification { inter: true } => "COCC",
-            Algorithm::Callback => "CB",
-            Algorithm::NoWait { notify: false } => "NW",
-            Algorithm::NoWait { notify: true } => "NWN",
-        }
-    }
-
-    /// The exact inverse of [`Algorithm::label`]: the reader path for
-    /// documents that record algorithms by label (sweep specs, JSONL job
-    /// records).
-    pub fn from_label(label: &str) -> Option<Algorithm> {
-        Algorithm::ALL.into_iter().find(|a| a.label() == label)
-    }
-
-    /// Full name for human-readable output.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::TwoPhase { inter: false } => "two-phase locking (intra)",
-            Algorithm::TwoPhase { inter: true } => "two-phase locking",
-            Algorithm::Certification { inter: false } => "certification (intra)",
-            Algorithm::Certification { inter: true } => "certification",
-            Algorithm::Callback => "callback locking",
-            Algorithm::NoWait { notify: false } => "no-wait locking",
-            Algorithm::NoWait { notify: true } => "no-wait locking w/ notification",
-        }
-    }
-}
-
-/// Modelling variants beyond the paper's baseline protocols. All default
-/// to `false` (the paper's choices); the ablation benches flip them.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Tuning {
-    /// Callback locking: retain write locks *as write locks* after commit
-    /// instead of demoting them to read locks — the variant §2.3 discusses
-    /// and declines. Subsequent writes by the same client need no server
-    /// message, but other clients' reads now trigger callbacks.
-    pub retain_write_locks: bool,
-    /// Notification: send invalidations instead of propagating the new
-    /// page contents — the alternative §2.5 discusses (cheap messages, but
-    /// clients must refetch).
-    pub notify_invalidate: bool,
-    /// Restart aborted transactions immediately instead of after the ACL
-    /// adaptive delay (exponential with mean = average response time).
-    pub zero_restart_delay: bool,
-    /// Notification: broadcast updates to every client instead of using
-    /// the per-page caching directory — the simpler server the paper's
-    /// §6 mentions ("if it sends updates to individual clients instead of
-    /// broadcasting them to all clients").
-    pub notify_broadcast: bool,
-    /// Process asynchronous server messages during update/internal think
-    /// times. The paper's implementation does NOT ("in the current
-    /// implementation, these messages are not processed during the
-    /// internal delay time", §5.5) and blames callback/no-wait locking's
-    /// poor interactive results on it; this flag removes the limitation.
-    pub responsive_client: bool,
-}
+pub use ccdb_proto::{Algorithm, ParseAlgorithmError, Tuning};
 
 /// A complete simulation configuration.
 #[derive(Clone, Debug)]
@@ -282,39 +155,6 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn labels_are_distinct() {
-        let mut labels: Vec<&str> = Algorithm::INTER_TRANSACTION
-            .iter()
-            .map(|a| a.label())
-            .collect();
-        labels.push(Algorithm::TwoPhase { inter: false }.label());
-        labels.push(Algorithm::Certification { inter: false }.label());
-        let mut sorted = labels.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), labels.len());
-    }
-
-    #[test]
-    fn labels_round_trip_through_from_label() {
-        for alg in Algorithm::ALL {
-            assert_eq!(Algorithm::from_label(alg.label()), Some(alg));
-        }
-        assert_eq!(Algorithm::from_label("2pl"), None);
-        assert_eq!(Algorithm::from_label(""), None);
-    }
-
-    #[test]
-    fn caching_modes() {
-        assert!(!Algorithm::TwoPhase { inter: false }.inter_transaction());
-        assert!(Algorithm::TwoPhase { inter: true }.inter_transaction());
-        assert!(Algorithm::Callback.inter_transaction());
-        assert!(Algorithm::NoWait { notify: true }.inter_transaction());
-        assert!(Algorithm::Certification { inter: true }.deferred_updates());
-        assert!(!Algorithm::Callback.deferred_updates());
-    }
 
     #[test]
     fn builders_compose() {

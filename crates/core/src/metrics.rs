@@ -232,16 +232,7 @@ impl MetricsHub {
     }
 }
 
-/// Why a transaction aborted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AbortKind {
-    /// Chosen as a deadlock victim.
-    Deadlock,
-    /// Read a stale cached page (no-wait locking).
-    StaleRead,
-    /// Failed commit-time certification.
-    Validation,
-}
+pub use ccdb_proto::AbortKind;
 
 /// One row of the end-to-end wait decomposition: the mean time per
 /// committed transaction spent blocked on one resource class. The rows

@@ -1,257 +1,7 @@
-//! The client/server wire protocol.
+//! The client/server wire protocol — re-exported from `ccdb-proto`.
 //!
-//! Message payload sizes (for packetisation): control messages carry no
-//! body; every page shipped adds `PageSize` bytes. Version numbers, page
-//! ids, and op ids ride in the header and are not charged (as in the
-//! paper, which charges per page moved).
+//! The message types moved to the sans-io crate so the real TCP
+//! page-server (`ccdb-server`) and the simulator speak literally the same
+//! enums; this module keeps the historical import path alive.
 
-use ccdb_lock::{Mode, TxnId};
-use ccdb_model::PageId;
-
-use crate::metrics::AbortKind;
-
-/// Correlates a synchronous request with its reply.
-pub type OpId = u64;
-
-/// Client → server messages.
-#[derive(Clone, Debug)]
-pub enum C2S {
-    /// Request a lock on `page` and, unless the cached `version` is still
-    /// current, the page contents. Used by the locking family.
-    ///
-    /// `wait: false` is no-wait locking's asynchronous variant: the server
-    /// sends no reply on success and a [`S2C::Restart`] on failure.
-    LockFetch {
-        /// Requesting transaction.
-        txn: TxnId,
-        /// Target page.
-        page: PageId,
-        /// Requested mode.
-        mode: Mode,
-        /// Version cached at the client, if any.
-        cached_version: Option<u64>,
-        /// Synchronous (client blocks for the reply) or not.
-        wait: bool,
-        /// Reply correlation id (meaningful when `wait`).
-        op: OpId,
-    },
-    /// Fetch a page without locking (certification).
-    Fetch {
-        /// Requesting transaction.
-        txn: TxnId,
-        /// Target page.
-        page: PageId,
-        /// Reply correlation id.
-        op: OpId,
-    },
-    /// Check that a cached version is current (certification,
-    /// inter-transaction check-on-access).
-    CheckVersion {
-        /// Requesting transaction.
-        txn: TxnId,
-        /// Target page.
-        page: PageId,
-        /// Version cached at the client.
-        version: u64,
-        /// Reply correlation id.
-        op: OpId,
-    },
-    /// Commit request: ships the dirty pages; `read_set` carries the
-    /// versions read (used for certification validation and by the
-    /// serializability oracle).
-    Commit {
-        /// Committing transaction.
-        txn: TxnId,
-        /// Pages read with the version each was read at.
-        read_set: Vec<(PageId, u64)>,
-        /// Updated pages shipped with the request.
-        dirty: Vec<PageId>,
-        /// Number of protocol operations the client issued for this
-        /// transaction (the server must resolve them all before deciding;
-        /// robust against message reordering under no-wait locking).
-        ops_sent: u32,
-        /// Reply correlation id.
-        op: OpId,
-    },
-    /// Callback reply: the retained lock on `page` is released, or its
-    /// release is deferred until `blocker` (the client's current
-    /// transaction) terminates.
-    CallbackReply {
-        /// Page whose retained lock was called back.
-        page: PageId,
-        /// Released now?
-        released: bool,
-        /// If deferred: the transaction that must end first.
-        blocker: Option<TxnId>,
-    },
-    /// A clean page with a retained lock was evicted from the client cache;
-    /// the server must drop the retained lock (callback locking, §3.3.3).
-    ReleaseRetained {
-        /// Page evicted.
-        page: PageId,
-    },
-}
-
-impl C2S {
-    /// Payload bytes for packetisation.
-    pub fn payload_bytes(&self, page_size: u32) -> u64 {
-        match self {
-            C2S::Commit { dirty, .. } => dirty.len() as u64 * page_size as u64,
-            _ => 0,
-        }
-    }
-
-    /// The transaction this message belongs to, if any.
-    pub fn txn(&self) -> Option<TxnId> {
-        match self {
-            C2S::LockFetch { txn, .. }
-            | C2S::Fetch { txn, .. }
-            | C2S::CheckVersion { txn, .. }
-            | C2S::Commit { txn, .. } => Some(*txn),
-            C2S::CallbackReply { .. } | C2S::ReleaseRetained { .. } => None,
-        }
-    }
-}
-
-/// What a synchronous request resolved to.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ReplyKind {
-    /// The page contents (at `version`) are attached; lock granted if one
-    /// was requested.
-    PageData {
-        /// Version of the shipped page.
-        version: u64,
-    },
-    /// The cached copy is valid (and the lock granted, if requested); no
-    /// data shipped.
-    Valid,
-    /// Commit completed. Written pages now carry version `new_version`.
-    Committed {
-        /// Version assigned to every page this transaction wrote.
-        new_version: u64,
-    },
-    /// The request (or commit) failed: certification did not validate, a
-    /// deadlock was broken, or a cached page was stale under no-wait
-    /// locking. The client must restart the transaction.
-    Aborted,
-}
-
-/// Server → client messages.
-#[derive(Clone, Debug)]
-pub enum S2C {
-    /// Reply to a synchronous request.
-    Reply {
-        /// Correlation id of the request.
-        op: OpId,
-        /// Outcome.
-        kind: ReplyKind,
-    },
-    /// Callback locking: please release the retained read lock on `page`.
-    Callback {
-        /// Page to release.
-        page: PageId,
-    },
-    /// The server aborted `txn`; the client must restart it.
-    Restart {
-        /// Aborted transaction.
-        txn: TxnId,
-        /// Why it was aborted.
-        kind: AbortKind,
-        /// For stale-read aborts: the cached page that was out of date.
-        /// The client drops it so the restart fetches a fresh copy.
-        stale_page: Option<PageId>,
-    },
-    /// Notification: `pages` were updated by a committed transaction; the
-    /// new contents (at `version`) are attached.
-    Update {
-        /// Updated pages with their new version.
-        pages: Vec<PageId>,
-        /// The version the pages now carry.
-        version: u64,
-    },
-    /// Notification (invalidation variant): drop the cached copies of
-    /// `pages`; they were updated by a committed transaction. No contents
-    /// attached.
-    Invalidate {
-        /// Pages to drop.
-        pages: Vec<PageId>,
-    },
-}
-
-impl S2C {
-    /// Payload bytes for packetisation.
-    pub fn payload_bytes(&self, page_size: u32) -> u64 {
-        match self {
-            S2C::Reply {
-                kind: ReplyKind::PageData { .. },
-                ..
-            } => page_size as u64,
-            S2C::Update { pages, .. } => pages.len() as u64 * page_size as u64,
-            S2C::Invalidate { .. } => 0,
-            _ => 0,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ccdb_model::ClassId;
-
-    fn page(n: u32) -> PageId {
-        PageId {
-            class: ClassId(0),
-            atom: n,
-        }
-    }
-
-    #[test]
-    fn payload_sizes() {
-        let commit = C2S::Commit {
-            txn: TxnId(1),
-            read_set: vec![(page(1), 0), (page(2), 0)],
-            dirty: vec![page(1), page(2), page(3)],
-            ops_sent: 4,
-            op: 9,
-        };
-        assert_eq!(commit.payload_bytes(4096), 3 * 4096);
-        let lock = C2S::LockFetch {
-            txn: TxnId(1),
-            page: page(1),
-            mode: Mode::S,
-            cached_version: None,
-            wait: true,
-            op: 1,
-        };
-        assert_eq!(lock.payload_bytes(4096), 0);
-        let data = S2C::Reply {
-            op: 1,
-            kind: ReplyKind::PageData { version: 3 },
-        };
-        assert_eq!(data.payload_bytes(4096), 4096);
-        let valid = S2C::Reply {
-            op: 1,
-            kind: ReplyKind::Valid,
-        };
-        assert_eq!(valid.payload_bytes(4096), 0);
-        let update = S2C::Update {
-            pages: vec![page(1), page(2)],
-            version: 5,
-        };
-        assert_eq!(update.payload_bytes(4096), 2 * 4096);
-    }
-
-    #[test]
-    fn txn_extraction() {
-        assert_eq!(
-            C2S::Fetch {
-                txn: TxnId(7),
-                page: page(1),
-                op: 0
-            }
-            .txn(),
-            Some(TxnId(7))
-        );
-        assert_eq!(C2S::ReleaseRetained { page: page(1) }.txn(), None);
-    }
-}
+pub use ccdb_proto::{OpId, ReplyKind, C2S, S2C};

@@ -244,8 +244,8 @@ fn run_observed_on(sim: &Sim, cfg: SimConfig, trace: Trace, obs: ObsOptions) -> 
         let state = server.state.borrow();
         (
             state.buffer.stats(),
-            state.lm.stats(),
-            state.lm.per_shard_stats(),
+            state.core.lock_stats(),
+            state.core.per_shard_lock_stats(),
         )
     };
     let log_stats = server.log.stats();
@@ -353,13 +353,13 @@ fn register_all(
     {
         let state = Rc::clone(&server.state);
         registry.gauge("server.lock.table_pages", move || {
-            state.borrow().lm.table_len() as f64
+            state.borrow().core.lock_table_len() as f64
         });
     }
     {
         let state = Rc::clone(&server.state);
         registry.gauge("server.lock.blocked_txns", move || {
-            state.borrow().lm.blocked_txn_count() as f64
+            state.borrow().core.blocked_txn_count() as f64
         });
     }
     {

@@ -1,28 +1,33 @@
-//! The server transaction module (STM) and its state (paper §3.3.4, §3.4).
+//! The server transaction module (STM): the DES driver over the sans-io
+//! [`ServerCore`] (paper §3.3.4, §3.4).
 //!
 //! One dispatcher process receives every client message and spawns a
-//! handler process per message. Handlers coordinate through the shared
-//! [`ServerState`] (lock manager, buffer manager, version table, server
-//! transaction table, caching directory) and suspend on facilities (CPUs,
-//! disks, the MPL admission gate) or on lock-grant signals.
+//! handler process per message. Every protocol *decision* — lock grants,
+//! version validation, commit certification, retention policy,
+//! notification fan-out, abort propagation — is made by the shared
+//! [`ServerCore`] from `ccdb-proto`; this module adds what the core
+//! deliberately knows nothing about: simulated CPUs, disks, the log, the
+//! MPL admission gate, parked-continuation signals, wait attribution,
+//! and message transport over the simulated network.
 //!
 //! All five algorithms are served by this module; the paper's
 //! "algorithm-dependent server transaction manager" corresponds to the
-//! branch points on [`Algorithm`] in the handlers below.
+//! branch points inside [`ServerCore`].
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use std::future::Future;
 
 use ccdb_des::{oneshot, Env, Facility, FacilityGuard, OneshotSender, Pcg32, WaitClass};
-use ccdb_lock::{ClientId, Mode, RequestOutcome, RetainPolicy, ShardedLockManager, TxnId, Wake};
-use ccdb_model::{DatabaseSpec, PageId, SystemParams};
+use ccdb_lock::{ClientId, Mode, TxnId, Wake};
+use ccdb_model::{PageId, SystemParams};
 use ccdb_net::{Network, NetworkNode};
+use ccdb_proto::{GrantDecision, ServerCore};
 use ccdb_storage::{BufferManager, DiskArray, LogManager};
 
-use crate::config::{Algorithm, SimConfig};
+use crate::config::SimConfig;
 use crate::metrics::AbortKind;
 use crate::msg::{OpId, ReplyKind, C2S, S2C};
 use crate::trace::{Trace, TraceEvent};
@@ -35,37 +40,30 @@ enum GrantResult {
     Aborted,
 }
 
-struct ServerTxn {
-    client: ClientId,
+/// Runtime-only transaction state: admission bookkeeping and the
+/// commit-gate signal. The protocol-visible state (ops resolved, failed,
+/// parked pages) lives in the [`ServerCore`] entry with the same key;
+/// both entries are created and removed together.
+struct DriverTxn {
     admitted: bool,
     admission_waiters: Vec<OneshotSender<()>>,
     mpl_guard: Option<FacilityGuard>,
-    ops_resolved: u32,
-    failed: bool,
     commit_waiter: Option<OneshotSender<()>>,
-    /// Pages with a parked lock request (grant signals to fire on abort).
-    parked: HashSet<PageId>,
 }
 
 /// Mutable server state shared by all handler processes. Borrows are always
 /// released before any `.await`.
 pub struct ServerState {
-    /// The (sharded) lock manager.
-    pub lm: ShardedLockManager,
+    /// The sans-io protocol core: lock manager, version table, caching
+    /// directory, transaction registry.
+    pub core: ServerCore,
     /// The buffer manager.
     pub buffer: BufferManager,
-    /// Committed version of every page (dense, indexed by
-    /// [`DatabaseSpec::page_index`]).
-    versions: Vec<u64>,
-    txns: HashMap<TxnId, ServerTxn>,
+    txns: HashMap<TxnId, DriverTxn>,
     /// Parked lock-request signals, fired on grant or abort. A queue:
     /// no-wait locking can park an S and an X request of the same
     /// transaction on the same page.
     grants: HashMap<(TxnId, PageId), VecDeque<OneshotSender<GrantResult>>>,
-    /// Which clients have been shipped each page (notification directory).
-    directory: HashMap<PageId, HashSet<ClientId>>,
-    /// Transactions the server has aborted; straggler messages are dropped.
-    aborted: HashSet<TxnId>,
 }
 
 /// The server: cheap to clone into handler processes.
@@ -126,13 +124,17 @@ impl Server {
         let log = LogManager::new(env, sys, rng);
         let mpl = Facility::new(env, "mpl", sys.mpl).with_wait_class(WaitClass::MplGate);
         let state = Rc::new(RefCell::new(ServerState {
-            lm: ShardedLockManager::new(sys.lock_shards),
+            core: ServerCore::new(
+                cfg.algorithm,
+                cfg.tuning,
+                cfg.oracle,
+                sys.n_clients,
+                sys.lock_shards,
+                cfg.db.clone(),
+            ),
             buffer: BufferManager::new(sys.buffer_size),
-            versions: vec![0; cfg.db.total_pages() as usize],
             txns: HashMap::new(),
             grants: HashMap::new(),
-            directory: HashMap::new(),
-            aborted: HashSet::new(),
         }));
         let server = Server {
             env: env.clone(),
@@ -171,35 +173,30 @@ impl Server {
         let state = self.state.borrow();
         eprintln!(
             "server: {} live txns, {} parked grant keys, lock table {} pages",
-            state.txns.len(),
+            state.core.live_txn_count(),
             state.grants.len(),
-            state.lm.table_len()
+            state.core.lock_table_len()
         );
-        for (txn, e) in &state.txns {
+        for txn in state.core.live_txns() {
+            let (client, ops_resolved, failed, parked) =
+                state.core.txn_debug(txn).expect("listed as live");
+            let (admitted, commit_waiting) = match state.txns.get(&txn) {
+                Some(d) => (d.admitted, d.commit_waiter.is_some()),
+                None => (false, false),
+            };
             eprintln!(
                 "  txn {:?} client {:?} admitted={} ops_resolved={} failed={} commit_waiting={} parked={:?}",
-                txn,
-                e.client,
-                e.admitted,
-                e.ops_resolved,
-                e.failed,
-                e.commit_waiter.is_some(),
-                e.parked
+                txn, client, admitted, ops_resolved, failed, commit_waiting, parked
             );
-            for page in &e.parked {
-                eprintln!("    {:?}: {}", page, state.lm.debug_entry(*page));
+            for page in &parked {
+                eprintln!("    {:?}: {}", page, state.core.lock_debug_entry(*page));
             }
         }
     }
 
     /// Current committed version of a page.
     pub fn version_of(&self, page: PageId) -> u64 {
-        let idx = self.cfg.db.page_index(page);
-        self.state.borrow().versions[idx]
-    }
-
-    fn db(&self) -> &DatabaseSpec {
-        &self.cfg.db
+        self.state.borrow().core.version_of(page)
     }
 
     fn sys(&self) -> &SystemParams {
@@ -274,10 +271,7 @@ impl Server {
                     self.reply(from, op, ReplyKind::Aborted);
                     return;
                 }
-                let current = {
-                    let state = self.state.borrow();
-                    state.versions[self.db().page_index(page)]
-                };
+                let current = self.state.borrow().core.version_of(page);
                 if current == version {
                     self.reply(from, op, ReplyKind::Valid);
                 } else {
@@ -303,14 +297,14 @@ impl Server {
                 if released {
                     let (wakes, cbs) = {
                         let mut state = self.state.borrow_mut();
-                        state.lm.release_retained(from, page)
+                        state.core.release_retained(from, page)
                     };
                     self.process_wakes(wakes, cbs);
                 } else {
                     let blocker = blocker.expect("deferred callback names its blocker");
                     let victim = {
                         let mut state = self.state.borrow_mut();
-                        state.lm.callback_deferred(page, from, blocker)
+                        state.core.callback_deferred(page, from, blocker)
                     };
                     if let Some(v) = victim {
                         self.abort_txn(v, AbortKind::Deadlock).await;
@@ -320,7 +314,7 @@ impl Server {
             C2S::ReleaseRetained { page } => {
                 let (wakes, cbs) = {
                     let mut state = self.state.borrow_mut();
-                    state.lm.release_retained(from, page)
+                    state.core.release_retained(from, page)
                 };
                 self.process_wakes(wakes, cbs);
             }
@@ -340,7 +334,7 @@ impl Server {
         }
         let role = {
             let mut state = self.state.borrow_mut();
-            if state.aborted.contains(&txn) {
+            if state.core.is_aborted(txn) {
                 Role::Dead
             } else if let Some(entry) = state.txns.get_mut(&txn) {
                 if entry.admitted {
@@ -351,17 +345,14 @@ impl Server {
                     Role::Waiter(rx)
                 }
             } else {
+                state.core.register_txn(txn, client);
                 state.txns.insert(
                     txn,
-                    ServerTxn {
-                        client,
+                    DriverTxn {
                         admitted: false,
                         admission_waiters: Vec::new(),
                         mpl_guard: None,
-                        ops_resolved: 0,
-                        failed: false,
                         commit_waiter: None,
-                        parked: HashSet::new(),
                     },
                 );
                 Role::Creator
@@ -372,7 +363,7 @@ impl Server {
             Role::Dead => false,
             Role::Waiter(rx) => {
                 self.attributed(attr, WaitClass::MplGate, rx.wait()).await;
-                !self.state.borrow().aborted.contains(&txn)
+                !self.state.borrow().core.is_aborted(txn)
             }
             Role::Creator => {
                 let guard = self
@@ -393,7 +384,7 @@ impl Server {
                 for w in waiters {
                     w.fire(());
                 }
-                !self.state.borrow().aborted.contains(&txn)
+                !self.state.borrow().core.is_aborted(txn)
             }
         }
     }
@@ -406,12 +397,13 @@ impl Server {
         }
         let waiter = {
             let mut state = self.state.borrow_mut();
-            match state.txns.get_mut(&txn) {
-                Some(entry) => {
-                    entry.ops_resolved += 1;
-                    entry.commit_waiter.take()
-                }
-                None => None,
+            if state.core.resolve_op(txn) {
+                state
+                    .txns
+                    .get_mut(&txn)
+                    .and_then(|e| e.commit_waiter.take())
+            } else {
+                None
             }
         };
         if let Some(w) = waiter {
@@ -442,7 +434,7 @@ impl Server {
         }
         let outcome = {
             let mut state = self.state.borrow_mut();
-            state.lm.request(txn, from, page, mode)
+            state.core.request_lock(txn, from, page, mode)
         };
         if trace_txn() == Some(txn) {
             eprintln!(
@@ -451,8 +443,8 @@ impl Server {
             );
         }
         match outcome {
-            RequestOutcome::Granted => {}
-            RequestOutcome::Blocked { callbacks } => {
+            ccdb_lock::RequestOutcome::Granted => {}
+            ccdb_lock::RequestOutcome::Blocked { callbacks } => {
                 for c in callbacks {
                     self.trace
                         .record(self.env.now(), TraceEvent::Callback { client: c, page });
@@ -462,19 +454,15 @@ impl Server {
                 let shard = {
                     let mut state = self.state.borrow_mut();
                     state.grants.entry((txn, page)).or_default().push_back(tx);
-                    if let Some(entry) = state.txns.get_mut(&txn) {
-                        entry.parked.insert(page);
-                    }
-                    state.lm.shard_of(page)
+                    state.core.park(txn, page);
+                    state.core.shard_of(page)
                 };
                 let result = self
                     .attributed(attr, WaitClass::LockShard(shard), rx.wait())
                     .await;
                 {
                     let mut state = self.state.borrow_mut();
-                    if let Some(entry) = state.txns.get_mut(&txn) {
-                        entry.parked.remove(&page);
-                    }
+                    state.core.unpark(txn, page);
                 }
                 if result == GrantResult::Granted {
                     self.trace
@@ -487,7 +475,7 @@ impl Server {
                     return;
                 }
             }
-            RequestOutcome::Deadlock => {
+            ccdb_lock::RequestOutcome::Deadlock => {
                 // abort_txn notifies the client with a Restart message; a
                 // synchronous requester additionally gets its reply.
                 self.abort_txn(txn, AbortKind::Deadlock).await;
@@ -497,28 +485,28 @@ impl Server {
                 return;
             }
         }
-        // Lock granted: validate the cached version *now* (it may have gone
-        // stale while we were blocked).
-        let current = {
-            let state = self.state.borrow();
-            state.versions[self.db().page_index(page)]
-        };
-        match cached_version {
-            Some(v) if v == current => {
+        // Lock granted: the core validates the cached version *now* (it
+        // may have gone stale while we were blocked).
+        let decision = self
+            .state
+            .borrow()
+            .core
+            .after_grant(page, cached_version, wait);
+        match decision {
+            GrantDecision::UseCached => {
                 if wait {
                     self.reply(from, op, ReplyKind::Valid);
                 }
                 self.resolve_op(txn);
             }
-            Some(_) if !wait => {
+            GrantDecision::StaleAbort => {
                 // No-wait locking read a stale cached page: abort. The
                 // restart message names the page so the client refetches
                 // it instead of looping on the same stale copy.
                 self.abort_txn_stale(txn, AbortKind::StaleRead, Some(page))
                     .await;
             }
-            _ => {
-                // Stale or absent: ship the page.
+            GrantDecision::Ship => {
                 self.ship_page(from, txn, page, op, attr).await;
                 self.resolve_op(txn);
             }
@@ -544,8 +532,7 @@ impl Server {
         .await;
         let version = {
             let mut state = self.state.borrow_mut();
-            state.directory.entry(page).or_default().insert(to);
-            state.versions[self.db().page_index(page)]
+            state.core.note_shipped(to, page)
         };
         self.reply(to, op, ReplyKind::PageData { version });
     }
@@ -664,28 +651,24 @@ impl Server {
         loop {
             let wait = {
                 let mut state = self.state.borrow_mut();
-                let pending = match state.txns.get_mut(&txn) {
-                    Some(entry) => {
-                        if entry.failed || entry.ops_resolved >= ops_sent {
-                            None
-                        } else {
-                            let (tx, rx) = oneshot(&self.env);
-                            entry.commit_waiter = Some(tx);
-                            Some((rx, entry.parked.iter().min().copied()))
-                        }
+                if state.core.commit_ready(txn, ops_sent) {
+                    None
+                } else {
+                    let (tx, rx) = oneshot(&self.env);
+                    if let Some(entry) = state.txns.get_mut(&txn) {
+                        entry.commit_waiter = Some(tx);
                     }
-                    None => None,
-                };
-                // An unresolved op is either parked on a lock (attribute to
-                // that page's shard; the smallest parked page for
-                // determinism) or still in flight (attribute to the
-                // network).
-                pending.map(|(rx, min_parked)| {
-                    let class = min_parked
-                        .map(|p| WaitClass::LockShard(state.lm.shard_of(p)))
+                    // An unresolved op is either parked on a lock (attribute
+                    // to that page's shard; the smallest parked page for
+                    // determinism) or still in flight (attribute to the
+                    // network).
+                    let class = state
+                        .core
+                        .min_parked(txn)
+                        .map(|p| WaitClass::LockShard(state.core.shard_of(p)))
                         .unwrap_or(WaitClass::Network);
-                    (rx, class)
-                })
+                    Some((rx, class))
+                }
             };
             match wait {
                 Some((rx, class)) => {
@@ -694,56 +677,30 @@ impl Server {
                 None => break,
             }
         }
-        let failed = {
-            let state = self.state.borrow();
-            state.aborted.contains(&txn) || state.txns.get(&txn).map(|e| e.failed).unwrap_or(true)
-        };
+        let failed = self.state.borrow().core.commit_doomed(txn);
         if failed {
             self.cleanup_txn(txn);
             self.reply(from, op, ReplyKind::Aborted);
             return;
         }
 
-        // Certification: validate the read set against committed versions
-        // and — atomically with the validation — bump the written pages'
-        // versions. The version bump IS the logical commit point: a
+        // Certification: the core validates the read set against committed
+        // versions and — atomically with the validation — bumps the written
+        // pages' versions. The version bump IS the logical commit point: a
         // concurrent certifier that read any of these pages will now fail
         // its own validation instead of silently losing an update. The
         // data movement and log force follow; the client sees the commit
-        // only after the force completes.
-        let new_version = txn.0;
-        if self.cfg.algorithm.deferred_updates() {
-            let valid = {
-                let mut state = self.state.borrow_mut();
-                let ok = read_set
-                    .iter()
-                    .all(|(p, v)| state.versions[self.db().page_index(*p)] == *v);
-                if ok {
-                    for &page in &dirty {
-                        let idx = self.db().page_index(page);
-                        state.versions[idx] = new_version;
-                    }
-                }
-                ok
-            };
-            if !valid {
-                self.cleanup_txn(txn);
-                self.reply(from, op, ReplyKind::Aborted);
-                return;
-            }
-        } else if self.cfg.oracle {
-            // Serializability oracle: a locking transaction reaching commit
-            // must have read only current versions — its locks prevented
-            // any committed overwrite.
-            let state = self.state.borrow();
-            for (p, v) in &read_set {
-                let cur = state.versions[self.db().page_index(*p)];
-                assert_eq!(
-                    cur, *v,
-                    "oracle violation: {:?} read {:?}@v{} but committed version is v{}",
-                    self.cfg.algorithm, p, v, cur
-                );
-            }
+        // only after the force completes. (For the locking family the same
+        // call runs the serializability oracle instead.)
+        let new_version = ServerCore::commit_version(txn);
+        let valid = {
+            let mut state = self.state.borrow_mut();
+            state.core.validate_commit(txn, &read_set, &dirty)
+        };
+        if !valid {
+            self.cleanup_txn(txn);
+            self.reply(from, op, ReplyKind::Aborted);
+            return;
         }
 
         // Install updates (charges ServerProcPage per page + buffer I/O).
@@ -762,35 +719,21 @@ impl Server {
         {
             let mut state = self.state.borrow_mut();
             state.buffer.commit_txn(txn.0);
-            if !self.cfg.algorithm.deferred_updates() {
-                for &page in &dirty {
-                    let idx = self.db().page_index(page);
-                    state.versions[idx] = new_version;
-                }
-            }
+            state.core.publish_versions(txn, &dirty);
         }
         // Release locks (callback locking retains them as read locks, or
         // as read+write locks under the write-retention variant).
-        let policy = if matches!(self.cfg.algorithm, Algorithm::Callback) {
-            if self.cfg.tuning.retain_write_locks {
-                RetainPolicy::ReadWrite(from)
-            } else {
-                RetainPolicy::Read(from)
-            }
-        } else {
-            RetainPolicy::Drop
-        };
         if trace_txn() == Some(txn) {
             eprintln!("[{}] commit release_all {txn:?}", self.env.now());
         }
         let (wakes, cbs) = {
             let mut state = self.state.borrow_mut();
-            state.lm.release_all_policy(txn, policy)
+            state.core.release_commit_locks(txn, from)
         };
         self.process_wakes(wakes, cbs);
 
         // Notification: push the new pages to every other caching client.
-        if matches!(self.cfg.algorithm, Algorithm::NoWait { notify: true }) && !dirty.is_empty() {
+        if self.state.borrow().core.should_push_updates(&dirty) {
             self.push_updates(from, &dirty, new_version, Some(txn))
                 .await;
         }
@@ -799,9 +742,8 @@ impl Server {
         self.reply(from, op, ReplyKind::Committed { new_version });
     }
 
-    /// Batch the updated pages per caching client and ship them. With the
-    /// broadcast variant every other client receives every page, and the
-    /// server needs no caching directory.
+    /// Ship the updated pages to every other caching client, per the
+    /// core's notification plan (batched per client, deterministic order).
     async fn push_updates(
         &self,
         committer: ClientId,
@@ -809,28 +751,7 @@ impl Server {
         version: u64,
         attr: Option<TxnId>,
     ) {
-        let mut per_client: HashMap<ClientId, Vec<PageId>> = HashMap::new();
-        if self.cfg.tuning.notify_broadcast {
-            for c in 0..self.cfg.sys.n_clients {
-                let c = ClientId(c);
-                if c != committer {
-                    per_client.insert(c, dirty.to_vec());
-                }
-            }
-        } else {
-            let state = self.state.borrow();
-            for &page in dirty {
-                if let Some(clients) = state.directory.get(&page) {
-                    for &c in clients {
-                        if c != committer {
-                            per_client.entry(c).or_default().push(page);
-                        }
-                    }
-                }
-            }
-        }
-        let mut targets: Vec<(ClientId, Vec<PageId>)> = per_client.into_iter().collect();
-        targets.sort_by_key(|(c, _)| c.0); // deterministic send order
+        let targets = self.state.borrow().core.notification_plan(committer, dirty);
         let invalidate = self.cfg.tuning.notify_invalidate;
         for (client, pages) in targets {
             self.trace.record(
@@ -877,40 +798,39 @@ impl Server {
         }
         let (client, wakes, cbs, parked_signals, commit_waiter) = {
             let mut state = self.state.borrow_mut();
-            if state.aborted.contains(&txn) || !state.txns.contains_key(&txn) {
-                // Unknown or already aborted.
-                state.aborted.insert(txn);
-                return;
-            }
-            state.aborted.insert(txn);
-            let (wakes, cbs) = state.lm.abort(txn);
+            let outcome = match state.core.abort_txn(txn) {
+                // Unknown or already aborted (the core keeps the mark so
+                // straggler messages are dropped).
+                None => return,
+                Some(out) => out,
+            };
             let mut signals = Vec::new();
-            let mut commit_waiter = None;
-            let mut client = None;
-            if let Some(entry) = state.txns.get_mut(&txn) {
-                entry.failed = true;
-                client = Some(entry.client);
-                commit_waiter = entry.commit_waiter.take();
-                let parked: Vec<PageId> = entry.parked.iter().copied().collect();
-                for p in parked {
-                    if let Some(q) = state.grants.remove(&(txn, p)) {
-                        signals.extend(q);
-                    }
+            for p in &outcome.parked {
+                if let Some(q) = state.grants.remove(&(txn, *p)) {
+                    signals.extend(q);
                 }
             }
+            let commit_waiter = state
+                .txns
+                .get_mut(&txn)
+                .and_then(|e| e.commit_waiter.take());
             state.buffer.abort_txn(txn.0);
-            (client, wakes, cbs, signals, commit_waiter)
+            (
+                outcome.client,
+                outcome.wakes,
+                outcome.callbacks,
+                signals,
+                commit_waiter,
+            )
         };
-        if let Some(c) = client {
-            self.send_async(
-                c,
-                S2C::Restart {
-                    txn,
-                    kind: why,
-                    stale_page,
-                },
-            );
-        }
+        self.send_async(
+            client,
+            S2C::Restart {
+                txn,
+                kind: why,
+                stale_page,
+            },
+        );
         self.process_wakes(wakes, cbs);
         for s in parked_signals {
             s.fire(GrantResult::Aborted);
@@ -939,9 +859,7 @@ impl Server {
         }
         let (guard, waiters) = {
             let mut state = self.state.borrow_mut();
-            if self.cfg.oracle {
-                state.lm.assert_txn_gone(txn);
-            }
+            state.core.forget_txn(txn);
             match state.txns.remove(&txn) {
                 Some(mut e) => (e.mpl_guard.take(), std::mem::take(&mut e.admission_waiters)),
                 None => (None, Vec::new()),

@@ -1,0 +1,246 @@
+//! Algorithm selection (paper §2) and modelling variants.
+//!
+//! Moved here from `ccdb-core::config` so the sans-io protocol cores can
+//! branch on the algorithm without depending on the simulator; `ccdb-core`
+//! re-exports both types unchanged.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The cache consistency algorithm to simulate (paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// Two-phase locking with caching; `inter` keeps the cache across
+    /// transaction boundaries (check-on-access via the lock request).
+    TwoPhase {
+        /// Inter-transaction caching (vs intra-transaction).
+        inter: bool,
+    },
+    /// Certification (optimistic concurrency control) with deferred
+    /// updates; `inter` keeps the cache across transactions
+    /// (check-on-access on first touch per transaction).
+    Certification {
+        /// Inter-transaction caching (vs intra-transaction).
+        inter: bool,
+    },
+    /// Callback locking: read locks are retained by clients across
+    /// transactions; the server calls conflicting locks back.
+    Callback,
+    /// No-wait (optimistic) locking: clients proceed on cached pages and
+    /// send lock requests asynchronously; the server aborts on stale reads
+    /// or deadlock. `notify` adds update propagation after commits.
+    NoWait {
+        /// Send updated pages to caching clients after commit.
+        notify: bool,
+    },
+}
+
+impl Algorithm {
+    /// Every algorithm variant, in paper order.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::TwoPhase { inter: false },
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Certification { inter: false },
+        Algorithm::Certification { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ];
+
+    /// The five inter-transaction algorithms of §5, in the paper's order.
+    pub const INTER_TRANSACTION: [Algorithm; 5] = [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Certification { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ];
+
+    /// The four lock-based algorithms compared in the §5 experiments.
+    pub const EXPERIMENT_SET: [Algorithm; 4] = [
+        Algorithm::TwoPhase { inter: true },
+        Algorithm::Callback,
+        Algorithm::NoWait { notify: false },
+        Algorithm::NoWait { notify: true },
+    ];
+
+    /// True if the client cache survives transaction boundaries.
+    pub fn inter_transaction(self) -> bool {
+        match self {
+            Algorithm::TwoPhase { inter } | Algorithm::Certification { inter } => inter,
+            Algorithm::Callback | Algorithm::NoWait { .. } => true,
+        }
+    }
+
+    /// True for the deferred-update (certification) family.
+    pub fn deferred_updates(self) -> bool {
+        matches!(self, Algorithm::Certification { .. })
+    }
+
+    /// Short label used in reports (matches the paper's terminology).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::TwoPhase { inter: false } => "B2PL",
+            Algorithm::TwoPhase { inter: true } => "C2PL",
+            Algorithm::Certification { inter: false } => "OCC",
+            Algorithm::Certification { inter: true } => "COCC",
+            Algorithm::Callback => "CB",
+            Algorithm::NoWait { notify: false } => "NW",
+            Algorithm::NoWait { notify: true } => "NWN",
+        }
+    }
+
+    /// The exact inverse of [`Algorithm::label`]: the reader path for
+    /// documents that record algorithms by label (sweep specs, JSONL job
+    /// records, wire-trace headers). Unlike [`FromStr`], accepts no
+    /// aliases and is case-sensitive.
+    pub fn from_label(label: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.label() == label)
+    }
+
+    /// Full name for human-readable output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::TwoPhase { inter: false } => "two-phase locking (intra)",
+            Algorithm::TwoPhase { inter: true } => "two-phase locking",
+            Algorithm::Certification { inter: false } => "certification (intra)",
+            Algorithm::Certification { inter: true } => "certification",
+            Algorithm::Callback => "callback locking",
+            Algorithm::NoWait { notify: false } => "no-wait locking",
+            Algorithm::NoWait { notify: true } => "no-wait locking w/ notification",
+        }
+    }
+}
+
+/// Displays as the paper label ([`Algorithm::label`]); round-trips through
+/// [`Algorithm::from_str`].
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error for [`Algorithm::from_str`]: the input matched no algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    input: String,
+}
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?} (expected one of B2PL, C2PL, OCC, COCC, CB, NW, NWN)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+/// Case-insensitive parse of the paper labels, plus the historical CLI
+/// aliases `2PL` (= C2PL), `CERT` (= COCC) and `CALLBACK` (= CB). The one
+/// parser behind every user-facing algorithm flag (`--alg`, `--algs`,
+/// `ccdb serve --alg`).
+impl FromStr for Algorithm {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Algorithm, ParseAlgorithmError> {
+        match s.to_ascii_uppercase().as_str() {
+            "B2PL" => Ok(Algorithm::TwoPhase { inter: false }),
+            "C2PL" | "2PL" => Ok(Algorithm::TwoPhase { inter: true }),
+            "OCC" => Ok(Algorithm::Certification { inter: false }),
+            "COCC" | "CERT" => Ok(Algorithm::Certification { inter: true }),
+            "CB" | "CALLBACK" => Ok(Algorithm::Callback),
+            "NW" => Ok(Algorithm::NoWait { notify: false }),
+            "NWN" => Ok(Algorithm::NoWait { notify: true }),
+            _ => Err(ParseAlgorithmError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// Modelling variants beyond the paper's baseline protocols. All default
+/// to `false` (the paper's choices); the ablation benches flip them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tuning {
+    /// Callback locking: retain write locks *as write locks* after commit
+    /// instead of demoting them to read locks — the variant §2.3 discusses
+    /// and declines. Subsequent writes by the same client need no server
+    /// message, but other clients' reads now trigger callbacks.
+    pub retain_write_locks: bool,
+    /// Notification: send invalidations instead of propagating the new
+    /// page contents — the alternative §2.5 discusses (cheap messages, but
+    /// clients must refetch).
+    pub notify_invalidate: bool,
+    /// Restart aborted transactions immediately instead of after the ACL
+    /// adaptive delay (exponential with mean = average response time).
+    pub zero_restart_delay: bool,
+    /// Notification: broadcast updates to every client instead of using
+    /// the per-page caching directory — the simpler server the paper's
+    /// §6 mentions ("if it sends updates to individual clients instead of
+    /// broadcasting them to all clients").
+    pub notify_broadcast: bool,
+    /// Process asynchronous server messages during update/internal think
+    /// times. The paper's implementation does NOT ("in the current
+    /// implementation, these messages are not processed during the
+    /// internal delay time", §5.5) and blames callback/no-wait locking's
+    /// poor interactive results on it; this flag removes the limitation.
+    pub responsive_client: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = Algorithm::ALL.iter().map(|a| a.label()).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::from_label(alg.label()), Some(alg));
+        }
+        assert_eq!(Algorithm::from_label("2pl"), None);
+        assert_eq!(Algorithm::from_label(""), None);
+    }
+
+    #[test]
+    fn display_from_str_round_trip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.to_string().parse::<Algorithm>(), Ok(alg));
+            // Case-insensitive.
+            assert_eq!(
+                alg.to_string().to_ascii_lowercase().parse::<Algorithm>(),
+                Ok(alg)
+            );
+        }
+    }
+
+    #[test]
+    fn from_str_aliases() {
+        assert_eq!("2pl".parse(), Ok(Algorithm::TwoPhase { inter: true }));
+        assert_eq!("cert".parse(), Ok(Algorithm::Certification { inter: true }));
+        assert_eq!("callback".parse(), Ok(Algorithm::Callback));
+        assert!("xyz".parse::<Algorithm>().is_err());
+        let err = "xyz".parse::<Algorithm>().unwrap_err();
+        assert!(err.to_string().contains("xyz"));
+    }
+
+    #[test]
+    fn caching_modes() {
+        assert!(!Algorithm::TwoPhase { inter: false }.inter_transaction());
+        assert!(Algorithm::TwoPhase { inter: true }.inter_transaction());
+        assert!(Algorithm::Callback.inter_transaction());
+        assert!(Algorithm::NoWait { notify: true }.inter_transaction());
+        assert!(Algorithm::Certification { inter: true }.deferred_updates());
+        assert!(!Algorithm::Callback.deferred_updates());
+    }
+}

@@ -1,0 +1,844 @@
+//! The sans-io client protocol core.
+//!
+//! [`ClientCore`] owns the client side of every algorithm's protocol: what
+//! a read/write/commit does with the cache, which message (if any) it
+//! sends, and how each reply or asynchronous server message updates the
+//! cache and transaction state. It has no clock, no network and no
+//! coroutines — a driver interprets the returned [`Action`]s, transports
+//! the messages, and feeds replies back in.
+//!
+//! The cache is passed in by the driver on every call rather than owned:
+//! the DES runtime shares it with the report collector through an
+//! `Rc<RefCell<..>>`, while the TCP load driver owns it on a thread.
+
+use ccdb_lock::{ClientId, Mode, TxnId};
+use ccdb_model::PageId;
+use ccdb_storage::{CachedPage, ClientCache, PageLock};
+
+use crate::algorithm::{Algorithm, Tuning};
+use crate::msg::{AbortKind, OpId, ReplyKind, C2S, S2C};
+
+/// Which local step a [`Action::Local`] outcome was (drivers trace these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalNote {
+    /// A locally-satisfied read that the reference implementation traces.
+    Read,
+    /// A locally-satisfied write that the reference implementation traces.
+    Write,
+}
+
+/// What kind of synchronous request a [`SyncOp`] is; fed back to
+/// [`ClientCore::apply_read_reply`] with the reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Locking-family read (`LockFetch` S, wait).
+    LockRead,
+    /// Certification check-on-access (`CheckVersion`).
+    OccCheck,
+    /// Certification cold-miss fetch (`Fetch`).
+    OccFetch,
+    /// No-wait cold-miss fetch (`LockFetch` S, wait).
+    NoWaitFetch,
+}
+
+/// A synchronous request: send `msg`, block until the reply to `op`
+/// arrives, then feed it to the matching `apply_*_reply` method.
+#[derive(Clone, Debug)]
+pub struct SyncOp {
+    /// Which apply path handles the reply.
+    pub kind: OpKind,
+    /// Reply correlation id.
+    pub op: OpId,
+    /// The message to send.
+    pub msg: C2S,
+}
+
+/// One protocol step's outcome.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Satisfied locally; no message.
+    Local {
+        /// Trace marker, when the step is one the reference traces.
+        note: Option<LocalNote>,
+    },
+    /// Send and block for the reply.
+    Sync(SyncOp),
+    /// Send and continue (no-wait locking's asynchronous requests).
+    Async(C2S),
+}
+
+/// Commit step outcome.
+#[derive(Clone, Debug)]
+pub enum CommitAction {
+    /// Callback locking running entirely on retained locks with nothing
+    /// written: commit locally, no server message.
+    Local,
+    /// Send the commit request and block for the reply.
+    Send {
+        /// Reply correlation id.
+        op: OpId,
+        /// The pages shipped with the commit (for tracing).
+        dirty: Vec<PageId>,
+        /// The message to send.
+        msg: C2S,
+    },
+}
+
+/// Outcome of [`ClientCore::handle_async`].
+#[derive(Clone, Debug, Default)]
+pub struct AsyncOut {
+    /// Messages to send in order (callback replies, retained-lock
+    /// releases).
+    pub sends: Vec<C2S>,
+    /// A callback was answered: `(page, released)`; drivers trace it.
+    pub callback_answer: Option<(PageId, bool)>,
+}
+
+/// The client-side protocol state machine (see the module docs).
+pub struct ClientCore {
+    id: ClientId,
+    algorithm: Algorithm,
+    tuning: Tuning,
+    next_op: OpId,
+    txn_serial: u64,
+    // --- current transaction attempt state ---
+    txn: TxnId,
+    txn_aborted: bool,
+    abort_kind: AbortKind,
+    ops_sent: u32,
+    read_versions: Vec<(PageId, u64)>,
+    deferred_callbacks: Vec<PageId>,
+}
+
+impl ClientCore {
+    /// A fresh core for client `id` running `algorithm`.
+    pub fn new(id: ClientId, algorithm: Algorithm, tuning: Tuning) -> ClientCore {
+        ClientCore {
+            id,
+            algorithm,
+            tuning,
+            next_op: 0,
+            txn_serial: 0,
+            txn: TxnId(0),
+            txn_aborted: false,
+            abort_kind: AbortKind::Deadlock,
+            ops_sent: 0,
+            read_versions: Vec::new(),
+            deferred_callbacks: Vec::new(),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The algorithm this core runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The current transaction attempt's id.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Protocol operations sent so far in this attempt.
+    pub fn ops_sent(&self) -> u32 {
+        self.ops_sent
+    }
+
+    fn fresh_op(&mut self) -> OpId {
+        self.next_op += 1;
+        self.next_op
+    }
+
+    fn record_read(&mut self, page: PageId, version: u64) {
+        if !self.read_versions.iter().any(|(p, _)| *p == page) {
+            self.read_versions.push((page, version));
+        }
+    }
+
+    /// Start a new transaction attempt; returns its id. Transaction ids
+    /// are globally unique and monotonic: version numbers are derived
+    /// from committing transaction ids.
+    pub fn begin_attempt(&mut self) -> TxnId {
+        self.txn_serial += 1;
+        self.txn = TxnId(((self.id.0 as u64) << 32) | self.txn_serial);
+        self.txn_aborted = false;
+        self.abort_kind = AbortKind::Deadlock;
+        self.ops_sent = 0;
+        self.read_versions.clear();
+        self.txn
+    }
+
+    /// Fail if the server has restarted this attempt (checked at no-wait
+    /// protocol points, after the driver drained its inbox).
+    pub fn abort_pending(&self) -> Result<(), AbortKind> {
+        if self.txn_aborted {
+            Err(self.abort_kind)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Install a fetched page; evictions of retained-lock pages produce
+    /// `ReleaseRetained` messages (§3.3.3) the driver must send.
+    fn install_fetched(
+        &mut self,
+        cache: &mut ClientCache,
+        page: PageId,
+        version: u64,
+        lock: PageLock,
+        checked: bool,
+    ) -> Vec<C2S> {
+        let mut state = CachedPage::fresh(version);
+        state.lock = lock;
+        state.checked = checked;
+        let mut sends = Vec::new();
+        for ev in cache.install(page, state) {
+            debug_assert!(
+                !ev.state.dirty,
+                "dirty pages are pinned or locked and cannot be evicted"
+            );
+            if ev.state.retained {
+                sends.push(C2S::ReleaseRetained { page: ev.page });
+            }
+        }
+        sends
+    }
+
+    // ---- ReadObject -----------------------------------------------------
+
+    /// One `ReadObject` protocol step for `page`.
+    pub fn read_step(&mut self, cache: &mut ClientCache, page: PageId) -> Action {
+        match self.algorithm {
+            Algorithm::TwoPhase { .. } | Algorithm::Callback => self.read_locking(cache, page),
+            Algorithm::Certification { .. } => self.read_occ(cache, page),
+            Algorithm::NoWait { .. } => self.read_no_wait(cache, page),
+        }
+    }
+
+    fn read_locking(&mut self, cache: &mut ClientCache, page: PageId) -> Action {
+        let callback = matches!(self.algorithm, Algorithm::Callback);
+        let cached_version = match cache.access(page) {
+            Some(st) if st.lock != PageLock::None => {
+                let v = st.version;
+                self.record_read(page, v);
+                return Action::Local {
+                    note: Some(LocalNote::Read),
+                };
+            }
+            Some(st) if callback && st.retained => {
+                // The whole point of callback locking: a retained lock
+                // makes the cached copy usable with no server message.
+                st.lock = PageLock::Read;
+                let v = st.version;
+                self.record_read(page, v);
+                return Action::Local {
+                    note: Some(LocalNote::Read),
+                };
+            }
+            Some(st) => Some(st.version),
+            None => None,
+        };
+        let op = self.fresh_op();
+        self.ops_sent += 1;
+        Action::Sync(SyncOp {
+            kind: OpKind::LockRead,
+            op,
+            msg: C2S::LockFetch {
+                txn: self.txn,
+                page,
+                mode: Mode::S,
+                cached_version,
+                wait: true,
+                op,
+            },
+        })
+    }
+
+    fn read_occ(&mut self, cache: &mut ClientCache, page: PageId) -> Action {
+        let (kind, msg) = match cache.access(page) {
+            Some(st) if st.checked => {
+                let v = st.version;
+                self.record_read(page, v);
+                return Action::Local { note: None };
+            }
+            Some(st) => {
+                let version = st.version;
+                let op = self.fresh_op();
+                self.ops_sent += 1;
+                (
+                    OpKind::OccCheck,
+                    SyncOp {
+                        kind: OpKind::OccCheck,
+                        op,
+                        msg: C2S::CheckVersion {
+                            txn: self.txn,
+                            page,
+                            version,
+                            op,
+                        },
+                    },
+                )
+            }
+            None => {
+                let op = self.fresh_op();
+                self.ops_sent += 1;
+                (
+                    OpKind::OccFetch,
+                    SyncOp {
+                        kind: OpKind::OccFetch,
+                        op,
+                        msg: C2S::Fetch {
+                            txn: self.txn,
+                            page,
+                            op,
+                        },
+                    },
+                )
+            }
+        };
+        let _ = kind;
+        Action::Sync(msg)
+    }
+
+    fn read_no_wait(&mut self, cache: &mut ClientCache, page: PageId) -> Action {
+        match cache.access(page) {
+            Some(st) if st.lock != PageLock::None => {
+                let v = st.version;
+                self.record_read(page, v);
+                Action::Local { note: None }
+            }
+            Some(st) => {
+                // Assume the cached copy is valid and keep running; the
+                // server aborts us if the assumption was wrong.
+                st.lock = PageLock::Read;
+                let version = st.version;
+                self.ops_sent += 1;
+                self.record_read(page, version);
+                Action::Async(C2S::LockFetch {
+                    txn: self.txn,
+                    page,
+                    mode: Mode::S,
+                    cached_version: Some(version),
+                    wait: false,
+                    op: 0,
+                })
+            }
+            None => {
+                let op = self.fresh_op();
+                self.ops_sent += 1;
+                Action::Sync(SyncOp {
+                    kind: OpKind::NoWaitFetch,
+                    op,
+                    msg: C2S::LockFetch {
+                        txn: self.txn,
+                        page,
+                        mode: Mode::S,
+                        cached_version: None,
+                        wait: true,
+                        op,
+                    },
+                })
+            }
+        }
+    }
+
+    /// Apply the reply to a synchronous read. `Ok` carries messages the
+    /// driver must send (retained-lock releases from cache evictions).
+    pub fn apply_read_reply(
+        &mut self,
+        cache: &mut ClientCache,
+        kind: OpKind,
+        page: PageId,
+        reply: ReplyKind,
+    ) -> Result<Vec<C2S>, AbortKind> {
+        match kind {
+            OpKind::LockRead => match reply {
+                ReplyKind::Valid => {
+                    let st = cache.peek_mut(page).expect("validated page is cached");
+                    st.lock = PageLock::Read;
+                    let v = st.version;
+                    self.record_read(page, v);
+                    Ok(Vec::new())
+                }
+                ReplyKind::PageData { version } => {
+                    let sends = self.install_fetched(cache, page, version, PageLock::Read, false);
+                    self.record_read(page, version);
+                    Ok(sends)
+                }
+                ReplyKind::Aborted => Err(AbortKind::Deadlock),
+                ReplyKind::Committed { .. } => unreachable!("commit reply to a lock request"),
+            },
+            OpKind::OccCheck => match reply {
+                ReplyKind::Valid => {
+                    let st = cache.peek_mut(page).expect("checked page is cached");
+                    st.checked = true;
+                    let v = st.version;
+                    self.record_read(page, v);
+                    Ok(Vec::new())
+                }
+                ReplyKind::PageData { version } => {
+                    let sends = self.install_fetched(cache, page, version, PageLock::None, true);
+                    self.record_read(page, version);
+                    Ok(sends)
+                }
+                ReplyKind::Aborted => Err(AbortKind::Validation),
+                ReplyKind::Committed { .. } => unreachable!("commit reply to a check"),
+            },
+            OpKind::OccFetch => match reply {
+                ReplyKind::PageData { version } => {
+                    let sends = self.install_fetched(cache, page, version, PageLock::None, true);
+                    self.record_read(page, version);
+                    Ok(sends)
+                }
+                ReplyKind::Aborted => Err(AbortKind::Validation),
+                other => unreachable!("unexpected fetch reply {other:?}"),
+            },
+            OpKind::NoWaitFetch => match reply {
+                ReplyKind::PageData { version } => {
+                    let sends = self.install_fetched(cache, page, version, PageLock::Read, false);
+                    self.record_read(page, version);
+                    Ok(sends)
+                }
+                ReplyKind::Aborted => Err(if self.txn_aborted {
+                    self.abort_kind
+                } else {
+                    AbortKind::Deadlock
+                }),
+                other => unreachable!("unexpected no-wait fetch reply {other:?}"),
+            },
+        }
+    }
+
+    // ---- UpdateObject ---------------------------------------------------
+
+    /// One `UpdateObject` protocol step for `page` (which this
+    /// transaction has already read).
+    pub fn write_step(&mut self, cache: &mut ClientCache, page: PageId) -> Action {
+        match self.algorithm {
+            Algorithm::TwoPhase { .. } | Algorithm::Callback => self.write_locking(cache, page),
+            Algorithm::Certification { .. } => {
+                // Deferred updates: purely local; ship at commit.
+                let st = cache
+                    .peek_mut(page)
+                    .expect("updated page was read by this transaction");
+                st.dirty = true;
+                st.pinned = true;
+                Action::Local {
+                    note: Some(LocalNote::Write),
+                }
+            }
+            Algorithm::NoWait { .. } => {
+                let st = cache
+                    .peek_mut(page)
+                    .expect("updated page was read by this transaction");
+                if st.lock == PageLock::Write {
+                    // X already requested for this page.
+                    Action::Local { note: None }
+                } else {
+                    st.lock = PageLock::Write;
+                    st.dirty = true;
+                    let version = st.version;
+                    self.ops_sent += 1;
+                    Action::Async(C2S::LockFetch {
+                        txn: self.txn,
+                        page,
+                        mode: Mode::X,
+                        cached_version: Some(version),
+                        wait: false,
+                        op: 0,
+                    })
+                }
+            }
+        }
+    }
+
+    fn write_locking(&mut self, cache: &mut ClientCache, page: PageId) -> Action {
+        let st = cache
+            .peek_mut(page)
+            .expect("updated page was read by this transaction");
+        if st.lock == PageLock::Write {
+            st.dirty = true;
+            return Action::Local { note: None };
+        }
+        if st.retained && st.retained_write {
+            // Write-retention variant: the client already holds an
+            // exclusive lock across transactions — update locally with
+            // no server message at all.
+            st.lock = PageLock::Write;
+            st.dirty = true;
+            return Action::Local {
+                note: Some(LocalNote::Write),
+            };
+        }
+        let version = st.version;
+        let op = self.fresh_op();
+        self.ops_sent += 1;
+        Action::Sync(SyncOp {
+            kind: OpKind::LockRead, // unused: write replies go to apply_write_reply
+            op,
+            msg: C2S::LockFetch {
+                txn: self.txn,
+                page,
+                mode: Mode::X,
+                cached_version: Some(version),
+                wait: true,
+                op,
+            },
+        })
+    }
+
+    /// Apply the reply to a synchronous write upgrade.
+    pub fn apply_write_reply(
+        &mut self,
+        cache: &mut ClientCache,
+        page: PageId,
+        reply: ReplyKind,
+    ) -> Result<Vec<C2S>, AbortKind> {
+        match reply {
+            ReplyKind::Valid => {
+                let st = cache.peek_mut(page).expect("upgraded page is cached");
+                st.lock = PageLock::Write;
+                st.dirty = true;
+                Ok(Vec::new())
+            }
+            ReplyKind::PageData { version } => {
+                // Defensive: under S locks / retained locks the copy cannot
+                // have gone stale; the oracle would flag a protocol bug.
+                let sends = self.install_fetched(cache, page, version, PageLock::Write, false);
+                cache.peek_mut(page).expect("just installed").dirty = true;
+                Ok(sends)
+            }
+            ReplyKind::Aborted => Err(AbortKind::Deadlock),
+            ReplyKind::Committed { .. } => unreachable!("commit reply to an upgrade"),
+        }
+    }
+
+    // ---- CommitXact -----------------------------------------------------
+
+    /// The commit step: local for a callback-locking transaction that ran
+    /// entirely on retained locks and wrote nothing (this is where
+    /// callback locking wins at high locality), a `Commit` message
+    /// otherwise.
+    pub fn commit_step(&mut self, cache: &ClientCache) -> CommitAction {
+        let dirty = cache.dirty_pages();
+        if matches!(self.algorithm, Algorithm::Callback) && self.ops_sent == 0 && dirty.is_empty() {
+            return CommitAction::Local;
+        }
+        let op = self.fresh_op();
+        let msg = C2S::Commit {
+            txn: self.txn,
+            read_set: self.read_versions.clone(),
+            dirty: dirty.clone(),
+            ops_sent: self.ops_sent,
+            op,
+        };
+        CommitAction::Send { op, dirty, msg }
+    }
+
+    /// Apply the commit reply; `Ok` carries the new version the written
+    /// pages were stamped with.
+    pub fn apply_commit_reply(
+        &mut self,
+        cache: &mut ClientCache,
+        dirty: &[PageId],
+        reply: ReplyKind,
+    ) -> Result<u64, AbortKind> {
+        match reply {
+            ReplyKind::Committed { new_version } => {
+                for &page in dirty {
+                    if let Some(st) = cache.peek_mut(page) {
+                        st.version = new_version;
+                    }
+                }
+                Ok(new_version)
+            }
+            ReplyKind::Aborted => Err(if self.txn_aborted {
+                self.abort_kind
+            } else {
+                match self.algorithm {
+                    Algorithm::Certification { .. } => AbortKind::Validation,
+                    Algorithm::NoWait { .. } => AbortKind::StaleRead,
+                    _ => AbortKind::Deadlock,
+                }
+            }),
+            other => unreachable!("unexpected commit reply {other:?}"),
+        }
+    }
+
+    // ---- asynchronous server messages -----------------------------------
+
+    /// Handle an asynchronous server message (callback, restart order,
+    /// pushed update, invalidation, or a stale reply from an op of an
+    /// aborted attempt).
+    pub fn handle_async(&mut self, cache: &mut ClientCache, msg: S2C) -> AsyncOut {
+        let mut out = AsyncOut::default();
+        match msg {
+            S2C::Callback { page } => {
+                let release = match cache.peek_mut(page) {
+                    Some(st) if st.lock != PageLock::None => false,
+                    Some(st) => {
+                        st.retained = false;
+                        st.retained_write = false;
+                        true
+                    }
+                    None => true,
+                };
+                out.callback_answer = Some((page, release));
+                if release {
+                    out.sends.push(C2S::CallbackReply {
+                        page,
+                        released: true,
+                        blocker: None,
+                    });
+                } else {
+                    self.deferred_callbacks.push(page);
+                    out.sends.push(C2S::CallbackReply {
+                        page,
+                        released: false,
+                        blocker: Some(self.txn),
+                    });
+                }
+            }
+            S2C::Restart {
+                txn,
+                kind,
+                stale_page,
+            } => {
+                // The stale page is dropped regardless of which attempt the
+                // message is about: the copy is out of date either way.
+                if let Some(page) = stale_page {
+                    cache.invalidate(page);
+                }
+                if txn == self.txn && !self.txn_aborted {
+                    self.txn_aborted = true;
+                    self.abort_kind = kind;
+                }
+            }
+            S2C::Update { pages, version } => {
+                for page in pages {
+                    if let Some(st) = cache.peek_mut(page) {
+                        // Pages the running transaction already touched are
+                        // left alone: if they are stale the server will
+                        // restart the transaction anyway.
+                        if st.lock == PageLock::None && !st.dirty {
+                            st.version = version;
+                            st.checked = false;
+                        }
+                    }
+                }
+            }
+            S2C::Invalidate { pages } => {
+                for page in pages {
+                    let drop_it = match cache.peek(page) {
+                        Some(st) => st.lock == PageLock::None && !st.dirty,
+                        None => false,
+                    };
+                    if drop_it {
+                        cache.invalidate(page);
+                    }
+                }
+            }
+            // Stale reply from an op of an aborted attempt.
+            S2C::Reply { .. } => {}
+        }
+        out
+    }
+
+    // ---- attempt end ----------------------------------------------------
+
+    /// Post-commit bookkeeping; returns the deferred-callback releases to
+    /// send.
+    pub fn finish_commit(&mut self, cache: &mut ClientCache) -> Vec<C2S> {
+        let retain = matches!(self.algorithm, Algorithm::Callback);
+        let retain_writes = retain && self.tuning.retain_write_locks;
+        cache.end_txn(retain, retain_writes);
+        if !self.algorithm.inter_transaction() {
+            cache.clear();
+        }
+        self.release_deferred(cache)
+    }
+
+    /// Post-abort bookkeeping: locally updated pages hold uncommitted data
+    /// and are invalidated; transaction lock marks are dropped (the server
+    /// already released the real locks without retention). Returns the
+    /// deferred-callback releases to send.
+    pub fn abort_cleanup(&mut self, cache: &mut ClientCache) -> Vec<C2S> {
+        for page in cache.dirty_pages() {
+            cache.invalidate(page);
+        }
+        cache.end_txn(false, false);
+        if !self.algorithm.inter_transaction() {
+            cache.clear();
+        }
+        self.release_deferred(cache)
+    }
+
+    /// Honour callbacks deferred to the end of this transaction.
+    fn release_deferred(&mut self, cache: &mut ClientCache) -> Vec<C2S> {
+        let deferred = std::mem::take(&mut self.deferred_callbacks);
+        let mut sends = Vec::new();
+        for page in deferred {
+            if let Some(st) = cache.peek_mut(page) {
+                st.retained = false;
+                st.retained_write = false;
+            }
+            sends.push(C2S::ReleaseRetained { page });
+        }
+        sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_model::ClassId;
+
+    fn page(n: u32) -> PageId {
+        PageId {
+            class: ClassId(0),
+            atom: n,
+        }
+    }
+
+    fn setup(algorithm: Algorithm) -> (ClientCore, ClientCache) {
+        (
+            ClientCore::new(ClientId(0), algorithm, Tuning::default()),
+            ClientCache::new(8),
+        )
+    }
+
+    #[test]
+    fn txn_ids_are_unique_per_client() {
+        let (mut c, _) = setup(Algorithm::Callback);
+        let t1 = c.begin_attempt();
+        let t2 = c.begin_attempt();
+        assert_ne!(t1, t2);
+        let mut other = ClientCore::new(ClientId(1), Algorithm::Callback, Tuning::default());
+        assert_ne!(other.begin_attempt(), t1);
+    }
+
+    #[test]
+    fn locking_cold_read_then_cached_read() {
+        let (mut c, mut cache) = setup(Algorithm::TwoPhase { inter: true });
+        c.begin_attempt();
+        // Cold miss: a synchronous LockFetch with no cached version.
+        let Action::Sync(sop) = c.read_step(&mut cache, page(1)) else {
+            panic!("cold read must go to the server");
+        };
+        assert!(matches!(
+            sop.msg,
+            C2S::LockFetch {
+                cached_version: None,
+                wait: true,
+                ..
+            }
+        ));
+        let sends = c
+            .apply_read_reply(
+                &mut cache,
+                sop.kind,
+                page(1),
+                ReplyKind::PageData { version: 3 },
+            )
+            .unwrap();
+        assert!(sends.is_empty());
+        // Same page again: local (lock held).
+        assert!(matches!(
+            c.read_step(&mut cache, page(1)),
+            Action::Local {
+                note: Some(LocalNote::Read)
+            }
+        ));
+    }
+
+    #[test]
+    fn callback_retained_read_is_local() {
+        let (mut c, mut cache) = setup(Algorithm::Callback);
+        c.begin_attempt();
+        let mut st = CachedPage::fresh(5);
+        st.retained = true;
+        cache.install(page(2), st);
+        assert!(matches!(
+            c.read_step(&mut cache, page(2)),
+            Action::Local {
+                note: Some(LocalNote::Read)
+            }
+        ));
+        // Pure retained-lock transaction commits locally.
+        assert!(matches!(c.commit_step(&cache), CommitAction::Local));
+    }
+
+    #[test]
+    fn no_wait_writes_are_async() {
+        let (mut c, mut cache) = setup(Algorithm::NoWait { notify: false });
+        c.begin_attempt();
+        cache.install(page(3), CachedPage::fresh(1));
+        // Optimistic read on a cached page.
+        assert!(matches!(c.read_step(&mut cache, page(3)), Action::Async(_)));
+        // First write: async X request; second: local.
+        assert!(matches!(
+            c.write_step(&mut cache, page(3)),
+            Action::Async(_)
+        ));
+        assert!(matches!(
+            c.write_step(&mut cache, page(3)),
+            Action::Local { note: None }
+        ));
+        assert_eq!(c.ops_sent(), 2);
+    }
+
+    #[test]
+    fn restart_marks_current_attempt_only() {
+        let (mut c, mut cache) = setup(Algorithm::NoWait { notify: false });
+        let t1 = c.begin_attempt();
+        cache.install(page(4), CachedPage::fresh(0));
+        let out = c.handle_async(
+            &mut cache,
+            S2C::Restart {
+                txn: TxnId(999),
+                kind: AbortKind::StaleRead,
+                stale_page: Some(page(4)),
+            },
+        );
+        assert!(out.sends.is_empty());
+        assert!(c.abort_pending().is_ok()); // different txn
+        assert!(cache.peek(page(4)).is_none()); // stale page dropped anyway
+        c.handle_async(
+            &mut cache,
+            S2C::Restart {
+                txn: t1,
+                kind: AbortKind::StaleRead,
+                stale_page: None,
+            },
+        );
+        assert_eq!(c.abort_pending(), Err(AbortKind::StaleRead));
+    }
+
+    #[test]
+    fn callback_deferred_while_locked() {
+        let (mut c, mut cache) = setup(Algorithm::Callback);
+        c.begin_attempt();
+        let mut st = CachedPage::fresh(1);
+        st.retained = true;
+        st.lock = PageLock::Read;
+        cache.install(page(5), st);
+        let out = c.handle_async(&mut cache, S2C::Callback { page: page(5) });
+        assert_eq!(out.callback_answer, Some((page(5), false)));
+        assert!(matches!(
+            out.sends.as_slice(),
+            [C2S::CallbackReply {
+                released: false,
+                blocker: Some(_),
+                ..
+            }]
+        ));
+        // End of transaction honours the deferral.
+        let sends = c.finish_commit(&mut cache);
+        assert!(matches!(sends.as_slice(), [C2S::ReleaseRetained { .. }]));
+        assert!(!cache.peek(page(5)).unwrap().retained);
+    }
+}

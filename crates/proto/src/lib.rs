@@ -1,0 +1,34 @@
+//! Sans-io protocol cores for the Wang & Rowe cache-consistency
+//! algorithms.
+//!
+//! This crate holds everything about the client/server protocols that is
+//! *not* about time or transport: the message types ([`C2S`], [`S2C`]),
+//! the algorithm taxonomy ([`Algorithm`], [`Tuning`]), and two pure state
+//! machines — [`ServerCore`] (lock table, page versions, caching
+//! directory, transaction registry) and [`ClientCore`] (cache discipline,
+//! read/write/commit protocol steps, callback handling).
+//!
+//! Neither core knows about clocks, facilities, coroutines, or sockets.
+//! Two drivers interpret them:
+//!
+//! * the DES runtime in `ccdb-core`, which charges simulated CPU/disk/
+//!   network time around each decision, and
+//! * the real TCP page-server in `ccdb-server`, which moves the same
+//!   messages over a length-prefixed binary codec.
+//!
+//! Because both runtimes make every protocol decision through the same
+//! code, a wire trace recorded from a live server can be replayed against
+//! the simulator's semantics and diffed decision-by-decision — the DES
+//! acts as a conformance oracle for the real server.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod client;
+pub mod msg;
+pub mod server;
+
+pub use algorithm::{Algorithm, ParseAlgorithmError, Tuning};
+pub use client::{Action, AsyncOut, ClientCore, CommitAction, LocalNote, OpKind, SyncOp};
+pub use msg::{AbortKind, OpId, ReplyKind, C2S, S2C};
+pub use server::{AbortOutcome, GrantDecision, ServerCore};

@@ -1,0 +1,788 @@
+//! Length-prefixed binary framing for the wire protocol.
+//!
+//! Frame layout: a little-endian `u32` body length, then the body. The
+//! body starts with a one-byte frame tag, followed by the tag's fixed
+//! fields (little-endian integers, `Option` as a presence byte, vectors
+//! as a `u32` count), followed by exactly
+//! [`C2S::payload_bytes`] / [`S2C::payload_bytes`] filler bytes standing
+//! in for page contents. Because the filler count comes from the same
+//! function the simulated `Network` charges for packetisation, the
+//! on-the-wire size of every message equals its simulated data volume by
+//! construction.
+//!
+//! The codec is deliberately version-naive: the `Hello`/`HelloAck`
+//! handshake pins both sides to the same build, and the replay tooling
+//! (not the wire) is the compatibility surface.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use ccdb_lock::{Mode, TxnId};
+use ccdb_model::{ClassId, PageId};
+use ccdb_proto::{AbortKind, ReplyKind, C2S, S2C};
+
+/// Hard upper bound on a frame body; anything larger is a protocol error,
+/// not a real message (the largest legal frame is a commit shipping a
+/// whole client cache of pages).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Session-layer frames exchanged over one connection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// First frame from a client: identifies the workstation.
+    Hello {
+        /// The client's workstation id (also its lock-owner identity).
+        client: u32,
+    },
+    /// Server's answer to `Hello`: pins algorithm and page size.
+    HelloAck {
+        /// Canonical label of the algorithm the server runs.
+        alg: String,
+        /// Page size in bytes (drives payload filler on both sides).
+        page_size: u32,
+    },
+    /// Orderly goodbye; the server aborts the client's live work.
+    Bye,
+    /// A protocol request.
+    C2S(C2S),
+    /// A protocol response or notification.
+    S2C(S2C),
+}
+
+/// Decoding failure, named so tests can assert the exact rejection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// Unknown frame or message tag.
+    BadTag(u8),
+    /// A field held an out-of-range discriminant.
+    BadEnum {
+        /// Which field.
+        what: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// The payload filler did not match `payload_bytes`.
+    PayloadMismatch {
+        /// Filler bytes the message type requires.
+        expected: u64,
+        /// Filler bytes actually present.
+        have: u64,
+    },
+    /// Declared body length exceeds [`MAX_FRAME`].
+    Oversize {
+        /// The declared length.
+        len: u32,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            CodecError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            CodecError::BadEnum { what, value } => {
+                write!(f, "bad {what} discriminant {value:#04x}")
+            }
+            CodecError::PayloadMismatch { expected, have } => {
+                write!(
+                    f,
+                    "payload mismatch: expected {expected} filler bytes, have {have}"
+                )
+            }
+            CodecError::Oversize { len } => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+                )
+            }
+            CodecError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+// Frame tags.
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_BYE: u8 = 3;
+const TAG_C2S: u8 = 4;
+const TAG_S2C: u8 = 5;
+
+// C2S tags.
+const C_LOCK_FETCH: u8 = 1;
+const C_FETCH: u8 = 2;
+const C_CHECK: u8 = 3;
+const C_COMMIT: u8 = 4;
+const C_CALLBACK_REPLY: u8 = 5;
+const C_RELEASE_RETAINED: u8 = 6;
+
+// S2C tags.
+const S_REPLY: u8 = 1;
+const S_CALLBACK: u8 = 2;
+const S_RESTART: u8 = 3;
+const S_UPDATE: u8 = 4;
+const S_INVALIDATE: u8 = 5;
+
+// ReplyKind tags.
+const R_PAGE_DATA: u8 = 1;
+const R_VALID: u8 = 2;
+const R_COMMITTED: u8 = 3;
+const R_ABORTED: u8 = 4;
+
+// AbortKind tags.
+const A_DEADLOCK: u8 = 1;
+const A_STALE: u8 = 2;
+const A_VALIDATION: u8 = 3;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_page(out: &mut Vec<u8>, p: PageId) {
+    put_u16(out, p.class.0);
+    put_u32(out, p.atom);
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn put_pages(out: &mut Vec<u8>, pages: &[PageId]) {
+    put_u32(out, pages.len() as u32);
+    for p in pages {
+        put_page(out, *p);
+    }
+}
+
+/// Cursor over a frame body with typed, bounds-checked reads.
+struct Cur<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        if self.b.len() - self.p < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                have: self.b.len() - self.p,
+            });
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        self.need(1)?;
+        let v = self.b[self.p];
+        self.p += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        self.need(2)?;
+        let v = u16::from_le_bytes(self.b[self.p..self.p + 2].try_into().unwrap());
+        self.p += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(self.b[self.p..self.p + 4].try_into().unwrap());
+        self.p += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(self.b[self.p..self.p + 8].try_into().unwrap());
+        self.p += 8;
+        Ok(v)
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CodecError::BadEnum { what, value: v }),
+        }
+    }
+
+    fn page(&mut self) -> Result<PageId, CodecError> {
+        let class = ClassId(self.u16()?);
+        let atom = self.u32()?;
+        Ok(PageId { class, atom })
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            v => Err(CodecError::BadEnum {
+                what: "option",
+                value: v,
+            }),
+        }
+    }
+
+    fn pages(&mut self) -> Result<Vec<PageId>, CodecError> {
+        let n = self.u32()? as usize;
+        // Bound before allocating: each page encodes to 6 bytes.
+        self.need(n.saturating_mul(6))?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.page()?);
+        }
+        Ok(v)
+    }
+
+    fn remaining(&self) -> u64 {
+        (self.b.len() - self.p) as u64
+    }
+}
+
+fn encode_c2s(out: &mut Vec<u8>, m: &C2S) {
+    match m {
+        C2S::LockFetch {
+            txn,
+            page,
+            mode,
+            cached_version,
+            wait,
+            op,
+        } => {
+            out.push(C_LOCK_FETCH);
+            put_u64(out, txn.0);
+            put_page(out, *page);
+            out.push(match mode {
+                Mode::S => 1,
+                Mode::X => 2,
+            });
+            put_opt_u64(out, *cached_version);
+            out.push(u8::from(*wait));
+            put_u64(out, *op);
+        }
+        C2S::Fetch { txn, page, op } => {
+            out.push(C_FETCH);
+            put_u64(out, txn.0);
+            put_page(out, *page);
+            put_u64(out, *op);
+        }
+        C2S::CheckVersion {
+            txn,
+            page,
+            version,
+            op,
+        } => {
+            out.push(C_CHECK);
+            put_u64(out, txn.0);
+            put_page(out, *page);
+            put_u64(out, *version);
+            put_u64(out, *op);
+        }
+        C2S::Commit {
+            txn,
+            read_set,
+            dirty,
+            ops_sent,
+            op,
+        } => {
+            out.push(C_COMMIT);
+            put_u64(out, txn.0);
+            put_u32(out, read_set.len() as u32);
+            for (p, v) in read_set {
+                put_page(out, *p);
+                put_u64(out, *v);
+            }
+            put_pages(out, dirty);
+            put_u32(out, *ops_sent);
+            put_u64(out, *op);
+        }
+        C2S::CallbackReply {
+            page,
+            released,
+            blocker,
+        } => {
+            out.push(C_CALLBACK_REPLY);
+            put_page(out, *page);
+            out.push(u8::from(*released));
+            put_opt_u64(out, blocker.map(|t| t.0));
+        }
+        C2S::ReleaseRetained { page } => {
+            out.push(C_RELEASE_RETAINED);
+            put_page(out, *page);
+        }
+    }
+}
+
+fn decode_c2s(c: &mut Cur<'_>) -> Result<C2S, CodecError> {
+    match c.u8()? {
+        C_LOCK_FETCH => {
+            let txn = TxnId(c.u64()?);
+            let page = c.page()?;
+            let mode = match c.u8()? {
+                1 => Mode::S,
+                2 => Mode::X,
+                v => {
+                    return Err(CodecError::BadEnum {
+                        what: "mode",
+                        value: v,
+                    })
+                }
+            };
+            let cached_version = c.opt_u64()?;
+            let wait = c.bool("wait")?;
+            let op = c.u64()?;
+            Ok(C2S::LockFetch {
+                txn,
+                page,
+                mode,
+                cached_version,
+                wait,
+                op,
+            })
+        }
+        C_FETCH => Ok(C2S::Fetch {
+            txn: TxnId(c.u64()?),
+            page: c.page()?,
+            op: c.u64()?,
+        }),
+        C_CHECK => Ok(C2S::CheckVersion {
+            txn: TxnId(c.u64()?),
+            page: c.page()?,
+            version: c.u64()?,
+            op: c.u64()?,
+        }),
+        C_COMMIT => {
+            let txn = TxnId(c.u64()?);
+            let n = c.u32()? as usize;
+            c.need(n.saturating_mul(14))?;
+            let mut read_set = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = c.page()?;
+                let v = c.u64()?;
+                read_set.push((p, v));
+            }
+            let dirty = c.pages()?;
+            let ops_sent = c.u32()?;
+            let op = c.u64()?;
+            Ok(C2S::Commit {
+                txn,
+                read_set,
+                dirty,
+                ops_sent,
+                op,
+            })
+        }
+        C_CALLBACK_REPLY => Ok(C2S::CallbackReply {
+            page: c.page()?,
+            released: c.bool("released")?,
+            blocker: c.opt_u64()?.map(TxnId),
+        }),
+        C_RELEASE_RETAINED => Ok(C2S::ReleaseRetained { page: c.page()? }),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn encode_s2c(out: &mut Vec<u8>, m: &S2C) {
+    match m {
+        S2C::Reply { op, kind } => {
+            out.push(S_REPLY);
+            put_u64(out, *op);
+            match kind {
+                ReplyKind::PageData { version } => {
+                    out.push(R_PAGE_DATA);
+                    put_u64(out, *version);
+                }
+                ReplyKind::Valid => out.push(R_VALID),
+                ReplyKind::Committed { new_version } => {
+                    out.push(R_COMMITTED);
+                    put_u64(out, *new_version);
+                }
+                ReplyKind::Aborted => out.push(R_ABORTED),
+            }
+        }
+        S2C::Callback { page } => {
+            out.push(S_CALLBACK);
+            put_page(out, *page);
+        }
+        S2C::Restart {
+            txn,
+            kind,
+            stale_page,
+        } => {
+            out.push(S_RESTART);
+            put_u64(out, txn.0);
+            out.push(match kind {
+                AbortKind::Deadlock => A_DEADLOCK,
+                AbortKind::StaleRead => A_STALE,
+                AbortKind::Validation => A_VALIDATION,
+            });
+            match stale_page {
+                None => out.push(0),
+                Some(p) => {
+                    out.push(1);
+                    put_page(out, *p);
+                }
+            }
+        }
+        S2C::Update { pages, version } => {
+            out.push(S_UPDATE);
+            put_pages(out, pages);
+            put_u64(out, *version);
+        }
+        S2C::Invalidate { pages } => {
+            out.push(S_INVALIDATE);
+            put_pages(out, pages);
+        }
+    }
+}
+
+fn decode_s2c(c: &mut Cur<'_>) -> Result<S2C, CodecError> {
+    match c.u8()? {
+        S_REPLY => {
+            let op = c.u64()?;
+            let kind = match c.u8()? {
+                R_PAGE_DATA => ReplyKind::PageData { version: c.u64()? },
+                R_VALID => ReplyKind::Valid,
+                R_COMMITTED => ReplyKind::Committed {
+                    new_version: c.u64()?,
+                },
+                R_ABORTED => ReplyKind::Aborted,
+                v => {
+                    return Err(CodecError::BadEnum {
+                        what: "reply kind",
+                        value: v,
+                    })
+                }
+            };
+            Ok(S2C::Reply { op, kind })
+        }
+        S_CALLBACK => Ok(S2C::Callback { page: c.page()? }),
+        S_RESTART => {
+            let txn = TxnId(c.u64()?);
+            let kind = match c.u8()? {
+                A_DEADLOCK => AbortKind::Deadlock,
+                A_STALE => AbortKind::StaleRead,
+                A_VALIDATION => AbortKind::Validation,
+                v => {
+                    return Err(CodecError::BadEnum {
+                        what: "abort kind",
+                        value: v,
+                    })
+                }
+            };
+            let stale_page = match c.u8()? {
+                0 => None,
+                1 => Some(c.page()?),
+                v => {
+                    return Err(CodecError::BadEnum {
+                        what: "option",
+                        value: v,
+                    })
+                }
+            };
+            Ok(S2C::Restart {
+                txn,
+                kind,
+                stale_page,
+            })
+        }
+        S_UPDATE => Ok(S2C::Update {
+            pages: c.pages()?,
+            version: c.u64()?,
+        }),
+        S_INVALIDATE => Ok(S2C::Invalidate { pages: c.pages()? }),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Filler bytes standing in for page contents: a fixed, verifiable
+/// pattern so a corrupted stream fails loudly rather than silently.
+fn fill_payload(out: &mut Vec<u8>, n: u64) {
+    out.reserve(n as usize);
+    for i in 0..n {
+        out.push((i % 251) as u8);
+    }
+}
+
+/// Encode a frame, including the length prefix.
+pub fn encode_frame(f: &Frame, page_size: u32) -> Vec<u8> {
+    let mut body = Vec::new();
+    match f {
+        Frame::Hello { client } => {
+            body.push(TAG_HELLO);
+            put_u32(&mut body, *client);
+        }
+        Frame::HelloAck { alg, page_size: ps } => {
+            body.push(TAG_HELLO_ACK);
+            put_u32(&mut body, alg.len() as u32);
+            body.extend_from_slice(alg.as_bytes());
+            put_u32(&mut body, *ps);
+        }
+        Frame::Bye => body.push(TAG_BYE),
+        Frame::C2S(m) => {
+            body.push(TAG_C2S);
+            encode_c2s(&mut body, m);
+            fill_payload(&mut body, m.payload_bytes(page_size));
+        }
+        Frame::S2C(m) => {
+            body.push(TAG_S2C);
+            encode_s2c(&mut body, m);
+            fill_payload(&mut body, m.payload_bytes(page_size));
+        }
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode one frame from the front of `buf`. Returns the frame and the
+/// total bytes consumed (prefix + body). `buf` may extend past the frame.
+pub fn decode_frame(buf: &[u8], page_size: u32) -> Result<(Frame, usize), CodecError> {
+    if buf.len() < 4 {
+        return Err(CodecError::Truncated {
+            needed: 4,
+            have: buf.len(),
+        });
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(CodecError::Oversize { len });
+    }
+    let len = len as usize;
+    if buf.len() - 4 < len {
+        return Err(CodecError::Truncated {
+            needed: len,
+            have: buf.len() - 4,
+        });
+    }
+    let body = &buf[4..4 + len];
+    let mut c = Cur { b: body, p: 0 };
+    let frame = match c.u8()? {
+        TAG_HELLO => Frame::Hello { client: c.u32()? },
+        TAG_HELLO_ACK => {
+            let n = c.u32()? as usize;
+            c.need(n)?;
+            let s = std::str::from_utf8(&c.b[c.p..c.p + n]).map_err(|_| CodecError::BadUtf8)?;
+            let alg = s.to_string();
+            c.p += n;
+            let ps = c.u32()?;
+            Frame::HelloAck { alg, page_size: ps }
+        }
+        TAG_BYE => Frame::Bye,
+        TAG_C2S => {
+            let m = decode_c2s(&mut c)?;
+            let expected = m.payload_bytes(page_size);
+            if c.remaining() != expected {
+                return Err(CodecError::PayloadMismatch {
+                    expected,
+                    have: c.remaining(),
+                });
+            }
+            c.p = body.len();
+            Frame::C2S(m)
+        }
+        TAG_S2C => {
+            let m = decode_s2c(&mut c)?;
+            let expected = m.payload_bytes(page_size);
+            if c.remaining() != expected {
+                return Err(CodecError::PayloadMismatch {
+                    expected,
+                    have: c.remaining(),
+                });
+            }
+            c.p = body.len();
+            Frame::S2C(m)
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    if c.p != body.len() {
+        // Structured fields must fill the body exactly (no trailing junk).
+        return Err(CodecError::PayloadMismatch {
+            expected: 0,
+            have: (body.len() - c.p) as u64,
+        });
+    }
+    Ok((frame, 4 + len))
+}
+
+/// Write one frame to a stream.
+pub fn write_frame<W: Write>(w: &mut W, f: &Frame, page_size: u32) -> io::Result<()> {
+    w.write_all(&encode_frame(f, page_size))
+}
+
+/// Read one frame from a stream. `Ok(None)` means a clean EOF at a frame
+/// boundary; EOF inside a frame or a malformed body is `InvalidData`.
+pub fn read_frame<R: Read>(r: &mut R, page_size: u32) -> io::Result<Option<Frame>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "eof inside a frame length prefix",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            CodecError::Oversize { len }.to_string(),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + len as usize);
+    buf.extend_from_slice(&prefix);
+    buf.resize(4 + len as usize, 0);
+    r.read_exact(&mut buf[4..])?;
+    let (frame, used) = decode_frame(&buf, page_size)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    debug_assert_eq!(used, buf.len());
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(class: u16, atom: u32) -> PageId {
+        PageId {
+            class: ClassId(class),
+            atom,
+        }
+    }
+
+    fn roundtrip(f: Frame, page_size: u32) {
+        let bytes = encode_frame(&f, page_size);
+        let (back, used) = decode_frame(&bytes, page_size).expect("decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::Hello { client: 7 }, 4096);
+        roundtrip(
+            Frame::HelloAck {
+                alg: "NWN".into(),
+                page_size: 4096,
+            },
+            4096,
+        );
+        roundtrip(Frame::Bye, 4096);
+        roundtrip(
+            Frame::C2S(C2S::LockFetch {
+                txn: TxnId(0x0000_0003_0000_0001),
+                page: page(2, 19),
+                mode: Mode::X,
+                cached_version: Some(42),
+                wait: false,
+                op: 9,
+            }),
+            4096,
+        );
+        roundtrip(
+            Frame::C2S(C2S::Commit {
+                txn: TxnId(1),
+                read_set: vec![(page(0, 1), 3), (page(1, 2), 0)],
+                dirty: vec![page(0, 1)],
+                ops_sent: 5,
+                op: 11,
+            }),
+            512,
+        );
+        roundtrip(
+            Frame::S2C(S2C::Update {
+                pages: vec![page(0, 1), page(3, 4)],
+                version: 17,
+            }),
+            256,
+        );
+    }
+
+    #[test]
+    fn commit_payload_scales_with_dirty_pages() {
+        let f = Frame::C2S(C2S::Commit {
+            txn: TxnId(1),
+            read_set: vec![],
+            dirty: vec![page(0, 1), page(0, 2)],
+            ops_sent: 0,
+            op: 1,
+        });
+        let small = encode_frame(&f, 64).len();
+        let big = encode_frame(&f, 4096).len();
+        assert_eq!(big - small, 2 * (4096 - 64));
+    }
+
+    #[test]
+    fn truncated_frames_are_named_errors() {
+        let f = Frame::S2C(S2C::Reply {
+            op: 3,
+            kind: ReplyKind::PageData { version: 8 },
+        });
+        let bytes = encode_frame(&f, 128);
+        for cut in [0, 3, 4, 10, bytes.len() - 1] {
+            let err = decode_frame(&bytes[..cut], 128).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. } | CodecError::PayloadMismatch { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_and_bad_tags_rejected() {
+        let mut huge = Vec::new();
+        put_u32(&mut huge, MAX_FRAME + 1);
+        assert!(matches!(
+            decode_frame(&huge, 4096).unwrap_err(),
+            CodecError::Oversize { .. }
+        ));
+        let bytes = encode_frame(&Frame::Bye, 4096);
+        let mut bad = bytes.clone();
+        bad[4] = 0xEE;
+        assert_eq!(
+            decode_frame(&bad, 4096).unwrap_err(),
+            CodecError::BadTag(0xEE)
+        );
+    }
+}

@@ -1,0 +1,992 @@
+//! The sans-io TCP session engine.
+//!
+//! [`Engine`] wraps [`ServerCore`] with the state a *live* page-server
+//! needs but the DES driver keeps in coroutine stacks: MPL admission
+//! queues, parked lock continuations, and pending commits waiting on
+//! in-flight operations. It is a pure function of the message sequence —
+//! no clock, no randomness, no I/O — which is what makes oracle replay
+//! possible: feed the same messages in the same order and the engine
+//! reproduces every decision and every outgoing message exactly.
+//!
+//! The TCP server serialises all connections through one engine (a
+//! mutex pins the total message order); the recorded order replays
+//! deterministically even though the sockets raced.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use ccdb_lock::{ClientId, Mode, RequestOutcome, TxnId, Wake};
+use ccdb_model::{DatabaseSpec, PageId};
+use ccdb_proto::{
+    AbortKind, Algorithm, GrantDecision, OpId, ReplyKind, ServerCore, Tuning, C2S, S2C,
+};
+
+/// A protocol decision the engine took while processing one message.
+/// Rendered into the wire trace and diffed on replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Transaction admitted under the MPL.
+    Admit {
+        /// The admitted transaction.
+        txn: TxnId,
+    },
+    /// Transaction queued behind the MPL; its messages queue with it.
+    Queue {
+        /// The queued transaction.
+        txn: TxnId,
+    },
+    /// Lock request granted immediately.
+    LockGranted {
+        /// Requester.
+        txn: TxnId,
+        /// Target page.
+        page: PageId,
+        /// Requested mode.
+        mode: Mode,
+    },
+    /// Lock request blocked; the continuation parked.
+    LockBlocked {
+        /// Requester.
+        txn: TxnId,
+        /// Target page.
+        page: PageId,
+        /// Requested mode.
+        mode: Mode,
+    },
+    /// Lock request closed a waits-for cycle; requester chosen as victim.
+    LockDeadlock {
+        /// Requester (and victim).
+        txn: TxnId,
+        /// Target page.
+        page: PageId,
+        /// Requested mode.
+        mode: Mode,
+    },
+    /// A parked lock request resumed after a release.
+    WakeGrant {
+        /// The resumed transaction.
+        txn: TxnId,
+        /// The page it was waiting on.
+        page: PageId,
+    },
+    /// Client's cached copy validated as current; no data shipped.
+    UseCached {
+        /// Requester.
+        txn: TxnId,
+        /// The validated page.
+        page: PageId,
+    },
+    /// Page contents shipped to the requester.
+    Ship {
+        /// Requester.
+        txn: TxnId,
+        /// The shipped page.
+        page: PageId,
+        /// The version shipped.
+        version: u64,
+    },
+    /// Callback sent to a client holding a retained lock.
+    Callback {
+        /// The client called back.
+        client: ClientId,
+        /// The contested page.
+        page: PageId,
+    },
+    /// Transaction aborted.
+    Abort {
+        /// The victim.
+        txn: TxnId,
+        /// Why.
+        kind: AbortKind,
+        /// The stale page, for no-wait stale-read aborts.
+        stale_page: Option<PageId>,
+    },
+    /// Commit validated and installed.
+    Committed {
+        /// The committer.
+        txn: TxnId,
+        /// Version now carried by its written pages.
+        version: u64,
+    },
+    /// Commit rejected (certification failed or transaction doomed).
+    CommitRejected {
+        /// The rejected transaction.
+        txn: TxnId,
+    },
+    /// A client disconnected; its live work was aborted.
+    Disconnect {
+        /// The departed client.
+        client: ClientId,
+    },
+}
+
+fn fmt_txn(f: &mut fmt::Formatter<'_>, t: TxnId) -> fmt::Result {
+    write!(f, "{}.{}", t.0 >> 32, t.0 & 0xFFFF_FFFF)
+}
+
+fn fmt_page(f: &mut fmt::Formatter<'_>, p: PageId) -> fmt::Result {
+    write!(f, "{}:{}", p.class.0, p.atom)
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Admit { txn } => {
+                write!(f, "admit t=")?;
+                fmt_txn(f, *txn)
+            }
+            Decision::Queue { txn } => {
+                write!(f, "queue t=")?;
+                fmt_txn(f, *txn)
+            }
+            Decision::LockGranted { txn, page, mode }
+            | Decision::LockBlocked { txn, page, mode }
+            | Decision::LockDeadlock { txn, page, mode } => {
+                let outcome = match self {
+                    Decision::LockGranted { .. } => "granted",
+                    Decision::LockBlocked { .. } => "blocked",
+                    _ => "deadlock",
+                };
+                write!(f, "lock t=")?;
+                fmt_txn(f, *txn)?;
+                write!(f, " p=")?;
+                fmt_page(f, *page)?;
+                write!(f, " {mode:?} -> {outcome}")
+            }
+            Decision::WakeGrant { txn, page } => {
+                write!(f, "wake t=")?;
+                fmt_txn(f, *txn)?;
+                write!(f, " p=")?;
+                fmt_page(f, *page)
+            }
+            Decision::UseCached { txn, page } => {
+                write!(f, "use-cached t=")?;
+                fmt_txn(f, *txn)?;
+                write!(f, " p=")?;
+                fmt_page(f, *page)
+            }
+            Decision::Ship { txn, page, version } => {
+                write!(f, "ship t=")?;
+                fmt_txn(f, *txn)?;
+                write!(f, " p=")?;
+                fmt_page(f, *page)?;
+                write!(f, " v={version}")
+            }
+            Decision::Callback { client, page } => {
+                write!(f, "callback c={} p=", client.0)?;
+                fmt_page(f, *page)
+            }
+            Decision::Abort {
+                txn,
+                kind,
+                stale_page,
+            } => {
+                write!(f, "abort t=")?;
+                fmt_txn(f, *txn)?;
+                let k = match kind {
+                    AbortKind::Deadlock => "deadlock",
+                    AbortKind::StaleRead => "stale",
+                    AbortKind::Validation => "validation",
+                };
+                write!(f, " kind={k} stale=")?;
+                match stale_page {
+                    Some(p) => fmt_page(f, *p),
+                    None => write!(f, "-"),
+                }
+            }
+            Decision::Committed { txn, version } => {
+                write!(f, "commit t=")?;
+                fmt_txn(f, *txn)?;
+                write!(f, " -> v{version}")
+            }
+            Decision::CommitRejected { txn } => {
+                write!(f, "commit t=")?;
+                fmt_txn(f, *txn)?;
+                write!(f, " -> rejected")
+            }
+            Decision::Disconnect { client } => write!(f, "bye c={}", client.0),
+        }
+    }
+}
+
+/// Everything one message produced: outgoing messages (in send order)
+/// and the protocol decisions taken.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Effects {
+    /// Messages to deliver, in order.
+    pub sends: Vec<(ClientId, S2C)>,
+    /// Decisions, in the order they were taken.
+    pub decisions: Vec<Decision>,
+}
+
+/// A blocked synchronous lock request, waiting for a grant.
+struct ParkedLock {
+    from: ClientId,
+    cached_version: Option<u64>,
+    wait: bool,
+    op: OpId,
+}
+
+/// A commit waiting for the transaction's in-flight ops to resolve.
+struct PendingCommit {
+    from: ClientId,
+    read_set: Vec<(PageId, u64)>,
+    dirty: Vec<PageId>,
+    ops_sent: u32,
+    op: OpId,
+}
+
+/// The live server's protocol engine (see the module docs).
+pub struct Engine {
+    core: ServerCore,
+    mpl: u32,
+    admitted: HashSet<TxnId>,
+    admit_queue: VecDeque<TxnId>,
+    queued: HashMap<TxnId, Vec<(ClientId, C2S)>>,
+    parked: HashMap<(TxnId, PageId), VecDeque<ParkedLock>>,
+    pending_commits: HashMap<TxnId, PendingCommit>,
+    /// Transactions committed so far.
+    pub commits: u64,
+    /// Transactions aborted so far (including rejected certifications).
+    pub aborts: u64,
+}
+
+impl Engine {
+    /// Build an engine for `algorithm` over a fresh database.
+    pub fn new(
+        algorithm: Algorithm,
+        tuning: Tuning,
+        n_clients: u32,
+        mpl: u32,
+        lock_shards: u32,
+        oracle: bool,
+        db: DatabaseSpec,
+    ) -> Engine {
+        Engine {
+            core: ServerCore::new(algorithm, tuning, oracle, n_clients, lock_shards, db),
+            mpl: mpl.max(1),
+            admitted: HashSet::new(),
+            admit_queue: VecDeque::new(),
+            queued: HashMap::new(),
+            parked: HashMap::new(),
+            pending_commits: HashMap::new(),
+            commits: 0,
+            aborts: 0,
+        }
+    }
+
+    /// The protocol core (stats, algorithm, debug).
+    pub fn core(&self) -> &ServerCore {
+        &self.core
+    }
+
+    /// Process one client message; returns what to send and what was
+    /// decided.
+    pub fn apply(&mut self, from: ClientId, msg: C2S) -> Effects {
+        let mut eff = Effects::default();
+        self.apply_inner(from, msg, &mut eff);
+        eff
+    }
+
+    /// A client's connection ended: abort its live transactions and drop
+    /// its retained locks.
+    pub fn disconnect(&mut self, client: ClientId) -> Effects {
+        let mut eff = Effects::default();
+        eff.decisions.push(Decision::Disconnect { client });
+        for txn in self.core.txns_of_client(client) {
+            self.do_abort(txn, AbortKind::Deadlock, None, &mut eff);
+        }
+        for page in self.core.retained_pages(client) {
+            let (wakes, cbs) = self.core.release_retained(client, page);
+            self.process_wakes(wakes, cbs, &mut eff);
+        }
+        eff
+    }
+
+    fn apply_inner(&mut self, from: ClientId, msg: C2S, eff: &mut Effects) {
+        let Some(txn) = msg.txn() else {
+            return self.dispatch(from, msg, eff);
+        };
+        if self.core.is_aborted(txn) {
+            return self.reply_dead(from, &msg, eff);
+        }
+        if self.admitted.contains(&txn) {
+            return self.dispatch(from, msg, eff);
+        }
+        if self.core.txn_known(txn) {
+            // Queued behind the MPL; replay its messages on admission.
+            self.queued.entry(txn).or_default().push((from, msg));
+            return;
+        }
+        self.core.register_txn(txn, from);
+        if (self.admitted.len() as u32) < self.mpl {
+            self.admitted.insert(txn);
+            eff.decisions.push(Decision::Admit { txn });
+            self.dispatch(from, msg, eff);
+        } else {
+            eff.decisions.push(Decision::Queue { txn });
+            self.admit_queue.push_back(txn);
+            self.queued.entry(txn).or_default().push((from, msg));
+        }
+    }
+
+    /// Answer a synchronous message for a dead transaction so its client
+    /// does not hang; asynchronous ones are dropped.
+    fn reply_dead(&mut self, from: ClientId, msg: &C2S, eff: &mut Effects) {
+        let op = match msg {
+            C2S::LockFetch { wait: true, op, .. }
+            | C2S::Fetch { op, .. }
+            | C2S::CheckVersion { op, .. }
+            | C2S::Commit { op, .. } => *op,
+            _ => return,
+        };
+        self.send(
+            eff,
+            from,
+            S2C::Reply {
+                op,
+                kind: ReplyKind::Aborted,
+            },
+        );
+    }
+
+    fn dispatch(&mut self, from: ClientId, msg: C2S, eff: &mut Effects) {
+        match msg {
+            C2S::LockFetch {
+                txn,
+                page,
+                mode,
+                cached_version,
+                wait,
+                op,
+            } => match self.core.request_lock(txn, from, page, mode) {
+                RequestOutcome::Granted => {
+                    eff.decisions
+                        .push(Decision::LockGranted { txn, page, mode });
+                    self.grant_continue(txn, from, page, cached_version, wait, op, eff);
+                }
+                RequestOutcome::Blocked { callbacks } => {
+                    eff.decisions
+                        .push(Decision::LockBlocked { txn, page, mode });
+                    for c in callbacks {
+                        eff.decisions.push(Decision::Callback { client: c, page });
+                        self.send(eff, c, S2C::Callback { page });
+                    }
+                    self.core.park(txn, page);
+                    self.parked
+                        .entry((txn, page))
+                        .or_default()
+                        .push_back(ParkedLock {
+                            from,
+                            cached_version,
+                            wait,
+                            op,
+                        });
+                }
+                RequestOutcome::Deadlock => {
+                    eff.decisions
+                        .push(Decision::LockDeadlock { txn, page, mode });
+                    self.do_abort(txn, AbortKind::Deadlock, None, eff);
+                    if wait {
+                        self.send(
+                            eff,
+                            from,
+                            S2C::Reply {
+                                op,
+                                kind: ReplyKind::Aborted,
+                            },
+                        );
+                    }
+                }
+            },
+            C2S::Fetch { txn, page, op } => {
+                let version = self.core.note_shipped(from, page);
+                eff.decisions.push(Decision::Ship { txn, page, version });
+                self.send(
+                    eff,
+                    from,
+                    S2C::Reply {
+                        op,
+                        kind: ReplyKind::PageData { version },
+                    },
+                );
+                self.resolved(txn, eff);
+            }
+            C2S::CheckVersion {
+                txn,
+                page,
+                version,
+                op,
+            } => {
+                if self.core.version_of(page) == version {
+                    eff.decisions.push(Decision::UseCached { txn, page });
+                    self.send(
+                        eff,
+                        from,
+                        S2C::Reply {
+                            op,
+                            kind: ReplyKind::Valid,
+                        },
+                    );
+                } else {
+                    let shipped = self.core.note_shipped(from, page);
+                    eff.decisions.push(Decision::Ship {
+                        txn,
+                        page,
+                        version: shipped,
+                    });
+                    self.send(
+                        eff,
+                        from,
+                        S2C::Reply {
+                            op,
+                            kind: ReplyKind::PageData { version: shipped },
+                        },
+                    );
+                }
+                self.resolved(txn, eff);
+            }
+            C2S::Commit {
+                txn,
+                read_set,
+                dirty,
+                ops_sent,
+                op,
+            } => {
+                let pc = PendingCommit {
+                    from,
+                    read_set,
+                    dirty,
+                    ops_sent,
+                    op,
+                };
+                if self.core.commit_ready(txn, ops_sent) {
+                    self.do_commit(txn, pc, eff);
+                } else {
+                    self.pending_commits.insert(txn, pc);
+                }
+            }
+            C2S::CallbackReply {
+                page,
+                released,
+                blocker,
+            } => {
+                if released {
+                    let (wakes, cbs) = self.core.release_retained(from, page);
+                    self.process_wakes(wakes, cbs, eff);
+                } else if let Some(blocker) = blocker {
+                    if let Some(victim) = self.core.callback_deferred(page, from, blocker) {
+                        self.do_abort(victim, AbortKind::Deadlock, None, eff);
+                    }
+                }
+            }
+            C2S::ReleaseRetained { page } => {
+                let (wakes, cbs) = self.core.release_retained(from, page);
+                self.process_wakes(wakes, cbs, eff);
+            }
+        }
+    }
+
+    /// A lock was just granted (immediately or after a wait): decide
+    /// between validating the cached copy, shipping, and stale-abort.
+    #[allow(clippy::too_many_arguments)]
+    fn grant_continue(
+        &mut self,
+        txn: TxnId,
+        from: ClientId,
+        page: PageId,
+        cached_version: Option<u64>,
+        wait: bool,
+        op: OpId,
+        eff: &mut Effects,
+    ) {
+        match self.core.after_grant(page, cached_version, wait) {
+            GrantDecision::UseCached => {
+                eff.decisions.push(Decision::UseCached { txn, page });
+                if wait {
+                    self.send(
+                        eff,
+                        from,
+                        S2C::Reply {
+                            op,
+                            kind: ReplyKind::Valid,
+                        },
+                    );
+                }
+                self.resolved(txn, eff);
+            }
+            GrantDecision::Ship => {
+                let version = self.core.note_shipped(from, page);
+                eff.decisions.push(Decision::Ship { txn, page, version });
+                if wait {
+                    self.send(
+                        eff,
+                        from,
+                        S2C::Reply {
+                            op,
+                            kind: ReplyKind::PageData { version },
+                        },
+                    );
+                }
+                self.resolved(txn, eff);
+            }
+            GrantDecision::StaleAbort => {
+                self.do_abort(txn, AbortKind::StaleRead, Some(page), eff);
+            }
+        }
+    }
+
+    /// One op resolved; fire the transaction's pending commit if it was
+    /// the last one outstanding.
+    fn resolved(&mut self, txn: TxnId, eff: &mut Effects) {
+        if !self.core.resolve_op(txn) {
+            return;
+        }
+        let ready = match self.pending_commits.get(&txn) {
+            Some(pc) => self.core.commit_ready(txn, pc.ops_sent),
+            None => false,
+        };
+        if ready {
+            let pc = self.pending_commits.remove(&txn).expect("checked above");
+            self.do_commit(txn, pc, eff);
+        }
+    }
+
+    fn do_commit(&mut self, txn: TxnId, pc: PendingCommit, eff: &mut Effects) {
+        if self.core.commit_doomed(txn) {
+            eff.decisions.push(Decision::CommitRejected { txn });
+            self.cleanup(txn, eff);
+            self.send(
+                eff,
+                pc.from,
+                S2C::Reply {
+                    op: pc.op,
+                    kind: ReplyKind::Aborted,
+                },
+            );
+            return;
+        }
+        if !self.core.validate_commit(txn, &pc.read_set, &pc.dirty) {
+            self.aborts += 1;
+            eff.decisions.push(Decision::CommitRejected { txn });
+            self.cleanup(txn, eff);
+            self.send(
+                eff,
+                pc.from,
+                S2C::Reply {
+                    op: pc.op,
+                    kind: ReplyKind::Aborted,
+                },
+            );
+            return;
+        }
+        let version = ServerCore::commit_version(txn);
+        self.core.publish_versions(txn, &pc.dirty);
+        let (wakes, cbs) = self.core.release_commit_locks(txn, pc.from);
+        if self.core.should_push_updates(&pc.dirty) {
+            let invalidate = self.core.notify_invalidate();
+            for (c, pages) in self.core.notification_plan(pc.from, &pc.dirty) {
+                let note = if invalidate {
+                    S2C::Invalidate { pages }
+                } else {
+                    S2C::Update { pages, version }
+                };
+                self.send(eff, c, note);
+            }
+        }
+        self.commits += 1;
+        eff.decisions.push(Decision::Committed { txn, version });
+        self.process_wakes(wakes, cbs, eff);
+        self.cleanup(txn, eff);
+        self.send(
+            eff,
+            pc.from,
+            S2C::Reply {
+                op: pc.op,
+                kind: ReplyKind::Committed {
+                    new_version: version,
+                },
+            },
+        );
+    }
+
+    fn do_abort(
+        &mut self,
+        txn: TxnId,
+        kind: AbortKind,
+        stale_page: Option<PageId>,
+        eff: &mut Effects,
+    ) {
+        let Some(out) = self.core.abort_txn(txn) else {
+            return;
+        };
+        self.aborts += 1;
+        eff.decisions.push(Decision::Abort {
+            txn,
+            kind,
+            stale_page,
+        });
+        self.send(
+            eff,
+            out.client,
+            S2C::Restart {
+                txn,
+                kind,
+                stale_page,
+            },
+        );
+        // Fail the victim's own parked lock requests (ascending page
+        // order, fixed by the core).
+        for page in out.parked {
+            if let Some(q) = self.parked.remove(&(txn, page)) {
+                for pl in q {
+                    if pl.wait {
+                        self.send(
+                            eff,
+                            pl.from,
+                            S2C::Reply {
+                                op: pl.op,
+                                kind: ReplyKind::Aborted,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // A commit waiting on in-flight ops dies with the transaction.
+        if let Some(pc) = self.pending_commits.remove(&txn) {
+            self.send(
+                eff,
+                pc.from,
+                S2C::Reply {
+                    op: pc.op,
+                    kind: ReplyKind::Aborted,
+                },
+            );
+        }
+        // If it was still queued behind the MPL (disconnect), answer its
+        // queued synchronous messages and drop the rest.
+        self.admit_queue.retain(|t| *t != txn);
+        if let Some(msgs) = self.queued.remove(&txn) {
+            for (from, m) in msgs {
+                self.reply_dead(from, &m, eff);
+            }
+        }
+        self.process_wakes(out.wakes, out.callbacks, eff);
+        self.cleanup(txn, eff);
+    }
+
+    fn process_wakes(
+        &mut self,
+        wakes: Vec<Wake>,
+        callbacks: Vec<(ClientId, PageId)>,
+        eff: &mut Effects,
+    ) {
+        for (c, page) in callbacks {
+            eff.decisions.push(Decision::Callback { client: c, page });
+            self.send(eff, c, S2C::Callback { page });
+        }
+        for w in wakes {
+            let key = (w.txn, w.page);
+            let Some(q) = self.parked.get_mut(&key) else {
+                continue;
+            };
+            let Some(pl) = q.pop_front() else {
+                continue;
+            };
+            if q.is_empty() {
+                self.parked.remove(&key);
+            }
+            self.core.unpark(w.txn, w.page);
+            eff.decisions.push(Decision::WakeGrant {
+                txn: w.txn,
+                page: w.page,
+            });
+            self.grant_continue(
+                w.txn,
+                pl.from,
+                w.page,
+                pl.cached_version,
+                pl.wait,
+                pl.op,
+                eff,
+            );
+        }
+    }
+
+    /// Drop a finished transaction and, if it held an MPL slot, admit the
+    /// next queued transaction and replay its queued messages.
+    fn cleanup(&mut self, txn: TxnId, eff: &mut Effects) {
+        self.core.forget_txn(txn);
+        self.pending_commits.remove(&txn);
+        if self.admitted.remove(&txn) {
+            self.admit_next(eff);
+        }
+    }
+
+    fn admit_next(&mut self, eff: &mut Effects) {
+        while let Some(next) = self.admit_queue.pop_front() {
+            if self.core.is_aborted(next) || !self.core.txn_known(next) {
+                self.queued.remove(&next);
+                continue;
+            }
+            self.admitted.insert(next);
+            eff.decisions.push(Decision::Admit { txn: next });
+            for (from, m) in self.queued.remove(&next).unwrap_or_default() {
+                // Re-enter through admission: the drain itself may abort
+                // `next`, and later messages must then see it dead.
+                self.apply_inner(from, m, eff);
+            }
+            break;
+        }
+    }
+
+    fn send(&mut self, eff: &mut Effects, to: ClientId, msg: S2C) {
+        eff.sends.push((to, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_model::{table5_database, ClassId};
+
+    fn page(atom: u32) -> PageId {
+        PageId {
+            class: ClassId(0),
+            atom,
+        }
+    }
+
+    fn engine(alg: Algorithm) -> Engine {
+        Engine::new(alg, Tuning::default(), 4, 50, 1, true, table5_database())
+    }
+
+    fn txn(client: u32, serial: u64) -> TxnId {
+        TxnId(((client as u64) << 32) | serial)
+    }
+
+    #[test]
+    fn cold_read_ships_and_commit_publishes() {
+        let mut e = engine(Algorithm::TwoPhase { inter: false });
+        let t = txn(0, 1);
+        let eff = e.apply(
+            ClientId(0),
+            C2S::LockFetch {
+                txn: t,
+                page: page(3),
+                mode: Mode::S,
+                cached_version: None,
+                wait: true,
+                op: 1,
+            },
+        );
+        assert!(matches!(eff.decisions[0], Decision::Admit { .. }));
+        assert!(matches!(
+            eff.decisions[2],
+            Decision::Ship { version: 0, .. }
+        ));
+        assert_eq!(eff.sends.len(), 1);
+        let eff = e.apply(
+            ClientId(0),
+            C2S::Commit {
+                txn: t,
+                read_set: vec![(page(3), 0)],
+                dirty: vec![],
+                ops_sent: 1,
+                op: 2,
+            },
+        );
+        assert!(matches!(eff.decisions[0], Decision::Committed { .. }));
+        assert_eq!(e.commits, 1);
+        assert_eq!(e.core().live_txn_count(), 0);
+    }
+
+    #[test]
+    fn conflicting_write_parks_until_release() {
+        let mut e = engine(Algorithm::TwoPhase { inter: false });
+        let (a, b) = (txn(0, 1), txn(1, 1));
+        e.apply(
+            ClientId(0),
+            C2S::LockFetch {
+                txn: a,
+                page: page(5),
+                mode: Mode::X,
+                cached_version: None,
+                wait: true,
+                op: 1,
+            },
+        );
+        let eff = e.apply(
+            ClientId(1),
+            C2S::LockFetch {
+                txn: b,
+                page: page(5),
+                mode: Mode::S,
+                cached_version: None,
+                wait: true,
+                op: 1,
+            },
+        );
+        assert!(eff
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::LockBlocked { .. })));
+        assert!(eff.sends.is_empty());
+        // A commits; B's parked read resumes and is answered.
+        let eff = e.apply(
+            ClientId(0),
+            C2S::Commit {
+                txn: a,
+                read_set: vec![],
+                dirty: vec![page(5)],
+                ops_sent: 1,
+                op: 2,
+            },
+        );
+        assert!(eff
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::WakeGrant { .. })));
+        let to_b: Vec<_> = eff
+            .sends
+            .iter()
+            .filter(|(c, _)| *c == ClientId(1))
+            .collect();
+        assert_eq!(to_b.len(), 1, "B gets exactly its page reply: {eff:?}");
+    }
+
+    #[test]
+    fn certification_rejects_stale_read_set() {
+        let mut e = engine(Algorithm::Certification { inter: false });
+        let (a, b) = (txn(0, 1), txn(1, 1));
+        e.apply(
+            ClientId(0),
+            C2S::Fetch {
+                txn: a,
+                page: page(2),
+                op: 1,
+            },
+        );
+        e.apply(
+            ClientId(1),
+            C2S::Fetch {
+                txn: b,
+                page: page(2),
+                op: 1,
+            },
+        );
+        // A commits a write to the page both read.
+        let eff = e.apply(
+            ClientId(0),
+            C2S::Commit {
+                txn: a,
+                read_set: vec![(page(2), 0)],
+                dirty: vec![page(2)],
+                ops_sent: 1,
+                op: 2,
+            },
+        );
+        assert!(matches!(
+            eff.decisions.last().unwrap(),
+            Decision::Committed { .. }
+        ));
+        // B's read of version 0 no longer validates.
+        let eff = e.apply(
+            ClientId(1),
+            C2S::Commit {
+                txn: b,
+                read_set: vec![(page(2), 0)],
+                dirty: vec![page(2)],
+                ops_sent: 1,
+                op: 2,
+            },
+        );
+        assert!(eff
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::CommitRejected { .. })));
+        assert_eq!(e.aborts, 1);
+    }
+
+    #[test]
+    fn disconnect_aborts_live_work() {
+        let mut e = engine(Algorithm::TwoPhase { inter: false });
+        let t = txn(2, 9);
+        e.apply(
+            ClientId(2),
+            C2S::LockFetch {
+                txn: t,
+                page: page(1),
+                mode: Mode::X,
+                cached_version: None,
+                wait: true,
+                op: 1,
+            },
+        );
+        let eff = e.disconnect(ClientId(2));
+        assert!(eff
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::Abort { .. })));
+        assert_eq!(e.core().live_txn_count(), 0);
+        assert_eq!(e.core().lock_table_len(), 0);
+    }
+
+    #[test]
+    fn mpl_gates_admission() {
+        let mut e = Engine::new(
+            Algorithm::TwoPhase { inter: false },
+            Tuning::default(),
+            4,
+            1,
+            1,
+            true,
+            table5_database(),
+        );
+        let (a, b) = (txn(0, 1), txn(1, 1));
+        e.apply(
+            ClientId(0),
+            C2S::LockFetch {
+                txn: a,
+                page: page(1),
+                mode: Mode::S,
+                cached_version: None,
+                wait: true,
+                op: 1,
+            },
+        );
+        let eff = e.apply(
+            ClientId(1),
+            C2S::LockFetch {
+                txn: b,
+                page: page(2),
+                mode: Mode::S,
+                cached_version: None,
+                wait: true,
+                op: 1,
+            },
+        );
+        assert!(matches!(eff.decisions[0], Decision::Queue { .. }));
+        assert!(eff.sends.is_empty());
+        // A commits; B is admitted and its queued read is served.
+        let eff = e.apply(
+            ClientId(0),
+            C2S::Commit {
+                txn: a,
+                read_set: vec![(page(1), 0)],
+                dirty: vec![],
+                ops_sent: 1,
+                op: 2,
+            },
+        );
+        assert!(eff
+            .decisions
+            .iter()
+            .any(|d| matches!(d, Decision::Admit { txn } if *txn == b)));
+        assert!(eff
+            .sends
+            .iter()
+            .any(|(c, m)| *c == ClientId(1) && matches!(m, S2C::Reply { .. })));
+    }
+}

@@ -1,0 +1,39 @@
+//! A real TCP page-server and load driver over the sans-io protocol
+//! cores, with wire tracing and DES-oracle replay.
+//!
+//! The discrete-event simulator (`ccdb-core`) and this crate are two
+//! drivers over the same protocol state machines (`ccdb-proto`):
+//!
+//! - [`codec`] — length-prefixed binary frames for the shared `C2S`/`S2C`
+//!   enums; payload bytes come from the same `payload_bytes` definition
+//!   the simulated network charges, so wire size and simulated data
+//!   volume cannot drift apart.
+//! - [`engine`] — the sans-io session engine: `ServerCore` plus MPL
+//!   admission, parked lock continuations, and pending commits. A pure
+//!   function of the message sequence.
+//! - [`server`] — a threaded `std::net` TCP server; a mutex pins the
+//!   total message order and every message is recorded to a versioned
+//!   `ccdb.wire_trace/v1` JSONL trace.
+//! - [`client`] — a load driver running the repository's workload
+//!   generator through `ClientCore` against a live server.
+//! - [`trace`] — trace writer/reader and [`trace::replay`]: rebuilds a
+//!   fresh engine from the header, re-applies the recorded messages, and
+//!   diffs every protocol decision (grants, blocks, callbacks, aborts,
+//!   commit outcomes) and every outgoing message. Zero diffs means the
+//!   live run did exactly what the simulator-validated core would do.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod engine;
+pub mod server;
+pub mod trace;
+
+pub use client::{load, LoadOptions, LoadSummary};
+pub use codec::{
+    decode_frame, encode_frame, read_frame, write_frame, CodecError, Frame, MAX_FRAME,
+};
+pub use engine::{Decision, Effects, Engine};
+pub use server::{serve, ServeOptions};
+pub use trace::{replay, ReplayReport, TraceHeader, TraceWriter, SCHEMA};

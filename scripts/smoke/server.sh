@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Server smoke: for every algorithm variant, start a real TCP page-server
+# on loopback, drive it with the workload generator over real sockets,
+# then replay the recorded wire trace through a fresh sans-io engine and
+# require zero protocol-decision diffs (the DES-validated core is the
+# oracle for the live server).
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+cd "$tmp"
+
+for alg in B2PL C2PL OCC COCC CB NW NWN; do
+  rm -f port trace.jsonl
+  "$CCDB" serve --alg "$alg" --clients 4 --port 0 --port-file port \
+    --trace trace.jsonl --once > server.log 2>&1 &
+  server_pid=$!
+
+  # Wait for the server to publish its ephemeral port.
+  for _ in $(seq 1 200); do
+    [ -s port ] && break
+    sleep 0.05
+  done
+  [ -s port ] || { echo "FAIL($alg): server never published its port"; cat server.log; exit 1; }
+
+  "$CCDB" load --addr "127.0.0.1:$(cat port)" --clients 4 --txns 8 --seed 7 \
+    > load.log
+  grep -q "32 commits" load.log || { echo "FAIL($alg): wrong commit count"; cat load.log; exit 1; }
+
+  wait "$server_pid"
+  server_pid=""
+
+  "$CCDB" replay trace.jsonl > replay.log
+  grep -q "0 decision diffs" replay.log \
+    || { echo "FAIL($alg): replay diverged"; cat replay.log; exit 1; }
+  echo "  $alg: $(cat replay.log)"
+done
+
+echo "server smoke OK"

@@ -14,6 +14,10 @@
 //! ccdb merge   A.jsonl B.jsonl ..  # rebuild one sweep from shard streams
 //! ccdb trace   [--chrome out.json] [options]   # protocol transcript
 //! ccdb bench   [--quick] [--out FILE] [--check BASELINE]
+//! ccdb serve   --alg CB [--port 0] [--clients N] [--mpl N] [--trace FILE]
+//!              [--once] [--port-file FILE]     # real TCP page-server
+//! ccdb load    --addr HOST:PORT [--clients N] [--txns N] [--seed N]
+//! ccdb replay  trace.jsonl   # diff a recorded run against the sans-io core
 //! ccdb list                                               # algorithms
 //! ```
 //!
@@ -55,6 +59,7 @@ use std::time::Instant;
 use ccdb::bench::{check_bench, run_bench, utc_date, BenchCtl};
 use ccdb::core::run_replicated_folded;
 use ccdb::core::{run_simulation_traced, Trace};
+use ccdb::server::{load, replay, serve, LoadOptions, ServeOptions};
 use ccdb::sweep::{
     dynamics_svg, figures_from_sweep, footer_line, header_line, job_line, merge_logs_named,
     read_log, resolve_workers, run_sweep_resumed, run_sweep_sharded, spec_hash, sweep_document,
@@ -65,17 +70,11 @@ use ccdb::{
     SimConfig, SimDuration,
 };
 
+/// One shared parser for every surface that names algorithms (`--alg`,
+/// `--algs`, `serve --alg`): [`Algorithm::from_str`], which accepts the
+/// paper labels case-insensitively plus the historical aliases.
 fn parse_alg(s: &str) -> Option<Algorithm> {
-    match s.to_ascii_uppercase().as_str() {
-        "B2PL" => Some(Algorithm::TwoPhase { inter: false }),
-        "C2PL" | "2PL" => Some(Algorithm::TwoPhase { inter: true }),
-        "OCC" => Some(Algorithm::Certification { inter: false }),
-        "COCC" | "CERT" => Some(Algorithm::Certification { inter: true }),
-        "CB" | "CALLBACK" => Some(Algorithm::Callback),
-        "NW" => Some(Algorithm::NoWait { notify: false }),
-        "NWN" => Some(Algorithm::NoWait { notify: true }),
-        _ => None,
-    }
+    s.parse().ok()
 }
 
 struct Options {
@@ -108,6 +107,13 @@ struct Options {
     svg: bool,
     check: Option<String>,
     quick: bool,
+    port: u16,
+    port_file: Option<String>,
+    addr: Option<String>,
+    txns: u32,
+    mpl: Option<u32>,
+    once: bool,
+    wire_trace: Option<String>,
 }
 
 impl Default for Options {
@@ -142,6 +148,13 @@ impl Default for Options {
             svg: false,
             check: None,
             quick: false,
+            port: 0,
+            port_file: None,
+            addr: None,
+            txns: 20,
+            mpl: None,
+            once: false,
+            wire_trace: None,
         }
     }
 }
@@ -234,6 +247,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 continue;
             }
+            "--once" => {
+                o.once = true;
+                i += 1;
+                continue;
+            }
             _ => {}
         }
         let val = args
@@ -306,6 +324,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--fsync-every" => {
                 o.fsync_every = Some(val.parse().map_err(|e| format!("--fsync-every: {e}"))?)
             }
+            "--port" => o.port = val.parse().map_err(|e| format!("--port: {e}"))?,
+            "--port-file" => o.port_file = Some(val.clone()),
+            "--addr" => o.addr = Some(val.clone()),
+            "--txns" => {
+                o.txns = val.parse().map_err(|e| format!("--txns: {e}"))?;
+                if o.txns == 0 {
+                    return Err("--txns must be positive".to_string());
+                }
+            }
+            "--mpl" => {
+                let n: u32 = val.parse().map_err(|e| format!("--mpl: {e}"))?;
+                if n == 0 {
+                    return Err("--mpl must be positive".to_string());
+                }
+                o.mpl = Some(n);
+            }
+            "--trace" => o.wire_trace = Some(val.clone()),
             other => return Err(format!("unknown option {other}")),
         }
         i += 2;
@@ -636,6 +671,10 @@ fn usage() {
          [--max-reps N] [--jobs N] [--out DIR|FILE] [--lock-shards N] [--shard I/N] \
          [--checkpoint FILE|DIR] [--resume FILE] [--fsync-every N] [--quick] \
          [--check BASELINE]\n       \
+         ccdb serve --alg A [--port N] [--clients N] [--mpl N] [--lock-shards N] \
+         [--trace FILE] [--once] [--port-file FILE]\n       \
+         ccdb load --addr HOST:PORT [--clients N] [--txns N] [--seed N]\n       \
+         ccdb replay trace.jsonl         # diff a live run against the sans-io core\n       \
          ccdb merge A.jsonl B.jsonl ..   # rebuild one sweep document from shard streams"
     );
 }
@@ -973,15 +1012,106 @@ fn cmd_figures(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `ccdb serve`: a real TCP page-server speaking the simulator's wire
+/// protocol, recording a replayable `ccdb.wire_trace/v1` with `--trace`.
+fn cmd_serve(opts: &Options) -> ExitCode {
+    let clients = match opts.one_clients() {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let mut so = ServeOptions::new(opts.one_alg());
+    so.clients = clients;
+    so.port = opts.port;
+    so.once = opts.once;
+    so.trace = opts.wire_trace.as_ref().map(Into::into);
+    so.port_file = opts.port_file.as_ref().map(Into::into);
+    if let Some(mpl) = opts.mpl {
+        so.mpl = mpl;
+    }
+    if let Some(shards) = opts.lock_shards {
+        so.lock_shards = shards;
+    }
+    match serve(&so) {
+        Ok(_commits) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}
+
+/// `ccdb load`: drive a live server with the repository's workload
+/// generator, one connection per client workstation.
+fn cmd_load(opts: &Options) -> ExitCode {
+    let Some(addr) = opts.addr.clone() else {
+        return fail("load needs --addr HOST:PORT");
+    };
+    let clients = match opts.one_clients() {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let lo = LoadOptions {
+        addr,
+        clients,
+        txns: opts.txns,
+        seed: opts.seed,
+    };
+    match load(&lo) {
+        Ok(summary) => {
+            println!(
+                "ccdb-load: {} — {} clients x {} txns: {} commits, {} aborted attempts",
+                summary.alg, clients, opts.txns, summary.commits, summary.aborts
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// `ccdb replay`: feed a recorded wire trace back through a fresh
+/// sans-io engine (oracle armed) and diff every protocol decision.
+/// Nonzero exit on any divergence.
+fn cmd_replay(files: &[String]) -> ExitCode {
+    let [path] = files else {
+        return fail("usage: ccdb replay trace.jsonl");
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(format!("cannot open {path}: {e}")),
+    };
+    match replay(std::io::BufReader::new(file)) {
+        Ok(report) => {
+            if report.ok() {
+                println!(
+                    "ccdb-replay: OK — {} messages, {} commits, {} aborts, 0 decision diffs",
+                    report.messages, report.commits, report.aborts
+                );
+                ExitCode::SUCCESS
+            } else {
+                for d in &report.diffs {
+                    eprintln!("DIFF {d}");
+                }
+                eprintln!(
+                    "ccdb-replay: FAILED — {} divergences over {} messages",
+                    report.diffs.len(),
+                    report.messages
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(format!("{path}: {e}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage();
         return ExitCode::FAILURE;
     };
-    // `merge` takes positional file arguments, not options.
+    // `merge` and `replay` take positional file arguments, not options.
     if cmd == "merge" {
         return cmd_merge(&args[1..]);
+    }
+    if cmd == "replay" {
+        return cmd_replay(&args[1..]);
     }
     let opts = match parse_options(&args[1..]) {
         Ok(o) => o,
@@ -996,19 +1126,13 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "list" => {
-            for alg in [
-                Algorithm::TwoPhase { inter: false },
-                Algorithm::TwoPhase { inter: true },
-                Algorithm::Certification { inter: false },
-                Algorithm::Certification { inter: true },
-                Algorithm::Callback,
-                Algorithm::NoWait { notify: false },
-                Algorithm::NoWait { notify: true },
-            ] {
+            for alg in Algorithm::ALL {
                 println!("{:<5} {}", alg.label(), alg.name());
             }
             ExitCode::SUCCESS
         }
+        "serve" => cmd_serve(&opts),
+        "load" => cmd_load(&opts),
         "run" => match one_run_config(&opts) {
             Ok(cfg) => {
                 if opts.json || opts.sample_interval.is_some() {

@@ -15,7 +15,12 @@
 //! * [`storage`] — disks, buffer manager, client cache, log manager,
 //! * [`lock`] — the page-level lock manager,
 //! * [`obs`] — metrics registry, time-series sampler, JSON export,
+//! * [`proto`] — the sans-io protocol cores (client/server state
+//!   machines and the wire message enums) shared by the simulator and
+//!   the real server,
 //! * [`core`] — the simulator and the five algorithms,
+//! * [`server`] — a real TCP page-server, load driver, and wire-trace
+//!   replay over the same protocol cores,
 //! * [`sweep`] — parallel experiment orchestration: declarative grids,
 //!   a deterministic worker pool, cross-replication merging, and
 //!   paper-figure regeneration,
@@ -48,6 +53,8 @@ pub use ccdb_lock as lock;
 pub use ccdb_model as model;
 pub use ccdb_net as net;
 pub use ccdb_obs as obs;
+pub use ccdb_proto as proto;
+pub use ccdb_server as server;
 pub use ccdb_storage as storage;
 pub use ccdb_sweep as sweep;
 

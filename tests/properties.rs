@@ -205,3 +205,254 @@ proptest! {
         prop_assert!(h.quantile(1.0) <= h.max() + 1e-12);
     }
 }
+
+/// Wire-codec properties: every `C2S`/`S2C` the protocol can produce —
+/// including empty page sets and maximum-length commits — must survive an
+/// encode/decode round trip at any page size, and every strict prefix of a
+/// valid frame must be rejected with a *named* codec error (never a panic,
+/// never a silently wrong frame).
+mod codec_props {
+    use ccdb::lock::{Mode, TxnId};
+    use ccdb::model::{ClassId, PageId};
+    use ccdb::proto::{AbortKind, ReplyKind, C2S, S2C};
+    use ccdb::server::{decode_frame, encode_frame, CodecError, Frame};
+    use proptest::prelude::*;
+
+    /// Longest commit the codec must handle: every page of the largest
+    /// paper database class read and rewritten in one transaction.
+    const MAX_COMMIT_PAGES: usize = 64;
+
+    fn page_strategy() -> impl Strategy<Value = PageId> {
+        (0u16..8, 0u32..5_000).prop_map(|(c, a)| PageId {
+            class: ClassId(c),
+            atom: a,
+        })
+    }
+
+    fn txn_strategy() -> impl Strategy<Value = TxnId> {
+        (0u64..(1u64 << 40)).prop_map(TxnId)
+    }
+
+    fn mode_strategy() -> impl Strategy<Value = Mode> {
+        prop_oneof![Just(Mode::S), Just(Mode::X)]
+    }
+
+    fn opt_version_strategy() -> impl Strategy<Value = Option<u64>> {
+        prop_oneof![Just(None), (0u64..500).prop_map(Some)]
+    }
+
+    fn bool_strategy() -> impl Strategy<Value = bool> {
+        prop_oneof![Just(false), Just(true)]
+    }
+
+    /// A commit whose read set and dirty set both have exactly `n` pages.
+    fn commit_strategy(n: usize) -> impl Strategy<Value = C2S> {
+        (
+            txn_strategy(),
+            proptest::collection::vec((page_strategy(), 0u64..500), n..n + 1),
+            proptest::collection::vec(page_strategy(), n..n + 1),
+            (0u32..64, 0u64..1_000),
+        )
+            .prop_map(|(txn, read_set, dirty, (ops_sent, op))| C2S::Commit {
+                txn,
+                read_set,
+                dirty,
+                ops_sent,
+                op,
+            })
+    }
+
+    fn c2s_strategy() -> impl Strategy<Value = C2S> {
+        prop_oneof![
+            (
+                (txn_strategy(), page_strategy(), mode_strategy()),
+                (opt_version_strategy(), bool_strategy(), 0u64..1_000),
+            )
+                .prop_map(|((txn, page, mode), (cached_version, wait, op))| {
+                    C2S::LockFetch {
+                        txn,
+                        page,
+                        mode,
+                        cached_version,
+                        wait,
+                        op,
+                    }
+                }),
+            (txn_strategy(), page_strategy(), 0u64..1_000).prop_map(|(txn, page, op)| C2S::Fetch {
+                txn,
+                page,
+                op
+            }),
+            (txn_strategy(), page_strategy(), 0u64..500, 0u64..1_000).prop_map(
+                |(txn, page, version, op)| C2S::CheckVersion {
+                    txn,
+                    page,
+                    version,
+                    op
+                }
+            ),
+            // The guaranteed degenerate case: a commit with empty page
+            // sets (a read-only transaction under deferred updates)...
+            Just(C2S::Commit {
+                txn: TxnId(0),
+                read_set: vec![],
+                dirty: vec![],
+                ops_sent: 0,
+                op: 0,
+            }),
+            (0usize..9, txn_strategy(), 0u64..1_000).prop_map(|(n, txn, op)| C2S::Commit {
+                txn,
+                read_set: (0..n)
+                    .map(|i| (
+                        PageId {
+                            class: ClassId(1),
+                            atom: i as u32
+                        },
+                        i as u64
+                    ))
+                    .collect(),
+                dirty: (0..n / 2)
+                    .map(|i| PageId {
+                        class: ClassId(2),
+                        atom: i as u32
+                    })
+                    .collect(),
+                ops_sent: n as u32,
+                op,
+            }),
+            // ...plus the guaranteed extreme: a maximum-length commit.
+            commit_strategy(MAX_COMMIT_PAGES),
+            (
+                page_strategy(),
+                bool_strategy(),
+                prop_oneof![Just(None), txn_strategy().prop_map(Some)]
+            )
+                .prop_map(|(page, released, blocker)| C2S::CallbackReply {
+                    page,
+                    released,
+                    blocker
+                }),
+            page_strategy().prop_map(|page| C2S::ReleaseRetained { page }),
+        ]
+    }
+
+    fn reply_kind_strategy() -> impl Strategy<Value = ReplyKind> {
+        prop_oneof![
+            (0u64..500).prop_map(|version| ReplyKind::PageData { version }),
+            Just(ReplyKind::Valid),
+            (0u64..500).prop_map(|new_version| ReplyKind::Committed { new_version }),
+            Just(ReplyKind::Aborted),
+        ]
+    }
+
+    fn s2c_strategy() -> impl Strategy<Value = S2C> {
+        prop_oneof![
+            (0u64..1_000, reply_kind_strategy()).prop_map(|(op, kind)| S2C::Reply { op, kind }),
+            page_strategy().prop_map(|page| S2C::Callback { page }),
+            (
+                txn_strategy(),
+                prop_oneof![
+                    Just(AbortKind::Deadlock),
+                    Just(AbortKind::StaleRead),
+                    Just(AbortKind::Validation)
+                ],
+                prop_oneof![Just(None), page_strategy().prop_map(Some)],
+            )
+                .prop_map(|(txn, kind, stale_page)| S2C::Restart {
+                    txn,
+                    kind,
+                    stale_page
+                }),
+            // Update/Invalidate with empty page sets are legal frames: a
+            // committed transaction whose writes all hit the notifier's own
+            // cache footprint still broadcasts its (possibly empty) rest.
+            (proptest::collection::vec(page_strategy(), 0..9), 0u64..500)
+                .prop_map(|(pages, version)| S2C::Update { pages, version }),
+            proptest::collection::vec(page_strategy(), 0..9)
+                .prop_map(|pages| S2C::Invalidate { pages }),
+        ]
+    }
+
+    /// Page sizes worth exercising: zero (control-only wire), one, the
+    /// paper's 4 KiB, and an odd non-power-of-two.
+    fn page_size_strategy() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(0u32), Just(1u32), Just(4096u32), Just(137u32)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Client→server frames round-trip bit-exactly at any page size,
+        /// and decoding consumes exactly the encoded length.
+        #[test]
+        fn c2s_frames_roundtrip(msg in c2s_strategy(), page_size in page_size_strategy()) {
+            let frame = Frame::C2S(msg);
+            let bytes = encode_frame(&frame, page_size);
+            let (decoded, consumed) = decode_frame(&bytes, page_size)
+                .expect("valid frame must decode");
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(consumed, bytes.len());
+        }
+
+        /// Server→client frames round-trip bit-exactly at any page size.
+        #[test]
+        fn s2c_frames_roundtrip(msg in s2c_strategy(), page_size in page_size_strategy()) {
+            let frame = Frame::S2C(msg);
+            let bytes = encode_frame(&frame, page_size);
+            let (decoded, consumed) = decode_frame(&bytes, page_size)
+                .expect("valid frame must decode");
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(consumed, bytes.len());
+        }
+
+        /// Every strict prefix of a valid frame is rejected with a named
+        /// error — `Truncated` before the body is complete — and never
+        /// decodes to some other frame.
+        #[test]
+        fn truncated_c2s_prefixes_are_named_errors(msg in c2s_strategy()) {
+            // Page size 0 keeps frames small enough to try *every* prefix.
+            let bytes = encode_frame(&Frame::C2S(msg), 0);
+            for cut in 0..bytes.len() {
+                match decode_frame(&bytes[..cut], 0) {
+                    Err(CodecError::Truncated { needed, have }) => {
+                        prop_assert!(have < needed, "cut {cut}: have {have} >= needed {needed}");
+                    }
+                    Err(other) => prop_assert!(false, "cut {cut}: unnamed rejection {other:?}"),
+                    Ok(_) => prop_assert!(false, "cut {cut}: prefix decoded as a frame"),
+                }
+            }
+        }
+
+        /// Payload-bearing frames truncated inside the payload are still
+        /// named errors (sampled cuts — payloads are big).
+        #[test]
+        fn truncated_payload_is_a_named_error(
+            msg in s2c_strategy(),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let page_size = 512u32;
+            let bytes = encode_frame(&Frame::S2C(msg), page_size);
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            match decode_frame(&bytes[..cut], page_size) {
+                Err(CodecError::Truncated { .. }) => {}
+                Err(other) => prop_assert!(false, "cut {cut}: unnamed rejection {other:?}"),
+                Ok(_) => prop_assert!(false, "cut {cut}: prefix decoded as a frame"),
+            }
+        }
+
+        /// A frame decoded at the *wrong* page size is rejected (payload
+        /// accounting is part of the contract, not advisory).
+        #[test]
+        fn wrong_page_size_is_rejected(msg in s2c_strategy()) {
+            let bytes = encode_frame(&Frame::S2C(msg.clone()), 256);
+            // Only meaningful when the message actually carries payload.
+            if msg.payload_bytes(256) > 0 {
+                let r = decode_frame(&bytes, 128);
+                prop_assert!(
+                    matches!(r, Err(CodecError::PayloadMismatch { .. })),
+                    "expected PayloadMismatch, got {r:?}"
+                );
+            }
+        }
+    }
+}

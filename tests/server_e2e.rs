@@ -1,0 +1,122 @@
+//! End-to-end test of the real TCP page-server: start `serve` on an
+//! ephemeral loopback port, run the load driver's workload generator
+//! against it over real sockets, then replay the recorded wire trace
+//! through a fresh sans-io engine and require *zero* protocol-decision
+//! diffs — the live server must have done exactly what the
+//! simulator-validated core would do, message for message.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::thread;
+
+use ccdb::server::{load, replay, serve, LoadOptions, ServeOptions};
+use ccdb::Algorithm;
+
+/// One live round for a single algorithm; returns (commits, messages...)
+/// implicitly by asserting the replay report is clean.
+fn round_trip(alg: Algorithm, clients: u32, txns: u32) {
+    let dir = std::env::temp_dir().join(format!("ccdb-e2e-{}-{}", alg.name(), std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace_path = dir.join("trace.jsonl");
+    let port_file = dir.join("port");
+
+    let mut sopts = ServeOptions::new(alg);
+    sopts.clients = clients;
+    sopts.port = 0;
+    sopts.once = true;
+    sopts.trace = Some(trace_path.clone());
+    sopts.port_file = Some(port_file.clone());
+    let server = thread::spawn(move || serve(&sopts));
+
+    // Wait for the server to publish its ephemeral port.
+    let port: u16 = {
+        let mut tries = 0;
+        loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse() {
+                    break p;
+                }
+            }
+            tries += 1;
+            assert!(tries < 1_000, "server never published its port");
+            thread::sleep(std::time::Duration::from_millis(5));
+        }
+    };
+
+    let summary = load(&LoadOptions {
+        addr: format!("127.0.0.1:{port}"),
+        clients,
+        txns,
+        seed: 7,
+    })
+    .expect("load run failed");
+    assert_eq!(
+        summary.alg,
+        alg.label(),
+        "server advertised wrong algorithm"
+    );
+    assert_eq!(
+        summary.commits,
+        clients as u64 * txns as u64,
+        "every client must commit its quota"
+    );
+
+    let commits = server
+        .join()
+        .expect("server thread panicked")
+        .expect("serve failed");
+    assert_eq!(
+        commits, summary.commits,
+        "server and driver disagree on commits"
+    );
+
+    // The oracle step: replay the recorded trace through a fresh engine.
+    let report = replay(BufReader::new(
+        File::open(&trace_path).expect("trace file missing"),
+    ))
+    .expect("trace unreadable");
+    assert!(
+        report.ok(),
+        "replay diverged for {}:\n{}",
+        alg.label(),
+        report.diffs.join("\n")
+    );
+    assert_eq!(report.commits, commits, "replayed commit count diverges");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_server_replays_clean_b2pl() {
+    round_trip(Algorithm::TwoPhase { inter: false }, 3, 6);
+}
+
+#[test]
+fn live_server_replays_clean_c2pl() {
+    round_trip(Algorithm::TwoPhase { inter: true }, 3, 6);
+}
+
+#[test]
+fn live_server_replays_clean_occ() {
+    round_trip(Algorithm::Certification { inter: false }, 3, 6);
+}
+
+#[test]
+fn live_server_replays_clean_cocc() {
+    round_trip(Algorithm::Certification { inter: true }, 3, 6);
+}
+
+#[test]
+fn live_server_replays_clean_cb() {
+    round_trip(Algorithm::Callback, 3, 6);
+}
+
+#[test]
+fn live_server_replays_clean_nw() {
+    round_trip(Algorithm::NoWait { notify: false }, 3, 6);
+}
+
+#[test]
+fn live_server_replays_clean_nwn() {
+    round_trip(Algorithm::NoWait { notify: true }, 3, 6);
+}
