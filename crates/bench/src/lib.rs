@@ -22,7 +22,7 @@ use ccdb_sweep::{resolve_workers, run_indexed};
 
 mod suite;
 
-pub use suite::{check_bench, run_bench, utc_date, BENCH_SCHEMA};
+pub use suite::{bench_delta_table, check_bench, run_bench, utc_date, BENCH_SCHEMA};
 
 /// Run control shared by the harnesses.
 #[derive(Clone, Copy, Debug)]

@@ -21,8 +21,8 @@
 use std::time::Instant;
 
 use ccdb_core::{
-    experiments, run_simulation_observed, run_simulation_profiled, Algorithm, ObsOptions,
-    SimConfig, Trace,
+    experiments, run_simulation_observed, run_simulation_profiled, run_simulation_profiled_jobs,
+    Algorithm, ObsOptions, SimConfig, Trace,
 };
 use ccdb_des::{EventKind, SimDuration};
 use ccdb_obs::Json;
@@ -72,11 +72,21 @@ fn matrix(ctl: &BenchCtl) -> Vec<(&'static str, SimConfig)> {
             )),
         ),
         (
+            // The same workload as short_cb_25 through the windowed
+            // dispatcher (4 kernel workers): counters must match the
+            // serial case bit-for-bit, wall-clock shows the window tax.
+            "par_window_cb_25",
+            horizon(experiments::short_txn(Algorithm::Callback, 25, 0.25, 0.2)),
+        ),
+        (
             "short_cb_25_sampled",
             horizon(experiments::short_txn(Algorithm::Callback, 25, 0.25, 0.2)),
         ),
     ]
 }
+
+/// Kernel dispatch workers for the `par_window_*` cases.
+const WINDOW_JOBS: usize = 4;
 
 /// Run the pinned matrix and build the `ccdb.bench/v1` document.
 ///
@@ -105,6 +115,9 @@ pub fn run_bench(ctl: &BenchCtl, quick: bool) -> Json {
                 .map(|s| (s.names().len() + 2) * s.len() * 8)
                 .unwrap_or(0);
             (observed.report, None, bytes)
+        } else if name.starts_with("par_window") {
+            let profiled = run_simulation_profiled_jobs(cfg, WINDOW_JOBS);
+            (profiled.report, Some(profiled.profile), 0)
         } else {
             let profiled = run_simulation_profiled(cfg);
             (profiled.report, Some(profiled.profile), 0)
@@ -237,6 +250,47 @@ pub fn check_bench(current: &Json, baseline: &Json, tolerance: f64) -> Result<()
     }
 }
 
+/// The before/after throughput table `ccdb bench --check` prints: one
+/// row per case present in both documents (baseline order), then the
+/// totals row. Deltas are current-over-baseline events/sec; cases
+/// missing a rate on either side are skipped.
+pub fn bench_delta_table(current: &Json, baseline: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>14} {:>8}",
+        "case", "base ev/s", "now ev/s", "delta"
+    );
+    let rate = |c: &Json| c.get("events_per_sec").and_then(|v| v.as_f64());
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    if let (Ok(base_cases), Ok(cur_cases)) = (case_map(baseline), case_map(current)) {
+        for (name, base) in &base_cases {
+            let Some((_, cur)) = cur_cases.iter().find(|(n, _)| n == name) else {
+                continue;
+            };
+            if let (Some(b), Some(c)) = (rate(base), rate(cur)) {
+                rows.push((name.to_string(), b, c));
+            }
+        }
+    }
+    let totals = |doc: &Json| doc.get("totals").and_then(rate);
+    if let (Some(b), Some(c)) = (totals(baseline), totals(current)) {
+        rows.push(("total".to_string(), b, c));
+    }
+    for (name, b, c) in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>14.0} {:>14.0} {:>+7.1}%",
+            name,
+            b,
+            c,
+            (c / b.max(1e-9) - 1.0) * 100.0
+        );
+    }
+    out
+}
+
 /// `YYYY-MM-DD` (UTC) from seconds since the Unix epoch, via the
 /// days-to-civil algorithm — no external time crate.
 pub fn utc_date(secs_since_epoch: u64) -> String {
@@ -277,7 +331,7 @@ mod tests {
         let Some(Json::Arr(cases)) = doc.get("cases") else {
             panic!("cases array");
         };
-        assert_eq!(cases.len(), 5);
+        assert_eq!(cases.len(), 6);
         // Profiled cases attribute every dispatch to a kind.
         let first = &cases[0];
         let events = first.get("events").and_then(|v| v.as_u64()).unwrap();
@@ -289,8 +343,23 @@ mod tests {
             .map(|(_, k)| k.get("count").and_then(|v| v.as_u64()).unwrap())
             .sum();
         assert_eq!(by_kind, events);
+        // The windowed case reproduces the serial case's counters exactly.
+        let by_name = |n: &str| {
+            cases
+                .iter()
+                .find(|c| c.get("name").unwrap().as_str() == Some(n))
+        };
+        let serial = by_name("short_cb_25").unwrap();
+        let windowed = by_name("par_window_cb_25").unwrap();
+        for key in ["events", "commits"] {
+            assert_eq!(
+                serial.get(key).unwrap().as_u64(),
+                windowed.get(key).unwrap().as_u64(),
+                "windowed dispatch must not change {key}"
+            );
+        }
         // The sampled case reports a positive series footprint, no kinds.
-        let last = &cases[4];
+        let last = &cases[5];
         assert!(last.get("kinds").is_none());
         assert!(
             last.get("peak_series_bytes")
@@ -300,6 +369,11 @@ mod tests {
         );
         // A document always passes against itself.
         check_bench(&doc, &doc, 0.2).unwrap();
+        // And the delta table covers every case plus the totals row.
+        let table = bench_delta_table(&doc, &doc);
+        assert!(table.contains("par_window_cb_25"));
+        assert!(table.contains("total"));
+        assert!(table.contains("+0.0%"));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! branch points inside [`ServerCore`].
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use ccdb_model::FxHashMap as HashMap;
 use std::rc::Rc;
 
 use std::future::Future;
@@ -133,8 +135,8 @@ impl Server {
                 cfg.db.clone(),
             ),
             buffer: BufferManager::new(sys.buffer_size),
-            txns: HashMap::new(),
-            grants: HashMap::new(),
+            txns: HashMap::default(),
+            grants: HashMap::default(),
         }));
         let server = Server {
             env: env.clone(),

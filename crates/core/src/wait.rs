@@ -18,7 +18,9 @@
 //! through.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use ccdb_model::FxHashMap as HashMap;
 use std::rc::Rc;
 
 use ccdb_des::{SimDuration, WaitClass};

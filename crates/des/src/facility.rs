@@ -7,11 +7,13 @@
 //! queue-length integrals so utilisation can be reported.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
+use crate::arena::WaitHandle;
 use crate::kernel::{Env, EventKind, ProcId};
 use crate::time::{SimDuration, SimTime};
 
@@ -72,16 +74,14 @@ impl WaitClass {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum WaiterState {
-    Queued,
-    Granted,
-    Cancelled,
-}
+/// Wait-cell words for a queued acquirer. A cancelled waiter has no word:
+/// the departing future frees its cell and the queue entry goes stale.
+const QUEUED: u32 = 0;
+const GRANTED: u32 = 1;
 
 struct Waiter {
     pid: ProcId,
-    state: Rc<RefCell<WaiterState>>,
+    handle: WaitHandle,
     enqueued_at: SimTime,
 }
 
@@ -90,7 +90,7 @@ struct Inner {
     servers: u32,
     wait_class: WaitClass,
     busy: u32,
-    queue: Vec<Waiter>, // front at index 0; small queues, removal is rare
+    queue: VecDeque<Waiter>,
     // Statistics.
     stats_start: SimTime,
     last_change: SimTime,
@@ -156,7 +156,7 @@ impl Facility {
                 servers,
                 wait_class: WaitClass::Other,
                 busy: 0,
-                queue: Vec::new(),
+                queue: VecDeque::new(),
                 stats_start: env.now(),
                 last_change: env.now(),
                 busy_integral: 0.0,
@@ -206,7 +206,7 @@ impl Facility {
     pub fn acquire(&self) -> Acquire {
         Acquire {
             facility: self.clone(),
-            state: None,
+            state: AcquireState::Start,
         }
     }
 
@@ -214,17 +214,33 @@ impl Facility {
     /// immediate-grant path of [`Facility::acquire`], so a router (e.g. a
     /// CPU pool) can dispatch to idle members without an event.
     pub fn try_acquire(&self) -> Option<FacilityGuard> {
+        self.seize_for_grant().then(|| self.assume_seized())
+    }
+
+    /// The busy-count half of [`Facility::try_acquire`]: seize an idle
+    /// server without materializing the guard, so a grant can be recorded
+    /// in a wait cell and the woken waiter can reconstruct the guard itself
+    /// via [`Facility::assume_seized`]. Statistics behave exactly like
+    /// `try_acquire` (the integrals are touched even when no server is
+    /// idle).
+    pub(crate) fn seize_for_grant(&self) -> bool {
         let now = self.env.now();
         let mut inner = self.inner.borrow_mut();
         inner.touch(now);
         if inner.busy < inner.servers {
             inner.busy += 1;
-            Some(FacilityGuard {
-                facility: self.clone(),
-                released: false,
-            })
+            true
         } else {
-            None
+            false
+        }
+    }
+
+    /// Materialize the guard for a server previously seized with
+    /// [`Facility::seize_for_grant`]. Dropping it releases that server.
+    pub(crate) fn assume_seized(&self) -> FacilityGuard {
+        FacilityGuard {
+            facility: self.clone(),
+            released: false,
         }
     }
 
@@ -318,16 +334,15 @@ impl Facility {
         // Hand the server straight to the first live waiter (exact FCFS);
         // otherwise the server goes idle.
         loop {
-            if inner.queue.is_empty() {
+            let Some(w) = inner.queue.pop_front() else {
                 inner.busy -= 1;
                 return;
-            }
-            let w = inner.queue.remove(0);
-            let s = *w.state.borrow();
-            match s {
-                WaiterState::Cancelled => continue,
-                WaiterState::Queued => {
-                    *w.state.borrow_mut() = WaiterState::Granted;
+            };
+            match self.env.wait_word(w.handle) {
+                // Stale handle: the waiter departed (cancelled). Skip.
+                None => continue,
+                Some(QUEUED) => {
+                    self.env.set_wait_word(w.handle, GRANTED);
                     let waited = now.since(w.enqueued_at.max(inner.stats_start));
                     inner.waits += 1;
                     inner.total_wait += waited;
@@ -337,16 +352,27 @@ impl Facility {
                     self.env.schedule_wake(now, w.pid, EventKind::Facility);
                     return;
                 }
-                WaiterState::Granted => unreachable!("granted waiter still queued"),
+                Some(_) => unreachable!("granted waiter still queued"),
             }
         }
     }
 }
 
+/// Progress of an [`Acquire`]. The future owns its wait cell while parked
+/// and frees it exactly once (on grant consumption or in its destructor).
+enum AcquireState {
+    /// Not yet polled.
+    Start,
+    /// Parked in the facility queue, owning a wait cell.
+    Waiting(WaitHandle),
+    /// Grant consumed (or immediate): nothing left to clean up.
+    Done,
+}
+
 /// Future returned by [`Facility::acquire`].
 pub struct Acquire {
     facility: Facility,
-    state: Option<Rc<RefCell<WaiterState>>>,
+    state: AcquireState,
 }
 
 impl Future for Acquire {
@@ -355,49 +381,48 @@ impl Future for Acquire {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<FacilityGuard> {
         let env = self.facility.env.clone();
         let now = env.now();
-        match &self.state {
-            None => {
+        match self.state {
+            AcquireState::Start => {
                 let mut inner = self.facility.inner.borrow_mut();
                 inner.touch(now);
                 if inner.busy < inner.servers {
                     inner.busy += 1;
                     drop(inner);
-                    let state = Rc::new(RefCell::new(WaiterState::Granted));
-                    self.state = Some(Rc::clone(&state));
                     // Mark consumed so our Drop impl doesn't double-release.
-                    *state.borrow_mut() = WaiterState::Cancelled;
+                    self.state = AcquireState::Done;
                     Poll::Ready(FacilityGuard {
                         facility: self.facility.clone(),
                         released: false,
                     })
                 } else {
-                    let state = Rc::new(RefCell::new(WaiterState::Queued));
-                    inner.queue.push(Waiter {
+                    let handle = env.alloc_wait(QUEUED);
+                    inner.queue.push_back(Waiter {
                         pid: env.current(),
-                        state: Rc::clone(&state),
+                        handle,
                         enqueued_at: now,
                     });
                     drop(inner);
-                    self.state = Some(state);
+                    self.state = AcquireState::Waiting(handle);
                     Poll::Pending
                 }
             }
-            Some(state) => {
-                let s = *state.borrow();
-                match s {
-                    WaiterState::Granted => {
-                        // Mark consumed.
-                        *state.borrow_mut() = WaiterState::Cancelled;
+            AcquireState::Waiting(handle) => {
+                match env.wait_word(handle) {
+                    Some(GRANTED) => {
+                        // Consume the grant and give the cell back.
+                        env.free_wait(handle);
+                        self.state = AcquireState::Done;
                         Poll::Ready(FacilityGuard {
                             facility: self.facility.clone(),
                             released: false,
                         })
                     }
-                    WaiterState::Queued => Poll::Pending,
-                    WaiterState::Cancelled => {
-                        unreachable!("acquire future polled after completion")
-                    }
+                    Some(_) => Poll::Pending,
+                    None => unreachable!("wait cell freed while future still parked"),
                 }
+            }
+            AcquireState::Done => {
+                unreachable!("acquire future polled after completion")
             }
         }
     }
@@ -405,15 +430,14 @@ impl Future for Acquire {
 
 impl Drop for Acquire {
     fn drop(&mut self) {
-        if let Some(state) = &self.state {
-            let s = *state.borrow();
-            match s {
-                // Dropped while queued: withdraw from the queue.
-                WaiterState::Queued => *state.borrow_mut() = WaiterState::Cancelled,
+        if let AcquireState::Waiting(handle) = self.state {
+            let granted = self.facility.env.wait_word(handle) == Some(GRANTED);
+            // Freeing the cell turns our queue entry stale (= cancelled).
+            self.facility.env.free_wait(handle);
+            if granted {
                 // Dropped after the server was handed over but before the
                 // guard was constructed: give the server back.
-                WaiterState::Granted => self.facility.release_one(),
-                WaiterState::Cancelled => {}
+                self.facility.release_one();
             }
         }
     }

@@ -10,25 +10,56 @@
 //! sequence number is a global monotonic counter, so simultaneous events fire
 //! in the order they were scheduled. Given the same seed and the same spawn
 //! order, a simulation run is bit-for-bit reproducible.
+//!
+//! # Split-borrow layout
+//!
+//! Kernel state is not one `RefCell<Kernel>`: [`KernelShared`] splits it into
+//! independently borrowable components — `Cell`s for the clock, sequence
+//! counter and current-process register, and separate `RefCell`s for the
+//! calendar, the process arena, the window-task arena, and the wait-cell
+//! arena. A primitive that parks a waiter touches only the wait arena and
+//! the calendar; reading the clock is a `Cell` load. No code path ever holds
+//! the "whole kernel" across a user poll, which is what lets the windowed
+//! executor in [`crate::window`] pre-step `Send` tasks on worker threads
+//! while the single-threaded process world stays untouched.
 
-use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
+use crate::arena::{Slab, SlabId, WaitArena, WaitHandle};
+use crate::calendar::{Calendar, Entry, Target};
 use crate::time::{SimDuration, SimTime};
+use crate::window::{TaskId, WindowTask};
 
 /// Identifies a spawned process. Includes a generation counter so that a
 /// stale id left in a wait queue can never resume an unrelated process that
 /// happens to reuse the same slot.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProcId {
-    slot: u32,
-    generation: u32,
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+impl ProcId {
+    #[inline]
+    pub(crate) fn target(self) -> Target {
+        Target::Proc {
+            slot: self.slot,
+            generation: self.generation,
+        }
+    }
+
+    #[inline]
+    fn slab_id(self) -> SlabId {
+        SlabId {
+            slot: self.slot,
+            generation: self.generation,
+        }
+    }
 }
 
 impl fmt::Debug for ProcId {
@@ -37,35 +68,12 @@ impl fmt::Debug for ProcId {
     }
 }
 
-type ProcFuture = Pin<Box<dyn Future<Output = ()>>>;
-
-enum Slot {
-    /// Slot holds a live process. The future is `None` while it is being
-    /// polled (it is temporarily moved out so the kernel isn't borrowed
-    /// during the poll).
-    Live {
-        generation: u32,
-        future: Option<ProcFuture>,
-    },
-    /// Free-list link.
-    Free {
-        next_free: Option<u32>,
-        generation: u32,
-    },
-}
-
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct CalendarEntry {
-    time: SimTime,
-    seq: u64,
-    target: WakeTarget,
-    // Never reached by the derived ordering: `seq` is globally unique.
-    kind: EventKind,
-}
+pub(crate) type ProcFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// Which primitive scheduled a calendar event. Purely diagnostic — the
 /// kernel's self-profiler attributes dispatch counts and wall-clock time
-/// per kind; scheduling order never depends on it.
+/// per kind; scheduling order never depends on it (the calendar orders on
+/// `(time, seq)` alone; see `calendar.rs`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// First wake of a freshly spawned process.
@@ -86,11 +94,13 @@ pub enum EventKind {
     Semaphore,
     /// A one-shot signal firing.
     Oneshot,
+    /// A [`WindowTask`] step (the parallel-window unit of work).
+    Task,
 }
 
 impl EventKind {
     /// Every kind, in reporting order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 10] = [
         EventKind::Spawn,
         EventKind::Hold,
         EventKind::Facility,
@@ -100,6 +110,7 @@ impl EventKind {
         EventKind::Gate,
         EventKind::Semaphore,
         EventKind::Oneshot,
+        EventKind::Task,
     ];
 
     /// Stable label used in profiles and bench reports.
@@ -114,10 +125,12 @@ impl EventKind {
             EventKind::Gate => "gate",
             EventKind::Semaphore => "semaphore",
             EventKind::Oneshot => "oneshot",
+            EventKind::Task => "task",
         }
     }
 
-    fn index(self) -> usize {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
         self as usize
     }
 }
@@ -126,12 +139,13 @@ impl EventKind {
 /// when [`Sim::enable_profiling`] was called before running.
 ///
 /// The **counts** are a pure function of the simulation (exact and
-/// reproducible); the **nanoseconds** are host wall-clock time and must
-/// never feed a deterministic report — they exist for `ccdb bench`.
+/// reproducible, identical under serial and windowed dispatch); the
+/// **nanoseconds** are host wall-clock time and must never feed a
+/// deterministic report — they exist for `ccdb bench`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelProfile {
-    counts: [u64; EventKind::ALL.len()],
-    nanos: [u64; EventKind::ALL.len()],
+    pub(crate) counts: [u64; EventKind::ALL.len()],
+    pub(crate) nanos: [u64; EventKind::ALL.len()],
 }
 
 impl KernelProfile {
@@ -156,122 +170,139 @@ impl KernelProfile {
     }
 }
 
-#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
-struct WakeTarget {
-    slot: u32,
-    generation: u32,
-}
-
-pub(crate) struct Kernel {
-    now: SimTime,
-    seq: u64,
-    calendar: BinaryHeap<Reverse<CalendarEntry>>,
-    slots: Vec<Slot>,
-    free_head: Option<u32>,
-    live: usize,
+/// The split-borrow kernel state shared by [`Sim`] and every [`Env`].
+///
+/// Scalar registers are `Cell`s (a clock read never conflicts with anything)
+/// and each component gets its own `RefCell`, so borrows are narrow and
+/// disjoint: scheduling a wake borrows only the calendar, parking a waiter
+/// only the wait arena, polling a process only the process arena — and none
+/// of them is held across a user future's `poll`.
+pub(crate) struct KernelShared {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
     /// Process currently being polled; primitive futures read this to learn
     /// which process to park.
-    current: Option<ProcId>,
-    /// Processes spawned while another process is being polled; started
-    /// immediately after the current poll completes so a spawn during a poll
-    /// cannot re-enter the executor.
-    events_processed: u64,
+    current: Cell<Option<ProcId>>,
+    events_processed: Cell<u64>,
     /// Self-profiling switch; checked once per `run_until`, not per event.
-    profiling: bool,
-    profile: KernelProfile,
+    profiling: Cell<bool>,
+    /// Worker threads for the parallel dispatch window; 1 = pure serial.
+    jobs: Cell<usize>,
+    calendar: RefCell<Calendar>,
+    procs: RefCell<Slab<ProcFuture>>,
+    tasks: RefCell<Slab<Box<dyn WindowTask>>>,
+    waits: RefCell<WaitArena>,
+    profile: RefCell<KernelProfile>,
 }
 
-impl Kernel {
+impl KernelShared {
     fn new() -> Self {
-        Kernel {
-            now: SimTime::ZERO,
-            seq: 0,
-            calendar: BinaryHeap::new(),
-            slots: Vec::new(),
-            free_head: None,
-            live: 0,
-            current: None,
-            events_processed: 0,
-            profiling: false,
-            profile: KernelProfile::default(),
+        KernelShared {
+            now: Cell::new(SimTime::ZERO),
+            seq: Cell::new(0),
+            current: Cell::new(None),
+            events_processed: Cell::new(0),
+            profiling: Cell::new(false),
+            jobs: Cell::new(1),
+            calendar: RefCell::new(Calendar::new()),
+            procs: RefCell::new(Slab::new()),
+            tasks: RefCell::new(Slab::new()),
+            waits: RefCell::new(WaitArena::new()),
+            profile: RefCell::new(KernelProfile::default()),
         }
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
+    #[inline]
+    pub(crate) fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    #[inline]
+    pub(crate) fn set_now(&self, t: SimTime) {
+        self.now.set(t);
+    }
+
+    #[inline]
+    pub(crate) fn count_event(&self) {
+        self.events_processed.set(self.events_processed.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn profiling(&self) -> bool {
+        self.profiling.get()
+    }
+
+    #[inline]
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
         s
     }
 
-    fn insert_process(&mut self, future: ProcFuture) -> ProcId {
-        let id = match self.free_head {
-            Some(slot) => {
-                let (next_free, generation) = match self.slots[slot as usize] {
-                    Slot::Free {
-                        next_free,
-                        generation,
-                    } => (next_free, generation),
-                    Slot::Live { .. } => unreachable!("free list points at live slot"),
-                };
-                self.free_head = next_free;
-                self.slots[slot as usize] = Slot::Live {
-                    generation,
-                    future: Some(future),
-                };
-                ProcId { slot, generation }
-            }
-            None => {
-                let slot = u32::try_from(self.slots.len()).expect("too many processes");
-                self.slots.push(Slot::Live {
-                    generation: 0,
-                    future: Some(future),
-                });
-                ProcId {
-                    slot,
-                    generation: 0,
-                }
-            }
-        };
-        self.live += 1;
-        id
+    /// Schedule a wake; borrows only the calendar.
+    pub(crate) fn schedule(&self, at: SimTime, target: Target, kind: EventKind) {
+        debug_assert!(at >= self.now.get(), "cannot schedule a wake in the past");
+        let seq = self.next_seq();
+        self.calendar
+            .borrow_mut()
+            .push(Entry::new(at, seq, target, kind));
     }
 
-    fn retire_process(&mut self, id: ProcId) {
-        let slot = &mut self.slots[id.slot as usize];
-        match slot {
-            Slot::Live { generation, .. } if *generation == id.generation => {
-                *slot = Slot::Free {
-                    next_free: self.free_head,
-                    generation: id.generation.wrapping_add(1),
-                };
-                self.free_head = Some(id.slot);
-                self.live -= 1;
-            }
-            _ => {}
+    /// Advance the clock to `deadline` when the calendar ran dry first.
+    pub(crate) fn finish_at_deadline(&self, deadline: SimTime) {
+        if deadline != SimTime::MAX && deadline > self.now.get() {
+            self.now.set(deadline);
         }
     }
 
-    pub(crate) fn schedule_wake(&mut self, at: SimTime, id: ProcId, kind: EventKind) {
-        debug_assert!(at >= self.now, "cannot schedule a wake in the past");
-        let seq = self.next_seq();
-        self.calendar.push(Reverse(CalendarEntry {
-            time: at,
-            seq,
-            target: WakeTarget {
-                slot: id.slot,
-                generation: id.generation,
-            },
-            kind,
-        }));
+    /// Fire time of the next scheduled event.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.calendar.borrow().peek_time()
     }
 
-    pub(crate) fn now(&self) -> SimTime {
-        self.now
+    /// Drain every event at `time` into `out` in `(time, seq)` order.
+    pub(crate) fn drain_window(&self, time: SimTime, out: &mut Vec<Entry>) {
+        self.calendar.borrow_mut().drain_at(time, out);
     }
 
-    pub(crate) fn current(&self) -> ProcId {
-        self.current
-            .expect("kernel primitive polled outside of a simulation process")
+    pub(crate) fn take_task(&self, id: SlabId) -> Option<Box<dyn WindowTask>> {
+        self.tasks.borrow_mut().take(id)
+    }
+
+    /// Commit one window task's step result: either re-arm it `delay` from
+    /// now or retire it. Shared by the serial and windowed executors so both
+    /// assign the follow-up sequence number at the same logical point.
+    pub(crate) fn commit_task_step(
+        &self,
+        id: SlabId,
+        task: Box<dyn WindowTask>,
+        next: Option<SimDuration>,
+    ) {
+        match next {
+            Some(delay) => {
+                let at = self.now.get() + delay;
+                self.tasks.borrow_mut().restore(id, task);
+                self.schedule(
+                    at,
+                    Target::Task {
+                        slot: id.slot,
+                        generation: id.generation,
+                    },
+                    EventKind::Task,
+                );
+            }
+            None => {
+                self.tasks.borrow_mut().retire(id);
+                drop(task);
+            }
+        }
+    }
+
+    pub(crate) fn record_profile(&self, kind: EventKind, nanos: u64) {
+        let mut p = self.profile.borrow_mut();
+        let ix = kind.index();
+        p.counts[ix] += 1;
+        p.nanos[ix] += nanos;
     }
 }
 
@@ -291,7 +322,7 @@ fn noop_waker() -> Waker {
 /// Owns a simulation. Spawn processes, then [`Sim::run`] (or
 /// [`Sim::run_until`]) to execute them.
 pub struct Sim {
-    kernel: Rc<RefCell<Kernel>>,
+    pub(crate) shared: Rc<KernelShared>,
 }
 
 impl Default for Sim {
@@ -304,14 +335,14 @@ impl Sim {
     /// Create an empty simulation at time zero.
     pub fn new() -> Self {
         Sim {
-            kernel: Rc::new(RefCell::new(Kernel::new())),
+            shared: Rc::new(KernelShared::new()),
         }
     }
 
     /// A cloneable handle for use inside processes.
     pub fn env(&self) -> Env {
         Env {
-            kernel: Rc::clone(&self.kernel),
+            shared: Rc::clone(&self.shared),
         }
     }
 
@@ -321,19 +352,49 @@ impl Sim {
         self.env().spawn(fut)
     }
 
+    /// Spawn a [`WindowTask`]; its first step fires `delay` from now. Tasks
+    /// are the unit of work the parallel dispatch window may step on worker
+    /// threads (see [`Sim::set_dispatch_jobs`]).
+    pub fn spawn_task<T: WindowTask + 'static>(&self, delay: SimDuration, task: T) -> TaskId {
+        self.env().spawn_task(delay, task)
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.kernel.borrow().now()
+        self.shared.now()
     }
 
     /// Number of calendar events processed so far.
     pub fn events_processed(&self) -> u64 {
-        self.kernel.borrow().events_processed
+        self.shared.events_processed.get()
     }
 
     /// Number of live (unfinished) processes.
     pub fn live_processes(&self) -> usize {
-        self.kernel.borrow().live
+        self.shared.procs.borrow().live()
+    }
+
+    /// Number of live (unfinished) window tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.tasks.borrow().live()
+    }
+
+    /// Set the worker-thread count for the parallel dispatch window.
+    ///
+    /// With `jobs == 1` (the default) dispatch is the classic serial loop.
+    /// With `jobs > 1`, events sharing a simulated instant are drained as a
+    /// window: [`WindowTask`] steps are executed on up to `jobs` scoped
+    /// worker threads and their results committed in `(time, seq)` order,
+    /// while ordinary process events always run serially on the committing
+    /// thread (the doubt path). Deterministic outputs are identical for
+    /// every value of `jobs`.
+    pub fn set_dispatch_jobs(&self, jobs: usize) {
+        self.shared.jobs.set(jobs.max(1));
+    }
+
+    /// Current worker-thread count for the parallel dispatch window.
+    pub fn dispatch_jobs(&self) -> usize {
+        self.shared.jobs.get()
     }
 
     /// Run until the calendar is empty.
@@ -346,100 +407,104 @@ impl Sim {
     /// Off by default; the off path is the exact pre-profiling loop (the
     /// flag is checked once per `run_until`, not once per event).
     pub fn enable_profiling(&self) {
-        self.kernel.borrow_mut().profiling = true;
+        self.shared.profiling.set(true);
     }
 
     /// The self-profile gathered so far (all zeros unless
     /// [`Sim::enable_profiling`] was called before running).
     pub fn profile(&self) -> KernelProfile {
-        self.kernel.borrow().profile.clone()
+        self.shared.profile.borrow().clone()
     }
 
     /// Run until the first event strictly after `deadline`, leaving `now` at
     /// `deadline` (or at the last event time if the calendar empties first
     /// and that is later — it cannot be).
     pub fn run_until(&self, deadline: SimTime) {
-        // Monomorphized on the profiling flag so the off path carries no
-        // clock reads or profile stores at all.
-        if self.kernel.borrow().profiling {
-            self.run_loop::<true>(deadline);
+        let jobs = self.shared.jobs.get();
+        if jobs > 1 {
+            self.run_windowed(deadline, jobs);
+        } else if self.shared.profiling.get() {
+            // Monomorphized on the profiling flag so the off path carries no
+            // clock reads or profile stores at all.
+            self.run_serial::<true>(deadline);
         } else {
-            self.run_loop::<false>(deadline);
+            self.run_serial::<false>(deadline);
         }
     }
 
-    fn run_loop<const PROFILE: bool>(&self, deadline: SimTime) {
-        loop {
-            // Pop the next due event, if any.
-            let wake = {
-                let mut k = self.kernel.borrow_mut();
-                match k.calendar.peek() {
-                    Some(Reverse(e)) if e.time <= deadline => {
-                        let Reverse(e) = k.calendar.pop().expect("peeked entry vanished");
-                        k.now = e.time;
-                        k.events_processed += 1;
-                        Some((e.target, e.kind))
-                    }
-                    _ => {
-                        if deadline != SimTime::MAX && deadline > k.now {
-                            k.now = deadline;
-                        }
-                        None
-                    }
-                }
-            };
-            let Some((target, kind)) = wake else { break };
-            let id = ProcId {
-                slot: target.slot,
-                generation: target.generation,
-            };
-            if PROFILE {
-                let started = std::time::Instant::now();
-                self.poll_process(id);
-                let spent = started.elapsed().as_nanos() as u64;
-                let mut k = self.kernel.borrow_mut();
-                let ix = kind as usize;
-                k.profile.counts[ix] += 1;
-                k.profile.nanos[ix] += spent;
-            } else {
-                self.poll_process(id);
-            }
-        }
-    }
-
-    fn poll_process(&self, id: ProcId) {
-        // Move the future out so the kernel is not borrowed during the poll
-        // (the future will call back into the kernel through its Env).
-        let mut fut = {
-            let mut k = self.kernel.borrow_mut();
-            match k.slots.get_mut(id.slot as usize) {
-                Some(Slot::Live { generation, future }) if *generation == id.generation => {
-                    match future.take() {
-                        Some(f) => f,
-                        // Already being polled (re-entrant wake) — impossible
-                        // in a single-threaded executor, but harmless to skip.
-                        None => return,
-                    }
-                }
-                // Stale wake for a finished process: skip.
-                _ => return,
-            }
+    fn run_serial<const PROFILE: bool>(&self, deadline: SimTime) {
+        // One clock read per event, not two: the end of event N's window is
+        // the start of event N+1's, so each kind is charged its dispatch
+        // plus the following calendar pop. Total profiled nanos therefore
+        // cover the whole loop, and the measurement overhead is half of
+        // what bracketing every dispatch would cost.
+        let mut last = if PROFILE {
+            Some(std::time::Instant::now())
+        } else {
+            None
         };
-        self.kernel.borrow_mut().current = Some(id);
+        loop {
+            let next = self.shared.calendar.borrow_mut().pop_due(deadline);
+            let Some(e) = next else {
+                self.shared.finish_at_deadline(deadline);
+                break;
+            };
+            self.shared.set_now(e.time());
+            self.shared.count_event();
+            self.dispatch(e.target);
+            if PROFILE {
+                let now = std::time::Instant::now();
+                let spent = now.duration_since(last.unwrap_or(now)).as_nanos() as u64;
+                self.shared.record_profile(e.kind, spent);
+                last = Some(now);
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn dispatch(&self, target: Target) {
+        match target {
+            Target::Proc { slot, generation } => {
+                self.poll_process(ProcId { slot, generation });
+            }
+            Target::Task { slot, generation } => {
+                self.step_task(SlabId { slot, generation });
+            }
+        }
+    }
+
+    /// Serial-path task step: take, step on this thread, commit immediately.
+    fn step_task(&self, id: SlabId) {
+        // Stale wake for a finished task: skip.
+        let Some(mut task) = self.shared.take_task(id) else {
+            return;
+        };
+        let next = task.step(self.shared.now());
+        self.shared.commit_task_step(id, task, next);
+    }
+
+    pub(crate) fn poll_process(&self, id: ProcId) {
+        // Move the future out so the process arena is not borrowed during
+        // the poll (the future will call back into the kernel through its
+        // Env — but only ever into *other* components).
+        let Some(mut fut) = self.shared.procs.borrow_mut().take(id.slab_id()) else {
+            // Stale wake for a finished process (or a re-entrant wake for
+            // one already being polled): skip.
+            return;
+        };
+        self.shared.current.set(Some(id));
         let waker = noop_waker();
         let mut cx = Context::from_waker(&waker);
         let poll = fut.as_mut().poll(&mut cx);
-        self.kernel.borrow_mut().current = None;
+        self.shared.current.set(None);
         match poll {
-            Poll::Ready(()) => self.kernel.borrow_mut().retire_process(id),
-            Poll::Pending => {
-                let mut k = self.kernel.borrow_mut();
-                if let Some(Slot::Live { generation, future }) = k.slots.get_mut(id.slot as usize) {
-                    if *generation == id.generation {
-                        *future = Some(fut);
-                    }
-                }
+            Poll::Ready(()) => {
+                self.shared.procs.borrow_mut().retire(id.slab_id());
+                // `fut` drops here, after the arena borrow is released: its
+                // destructors may re-enter the calendar or wait arena.
+                drop(fut);
             }
+            Poll::Pending => self.shared.procs.borrow_mut().restore(id.slab_id(), fut),
         }
     }
 }
@@ -447,23 +512,42 @@ impl Sim {
 /// Cloneable handle to the simulation, usable from inside processes.
 #[derive(Clone)]
 pub struct Env {
-    pub(crate) kernel: Rc<RefCell<Kernel>>,
+    pub(crate) shared: Rc<KernelShared>,
 }
 
 impl Env {
     /// Current simulation time.
+    #[inline]
     pub fn now(&self) -> SimTime {
-        self.kernel.borrow().now()
+        self.shared.now()
     }
 
     /// Spawn a new process; it first runs at the current time, after events
     /// already scheduled for this instant.
     pub fn spawn<F: Future<Output = ()> + 'static>(&self, fut: F) -> ProcId {
-        let mut k = self.kernel.borrow_mut();
-        let id = k.insert_process(Box::pin(fut));
-        let now = k.now();
-        k.schedule_wake(now, id, EventKind::Spawn);
+        let slab_id = self.shared.procs.borrow_mut().insert(Box::pin(fut));
+        let id = ProcId {
+            slot: slab_id.slot,
+            generation: slab_id.generation,
+        };
+        self.shared
+            .schedule(self.shared.now(), id.target(), EventKind::Spawn);
         id
+    }
+
+    /// Spawn a [`WindowTask`]; its first step fires `delay` from now.
+    pub fn spawn_task<T: WindowTask + 'static>(&self, delay: SimDuration, task: T) -> TaskId {
+        let id = self.shared.tasks.borrow_mut().insert(Box::new(task));
+        let at = self.shared.now() + delay;
+        self.shared.schedule(
+            at,
+            Target::Task {
+                slot: id.slot,
+                generation: id.generation,
+            },
+            EventKind::Task,
+        );
+        TaskId(id)
     }
 
     /// Suspend the calling process for `d` simulated time.
@@ -484,11 +568,35 @@ impl Env {
     }
 
     pub(crate) fn schedule_wake(&self, at: SimTime, id: ProcId, kind: EventKind) {
-        self.kernel.borrow_mut().schedule_wake(at, id, kind);
+        self.shared.schedule(at, id.target(), kind);
     }
 
     pub(crate) fn current(&self) -> ProcId {
-        self.kernel.borrow().current()
+        self.shared
+            .current
+            .get()
+            .expect("kernel primitive polled outside of a simulation process")
+    }
+
+    /// Allocate a wait cell initialized to `word` (allocation-free after
+    /// warmup: cells are recycled).
+    pub(crate) fn alloc_wait(&self, word: u32) -> WaitHandle {
+        self.shared.waits.borrow_mut().alloc(word)
+    }
+
+    /// Read a wait cell; `None` once the owning future freed it.
+    pub(crate) fn wait_word(&self, h: WaitHandle) -> Option<u32> {
+        self.shared.waits.borrow().get(h)
+    }
+
+    /// Write a wait cell; `false` once the owning future freed it.
+    pub(crate) fn set_wait_word(&self, h: WaitHandle, word: u32) -> bool {
+        self.shared.waits.borrow_mut().set(h, word)
+    }
+
+    /// Free a wait cell. Only the owning future may call this, exactly once.
+    pub(crate) fn free_wait(&self, h: WaitHandle) {
+        self.shared.waits.borrow_mut().free(h);
     }
 }
 
@@ -505,11 +613,9 @@ impl Future for Hold {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
         match self.wake_at {
             None => {
-                let mut k = self.env.kernel.borrow_mut();
-                let at = k.now() + self.duration;
-                let id = k.current();
-                k.schedule_wake(at, id, EventKind::Hold);
-                drop(k);
+                let at = self.env.now() + self.duration;
+                let id = self.env.current();
+                self.env.schedule_wake(at, id, EventKind::Hold);
                 self.wake_at = Some(at);
                 Poll::Pending
             }

@@ -19,8 +19,11 @@
 //! * [`Tally`] / [`TimeWeighted`] — output statistics.
 //!
 //! Determinism: events at equal times fire in scheduling order, the RNG is
-//! self-contained, and the executor is single-threaded, so a run is a pure
-//! function of (program, seed).
+//! self-contained, and processes run on one thread, so a run is a pure
+//! function of (program, seed). [`Sim::set_dispatch_jobs`] additionally
+//! enables a parallel dispatch window that steps [`WindowTask`]s on scoped
+//! worker threads and commits in `(time, seq)` order — deterministic
+//! outputs are identical for every job count.
 //!
 //! ```
 //! use ccdb_des::{Sim, SimDuration, Facility};
@@ -40,6 +43,8 @@
 
 #![warn(missing_docs)]
 
+mod arena;
+mod calendar;
 mod facility;
 mod kernel;
 mod mailbox;
@@ -49,6 +54,7 @@ mod rng;
 mod stats;
 mod sync;
 mod time;
+mod window;
 
 pub use facility::{Acquire, Facility, FacilityGuard, FacilitySnapshot, RestartCause, WaitClass};
 pub use kernel::{Env, EventKind, Hold, KernelProfile, ProcId, Sim};
@@ -59,3 +65,4 @@ pub use rng::Pcg32;
 pub use stats::{BatchMeans, Histogram, Tally, TimeWeighted};
 pub use sync::{Gate, GateWait, SemAcquire, Semaphore};
 pub use time::{SimDuration, SimTime};
+pub use window::{TaskId, WindowTask};

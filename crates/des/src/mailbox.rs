@@ -11,12 +11,18 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
+use crate::arena::WaitHandle;
 use crate::kernel::{Env, EventKind, ProcId};
 use crate::time::SimTime;
 
+/// Wait-cell words for a parked receiver. A woken (or superseded) waiter's
+/// cell reads `IDLE`; a departed receiver's handle is stale.
+const IDLE: u32 = 0;
+const ACTIVE: u32 = 1;
+
 struct RecvWaiter {
     pid: ProcId,
-    active: Rc<RefCell<bool>>,
+    handle: WaitHandle,
 }
 
 struct Inner<T> {
@@ -60,11 +66,11 @@ impl<T> Mailbox<T> {
         inner.queue.push_back(msg);
         inner.total_sent += 1;
         // Wake the frontmost live waiter (one message wakes one receiver).
-        // The waiter leaves the queue now; clearing its flag makes it
+        // The waiter leaves the queue now; clearing its cell makes it
         // re-register if some other process takes the message first.
         while let Some(w) = inner.waiters.pop_front() {
-            if *w.active.borrow() {
-                *w.active.borrow_mut() = false;
+            if self.env.wait_word(w.handle) == Some(ACTIVE) {
+                self.env.set_wait_word(w.handle, IDLE);
                 let pid = w.pid;
                 drop(inner);
                 self.env
@@ -117,7 +123,7 @@ impl<T> Mailbox<T> {
 /// Future returned by [`Mailbox::recv`].
 pub struct Recv<T> {
     mailbox: Mailbox<T>,
-    waiter: Option<Rc<RefCell<bool>>>,
+    waiter: Option<WaitHandle>,
 }
 
 impl<T> Future for Recv<T> {
@@ -125,26 +131,37 @@ impl<T> Future for Recv<T> {
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
         let env = self.mailbox.env.clone();
-        let mut inner = self.mailbox.inner.borrow_mut();
-        if let Some(msg) = inner.queue.pop_front() {
-            if let Some(w) = &self.waiter {
-                *w.borrow_mut() = false;
+        let msg = self.mailbox.inner.borrow_mut().queue.pop_front();
+        if let Some(msg) = msg {
+            if let Some(h) = self.waiter.take() {
+                env.free_wait(h);
             }
             return Poll::Ready(msg);
         }
-        // (Re-)register as a waiter.
-        let needs_register = match &self.waiter {
-            None => true,
-            Some(w) => !*w.borrow(),
-        };
-        if needs_register {
-            let active = Rc::new(RefCell::new(true));
-            inner.waiters.push_back(RecvWaiter {
-                pid: env.current(),
-                active: Rc::clone(&active),
-            });
-            drop(inner);
-            self.waiter = Some(active);
+        // (Re-)register as a waiter. The cell is allocated once and reused
+        // across re-registrations: a woken waiter's entry already left the
+        // queue, so re-arming the same cell never leaves a live duplicate.
+        let armed = matches!(self.waiter, Some(h) if env.wait_word(h) == Some(ACTIVE));
+        if !armed {
+            let handle = match self.waiter {
+                Some(h) => {
+                    env.set_wait_word(h, ACTIVE);
+                    h
+                }
+                None => {
+                    let h = env.alloc_wait(ACTIVE);
+                    self.waiter = Some(h);
+                    h
+                }
+            };
+            self.mailbox
+                .inner
+                .borrow_mut()
+                .waiters
+                .push_back(RecvWaiter {
+                    pid: env.current(),
+                    handle,
+                });
         }
         Poll::Pending
     }
@@ -152,8 +169,9 @@ impl<T> Future for Recv<T> {
 
 impl<T> Drop for Recv<T> {
     fn drop(&mut self) {
-        if let Some(w) = &self.waiter {
-            *w.borrow_mut() = false;
+        if let Some(h) = self.waiter.take() {
+            // Any queue entry pointing at the cell goes stale.
+            self.mailbox.env.free_wait(h);
         }
     }
 }
@@ -162,7 +180,7 @@ impl<T> Drop for Recv<T> {
 pub struct RecvUntil<T> {
     mailbox: Mailbox<T>,
     deadline: SimTime,
-    waiter: Option<Rc<RefCell<bool>>>,
+    waiter: Option<WaitHandle>,
     timer_set: bool,
 }
 
@@ -172,33 +190,41 @@ impl<T> Future for RecvUntil<T> {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<T>> {
         let env = self.mailbox.env.clone();
         let now = env.now();
-        let mut inner = self.mailbox.inner.borrow_mut();
-        if let Some(msg) = inner.queue.pop_front() {
-            if let Some(w) = &self.waiter {
-                *w.borrow_mut() = false;
+        let msg = self.mailbox.inner.borrow_mut().queue.pop_front();
+        if let Some(msg) = msg {
+            if let Some(h) = self.waiter.take() {
+                env.free_wait(h);
             }
             return Poll::Ready(Some(msg));
         }
         if now >= self.deadline {
-            if let Some(w) = &self.waiter {
-                *w.borrow_mut() = false;
+            if let Some(h) = self.waiter.take() {
+                // A queue entry may still point at the cell; it goes stale.
+                env.free_wait(h);
             }
             return Poll::Ready(None);
         }
-        let needs_register = match &self.waiter {
-            None => true,
-            Some(w) => !*w.borrow(),
-        };
-        if needs_register {
-            let active = Rc::new(RefCell::new(true));
-            inner.waiters.push_back(RecvWaiter {
-                pid: env.current(),
-                active: Rc::clone(&active),
-            });
-            drop(inner);
-            self.waiter = Some(active);
-        } else {
-            drop(inner);
+        let armed = matches!(self.waiter, Some(h) if env.wait_word(h) == Some(ACTIVE));
+        if !armed {
+            let handle = match self.waiter {
+                Some(h) => {
+                    env.set_wait_word(h, ACTIVE);
+                    h
+                }
+                None => {
+                    let h = env.alloc_wait(ACTIVE);
+                    self.waiter = Some(h);
+                    h
+                }
+            };
+            self.mailbox
+                .inner
+                .borrow_mut()
+                .waiters
+                .push_back(RecvWaiter {
+                    pid: env.current(),
+                    handle,
+                });
         }
         if !self.timer_set {
             let pid = env.current();
@@ -211,8 +237,8 @@ impl<T> Future for RecvUntil<T> {
 
 impl<T> Drop for RecvUntil<T> {
     fn drop(&mut self) {
-        if let Some(w) = &self.waiter {
-            *w.borrow_mut() = false;
+        if let Some(h) = self.waiter.take() {
+            self.mailbox.env.free_wait(h);
         }
     }
 }

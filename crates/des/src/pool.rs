@@ -20,22 +20,20 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
+use crate::arena::WaitHandle;
 use crate::facility::{Facility, FacilityGuard, FacilitySnapshot, WaitClass};
 use crate::kernel::{Env, EventKind, ProcId};
 use crate::time::{SimDuration, SimTime};
 
-enum PoolSlot {
-    Queued,
-    Granted {
-        core: usize,
-        guard: Option<FacilityGuard>,
-    },
-    Cancelled,
-}
+/// Wait-cell words for an overflow waiter: `QUEUED`, or `GRANT_BASE + k`
+/// once core `k` (already seized on the waiter's behalf) was handed over.
+/// A cancelled waiter has no word: its freed handle reads as stale.
+const QUEUED: u32 = 0;
+const GRANT_BASE: u32 = 1;
 
 struct PoolWaiter {
     pid: ProcId,
-    state: Rc<RefCell<PoolSlot>>,
+    handle: WaitHandle,
     enqueued_at: SimTime,
 }
 
@@ -119,7 +117,7 @@ impl CpuPool {
     pub fn acquire(&self) -> PoolAcquire {
         PoolAcquire {
             pool: self.clone(),
-            state: None,
+            state: PoolState::Start,
         }
     }
 
@@ -213,21 +211,19 @@ impl CpuPool {
             let Some(w) = inner.queue.pop_front() else {
                 return;
             };
-            let cancelled = matches!(*w.state.borrow(), PoolSlot::Cancelled);
-            if cancelled {
+            if self.env.wait_word(w.handle) != Some(QUEUED) {
+                // Stale handle: the waiter departed (cancelled). Skip.
                 continue;
             }
-            let guard = self.cores[core]
-                .try_acquire()
-                .expect("core freed by the dropping guard");
+            assert!(
+                self.cores[core].seize_for_grant(),
+                "core freed by the dropping guard"
+            );
             let waited = now.since(w.enqueued_at.max(inner.stats_start));
             inner.waits += 1;
             inner.total_wait += waited;
             inner.max_wait = inner.max_wait.max(waited);
-            *w.state.borrow_mut() = PoolSlot::Granted {
-                core,
-                guard: Some(guard),
-            };
+            self.env.set_wait_word(w.handle, GRANT_BASE + core as u32);
             drop(inner);
             self.env.schedule_wake(now, w.pid, EventKind::Pool);
             return;
@@ -235,10 +231,22 @@ impl CpuPool {
     }
 }
 
+/// Progress of a [`PoolAcquire`]. The future owns its wait cell while
+/// parked and frees it exactly once (on grant consumption or in its
+/// destructor).
+enum PoolState {
+    /// Not yet polled.
+    Start,
+    /// Parked in the overflow queue, owning a wait cell.
+    Waiting(WaitHandle),
+    /// Grant consumed (or immediate): nothing left to clean up.
+    Done,
+}
+
 /// Future returned by [`CpuPool::acquire`].
 pub struct PoolAcquire {
     pool: CpuPool,
-    state: Option<Rc<RefCell<PoolSlot>>>,
+    state: PoolState,
 }
 
 impl Future for PoolAcquire {
@@ -246,12 +254,12 @@ impl Future for PoolAcquire {
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<CpuGuard> {
         let env = self.pool.env.clone();
-        match &self.state {
-            None => {
+        match self.state {
+            PoolState::Start => {
                 // Least-index-idle routing.
                 for (i, c) in self.pool.cores.iter().enumerate() {
                     if let Some(guard) = c.try_acquire() {
-                        self.state = Some(Rc::new(RefCell::new(PoolSlot::Cancelled)));
+                        self.state = PoolState::Done;
                         return Poll::Ready(CpuGuard {
                             pool: self.pool.clone(),
                             core: i,
@@ -263,55 +271,49 @@ impl Future for PoolAcquire {
                 let now = env.now();
                 let mut inner = self.pool.inner.borrow_mut();
                 inner.touch(now);
-                let state = Rc::new(RefCell::new(PoolSlot::Queued));
+                let handle = env.alloc_wait(QUEUED);
                 inner.queue.push_back(PoolWaiter {
                     pid: env.current(),
-                    state: Rc::clone(&state),
+                    handle,
                     enqueued_at: now,
                 });
                 drop(inner);
-                self.state = Some(state);
+                self.state = PoolState::Waiting(handle);
                 Poll::Pending
             }
-            Some(state) => {
-                let mut slot = state.borrow_mut();
-                match &mut *slot {
-                    PoolSlot::Granted { core, guard } => {
-                        let core = *core;
-                        let guard = guard.take();
-                        *slot = PoolSlot::Cancelled;
-                        drop(slot);
-                        Poll::Ready(CpuGuard {
-                            pool: self.pool.clone(),
-                            core,
-                            guard,
-                        })
-                    }
-                    PoolSlot::Queued => Poll::Pending,
-                    PoolSlot::Cancelled => unreachable!("acquire future polled after completion"),
+            PoolState::Waiting(handle) => match env.wait_word(handle) {
+                Some(QUEUED) => Poll::Pending,
+                Some(word) => {
+                    let core = (word - GRANT_BASE) as usize;
+                    env.free_wait(handle);
+                    self.state = PoolState::Done;
+                    Poll::Ready(CpuGuard {
+                        pool: self.pool.clone(),
+                        core,
+                        guard: Some(self.pool.cores[core].assume_seized()),
+                    })
                 }
-            }
+                None => unreachable!("wait cell freed while future still parked"),
+            },
+            PoolState::Done => unreachable!("acquire future polled after completion"),
         }
     }
 }
 
 impl Drop for PoolAcquire {
     fn drop(&mut self) {
-        if let Some(state) = &self.state {
-            let mut slot = state.borrow_mut();
-            match &mut *slot {
-                // Dropped while queued: withdraw.
-                PoolSlot::Queued => *slot = PoolSlot::Cancelled,
-                // Dropped after handover but before the guard was taken:
-                // free the core and pass it on.
-                PoolSlot::Granted { core, guard } => {
-                    let core = *core;
-                    drop(guard.take());
-                    *slot = PoolSlot::Cancelled;
-                    drop(slot);
+        if let PoolState::Waiting(handle) = self.state {
+            let word = self.pool.env.wait_word(handle);
+            // Freeing the cell turns our queue entry stale (= cancelled).
+            self.pool.env.free_wait(handle);
+            if let Some(word) = word {
+                if word >= GRANT_BASE {
+                    // Dropped after handover but before the guard was taken:
+                    // free the core and pass it on.
+                    let core = (word - GRANT_BASE) as usize;
+                    drop(self.pool.cores[core].assume_seized());
                     self.pool.grant_next(core);
                 }
-                PoolSlot::Cancelled => {}
             }
         }
     }

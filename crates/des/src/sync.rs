@@ -8,16 +8,21 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
+use crate::arena::WaitHandle;
 use crate::kernel::{Env, EventKind, ProcId};
 
 // ---------------------------------------------------------------------
 // Semaphore
 // ---------------------------------------------------------------------
 
+/// Wait-cell words for a parked acquirer. A cancelled waiter has no word:
+/// the departing future frees its cell and the queue entry goes stale.
+const QUEUED: u32 = 0;
+const GRANTED: u32 = 1;
+
 struct SemWaiter {
     pid: ProcId,
-    granted: Rc<RefCell<bool>>,
-    cancelled: Rc<RefCell<bool>>,
+    handle: WaitHandle,
 }
 
 struct SemInner {
@@ -61,7 +66,7 @@ impl Semaphore {
     pub fn acquire(&self) -> SemAcquire {
         SemAcquire {
             sem: self.clone(),
-            state: None,
+            state: SemState::Start,
         }
     }
 
@@ -81,8 +86,8 @@ impl Semaphore {
         let mut inner = self.inner.borrow_mut();
         // Hand the permit straight to the first live waiter.
         while let Some(w) = inner.waiters.pop_front() {
-            if !*w.cancelled.borrow() {
-                *w.granted.borrow_mut() = true;
+            if self.env.wait_word(w.handle) == Some(QUEUED) {
+                self.env.set_wait_word(w.handle, GRANTED);
                 let pid = w.pid;
                 drop(inner);
                 self.env
@@ -94,59 +99,75 @@ impl Semaphore {
     }
 }
 
-/// Shared wait state of a parked semaphore acquirer.
-type SemWaitState = (Rc<RefCell<bool>>, Rc<RefCell<bool>>); // (granted, cancelled)
+/// Progress of a [`SemAcquire`]. The future owns its wait cell while parked
+/// and frees it exactly once (on grant consumption or in its destructor).
+enum SemState {
+    /// Not yet polled.
+    Start,
+    /// Parked in the waiter queue, owning a wait cell.
+    Waiting(WaitHandle),
+    /// Permit consumed (or immediate): nothing left to clean up.
+    Done,
+}
 
 /// Future returned by [`Semaphore::acquire`].
 pub struct SemAcquire {
     sem: Semaphore,
-    state: Option<SemWaitState>,
+    state: SemState,
 }
 
 impl Future for SemAcquire {
     type Output = ();
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        match &self.state {
-            None => {
-                let mut inner = self.sem.inner.borrow_mut();
-                if inner.permits > 0 {
-                    inner.permits -= 1;
+        match self.state {
+            SemState::Start => {
+                let took = {
+                    let mut inner = self.sem.inner.borrow_mut();
+                    if inner.permits > 0 {
+                        inner.permits -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if took {
+                    self.state = SemState::Done;
                     return Poll::Ready(());
                 }
-                let granted = Rc::new(RefCell::new(false));
-                let cancelled = Rc::new(RefCell::new(false));
-                inner.waiters.push_back(SemWaiter {
+                let handle = self.sem.env.alloc_wait(QUEUED);
+                self.sem.inner.borrow_mut().waiters.push_back(SemWaiter {
                     pid: self.sem.env.current(),
-                    granted: Rc::clone(&granted),
-                    cancelled: Rc::clone(&cancelled),
+                    handle,
                 });
-                drop(inner);
-                self.state = Some((granted, cancelled));
+                self.state = SemState::Waiting(handle);
                 Poll::Pending
             }
-            Some((granted, _)) => {
-                if *granted.borrow() {
+            SemState::Waiting(handle) => {
+                if self.sem.env.wait_word(handle) == Some(GRANTED) {
                     // Consume the grant so our Drop impl doesn't hand the
                     // permit back a second time.
-                    self.state = None;
+                    self.sem.env.free_wait(handle);
+                    self.state = SemState::Done;
                     Poll::Ready(())
                 } else {
                     Poll::Pending
                 }
             }
+            SemState::Done => Poll::Ready(()),
         }
     }
 }
 
 impl Drop for SemAcquire {
     fn drop(&mut self) {
-        if let Some((granted, cancelled)) = &self.state {
-            if *granted.borrow() {
+        if let SemState::Waiting(handle) = self.state {
+            let granted = self.sem.env.wait_word(handle) == Some(GRANTED);
+            // Freeing the cell turns our queue entry stale (= cancelled).
+            self.sem.env.free_wait(handle);
+            if granted {
                 // Handed a permit we never consumed: give it back.
                 self.sem.release();
-            } else {
-                *cancelled.borrow_mut() = true;
             }
         }
     }

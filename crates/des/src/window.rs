@@ -1,0 +1,342 @@
+//! The deterministic parallel dispatch window.
+//!
+//! With `Sim::set_dispatch_jobs(n > 1)`, the executor drains *all* events
+//! sharing the earliest simulated instant into a window (already in
+//! `(time, seq)` order, courtesy of the calendar), pre-steps every
+//! [`WindowTask`] event on up to `n` scoped worker threads, and then commits
+//! the whole window serially in `(time, seq)` order.
+//!
+//! # Determinism argument
+//!
+//! Byte-identical output for any job count follows from three facts:
+//!
+//! 1. **Tasks are isolated.** `step` receives only `&mut self` and the fixed
+//!    window time — no `Env`, no kernel access — so a task's step result is
+//!    a pure function of its own state. Worker scheduling cannot change it.
+//! 2. **Effects are committed in `(time, seq)` order.** Re-arming a task
+//!    (its only kernel-visible effect) happens at commit, on the committing
+//!    thread, walking the window in seq order; follow-up sequence numbers
+//!    are therefore assigned exactly where the serial loop would assign
+//!    them.
+//! 3. **Everything else takes the doubt path.** Ordinary process events are
+//!    polled serially on the committing thread, in seq order, exactly like
+//!    the serial loop; stale-entry skips are generation checks whose outcome
+//!    is fixed before the window is stepped.
+//!
+//! Wall-clock profiling (`Sim::enable_profiling`) is measured *per step
+//! slot* on whichever worker ran it and merged into the kernel profile at
+//! commit, so profiled and unprofiled runs dispatch identically and the
+//! deterministic per-kind counts never depend on the job count.
+
+use std::fmt;
+
+use crate::arena::SlabId;
+use crate::calendar::{Entry, Target};
+use crate::kernel::{ProcId, Sim};
+use crate::time::{SimDuration, SimTime};
+
+/// A `Send` unit of simulated work eligible for the parallel dispatch
+/// window.
+///
+/// Unlike a spawned process, a window task never touches the kernel: each
+/// step sees the current simulated time and the task's own state, and either
+/// re-arms itself (`Some(delay)` — the next step fires `delay` later) or
+/// completes (`None`). That isolation is what makes stepping tasks on
+/// worker threads safe and deterministic; use ordinary processes for
+/// anything that must interact with facilities, mailboxes, or other
+/// processes.
+///
+/// Side effects inside `step` (logging, channels, shared atomics) execute in
+/// an unspecified order *within* a window — only the kernel-visible commit
+/// is ordered. Keep steps pure over `&mut self` when output must be
+/// reproducible.
+pub trait WindowTask: Send {
+    /// Advance the task to `now`. Return the delay until the next step, or
+    /// `None` when finished.
+    fn step(&mut self, now: SimTime) -> Option<SimDuration>;
+}
+
+/// Identifies a spawned [`WindowTask`] (generation-checked, like
+/// [`ProcId`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub(crate) SlabId);
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}.{}", self.0.slot, self.0.generation)
+    }
+}
+
+/// One window task extracted for stepping: the slot it came from, where it
+/// sits in the window, and (after phase 2) its step result and wall-clock
+/// cost.
+struct PreStep {
+    win_index: usize,
+    id: SlabId,
+    task: Option<Box<dyn WindowTask>>,
+    next: Option<SimDuration>,
+    nanos: u64,
+}
+
+impl PreStep {
+    fn step(&mut self, now: SimTime, profiling: bool) {
+        let task = self
+            .task
+            .as_mut()
+            .expect("window task present until commit");
+        if profiling {
+            let started = std::time::Instant::now();
+            self.next = task.step(now);
+            self.nanos = started.elapsed().as_nanos() as u64;
+        } else {
+            self.next = task.step(now);
+        }
+    }
+}
+
+impl Sim {
+    /// Windowed executor: used whenever `dispatch_jobs > 1`.
+    pub(crate) fn run_windowed(&self, deadline: SimTime, jobs: usize) {
+        let shared = &self.shared;
+        let profiling = shared.profiling();
+        let mut window: Vec<Entry> = Vec::new();
+        let mut steps: Vec<PreStep> = Vec::new();
+        loop {
+            let t = match shared.peek_time() {
+                Some(t) if t <= deadline => t,
+                _ => {
+                    shared.finish_at_deadline(deadline);
+                    break;
+                }
+            };
+            window.clear();
+            shared.drain_window(t, &mut window);
+            shared.set_now(t);
+
+            // Phase 1: extract the live window tasks (stale task entries
+            // fail the generation check here, exactly as they would in the
+            // serial loop's dispatch).
+            steps.clear();
+            for (i, e) in window.iter().enumerate() {
+                if let Target::Task { slot, generation } = e.target {
+                    let id = SlabId { slot, generation };
+                    if let Some(task) = shared.take_task(id) {
+                        steps.push(PreStep {
+                            win_index: i,
+                            id,
+                            task: Some(task),
+                            next: None,
+                            nanos: 0,
+                        });
+                    }
+                }
+            }
+
+            // Phase 2: step the tasks — in parallel when the window has
+            // enough of them to be worth spinning up workers.
+            if steps.len() > 1 && jobs > 1 {
+                let per_worker = steps.len().div_ceil(jobs);
+                std::thread::scope(|scope| {
+                    for chunk in steps.chunks_mut(per_worker) {
+                        scope.spawn(move || {
+                            for s in chunk {
+                                s.step(t, profiling);
+                            }
+                        });
+                    }
+                });
+            } else {
+                for s in &mut steps {
+                    s.step(t, profiling);
+                }
+            }
+
+            // Phase 3: commit in (time, seq) order. Task effects are
+            // applied from the recorded step results; process events are
+            // polled live on this thread (the doubt path).
+            let mut si = 0;
+            for (i, e) in window.iter().enumerate() {
+                shared.count_event();
+                match e.target {
+                    Target::Proc { slot, generation } => {
+                        let id = ProcId { slot, generation };
+                        if profiling {
+                            let started = std::time::Instant::now();
+                            self.poll_process(id);
+                            let spent = started.elapsed().as_nanos() as u64;
+                            shared.record_profile(e.kind, spent);
+                        } else {
+                            self.poll_process(id);
+                        }
+                    }
+                    Target::Task { .. } => {
+                        let mut spent = 0;
+                        if si < steps.len() && steps[si].win_index == i {
+                            let s = &mut steps[si];
+                            si += 1;
+                            spent = s.nanos;
+                            let task = s.task.take().expect("window task stepped once");
+                            shared.commit_task_step(s.id, task, s.next);
+                        }
+                        if profiling {
+                            shared.record_profile(e.kind, spent);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{EventKind, Sim};
+    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A task whose per-step delay comes from its own PCG-ish state, so any
+    /// ordering mistake in the executor changes the deterministic outputs.
+    struct Jitter {
+        state: u64,
+        steps_left: u32,
+        total: Arc<AtomicU64>,
+    }
+
+    impl WindowTask for Jitter {
+        fn step(&mut self, now: SimTime) -> Option<SimDuration> {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(now.as_nanos() | 1);
+            self.total.fetch_add(self.state & 0xFF, Ordering::Relaxed);
+            if self.steps_left == 0 {
+                return None;
+            }
+            self.steps_left -= 1;
+            Some(SimDuration::from_nanos(self.state % 3)) // 0 keeps same-time windows coming
+        }
+    }
+
+    fn jitter_run(jobs: usize, profiled: bool) -> (SimTime, u64, u64, u64) {
+        let sim = Sim::new();
+        sim.set_dispatch_jobs(jobs);
+        if profiled {
+            sim.enable_profiling();
+        }
+        let total = Arc::new(AtomicU64::new(0));
+        for i in 0..32u64 {
+            sim.spawn_task(
+                SimDuration::from_nanos(i % 4),
+                Jitter {
+                    state: 0x9E3779B97F4A7C15 ^ i,
+                    steps_left: 50 + (i as u32 % 7),
+                    total: Arc::clone(&total),
+                },
+            );
+        }
+        sim.run();
+        (
+            sim.now(),
+            sim.events_processed(),
+            total.load(Ordering::Relaxed),
+            sim.profile().count(EventKind::Task),
+        )
+    }
+
+    #[test]
+    fn windowed_task_runs_match_serial_exactly() {
+        let serial = jitter_run(1, false);
+        for jobs in [2, 4, 8] {
+            assert_eq!(jitter_run(jobs, false), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn profiling_never_changes_windowed_dispatch() {
+        let (now_p, events_p, total_p, task_count) = jitter_run(4, true);
+        let (now, events, total, _) = jitter_run(4, false);
+        assert_eq!((now_p, events_p, total_p), (now, events, total));
+        assert_eq!(task_count, events_p, "every event here is a task step");
+    }
+
+    #[test]
+    fn processes_and_tasks_share_instants_deterministically() {
+        let run = |jobs: usize| {
+            let sim = Sim::new();
+            sim.set_dispatch_jobs(jobs);
+            let env = sim.env();
+            let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+            for i in 0..8u64 {
+                let env = env.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    for step in 0..20u64 {
+                        env.hold(SimDuration::from_nanos(i % 3)).await;
+                        log.borrow_mut().push((env.now().as_nanos(), i, step));
+                    }
+                });
+            }
+            let total = Arc::new(AtomicU64::new(0));
+            for i in 0..8u64 {
+                sim.spawn_task(
+                    SimDuration::from_nanos(i % 3),
+                    Jitter {
+                        state: i,
+                        steps_left: 25,
+                        total: Arc::clone(&total),
+                    },
+                );
+            }
+            sim.run();
+            (
+                sim.now(),
+                sim.events_processed(),
+                total.load(Ordering::Relaxed),
+                Rc::try_unwrap(log).unwrap().into_inner(),
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn finished_tasks_free_their_slots() {
+        let sim = Sim::new();
+        sim.set_dispatch_jobs(2);
+        let total = Arc::new(AtomicU64::new(0));
+        for i in 0..4u64 {
+            sim.spawn_task(
+                SimDuration::ZERO,
+                Jitter {
+                    state: i,
+                    steps_left: 3,
+                    total: Arc::clone(&total),
+                },
+            );
+        }
+        assert_eq!(sim.live_tasks(), 4);
+        sim.run();
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn run_until_deadline_applies_to_windowed_dispatch() {
+        let sim = Sim::new();
+        sim.set_dispatch_jobs(4);
+        let total = Arc::new(AtomicU64::new(0));
+        sim.spawn_task(
+            SimDuration::from_secs(10),
+            Jitter {
+                state: 1,
+                steps_left: 1,
+                total: Arc::clone(&total),
+            },
+        );
+        sim.run_until(SimTime::from_nanos(5));
+        assert_eq!(sim.now(), SimTime::from_nanos(5));
+        assert_eq!(sim.live_tasks(), 1);
+        sim.run();
+        assert_eq!(sim.live_tasks(), 0);
+    }
+}

@@ -1,6 +1,8 @@
 //! Lock table, wait queues, retained locks, and deadlock detection.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ccdb_model::{FxHashMap as HashMap, FxHashSet as HashSet};
 
 use ccdb_model::PageId;
 
@@ -504,7 +506,7 @@ impl LockManager {
                     (Owner::Retained(_), Mode::X) => 0u8,
                     _ => 1,
                 });
-                let mut seen = HashSet::new();
+                let mut seen = HashSet::default();
                 entry.holders.retain(|h| match h.owner {
                     Owner::Retained(c) => seen.insert(c),
                     Owner::Txn(_) => true,
@@ -703,7 +705,7 @@ impl LockManager {
     fn wait_cycle_through(&self, start: TxnId) -> bool {
         // Iterative DFS from `start`; cycle iff we can reach `start` again.
         let mut stack: Vec<TxnId> = self.wait_targets(start);
-        let mut visited: HashSet<TxnId> = HashSet::new();
+        let mut visited: HashSet<TxnId> = HashSet::default();
         while let Some(t) = stack.pop() {
             if t == start {
                 return true;

@@ -3,7 +3,14 @@
 //! Pages are hash-partitioned across `N` independent [`LockManager`]
 //! shards by a deterministic, seed-free hash, so lock-table state — and
 //! therefore per-shard wait/deadlock/callback statistics — decomposes by
-//! shard. Two things cannot be per-shard and are handled by the facade:
+//! shard. Each shard sits behind its own [`RefCell`], so the facade takes
+//! `&self` everywhere: mutating one shard never requires exclusive access
+//! to the whole table, and callers (the simulated server, which hands out
+//! shared references to itself) never need a table-wide `&mut`. Borrows
+//! are statement-scoped — every shard method returns owned data — so a
+//! cross-shard walk (deadlock detection, stats) can immutably visit all
+//! shards right after mutating one. Two things cannot be per-shard and
+//! are handled by the facade:
 //!
 //! * **Deadlock detection** runs over the *union* of the shards' wait-for
 //!   edges, so cross-shard cycles are found and the victim (the requester,
@@ -17,7 +24,8 @@
 //! With `shards = 1` every call delegates to one `LockManager` in the
 //! exact same sequence of internal steps as the unsharded code path.
 
-use std::collections::HashSet;
+use ccdb_model::FxHashSet as HashSet;
+use std::cell::RefCell;
 
 use ccdb_model::PageId;
 
@@ -40,7 +48,7 @@ fn page_hash(page: PageId) -> u64 {
 /// API. See the module docs for the equivalence argument.
 #[derive(Debug)]
 pub struct ShardedLockManager {
-    shards: Vec<LockManager>,
+    shards: Vec<RefCell<LockManager>>,
 }
 
 impl Default for ShardedLockManager {
@@ -54,7 +62,9 @@ impl ShardedLockManager {
     pub fn new(shards: u32) -> Self {
         assert!(shards > 0, "lock manager needs at least one shard");
         ShardedLockManager {
-            shards: (0..shards).map(|_| LockManager::new()).collect(),
+            shards: (0..shards)
+                .map(|_| RefCell::new(LockManager::new()))
+                .collect(),
         }
     }
 
@@ -72,7 +82,7 @@ impl ShardedLockManager {
     pub fn stats(&self) -> LockStats {
         let mut total = LockStats::default();
         for s in &self.shards {
-            let st = s.stats();
+            let st = s.borrow().stats();
             total.requests += st.requests;
             total.blocks += st.blocks;
             total.deadlocks += st.deadlocks;
@@ -83,35 +93,35 @@ impl ShardedLockManager {
 
     /// Per-shard statistics, indexed by shard.
     pub fn per_shard_stats(&self) -> Vec<LockStats> {
-        self.shards.iter().map(|s| s.stats()).collect()
+        self.shards.iter().map(|s| s.borrow().stats()).collect()
     }
 
     /// Mode held by `txn` on `page`, if any.
     pub fn holds(&self, txn: TxnId, page: PageId) -> Option<Mode> {
-        self.shard(page).holds(txn, page)
+        self.shard(page).borrow().holds(txn, page)
     }
 
     /// Mode of the lock `client` retains on `page`, if any.
     pub fn retained_mode(&self, client: ClientId, page: PageId) -> Option<Mode> {
-        self.shard(page).retained_mode(client, page)
+        self.shard(page).borrow().retained_mode(client, page)
     }
 
     /// True if `client` retains a read lock on `page`.
     pub fn has_retained(&self, client: ClientId, page: PageId) -> bool {
-        self.shard(page).has_retained(client, page)
+        self.shard(page).borrow().has_retained(client, page)
     }
 
     /// Number of pages with any lock state, summed across shards.
     pub fn table_len(&self) -> usize {
-        self.shards.iter().map(|s| s.table_len()).sum()
+        self.shards.iter().map(|s| s.borrow().table_len()).sum()
     }
 
     /// Distinct transactions blocked on at least one lock (a transaction
     /// queued in two shards counts once).
     pub fn blocked_txn_count(&self) -> usize {
-        let mut txns: HashSet<TxnId> = HashSet::new();
+        let mut txns: HashSet<TxnId> = HashSet::default();
         for s in &self.shards {
-            txns.extend(s.blocked_txns());
+            txns.extend(s.borrow().blocked_txns());
         }
         txns.len()
     }
@@ -121,7 +131,7 @@ impl ShardedLockManager {
         let mut pages: Vec<PageId> = self
             .shards
             .iter()
-            .flat_map(|s| s.retained_pages(client))
+            .flat_map(|s| s.borrow().retained_pages(client))
             .collect();
         pages.sort();
         pages
@@ -129,29 +139,37 @@ impl ShardedLockManager {
 
     /// Retained holders of a page.
     pub fn retained_holders(&self, page: PageId) -> Vec<ClientId> {
-        self.shard(page).retained_holders(page)
+        self.shard(page).borrow().retained_holders(page)
     }
 
     /// Request `mode` on `page` for transaction `txn` of `client`. Same
     /// contract as [`LockManager::request`]; the deadlock check runs over
     /// the union of every shard's wait-for edges.
     pub fn request(
-        &mut self,
+        &self,
         txn: TxnId,
         client: ClientId,
         page: PageId,
         mode: Mode,
     ) -> RequestOutcome {
         let k = self.shard_of(page) as usize;
-        match self.shards[k].enqueue_request(txn, client, page, mode) {
+        // The enqueue borrow ends before the cycle walk visits every shard.
+        let outcome = self.shards[k]
+            .borrow_mut()
+            .enqueue_request(txn, client, page, mode);
+        match outcome {
             EnqueueOutcome::Granted => RequestOutcome::Granted,
             EnqueueOutcome::Queued { upgrade } => {
                 if self.wait_cycle_through(txn) {
-                    self.shards[k].withdraw_just_queued(txn, page, upgrade);
+                    self.shards[k]
+                        .borrow_mut()
+                        .withdraw_just_queued(txn, page, upgrade);
                     return RequestOutcome::Deadlock;
                 }
                 RequestOutcome::Blocked {
-                    callbacks: self.shards[k].blocked_callbacks(page, client, mode),
+                    callbacks: self.shards[k]
+                        .borrow_mut()
+                        .blocked_callbacks(page, client, mode),
                 }
             }
         }
@@ -160,7 +178,7 @@ impl ShardedLockManager {
     /// Release every lock of `txn`, optionally retaining them as client
     /// read locks. Same contract as [`LockManager::release_all`].
     pub fn release_all(
-        &mut self,
+        &self,
         txn: TxnId,
         retain_for: Option<ClientId>,
     ) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
@@ -175,40 +193,42 @@ impl ShardedLockManager {
     /// policy. Pages are released in global page order so the grant
     /// sequence matches the single-table manager exactly.
     pub fn release_all_policy(
-        &mut self,
+        &self,
         txn: TxnId,
         policy: RetainPolicy,
     ) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
         let mut pages: Vec<(PageId, usize)> = Vec::new();
-        for (k, s) in self.shards.iter_mut().enumerate() {
-            pages.extend(s.take_held(txn).into_iter().map(|p| (p, k)));
+        for (k, s) in self.shards.iter().enumerate() {
+            pages.extend(s.borrow_mut().take_held(txn).into_iter().map(|p| (p, k)));
         }
         pages.sort_by_key(|&(p, _)| p);
         if !pages.is_empty() {
             // The single-table manager clears deferred edges pointing at a
             // terminating lock-holding txn over its whole table; mirror
             // that across every shard, not just the ones holding pages.
-            for s in &mut self.shards {
-                s.clear_deferred_of(txn);
+            for s in &self.shards {
+                s.borrow_mut().clear_deferred_of(txn);
             }
         }
         let mut wakes = Vec::new();
         let mut callbacks = Vec::new();
         for (page, k) in pages {
-            let (w, cb) = self.shards[k].release_one_page(txn, page, policy);
+            let (w, cb) = self.shards[k]
+                .borrow_mut()
+                .release_one_page(txn, page, policy);
             wakes.extend(w);
             callbacks.extend(cb);
         }
-        for s in &mut self.shards {
-            s.finish_txn(txn);
+        for s in &self.shards {
+            s.borrow_mut().finish_txn(txn);
         }
         (wakes, callbacks)
     }
 
     /// Abort `txn`: drop held locks (no retention) and queued requests.
-    pub fn abort(&mut self, txn: TxnId) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
-        for s in &mut self.shards {
-            s.withdraw_queued_requests(txn);
+    pub fn abort(&self, txn: TxnId) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
+        for s in &self.shards {
+            s.borrow_mut().withdraw_queued_requests(txn);
         }
         self.release_all(txn, None)
     }
@@ -216,36 +236,36 @@ impl ShardedLockManager {
     /// A client released a retained read lock. Same contract as
     /// [`LockManager::release_retained`].
     pub fn release_retained(
-        &mut self,
+        &self,
         client: ClientId,
         page: PageId,
     ) -> (Vec<Wake>, Vec<(ClientId, PageId)>) {
         let k = self.shard_of(page) as usize;
-        self.shards[k].release_retained(client, page)
+        self.shards[k].borrow_mut().release_retained(client, page)
     }
 
     /// A client answered a callback with "in use by my current transaction
     /// `blocker`". Same contract as [`LockManager::callback_deferred`];
     /// the cycle check spans every shard.
     pub fn callback_deferred(
-        &mut self,
+        &self,
         page: PageId,
         client: ClientId,
         blocker: TxnId,
     ) -> Option<TxnId> {
         let k = self.shard_of(page) as usize;
-        self.shards[k].insert_deferred(page, client, blocker);
         self.shards[k]
-            .page_waiters(page)
-            .into_iter()
-            .find(|&w| self.wait_cycle_through(w))
+            .borrow_mut()
+            .insert_deferred(page, client, blocker);
+        let waiters = self.shards[k].borrow().page_waiters(page);
+        waiters.into_iter().find(|&w| self.wait_cycle_through(w))
     }
 
     /// True if `start` is on a wait-for cycle in the global graph (the
     /// union of every shard's edges).
     fn wait_cycle_through(&self, start: TxnId) -> bool {
         let mut stack = self.wait_targets(start);
-        let mut visited: HashSet<TxnId> = HashSet::new();
+        let mut visited: HashSet<TxnId> = HashSet::default();
         while let Some(t) = stack.pop() {
             if t == start {
                 return true;
@@ -260,7 +280,7 @@ impl ShardedLockManager {
     fn wait_targets(&self, txn: TxnId) -> Vec<TxnId> {
         self.shards
             .iter()
-            .flat_map(|s| s.wait_targets(txn))
+            .flat_map(|s| s.borrow().wait_targets(txn))
             .collect()
     }
 
@@ -268,23 +288,23 @@ impl ShardedLockManager {
     /// shard.
     pub fn assert_txn_gone(&self, txn: TxnId) {
         for s in &self.shards {
-            s.assert_txn_gone(txn);
+            s.borrow().assert_txn_gone(txn);
         }
     }
 
     /// Consistency check across every shard.
     pub fn assert_consistent(&self) {
         for s in &self.shards {
-            s.assert_consistent();
+            s.borrow().assert_consistent();
         }
     }
 
     /// Human-readable dump of one page's lock entry (diagnostics).
     pub fn debug_entry(&self, page: PageId) -> String {
-        self.shard(page).debug_entry(page)
+        self.shard(page).borrow().debug_entry(page)
     }
 
-    fn shard(&self, page: PageId) -> &LockManager {
+    fn shard(&self, page: PageId) -> &RefCell<LockManager> {
         &self.shards[self.shard_of(page) as usize]
     }
 }
@@ -305,7 +325,7 @@ mod tests {
     fn sharding_is_deterministic_and_covers_all_shards() {
         let lm = ShardedLockManager::new(4);
         let lm2 = ShardedLockManager::new(4);
-        let mut seen = HashSet::new();
+        let mut seen = HashSet::default();
         for n in 0..256 {
             let k = lm.shard_of(page(n));
             assert!(k < 4);
@@ -319,7 +339,7 @@ mod tests {
     fn cross_shard_deadlock_is_detected() {
         // Find two pages in different shards, build the classic 2-txn
         // cycle across them.
-        let mut lm = ShardedLockManager::new(4);
+        let lm = ShardedLockManager::new(4);
         let a = page(0);
         let b = (1..64)
             .map(page)
@@ -358,7 +378,7 @@ mod tests {
     fn release_wakes_follow_global_page_order() {
         // One txn holds X on many pages spread over shards; one waiter per
         // page. Wakes must come back in page order, not shard order.
-        let mut lm = ShardedLockManager::new(4);
+        let lm = ShardedLockManager::new(4);
         let pages: Vec<PageId> = (0..8).map(page).collect();
         for &p in &pages {
             assert_eq!(
@@ -380,7 +400,7 @@ mod tests {
 
     #[test]
     fn stats_sum_and_split_by_shard() {
-        let mut lm = ShardedLockManager::new(2);
+        let lm = ShardedLockManager::new(2);
         for n in 0..16 {
             lm.request(TxnId(n as u64), ClientId(n), page(n), Mode::X);
         }
@@ -390,5 +410,20 @@ mod tests {
         assert_eq!(per.len(), 2);
         assert_eq!(per.iter().map(|s| s.requests).sum::<u64>(), 16);
         assert!(per.iter().all(|s| s.requests > 0), "both shards used");
+    }
+
+    #[test]
+    fn shared_reference_suffices_for_mutation() {
+        // The facade's whole point: a `&ShardedLockManager` can request
+        // and release without a table-wide exclusive borrow.
+        let lm = ShardedLockManager::new(2);
+        let alias: &ShardedLockManager = &lm;
+        assert_eq!(
+            alias.request(TxnId(1), ClientId(1), page(0), Mode::X),
+            RequestOutcome::Granted
+        );
+        let (wakes, _) = alias.release_all(TxnId(1), None);
+        assert!(wakes.is_empty());
+        alias.assert_consistent();
     }
 }

@@ -199,8 +199,8 @@ impl Harness {
 /// (including callback lists), wakes, release callbacks, deadlock
 /// victims, and the summed statistics.
 fn assert_shard_equivalent(ops: &[Op], shards: u32) {
-    let mut one = ShardedLockManager::new(1);
-    let mut many = ShardedLockManager::new(shards);
+    let one = ShardedLockManager::new(1);
+    let many = ShardedLockManager::new(shards);
     // Track live txns / pending requests on the 1-shard manager only (the
     // equivalence assertions keep `many` in lockstep).
     let mut live: HashSet<u8> = HashSet::new();
@@ -324,8 +324,8 @@ proptest! {
         defer in proptest::collection::vec((0..8u8, 0..6u8, 0..8u8), 1..12),
         shards in 2..5u32,
     ) {
-        let mut one = ShardedLockManager::new(1);
-        let mut many = ShardedLockManager::new(shards);
+        let one = ShardedLockManager::new(1);
+        let many = ShardedLockManager::new(shards);
         for op in &ops {
             // Only requests here: keep both tables populated identically
             // without tracking liveness (outcomes already proven equal by

@@ -8,6 +8,9 @@
 //!   (Table 3), and the concrete settings of Tables 4 and 5.
 //! * [`workload`] — the transaction reference-string generator with the
 //!   `InterXactSet` temporal-locality model (Figure 3).
+//! * [`fxhash`] — a fixed-seed integer hasher for event-path hash maps
+//!   (shared here because every simulation crate already depends on the
+//!   model types used as keys).
 //!
 //! Everything here is pure (no simulated time); the `ccdb-core` crate wires
 //! these models into the discrete-event simulation.
@@ -15,9 +18,11 @@
 #![warn(missing_docs)]
 
 pub mod db;
+pub mod fxhash;
 pub mod params;
 pub mod workload;
 
 pub use db::{AccessSkew, ClassId, ClassSpec, DatabaseSpec, ObjectRef, PageId};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use params::{table4_database, table4_txn, table5_database, SystemParams, TxnParams};
 pub use workload::{InterXactSet, TxnOp, TxnSpec, Workload};

@@ -12,7 +12,9 @@
 //! mutex pins the total message order); the recorded order replays
 //! deterministically even though the sockets raced.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use ccdb_model::{FxHashMap as HashMap, FxHashSet as HashSet};
 use std::fmt;
 
 use ccdb_lock::{ClientId, Mode, RequestOutcome, TxnId, Wake};
@@ -265,11 +267,11 @@ impl Engine {
         Engine {
             core: ServerCore::new(algorithm, tuning, oracle, n_clients, lock_shards, db),
             mpl: mpl.max(1),
-            admitted: HashSet::new(),
+            admitted: HashSet::default(),
             admit_queue: VecDeque::new(),
-            queued: HashMap::new(),
-            parked: HashMap::new(),
-            pending_commits: HashMap::new(),
+            queued: HashMap::default(),
+            parked: HashMap::default(),
+            pending_commits: HashMap::default(),
             commits: 0,
             aborts: 0,
         }

@@ -8,8 +8,8 @@
 //! the log and rewrite the before-images — the paper's point that
 //! "protocols that cause more transaction aborts are charged for them".
 
+use ccdb_model::FxHashMap as HashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use ccdb_des::{Env, Pcg32, WaitClass};
@@ -65,7 +65,7 @@ impl LogManager {
         LogManager {
             disks: Rc::new(disks),
             inner: Rc::new(RefCell::new(Inner {
-                flushed: HashMap::new(),
+                flushed: HashMap::default(),
                 next_disk: 0,
                 stats: LogStats::default(),
             })),

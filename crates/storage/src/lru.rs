@@ -6,8 +6,10 @@
 //! entries are discarded when they surface. Eviction scans from the LRU end
 //! and can skip entries the caller has pinned.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::hash::Hash;
+
+use ccdb_model::FxHashMap as HashMap;
 
 struct Slot<V> {
     value: V,
@@ -31,7 +33,7 @@ impl<K: Eq + Hash + Clone, V> LruCore<K, V> {
     /// An empty cache.
     pub fn new() -> Self {
         LruCore {
-            map: HashMap::new(),
+            map: HashMap::default(),
             recency: VecDeque::new(),
             next_stamp: 0,
         }

@@ -16,9 +16,21 @@ cd "$tmp"
 
 # Wall-clock throughput varies by host; the committed baseline's exact
 # event counts must still reproduce anywhere. Override the perf tolerance
-# with CCDB_BENCH_TOLERANCE if a runner is known to be slow.
+# with CCDB_BENCH_TOLERANCE if a runner is known to be slow. A failed
+# check is retried: the deterministic counters cannot change between
+# attempts, so a retry only ever forgives transient wall-clock noise
+# (a busy neighbour, a frequency dip), never a real counter mismatch.
 export CCDB_BENCH_TOLERANCE=${CCDB_BENCH_TOLERANCE:-0.2}
-"$CCDB" bench --quick --out bench.json --check "$baseline"
+attempts=${CCDB_BENCH_ATTEMPTS:-3}
+ok=0
+for i in $(seq 1 "$attempts"); do
+  if "$CCDB" bench --quick --out bench.json --check "$baseline"; then
+    ok=1
+    break
+  fi
+  echo "bench smoke: check attempt $i/$attempts failed, retrying"
+done
+[ "$ok" = 1 ]
 python3 -m json.tool bench.json > /dev/null
 grep -q '"schema": "ccdb.bench/v1"' bench.json
 

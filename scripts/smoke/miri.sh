@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Miri smoke: the DES kernel's unit tests run under Miri's undefined-
+# behaviour and aliasing checks. The split-borrow kernel deliberately
+# avoids new `unsafe` (the only unsafe block is the no-op waker), so the
+# whole arena/calendar/window machinery must come out clean.
+#
+# Skips gracefully (exit 0 with a notice) when no Miri toolchain can be
+# set up — e.g. offline dev boxes; CI installs nightly+miri explicitly.
+set -eu
+
+root=$(cd "$(dirname "$0")/../.." && pwd)
+cd "$root"
+
+if ! cargo +nightly miri --version >/dev/null 2>&1; then
+  if ! rustup component add miri --toolchain nightly >/dev/null 2>&1; then
+    echo "miri smoke SKIPPED: no nightly Miri toolchain available"
+    exit 0
+  fi
+fi
+
+# Unit tests only: the property tests multiply Miri's interpreter
+# overhead past any useful smoke budget. Isolation stays on; the kernel
+# touches no ambient host state.
+cargo +nightly miri test -p ccdb-des --lib
+
+echo "miri smoke OK"

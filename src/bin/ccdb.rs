@@ -56,7 +56,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ccdb::bench::{check_bench, run_bench, utc_date, BenchCtl};
+use ccdb::bench::{bench_delta_table, check_bench, run_bench, utc_date, BenchCtl};
 use ccdb::core::run_replicated_folded;
 use ccdb::core::{run_simulation_traced, Trace};
 use ccdb::server::{load, replay, serve, LoadOptions, ServeOptions};
@@ -98,6 +98,7 @@ struct Options {
     precision: Option<f64>,
     max_reps: Option<u32>,
     jobs: Option<usize>,
+    kernel_jobs: Option<usize>,
     out: Option<String>,
     lock_shards: Option<u32>,
     shard: Option<(u32, u32)>,
@@ -139,6 +140,7 @@ impl Default for Options {
             precision: None,
             max_reps: None,
             jobs: None,
+            kernel_jobs: None,
             out: None,
             lock_shards: None,
             shard: None,
@@ -298,6 +300,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 o.jobs = Some(n);
             }
+            "--kernel-jobs" => {
+                let n: usize = val.parse().map_err(|e| format!("--kernel-jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--kernel-jobs must be positive".to_string());
+                }
+                o.kernel_jobs = Some(n);
+            }
             "--out" => o.out = Some(val.clone()),
             "--lock-shards" => {
                 let n: u32 = val.parse().map_err(|e| format!("--lock-shards: {e}"))?;
@@ -412,6 +421,7 @@ fn build_spec(o: &Options, family: Family) -> Result<SweepSpec, String> {
 fn obs_options(opts: &Options) -> ObsOptions {
     ObsOptions {
         sample_interval: opts.sample_interval.map(SimDuration::from_secs_f64),
+        kernel_jobs: opts.kernel_jobs.unwrap_or(1),
         ..ObsOptions::default()
     }
 }
@@ -668,7 +678,7 @@ fn usage() {
          [--exp acl|caching|short|large|fast-server|fast-net|interactive] [--seed N] \
          [--warmup S] [--measure S] [--csv] [--json] [--jsonl] [--sample-interval S] \
          [--series] [--svg] [--trace-cap N] [--chrome FILE] [--reps N] [--precision F] \
-         [--max-reps N] [--jobs N] [--out DIR|FILE] [--lock-shards N] [--shard I/N] \
+         [--max-reps N] [--jobs N] [--kernel-jobs N] [--out DIR|FILE] [--lock-shards N] [--shard I/N] \
          [--checkpoint FILE|DIR] [--resume FILE] [--fsync-every N] [--quick] \
          [--check BASELINE]\n       \
          ccdb serve --alg A [--port N] [--clients N] [--mpl N] [--lock-shards N] \
@@ -914,6 +924,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.2);
+        eprint!("{}", bench_delta_table(&doc, &baseline));
         match check_bench(&doc, &baseline, tolerance) {
             Ok(()) => eprintln!(
                 "bench: matches {baseline_path} (exact counters; events/sec within {:.0}%)",
@@ -1135,7 +1146,7 @@ fn main() -> ExitCode {
         "load" => cmd_load(&opts),
         "run" => match one_run_config(&opts) {
             Ok(cfg) => {
-                if opts.json || opts.sample_interval.is_some() {
+                if opts.json || opts.sample_interval.is_some() || opts.kernel_jobs.is_some() {
                     let observed =
                         run_simulation_observed(cfg, Trace::disabled(), obs_options(&opts));
                     if opts.json {
