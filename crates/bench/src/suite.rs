@@ -79,14 +79,43 @@ fn matrix(ctl: &BenchCtl) -> Vec<(&'static str, SimConfig)> {
             horizon(experiments::short_txn(Algorithm::Callback, 25, 0.25, 0.2)),
         ),
         (
+            // Service-task-heavy: 50 callback clients hammering a 10% hot
+            // region. Every client caches the hot pages, so each update
+            // commit broadcasts invalidations to ~all clients in one
+            // instant — dense same-instant bursts of packet-train and disk
+            // service tasks, the workload the dispatch window is for.
+            "svc_cb_50",
+            horizon(svc_heavy_config()),
+        ),
+        (
+            // The same service-heavy workload through the windowed
+            // dispatcher: exact counters must match svc_cb_50 bit-for-bit;
+            // events/sec is the headline window-win number.
+            "par_svc_cb_50",
+            horizon(svc_heavy_config()),
+        ),
+        (
             "short_cb_25_sampled",
             horizon(experiments::short_txn(Algorithm::Callback, 25, 0.25, 0.2)),
         ),
     ]
 }
 
-/// Kernel dispatch workers for the `par_window_*` cases.
+/// Kernel dispatch workers for the `par_*` cases.
 const WINDOW_JOBS: usize = 4;
+
+/// The service-task-heavy workload behind `svc_cb_50` / `par_svc_cb_50`:
+/// callback locking, 50 clients, and a 10% hot region taking 70% of
+/// accesses, so invalidation broadcasts (and the disk traffic they cause)
+/// arrive as wide same-instant service-task windows.
+fn svc_heavy_config() -> SimConfig {
+    let mut cfg = experiments::short_txn(Algorithm::Callback, 50, 0.25, 0.5);
+    cfg.db = cfg.db.with_skew(ccdb_model::AccessSkew {
+        hot_fraction: 0.1,
+        hot_access_prob: 0.7,
+    });
+    cfg
+}
 
 /// Run the pinned matrix and build the `ccdb.bench/v1` document.
 ///
@@ -115,7 +144,7 @@ pub fn run_bench(ctl: &BenchCtl, quick: bool) -> Json {
                 .map(|s| (s.names().len() + 2) * s.len() * 8)
                 .unwrap_or(0);
             (observed.report, None, bytes)
-        } else if name.starts_with("par_window") {
+        } else if name.starts_with("par_") {
             let profiled = run_simulation_profiled_jobs(cfg, WINDOW_JOBS);
             (profiled.report, Some(profiled.profile), 0)
         } else {
@@ -331,7 +360,7 @@ mod tests {
         let Some(Json::Arr(cases)) = doc.get("cases") else {
             panic!("cases array");
         };
-        assert_eq!(cases.len(), 6);
+        assert_eq!(cases.len(), 8);
         // Profiled cases attribute every dispatch to a kind.
         let first = &cases[0];
         let events = first.get("events").and_then(|v| v.as_u64()).unwrap();
@@ -349,17 +378,22 @@ mod tests {
                 .iter()
                 .find(|c| c.get("name").unwrap().as_str() == Some(n))
         };
-        let serial = by_name("short_cb_25").unwrap();
-        let windowed = by_name("par_window_cb_25").unwrap();
-        for key in ["events", "commits"] {
-            assert_eq!(
-                serial.get(key).unwrap().as_u64(),
-                windowed.get(key).unwrap().as_u64(),
-                "windowed dispatch must not change {key}"
-            );
+        for (s, w) in [
+            ("short_cb_25", "par_window_cb_25"),
+            ("svc_cb_50", "par_svc_cb_50"),
+        ] {
+            let serial = by_name(s).unwrap();
+            let windowed = by_name(w).unwrap();
+            for key in ["events", "commits"] {
+                assert_eq!(
+                    serial.get(key).unwrap().as_u64(),
+                    windowed.get(key).unwrap().as_u64(),
+                    "windowed dispatch must not change {key} ({s} vs {w})"
+                );
+            }
         }
         // The sampled case reports a positive series footprint, no kinds.
-        let last = &cases[5];
+        let last = &cases[7];
         assert!(last.get("kinds").is_none());
         assert!(
             last.get("peak_series_bytes")

@@ -83,6 +83,16 @@ impl<T> Slab<T> {
         id
     }
 
+    /// Is `id` the slot's current occupant — even while the occupant is
+    /// temporarily moved out for polling/stepping? Distinguishes "live but
+    /// taken" (cancellable) from a stale id (already gone).
+    pub(crate) fn is_live(&self, id: SlabId) -> bool {
+        matches!(
+            self.slots.get(id.slot as usize),
+            Some(SlotState::Live { generation, .. }) if *generation == id.generation
+        )
+    }
+
     /// Move the occupant out for polling. `None` if the id is stale or the
     /// occupant is already moved out.
     pub(crate) fn take(&mut self, id: SlabId) -> Option<T> {

@@ -94,12 +94,6 @@ impl Calendar {
         self.heap.len()
     }
 
-    /// Fire time of the earliest entry, if any.
-    #[inline]
-    pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(Entry::time)
-    }
-
     pub(crate) fn push(&mut self, entry: Entry) {
         self.heap.push(entry);
         self.sift_up(self.heap.len() - 1);
@@ -126,6 +120,17 @@ impl Calendar {
             Some(e) if e.time() <= deadline => self.pop(),
             _ => None,
         }
+    }
+
+    /// Pop the earliest entry if it fires at or before `deadline`, plus
+    /// whether the *next* entry shares its instant. The windowed executor
+    /// uses the flag to take the serial-style single-event fast path without
+    /// paying a second borrow/peek per event.
+    #[inline]
+    pub(crate) fn pop_due_more(&mut self, deadline: SimTime) -> Option<(Entry, bool)> {
+        let e = self.pop_due(deadline)?;
+        let more = matches!(self.heap.first(), Some(n) if n.time() == e.time());
+        Some((e, more))
     }
 
     /// Pop every entry firing exactly at `time` into `out`, in `(time, seq)`
@@ -253,7 +258,8 @@ mod tests {
             vec![1, 3, 8]
         );
         assert_eq!(cal.len(), 1);
-        assert_eq!(cal.peek_time(), Some(SimTime::from_nanos(7)));
+        let (left, more) = cal.pop_due_more(SimTime::MAX).unwrap();
+        assert_eq!((left.time(), more), (SimTime::from_nanos(7), false));
     }
 
     #[test]

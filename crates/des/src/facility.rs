@@ -115,6 +115,19 @@ impl Inner {
         }
         self.last_change = now;
     }
+
+    // Pure-read integrals: fold the pending `[last_change, now]` segment in
+    // on the fly instead of flushing it. Flushing on read would split the
+    // f64 sums at every observation instant, making reported utilisation
+    // depend on how often a sampler looked — and a sampled run must
+    // reproduce an unsampled one bit-for-bit.
+    fn busy_integral_at(&self, now: SimTime) -> f64 {
+        self.busy_integral + now.since(self.last_change).as_secs_f64() * self.busy as f64
+    }
+
+    fn queue_integral_at(&self, now: SimTime) -> f64 {
+        self.queue_integral + now.since(self.last_change).as_secs_f64() * self.queue.len() as f64
+    }
 }
 
 /// A point-in-time copy of one facility's statistics, for reports.
@@ -251,29 +264,29 @@ impl Facility {
         drop(guard);
     }
 
-    /// Mean utilisation per server over `[start of sim, now]`.
+    /// Mean utilisation per server over `[start of sim, now]`. A pure read:
+    /// observing never perturbs the busy-time integral, so a sampled run
+    /// reports bit-identical utilisation to an unsampled one.
     pub fn utilization(&self) -> f64 {
-        let mut inner = self.inner.borrow_mut();
+        let inner = self.inner.borrow();
         let now = self.env.now();
-        inner.touch(now);
         let elapsed = now.since(inner.stats_start).as_secs_f64();
         if elapsed <= 0.0 {
             0.0
         } else {
-            inner.busy_integral / (elapsed * inner.servers as f64)
+            inner.busy_integral_at(now) / (elapsed * inner.servers as f64)
         }
     }
 
-    /// Time-averaged queue length.
+    /// Time-averaged queue length. A pure read, like [`Facility::utilization`].
     pub fn mean_queue_len(&self) -> f64 {
-        let mut inner = self.inner.borrow_mut();
+        let inner = self.inner.borrow();
         let now = self.env.now();
-        inner.touch(now);
         let elapsed = now.since(inner.stats_start).as_secs_f64();
         if elapsed <= 0.0 {
             0.0
         } else {
-            inner.queue_integral / elapsed
+            inner.queue_integral_at(now) / elapsed
         }
     }
 
@@ -544,6 +557,50 @@ mod tests {
         // Busy 3s out of 4s elapsed.
         assert!((fac.utilization() - 0.75).abs() < 1e-9);
         assert_eq!(fac.completions(), 1);
+    }
+
+    #[test]
+    fn observing_utilization_mid_run_has_no_side_effects() {
+        // A run that is *watched* (utilization / mean queue read at odd
+        // instants, as the time-series sampler does) must report the same
+        // final statistics bit-for-bit as an unwatched twin. The old read
+        // path flushed the busy-time integral at every observation, which
+        // split the f64 sum differently and cost a 1-ulp report divergence.
+        let run = |watch: bool| {
+            let sim = Sim::new();
+            let env = sim.env();
+            let fac = Facility::new(&env, "cpu", 1);
+            for i in 0..5u64 {
+                let fac = fac.clone();
+                let env = env.clone();
+                sim.spawn(async move {
+                    env.hold(SimDuration::from_nanos(i * 777_777)).await;
+                    fac.use_for(SimDuration::from_nanos(1_000_003 + i * 333_331))
+                        .await;
+                });
+            }
+            {
+                // Anchor: both runs end at the same instant.
+                let env = env.clone();
+                sim.spawn(async move {
+                    env.hold(SimDuration::from_millis(20)).await;
+                });
+            }
+            if watch {
+                let fac = fac.clone();
+                let env = env.clone();
+                sim.spawn(async move {
+                    for _ in 0..50 {
+                        env.hold(SimDuration::from_nanos(123_457)).await;
+                        let _ = fac.utilization();
+                        let _ = fac.mean_queue_len();
+                    }
+                });
+            }
+            sim.run();
+            (fac.utilization().to_bits(), fac.mean_queue_len().to_bits())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

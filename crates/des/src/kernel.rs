@@ -28,12 +28,20 @@ use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::arena::{Slab, SlabId, WaitArena, WaitHandle};
 use crate::calendar::{Calendar, Entry, Target};
+use crate::oneshot::{oneshot, Wait};
 use crate::time::{SimDuration, SimTime};
-use crate::window::{TaskId, WindowTask};
+use crate::window::{ServiceStep, TaskId, WindowTask};
+
+/// A service task's serial epilogue: runs on the committing thread, in
+/// `(time, seq)` order, when the task retires. This is where kernel-visible
+/// effects (facility occupancy, mailbox deposits, process wakes) belong —
+/// the `Send` step itself must stay isolated (see [`WindowTask`]).
+pub(crate) type CommitHook = Box<dyn FnOnce(&Env)>;
 
 /// Identifies a spawned process. Includes a generation counter so that a
 /// stale id left in a wait queue can never resume an unrelated process that
@@ -191,6 +199,10 @@ pub(crate) struct KernelShared {
     calendar: RefCell<Calendar>,
     procs: RefCell<Slab<ProcFuture>>,
     tasks: RefCell<Slab<Box<dyn WindowTask>>>,
+    /// Commit hooks for service tasks, indexed by task slot. A hook is set
+    /// at [`Env::spawn_service`], taken exactly once when the task retires
+    /// (or is cancelled), and never travels to a worker thread.
+    hooks: RefCell<Vec<Option<CommitHook>>>,
     waits: RefCell<WaitArena>,
     profile: RefCell<KernelProfile>,
 }
@@ -207,6 +219,7 @@ impl KernelShared {
             calendar: RefCell::new(Calendar::new()),
             procs: RefCell::new(Slab::new()),
             tasks: RefCell::new(Slab::new()),
+            hooks: RefCell::new(Vec::new()),
             waits: RefCell::new(WaitArena::new()),
             profile: RefCell::new(KernelProfile::default()),
         }
@@ -255,9 +268,10 @@ impl KernelShared {
         }
     }
 
-    /// Fire time of the next scheduled event.
-    pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.calendar.borrow().peek_time()
+    /// Pop the next event if it fires at or before `deadline`, plus whether
+    /// the following event shares its instant (one borrow for both answers).
+    pub(crate) fn pop_due_more(&self, deadline: SimTime) -> Option<(Entry, bool)> {
+        self.calendar.borrow_mut().pop_due_more(deadline)
     }
 
     /// Drain every event at `time` into `out` in `(time, seq)` order.
@@ -267,6 +281,12 @@ impl KernelShared {
 
     pub(crate) fn take_task(&self, id: SlabId) -> Option<Box<dyn WindowTask>> {
         self.tasks.borrow_mut().take(id)
+    }
+
+    /// Is the task behind `id` still the slot's current occupant? False once
+    /// it was cancelled (even while moved out into a dispatch window).
+    pub(crate) fn task_is_live(&self, id: SlabId) -> bool {
+        self.tasks.borrow().is_live(id)
     }
 
     /// Commit one window task's step result: either re-arm it `delay` from
@@ -296,6 +316,22 @@ impl KernelShared {
                 drop(task);
             }
         }
+    }
+
+    /// Attach a serial commit hook to the task occupying `slot`.
+    pub(crate) fn set_hook(&self, slot: u32, hook: CommitHook) {
+        let mut hooks = self.hooks.borrow_mut();
+        let ix = slot as usize;
+        if hooks.len() <= ix {
+            hooks.resize_with(ix + 1, || None);
+        }
+        hooks[ix] = Some(hook);
+    }
+
+    /// Take the commit hook for `slot`, if any. Called when the task
+    /// retires (hook runs) or is cancelled (hook is dropped).
+    pub(crate) fn take_hook(&self, slot: u32) -> Option<CommitHook> {
+        self.hooks.borrow_mut().get_mut(slot as usize)?.take()
     }
 
     pub(crate) fn record_profile(&self, kind: EventKind, nanos: u64) {
@@ -357,6 +393,12 @@ impl Sim {
     /// threads (see [`Sim::set_dispatch_jobs`]).
     pub fn spawn_task<T: WindowTask + 'static>(&self, delay: SimDuration, task: T) -> TaskId {
         self.env().spawn_task(delay, task)
+    }
+
+    /// Cancel a live task without stepping it again; see
+    /// [`Env::cancel_task`].
+    pub fn cancel_task(&self, id: TaskId) -> bool {
+        self.env().cancel_task(id)
     }
 
     /// Current simulation time.
@@ -480,7 +522,21 @@ impl Sim {
             return;
         };
         let next = task.step(self.shared.now());
+        let finished = next.is_none();
         self.shared.commit_task_step(id, task, next);
+        if finished {
+            self.run_commit_hook(id.slot);
+        }
+    }
+
+    /// Run a retired task's commit hook (if any) on the committing thread.
+    /// Shared by the serial and windowed executors so a service task's
+    /// kernel-visible effects land at the same `(time, seq)` point either
+    /// way.
+    pub(crate) fn run_commit_hook(&self, slot: u32) {
+        if let Some(hook) = self.shared.take_hook(slot) {
+            hook(&self.env());
+        }
     }
 
     pub(crate) fn poll_process(&self, id: ProcId) {
@@ -548,6 +604,90 @@ impl Env {
             EventKind::Task,
         );
         TaskId(id)
+    }
+
+    /// Spawn a one-shot *service task*: `compute` runs as a [`WindowTask`]
+    /// step at the **current instant** (eligible for the parallel dispatch
+    /// window), and `commit` runs with its output on the committing thread,
+    /// in `(time, seq)` order, immediately after the step commits.
+    ///
+    /// This is the split the model's hot service machinery uses: variate
+    /// draws and per-packet/per-block schedule computation go in `compute`
+    /// (which is `Send` and sees no kernel state), while every
+    /// kernel-visible effect — facility occupancy, mailbox deposits,
+    /// process wakes — stays in `commit`, which may freely use the `Env` it
+    /// is handed. Determinism for any job count follows from the same
+    /// three-point argument as [`WindowTask`] (see `window.rs`): the step
+    /// is a pure function of captured state, and the commit point is fixed
+    /// by the task's sequence number.
+    pub fn spawn_service<O, C, K>(&self, compute: C, commit: K) -> TaskId
+    where
+        O: Send + 'static,
+        C: FnOnce(SimTime) -> O + Send + 'static,
+        K: FnOnce(&Env, O) + 'static,
+    {
+        let out: Arc<Mutex<Option<O>>> = Arc::new(Mutex::new(None));
+        let task = ServiceStep::new(compute, Arc::clone(&out));
+        let id = self.shared.tasks.borrow_mut().insert(Box::new(task));
+        self.shared.set_hook(
+            id.slot,
+            Box::new(move |env: &Env| {
+                let o = out
+                    .lock()
+                    .expect("service task output lock")
+                    .take()
+                    .expect("service task committed without an output");
+                commit(env, o);
+            }),
+        );
+        self.shared.schedule(
+            self.shared.now(),
+            Target::Task {
+                slot: id.slot,
+                generation: id.generation,
+            },
+            EventKind::Task,
+        );
+        TaskId(id)
+    }
+
+    /// Run `compute` as a service task and await its output. The round
+    /// trip costs zero simulated time (the step commits at the current
+    /// instant and the wake fires at the current instant), so a blocking
+    /// caller can off-load its variate draws without perturbing its own
+    /// timing or wait attribution.
+    pub fn service<O, C>(&self, compute: C) -> Wait<O>
+    where
+        O: Send + 'static,
+        C: FnOnce(SimTime) -> O + Send + 'static,
+    {
+        let (tx, rx) = oneshot(self);
+        self.spawn_service(compute, move |_env, out| tx.fire(out));
+        rx.wait()
+    }
+
+    /// Cancel a live task: its state is dropped, its pending calendar entry
+    /// goes stale (the generation check skips it, exactly like a wake for a
+    /// finished process), and a service task's commit hook is discarded
+    /// unrun. Returns `false` if the task already finished — or is being
+    /// stepped inside the current dispatch window, which counts as too late
+    /// to cancel.
+    pub fn cancel_task(&self, id: TaskId) -> bool {
+        // `retire` (not `take` + retire) so cancellation also works while
+        // the occupant is moved out — e.g. a same-instant event committing
+        // ahead of a task the window already extracted. The generation bump
+        // turns that in-flight step's commit into a stale no-op, matching
+        // the serial loop, which would have skipped the step entirely.
+        let mut tasks = self.shared.tasks.borrow_mut();
+        if !tasks.is_live(id.0) {
+            return false;
+        }
+        let task = tasks.retire(id.0);
+        drop(tasks);
+        let hook = self.shared.take_hook(id.0.slot);
+        drop(hook);
+        drop(task);
+        true
     }
 
     /// Suspend the calling process for `d` simulated time.

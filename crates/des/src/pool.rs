@@ -135,16 +135,20 @@ impl CpuPool {
         self.cores.iter().map(|c| c.utilization()).sum::<f64>() / n
     }
 
-    /// Time-averaged overflow-queue length.
+    /// Time-averaged overflow-queue length. A pure read: the pending
+    /// `[last_change, now]` segment is folded in without flushing, so
+    /// observing (e.g. the time-series sampler) never changes what a later
+    /// read reports.
     pub fn mean_queue_len(&self) -> f64 {
-        let mut inner = self.inner.borrow_mut();
+        let inner = self.inner.borrow();
         let now = self.env.now();
-        inner.touch(now);
         let elapsed = now.since(inner.stats_start).as_secs_f64();
         if elapsed <= 0.0 {
             0.0
         } else {
-            inner.queue_integral / elapsed
+            let integral = inner.queue_integral
+                + now.since(inner.last_change).as_secs_f64() * inner.queue.len() as f64;
+            integral / elapsed
         }
     }
 

@@ -159,13 +159,20 @@ impl TimeWeighted {
     }
 
     /// Time-average of the signal over `[start, now]`.
-    pub fn mean(&mut self, now: SimTime) -> f64 {
-        self.set(now, self.value);
+    ///
+    /// A pure read: the pending segment `[last_t, now]` is folded in on the
+    /// fly without flushing it into the accumulator. Flushing here would
+    /// split the integral at every observation instant, making the final
+    /// float value depend on *how often the signal was looked at* — the
+    /// time-series sampler reads these between events, and a sampled run
+    /// must reproduce an unsampled one bit-for-bit.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let integral = self.integral + now.since(self.last_t).as_secs_f64() * self.value;
         let elapsed = now.since(self.start).as_secs_f64();
         if elapsed <= 0.0 {
             self.value
         } else {
-            self.integral / elapsed
+            integral / elapsed
         }
     }
 
@@ -285,8 +292,30 @@ mod tests {
 
     #[test]
     fn time_weighted_zero_elapsed() {
-        let mut tw = TimeWeighted::new(SimTime::ZERO, 7.0);
+        let tw = TimeWeighted::new(SimTime::ZERO, 7.0);
         assert_eq!(tw.mean(SimTime::ZERO), 7.0);
+    }
+
+    #[test]
+    fn observing_the_mean_never_perturbs_it() {
+        // Two integrators fed the identical signal; one is also *observed*
+        // between every change (as the time-series sampler does). The final
+        // means must match bit-for-bit — an observation-dependent split of
+        // the f64 integral once cost a 1-ulp report divergence between
+        // sampled and unsampled runs.
+        let t0 = SimTime::ZERO;
+        let mut plain = TimeWeighted::new(t0, 0.1);
+        let mut watched = TimeWeighted::new(t0, 0.1);
+        let mut ns: u64 = 0;
+        for i in 1..200u64 {
+            ns += 1_000_003 * i; // awkward, non-round segment lengths
+            let v = (i as f64) * 0.77 / 13.0;
+            let _ = watched.mean(SimTime::from_nanos(ns - 17)); // observe mid-segment
+            plain.set(SimTime::from_nanos(ns), v);
+            watched.set(SimTime::from_nanos(ns), v);
+        }
+        let end = SimTime::from_nanos(ns + 5);
+        assert_eq!(plain.mean(end).to_bits(), watched.mean(end).to_bits());
     }
 }
 

@@ -3,8 +3,19 @@
 //! With `Sim::set_dispatch_jobs(n > 1)`, the executor drains *all* events
 //! sharing the earliest simulated instant into a window (already in
 //! `(time, seq)` order, courtesy of the calendar), pre-steps every
-//! [`WindowTask`] event on up to `n` scoped worker threads, and then commits
-//! the whole window serially in `(time, seq)` order.
+//! [`WindowTask`] event on a pool of up to `n - 1` worker threads (the
+//! committing thread steps the first chunk itself), and then commits the
+//! whole window serially in `(time, seq)` order.
+//!
+//! Most instants in the paper workloads carry exactly one event, so the
+//! loop leads with a serial-style fast path: pop, dispatch, one chained
+//! clock read — no window vectors touched. Multi-event instants take the
+//! out-of-line window path, and the worker pool itself is spawned only when
+//! a window first reaches [`PAR_THRESHOLD`] tasks, because idle pool
+//! threads alone (never sent a single chunk) measurably slow the
+//! committing thread by kicking the process off single-threaded allocator
+//! fast paths. A run whose windows stay narrow therefore performs exactly
+//! like the serial loop.
 //!
 //! # Determinism argument
 //!
@@ -13,22 +24,37 @@
 //! 1. **Tasks are isolated.** `step` receives only `&mut self` and the fixed
 //!    window time — no `Env`, no kernel access — so a task's step result is
 //!    a pure function of its own state. Worker scheduling cannot change it.
-//! 2. **Effects are committed in `(time, seq)` order.** Re-arming a task
-//!    (its only kernel-visible effect) happens at commit, on the committing
-//!    thread, walking the window in seq order; follow-up sequence numbers
-//!    are therefore assigned exactly where the serial loop would assign
-//!    them.
+//! 2. **Effects are committed in `(time, seq)` order.** Re-arming a task and
+//!    running a service task's commit hook (the only kernel-visible effects)
+//!    happen at commit, on the committing thread, walking the window in seq
+//!    order; follow-up sequence numbers are therefore assigned exactly where
+//!    the serial loop would assign them.
 //! 3. **Everything else takes the doubt path.** Ordinary process events are
 //!    polled serially on the committing thread, in seq order, exactly like
 //!    the serial loop; stale-entry skips are generation checks whose outcome
 //!    is fixed before the window is stepped.
 //!
-//! Wall-clock profiling (`Sim::enable_profiling`) is measured *per step
-//! slot* on whichever worker ran it and merged into the kernel profile at
-//! commit, so profiled and unprofiled runs dispatch identically and the
-//! deterministic per-kind counts never depend on the job count.
+//! Service tasks ([`crate::Env::spawn_service`]) extend point 2: their
+//! `Send` compute runs in the pre-step, its output crosses back through a
+//! mutex, and the `!Send` commit hook — which may schedule, deposit, and
+//! wake — runs on the committing thread at the task's own seq position.
+//!
+//! # Profiling
+//!
+//! With `Sim::enable_profiling`, the commit loop chains **one clock read
+//! per committed event**, mirroring the serial loop: the end of event N's
+//! measurement is the start of event N+1's, so window bookkeeping (drain,
+//! extraction, waiting on workers) is charged to the next committed event
+//! and total profiled nanos cover the whole loop. A committed task step
+//! additionally merges the wall-clock nanos its worker measured (also
+//! chained, within the worker's chunk). Stale task entries are counted with
+//! their chained commit time, exactly as the serial loop counts them.
+//! Profiled and unprofiled runs dispatch identically and the deterministic
+//! per-kind counts never depend on the job count.
 
 use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use crate::arena::SlabId;
 use crate::calendar::{Entry, Target};
@@ -44,7 +70,8 @@ use crate::time::{SimDuration, SimTime};
 /// completes (`None`). That isolation is what makes stepping tasks on
 /// worker threads safe and deterministic; use ordinary processes for
 /// anything that must interact with facilities, mailboxes, or other
-/// processes.
+/// processes — or a service task ([`crate::Env::spawn_service`]), whose
+/// commit hook runs serially with full kernel access.
 ///
 /// Side effects inside `step` (logging, channels, shared atomics) execute in
 /// an unspecified order *within* a window — only the kernel-visible commit
@@ -67,6 +94,35 @@ impl fmt::Debug for TaskId {
     }
 }
 
+/// The one-shot [`WindowTask`] behind [`crate::Env::spawn_service`]: runs
+/// its compute closure once, parks the output for the commit hook, and
+/// finishes.
+pub(crate) struct ServiceStep<O, C> {
+    compute: Option<C>,
+    out: Arc<Mutex<Option<O>>>,
+}
+
+impl<O, C> ServiceStep<O, C> {
+    pub(crate) fn new(compute: C, out: Arc<Mutex<Option<O>>>) -> Self {
+        ServiceStep {
+            compute: Some(compute),
+            out,
+        }
+    }
+}
+
+impl<O, C> WindowTask for ServiceStep<O, C>
+where
+    O: Send,
+    C: FnOnce(SimTime) -> O + Send,
+{
+    fn step(&mut self, now: SimTime) -> Option<SimDuration> {
+        let compute = self.compute.take().expect("service task stepped twice");
+        *self.out.lock().expect("service task output lock") = Some(compute(now));
+        None
+    }
+}
+
 /// One window task extracted for stepping: the slot it came from, where it
 /// sits in the window, and (after phase 2) its step result and wall-clock
 /// cost.
@@ -78,111 +134,281 @@ struct PreStep {
     nanos: u64,
 }
 
-impl PreStep {
-    fn step(&mut self, now: SimTime, profiling: bool) {
-        let task = self
-            .task
-            .as_mut()
-            .expect("window task present until commit");
-        if profiling {
-            let started = std::time::Instant::now();
-            self.next = task.step(now);
-            self.nanos = started.elapsed().as_nanos() as u64;
-        } else {
-            self.next = task.step(now);
+/// Step every task in `chunk` at window time `t`. When profiling, clock
+/// reads are chained — one per step, like the serial loop — so each step is
+/// charged its own work plus the loop bookkeeping that follows it.
+fn step_chunk(chunk: &mut [PreStep], t: SimTime, profiling: bool) {
+    if profiling {
+        let mut last = std::time::Instant::now();
+        for s in chunk {
+            let task = s.task.as_mut().expect("window task present until commit");
+            s.next = task.step(t);
+            let now = std::time::Instant::now();
+            s.nanos = now.duration_since(last).as_nanos() as u64;
+            last = now;
         }
+    } else {
+        for s in chunk {
+            let task = s.task.as_mut().expect("window task present until commit");
+            s.next = task.step(t);
+        }
+    }
+}
+
+/// Below this many extracted tasks a window is stepped on the committing
+/// thread: the work would not amortize even a warm hand-off to the pool.
+const PAR_THRESHOLD: usize = 8;
+
+/// Iterations a worker (or the committing thread) spins on an empty channel
+/// before falling back to a blocking receive. Windows arrive back-to-back
+/// in a busy simulation, so a short spin keeps the hand-off in the
+/// nanosecond range instead of paying a futex sleep/wake per window.
+const SPIN: u32 = 4_000;
+
+/// A work item shipped to a pool worker: the window time, the profiling
+/// flag, the chunk's position in the window, and the chunk itself.
+type Job = (SimTime, bool, usize, Vec<PreStep>);
+
+fn spin_recv<T>(rx: &mpsc::Receiver<T>) -> Option<T> {
+    for _ in 0..SPIN {
+        match rx.try_recv() {
+            Ok(v) => return Some(v),
+            Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(mpsc::TryRecvError::Disconnected) => return None,
+        }
+    }
+    rx.recv().ok()
+}
+
+/// Reusable buffers and pool plumbing for one windowed run, threaded through
+/// the cold multi-event path so the hot single-event loop stays tiny.
+///
+/// The worker pool is spawned **lazily**, on the first window that reaches
+/// [`PAR_THRESHOLD`] extracted tasks: merely having pool threads around —
+/// parked on their channels the whole run — measurably slows the committing
+/// thread (the process leaves the allocator's and runtime's single-threaded
+/// fast paths), so a run whose windows never reach the threshold must never
+/// pay it. Once spawned, workers persist until the run ends.
+struct WindowMachine {
+    window: Vec<Entry>,
+    steps: Vec<PreStep>,
+    spare: Vec<Vec<PreStep>>,
+    pending: Vec<Option<Vec<PreStep>>>,
+    chunk_txs: Vec<mpsc::Sender<Job>>,
+    res_rx: Option<mpsc::Receiver<(usize, Vec<PreStep>)>>,
+    jobs: usize,
+}
+
+impl WindowMachine {
+    /// Spawn the pool on first use; no-op once running.
+    fn ensure_workers<'s>(&mut self, workers: usize, scope: &'s std::thread::Scope<'s, '_>) {
+        if self.res_rx.is_some() {
+            return;
+        }
+        let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<PreStep>)>();
+        for _ in 0..workers {
+            let res_tx = res_tx.clone();
+            let (tx, rx) = mpsc::channel::<Job>();
+            scope.spawn(move || {
+                while let Some((t, prof, ix, mut chunk)) = spin_recv(&rx) {
+                    step_chunk(&mut chunk, t, prof);
+                    if res_tx.send((ix, chunk)).is_err() {
+                        break;
+                    }
+                }
+            });
+            self.chunk_txs.push(tx);
+        }
+        self.res_rx = Some(res_rx);
     }
 }
 
 impl Sim {
     /// Windowed executor: used whenever `dispatch_jobs > 1`.
+    ///
+    /// The worker pool persists for the whole run — the old per-window
+    /// `thread::scope` paid a spawn/join per simulated instant, which
+    /// dwarfed the stepped work and made the window a pure tax. Workers
+    /// receive owned chunks over channels and hand them back stepped; the
+    /// committing thread always steps the first chunk itself.
     pub(crate) fn run_windowed(&self, deadline: SimTime, jobs: usize) {
+        if self.shared.profiling() {
+            self.windowed_loop::<true>(deadline, jobs);
+        } else {
+            self.windowed_loop::<false>(deadline, jobs);
+        }
+    }
+
+    fn windowed_loop<const PROFILE: bool>(&self, deadline: SimTime, jobs: usize) {
         let shared = &self.shared;
-        let profiling = shared.profiling();
-        let mut window: Vec<Entry> = Vec::new();
-        let mut steps: Vec<PreStep> = Vec::new();
-        loop {
-            let t = match shared.peek_time() {
-                Some(t) if t <= deadline => t,
-                _ => {
+        let workers = jobs.saturating_sub(1);
+
+        std::thread::scope(|scope| {
+            let mut machine = WindowMachine {
+                window: Vec::new(),
+                steps: Vec::new(),
+                spare: Vec::new(),
+                pending: Vec::new(),
+                chunk_txs: Vec::with_capacity(workers),
+                res_rx: None,
+                jobs,
+            };
+
+            // Chained profiling clock, mirroring run_serial: one read per
+            // committed event, window bookkeeping charged to the event that
+            // follows it.
+            let mut last = std::time::Instant::now();
+            loop {
+                // Pop the first due event; if nothing else shares its
+                // instant (the overwhelmingly common case in the paper
+                // workloads), dispatch it exactly like the serial loop —
+                // no window vectors, no extraction pass.
+                let Some((first, more)) = shared.pop_due_more(deadline) else {
                     shared.finish_at_deadline(deadline);
                     break;
-                }
-            };
-            window.clear();
-            shared.drain_window(t, &mut window);
-            shared.set_now(t);
-
-            // Phase 1: extract the live window tasks (stale task entries
-            // fail the generation check here, exactly as they would in the
-            // serial loop's dispatch).
-            steps.clear();
-            for (i, e) in window.iter().enumerate() {
-                if let Target::Task { slot, generation } = e.target {
-                    let id = SlabId { slot, generation };
-                    if let Some(task) = shared.take_task(id) {
-                        steps.push(PreStep {
-                            win_index: i,
-                            id,
-                            task: Some(task),
-                            next: None,
-                            nanos: 0,
-                        });
+                };
+                shared.set_now(first.time());
+                if !more {
+                    shared.count_event();
+                    self.dispatch(first.target);
+                    if PROFILE {
+                        let now = std::time::Instant::now();
+                        let spent = now.duration_since(last).as_nanos() as u64;
+                        shared.record_profile(first.kind, spent);
+                        last = now;
                     }
+                    continue;
+                }
+                self.commit_window::<PROFILE>(first, &mut machine, &mut last, workers, scope);
+            }
+        });
+    }
+
+    /// Drain, pre-step, and commit one multi-event window. Cold relative to
+    /// the single-event fast path above, and deliberately out of line so the
+    /// hot loop's codegen stays serial-sized.
+    #[inline(never)]
+    fn commit_window<'s, const PROFILE: bool>(
+        &self,
+        first: Entry,
+        m: &mut WindowMachine,
+        last: &mut std::time::Instant,
+        workers: usize,
+        scope: &'s std::thread::Scope<'s, '_>,
+    ) {
+        let shared = &self.shared;
+        let t = first.time();
+        m.window.clear();
+        m.window.push(first);
+        shared.drain_window(t, &mut m.window);
+
+        // Phase 1: extract the live window tasks (stale task entries fail
+        // the generation check here, exactly as they would in the serial
+        // loop's dispatch).
+        m.steps.clear();
+        for (i, e) in m.window.iter().enumerate() {
+            if let Target::Task { slot, generation } = e.target {
+                let id = SlabId { slot, generation };
+                if let Some(task) = shared.take_task(id) {
+                    m.steps.push(PreStep {
+                        win_index: i,
+                        id,
+                        task: Some(task),
+                        next: None,
+                        nanos: 0,
+                    });
                 }
             }
+        }
 
-            // Phase 2: step the tasks — in parallel when the window has
-            // enough of them to be worth spinning up workers.
-            if steps.len() > 1 && jobs > 1 {
-                let per_worker = steps.len().div_ceil(jobs);
-                std::thread::scope(|scope| {
-                    for chunk in steps.chunks_mut(per_worker) {
-                        scope.spawn(move || {
-                            for s in chunk {
-                                s.step(t, profiling);
-                            }
-                        });
-                    }
-                });
-            } else {
-                for s in &mut steps {
-                    s.step(t, profiling);
-                }
-            }
-
-            // Phase 3: commit in (time, seq) order. Task effects are
-            // applied from the recorded step results; process events are
-            // polled live on this thread (the doubt path).
-            let mut si = 0;
-            for (i, e) in window.iter().enumerate() {
+        // A window with no live tasks (bursts of process wakes — facility
+        // grants, mailbox deposits) commits exactly like the serial loop;
+        // skip the step/commit split entirely.
+        if m.steps.is_empty() {
+            for e in &m.window {
                 shared.count_event();
-                match e.target {
-                    Target::Proc { slot, generation } => {
-                        let id = ProcId { slot, generation };
-                        if profiling {
-                            let started = std::time::Instant::now();
-                            self.poll_process(id);
-                            let spent = started.elapsed().as_nanos() as u64;
-                            shared.record_profile(e.kind, spent);
+                self.dispatch(e.target);
+                if PROFILE {
+                    let now = std::time::Instant::now();
+                    let spent = now.duration_since(*last).as_nanos() as u64;
+                    shared.record_profile(e.kind, spent);
+                    *last = now;
+                }
+            }
+            return;
+        }
+        // Phase 2: step the tasks — fanned out to the pool when the window
+        // is big enough to amortize the hand-off (spawning the pool on
+        // first need).
+        if m.steps.len() >= PAR_THRESHOLD && workers > 0 {
+            m.ensure_workers(workers, scope);
+            let per = m.steps.len().div_ceil(m.jobs);
+            let nchunks = m.steps.len().div_ceil(per);
+            for c in (1..nchunks).rev() {
+                let mut chunk = m.spare.pop().unwrap_or_default();
+                chunk.extend(m.steps.drain(c * per..));
+                m.chunk_txs[c - 1]
+                    .send((t, PROFILE, c, chunk))
+                    .expect("window worker hung up");
+            }
+            step_chunk(&mut m.steps, t, PROFILE);
+            m.pending.clear();
+            m.pending.resize_with(nchunks, || None);
+            let res_rx = m.res_rx.as_ref().expect("worker pool running");
+            for _ in 1..nchunks {
+                let (ix, chunk) = spin_recv(res_rx).expect("window worker died mid-window");
+                m.pending[ix] = Some(chunk);
+            }
+            for slot in m.pending.iter_mut().skip(1) {
+                let mut chunk = slot.take().expect("every shipped chunk returns");
+                m.steps.append(&mut chunk);
+                m.spare.push(chunk);
+            }
+        } else {
+            step_chunk(&mut m.steps, t, PROFILE);
+        }
+
+        // Phase 3: commit in (time, seq) order. Task effects are applied
+        // from the recorded step results — including service commit hooks —
+        // and process events are polled live on this thread (the doubt
+        // path).
+        let mut si = 0;
+        for (i, e) in m.window.iter().enumerate() {
+            shared.count_event();
+            let mut step_nanos = 0;
+            match e.target {
+                Target::Proc { slot, generation } => {
+                    self.poll_process(ProcId { slot, generation });
+                }
+                Target::Task { .. } => {
+                    if si < m.steps.len() && m.steps[si].win_index == i {
+                        let s = &mut m.steps[si];
+                        si += 1;
+                        step_nanos = s.nanos;
+                        let slot = s.id.slot;
+                        let task = s.task.take().expect("window task stepped once");
+                        let next = s.next;
+                        // An earlier commit in this window may have
+                        // cancelled the task after extraction; the serial
+                        // loop would then have skipped the step, so discard
+                        // the speculative result (re-arming or running the
+                        // hook here could hijack a reused slot's successor).
+                        if shared.task_is_live(s.id) {
+                            shared.commit_task_step(s.id, task, next);
+                            if next.is_none() {
+                                self.run_commit_hook(slot);
+                            }
                         } else {
-                            self.poll_process(id);
-                        }
-                    }
-                    Target::Task { .. } => {
-                        let mut spent = 0;
-                        if si < steps.len() && steps[si].win_index == i {
-                            let s = &mut steps[si];
-                            si += 1;
-                            spent = s.nanos;
-                            let task = s.task.take().expect("window task stepped once");
-                            shared.commit_task_step(s.id, task, s.next);
-                        }
-                        if profiling {
-                            shared.record_profile(e.kind, spent);
+                            drop(task);
                         }
                     }
                 }
+            }
+            if PROFILE {
+                let now = std::time::Instant::now();
+                let spent = now.duration_since(*last).as_nanos() as u64 + step_nanos;
+                shared.record_profile(e.kind, spent);
+                *last = now;
             }
         }
     }
@@ -192,9 +418,9 @@ impl Sim {
 mod tests {
     use super::*;
     use crate::kernel::{EventKind, Sim};
+    use std::cell::{Cell, RefCell};
     use std::rc::Rc;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Arc;
 
     /// A task whose per-step delay comes from its own PCG-ish state, so any
     /// ordering mistake in the executor changes the deterministic outputs.
@@ -338,5 +564,198 @@ mod tests {
         assert_eq!(sim.live_tasks(), 1);
         sim.run();
         assert_eq!(sim.live_tasks(), 0);
+    }
+
+    /// Service tasks: draws in the step, effects in the hook, identical for
+    /// every job count including when the window overflows PAR_THRESHOLD.
+    #[test]
+    fn service_tasks_commit_in_seq_order_for_any_job_count() {
+        let run = |jobs: usize| {
+            let sim = Sim::new();
+            sim.set_dispatch_jobs(jobs);
+            let env = sim.env();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..3u64 {
+                let env2 = env.clone();
+                let order = Rc::clone(&order);
+                sim.spawn(async move {
+                    env2.hold(SimDuration::from_nanos(1)).await;
+                    // A burst of same-instant service tasks, well past the
+                    // parallel threshold.
+                    for k in 0..24u64 {
+                        let order = Rc::clone(&order);
+                        let env3 = env2.clone();
+                        env2.spawn_service(
+                            move |now| {
+                                // Pure Send compute: a draw-like mix.
+                                (i * 100 + k)
+                                    .wrapping_mul(6364136223846793005)
+                                    .wrapping_add(now.as_nanos())
+                            },
+                            move |env, out| {
+                                order.borrow_mut().push(out);
+                                // Commit hooks may schedule freely.
+                                env.spawn(async move {
+                                    let _ = env3.now();
+                                });
+                            },
+                        );
+                    }
+                });
+            }
+            sim.run();
+            (
+                sim.events_processed(),
+                Rc::try_unwrap(order).unwrap().into_inner(),
+            )
+        };
+        let serial = run(1);
+        assert!(!serial.1.is_empty());
+        for jobs in [2, 4] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    /// The awaitable service round trip costs zero simulated time.
+    #[test]
+    fn env_service_round_trip_is_instant() {
+        for jobs in [1, 4] {
+            let sim = Sim::new();
+            sim.set_dispatch_jobs(jobs);
+            let env = sim.env();
+            let got = Rc::new(Cell::new((SimTime::MAX, 0u64)));
+            {
+                let got = Rc::clone(&got);
+                let env2 = env.clone();
+                sim.spawn(async move {
+                    env2.hold(SimDuration::from_millis(7)).await;
+                    let out = env2.service(|now| now.as_nanos() * 2).await;
+                    got.set((env2.now(), out));
+                });
+            }
+            sim.run();
+            assert_eq!(
+                got.get(),
+                (SimTime::from_nanos(7_000_000), 14_000_000),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    /// Cancelled tasks leave stale calendar entries behind; profiled
+    /// per-kind counts must not depend on the dispatch mode even then
+    /// (the stale entry is counted with chained commit time in both).
+    #[test]
+    fn profiled_counts_match_serial_with_stale_entries() {
+        let run = |jobs: usize| {
+            let sim = Sim::new();
+            sim.set_dispatch_jobs(jobs);
+            sim.enable_profiling();
+            let env = sim.env();
+            for i in 0..4u64 {
+                let env = env.clone();
+                sim.spawn(async move {
+                    for _ in 0..10 {
+                        env.hold(SimDuration::from_nanos(i % 2)).await;
+                    }
+                });
+            }
+            let total = Arc::new(AtomicU64::new(0));
+            for i in 0..10u64 {
+                sim.spawn_task(
+                    SimDuration::ZERO,
+                    Jitter {
+                        state: i,
+                        steps_left: 4,
+                        total: Arc::clone(&total),
+                    },
+                );
+            }
+            // Two tasks cancelled before their first step: their calendar
+            // entries go stale and ride through the first window.
+            for i in 0..2u64 {
+                let doomed = sim.spawn_task(
+                    SimDuration::ZERO,
+                    Jitter {
+                        state: 99 + i,
+                        steps_left: 9,
+                        total: Arc::clone(&total),
+                    },
+                );
+                assert!(sim.cancel_task(doomed));
+                assert!(!sim.cancel_task(doomed), "double cancel is a no-op");
+            }
+            sim.run();
+            let p = sim.profile();
+            let counts: Vec<u64> = EventKind::ALL.iter().map(|&k| p.count(k)).collect();
+            (sim.events_processed(), sim.now(), counts)
+        };
+        let serial = run(1);
+        // The stale entries are dispatched (and counted) in both modes.
+        assert_eq!(serial.2.iter().sum::<u64>(), serial.0);
+        for jobs in [2, 4] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    /// A same-instant event committing ahead of a task the window already
+    /// extracted can still cancel it: the cancel must succeed (serial
+    /// semantics), the hook must never fire, and the speculative step result
+    /// must be discarded instead of re-arming a retired slot.
+    #[test]
+    fn mid_window_cancel_matches_serial() {
+        let run = |jobs: usize| {
+            let sim = Sim::new();
+            sim.set_dispatch_jobs(jobs);
+            let env = sim.env();
+            let fired = Rc::new(Cell::new(false));
+            let cancelled = Rc::new(Cell::new(false));
+            // Seq order within the t=0 window: canceller process first,
+            // doomed service task second — the windowed executor extracts
+            // the task before the canceller commits.
+            let doomed: Rc<Cell<Option<crate::TaskId>>> = Rc::new(Cell::new(None));
+            {
+                let doomed = Rc::clone(&doomed);
+                let cancelled = Rc::clone(&cancelled);
+                let env2 = env.clone();
+                sim.spawn(async move {
+                    let id = doomed.get().expect("task spawned before run");
+                    cancelled.set(env2.cancel_task(id));
+                });
+            }
+            let fired2 = Rc::clone(&fired);
+            doomed.set(Some(
+                env.spawn_service(|_| 7u32, move |_, _| fired2.set(true)),
+            ));
+            sim.run();
+            (
+                cancelled.get(),
+                fired.get(),
+                sim.events_processed(),
+                sim.live_tasks(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, (true, false, 2, 0));
+        for jobs in [2, 4] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    /// A cancelled service task never runs its commit hook.
+    #[test]
+    fn cancelled_service_task_drops_its_hook() {
+        for jobs in [1, 2] {
+            let sim = Sim::new();
+            sim.set_dispatch_jobs(jobs);
+            let env = sim.env();
+            let fired = Rc::new(Cell::new(false));
+            let fired2 = Rc::clone(&fired);
+            let id = env.spawn_service(|_| 1u32, move |_, _| fired2.set(true));
+            assert!(env.cancel_task(id));
+            sim.run();
+            assert!(!fired.get(), "jobs={jobs}");
+            assert_eq!(sim.live_tasks(), 0);
+        }
     }
 }

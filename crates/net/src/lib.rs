@@ -11,6 +11,12 @@
 //! into the destination mailbox, so a sender is never blocked by delivery
 //! (asynchronous sends are what no-wait locking and callbacks rely on; a
 //! synchronous request simply awaits the reply mailbox).
+//!
+//! The per-packet service draws are the message's *send part*: a service
+//! task (`Env::spawn_service`) computes the whole packet train's schedule
+//! from the message's own split RNG stream, off-thread when `--kernel-jobs`
+//! opens the parallel dispatch window, and the delivery process merely
+//! replays that schedule against the FCFS medium.
 
 #![warn(missing_docs)]
 
@@ -157,59 +163,78 @@ impl Network {
 
     /// Send `msg` with a `payload_bytes` body from `from` to `to`.
     ///
-    /// Returns immediately; a spawned delivery process charges the sender's
-    /// CPUs, transfers each packet over the FCFS network (exponential
-    /// service), charges the receiver's CPUs, and deposits the message.
-    /// Message ordering between the same pair of stations is preserved only
-    /// as far as the FCFS facilities enforce it, exactly as in the paper's
-    /// model.
+    /// Returns immediately. The message's per-packet exponential service
+    /// draws are computed by a service task on its own split RNG stream
+    /// (stream id = the message's submission index), so same-instant sends
+    /// pre-step in parallel on the dispatch window; the task's commit hook
+    /// then spawns the delivery process — sender CPU, per-packet FCFS
+    /// network occupancy from the precomputed schedule, receiver CPU,
+    /// mailbox deposit — so a sender is never blocked by delivery. Message
+    /// ordering between the same pair of stations is preserved only as far
+    /// as the FCFS facilities enforce it, exactly as in the paper's model.
     pub fn send<S, R>(&self, from: &NetworkNode<S>, to: &NetworkNode<R>, msg: R, payload_bytes: u64)
     where
         S: 'static,
         R: 'static,
     {
         let packets = self.packets_for(payload_bytes);
-        {
+        let mut msg_rng = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.messages += 1;
             inner.stats.packets += packets;
             inner.stats.bytes += payload_bytes;
-        }
+            // Split at submission: the parent draw happens here, in the
+            // deterministic serial order of send() calls, and the packet
+            // draws below consume only the message's own stream.
+            let ix = inner.stats.messages;
+            inner.rng.split(ix)
+        };
         let this = self.clone();
         let sender_cpu = from.cpu.clone();
         let sender_mips = from.mips;
         let receiver_cpu = to.cpu.clone();
         let receiver_mips = to.mips;
         let dest = to.inbox.clone();
-        self.env.spawn(async move {
-            // Sender CPU cost for all packets of the message.
-            if this.msg_cost > 0 {
-                sender_cpu
-                    .use_for(SimDuration::from_instructions(
-                        this.msg_cost * packets,
-                        sender_mips,
-                    ))
-                    .await;
-            }
-            // Each packet occupies the network for an exponential service
-            // time (FCFS with every other packet in flight).
-            for _ in 0..packets {
-                let service = this.inner.borrow_mut().rng.exp_duration(this.net_delay);
-                if !service.is_zero() {
-                    this.medium.use_for(service).await;
-                }
-            }
-            // Receiver CPU cost.
-            if this.msg_cost > 0 {
-                receiver_cpu
-                    .use_for(SimDuration::from_instructions(
-                        this.msg_cost * packets,
-                        receiver_mips,
-                    ))
-                    .await;
-            }
-            dest.send(msg);
-        });
+        let net_delay = self.net_delay;
+        self.env.spawn_service(
+            // Send part: the packet train's service-time schedule.
+            move |_now| {
+                (0..packets)
+                    .map(|_| msg_rng.exp_duration(net_delay))
+                    .collect::<Vec<SimDuration>>()
+            },
+            // Serial commit: spawn the delivery process with the schedule.
+            move |env, schedule| {
+                env.spawn(async move {
+                    // Sender CPU cost for all packets of the message.
+                    if this.msg_cost > 0 {
+                        sender_cpu
+                            .use_for(SimDuration::from_instructions(
+                                this.msg_cost * packets,
+                                sender_mips,
+                            ))
+                            .await;
+                    }
+                    // Each packet occupies the network for its drawn service
+                    // time. A zero draw still passes through the facility
+                    // queue: a zero-cost packet waits its FCFS turn behind
+                    // packets already in flight rather than jumping ahead.
+                    for service in schedule {
+                        this.medium.use_for(service).await;
+                    }
+                    // Receiver CPU cost.
+                    if this.msg_cost > 0 {
+                        receiver_cpu
+                            .use_for(SimDuration::from_instructions(
+                                this.msg_cost * packets,
+                                receiver_mips,
+                            ))
+                            .await;
+                    }
+                    dest.send(msg);
+                });
+            },
+        );
     }
 }
 
@@ -320,6 +345,72 @@ mod tests {
         net.send(&client, &server, "free", 4096);
         sim.run();
         assert_eq!(at.get(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_service_packets_wait_their_fcfs_turn() {
+        // Regression: a zero exponential draw used to skip the medium
+        // entirely, letting a zero-cost packet jump ahead of queued ones.
+        let (sim, net, client, server) = setup(0, 0);
+        {
+            // Occupy the medium for 5ms starting at t=0, before the send.
+            let net = net.clone();
+            sim.spawn(async move {
+                net.medium().use_for(SimDuration::from_millis(5)).await;
+            });
+        }
+        let at = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            let server = server.clone();
+            let env = sim.env();
+            let at = Rc::clone(&at);
+            sim.spawn(async move {
+                let _ = server.inbox.recv().await;
+                at.set(env.now());
+            });
+        }
+        net.send(&client, &server, "queued", 0);
+        sim.run();
+        assert_eq!(
+            at.get(),
+            SimTime::from_nanos(5_000_000),
+            "zero-service packet must queue FCFS behind the busy medium"
+        );
+    }
+
+    #[test]
+    fn packet_trains_are_identical_for_any_job_count() {
+        // The send part runs on the window: the delivery timeline must not
+        // depend on how many workers stepped it.
+        let run = |jobs: usize| {
+            let (sim, net, client, server) = setup(2, 1_000);
+            sim.set_dispatch_jobs(jobs);
+            let arrivals = Rc::new(RefCell::new(Vec::new()));
+            {
+                let server = server.clone();
+                let env = sim.env();
+                let arrivals = Rc::clone(&arrivals);
+                sim.spawn(async move {
+                    for _ in 0..30 {
+                        let _ = server.inbox.recv().await;
+                        arrivals.borrow_mut().push(env.now().as_nanos());
+                    }
+                });
+            }
+            for i in 0..30u64 {
+                net.send(&client, &server, "m", 100 * (i % 5));
+            }
+            sim.run();
+            (
+                sim.now(),
+                sim.events_processed(),
+                Rc::try_unwrap(arrivals).unwrap().into_inner(),
+            )
+        };
+        let serial = run(1);
+        for jobs in [2, 4] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -6,8 +6,14 @@
 //! atom of a clustered object, or a log append) costs the transfer only.
 //! The CPU cost of initiating an access (`InitDiskCost`) is charged by the
 //! caller on the appropriate CPU facility, not here.
+//!
+//! Each access's *send part* — the seek/clustering variate draws and the
+//! block-train arithmetic — runs as a service task (`Env::service`) on a
+//! split RNG stream of its own (stream id = the disk's access counter at
+//! submission), so same-instant disk work pre-steps on the parallel
+//! dispatch window; only the FCFS queue visit itself stays in the process.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use ccdb_des::{Env, Facility, FacilitySnapshot, Pcg32, SimDuration, WaitClass};
@@ -17,8 +23,11 @@ use ccdb_obs::Registry;
 /// One disk: an FCFS queue of block accesses.
 #[derive(Clone)]
 pub struct Disk {
+    env: Env,
     facility: Facility,
     rng: Rc<RefCell<Pcg32>>,
+    /// Accesses submitted so far: the next access's RNG stream id.
+    accesses: Rc<Cell<u64>>,
     seek_low: SimDuration,
     seek_high: SimDuration,
     tran: SimDuration,
@@ -31,8 +40,10 @@ impl Disk {
     /// Create a disk from the system parameters.
     pub fn new(env: &Env, name: impl Into<String>, params: &SystemParams, rng: Pcg32) -> Self {
         Disk {
+            env: env.clone(),
             facility: Facility::new(env, name, 1),
             rng: Rc::new(RefCell::new(rng)),
+            accesses: Rc::new(Cell::new(0)),
             seek_low: params.seek_low,
             seek_high: params.seek_high,
             tran: params.disk_tran,
@@ -49,9 +60,27 @@ impl Disk {
         }
     }
 
+    /// Split a fresh RNG stream for one access, drawn from the disk's
+    /// parent stream in submission order; the access's variates then
+    /// consume only its own stream, wherever its task actually steps.
+    fn split_access_rng(&self) -> Pcg32 {
+        let ix = self.accesses.get();
+        self.accesses.set(ix + 1);
+        self.rng.borrow_mut().split(ix)
+    }
+
     /// Service one block access; `sequential` skips the seek.
     pub async fn access(&self, sequential: bool) {
-        let service = self.service_time(sequential);
+        let tran = self.tran;
+        let service = if sequential {
+            self.env.service(move |_| tran).await
+        } else {
+            let mut arng = self.split_access_rng();
+            let (lo, hi) = (self.seek_low, self.seek_high);
+            self.env
+                .service(move |_| arng.uniform_duration(lo, hi) + tran)
+                .await
+        };
         self.facility.use_for(service).await;
     }
 
@@ -60,47 +89,54 @@ impl Disk {
     /// clustering placed them adjacently with probability
     /// `cluster_factor`, and the access is sequential (no seek).
     ///
-    /// Sequentiality is decided at submission time; interleaved requests
+    /// Adjacency is decided at submission time; interleaved requests
     /// from other transactions break runs, exactly as a real arm would be
-    /// stolen away.
+    /// stolen away. The clustering and seek draws run in the access's
+    /// service task, on its own stream.
     pub async fn access_page(&self, page: PageId, cluster_factor: f64) {
-        let sequential = {
+        let adjacent = {
             let mut last = self.last_page.borrow_mut();
             let adjacent = matches!(
                 *last,
                 Some(prev) if prev.class == page.class && prev.atom + 1 == page.atom
             );
             *last = Some(page);
-            adjacent && cluster_factor > 0.0 && self.rng.borrow_mut().chance(cluster_factor)
+            adjacent && cluster_factor > 0.0
         };
-        self.access(sequential).await;
+        let mut arng = self.split_access_rng();
+        let (lo, hi, tran) = (self.seek_low, self.seek_high, self.tran);
+        let service = self
+            .env
+            .service(move |_| {
+                if adjacent && arng.chance(cluster_factor) {
+                    tran
+                } else {
+                    arng.uniform_duration(lo, hi) + tran
+                }
+            })
+            .await;
+        self.facility.use_for(service).await;
     }
 
     /// Service several blocks in one queue visit (e.g. a multi-page log
-    /// force): one seek (unless sequential) plus `blocks` transfers.
+    /// force): one seek (unless sequential) plus `blocks` transfers. The
+    /// block-train arithmetic is a service task too, so same-instant log
+    /// forces pre-step alongside the seek draws.
     pub async fn access_many(&self, blocks: u64, sequential: bool) {
         if blocks == 0 {
             return;
         }
-        let mut service = self.tran * blocks;
-        if !sequential {
-            service += self.draw_seek();
-        }
-        self.facility.use_for(service).await;
-    }
-
-    fn service_time(&self, sequential: bool) -> SimDuration {
-        if sequential {
-            self.tran
+        let tran = self.tran;
+        let service = if sequential {
+            self.env.service(move |_| tran * blocks).await
         } else {
-            self.draw_seek() + self.tran
-        }
-    }
-
-    fn draw_seek(&self) -> SimDuration {
-        self.rng
-            .borrow_mut()
-            .uniform_duration(self.seek_low, self.seek_high)
+            let mut arng = self.split_access_rng();
+            let (lo, hi) = (self.seek_low, self.seek_high);
+            self.env
+                .service(move |_| arng.uniform_duration(lo, hi) + tran * blocks)
+                .await
+        };
+        self.facility.use_for(service).await;
     }
 
     /// Utilisation since the last statistics reset.

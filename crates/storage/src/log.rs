@@ -106,7 +106,10 @@ impl LogManager {
     /// Force the commit record: one sequential log write per updated page
     /// (after-images) plus one for the commit record itself. Returns after
     /// the force completes. A read-only transaction writes just the commit
-    /// record.
+    /// record. The force rides [`Disk::access_many`], so the block-train
+    /// computation pre-steps as a service task on the dispatch window.
+    ///
+    /// [`Disk::access_many`]: crate::Disk::access_many
     pub async fn force_commit(&self, txn: u64, pages_updated: u64) {
         let disk = {
             let mut inner = self.inner.borrow_mut();

@@ -7,7 +7,24 @@ set -eu
 CCDB=${CCDB:-target/release/ccdb}
 CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
 root=$(cd "$(dirname "$0")/../.." && pwd)
-baseline=$(ls "$root"/BENCH_*.json | sort | tail -1)
+# Pick the newest baseline. Filenames are BENCH_<date>.json or
+# BENCH_<date>.<label>.json (ccdb bench --label), and a plain lexical
+# sort of the filenames would order same-day labeled runs by the
+# accident of 'j' vs the label's first letter. Sort on an explicit
+# "date label" key instead: the newest date wins, and on the same day a
+# labeled refresh outranks the unlabeled run it followed.
+# CCDB_BENCH_BASELINE pins an exact file instead.
+if [ -n "${CCDB_BENCH_BASELINE:-}" ]; then
+  baseline=$CCDB_BENCH_BASELINE
+else
+  baseline=$(ls "$root"/BENCH_*.json | awk '{
+    n = split($0, parts, "/"); f = parts[n]
+    stem = substr(f, 7, length(f) - 11)       # strip "BENCH_" and ".json"
+    date = substr(stem, 1, 10)
+    label = length(stem) > 10 ? substr(stem, 12) : ""
+    print date, label, $0
+  }' | sort | tail -1 | cut -d' ' -f3-)
+fi
 echo "bench smoke: baseline $baseline"
 
 tmp=$(mktemp -d)

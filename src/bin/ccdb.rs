@@ -13,7 +13,7 @@
 //!              [--checkpoint DIR] [--svg]
 //! ccdb merge   A.jsonl B.jsonl ..  # rebuild one sweep from shard streams
 //! ccdb trace   [--chrome out.json] [options]   # protocol transcript
-//! ccdb bench   [--quick] [--out FILE] [--check BASELINE]
+//! ccdb bench   [--quick] [--out FILE] [--label NAME] [--check BASELINE]
 //! ccdb serve   --alg CB [--port 0] [--clients N] [--mpl N] [--trace FILE]
 //!              [--once] [--port-file FILE]     # real TCP page-server
 //! ccdb load    --addr HOST:PORT [--clients N] [--txns N] [--seed N]
@@ -100,6 +100,7 @@ struct Options {
     jobs: Option<usize>,
     kernel_jobs: Option<usize>,
     out: Option<String>,
+    label: Option<String>,
     lock_shards: Option<u32>,
     shard: Option<(u32, u32)>,
     checkpoint: Option<String>,
@@ -142,6 +143,7 @@ impl Default for Options {
             jobs: None,
             kernel_jobs: None,
             out: None,
+            label: None,
             lock_shards: None,
             shard: None,
             checkpoint: None,
@@ -308,6 +310,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.kernel_jobs = Some(n);
             }
             "--out" => o.out = Some(val.clone()),
+            "--label" => {
+                if val.is_empty()
+                    || !val
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                {
+                    return Err(format!(
+                        "--label: need a non-empty [A-Za-z0-9_-]+ suffix, got {val:?}"
+                    ));
+                }
+                o.label = Some(val.clone());
+            }
             "--lock-shards" => {
                 let n: u32 = val.parse().map_err(|e| format!("--lock-shards: {e}"))?;
                 if n == 0 {
@@ -680,7 +694,7 @@ fn usage() {
          [--series] [--svg] [--trace-cap N] [--chrome FILE] [--reps N] [--precision F] \
          [--max-reps N] [--jobs N] [--kernel-jobs N] [--out DIR|FILE] [--lock-shards N] [--shard I/N] \
          [--checkpoint FILE|DIR] [--resume FILE] [--fsync-every N] [--quick] \
-         [--check BASELINE]\n       \
+         [--label NAME] [--check BASELINE]\n       \
          ccdb serve --alg A [--port N] [--clients N] [--mpl N] [--lock-shards N] \
          [--trace FILE] [--once] [--port-file FILE]\n       \
          ccdb load --addr HOST:PORT [--clients N] [--txns N] [--seed N]\n       \
@@ -872,7 +886,9 @@ fn cmd_merge(files: &[String]) -> ExitCode {
 /// `ccdb.bench/v1` document, and optionally gate against a baseline.
 ///
 /// The output lands at `--out FILE` (default `BENCH_<utc-date>.json`,
-/// `-` for stdout). `--quick` (or `CCDB_QUICK=1`) uses the short
+/// or `BENCH_<utc-date>.<label>.json` with `--label`, so a second run on
+/// the same UTC day doesn't overwrite the first; `-` for stdout).
+/// `--quick` (or `CCDB_QUICK=1`) uses the short
 /// 10 s + 60 s windows; CI compares quick runs against the committed
 /// quick baseline. With `--check BASELINE`, deterministic counters must
 /// match exactly and events/sec may not regress by more than the
@@ -900,7 +916,11 @@ fn cmd_bench(opts: &Options) -> ExitCode {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        format!("BENCH_{}.json", utc_date(secs))
+        // --label keeps a second same-day run from overwriting the first.
+        match &opts.label {
+            Some(label) => format!("BENCH_{}.{}.json", utc_date(secs), label),
+            None => format!("BENCH_{}.json", utc_date(secs)),
+        }
     });
     if out_path == "-" {
         print!("{}", doc.render_pretty());

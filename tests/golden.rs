@@ -75,10 +75,10 @@ fn reports_are_identical_across_dispatch_modes_and_shards() {
     let mut digests = Json::obj();
     for alg in Algorithm::ALL {
         let serial = run_digest(alg, 1, 1);
-        // The three variants must reproduce the serial single-shard run
-        // exactly: windowed dispatch and lock sharding are performance
-        // refinements, not protocol changes.
-        for (jobs, shards) in [(1, 4), (4, 1), (4, 4)] {
+        // Every variant must reproduce the serial single-shard run
+        // exactly: windowed dispatch (at any job count) and lock sharding
+        // are performance refinements, not protocol changes.
+        for (jobs, shards) in [(1, 4), (2, 1), (4, 1), (4, 4), (8, 2)] {
             assert_eq!(
                 run_digest(alg, jobs, shards),
                 serial,
