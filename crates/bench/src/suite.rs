@@ -13,12 +13,22 @@
 //!   vary by host; [`check_bench`] only flags a throughput drop beyond a
 //!   tolerance (20 % by default in `scripts/smoke/bench.sh`).
 //!
-//! The last case samples a metric time series and reports the retained
-//! buffer footprint (`peak_series_bytes`), so series-memory regressions
-//! show up in the same trajectory. Documents are written as
+//! The last DES case samples a metric time series and reports the
+//! retained buffer footprint (`peak_series_bytes`), so series-memory
+//! regressions show up in the same trajectory. Documents are written as
 //! `BENCH_<date>.json` (see [`utc_date`]) and tracked in git.
+//!
+//! After the DES matrix, the `server_*` cases (marked `realtime: true`)
+//! stand up the actual reactor page-server on a loopback socket, drive
+//! it with the load generator, and record real-socket events/sec next to
+//! `des_events_per_sec` — the profiled-kernel rate of the matching DES
+//! case. Their commit counts are deterministic (clients × txns) and
+//! exact-checked, but their message counts depend on socket scheduling,
+//! so [`check_bench`] skips the exact-events comparison for them while
+//! still applying the throughput-regression gate. They are excluded from
+//! `totals`, which stays a pure DES number.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ccdb_core::{
     experiments, run_simulation_observed, run_simulation_profiled, run_simulation_profiled_jobs,
@@ -26,6 +36,7 @@ use ccdb_core::{
 };
 use ccdb_des::{EventKind, SimDuration};
 use ccdb_obs::Json;
+use ccdb_server::{load, serve, LoadOptions, ServeOptions};
 
 use crate::BenchCtl;
 
@@ -104,6 +115,106 @@ fn matrix(ctl: &BenchCtl) -> Vec<(&'static str, SimConfig)> {
 /// Kernel dispatch workers for the `par_*` cases.
 const WINDOW_JOBS: usize = 4;
 
+/// The realtime `server_*` cases: stable name, algorithm, engine shards,
+/// and the DES matrix case whose events/sec rides along as the
+/// simulated prediction for the same algorithm family.
+fn server_matrix() -> Vec<(&'static str, Algorithm, u32, &'static str)> {
+    vec![
+        ("server_cb_shard1", Algorithm::Callback, 1, "short_cb_25"),
+        ("server_cb_shard4", Algorithm::Callback, 4, "short_cb_25"),
+        (
+            "server_occ_shard4",
+            Algorithm::Certification { inter: false },
+            4,
+            "short_occ_25",
+        ),
+    ]
+}
+
+/// Stand up the reactor on an ephemeral loopback port, drive it with the
+/// load generator, and report real-socket numbers. `events` is the
+/// server-side message count (from the wire trace), which depends on
+/// socket scheduling — hence `realtime: true`, which tells
+/// [`check_bench`] to compare only the deterministic `commits`.
+#[allow(clippy::too_many_arguments)]
+fn run_server_case(
+    name: &str,
+    algorithm: Algorithm,
+    engine_shards: u32,
+    clients: u32,
+    txns: u32,
+    seed: u64,
+    des_case: &str,
+    des_events_per_sec: f64,
+) -> Json {
+    let dir = std::env::temp_dir().join(format!("ccdb-bench-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let port_file = dir.join("port");
+    let trace_path = dir.join("trace.jsonl");
+
+    let mut sopts = ServeOptions::new(algorithm);
+    sopts.clients = clients;
+    sopts.once = true;
+    sopts.engine_shards = engine_shards;
+    sopts.port_file = Some(port_file.clone());
+    sopts.trace = Some(trace_path.clone());
+    let server = std::thread::spawn(move || serve(&sopts));
+
+    let mut tries = 0;
+    let port: u16 = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            break s.trim().parse().expect("port file is atomic");
+        }
+        tries += 1;
+        assert!(tries < 2_000, "bench server never published its port");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    let started = Instant::now();
+    let summary = load(&LoadOptions {
+        addr: format!("127.0.0.1:{port}"),
+        clients,
+        txns,
+        seed,
+    })
+    .expect("bench load run failed");
+    let commits = server
+        .join()
+        .expect("bench server thread panicked")
+        .expect("bench server failed");
+    let wall_s = started.elapsed().as_secs_f64();
+    assert_eq!(
+        commits,
+        u64::from(clients) * u64::from(txns),
+        "server case {name} lost commits"
+    );
+
+    // Server-side wire messages: trace lines minus header and footer.
+    let messages = std::fs::read_to_string(&trace_path)
+        .expect("read bench trace")
+        .lines()
+        .count()
+        .saturating_sub(2) as u64;
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut case = Json::obj();
+    case.set("name", name)
+        .set("alg", algorithm.label())
+        .set("clients", u64::from(clients))
+        .set("txns", u64::from(txns))
+        .set("engine_shards", u64::from(engine_shards))
+        .set("realtime", true)
+        .set("events", messages)
+        .set("commits", commits)
+        .set("aborts", summary.aborts)
+        .set("pages_verified", summary.pages_verified)
+        .set("wall_s", wall_s)
+        .set("events_per_sec", messages as f64 / wall_s.max(1e-9))
+        .set("des_case", des_case)
+        .set("des_events_per_sec", des_events_per_sec);
+    case
+}
+
 /// The service-task-heavy workload behind `svc_cb_50` / `par_svc_cb_50`:
 /// callback locking, 50 clients, and a 10% hot region taking 70% of
 /// accesses, so invalidation broadcasts (and the disk traffic they cause)
@@ -179,6 +290,28 @@ pub fn run_bench(ctl: &BenchCtl, quick: bool) -> Json {
         out_cases.push(case);
     }
 
+    // Realtime server cases: the actual reactor over loopback, reported
+    // beside the DES prediction but kept out of the DES-only totals.
+    let (srv_clients, srv_txns) = if quick { (4, 50) } else { (4, 200) };
+    for (name, alg, shards, des_case) in server_matrix() {
+        let des_rate = out_cases
+            .iter()
+            .find(|c| c.get("name").and_then(|n| n.as_str()) == Some(des_case))
+            .and_then(|c| c.get("events_per_sec"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        out_cases.push(run_server_case(
+            name,
+            alg,
+            shards,
+            srv_clients,
+            srv_txns,
+            ctl.seed,
+            des_case,
+            des_rate,
+        ));
+    }
+
     let mut doc = Json::obj();
     doc.set("schema", BENCH_SCHEMA)
         .set("quick", quick)
@@ -223,7 +356,10 @@ fn case_u64(case: &Json, key: &str, name: &str) -> Result<u64, String> {
 /// **exactly** — any drift means the simulation changed and the baseline
 /// needs a deliberate refresh. Wall-clock throughput may only regress:
 /// a case more than `tolerance` (e.g. `0.2` = 20 %) below the baseline's
-/// events/sec fails. Returns every violation, not just the first.
+/// events/sec fails. Cases marked `realtime: true` (the `server_*`
+/// socket runs) have scheduling-dependent message counts, so only their
+/// `commits` are compared exactly; the throughput gate still applies.
+/// Returns every violation, not just the first.
 pub fn check_bench(current: &Json, baseline: &Json, tolerance: f64) -> Result<(), String> {
     let mut failures: Vec<String> = Vec::new();
     for (doc, which) in [(current, "current"), (baseline, "baseline")] {
@@ -250,7 +386,16 @@ pub fn check_bench(current: &Json, baseline: &Json, tolerance: f64) -> Result<()
             failures.push(format!("case {name}: missing from current run"));
             continue;
         };
-        for key in ["events", "commits"] {
+        let realtime = base
+            .get("realtime")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        let keys: &[&str] = if realtime {
+            &["commits"]
+        } else {
+            &["events", "commits"]
+        };
+        for &key in keys {
             let (b, c) = (case_u64(base, key, name)?, case_u64(cur, key, name)?);
             if b != c {
                 failures.push(format!(
@@ -360,7 +505,7 @@ mod tests {
         let Some(Json::Arr(cases)) = doc.get("cases") else {
             panic!("cases array");
         };
-        assert_eq!(cases.len(), 8);
+        assert_eq!(cases.len(), 11);
         // Profiled cases attribute every dispatch to a kind.
         let first = &cases[0];
         let events = first.get("events").and_then(|v| v.as_u64()).unwrap();
@@ -393,14 +538,31 @@ mod tests {
             }
         }
         // The sampled case reports a positive series footprint, no kinds.
-        let last = &cases[7];
-        assert!(last.get("kinds").is_none());
+        let sampled = by_name("short_cb_25_sampled").unwrap();
+        assert!(sampled.get("kinds").is_none());
         assert!(
-            last.get("peak_series_bytes")
+            sampled
+                .get("peak_series_bytes")
                 .and_then(|v| v.as_u64())
                 .unwrap()
                 > 0
         );
+        // The realtime server cases hit their commit quota over a real
+        // socket, verify page images, and carry the DES prediction.
+        for name in ["server_cb_shard1", "server_cb_shard4", "server_occ_shard4"] {
+            let case = by_name(name).unwrap();
+            assert_eq!(case.get("realtime").and_then(|v| v.as_bool()), Some(true));
+            let clients = case.get("clients").unwrap().as_u64().unwrap();
+            let txns = case.get("txns").unwrap().as_u64().unwrap();
+            assert_eq!(
+                case.get("commits").unwrap().as_u64(),
+                Some(clients * txns),
+                "{name} must commit its full quota"
+            );
+            assert!(case.get("pages_verified").unwrap().as_u64().unwrap() > 0);
+            assert!(case.get("events_per_sec").unwrap().as_f64().unwrap() > 0.0);
+            assert!(case.get("des_events_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        }
         // A document always passes against itself.
         check_bench(&doc, &doc, 0.2).unwrap();
         // And the delta table covers every case plus the totals row.
@@ -439,6 +601,31 @@ mod tests {
                 .unwrap();
         // Removing the rate skips the regression check rather than failing.
         check_bench(&slow, &slow, 0.0).unwrap();
+    }
+
+    #[test]
+    fn realtime_cases_compare_commits_but_not_events() {
+        let make = |events: u64, commits: u64, rate: f64| {
+            let mut case = Json::obj();
+            case.set("name", "server_x")
+                .set("realtime", true)
+                .set("events", events)
+                .set("commits", commits)
+                .set("events_per_sec", rate);
+            let mut doc = Json::obj();
+            doc.set("schema", BENCH_SCHEMA)
+                .set("quick", true)
+                .set("cases", Json::Arr(vec![case]));
+            doc
+        };
+        // Socket message counts drift run to run; that must pass.
+        check_bench(&make(900, 100, 50.0), &make(500, 100, 50.0), 0.2).unwrap();
+        // Commits stay exact even for realtime cases.
+        let err = check_bench(&make(500, 99, 50.0), &make(500, 100, 50.0), 0.2).unwrap_err();
+        assert!(err.contains("commits changed"), "{err}");
+        // And the throughput-regression gate still applies.
+        let err = check_bench(&make(500, 100, 10.0), &make(500, 100, 50.0), 0.2).unwrap_err();
+        assert!(err.contains("events/sec regressed"), "{err}");
     }
 
     #[test]

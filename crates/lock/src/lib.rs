@@ -26,4 +26,4 @@ mod sharded;
 pub use manager::{
     ClientId, LockManager, LockStats, Mode, Owner, RequestOutcome, RetainPolicy, TxnId, Wake,
 };
-pub use sharded::ShardedLockManager;
+pub use sharded::{page_shard, ShardedLockManager};

@@ -44,6 +44,19 @@ fn page_hash(page: PageId) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The shard `page` maps to among `shards` hash partitions.
+///
+/// This is the repo-wide page→shard discipline: every sharded structure
+/// keyed by page (the lock table here, the real server's sharded page
+/// stores) uses the same deterministic, seed-free mapping, so "same
+/// page, same shard" holds across subsystems and shard assignments can
+/// be recomputed anywhere (e.g. by `ccdb replay` when checking a
+/// sharded wire trace).
+pub fn page_shard(page: PageId, shards: u32) -> u32 {
+    assert!(shards > 0, "page_shard needs at least one shard");
+    (page_hash(page) % shards as u64) as u32
+}
+
 /// `N` hash-partitioned [`LockManager`] shards presenting the single-table
 /// API. See the module docs for the equivalence argument.
 #[derive(Debug)]
@@ -75,7 +88,7 @@ impl ShardedLockManager {
 
     /// The shard `page` is partitioned to.
     pub fn shard_of(&self, page: PageId) -> u32 {
-        (page_hash(page) % self.shards.len() as u64) as u32
+        page_shard(page, self.shards.len() as u32)
     }
 
     /// Summed statistics across shards (the single-table view).

@@ -11,6 +11,12 @@
 //! callbacks and consuming notifications, until *every* client is done —
 //! a retained read lock must remain callable-back for as long as anyone
 //! might request the page — and only then says `Bye`.
+//!
+//! Page payloads are real: every `PageData` reply and `Update` install
+//! is verified byte-for-byte against the deterministic
+//! [`page_image`] for its (page, version), and commits ship the actual
+//! images of their dirty pages. [`LoadSummary::pages_verified`] counts
+//! the checks; any mismatch fails the run.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -23,11 +29,14 @@ use ccdb_des::Pcg32;
 use ccdb_lock::ClientId;
 use ccdb_model::{table5_database, PageId, SystemParams, TxnParams, TxnSpec, Workload};
 use ccdb_proto::{
-    AbortKind, Action, Algorithm, ClientCore, CommitAction, OpId, ReplyKind, Tuning, C2S, S2C,
+    AbortKind, Action, Algorithm, ClientCore, CommitAction, OpId, ReplyKind, ServerCore, Tuning,
+    C2S, S2C,
 };
-use ccdb_storage::ClientCache;
+use ccdb_storage::{page_image, verify_page_image, ClientCache};
 
-use crate::codec::{read_frame, write_frame, Frame};
+use crate::codec::{
+    encode_frame_with_payload, read_frame, read_frame_with_payload, write_frame, Frame,
+};
 
 /// Configuration for [`load`].
 #[derive(Clone, Debug)]
@@ -51,17 +60,34 @@ pub struct LoadSummary {
     pub commits: u64,
     /// Aborted attempts across all clients.
     pub aborts: u64,
+    /// Page images verified byte-for-byte against their expected
+    /// content (`PageData` replies and `Update` installs).
+    pub pages_verified: u64,
 }
 
 struct Conn {
     writer: BufWriter<TcpStream>,
-    rx: mpsc::Receiver<S2C>,
+    rx: mpsc::Receiver<(S2C, Vec<u8>)>,
     page_size: u32,
 }
 
 impl Conn {
     fn send(&mut self, msg: C2S) -> io::Result<()> {
-        write_frame(&mut self.writer, &Frame::C2S(msg), self.page_size)?;
+        // Commits carry their dirty pages' real images at the commit
+        // version; every other client message is payload-free.
+        let frame = if let C2S::Commit { txn, dirty, .. } = &msg {
+            let version = ServerCore::commit_version(*txn);
+            let mut payload = Vec::with_capacity(dirty.len() * self.page_size as usize);
+            for p in dirty {
+                payload.extend_from_slice(&page_image(*p, version, self.page_size as usize));
+            }
+            encode_frame_with_payload(&Frame::C2S(msg), self.page_size, &payload)
+                .expect("commit payload sized to payload_bytes")
+        } else {
+            encode_frame_with_payload(&Frame::C2S(msg), self.page_size, &[])
+                .expect("non-commit client messages are payload-free")
+        };
+        self.writer.write_all(&frame)?;
         self.writer.flush()
     }
 
@@ -73,45 +99,79 @@ impl Conn {
     }
 }
 
+fn payload_error(what: &str, page: PageId, version: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(
+            "{what} payload for page ({},{}) v{version} does not match its image",
+            page.class.0, page.atom
+        ),
+    )
+}
+
 struct LoadClient {
     core: ClientCore,
     cache: ClientCache,
     conn: Conn,
     rng: Pcg32,
     aborts: u64,
+    verified: u64,
 }
 
 impl LoadClient {
     /// Service an asynchronous server message and send whatever the core
     /// wants sent back (callback replies, retained-lock releases).
-    fn handle_async(&mut self, msg: S2C) -> io::Result<()> {
+    /// `Update` broadcasts carry their pages' images; verify each one.
+    fn handle_async(&mut self, msg: S2C, payload: &[u8]) -> io::Result<()> {
+        if let S2C::Update { pages, version } = &msg {
+            let ps = self.conn.page_size as usize;
+            for (i, page) in pages.iter().enumerate() {
+                let img = payload.get(i * ps..(i + 1) * ps).unwrap_or(&[]);
+                if !verify_page_image(*page, *version, img) {
+                    return Err(payload_error("Update", *page, *version));
+                }
+                self.verified += 1;
+            }
+        }
         let out = self.core.handle_async(&mut self.cache, msg);
         self.conn.send_all(out.sends)
     }
 
     /// Block until the reply for `op` arrives, servicing asynchronous
-    /// messages that land in between.
-    fn await_reply(&mut self, op: OpId) -> io::Result<ReplyKind> {
+    /// messages that land in between. Returns the reply's payload too,
+    /// so callers can verify shipped page images.
+    fn await_reply(&mut self, op: OpId) -> io::Result<(ReplyKind, Vec<u8>)> {
         loop {
-            let msg = self
-                .conn
-                .rx
-                .recv_timeout(Duration::from_secs(30))
-                .map_err(|_| {
-                    io::Error::new(io::ErrorKind::TimedOut, "no reply from server (30s)")
-                })?;
+            let (msg, payload) =
+                self.conn
+                    .rx
+                    .recv_timeout(Duration::from_secs(30))
+                    .map_err(|_| {
+                        io::Error::new(io::ErrorKind::TimedOut, "no reply from server (30s)")
+                    })?;
             match msg {
-                S2C::Reply { op: o, kind } if o == op => return Ok(kind),
-                other => self.handle_async(other)?,
+                S2C::Reply { op: o, kind } if o == op => return Ok((kind, payload)),
+                other => self.handle_async(other, &payload)?,
             }
         }
+    }
+
+    /// Check a `PageData` reply's payload against the page's image.
+    fn verify_ship(&mut self, page: PageId, kind: &ReplyKind, payload: &[u8]) -> io::Result<()> {
+        if let ReplyKind::PageData { version } = kind {
+            if !verify_page_image(page, *version, payload) {
+                return Err(payload_error("PageData", page, *version));
+            }
+            self.verified += 1;
+        }
+        Ok(())
     }
 
     /// Drain already-arrived messages, then surface a pending restart
     /// order (no-wait locking polls this before every step).
     fn check_abort(&mut self) -> io::Result<Result<(), AbortKind>> {
-        while let Ok(msg) = self.conn.rx.try_recv() {
-            self.handle_async(msg)?;
+        while let Ok((msg, payload)) = self.conn.rx.try_recv() {
+            self.handle_async(msg, &payload)?;
         }
         Ok(self.core.abort_pending())
     }
@@ -130,7 +190,8 @@ impl LoadClient {
             }
             Action::Sync(sop) => {
                 self.conn.send(sop.msg.clone())?;
-                let kind = self.await_reply(sop.op)?;
+                let (kind, payload) = self.await_reply(sop.op)?;
+                self.verify_ship(page, &kind, &payload)?;
                 match self
                     .core
                     .apply_read_reply(&mut self.cache, sop.kind, page, kind)
@@ -159,7 +220,8 @@ impl LoadClient {
             }
             Action::Sync(sop) => {
                 self.conn.send(sop.msg.clone())?;
-                let kind = self.await_reply(sop.op)?;
+                let (kind, payload) = self.await_reply(sop.op)?;
+                self.verify_ship(page, &kind, &payload)?;
                 match self.core.apply_write_reply(&mut self.cache, page, kind) {
                     Ok(sends) => {
                         self.conn.send_all(sends)?;
@@ -181,7 +243,7 @@ impl LoadClient {
             CommitAction::Local => Ok(Ok(())),
             CommitAction::Send { op, dirty, msg } => {
                 self.conn.send(msg)?;
-                let kind = self.await_reply(op)?;
+                let (kind, _payload) = self.await_reply(op)?;
                 match self.core.apply_commit_reply(&mut self.cache, &dirty, kind) {
                     Ok(_version) => Ok(Ok(())),
                     Err(k) => Ok(Err(k)),
@@ -238,7 +300,7 @@ impl LoadClient {
     }
 }
 
-fn run_client(id: u32, opts: &LoadOptions, done: &AtomicU32) -> io::Result<(String, u64)> {
+fn run_client(id: u32, opts: &LoadOptions, done: &AtomicU32) -> io::Result<(String, u64, u64)> {
     let sock = TcpStream::connect(&opts.addr)?;
     sock.set_nodelay(true).ok();
     let mut reader = BufReader::new(sock.try_clone()?);
@@ -259,11 +321,14 @@ fn run_client(id: u32, opts: &LoadOptions, done: &AtomicU32) -> io::Result<(Stri
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
 
     // The reader thread turns the socket into a channel so protocol code
-    // can poll without owning socket timeouts.
-    let (tx, rx) = mpsc::channel::<S2C>();
+    // can poll without owning socket timeouts. Payload bytes ride along
+    // for image verification.
+    let (tx, rx) = mpsc::channel::<(S2C, Vec<u8>)>();
     let reader_thread = thread::spawn(move || {
-        while let Ok(Some(Frame::S2C(msg))) = read_frame(&mut reader, page_size) {
-            if tx.send(msg).is_err() {
+        while let Ok(Some((Frame::S2C(msg), payload))) =
+            read_frame_with_payload(&mut reader, page_size)
+        {
+            if tx.send((msg, payload)).is_err() {
                 break;
             }
         }
@@ -284,6 +349,7 @@ fn run_client(id: u32, opts: &LoadOptions, done: &AtomicU32) -> io::Result<(Stri
         },
         rng: Pcg32::new(opts.seed, 20_000 + id as u64),
         aborts: 0,
+        verified: 0,
     };
 
     for _ in 0..opts.txns {
@@ -297,17 +363,17 @@ fn run_client(id: u32, opts: &LoadOptions, done: &AtomicU32) -> io::Result<(Stri
     done.fetch_add(1, Ordering::SeqCst);
     while done.load(Ordering::SeqCst) < opts.clients {
         match c.conn.rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(msg) => c.handle_async(msg)?,
+            Ok((msg, payload)) => c.handle_async(msg, &payload)?,
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
-    let aborts = c.aborts;
+    let (aborts, verified) = (c.aborts, c.verified);
     write_frame(&mut c.conn.writer, &Frame::Bye, page_size)?;
     c.conn.writer.flush()?;
     drop(c);
     let _ = reader_thread.join();
-    Ok((alg_label, aborts))
+    Ok((alg_label, aborts, verified))
 }
 
 /// Run `clients` workstations against a live server; blocks until every
@@ -325,10 +391,11 @@ pub fn load(opts: &LoadOptions) -> io::Result<LoadSummary> {
     let mut failure: Option<io::Error> = None;
     for h in handles {
         match h.join() {
-            Ok(Ok((alg, aborts))) => {
+            Ok(Ok((alg, aborts, verified))) => {
                 summary.alg = alg;
                 summary.commits += opts.txns as u64;
                 summary.aborts += aborts;
+                summary.pages_verified += verified;
             }
             Ok(Err(e)) => failure = Some(e),
             Err(_) => {

@@ -532,8 +532,18 @@ fn fill_payload(out: &mut Vec<u8>, n: u64) {
     }
 }
 
-/// Encode a frame, including the length prefix.
-pub fn encode_frame(f: &Frame, page_size: u32) -> Vec<u8> {
+/// A frame's payload bytes: the page-content bytes a C2S/S2C message
+/// carries after its structured fields (empty for everything else).
+fn frame_payload_bytes(f: &Frame, page_size: u32) -> u64 {
+    match f {
+        Frame::C2S(m) => m.payload_bytes(page_size),
+        Frame::S2C(m) => m.payload_bytes(page_size),
+        _ => 0,
+    }
+}
+
+/// Encode a frame's structured fields (everything but the payload).
+fn encode_structured(f: &Frame) -> Vec<u8> {
     let mut body = Vec::new();
     match f {
         Frame::Hello { client } => {
@@ -550,41 +560,59 @@ pub fn encode_frame(f: &Frame, page_size: u32) -> Vec<u8> {
         Frame::C2S(m) => {
             body.push(TAG_C2S);
             encode_c2s(&mut body, m);
-            fill_payload(&mut body, m.payload_bytes(page_size));
         }
         Frame::S2C(m) => {
             body.push(TAG_S2C);
             encode_s2c(&mut body, m);
-            fill_payload(&mut body, m.payload_bytes(page_size));
         }
     }
+    body
+}
+
+fn finish_frame(mut body: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + body.len());
     put_u32(&mut out, body.len() as u32);
-    out.extend_from_slice(&body);
+    out.append(&mut body);
     out
 }
 
-/// Decode one frame from the front of `buf`. Returns the frame and the
-/// total bytes consumed (prefix + body). `buf` may extend past the frame.
-pub fn decode_frame(buf: &[u8], page_size: u32) -> Result<(Frame, usize), CodecError> {
-    if buf.len() < 4 {
-        return Err(CodecError::Truncated {
-            needed: 4,
-            have: buf.len(),
+/// Encode a frame, including the length prefix, with filler payload
+/// bytes (the fixed `i % 251` pattern) standing in for page contents.
+pub fn encode_frame(f: &Frame, page_size: u32) -> Vec<u8> {
+    let mut body = encode_structured(f);
+    fill_payload(&mut body, frame_payload_bytes(f, page_size));
+    finish_frame(body)
+}
+
+/// Encode a frame carrying `payload` as its page-content bytes.
+///
+/// The payload replaces the filler pattern [`encode_frame`] emits, so
+/// its length must equal the message's `payload_bytes` exactly —
+/// anything else is a [`CodecError::PayloadMismatch`]. This is the
+/// encoder the real server and load driver use to ship actual page
+/// images; the codec cannot derive the content itself because a
+/// `PageData` reply does not name its page on the wire.
+pub fn encode_frame_with_payload(
+    f: &Frame,
+    page_size: u32,
+    payload: &[u8],
+) -> Result<Vec<u8>, CodecError> {
+    let expected = frame_payload_bytes(f, page_size);
+    if payload.len() as u64 != expected {
+        return Err(CodecError::PayloadMismatch {
+            expected,
+            have: payload.len() as u64,
         });
     }
-    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
-    if len > MAX_FRAME {
-        return Err(CodecError::Oversize { len });
-    }
-    let len = len as usize;
-    if buf.len() - 4 < len {
-        return Err(CodecError::Truncated {
-            needed: len,
-            have: buf.len() - 4,
-        });
-    }
-    let body = &buf[4..4 + len];
+    let mut body = encode_structured(f);
+    body.extend_from_slice(payload);
+    Ok(finish_frame(body))
+}
+
+/// Decode a frame body (everything after the length prefix). Returns the
+/// frame and the byte offset where its payload starts (the payload is
+/// `body[offset..]`, already length-validated against `payload_bytes`).
+fn decode_body(body: &[u8], page_size: u32) -> Result<(Frame, usize), CodecError> {
     let mut c = Cur { b: body, p: 0 };
     let frame = match c.u8()? {
         TAG_HELLO => Frame::Hello { client: c.u32()? },
@@ -607,8 +635,7 @@ pub fn decode_frame(buf: &[u8], page_size: u32) -> Result<(Frame, usize), CodecE
                     have: c.remaining(),
                 });
             }
-            c.p = body.len();
-            Frame::C2S(m)
+            return Ok((Frame::C2S(m), c.p));
         }
         TAG_S2C => {
             let m = decode_s2c(&mut c)?;
@@ -619,8 +646,7 @@ pub fn decode_frame(buf: &[u8], page_size: u32) -> Result<(Frame, usize), CodecE
                     have: c.remaining(),
                 });
             }
-            c.p = body.len();
-            Frame::S2C(m)
+            return Ok((Frame::S2C(m), c.p));
         }
         t => return Err(CodecError::BadTag(t)),
     };
@@ -631,7 +657,49 @@ pub fn decode_frame(buf: &[u8], page_size: u32) -> Result<(Frame, usize), CodecE
             have: (body.len() - c.p) as u64,
         });
     }
-    Ok((frame, 4 + len))
+    Ok((frame, body.len()))
+}
+
+/// Split the length prefix off the front of `buf`: `Ok((body, total))`
+/// with `total` = prefix + body bytes, or a `Truncated`/`Oversize` error.
+fn split_frame(buf: &[u8]) -> Result<(&[u8], usize), CodecError> {
+    if buf.len() < 4 {
+        return Err(CodecError::Truncated {
+            needed: 4,
+            have: buf.len(),
+        });
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(CodecError::Oversize { len });
+    }
+    let len = len as usize;
+    if buf.len() - 4 < len {
+        return Err(CodecError::Truncated {
+            needed: len,
+            have: buf.len() - 4,
+        });
+    }
+    Ok((&buf[4..4 + len], 4 + len))
+}
+
+/// Decode one frame from the front of `buf`. Returns the frame and the
+/// total bytes consumed (prefix + body). `buf` may extend past the frame.
+pub fn decode_frame(buf: &[u8], page_size: u32) -> Result<(Frame, usize), CodecError> {
+    let (body, total) = split_frame(buf)?;
+    let (frame, _payload_at) = decode_body(body, page_size)?;
+    Ok((frame, total))
+}
+
+/// [`decode_frame`], but also return the frame's payload bytes (page
+/// contents). The payload is empty for frames that carry none.
+pub fn decode_frame_with_payload(
+    buf: &[u8],
+    page_size: u32,
+) -> Result<(Frame, Vec<u8>, usize), CodecError> {
+    let (body, total) = split_frame(buf)?;
+    let (frame, payload_at) = decode_body(body, page_size)?;
+    Ok((frame, body[payload_at..].to_vec(), total))
 }
 
 /// Write one frame to a stream.
@@ -642,6 +710,16 @@ pub fn write_frame<W: Write>(w: &mut W, f: &Frame, page_size: u32) -> io::Result
 /// Read one frame from a stream. `Ok(None)` means a clean EOF at a frame
 /// boundary; EOF inside a frame or a malformed body is `InvalidData`.
 pub fn read_frame<R: Read>(r: &mut R, page_size: u32) -> io::Result<Option<Frame>> {
+    Ok(read_frame_with_payload(r, page_size)?.map(|(f, _)| f))
+}
+
+/// [`read_frame`], but also return the frame's payload bytes (page
+/// contents; empty for frames that carry none). The load driver's
+/// reader thread uses this so every shipped page image can be verified.
+pub fn read_frame_with_payload<R: Read>(
+    r: &mut R,
+    page_size: u32,
+) -> io::Result<Option<(Frame, Vec<u8>)>> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -671,10 +749,133 @@ pub fn read_frame<R: Read>(r: &mut R, page_size: u32) -> io::Result<Option<Frame
     buf.extend_from_slice(&prefix);
     buf.resize(4 + len as usize, 0);
     r.read_exact(&mut buf[4..])?;
-    let (frame, used) = decode_frame(&buf, page_size)
+    let (frame, payload, used) = decode_frame_with_payload(&buf, page_size)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     debug_assert_eq!(used, buf.len());
-    Ok(Some(frame))
+    Ok(Some((frame, payload)))
+}
+
+/// Incremental frame parser for nonblocking reads.
+///
+/// The reactor reads whatever the socket has — possibly a single byte —
+/// and [`FrameReader::push`]es it here; [`FrameReader::next_frame`]
+/// yields each complete frame (with its payload bytes) as soon as the
+/// buffer holds one. Partial frames simply wait for more bytes, so the
+/// parse result is a pure function of the byte *stream*, independent of
+/// how the stream was chunked — the property the byte-dribble proptest
+/// pins.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Append freshly read bytes (any chunking, including one at a time).
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: once parsed-off bytes dominate the buffer, slide
+        // the live tail down instead of growing without bound.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet parsed into frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Parse the next complete frame, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "need more bytes"; a malformed frame is a hard
+    /// [`CodecError`] (the connection is beyond recovery — framing is
+    /// lost). Payload bytes ride along with each frame.
+    pub fn next_frame(&mut self, page_size: u32) -> Result<Option<(Frame, Vec<u8>)>, CodecError> {
+        match decode_frame_with_payload(&self.buf[self.start..], page_size) {
+            Ok((frame, payload, used)) => {
+                self.start += used;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                Ok(Some((frame, payload)))
+            }
+            Err(CodecError::Truncated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Outbound byte queue tolerating short writes.
+///
+/// Encoded frames are appended whole; [`FrameWriter::flush_to`] writes
+/// as much as the sink accepts and remembers its position, so a
+/// `WouldBlock` (or a short write) mid-frame resumes exactly where it
+/// left off. The reactor uses [`FrameWriter::pending`] as its
+/// backpressure signal.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Queue pre-encoded frame bytes for sending.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes queued but not yet accepted by the sink.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Write queued bytes until the sink blocks or the queue drains.
+    ///
+    /// Returns the bytes written this call; `WouldBlock` (and
+    /// `Interrupted`) are not errors — they end the attempt with the
+    /// unwritten tail still queued.
+    pub fn flush_to<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+        let mut written = 0;
+        while self.start < self.buf.len() {
+            match w.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "sink accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.start += n;
+                    written += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(written)
+    }
 }
 
 #[cfg(test)]
@@ -784,5 +985,102 @@ mod tests {
             decode_frame(&bad, 4096).unwrap_err(),
             CodecError::BadTag(0xEE)
         );
+    }
+
+    #[test]
+    fn real_payload_roundtrips() {
+        let f = Frame::S2C(S2C::Reply {
+            op: 3,
+            kind: ReplyKind::PageData { version: 8 },
+        });
+        let payload: Vec<u8> = (0..128u32).map(|i| (i * 7 % 256) as u8).collect();
+        let bytes = encode_frame_with_payload(&f, 128, &payload).expect("encode");
+        let (back, got, used) = decode_frame_with_payload(&bytes, 128).expect("decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+        assert_eq!(got, payload);
+        // Wrong payload length is a named error, not silent truncation.
+        assert!(matches!(
+            encode_frame_with_payload(&f, 128, &payload[..100]).unwrap_err(),
+            CodecError::PayloadMismatch {
+                expected: 128,
+                have: 100
+            }
+        ));
+        // Payload-free frames demand an empty payload.
+        assert!(encode_frame_with_payload(&Frame::Bye, 128, &[]).is_ok());
+        assert!(encode_frame_with_payload(&Frame::Bye, 128, &[1]).is_err());
+    }
+
+    #[test]
+    fn frame_reader_handles_one_byte_dribble() {
+        let frames = vec![
+            Frame::Hello { client: 9 },
+            Frame::C2S(C2S::Fetch {
+                txn: TxnId(5),
+                page: page(1, 2),
+                op: 3,
+            }),
+            Frame::S2C(S2C::Reply {
+                op: 3,
+                kind: ReplyKind::PageData { version: 8 },
+            }),
+            Frame::Bye,
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f, 64));
+        }
+        let mut rd = FrameReader::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            rd.push(std::slice::from_ref(b));
+            while let Some((f, _payload)) = rd.next_frame(64).expect("parse") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(rd.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_writer_survives_short_writes() {
+        /// Accepts one byte, then blocks; accepts the next byte on the
+        /// following call — the worst-case nonblocking sink.
+        struct OneByte {
+            out: Vec<u8>,
+            parity: bool,
+        }
+        impl Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.parity = !self.parity;
+                if !self.parity {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+                }
+                self.out.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let f = Frame::S2C(S2C::Update {
+            pages: vec![page(0, 1)],
+            version: 2,
+        });
+        let bytes = encode_frame(&f, 32);
+        let mut wr = FrameWriter::new();
+        wr.queue(&bytes);
+        let mut sink = OneByte {
+            out: Vec::new(),
+            parity: false,
+        };
+        let mut spins = 0;
+        while wr.pending() > 0 {
+            wr.flush_to(&mut sink).expect("flush");
+            spins += 1;
+            assert!(spins < 10_000, "writer must make progress");
+        }
+        assert_eq!(sink.out, bytes);
     }
 }

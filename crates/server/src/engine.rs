@@ -219,6 +219,12 @@ pub struct Effects {
     pub sends: Vec<(ClientId, S2C)>,
     /// Decisions, in the order they were taken.
     pub decisions: Vec<Decision>,
+    /// For each send, the page whose image the message ships, if any —
+    /// aligned with `sends`. A `PageData` reply does not name its page
+    /// on the wire, so the payload-rendering path (which materializes
+    /// real page images) learns it here; every other message is `None`
+    /// (`Update` already carries its page list).
+    pub send_pages: Vec<Option<PageId>>,
 }
 
 /// A blocked synchronous lock request, waiting for a grant.
@@ -404,9 +410,10 @@ impl Engine {
             C2S::Fetch { txn, page, op } => {
                 let version = self.core.note_shipped(from, page);
                 eff.decisions.push(Decision::Ship { txn, page, version });
-                self.send(
+                self.send_page(
                     eff,
                     from,
+                    page,
                     S2C::Reply {
                         op,
                         kind: ReplyKind::PageData { version },
@@ -437,9 +444,10 @@ impl Engine {
                         page,
                         version: shipped,
                     });
-                    self.send(
+                    self.send_page(
                         eff,
                         from,
+                        page,
                         S2C::Reply {
                             op,
                             kind: ReplyKind::PageData { version: shipped },
@@ -521,9 +529,10 @@ impl Engine {
                 let version = self.core.note_shipped(from, page);
                 eff.decisions.push(Decision::Ship { txn, page, version });
                 if wait {
-                    self.send(
+                    self.send_page(
                         eff,
                         from,
+                        page,
                         S2C::Reply {
                             op,
                             kind: ReplyKind::PageData { version },
@@ -745,6 +754,14 @@ impl Engine {
 
     fn send(&mut self, eff: &mut Effects, to: ClientId, msg: S2C) {
         eff.sends.push((to, msg));
+        eff.send_pages.push(None);
+    }
+
+    /// Send a `PageData` reply, noting which page's image it ships (the
+    /// message itself only carries the version).
+    fn send_page(&mut self, eff: &mut Effects, to: ClientId, page: PageId, msg: S2C) {
+        eff.sends.push((to, msg));
+        eff.send_pages.push(Some(page));
     }
 }
 

@@ -11,15 +11,23 @@
 //! - [`engine`] — the sans-io session engine: `ServerCore` plus MPL
 //!   admission, parked lock continuations, and pending commits. A pure
 //!   function of the message sequence.
-//! - [`server`] — a threaded `std::net` TCP server; a mutex pins the
-//!   total message order and every message is recorded to a versioned
-//!   `ccdb.wire_trace/v1` JSONL trace.
+//! - [`shard`] — the page-hash–sharded engine: decisions run serially
+//!   under one short control lock (preserving the DES-oracle lineage),
+//!   while page-image materialization, frame encoding, and trace
+//!   rendering parallelize across per-shard stores.
+//! - [`reactor`] — the default server: a nonblocking readiness loop with
+//!   per-connection read/write buffers, render workers, bounded queues
+//!   for backpressure, and `ccdb.wire_trace/v2` (shard-tagged) traces.
+//! - [`server`] — serve entry points; the legacy threaded `std::net`
+//!   server (`--threaded`) keeps writing `ccdb.wire_trace/v1`.
 //! - [`client`] — a load driver running the repository's workload
-//!   generator through `ClientCore` against a live server.
+//!   generator through `ClientCore` against a live server; it verifies
+//!   every shipped page image byte-for-byte.
 //! - [`trace`] — trace writer/reader and [`trace::replay`]: rebuilds a
 //!   fresh engine from the header, re-applies the recorded messages, and
 //!   diffs every protocol decision (grants, blocks, callbacks, aborts,
-//!   commit outcomes) and every outgoing message. Zero diffs means the
+//!   commit outcomes), every outgoing message, and — for v2 — every
+//!   shard tag and cross-shard commit-order stamp. Zero diffs means the
 //!   live run did exactly what the simulator-validated core would do.
 
 #![warn(missing_docs)]
@@ -27,13 +35,17 @@
 pub mod client;
 pub mod codec;
 pub mod engine;
+pub mod reactor;
 pub mod server;
+pub mod shard;
 pub mod trace;
 
 pub use client::{load, LoadOptions, LoadSummary};
 pub use codec::{
-    decode_frame, encode_frame, read_frame, write_frame, CodecError, Frame, MAX_FRAME,
+    decode_frame, decode_frame_with_payload, encode_frame, encode_frame_with_payload, read_frame,
+    read_frame_with_payload, write_frame, CodecError, Frame, FrameReader, FrameWriter, MAX_FRAME,
 };
 pub use engine::{Decision, Effects, Engine};
 pub use server::{serve, ServeOptions};
-pub use trace::{replay, ReplayReport, TraceHeader, TraceWriter, SCHEMA};
+pub use shard::{shard_of_msg, ShardedEngine};
+pub use trace::{replay, ReplayReport, TraceHeader, TraceWriter, SCHEMA, SCHEMA_V2};

@@ -1,0 +1,476 @@
+//! The default page-server: a nonblocking readiness loop over plain
+//! `std::net`, with render work fanned out across engine shards.
+//!
+//! One reactor thread owns every socket. Each sweep it accepts new
+//! connections, reads whatever bytes are available into per-connection
+//! [`FrameReader`]s (tolerating arbitrarily fragmented frames), runs
+//! each complete message through the [`ShardedEngine`]'s short control
+//! section *inline* — decisions are cheap and serializing them is what
+//! makes the trace replayable — and hands the resulting [`Step`] to a
+//! render worker. The workers (one per engine shard plus one for wide
+//! messages) do the heavy part in parallel: materializing real page
+//! images, encoding frames, rendering trace lines.
+//!
+//! Order is restored at the edges. Outgoing frames carry per-client
+//! send sequence numbers assigned under control; the reactor holds them
+//! in per-client reorder buffers and releases only the contiguous
+//! prefix into each connection's [`FrameWriter`], which absorbs short
+//! writes. Trace lines carry the global `seq` and drain through a
+//! reorder buffer into the `ccdb.wire_trace/v2` file in exactly the
+//! decision order.
+//!
+//! Backpressure is explicit instead of unbounded channels: a
+//! connection stops being read while its writer backlog is above a
+//! high-water mark, and the whole reactor stops reading while too many
+//! render jobs are in flight.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use ccdb_lock::ClientId;
+use ccdb_model::{table5_database, SystemParams};
+
+use crate::codec::{encode_frame, Frame, FrameReader, FrameWriter};
+use crate::server::{write_port_file, ServeOptions};
+use crate::shard::{OutFrame, ShardedEngine, Step};
+use crate::trace::{TraceHeader, TraceWriter};
+
+/// Stop reading a connection while its writer backlog exceeds this.
+const WRITER_HIGH: usize = 1 << 20;
+/// Stop reading everything while this many render jobs are in flight.
+const JOBS_CAP: usize = 1024;
+/// Per-connection read budget per sweep (fairness, not correctness).
+const READS_PER_SWEEP: usize = 4;
+
+struct Conn {
+    sock: TcpStream,
+    reader: FrameReader,
+    writer: FrameWriter,
+    /// Client slot, set once `Hello` arrives.
+    slot: Option<u32>,
+    /// No more reads; draining queued writes before removal.
+    closing: bool,
+    /// Socket is unusable; remove without draining.
+    broken: bool,
+    /// The engine has been told this client left.
+    disconnected: bool,
+    /// Snapshot of the client's total send count at disconnect; the
+    /// connection lingers until the egress stream catches up to it.
+    final_send: Option<u64>,
+}
+
+impl Conn {
+    fn new(sock: TcpStream) -> Conn {
+        Conn {
+            sock,
+            reader: FrameReader::new(),
+            writer: FrameWriter::new(),
+            slot: None,
+            closing: false,
+            broken: false,
+            disconnected: false,
+            final_send: None,
+        }
+    }
+}
+
+struct WorkerState {
+    jobs: VecDeque<Step>,
+    shutdown: bool,
+}
+
+struct WorkerQueue {
+    state: Mutex<WorkerState>,
+    cv: Condvar,
+}
+
+impl WorkerQueue {
+    fn new() -> WorkerQueue {
+        WorkerQueue {
+            state: Mutex::new(WorkerState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct Done {
+    seq: u64,
+    line: Option<String>,
+    outs: Vec<OutFrame>,
+    payload_ok: bool,
+}
+
+fn worker_loop(
+    engine: Arc<ShardedEngine>,
+    queue: Arc<WorkerQueue>,
+    done: Arc<Mutex<VecDeque<Done>>>,
+) {
+    loop {
+        let step = {
+            let mut st = queue.state.lock().expect("worker queue poisoned");
+            loop {
+                if let Some(s) = st.jobs.pop_front() {
+                    break Some(s);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = queue.cv.wait(st).expect("worker queue poisoned");
+            }
+        };
+        let Some(step) = step else { return };
+        let r = engine.render(&step);
+        done.lock().expect("done queue poisoned").push_back(Done {
+            seq: step.seq,
+            line: r.line,
+            outs: r.outs,
+            payload_ok: r.payload_ok,
+        });
+    }
+}
+
+fn dispatch(queues: &[Arc<WorkerQueue>], shards: u32, jobs_in_flight: &mut usize, step: Step) {
+    *jobs_in_flight += 1;
+    let w = step.shard.map_or(shards as usize, |s| s as usize);
+    let mut st = queues[w].state.lock().expect("worker queue poisoned");
+    st.jobs.push_back(step);
+    queues[w].cv.notify_one();
+}
+
+/// Run the reactor page-server until interrupted (or, with `once`,
+/// until the last client leaves and every in-flight render drains).
+/// Returns the number of commits processed.
+pub fn serve_reactor(opts: &ServeOptions) -> io::Result<u64> {
+    let sys = SystemParams::table5();
+    let page_size = sys.page_size;
+    let shards = opts.engine_shards.max(1);
+    let engine = Arc::new(ShardedEngine::new(
+        opts.algorithm,
+        opts.tuning,
+        opts.clients,
+        opts.mpl,
+        opts.lock_shards,
+        shards,
+        page_size,
+        opts.trace.is_some(),
+        table5_database(),
+    ));
+    let mut trace = match &opts.trace {
+        Some(path) => {
+            let header = TraceHeader {
+                algorithm: opts.algorithm,
+                clients: opts.clients,
+                mpl: opts.mpl,
+                lock_shards: opts.lock_shards,
+                page_size,
+                engine_shards: Some(shards),
+            };
+            Some(TraceWriter::new(
+                BufWriter::new(File::create(path)?),
+                &header,
+                true,
+            )?)
+        }
+        None => None,
+    };
+
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    if let Some(pf) = &opts.port_file {
+        write_port_file(pf, addr.port())?;
+    }
+    println!("ccdb-server: {} on {addr}", opts.algorithm.label());
+    io::stdout().flush().ok();
+
+    // One render worker per shard plus one for wide messages.
+    let done: Arc<Mutex<VecDeque<Done>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let queues: Vec<Arc<WorkerQueue>> =
+        (0..=shards).map(|_| Arc::new(WorkerQueue::new())).collect();
+    let workers: Vec<_> = queues
+        .iter()
+        .map(|q| {
+            let engine = Arc::clone(&engine);
+            let q = Arc::clone(q);
+            let done = Arc::clone(&done);
+            thread::spawn(move || worker_loop(engine, q, done))
+        })
+        .collect();
+
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut slot_of: HashMap<u32, usize> = HashMap::new();
+    let mut next_send: Vec<u64> = vec![0; opts.clients as usize];
+    let mut pending_out: Vec<BTreeMap<u64, Vec<u8>>> =
+        (0..opts.clients).map(|_| BTreeMap::new()).collect();
+    let mut trace_buf: BTreeMap<u64, String> = BTreeMap::new();
+    let mut trace_next: u64 = 1;
+    let mut jobs_in_flight: usize = 0;
+    let mut payload_bad: u64 = 0;
+    let mut ever_connected = false;
+    let mut idle: u32 = 0;
+    let mut buf = [0u8; 16 * 1024];
+
+    let result: io::Result<()> = 'outer: loop {
+        let mut did_work = false;
+
+        // Accept.
+        loop {
+            match listener.accept() {
+                Ok((sock, _peer)) => {
+                    sock.set_nonblocking(true)?;
+                    sock.set_nodelay(true).ok();
+                    ever_connected = true;
+                    did_work = true;
+                    conns.push(Conn::new(sock));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break 'outer Err(e),
+            }
+        }
+
+        // Read and parse, unless backpressure says otherwise.
+        if jobs_in_flight < JOBS_CAP {
+            for (i, c) in conns.iter_mut().enumerate() {
+                if c.closing || c.broken || c.writer.pending() > WRITER_HIGH {
+                    continue;
+                }
+                let mut eof = false;
+                let mut protocol_err = false;
+                for _ in 0..READS_PER_SWEEP {
+                    match c.sock.read(&mut buf) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            c.reader.push(&buf[..n]);
+                            did_work = true;
+                            if n < buf.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            eof = true;
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    match c.reader.next_frame(page_size) {
+                        Ok(Some((frame, payload))) => {
+                            did_work = true;
+                            match (c.slot, frame) {
+                                (None, Frame::Hello { client }) => {
+                                    if client >= opts.clients || slot_of.contains_key(&client) {
+                                        protocol_err = true;
+                                        break;
+                                    }
+                                    c.slot = Some(client);
+                                    slot_of.insert(client, i);
+                                    // Queued straight into the writer, so the
+                                    // ack precedes any engine send (the first
+                                    // of which can only follow a later C2S).
+                                    let ack = encode_frame(
+                                        &Frame::HelloAck {
+                                            alg: opts.algorithm.label().to_string(),
+                                            page_size,
+                                        },
+                                        page_size,
+                                    );
+                                    c.writer.queue(&ack);
+                                }
+                                (None, _) => {
+                                    protocol_err = true;
+                                    break;
+                                }
+                                (Some(slot), Frame::C2S(msg)) => {
+                                    let step = engine.step(ClientId(slot), Some(msg), payload);
+                                    dispatch(&queues, shards, &mut jobs_in_flight, step);
+                                }
+                                (Some(_), Frame::Bye) => {
+                                    eof = true;
+                                    break;
+                                }
+                                (Some(_), _) => {
+                                    protocol_err = true;
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            protocol_err = true;
+                            break;
+                        }
+                    }
+                }
+                if eof || protocol_err {
+                    if let Some(slot) = c.slot {
+                        if !c.disconnected {
+                            c.disconnected = true;
+                            let step = engine.step(ClientId(slot), None, Vec::new());
+                            c.final_send = Some(step.sends_to_from);
+                            dispatch(&queues, shards, &mut jobs_in_flight, step);
+                        }
+                        c.closing = true;
+                    } else {
+                        c.broken = true;
+                    }
+                }
+            }
+        }
+
+        // Collect finished renders.
+        let batch = {
+            let mut dq = done.lock().expect("done queue poisoned");
+            std::mem::take(&mut *dq)
+        };
+        for d in batch {
+            jobs_in_flight -= 1;
+            did_work = true;
+            if !d.payload_ok {
+                payload_bad += 1;
+                eprintln!(
+                    "ccdb-server: commit payload image mismatch at seq {}",
+                    d.seq
+                );
+            }
+            if let Some(line) = d.line {
+                trace_buf.insert(d.seq, line);
+            }
+            for o in d.outs {
+                pending_out[o.to as usize].insert(o.send_seq, o.bytes);
+            }
+        }
+
+        // Release each client's contiguous egress prefix. Frames for
+        // departed (or never-connected) slots are discarded, but their
+        // sequence numbers still advance so drains terminate.
+        for slot in 0..opts.clients as usize {
+            while let Some(bytes) = pending_out[slot].remove(&next_send[slot]) {
+                next_send[slot] += 1;
+                did_work = true;
+                if let Some(&ci) = slot_of.get(&(slot as u32)) {
+                    let c = &mut conns[ci];
+                    if !c.closing && !c.broken {
+                        c.writer.queue(&bytes);
+                    }
+                }
+            }
+        }
+
+        // Trace lines drain in global decision order.
+        if let Some(tw) = trace.as_mut() {
+            while let Some(line) = trace_buf.remove(&trace_next) {
+                if let Err(e) = tw.record_line(&line) {
+                    break 'outer Err(e);
+                }
+                trace_next += 1;
+                did_work = true;
+            }
+        }
+
+        // Flush writers; a dead socket turns into a disconnect.
+        for c in conns.iter_mut() {
+            if c.broken || c.writer.pending() == 0 {
+                continue;
+            }
+            match c.writer.flush_to(&mut c.sock) {
+                Ok(n) => {
+                    if n > 0 {
+                        did_work = true;
+                    }
+                }
+                Err(_) => {
+                    c.broken = true;
+                    if let Some(slot) = c.slot {
+                        if !c.disconnected {
+                            c.disconnected = true;
+                            let step = engine.step(ClientId(slot), None, Vec::new());
+                            c.final_send = Some(step.sends_to_from);
+                            dispatch(&queues, shards, &mut jobs_in_flight, step);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Retire connections that are fully drained (or dead).
+        let mut removed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let c = &conns[i];
+            let drained = c.closing
+                && c.disconnected
+                && c.writer.pending() == 0
+                && c.final_send
+                    .zip(c.slot)
+                    .is_some_and(|(f, s)| next_send[s as usize] >= f);
+            let dead = c.broken && (c.disconnected || c.slot.is_none());
+            if drained || dead {
+                conns.swap_remove(i);
+                removed = true;
+                did_work = true;
+            } else {
+                i += 1;
+            }
+        }
+        if removed {
+            slot_of.clear();
+            for (i, c) in conns.iter().enumerate() {
+                if let Some(s) = c.slot {
+                    slot_of.insert(s, i);
+                }
+            }
+        }
+
+        if opts.once && ever_connected && conns.is_empty() && jobs_in_flight == 0 {
+            break Ok(());
+        }
+
+        // Adaptive idle backoff: yield first, then sleep up to ~2ms.
+        if did_work {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle < 4 {
+                thread::yield_now();
+            } else {
+                let us = 100u64 << (idle - 4).min(5);
+                thread::sleep(Duration::from_micros(us.min(2000)));
+            }
+        }
+    };
+
+    // Shut down render workers.
+    for q in &queues {
+        let mut st = q.state.lock().expect("worker queue poisoned");
+        st.shutdown = true;
+        q.cv.notify_all();
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    result?;
+
+    let (messages, commits, aborts) = engine.totals();
+    if let Some(tw) = &mut trace {
+        tw.finish(messages, commits, aborts)?;
+    }
+    if payload_bad > 0 {
+        eprintln!("ccdb-server: {payload_bad} commit payload image mismatches");
+    }
+    println!("ccdb-server: done — {messages} messages, {commits} commits, {aborts} aborts");
+    Ok(commits)
+}

@@ -1,11 +1,14 @@
-//! A threaded TCP page-server over the [`Engine`].
+//! Serve entry points, plus the legacy threaded TCP page-server.
 //!
-//! One listener, one thread per connection, and a single mutex around
-//! the engine + trace writer + connection registry. The mutex is the
-//! point: it pins a *total order* over all inbound messages, and the
-//! wire trace records exactly that order — which is what makes the
-//! recorded run replayable through a fresh engine with zero diffs even
-//! though the client sockets raced.
+//! [`serve`] dispatches to the nonblocking reactor
+//! ([`crate::reactor`]) by default; `ServeOptions::threaded` selects
+//! the original server kept here: one listener, one thread per
+//! connection, and a single mutex around the engine + trace writer +
+//! connection registry. The mutex pins a *total order* over all
+//! inbound messages, and the `ccdb.wire_trace/v1` trace records
+//! exactly that order — which is what makes the recorded run
+//! replayable through a fresh engine with zero diffs even though the
+//! client sockets raced.
 //!
 //! Session lifecycle: `Hello{client}` → `HelloAck{alg, page_size}` →
 //! any number of `C2S` frames → `Bye` (or EOF), which aborts the
@@ -24,10 +27,12 @@ use std::time::Duration;
 
 use ccdb_lock::ClientId;
 use ccdb_model::{table5_database, SystemParams};
-use ccdb_proto::{Algorithm, Tuning, C2S, S2C};
+use ccdb_proto::{Algorithm, Tuning, C2S};
+use ccdb_storage::PageStore;
 
-use crate::codec::{read_frame, write_frame, Frame};
+use crate::codec::{read_frame, read_frame_with_payload, write_frame, Frame};
 use crate::engine::{Effects, Engine};
+use crate::shard::{encode_send, verify_install_commit};
 use crate::trace::{TraceHeader, TraceWriter};
 
 /// Configuration for [`serve`].
@@ -50,7 +55,15 @@ pub struct ServeOptions {
     /// Exit once every connected client has disconnected.
     pub once: bool,
     /// Write the bound port (decimal, newline) here once listening.
+    /// Written atomically (temp file + rename), so a reader never sees
+    /// a partially written port.
     pub port_file: Option<PathBuf>,
+    /// Engine shards for the reactor server (min 1). Ignored by the
+    /// threaded server, which is inherently single-sharded.
+    pub engine_shards: u32,
+    /// Run the legacy threaded server (v1 traces) instead of the
+    /// default nonblocking reactor (v2 traces).
+    pub threaded: bool,
 }
 
 impl ServeOptions {
@@ -66,34 +79,76 @@ impl ServeOptions {
             trace: None,
             once: false,
             port_file: None,
+            engine_shards: 1,
+            threaded: false,
         }
     }
+}
+
+/// Atomically publish the bound port: write a temp file next to the
+/// target, then rename it into place. Readers polling for the file can
+/// never observe a partial write.
+pub(crate) fn write_port_file(path: &std::path::Path, port: u16) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let mut tmp = dir.map_or_else(PathBuf::new, |d| d.to_path_buf());
+    let name = path.file_name().unwrap_or_else(|| "port".as_ref());
+    tmp.push(format!(".{}.tmp-{port}", name.to_string_lossy()));
+    {
+        let mut f = File::create(&tmp)?;
+        writeln!(f, "{port}")?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 struct Inner {
     engine: Engine,
     trace: Option<TraceWriter<BufWriter<File>>>,
-    conns: HashMap<u32, mpsc::Sender<S2C>>,
+    conns: HashMap<u32, mpsc::Sender<Vec<u8>>>,
     seq: u64,
+    store: PageStore,
+    page_size: u32,
 }
 
 impl Inner {
     /// Process one inbound message (or a disconnect) under the lock:
-    /// advance the engine, record the trace line, route the sends.
-    fn step(&mut self, from: ClientId, msg: Option<C2S>) -> io::Result<()> {
+    /// advance the engine, verify/install commit images, record the
+    /// trace line, encode the sends with real page payloads, and route
+    /// the encoded frames.
+    fn step(&mut self, from: ClientId, msg: Option<C2S>, payload: &[u8]) -> io::Result<()> {
         self.seq += 1;
         let eff: Effects = match &msg {
             Some(m) => self.engine.apply(from, m.clone()),
             None => self.engine.disconnect(from),
         };
+        let store = &mut self.store;
+        let ps = self.page_size;
+        let payload_ok = verify_install_commit(
+            msg.as_ref(),
+            &eff,
+            payload,
+            ps,
+            &mut |page, version, img| {
+                store.install(page, version, img.into());
+            },
+        );
+        if !payload_ok {
+            eprintln!(
+                "ccdb-server: commit payload image mismatch at seq {}",
+                self.seq
+            );
+        }
         if let Some(trace) = &mut self.trace {
             trace.record(self.seq, from, msg.as_ref(), &eff)?;
         }
-        for (to, s2c) in eff.sends {
+        for (i, (to, s2c)) in eff.sends.iter().enumerate() {
+            let bytes = encode_send(s2c, eff.send_pages[i], ps, &mut |page, version| {
+                store.read(page, version, ps as usize)
+            });
             if let Some(tx) = self.conns.get(&to.0) {
                 // A send to a client that disconnected mid-flight is
                 // dropped, exactly as a real server would.
-                let _ = tx.send(s2c);
+                let _ = tx.send(bytes);
             }
         }
         Ok(())
@@ -102,7 +157,21 @@ impl Inner {
 
 /// Run the page-server until interrupted (or, with `once`, until the
 /// last client leaves). Returns the number of commits processed.
+///
+/// Dispatches to the nonblocking reactor (`ccdb.wire_trace/v2`, sharded
+/// engine) by default, or the legacy threaded server (`/v1`) when
+/// `opts.threaded` is set.
 pub fn serve(opts: &ServeOptions) -> io::Result<u64> {
+    if opts.threaded {
+        serve_threaded(opts)
+    } else {
+        crate::reactor::serve_reactor(opts)
+    }
+}
+
+/// The original one-thread-per-connection server. Kept as the v1
+/// baseline the shard smoke compares the reactor against.
+fn serve_threaded(opts: &ServeOptions) -> io::Result<u64> {
     let sys = SystemParams::table5();
     let page_size = sys.page_size;
     let engine = Engine::new(
@@ -122,6 +191,7 @@ pub fn serve(opts: &ServeOptions) -> io::Result<u64> {
                 mpl: opts.mpl,
                 lock_shards: opts.lock_shards,
                 page_size,
+                engine_shards: None,
             };
             Some(TraceWriter::new(
                 BufWriter::new(File::create(path)?),
@@ -134,8 +204,7 @@ pub fn serve(opts: &ServeOptions) -> io::Result<u64> {
     let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
     let addr = listener.local_addr()?;
     if let Some(pf) = &opts.port_file {
-        let mut f = File::create(pf)?;
-        writeln!(f, "{}", addr.port())?;
+        write_port_file(pf, addr.port())?;
     }
     println!("ccdb-server: {} on {addr}", opts.algorithm.label());
     io::stdout().flush().ok();
@@ -145,6 +214,8 @@ pub fn serve(opts: &ServeOptions) -> io::Result<u64> {
         trace,
         conns: HashMap::new(),
         seq: 0,
+        store: PageStore::new(),
+        page_size,
     }));
     let active = Arc::new(AtomicUsize::new(0));
     let ever_connected = Arc::new(AtomicBool::new(false));
@@ -218,9 +289,10 @@ fn handle_conn(
         page_size,
     )?;
 
-    // Outbound messages go through a channel so the engine lock is never
-    // held across a socket write.
-    let (tx, rx) = mpsc::channel::<S2C>();
+    // Outbound frames go through a channel so the engine lock is never
+    // held across a socket write; they arrive here already encoded
+    // (with their page-image payloads) by [`Inner::step`].
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
     inner
         .lock()
         .expect("server state poisoned")
@@ -228,8 +300,8 @@ fn handle_conn(
         .insert(client, tx);
     let writer = thread::spawn(move || {
         let mut w = BufWriter::new(&mut wsock);
-        for s2c in rx {
-            if write_frame(&mut w, &Frame::S2C(s2c), page_size).is_err() {
+        for bytes in rx {
+            if w.write_all(&bytes).is_err() {
                 break;
             }
             if w.flush().is_err() {
@@ -240,14 +312,14 @@ fn handle_conn(
 
     let from = ClientId(client);
     let result = loop {
-        match read_frame(&mut reader, page_size) {
-            Ok(Some(Frame::C2S(msg))) => {
+        match read_frame_with_payload(&mut reader, page_size) {
+            Ok(Some((Frame::C2S(msg), payload))) => {
                 let mut inner = inner.lock().expect("server state poisoned");
-                if let Err(e) = inner.step(from, Some(msg)) {
+                if let Err(e) = inner.step(from, Some(msg), &payload) {
                     break Err(e);
                 }
             }
-            Ok(Some(Frame::Bye)) | Ok(None) => break Ok(()),
+            Ok(Some((Frame::Bye, _))) | Ok(None) => break Ok(()),
             Ok(Some(_)) => {
                 break Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -260,7 +332,7 @@ fn handle_conn(
     // Orderly or not, the departure aborts the client's live work.
     {
         let mut inner = inner.lock().expect("server state poisoned");
-        inner.step(from, None)?;
+        inner.step(from, None, &[])?;
         inner.conns.remove(&client);
     }
     let _ = writer.join();

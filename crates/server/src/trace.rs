@@ -28,8 +28,14 @@ use ccdb_proto::{AbortKind, Algorithm, ReplyKind, Tuning, C2S, S2C};
 
 use crate::engine::{Effects, Engine};
 
-/// Schema tag written in the header line.
+/// Schema tag written in the header line (unsharded v1 traces).
 pub const SCHEMA: &str = "ccdb.wire_trace/v1";
+
+/// Schema tag for sharded traces: v1's line shape plus a per-line
+/// `shard` tag, a `corder` commit-order stamp, and `engine_shards` in
+/// the header. Replay additionally verifies dense sequence numbers,
+/// attributes diffs per shard, and checks the cross-shard commit order.
+pub const SCHEMA_V2: &str = "ccdb.wire_trace/v2";
 
 /// The run parameters a replay needs to rebuild the engine.
 #[derive(Clone, Debug)]
@@ -44,6 +50,12 @@ pub struct TraceHeader {
     pub lock_shards: u32,
     /// Page size (payload accounting).
     pub page_size: u32,
+    /// Engine shards of the recording server: `Some(n)` marks a v2
+    /// trace (reactor server), `None` a v1 trace (threaded server).
+    /// Replay always re-executes through the *serial* engine either
+    /// way — the sharded server's global sequence order is its
+    /// linearization, so the serial engine is the oracle for both.
+    pub engine_shards: Option<u32>,
 }
 
 fn page_str(p: PageId) -> String {
@@ -299,7 +311,7 @@ pub fn s2c_json(m: &S2C) -> Json {
     o
 }
 
-fn effects_json(eff: &Effects) -> (Json, Json) {
+pub(crate) fn effects_json(eff: &Effects) -> (Json, Json) {
     let decisions = Json::Arr(
         eff.decisions
             .iter()
@@ -320,25 +332,80 @@ fn effects_json(eff: &Effects) -> (Json, Json) {
     (decisions, sends)
 }
 
-/// Streams a `ccdb.wire_trace/v1` document, one line per message.
+/// Render one trace line. `shard` is `Some(k)` for a message handled on
+/// engine shard `k`, `None` for wide (cross-shard) messages — rendered
+/// as `"*"` — and omitted entirely from v1 lines (pass `v2 = false`).
+/// `corder` stamps the commit-order counter value of the line's first
+/// commit, when the line committed anything.
+pub(crate) fn line_json(
+    seq: u64,
+    v2: bool,
+    shard: Option<u32>,
+    corder: Option<u64>,
+    from: ClientId,
+    msg: Option<&C2S>,
+    eff: &Effects,
+) -> Json {
+    let mut o = Json::obj();
+    o.set("seq", seq);
+    if v2 {
+        match shard {
+            Some(k) => o.set("shard", k as u64),
+            None => o.set("shard", "*"),
+        };
+        if let Some(c) = corder {
+            o.set("corder", c);
+        }
+    }
+    o.set("from", from.0);
+    match msg {
+        Some(m) => o.set("c2s", c2s_json(m)),
+        None => {
+            let mut bye = Json::obj();
+            bye.set("t", "bye");
+            o.set("c2s", bye)
+        }
+    };
+    let (decisions, sends) = effects_json(eff);
+    o.set("decisions", decisions);
+    o.set("sends", sends);
+    o
+}
+
+/// Streams a `ccdb.wire_trace/v1` or `/v2` document, one line per
+/// message (v2 when the header carries `engine_shards`).
 pub struct TraceWriter<W: Write> {
     out: W,
+    v2: bool,
 }
 
 impl<W: Write> TraceWriter<W> {
     /// Write the header line.
     pub fn new(mut out: W, h: &TraceHeader, oracle: bool) -> io::Result<TraceWriter<W>> {
         let mut o = Json::obj();
-        o.set("schema", SCHEMA);
+        o.set(
+            "schema",
+            if h.engine_shards.is_some() {
+                SCHEMA_V2
+            } else {
+                SCHEMA
+            },
+        );
         o.set("alg", h.algorithm.label());
         o.set("clients", h.clients);
         o.set("mpl", h.mpl);
         o.set("lock_shards", h.lock_shards);
+        if let Some(n) = h.engine_shards {
+            o.set("engine_shards", n);
+        }
         o.set("oracle", oracle);
         o.set("db", "table5");
         o.set("page_size", h.page_size);
         writeln!(out, "{}", o.render())?;
-        Ok(TraceWriter { out })
+        Ok(TraceWriter {
+            out,
+            v2: h.engine_shards.is_some(),
+        })
     }
 
     /// Record one processed message with everything it produced.
@@ -350,21 +417,28 @@ impl<W: Write> TraceWriter<W> {
         msg: Option<&C2S>,
         eff: &Effects,
     ) -> io::Result<()> {
-        let mut o = Json::obj();
-        o.set("seq", seq);
-        o.set("from", from.0);
-        match msg {
-            Some(m) => o.set("c2s", c2s_json(m)),
-            None => {
-                let mut bye = Json::obj();
-                bye.set("t", "bye");
-                o.set("c2s", bye)
-            }
-        };
-        let (decisions, sends) = effects_json(eff);
-        o.set("decisions", decisions);
-        o.set("sends", sends);
+        self.record_tagged(seq, None, None, from, msg, eff)
+    }
+
+    /// [`TraceWriter::record`] with the v2 shard tag and commit-order
+    /// stamp (ignored when writing a v1 trace).
+    pub fn record_tagged(
+        &mut self,
+        seq: u64,
+        shard: Option<u32>,
+        corder: Option<u64>,
+        from: ClientId,
+        msg: Option<&C2S>,
+        eff: &Effects,
+    ) -> io::Result<()> {
+        let o = line_json(seq, self.v2, shard, corder, from, msg, eff);
         writeln!(self.out, "{}", o.render())
+    }
+
+    /// Write one pre-rendered trace line (the reactor's shard workers
+    /// render lines off-thread; its ordering buffer feeds them here).
+    pub(crate) fn record_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.out, "{line}")
     }
 
     /// Write the footer line and flush.
@@ -390,6 +464,11 @@ pub struct ReplayReport {
     pub aborts: u64,
     /// Human-readable decision/send mismatches, in trace order.
     pub diffs: Vec<String>,
+    /// v2 traces: diff count per shard tag (`"0"`, `"1"`, …, `"*"` for
+    /// wide messages). Every shard key from the header is present even
+    /// when its count is zero, so "zero decision diffs per shard" is an
+    /// explicit per-shard verdict rather than an absence of evidence.
+    pub shard_diffs: std::collections::BTreeMap<String, u64>,
 }
 
 impl ReplayReport {
@@ -400,10 +479,11 @@ impl ReplayReport {
 }
 
 fn parse_header(j: &Json) -> Result<TraceHeader, String> {
-    match j.get("schema").and_then(|v| v.as_str()) {
-        Some(s) if s == SCHEMA => {}
+    let v2 = match j.get("schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => false,
+        Some(s) if s == SCHEMA_V2 => true,
         other => return Err(format!("unsupported trace schema {other:?}")),
-    }
+    };
     let alg = j.get("alg").and_then(|v| v.as_str()).ok_or("missing alg")?;
     let algorithm: Algorithm = alg.parse().map_err(|e| format!("{e}"))?;
     let num = |k: &str| -> Result<u32, String> {
@@ -418,11 +498,31 @@ fn parse_header(j: &Json) -> Result<TraceHeader, String> {
         mpl: num("mpl")?,
         lock_shards: num("lock_shards")?,
         page_size: num("page_size")?,
+        engine_shards: if v2 {
+            Some(num("engine_shards")?)
+        } else {
+            None
+        },
     })
 }
 
 /// Replay a recorded trace through a fresh [`Engine`] (oracle armed) and
 /// diff every decision and send against the recording.
+///
+/// Both schemas re-execute through the *serial* engine: a v2 trace's
+/// global sequence numbers are the sharded server's linearization
+/// order, so merging the per-shard streams is just "walk the lines in
+/// `seq` order". On top of the v1 decision/send diffing, a v2 replay
+/// verifies the merge rule itself:
+///
+/// * sequence numbers are dense (`1, 2, 3, …` — nothing dropped or
+///   duplicated by the shard fan-out);
+/// * every single-page message's `shard` tag equals the page-hash shard
+///   recomputed from the header's `engine_shards` (wide messages carry
+///   `"*"`);
+/// * `corder` stamps are exactly `1, 2, 3, …` in seq order — the
+///   cross-shard commit order is consistent with the linearization;
+/// * diffs are attributed per shard in [`ReplayReport::shard_diffs`].
 pub fn replay<R: BufRead>(input: R) -> Result<ReplayReport, String> {
     let mut lines = input.lines();
     let header_line = lines
@@ -430,6 +530,7 @@ pub fn replay<R: BufRead>(input: R) -> Result<ReplayReport, String> {
         .ok_or("empty trace")?
         .map_err(|e| e.to_string())?;
     let header = parse_header(&Json::parse(&header_line)?)?;
+    let v2 = header.engine_shards.is_some();
     let mut engine = Engine::new(
         header.algorithm,
         Tuning::default(),
@@ -440,7 +541,14 @@ pub fn replay<R: BufRead>(input: R) -> Result<ReplayReport, String> {
         table5_database(),
     );
     let mut report = ReplayReport::default();
+    if let Some(n) = header.engine_shards {
+        for k in 0..n.max(1) {
+            report.shard_diffs.insert(k.to_string(), 0);
+        }
+        report.shard_diffs.insert("*".to_string(), 0);
+    }
     let mut saw_footer = false;
+    let mut corder_ctr = 0u64;
     for line in lines {
         let line = line.map_err(|e| e.to_string())?;
         if line.trim().is_empty() {
@@ -468,10 +576,49 @@ pub fn replay<R: BufRead>(input: R) -> Result<ReplayReport, String> {
                 .ok_or("missing from")? as u32,
         );
         let c2s = j.get("c2s").ok_or("missing c2s")?;
-        let eff = if c2s.get("t").and_then(|v| v.as_str()) == Some("bye") {
-            engine.disconnect(from)
+        let mut line_diffs: u64 = 0;
+        if v2 && seq != report.messages + 1 {
+            report.diffs.push(format!(
+                "seq {seq}: sequence not dense (expected {})",
+                report.messages + 1
+            ));
+            line_diffs += 1;
+        }
+        let shard_key = if v2 {
+            match j.get("shard") {
+                Some(Json::Str(s)) if s == "*" => "*".to_string(),
+                Some(v) => v
+                    .as_u64()
+                    .map(|k| k.to_string())
+                    .ok_or(format!("seq {seq}: bad shard tag"))?,
+                None => return Err(format!("seq {seq}: missing shard tag")),
+            }
         } else {
-            engine.apply(from, c2s_from_json(c2s)?)
+            String::new()
+        };
+        let msg = if c2s.get("t").and_then(|v| v.as_str()) == Some("bye") {
+            None
+        } else {
+            Some(c2s_from_json(c2s)?)
+        };
+        if v2 {
+            // The merge rule: recompute the shard assignment from the
+            // message itself and the header's shard count.
+            let expect =
+                match crate::shard::shard_of_msg(msg.as_ref(), header.engine_shards.unwrap_or(1)) {
+                    Some(k) => k.to_string(),
+                    None => "*".to_string(),
+                };
+            if expect != shard_key {
+                report.diffs.push(format!(
+                    "seq {seq}: shard tag {shard_key:?} but page-hash places it on {expect:?}"
+                ));
+                line_diffs += 1;
+            }
+        }
+        let eff = match msg {
+            None => engine.disconnect(from),
+            Some(m) => engine.apply(from, m),
         };
         report.messages += 1;
         let (decisions, sends) = effects_json(&eff);
@@ -483,6 +630,7 @@ pub fn replay<R: BufRead>(input: R) -> Result<ReplayReport, String> {
                 recorded_decisions.render(),
                 decisions.render()
             ));
+            line_diffs += 1;
         }
         if recorded_sends.render() != sends.render() {
             report.diffs.push(format!(
@@ -490,6 +638,43 @@ pub fn replay<R: BufRead>(input: R) -> Result<ReplayReport, String> {
                 recorded_sends.render(),
                 sends.render()
             ));
+            line_diffs += 1;
+        }
+        if v2 {
+            let committed = eff
+                .decisions
+                .iter()
+                .filter(|d| matches!(d, crate::engine::Decision::Committed { .. }))
+                .count() as u64;
+            let recorded_corder = j.get("corder").and_then(|v| v.as_u64());
+            match (committed > 0, recorded_corder) {
+                (true, Some(c)) => {
+                    if c != corder_ctr + 1 {
+                        report.diffs.push(format!(
+                            "seq {seq}: corder {c} but {} commits seen before this line",
+                            corder_ctr
+                        ));
+                        line_diffs += 1;
+                    }
+                    corder_ctr += committed;
+                }
+                (true, None) => {
+                    report.diffs.push(format!(
+                        "seq {seq}: line commits but carries no corder stamp"
+                    ));
+                    line_diffs += 1;
+                }
+                (false, Some(c)) => {
+                    report.diffs.push(format!(
+                        "seq {seq}: corder {c} on a line that commits nothing"
+                    ));
+                    line_diffs += 1;
+                }
+                (false, None) => {}
+            }
+            if line_diffs > 0 {
+                *report.shard_diffs.entry(shard_key).or_insert(0) += line_diffs;
+            }
         }
     }
     if !saw_footer {
@@ -514,6 +699,7 @@ mod tests {
             mpl: 50,
             lock_shards: 1,
             page_size: 256,
+            engine_shards: None,
         };
         let mut buf = Vec::new();
         let mut w = TraceWriter::new(&mut buf, &header, true).unwrap();

@@ -1,0 +1,188 @@
+//! Deterministic page images for the real page-server.
+//!
+//! The DES models page contents as pure byte *counts* (`payload_bytes`);
+//! the real TCP server ships actual bytes. This module defines the one
+//! canonical image of "page `p` at version `v`": a fixed header (magic,
+//! class, atom, version — all little-endian) followed by a SplitMix64
+//! keystream seeded from the same triple. The image is a pure function
+//! of `(page, version, page_size)`, which buys two properties the
+//! sharded server leans on:
+//!
+//! * **End-to-end verifiability.** The load driver can recompute the
+//!   expected image for every `PageData` reply and `Update` notification
+//!   it receives and compare byte-for-byte — corruption anywhere on the
+//!   socket path (codec, reactor buffers, shard handoff) is caught by
+//!   content, not just by length.
+//! * **Race-free sharding.** A shard worker that misses the materialized
+//!   copy in its [`PageStore`] can synthesize the image from scratch and
+//!   get the exact same bytes, so the store is a pure cache: stale or
+//!   missing entries can never change what goes on the wire.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ccdb_model::PageId;
+
+/// Magic prefix of every page image (`b"CCPG"`).
+pub const IMAGE_MAGIC: [u8; 4] = *b"CCPG";
+
+/// Bytes of image header: magic (4) + class (2) + atom (4) + version (8).
+pub const IMAGE_HEADER: usize = 18;
+
+/// SplitMix64 step — the same finalizer the lock table's page hash uses,
+/// here run as a keystream generator for the image body.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The canonical image of `page` at `version`, exactly `page_size` bytes.
+///
+/// Header (little-endian): `b"CCPG"`, class `u16`, atom `u32`, version
+/// `u64`; body: SplitMix64 keystream seeded from the same triple. For
+/// degenerate `page_size < 18` the header is truncated (the simulator
+/// never configures pages that small, but the function stays total).
+pub fn page_image(page: PageId, version: u64, page_size: usize) -> Vec<u8> {
+    let mut img = Vec::with_capacity(page_size.max(IMAGE_HEADER));
+    img.extend_from_slice(&IMAGE_MAGIC);
+    img.extend_from_slice(&page.class.0.to_le_bytes());
+    img.extend_from_slice(&page.atom.to_le_bytes());
+    img.extend_from_slice(&version.to_le_bytes());
+    let mut state = ((page.class.0 as u64) << 48)
+        ^ ((page.atom as u64) << 16)
+        ^ version.rotate_left(7)
+        ^ 0xC0FF_EE00_D15C_0CCD;
+    while img.len() < page_size {
+        let word = splitmix64(&mut state).to_le_bytes();
+        let take = word.len().min(page_size - img.len());
+        img.extend_from_slice(&word[..take]);
+    }
+    img.truncate(page_size);
+    img
+}
+
+/// Check that `bytes` is exactly the canonical image of `page` at
+/// `version` (including length).
+pub fn verify_page_image(page: PageId, version: u64, bytes: &[u8]) -> bool {
+    bytes == page_image(page, version, bytes.len()).as_slice()
+        && !bytes.is_empty()
+        && bytes.len() >= IMAGE_HEADER
+}
+
+/// A versioned store of materialized page images.
+///
+/// The real server keeps one `PageStore` per engine shard (pages are
+/// partitioned by the repo-wide page→shard hash), guarded by a per-shard
+/// mutex so payload work on independent pages never serializes. Because
+/// images are a pure function of `(page, version)`, the store is purely
+/// an optimization: [`PageStore::read`] falls back to synthesizing the
+/// image when the materialized copy is missing or at the wrong version.
+#[derive(Debug, Default)]
+pub struct PageStore {
+    pages: HashMap<PageId, (u64, Arc<[u8]>)>,
+}
+
+impl PageStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        PageStore::default()
+    }
+
+    /// Install `bytes` as the image of `page` at `version`. Keeps the
+    /// highest version on a race (installs may arrive out of order when
+    /// commits on different shards interleave).
+    pub fn install(&mut self, page: PageId, version: u64, bytes: Arc<[u8]>) {
+        match self.pages.get(&page) {
+            Some((v, _)) if *v >= version => {}
+            _ => {
+                self.pages.insert(page, (version, bytes));
+            }
+        }
+    }
+
+    /// The image of `page` at exactly `version`, materializing (and
+    /// caching) it if the stored copy is missing or at another version.
+    pub fn read(&mut self, page: PageId, version: u64, page_size: usize) -> Arc<[u8]> {
+        match self.pages.get(&page) {
+            Some((v, bytes)) if *v == version && bytes.len() == page_size => Arc::clone(bytes),
+            _ => {
+                let img: Arc<[u8]> = page_image(page, version, page_size).into();
+                self.install(page, version, Arc::clone(&img));
+                img
+            }
+        }
+    }
+
+    /// Number of materialized pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if nothing is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_model::ClassId;
+
+    fn page(class: u16, atom: u32) -> PageId {
+        PageId {
+            class: ClassId(class),
+            atom,
+        }
+    }
+
+    #[test]
+    fn image_is_deterministic_and_sized() {
+        let a = page_image(page(3, 17), 42, 4096);
+        let b = page_image(page(3, 17), 42, 4096);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4096);
+        assert_eq!(&a[..4], b"CCPG");
+        assert!(verify_page_image(page(3, 17), 42, &a));
+    }
+
+    #[test]
+    fn image_varies_by_page_and_version() {
+        let base = page_image(page(1, 1), 1, 256);
+        assert_ne!(base, page_image(page(1, 2), 1, 256), "atom must matter");
+        assert_ne!(base, page_image(page(2, 1), 1, 256), "class must matter");
+        assert_ne!(base, page_image(page(1, 1), 2, 256), "version must matter");
+        assert!(!verify_page_image(page(1, 1), 2, &base));
+        assert!(!verify_page_image(page(1, 2), 1, &base));
+    }
+
+    #[test]
+    fn tiny_images_stay_total() {
+        assert_eq!(page_image(page(0, 0), 0, 0).len(), 0);
+        assert_eq!(page_image(page(0, 0), 0, 7).len(), 7);
+        // Too short to carry the header: never verifies.
+        assert!(!verify_page_image(
+            page(0, 0),
+            0,
+            &page_image(page(0, 0), 0, 7)
+        ));
+    }
+
+    #[test]
+    fn store_keeps_highest_version_and_synthesizes_misses() {
+        let mut store = PageStore::new();
+        let p = page(5, 9);
+        let v3: Arc<[u8]> = page_image(p, 3, 128).into();
+        let v2: Arc<[u8]> = page_image(p, 2, 128).into();
+        store.install(p, 3, Arc::clone(&v3));
+        store.install(p, 2, v2); // late arrival, must not regress
+        assert_eq!(store.read(p, 3, 128)[..], v3[..]);
+        // Reading another version synthesizes the right bytes anyway.
+        let got = store.read(p, 7, 128);
+        assert!(verify_page_image(p, 7, &got));
+        assert_eq!(store.len(), 1);
+    }
+}

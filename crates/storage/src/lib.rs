@@ -11,12 +11,15 @@
 //! * [`cache`] — the client cache manager (LRU with pinned/locked pages and
 //!   the per-page state the consistency algorithms need).
 //! * [`log`] — the log manager (commit force, abort undo charging).
+//! * [`image`] — deterministic page images and the versioned [`PageStore`]
+//!   the real TCP server ships instead of filler payloads.
 
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod cache;
 pub mod disk;
+pub mod image;
 pub mod log;
 pub mod lru;
 pub mod sched_disk;
@@ -24,6 +27,7 @@ pub mod sched_disk;
 pub use buffer::{BufferManager, BufferStats, Eviction};
 pub use cache::{CacheEviction, CacheStats, CachedPage, ClientCache, PageLock};
 pub use disk::{Disk, DiskArray};
+pub use image::{page_image, verify_page_image, PageStore, IMAGE_HEADER, IMAGE_MAGIC};
 pub use log::{LogManager, LogStats};
 pub use lru::LruCore;
 pub use sched_disk::{SchedPolicy, ScheduledDisk};

@@ -8,19 +8,19 @@ echo "== rustfmt =="
 cargo fmt --all -- --check
 
 echo "== clippy (all targets) =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --locked --workspace --all-targets -- -D warnings
 
 echo "== tests =="
-cargo test --workspace
+cargo test --locked --workspace
 
 echo "== rustdoc =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+RUSTDOCFLAGS="-D warnings" cargo doc --locked --workspace --no-deps
 
 echo "== examples (release) =="
-cargo build --release --examples
+cargo build --locked --release --examples
 
 echo "== bench smoke (CCDB_QUICK) =="
-CCDB_QUICK=1 cargo bench -p ccdb-bench --bench table4_acl >/dev/null
-CCDB_QUICK=1 cargo bench -p ccdb-bench --bench fig13_regions >/dev/null
+CCDB_QUICK=1 cargo bench --locked -p ccdb-bench --bench table4_acl >/dev/null
+CCDB_QUICK=1 cargo bench --locked -p ccdb-bench --bench fig13_regions >/dev/null
 
 echo "all checks passed"

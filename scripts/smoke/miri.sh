@@ -30,7 +30,7 @@ fi
 # Unit tests only: the property tests multiply Miri's interpreter
 # overhead past any useful smoke budget. Isolation stays on; the kernel
 # touches no ambient host state.
-if ! cargo +nightly miri test -p ccdb-des --lib; then
+if ! cargo +nightly miri test --locked -p ccdb-des --lib; then
   echo "miri smoke FAILED: Miri is installed and the run found real failures" >&2
   exit 1
 fi

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Shard smoke: the sharded reactor and the legacy threaded server are
+# behaviourally interchangeable. For every algorithm variant, run the
+# same contended workload against a 4-shard reactor and the 1-shard
+# threaded baseline: both must hit the full commit quota and replay
+# with zero decision diffs (the reactor's v2 trace additionally checks
+# per-shard order and the cross-shard commit order). A deterministic
+# single-client leg then requires commit AND abort counts to match
+# exactly between the two servers.
+set -eu
+
+CCDB=${CCDB:-target/release/ccdb}
+CCDB=$(cd "$(dirname "$CCDB")" && pwd)/$(basename "$CCDB")
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+cd "$tmp"
+
+# Start one server leg, run the load, wait for --once exit, replay.
+# Args: alg, extra-serve-flags, clients, txns. Leaves the summary line
+# of the load in load.log and the replay verdict in replay.log.
+run_leg() {
+  alg=$1; flags=$2; clients=$3; txns=$4
+  rm -f port trace.jsonl
+  # shellcheck disable=SC2086
+  "$CCDB" serve --alg "$alg" --clients "$clients" --port 0 --port-file port \
+    --trace trace.jsonl --once $flags > server.log 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 200); do
+    [ -s port ] && break
+    sleep 0.05
+  done
+  [ -s port ] || { echo "FAIL($alg$flags): server never published its port"; cat server.log; exit 1; }
+  "$CCDB" load --addr "127.0.0.1:$(cat port)" --clients "$clients" --txns "$txns" --seed 11 \
+    > load.log
+  wait "$server_pid"
+  server_pid=""
+  "$CCDB" replay trace.jsonl > replay.log
+}
+
+for alg in B2PL C2PL OCC COCC CB NW NWN; do
+  # Leg 1: the sharded reactor under contention (4 clients, shared pages).
+  run_leg "$alg" "--shards 4" 4 8
+  grep -q "32 commits" load.log || { echo "FAIL($alg reactor): wrong commit count"; cat load.log; exit 1; }
+  grep -q "0 decision diffs" replay.log \
+    || { echo "FAIL($alg reactor): replay diverged"; cat replay.log; exit 1; }
+  grep -q 'shard diffs \*:0' replay.log \
+    || { echo "FAIL($alg reactor): missing per-shard verdict"; cat replay.log; exit 1; }
+  reactor_commits=$(grep -o '[0-9]* commits' replay.log | head -1)
+
+  # Leg 2: the same workload on the 1-shard threaded baseline.
+  run_leg "$alg" "--threaded" 4 8
+  grep -q "32 commits" load.log || { echo "FAIL($alg threaded): wrong commit count"; cat load.log; exit 1; }
+  grep -q "0 decision diffs" replay.log \
+    || { echo "FAIL($alg threaded): replay diverged"; cat replay.log; exit 1; }
+  threaded_commits=$(grep -o '[0-9]* commits' replay.log | head -1)
+
+  [ "$reactor_commits" = "$threaded_commits" ] \
+    || { echo "FAIL($alg): commit totals diverged (reactor $reactor_commits vs threaded $threaded_commits)"; exit 1; }
+  echo "  $alg: reactor(4 shards) == threaded ($reactor_commits)"
+done
+
+# Deterministic leg: one client's message order is fixed, so both servers
+# must record identical commit AND abort totals, not just the quota.
+for flags in "--shards 4" "--threaded"; do
+  run_leg CB "$flags" 1 12
+  grep -q "0 decision diffs" replay.log || { echo "FAIL(det$flags): replay diverged"; cat replay.log; exit 1; }
+  grep -o '[0-9]* commits, [0-9]* aborts' replay.log | head -1
+done > det.txt
+[ "$(sed -n 1p det.txt)" = "$(sed -n 2p det.txt)" ] \
+  || { echo "FAIL: deterministic run diverged between servers:"; cat det.txt; exit 1; }
+echo "  deterministic CB leg: $(sed -n 1p det.txt) on both servers"
+
+echo "server shard smoke OK"

@@ -15,7 +15,8 @@
 //! ccdb trace   [--chrome out.json] [options]   # protocol transcript
 //! ccdb bench   [--quick] [--out FILE] [--label NAME] [--check BASELINE]
 //! ccdb serve   --alg CB [--port 0] [--clients N] [--mpl N] [--trace FILE]
-//!              [--once] [--port-file FILE]     # real TCP page-server
+//!              [--once] [--port-file FILE] [--shards N] [--threaded]
+//!              # real TCP page-server (reactor by default)
 //! ccdb load    --addr HOST:PORT [--clients N] [--txns N] [--seed N]
 //! ccdb replay  trace.jsonl   # diff a recorded run against the sans-io core
 //! ccdb list                                               # algorithms
@@ -116,6 +117,8 @@ struct Options {
     mpl: Option<u32>,
     once: bool,
     wire_trace: Option<String>,
+    engine_shards: Option<u32>,
+    threaded: bool,
 }
 
 impl Default for Options {
@@ -159,6 +162,8 @@ impl Default for Options {
             mpl: None,
             once: false,
             wire_trace: None,
+            engine_shards: None,
+            threaded: false,
         }
     }
 }
@@ -253,6 +258,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--once" => {
                 o.once = true;
+                i += 1;
+                continue;
+            }
+            "--threaded" => {
+                o.threaded = true;
                 i += 1;
                 continue;
             }
@@ -364,6 +374,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.mpl = Some(n);
             }
             "--trace" => o.wire_trace = Some(val.clone()),
+            "--shards" => {
+                let n: u32 = val.parse().map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be positive".to_string());
+                }
+                o.engine_shards = Some(n);
+            }
             other => return Err(format!("unknown option {other}")),
         }
         i += 2;
@@ -696,7 +713,7 @@ fn usage() {
          [--checkpoint FILE|DIR] [--resume FILE] [--fsync-every N] [--quick] \
          [--label NAME] [--check BASELINE]\n       \
          ccdb serve --alg A [--port N] [--clients N] [--mpl N] [--lock-shards N] \
-         [--trace FILE] [--once] [--port-file FILE]\n       \
+         [--trace FILE] [--once] [--port-file FILE] [--shards N] [--threaded]\n       \
          ccdb load --addr HOST:PORT [--clients N] [--txns N] [--seed N]\n       \
          ccdb replay trace.jsonl         # diff a live run against the sans-io core\n       \
          ccdb merge A.jsonl B.jsonl ..   # rebuild one sweep document from shard streams"
@@ -1044,7 +1061,10 @@ fn cmd_figures(opts: &Options) -> ExitCode {
 }
 
 /// `ccdb serve`: a real TCP page-server speaking the simulator's wire
-/// protocol, recording a replayable `ccdb.wire_trace/v1` with `--trace`.
+/// protocol. The default nonblocking reactor shards its engine with
+/// `--shards N` and records a replayable `ccdb.wire_trace/v2` with
+/// `--trace`; `--threaded` runs the legacy thread-per-connection
+/// server (v1 traces).
 fn cmd_serve(opts: &Options) -> ExitCode {
     let clients = match opts.one_clients() {
         Ok(c) => c,
@@ -1062,6 +1082,10 @@ fn cmd_serve(opts: &Options) -> ExitCode {
     if let Some(shards) = opts.lock_shards {
         so.lock_shards = shards;
     }
+    if let Some(shards) = opts.engine_shards {
+        so.engine_shards = shards;
+    }
+    so.threaded = opts.threaded;
     match serve(&so) {
         Ok(_commits) => ExitCode::SUCCESS,
         Err(e) => fail(e),
@@ -1087,8 +1111,14 @@ fn cmd_load(opts: &Options) -> ExitCode {
     match load(&lo) {
         Ok(summary) => {
             println!(
-                "ccdb-load: {} — {} clients x {} txns: {} commits, {} aborted attempts",
-                summary.alg, clients, opts.txns, summary.commits, summary.aborts
+                "ccdb-load: {} — {} clients x {} txns: {} commits, {} aborted attempts, \
+                 {} page images verified",
+                summary.alg,
+                clients,
+                opts.txns,
+                summary.commits,
+                summary.aborts,
+                summary.pages_verified
             );
             ExitCode::SUCCESS
         }
@@ -1109,10 +1139,21 @@ fn cmd_replay(files: &[String]) -> ExitCode {
     };
     match replay(std::io::BufReader::new(file)) {
         Ok(report) => {
+            // v2 traces get a per-shard verdict line ("*" = wide lane).
+            let shard_summary = if report.shard_diffs.is_empty() {
+                String::new()
+            } else {
+                let per: Vec<String> = report
+                    .shard_diffs
+                    .iter()
+                    .map(|(k, v)| format!("{k}:{v}"))
+                    .collect();
+                format!(" [shard diffs {}]", per.join(" "))
+            };
             if report.ok() {
                 println!(
-                    "ccdb-replay: OK — {} messages, {} commits, {} aborts, 0 decision diffs",
-                    report.messages, report.commits, report.aborts
+                    "ccdb-replay: OK — {} messages, {} commits, {} aborts, 0 decision diffs{}",
+                    report.messages, report.commits, report.aborts, shard_summary
                 );
                 ExitCode::SUCCESS
             } else {
@@ -1120,9 +1161,10 @@ fn cmd_replay(files: &[String]) -> ExitCode {
                     eprintln!("DIFF {d}");
                 }
                 eprintln!(
-                    "ccdb-replay: FAILED — {} divergences over {} messages",
+                    "ccdb-replay: FAILED — {} divergences over {} messages{}",
                     report.diffs.len(),
-                    report.messages
+                    report.messages,
+                    shard_summary
                 );
                 ExitCode::FAILURE
             }

@@ -4,6 +4,12 @@
 //! through a fresh sans-io engine and require *zero* protocol-decision
 //! diffs — the live server must have done exactly what the
 //! simulator-validated core would do, message for message.
+//!
+//! Every algorithm runs against the nonblocking reactor with both 1 and
+//! 4 engine shards (v2 traces, checked per shard), and a threaded-server
+//! baseline keeps the v1 path honest. The load driver verifies every
+//! shipped page image byte-for-byte, so these rounds also prove real
+//! payloads round-trip.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -12,10 +18,15 @@ use std::thread;
 use ccdb::server::{load, replay, serve, LoadOptions, ServeOptions};
 use ccdb::Algorithm;
 
-/// One live round for a single algorithm; returns (commits, messages...)
-/// implicitly by asserting the replay report is clean.
-fn round_trip(alg: Algorithm, clients: u32, txns: u32) {
-    let dir = std::env::temp_dir().join(format!("ccdb-e2e-{}-{}", alg.name(), std::process::id()));
+/// One live round; asserts the run commits its quota, verified real
+/// page payloads, and replays with zero decision diffs on every shard.
+fn round_trip_on(alg: Algorithm, clients: u32, txns: u32, engine_shards: u32, threaded: bool) {
+    let dir = std::env::temp_dir().join(format!(
+        "ccdb-e2e-{}-s{engine_shards}-t{}-{}",
+        alg.name(),
+        u8::from(threaded),
+        std::process::id()
+    ));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     let trace_path = dir.join("trace.jsonl");
     let port_file = dir.join("port");
@@ -26,6 +37,8 @@ fn round_trip(alg: Algorithm, clients: u32, txns: u32) {
     sopts.once = true;
     sopts.trace = Some(trace_path.clone());
     sopts.port_file = Some(port_file.clone());
+    sopts.engine_shards = engine_shards;
+    sopts.threaded = threaded;
     let server = thread::spawn(move || serve(&sopts));
 
     // Wait for the server to publish its ephemeral port.
@@ -60,6 +73,10 @@ fn round_trip(alg: Algorithm, clients: u32, txns: u32) {
         clients as u64 * txns as u64,
         "every client must commit its quota"
     );
+    assert!(
+        summary.pages_verified > 0,
+        "the run must have verified real page payloads"
+    );
 
     let commits = server
         .join()
@@ -77,46 +94,63 @@ fn round_trip(alg: Algorithm, clients: u32, txns: u32) {
     .expect("trace unreadable");
     assert!(
         report.ok(),
-        "replay diverged for {}:\n{}",
+        "replay diverged for {} ({engine_shards} shards):\n{}",
         alg.label(),
         report.diffs.join("\n")
     );
     assert_eq!(report.commits, commits, "replayed commit count diverges");
+    if !threaded {
+        assert_eq!(
+            report.shard_diffs.len(),
+            engine_shards as usize + 1,
+            "v2 replay reports one verdict per shard plus the wide lane"
+        );
+    }
+    for (shard, diffs) in &report.shard_diffs {
+        assert_eq!(*diffs, 0, "shard {shard} saw decision diffs");
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }
 
-#[test]
-fn live_server_replays_clean_b2pl() {
-    round_trip(Algorithm::TwoPhase { inter: false }, 3, 6);
+macro_rules! reactor_rounds {
+    ($($name1:ident, $name4:ident: $alg:expr;)+) => {
+        $(
+            #[test]
+            fn $name1() {
+                round_trip_on($alg, 3, 6, 1, false);
+            }
+            #[test]
+            fn $name4() {
+                round_trip_on($alg, 3, 6, 4, false);
+            }
+        )+
+    };
+}
+
+reactor_rounds! {
+    reactor_replays_clean_b2pl_shard1, reactor_replays_clean_b2pl_shard4:
+        Algorithm::TwoPhase { inter: false };
+    reactor_replays_clean_c2pl_shard1, reactor_replays_clean_c2pl_shard4:
+        Algorithm::TwoPhase { inter: true };
+    reactor_replays_clean_occ_shard1, reactor_replays_clean_occ_shard4:
+        Algorithm::Certification { inter: false };
+    reactor_replays_clean_cocc_shard1, reactor_replays_clean_cocc_shard4:
+        Algorithm::Certification { inter: true };
+    reactor_replays_clean_cb_shard1, reactor_replays_clean_cb_shard4:
+        Algorithm::Callback;
+    reactor_replays_clean_nw_shard1, reactor_replays_clean_nw_shard4:
+        Algorithm::NoWait { notify: false };
+    reactor_replays_clean_nwn_shard1, reactor_replays_clean_nwn_shard4:
+        Algorithm::NoWait { notify: true };
 }
 
 #[test]
-fn live_server_replays_clean_c2pl() {
-    round_trip(Algorithm::TwoPhase { inter: true }, 3, 6);
+fn threaded_server_replays_clean_b2pl() {
+    round_trip_on(Algorithm::TwoPhase { inter: false }, 3, 6, 1, true);
 }
 
 #[test]
-fn live_server_replays_clean_occ() {
-    round_trip(Algorithm::Certification { inter: false }, 3, 6);
-}
-
-#[test]
-fn live_server_replays_clean_cocc() {
-    round_trip(Algorithm::Certification { inter: true }, 3, 6);
-}
-
-#[test]
-fn live_server_replays_clean_cb() {
-    round_trip(Algorithm::Callback, 3, 6);
-}
-
-#[test]
-fn live_server_replays_clean_nw() {
-    round_trip(Algorithm::NoWait { notify: false }, 3, 6);
-}
-
-#[test]
-fn live_server_replays_clean_nwn() {
-    round_trip(Algorithm::NoWait { notify: true }, 3, 6);
+fn threaded_server_replays_clean_cb() {
+    round_trip_on(Algorithm::Callback, 3, 6, 1, true);
 }

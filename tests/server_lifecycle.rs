@@ -1,0 +1,159 @@
+//! Lifecycle regressions for the page-server: atomic port-file
+//! publication, clean `--once` shutdown that drains in-flight writer
+//! buffers, and end-to-end tolerance of byte-at-a-time clients.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use ccdb::server::{
+    encode_frame, load, read_frame_with_payload, serve, Frame, LoadOptions, ServeOptions,
+};
+use ccdb::Algorithm;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccdb-life-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn await_port(port_file: &std::path::Path) -> u16 {
+    let mut tries = 0;
+    loop {
+        // The port file is renamed into place, so any read that finds
+        // the file must find a complete port — parse failures are the
+        // regression this guards against.
+        if let Ok(s) = std::fs::read_to_string(port_file) {
+            return s
+                .trim()
+                .parse()
+                .expect("port file must never be partially written");
+        }
+        tries += 1;
+        assert!(tries < 1_000, "server never published its port");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The port file appears atomically (rename, not create+write) and the
+/// temp file it was staged through is gone once it's readable.
+#[test]
+fn port_file_publishes_atomically() {
+    for threaded in [false, true] {
+        let dir = temp_dir(&format!("port-{threaded}"));
+        let port_file = dir.join("port");
+        let mut sopts = ServeOptions::new(Algorithm::Callback);
+        sopts.clients = 1;
+        sopts.once = true;
+        sopts.port_file = Some(port_file.clone());
+        sopts.threaded = threaded;
+        let server = thread::spawn(move || serve(&sopts));
+
+        let port = await_port(&port_file);
+        assert!(port > 0);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read temp dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "port")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "staging files must not outlive the rename: {leftovers:?}"
+        );
+
+        load(&LoadOptions {
+            addr: format!("127.0.0.1:{port}"),
+            clients: 1,
+            txns: 1,
+            seed: 3,
+        })
+        .expect("load run failed");
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("serve failed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A client that feeds the reactor one byte at a time still gets a
+/// complete handshake and page ship, and `--once` exits only after the
+/// in-flight reply has fully drained to the socket.
+#[test]
+fn reactor_survives_byte_dribble_and_drains_on_once() {
+    let dir = temp_dir("dribble");
+    let port_file = dir.join("port");
+    let mut sopts = ServeOptions::new(Algorithm::TwoPhase { inter: false });
+    sopts.clients = 1;
+    sopts.once = true;
+    sopts.engine_shards = 4;
+    sopts.port_file = Some(port_file.clone());
+    let server = thread::spawn(move || serve(&sopts));
+    let port = await_port(&port_file);
+
+    let mut sock = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    sock.set_nodelay(true).ok();
+
+    // Hello, dribbled one byte at a time (page_size 0: no payload yet).
+    for b in encode_frame(&Frame::Hello { client: 0 }, 0) {
+        sock.write_all(&[b]).expect("dribble hello");
+        sock.flush().ok();
+    }
+    let mut reader = sock.try_clone().expect("clone sock");
+    let (ack, _) = read_frame_with_payload(&mut reader, 0)
+        .expect("read HelloAck")
+        .expect("server closed early");
+    let page_size = match ack {
+        Frame::HelloAck { page_size, .. } => page_size,
+        other => panic!("expected HelloAck, got {other:?}"),
+    };
+
+    // A LockFetch whose reply ships a real page image; dribbled too.
+    let fetch = encode_frame(
+        &Frame::C2S(ccdb::proto::C2S::LockFetch {
+            txn: ccdb::lock::TxnId(1),
+            page: ccdb::model::PageId {
+                class: ccdb::model::ClassId(0),
+                atom: 5,
+            },
+            mode: ccdb::lock::Mode::S,
+            cached_version: None,
+            wait: true,
+            op: 1,
+        }),
+        page_size,
+    );
+    for b in fetch {
+        sock.write_all(&[b]).expect("dribble fetch");
+    }
+    let (reply, payload) = read_frame_with_payload(&mut reader, page_size)
+        .expect("read reply")
+        .expect("server closed before replying");
+    assert!(
+        matches!(reply, Frame::S2C(ccdb::proto::S2C::Reply { .. })),
+        "expected a lock-fetch reply, got {reply:?}"
+    );
+    assert_eq!(
+        payload.len(),
+        page_size as usize,
+        "the ship must carry a full page image"
+    );
+
+    // Bye; the server must exit its --once loop even though the last
+    // reply was still in flight when Bye hit the wire.
+    sock.write_all(&encode_frame(&Frame::Bye, page_size))
+        .expect("send bye");
+    drop(sock);
+    // EOF on our side confirms the server drained and closed.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain to EOF");
+
+    let commits = server
+        .join()
+        .expect("server thread panicked")
+        .expect("serve failed");
+    assert_eq!(commits, 0, "nothing committed in this session");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,297 @@
+//! Property tests for the reactor's byte path: frame parsing must be a
+//! pure function of each connection's byte *stream*, independent of how
+//! the stream is chunked — so a server fed one byte at a time, with
+//! reads interleaved across connections, makes exactly the decisions it
+//! makes under whole-frame delivery. Ditto the write side: a writer
+//! draining through short writes must emit the identical byte stream.
+
+use std::io::{self, Write};
+
+use ccdb::lock::{ClientId, TxnId};
+use ccdb::model::{table5_database, ClassId, PageId};
+use ccdb::proto::{Algorithm, Tuning, C2S};
+use ccdb::server::{
+    encode_frame, encode_frame_with_payload, Engine, Frame, FrameReader, FrameWriter,
+};
+use ccdb::storage::page_image;
+use proptest::prelude::*;
+
+const PAGE_SIZE: u32 = 128;
+const CLIENTS: u32 = 3;
+
+fn page_of(client: u8, n: u8) -> PageId {
+    // Per-client disjoint classes: every lock grants immediately, so
+    // the decision stream is insensitive to which schedule completed a
+    // frame first and depends only on each connection's message order.
+    PageId {
+        class: ClassId(client as u16),
+        atom: (n % 16) as u32,
+    }
+}
+
+/// One client's whole session, encoded: Hello, then lock-and-commit
+/// transactions over its private pages (commits carry real images), Bye.
+fn build_stream(client: u8, txns: &[Vec<u8>]) -> (Vec<u8>, Vec<(Frame, Vec<u8>)>) {
+    let mut bytes = Vec::new();
+    let mut frames = Vec::new();
+    let mut put = |f: Frame, payload: Vec<u8>| {
+        let enc = if payload.is_empty() {
+            encode_frame(&f, PAGE_SIZE)
+        } else {
+            encode_frame_with_payload(&f, PAGE_SIZE, &payload).expect("payload sized")
+        };
+        bytes.extend_from_slice(&enc);
+        frames.push((f, payload));
+    };
+    put(
+        Frame::Hello {
+            client: client as u32,
+        },
+        Vec::new(),
+    );
+    let mut op = 0u64;
+    for (serial, raw_pages) in txns.iter().enumerate() {
+        let txn = TxnId(((client as u64) << 32) | (serial as u64 + 1));
+        let mut pages: Vec<PageId> = Vec::new();
+        for &n in raw_pages {
+            let p = page_of(client, n);
+            if !pages.contains(&p) {
+                pages.push(p);
+            }
+        }
+        for &p in &pages {
+            op += 1;
+            put(
+                Frame::C2S(C2S::LockFetch {
+                    txn,
+                    page: p,
+                    mode: ccdb::lock::Mode::X,
+                    cached_version: None,
+                    wait: true,
+                    op,
+                }),
+                Vec::new(),
+            );
+        }
+        op += 1;
+        let mut payload = Vec::new();
+        for &p in &pages {
+            payload.extend_from_slice(&page_image(p, txn.0, PAGE_SIZE as usize));
+        }
+        put(
+            Frame::C2S(C2S::Commit {
+                txn,
+                read_set: pages.iter().map(|&p| (p, 0)).collect(),
+                dirty: pages.clone(),
+                ops_sent: pages.len() as u32,
+                op,
+            }),
+            payload,
+        );
+    }
+    put(Frame::Bye, Vec::new());
+    (bytes, frames)
+}
+
+struct Feed {
+    bytes: Vec<u8>,
+    pos: usize,
+    reader: FrameReader,
+}
+
+/// Run a (client, run-length) delivery schedule over the per-client
+/// streams. `dribble` delivers each run one byte at a time (draining
+/// complete frames after every byte); otherwise each run arrives as one
+/// chunk. Returns frames in completion order as (client, frame-debug,
+/// payload) triples.
+fn deliver(
+    streams: &[Vec<u8>],
+    schedule: &[(u8, u8)],
+    dribble: bool,
+) -> Vec<(u8, String, Vec<u8>)> {
+    deliver_frames(streams, schedule, dribble)
+        .into_iter()
+        .map(|(c, f, p)| (c, format!("{f:?}"), p))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte-at-a-time delivery yields the identical frame sequence —
+    /// same frames, same payload bytes, same completion order — as
+    /// chunked delivery under the same schedule.
+    #[test]
+    fn dribbled_frames_match_whole_frames(
+        txns in proptest::collection::vec(
+            (0..CLIENTS as u8, proptest::collection::vec(0..16u8, 1..4)),
+            1..10,
+        ),
+        schedule in proptest::collection::vec((0..CLIENTS as u8, 1..48u8), 1..120),
+    ) {
+        let mut per_client: Vec<Vec<Vec<u8>>> = vec![Vec::new(); CLIENTS as usize];
+        for (c, pages) in &txns {
+            per_client[*c as usize].push(pages.clone());
+        }
+        let streams: Vec<Vec<u8>> = (0..CLIENTS as u8)
+            .map(|c| build_stream(c, &per_client[c as usize]).0)
+            .collect();
+
+        let whole = deliver(&streams, &schedule, false);
+        let dribbled = deliver(&streams, &schedule, true);
+        prop_assert_eq!(&whole, &dribbled);
+    }
+}
+
+/// Drive two engines — one fed by whole-frame delivery, one by
+/// byte-dribbled delivery — through the same schedule and require
+/// byte-identical decisions and sends. Deterministic schedules chosen
+/// to interleave partial frames across all three connections.
+#[test]
+fn dribbled_engine_decisions_match_whole_frame_delivery() {
+    let txn_sets: [&[&[u8]]; 3] = [
+        &[&[1, 2], &[3]],
+        &[&[4, 5, 6], &[7], &[8, 1]],
+        &[&[9], &[10, 11]],
+    ];
+    let streams: Vec<Vec<u8>> = (0..3u8)
+        .map(|c| {
+            let txns: Vec<Vec<u8>> = txn_sets[c as usize].iter().map(|p| p.to_vec()).collect();
+            build_stream(c, &txns).0
+        })
+        .collect();
+    // A schedule that leaves every connection mid-frame repeatedly.
+    let schedule: Vec<(u8, u8)> = (0..400u32)
+        .map(|i| ((i % 3) as u8, (1 + (i * 7) % 23) as u8))
+        .collect();
+
+    // Parse both deliveries into real frames and drive the engines.
+    let whole = deliver_frames(&streams, &schedule, false);
+    let dribbled = deliver_frames(&streams, &schedule, true);
+    let a = engine_signature(&whole);
+    let b = engine_signature(&dribbled);
+    assert_eq!(a, b, "decisions diverged between delivery granularities");
+    assert!(
+        a.iter().any(|s| s.contains("Committed")),
+        "the run must exercise real commits"
+    );
+}
+
+/// Like `deliver`, but keeps the decoded frames.
+fn deliver_frames(
+    streams: &[Vec<u8>],
+    schedule: &[(u8, u8)],
+    dribble: bool,
+) -> Vec<(u8, Frame, Vec<u8>)> {
+    let mut feeds: Vec<Feed> = streams
+        .iter()
+        .map(|b| Feed {
+            bytes: b.clone(),
+            pos: 0,
+            reader: FrameReader::new(),
+        })
+        .collect();
+    let mut out: Vec<(u8, Frame, Vec<u8>)> = Vec::new();
+    let run = |c: usize, n: usize, feeds: &mut Vec<Feed>, out: &mut Vec<(u8, Frame, Vec<u8>)>| {
+        let end = (feeds[c].pos + n).min(feeds[c].bytes.len());
+        let start = feeds[c].pos;
+        let step = if dribble {
+            1
+        } else {
+            end.saturating_sub(start).max(1)
+        };
+        let mut i = start;
+        while i < end {
+            let j = (i + step).min(end);
+            let chunk = feeds[c].bytes[i..j].to_vec();
+            feeds[c].reader.push(&chunk);
+            while let Some((f, payload)) = feeds[c].reader.next_frame(PAGE_SIZE).expect("valid") {
+                out.push((c as u8, f, payload));
+            }
+            i = j;
+        }
+        feeds[c].pos = end;
+    };
+    for &(c, n) in schedule {
+        let c = c as usize % streams.len();
+        run(c, n as usize, &mut feeds, &mut out);
+    }
+    for c in 0..streams.len() {
+        let n = feeds[c].bytes.len() - feeds[c].pos;
+        if n > 0 {
+            run(c, n, &mut feeds, &mut out);
+        }
+    }
+    out
+}
+
+/// Decision/send signature of applying a completion-ordered frame
+/// sequence to a fresh engine.
+fn engine_signature(order: &[(u8, Frame, Vec<u8>)]) -> Vec<String> {
+    let mut engine = Engine::new(
+        Algorithm::TwoPhase { inter: false },
+        Tuning::default(),
+        CLIENTS,
+        50,
+        1,
+        true,
+        table5_database(),
+    );
+    let mut sig = Vec::new();
+    for (c, frame, _payload) in order {
+        let from = ClientId(*c as u32);
+        match frame {
+            Frame::C2S(msg) => {
+                let eff = engine.apply(from, msg.clone());
+                let ds: Vec<String> = eff.decisions.iter().map(|d| format!("{d}")).collect();
+                sig.push(format!("{c}:{}:{:?}", ds.join(","), eff.sends));
+            }
+            Frame::Bye => {
+                let eff = engine.disconnect(from);
+                sig.push(format!("{c}:bye:{:?}", eff.sends));
+            }
+            _ => {}
+        }
+    }
+    sig
+}
+
+/// A writer flushing through pathologically short writes emits the
+/// byte-identical stream, regardless of how frames were queued.
+#[test]
+fn frame_writer_short_writes_preserve_stream() {
+    struct Trickle {
+        out: Vec<u8>,
+        step: usize,
+    }
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.step);
+            self.out.extend_from_slice(&buf[..n]);
+            self.step = self.step % 7 + 1;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let (bytes, frames) = build_stream(1, &[vec![1, 2, 3], vec![4]]);
+    let mut w = FrameWriter::new();
+    for (f, payload) in &frames {
+        let enc = if payload.is_empty() {
+            encode_frame(f, PAGE_SIZE)
+        } else {
+            encode_frame_with_payload(f, PAGE_SIZE, payload).expect("sized")
+        };
+        w.queue(&enc);
+    }
+    let mut sink = Trickle {
+        out: Vec::new(),
+        step: 1,
+    };
+    while w.pending() > 0 {
+        w.flush_to(&mut sink).expect("trickle never fails");
+    }
+    assert_eq!(sink.out, bytes, "short writes must not corrupt the stream");
+}
